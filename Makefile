@@ -1,0 +1,49 @@
+# Development targets for the mpsnap repository.
+
+GO ?= go
+
+.PHONY: all build test test-race test-short cover bench fuzz explore experiments vet clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark iteration per target; see bench_output.txt conventions.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Randomized conformance fuzzing across all algorithms (bounded batch).
+fuzz:
+	$(GO) run ./cmd/asofuzz -count 5000
+
+# Native Go fuzzing of the checker against brute force (30s).
+fuzz-checker:
+	$(GO) test -fuzz=FuzzCheckerAgainstBruteForce -fuzztime=30s ./internal/history/
+
+# Bounded-exhaustive schedule exploration of the core algorithms.
+explore:
+	$(GO) run ./cmd/asoexplore -alg eqaso -depth 6
+	$(GO) run ./cmd/asoexplore -alg oneshot -depth 6
+
+# Regenerate every table/figure of EXPERIMENTS.md.
+experiments:
+	$(GO) run ./cmd/asobench
+
+clean:
+	$(GO) clean ./...

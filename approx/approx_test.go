@@ -1,0 +1,162 @@
+package approx_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpsnap"
+	"mpsnap/approx"
+)
+
+func TestRounds(t *testing.T) {
+	cfg := approx.Config{Lo: 0, Hi: 8, Epsilon: 1, N: 3, F: 1}
+	if got := cfg.Rounds(); got != 3 {
+		t.Fatalf("rounds = %d, want 3", got)
+	}
+	cfg = approx.Config{Lo: 0, Hi: 0.5, Epsilon: 1, N: 3, F: 1}
+	if got := cfg.Rounds(); got != 0 {
+		t.Fatalf("degenerate range should need 0 rounds, got %d", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Client(0, func(cl *mpsnap.Client) {
+		if _, err := approx.Agree(cl.Raw(), approx.Config{Lo: 0, Hi: 1, Epsilon: 0, N: 3, F: 1}, 0.5); err == nil {
+			t.Error("epsilon 0 must be rejected")
+		}
+		if _, err := approx.Agree(cl.Raw(), approx.Config{Lo: 1, Hi: 0, Epsilon: 0.1, N: 3, F: 1}, 0.5); err == nil {
+			t.Error("empty range must be rejected")
+		}
+		if _, err := approx.Agree(cl.Raw(), approx.Config{Lo: 0, Hi: 1, Epsilon: 0.1, N: 4, F: 2}, 0.5); err == nil {
+			t.Error("n=4 f=2 must be rejected")
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runAgreement executes one instance over a fresh cluster; crashed
+// entries in inputs (NaN) mean the node does not participate.
+func runAgreement(t *testing.T, seed int64, inputs []float64, eps float64, crashes int) []float64 {
+	t.Helper()
+	n := len(inputs)
+	f := (n - 1) / 2
+	cfg := approx.Config{Lo: 0, Hi: 100, Epsilon: eps, N: n, F: f}
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: f, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crashing nodes still participate until they die: crash LATE
+	// deciders would block nothing (wait quorum n-f).
+	for v := 0; v < crashes; v++ {
+		c.Crash(n-1-v, mpsnap.Ticks(40*mpsnap.D))
+	}
+	decisions := make([]float64, n)
+	for i := range decisions {
+		decisions[i] = math.NaN()
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		c.Client(i, func(cl *mpsnap.Client) {
+			d, err := approx.Agree(cl.Raw(), cfg, inputs[i])
+			if err != nil {
+				return // crashed
+			}
+			decisions[i] = d
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return decisions
+}
+
+func TestEpsilonAgreementAndValidity(t *testing.T) {
+	inputs := []float64{10, 90, 30, 70, 50}
+	eps := 0.5
+	decisions := runAgreement(t, 1, inputs, eps, 0)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, d := range decisions {
+		if math.IsNaN(d) {
+			t.Fatalf("node %d did not decide", i)
+		}
+		if d < 10 || d > 90 {
+			t.Fatalf("node %d decided %f outside the input range", i, d)
+		}
+		lo, hi = math.Min(lo, d), math.Max(hi, d)
+	}
+	if hi-lo > eps {
+		t.Fatalf("decisions spread %f > ε=%f: %v", hi-lo, eps, decisions)
+	}
+}
+
+func TestAgreementUnderCrashes(t *testing.T) {
+	inputs := []float64{0, 100, 25, 75, 50, 60, 40}
+	eps := 1.0
+	decisions := runAgreement(t, 3, inputs, eps, 2)
+	var decided []float64
+	for _, d := range decisions {
+		if !math.IsNaN(d) {
+			decided = append(decided, d)
+		}
+	}
+	if len(decided) < len(inputs)-2 {
+		t.Fatalf("only %d nodes decided", len(decided))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, d := range decided {
+		lo, hi = math.Min(lo, d), math.Max(hi, d)
+	}
+	if hi-lo > eps {
+		t.Fatalf("decisions spread %f > ε=%f: %v", hi-lo, eps, decided)
+	}
+}
+
+func TestAgreementProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		inputs := make([]float64, n)
+		inLo, inHi := math.Inf(1), math.Inf(-1)
+		for i := range inputs {
+			inputs[i] = float64(rng.Intn(10000)) / 100
+			inLo, inHi = math.Min(inLo, inputs[i]), math.Max(inHi, inputs[i])
+		}
+		eps := 0.25 + rng.Float64()
+		decisions := runAgreement(t, seed, inputs, eps, 0)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, d := range decisions {
+			if math.IsNaN(d) {
+				return false
+			}
+			if d < inLo-1e-9 || d > inHi+1e-9 {
+				return false
+			}
+			lo, hi = math.Min(lo, d), math.Max(hi, d)
+		}
+		return hi-lo <= eps
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputClamped(t *testing.T) {
+	// Inputs outside the declared range are clamped, keeping validity.
+	decisions := runAgreement(t, 5, []float64{-50, 150, 50}, 1.0, 0)
+	for i, d := range decisions {
+		if math.IsNaN(d) {
+			t.Fatalf("node %d did not decide", i)
+		}
+		if d < 0 || d > 100 {
+			t.Fatalf("node %d decided %f outside [0,100]", i, d)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package assettransfer implements the asset transfer object
+// ("cryptocurrency") of Guerraoui et al. (reference [26]) on top of a
+// snapshot object, the application highlighted in the paper's abstract and
+// conclusion.
+//
+// Each node owns one account. A node's segment holds its *outgoing
+// transfer log*; an account balance is its initial funds plus incoming
+// minus outgoing transfers computed from a SCAN. Because segments are
+// single-writer and nodes are sequential, an owner can never double-spend:
+// it validates its balance against an atomic snapshot and appends to its
+// own log, and no one else can write that log. Consensus is not needed —
+// exactly the observation of [26] that asset transfer has consensus
+// number 1.
+package assettransfer
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+)
+
+// Object is the snapshot object the ledger runs over (mpsnap.Object).
+// It must be atomic (an ASO, not an SSO) for the no-double-spend argument.
+type Object interface {
+	Update(payload []byte) error
+	Scan() ([][]byte, error)
+}
+
+// Transfer is one outgoing transfer.
+type Transfer struct {
+	To     int
+	Amount uint64
+}
+
+// ErrInsufficientFunds rejects an overdraft.
+var ErrInsufficientFunds = errors.New("assettransfer: insufficient funds")
+
+// ErrBadAccount rejects an unknown account.
+var ErrBadAccount = errors.New("assettransfer: unknown account")
+
+// Ledger is one node's handle on the asset transfer object.
+type Ledger struct {
+	obj     Object
+	id      int
+	n       int
+	initial []uint64
+	log     []Transfer // this node's outgoing log (single writer)
+}
+
+// New binds account id (of n) to the node's snapshot object. initial
+// holds every account's genesis balance; all nodes must agree on it.
+func New(obj Object, id, n int, initial []uint64) (*Ledger, error) {
+	if len(initial) != n {
+		return nil, fmt.Errorf("assettransfer: %d initial balances for %d accounts", len(initial), n)
+	}
+	return &Ledger{obj: obj, id: id, n: n, initial: append([]uint64(nil), initial...)}, nil
+}
+
+func encodeLog(log []Transfer) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(log); err != nil {
+		panic("assettransfer: encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeLog(b []byte) ([]Transfer, error) {
+	var log []Transfer
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&log); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// balances computes every account's balance from a snapshot.
+func (l *Ledger) balances(snap [][]byte) ([]int64, error) {
+	bal := make([]int64, l.n)
+	for i := range bal {
+		bal[i] = int64(l.initial[i])
+	}
+	for owner, seg := range snap {
+		log := []Transfer(nil)
+		if seg != nil {
+			var err error
+			log, err = decodeLog(seg)
+			if err != nil {
+				return nil, fmt.Errorf("assettransfer: segment %d: %w", owner, err)
+			}
+		}
+		if owner == l.id && len(l.log) > len(log) {
+			// Our own segment: our local log is authoritative (the
+			// snapshot can only lag our completed updates, never lead).
+			log = l.log
+		}
+		for _, tr := range log {
+			bal[owner] -= int64(tr.Amount)
+			if tr.To >= 0 && tr.To < l.n {
+				bal[tr.To] += int64(tr.Amount)
+			}
+		}
+	}
+	return bal, nil
+}
+
+// Balance reads an account's balance (one SCAN).
+func (l *Ledger) Balance(account int) (uint64, error) {
+	if account < 0 || account >= l.n {
+		return 0, ErrBadAccount
+	}
+	snap, err := l.obj.Scan()
+	if err != nil {
+		return 0, err
+	}
+	bal, err := l.balances(snap)
+	if err != nil {
+		return 0, err
+	}
+	if bal[account] < 0 {
+		return 0, fmt.Errorf("assettransfer: negative balance %d for account %d (safety violation)", bal[account], account)
+	}
+	return uint64(bal[account]), nil
+}
+
+// Transfer moves amount from this node's account to account to. It scans
+// to validate funds, then appends to the node's own log (one SCAN + one
+// UPDATE).
+func (l *Ledger) Transfer(to int, amount uint64) error {
+	if to < 0 || to >= l.n {
+		return ErrBadAccount
+	}
+	bal, err := l.Balance(l.id)
+	if err != nil {
+		return err
+	}
+	if bal < amount {
+		return ErrInsufficientFunds
+	}
+	l.log = append(l.log, Transfer{To: to, Amount: amount})
+	if err := l.obj.Update(encodeLog(l.log)); err != nil {
+		// The update may still take effect (crash during completion);
+		// keeping it in the local log is the conservative choice.
+		return err
+	}
+	return nil
+}
+
+// Outgoing returns a copy of this node's outgoing log.
+func (l *Ledger) Outgoing() []Transfer { return append([]Transfer(nil), l.log...) }

@@ -1,0 +1,177 @@
+package assettransfer_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpsnap"
+	"mpsnap/assettransfer"
+)
+
+func TestSimpleTransfer(t *testing.T) {
+	n := 3
+	initial := []uint64{100, 100, 100}
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Client(0, func(cl *mpsnap.Client) {
+		l, err := assettransfer.New(cl.Raw(), 0, n, initial)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := l.Transfer(1, 30); err != nil {
+			t.Errorf("transfer: %v", err)
+			return
+		}
+		b, err := l.Balance(0)
+		if err != nil || b != 70 {
+			t.Errorf("balance(0) = %d, %v; want 70", b, err)
+		}
+	})
+	c.Client(1, func(cl *mpsnap.Client) {
+		l, err := assettransfer.New(cl.Raw(), 1, n, initial)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_ = cl.Sleep(30 * mpsnap.D)
+		b, err := l.Balance(1)
+		if err != nil || b != 130 {
+			t.Errorf("balance(1) = %d, %v; want 130", b, err)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverdraftRejected(t *testing.T) {
+	n := 3
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Client(0, func(cl *mpsnap.Client) {
+		l, _ := assettransfer.New(cl.Raw(), 0, n, []uint64{10, 0, 0})
+		if err := l.Transfer(1, 11); !errors.Is(err, assettransfer.ErrInsufficientFunds) {
+			t.Errorf("overdraft returned %v", err)
+		}
+		if err := l.Transfer(1, 10); err != nil {
+			t.Errorf("exact-balance transfer: %v", err)
+		}
+		if err := l.Transfer(1, 1); !errors.Is(err, assettransfer.ErrInsufficientFunds) {
+			t.Errorf("post-drain transfer returned %v", err)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadAccount(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Client(0, func(cl *mpsnap.Client) {
+		l, _ := assettransfer.New(cl.Raw(), 0, 3, []uint64{5, 5, 5})
+		if err := l.Transfer(7, 1); !errors.Is(err, assettransfer.ErrBadAccount) {
+			t.Errorf("transfer to unknown account returned %v", err)
+		}
+		if _, err := l.Balance(-1); !errors.Is(err, assettransfer.ErrBadAccount) {
+			t.Errorf("balance of unknown account returned %v", err)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservationAndNoOverdraft: under random concurrent transfers,
+// total funds are conserved and no balance ever goes negative.
+func TestConservationAndNoOverdraft(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		initial := make([]uint64, n)
+		var total uint64
+		for i := range initial {
+			initial[i] = uint64(rng.Intn(50) + 10)
+			total += initial[i]
+		}
+		c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: (n - 1) / 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		ok := true
+		for i := 0; i < n; i++ {
+			i := i
+			c.Client(i, func(cl *mpsnap.Client) {
+				rng := rand.New(rand.NewSource(seed*101 + int64(i)))
+				l, err := assettransfer.New(cl.Raw(), i, n, initial)
+				if err != nil {
+					ok = false
+					return
+				}
+				for k := 0; k < 4; k++ {
+					to := rng.Intn(n)
+					amt := uint64(rng.Intn(40) + 1)
+					err := l.Transfer(to, amt)
+					if err != nil && !errors.Is(err, assettransfer.ErrInsufficientFunds) {
+						ok = false
+						return
+					}
+					_ = cl.Sleep(mpsnap.Ticks(rng.Intn(2000)))
+				}
+				// Quiesce, then audit the whole ledger.
+				_ = cl.Sleep(40 * mpsnap.D)
+				var sum uint64
+				for acct := 0; acct < n; acct++ {
+					b, err := l.Balance(acct)
+					if err != nil {
+						ok = false // includes the negative-balance safety check
+						return
+					}
+					sum += b
+				}
+				if sum != total {
+					ok = false
+				}
+			})
+		}
+		if err := c.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelfTransferConserves: transfers to oneself are legal no-ops in
+// effect on the balance.
+func TestSelfTransferConserves(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Client(0, func(cl *mpsnap.Client) {
+		l, _ := assettransfer.New(cl.Raw(), 0, 3, []uint64{10, 0, 0})
+		if err := l.Transfer(0, 5); err != nil {
+			t.Errorf("self transfer: %v", err)
+			return
+		}
+		b, err := l.Balance(0)
+		if err != nil || b != 10 {
+			t.Errorf("balance = %d, %v; want 10", b, err)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,299 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per table
+// and figure (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// recorded results). Each benchmark iteration executes one full simulated
+// run; latencies are reported in units of the maximum message delay D via
+// custom metrics (D/op-style numbers), since wall-clock ns/op measures
+// only simulator speed.
+//
+// Run with: go test -bench=. -benchmem
+package mpsnap_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpsnap/internal/bench"
+	"mpsnap/internal/history"
+)
+
+// T1 — Table I: per-algorithm worst/amortized UPDATE and SCAN latency.
+func BenchmarkTable1(b *testing.B) {
+	for _, algo := range bench.TableAlgos() {
+		algo := algo
+		b.Run(string(algo), func(b *testing.B) {
+			f := 7
+			if algo == bench.ByzASO {
+				f = 5
+			}
+			var last bench.Result
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.Config{
+					Algo: algo, N: 16, F: f, OpsPerNode: 4, ScanRatio: 0.5,
+					Seed: int64(i), Check: i == 0,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.WorstUpd, "worstUpd-D")
+			b.ReportMetric(last.WorstScan, "worstScan-D")
+			b.ReportMetric(last.MeanAll, "amort-D")
+			b.ReportMetric(float64(last.Msgs), "msgs")
+		})
+	}
+}
+
+// F1 — Figure 1: base computation and the (A1)-(A4) checker on the
+// paper's example history.
+func BenchmarkFigure1Check(b *testing.B) {
+	mk := func() *history.History {
+		ops := []*history.Op{
+			{ID: 1, Node: 0, Type: history.Update, Arg: "1", Inv: 0, Resp: 10},
+			{ID: 2, Node: 1, Type: history.Update, Arg: "2", Inv: 15, Resp: 25},
+			{ID: 3, Node: 2, Type: history.Update, Arg: "3", Inv: 5, Resp: 30},
+			{ID: 4, Node: 1, Type: history.Scan, Snap: []string{"1", "2", "3"}, Inv: 30, Resp: 45},
+			{ID: 6, Node: 0, Type: history.Update, Arg: "4", Inv: 35, Resp: 50},
+			{ID: 5, Node: 2, Type: history.Scan, Snap: []string{"4", "2", "3"}, Inv: 55, Resp: 70},
+		}
+		return history.NewHistory(3, ops)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := mk()
+		rep := h.CheckLinearizable()
+		if !rep.OK {
+			b.Fatalf("figure 1 must be linearizable: %v", rep.Violations)
+		}
+	}
+}
+
+// F2 — Figure 2: the scripted one-shot execution (op6 blocked on
+// forwarded values). The latency assertions live in the unit test
+// (internal/la.TestFigure2); here we measure the full scenario.
+func BenchmarkFigure2Scenario(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E1 — O(√k·D) worst case: probe update latency under failure chains.
+func BenchmarkSqrtKScaling(b *testing.B) {
+	for _, k := range []int{0, 4, 16, 25} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var probe float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				probe, _, err = bench.SqrtKProbe(bench.EQASO, max(2*k+3, 5), k, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(probe, "probe-D")
+		})
+	}
+}
+
+// E2 — amortized O(D): mean latency flattens as operations grow past √k.
+func BenchmarkAmortized(b *testing.B) {
+	const k = 16
+	for _, ops := range []int{1, 4, 16} {
+		ops := ops
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.Config{
+					Algo: bench.EQASO, N: 2*k + 3, F: k + 1, OpsPerNode: ops,
+					ScanRatio: 0.5, Seed: int64(i),
+					Faults: bench.Faults{Crashes: k, Chains: true},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.MeanAll
+			}
+			b.ReportMetric(mean, "amort-D")
+		})
+	}
+}
+
+// E3 — failure-free constant time, independent of n.
+func BenchmarkFailureFree(b *testing.B) {
+	for _, n := range []int{4, 16, 32} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.Config{
+					Algo: bench.EQASO, N: n, F: (n - 1) / 2, OpsPerNode: 2,
+					ScanRatio: 0.5, Seed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst = res.WorstUpd
+				if res.WorstScan > worst {
+					worst = res.WorstScan
+				}
+			}
+			b.ReportMetric(worst, "worst-D")
+		})
+	}
+}
+
+// E4 — Byzantine ASO with silent cohorts (n = 3f+1).
+func BenchmarkByzantine(b *testing.B) {
+	for _, f := range []int{1, 2, 4} {
+		f := f
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			var worst, mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.Config{
+					Algo: bench.ByzASO, N: 3*f + 1, F: f, OpsPerNode: 2,
+					ScanRatio: 0.5, Seed: int64(i),
+					Faults: bench.Faults{Crashes: f},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst = res.WorstUpd
+				if res.WorstScan > worst {
+					worst = res.WorstScan
+				}
+				mean = res.MeanAll
+			}
+			b.ReportMetric(worst, "worst-D")
+			b.ReportMetric(mean, "amort-D")
+		})
+	}
+}
+
+// E5 — SSO fast scans: zero time, zero messages; updates match EQ-ASO.
+func BenchmarkSSOScan(b *testing.B) {
+	for _, algo := range []bench.Algo{bench.EQASO, bench.SSOFast} {
+		algo := algo
+		b.Run(string(algo), func(b *testing.B) {
+			var scan, upd float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.Config{
+					Algo: algo, N: 9, F: 4, OpsPerNode: 4, ScanRatio: 0.75,
+					Seed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				scan, upd = res.WorstScan, res.WorstUpd
+			}
+			b.ReportMetric(scan, "worstScan-D")
+			b.ReportMetric(upd, "worstUpd-D")
+		})
+	}
+}
+
+// E6 — early-stopping lattice agreement vs pull baseline under chains.
+func BenchmarkLatticeAgreement(b *testing.B) {
+	for _, k := range []int{0, 4, 16} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				worst, err = bench.RunLAProbe(true, max(2*k+3, 5), k, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(worst, "eqla-worst-D")
+		})
+	}
+}
+
+// A1 — ablation: proactive forwarding (EQ) vs pull (double-collect style)
+// lattice operations inside the same renewal framework.
+func BenchmarkAblationForwarding(b *testing.B) {
+	for _, algo := range []bench.Algo{bench.EQASO, bench.LAASO} {
+		algo := algo
+		b.Run(string(algo), func(b *testing.B) {
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.Config{
+					Algo: algo, N: 16, F: 7, OpsPerNode: 3, ScanRatio: 0.5,
+					Seed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst = res.WorstUpd
+				if res.WorstScan > worst {
+					worst = res.WorstScan
+				}
+			}
+			b.ReportMetric(worst, "worst-D")
+		})
+	}
+}
+
+// Engineering benchmark: raw end-to-end throughput of one simulated
+// EQ-ASO operation pair (simulator + algorithm + recorder), n=16.
+func BenchmarkSimulatedOpThroughput(b *testing.B) {
+	var ops int
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run(bench.Config{
+			Algo: bench.EQASO, N: 16, F: 7, OpsPerNode: 2, ScanRatio: 0.5, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = res.Ops
+	}
+	b.ReportMetric(float64(ops), "ops/run")
+}
+
+// Engineering benchmark: the (A1)-(A4) checker on a 320-operation history.
+func BenchmarkCheckerThroughput(b *testing.B) {
+	res, err := bench.Run(bench.Config{
+		Algo: bench.EQASO, N: 16, F: 7, OpsPerNode: 20, ScanRatio: 0.5, Seed: 1, Check: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+	// The Run above included one check; time repeated checks directly by
+	// rebuilding the same history via a fresh run per iteration.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run(bench.Config{
+			Algo: bench.EQASO, N: 16, F: 7, OpsPerNode: 20, ScanRatio: 0.5, Seed: 1, Check: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A3 — ablation: direct message-passing implementation vs stacking a
+// shared-memory snapshot over emulated registers.
+func BenchmarkStacking(b *testing.B) {
+	for _, algo := range []bench.Algo{bench.EQASO, bench.Stacked} {
+		algo := algo
+		b.Run(string(algo), func(b *testing.B) {
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Run(bench.Config{
+					Algo: algo, N: 8, F: 3, OpsPerNode: 2, ScanRatio: 0.5,
+					Seed: int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				worst = res.WorstUpd
+				if res.WorstScan > worst {
+					worst = res.WorstScan
+				}
+			}
+			b.ReportMetric(worst, "worst-D")
+		})
+	}
+}

@@ -1,0 +1,86 @@
+// Command asobench regenerates the paper's evaluation artifacts on the
+// virtual-time simulator. Each experiment prints a table whose *shape*
+// corresponds to the paper's complexity claims (latencies are measured in
+// units of the maximum message delay D).
+//
+// Usage:
+//
+//	asobench                 # run everything
+//	asobench -e table1       # one experiment: table1 sqrtk amortized
+//	                         # failurefree byzantine sso lattice
+//	asobench -quick          # smaller parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mpsnap/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("e", "all", "experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|all")
+		quick = flag.Bool("quick", false, "smaller parameters (CI-sized)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	var (
+		table1Ops = 6
+		sqrtKs    = []int{0, 1, 2, 4, 8, 16, 25, 36, 50}
+		amortK    = 16
+		amortOps  = []int{1, 2, 4, 8, 16, 32}
+		ffNs      = []int{4, 8, 16, 32}
+		byzFs     = []int{1, 2, 4}
+		latticeKs = []int{0, 1, 2, 4, 8, 16}
+		table1N   = 16
+		table1F   = 7
+		table1K   = 4
+		ssoN      = 9
+		ssoOps    = 6
+	)
+	if *quick {
+		table1Ops, table1N, table1F, table1K = 3, 7, 3, 2
+		sqrtKs = []int{0, 2, 4, 8}
+		amortK, amortOps = 8, []int{1, 2, 4, 8}
+		ffNs = []int{4, 8, 16}
+		byzFs = []int{1, 2}
+		latticeKs = []int{0, 2, 4, 8}
+		ssoN, ssoOps = 5, 3
+	}
+
+	experiments := []experiment{
+		{"table1", func() (string, error) { return bench.Table1(table1N, table1F, table1K, table1Ops, *seed) }},
+		{"sqrtk", func() (string, error) { return bench.SqrtK(sqrtKs, 2, *seed) }},
+		{"amortized", func() (string, error) { return bench.Amortized(amortK, amortOps, *seed) }},
+		{"failurefree", func() (string, error) { return bench.FailureFree(ffNs, 2, *seed) }},
+		{"byzantine", func() (string, error) { return bench.Byzantine(byzFs, 3, *seed) }},
+		{"sso", func() (string, error) { return bench.SSOScan(ssoN, ssoOps, *seed) }},
+		{"lattice", func() (string, error) { return bench.Lattice(latticeKs, *seed) }},
+		{"messages", func() (string, error) { return bench.Messages(table1N, table1Ops, *seed) }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		out, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		fmt.Printf("━━━ %s (%.1fs) ━━━\n%s\n", e.name, time.Since(start).Seconds(), out)
+	}
+	if ran == 0 {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}

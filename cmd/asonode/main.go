@@ -1,0 +1,126 @@
+// Command asonode runs one snapshot-object node over real TCP. Start one
+// process per node with the same -addrs list, then drive any node through
+// its stdin REPL:
+//
+//	# shell 1                                  # shell 2, 3 ...
+//	asonode -id 0 -addrs :7000,:7001,:7002     asonode -id 1 -addrs ...
+//
+//	> update hello          write to the own segment
+//	> scan                  atomic snapshot of all segments
+//	> quit
+//
+// The transport relies on TCP's in-order delivery for the paper's FIFO
+// channel assumption; the deployment is crash-stop (no reconnects).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mpsnap/internal/byzaso"
+	"mpsnap/internal/eqaso"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sso"
+	"mpsnap/internal/transport"
+)
+
+type object interface {
+	Update(payload []byte) error
+	Scan() ([][]byte, error)
+}
+
+func main() {
+	var (
+		id    = flag.Int("id", 0, "this node's index into -addrs")
+		addrs = flag.String("addrs", "", "comma-separated listen addresses of all nodes")
+		f     = flag.Int("f", 0, "resilience bound (default: (n-1)/2, or (n-1)/3 for byzaso)")
+		alg   = flag.String("alg", "eqaso", "algorithm: eqaso|byzaso|sso")
+		d     = flag.Duration("d", 10*time.Millisecond, "wall-clock duration treated as one D (reporting only)")
+	)
+	flag.Parse()
+	list := strings.Split(*addrs, ",")
+	if len(list) < 3 || *addrs == "" {
+		log.Fatal("need -addrs with at least 3 comma-separated addresses")
+	}
+	n := len(list)
+	if *f == 0 {
+		if *alg == "byzaso" {
+			*f = (n - 1) / 3
+		} else {
+			*f = (n - 1) / 2
+		}
+	}
+
+	tn, err := transport.NewTCPNode(transport.TCPConfig{ID: *id, Addrs: list, F: *f, D: *d})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tn.Close()
+
+	var obj object
+	var handler rt.Handler
+	switch *alg {
+	case "eqaso":
+		nd := eqaso.New(tn.Runtime())
+		obj, handler = nd, nd
+	case "byzaso":
+		nd := byzaso.New(tn.Runtime())
+		obj, handler = nd, nd
+	case "sso":
+		nd := sso.New(tn.Runtime())
+		obj, handler = nd, nd
+	default:
+		log.Fatalf("unknown algorithm %q", *alg)
+	}
+	tn.SetHandler(handler)
+
+	fmt.Printf("node %d/%d up (%s, f=%d); commands: update <value> | scan | quit\n", *id, n, *alg, *f)
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !in.Scan() {
+			return
+		}
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "update", "u":
+			if len(fields) < 2 {
+				fmt.Println("usage: update <value>")
+				continue
+			}
+			start := time.Now()
+			if err := obj.Update([]byte(strings.Join(fields[1:], " "))); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("ok (%v)\n", time.Since(start).Round(time.Microsecond))
+		case "scan", "s":
+			start := time.Now()
+			snap, err := obj.Scan()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("snapshot (%v):\n", time.Since(start).Round(time.Microsecond))
+			for seg, v := range snap {
+				if v == nil {
+					fmt.Printf("  [%d] ⊥\n", seg)
+				} else {
+					fmt.Printf("  [%d] %s\n", seg, v)
+				}
+			}
+		case "quit", "q", "exit":
+			return
+		default:
+			fmt.Println("commands: update <value> | scan | quit")
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package consensus implements randomized binary consensus on top of an
+// atomic snapshot object — the paper lists randomized consensus among the
+// classic ASO applications (Section I, references [4], [5]).
+//
+// Deterministic asynchronous consensus is impossible with even one crash
+// (FLP), so the protocol is randomized, in the style of Ben-Or adapted to
+// snapshot segments: each phase has a report step and a proposal step.
+//
+//	phase r:
+//	  write report b_r = current preference; scan until ≥ n-f phase-r
+//	  reports are visible; propose v if a strict majority (> n/2) of ALL
+//	  nodes reported v, else propose ⊥;
+//	  write the proposal; scan until ≥ n-f phase-r proposals are visible;
+//	  if ≥ f+1 proposals carry v → decide v;
+//	  else if ≥ 1 proposal carries v → adopt v;
+//	  else flip a fair local coin.
+//
+// Safety is deterministic: two non-⊥ proposals of one phase would each
+// need > n/2 reports, and — because atomic scans are totally ordered by
+// containment — the smaller report view is contained in the larger, so
+// the majorities overlap within n nodes and the proposals coincide. A
+// decision's f+1 proposals intersect every (n-f)-sized proposal view
+// (f+1 + n-f > n), so every other node adopts the decided value and
+// decides in the next phase. Termination holds with probability 1 (local
+// coins eventually align); the expected phase count is exponential in n
+// in the worst case — this package is an application demonstration, not a
+// high-performance consensus.
+package consensus
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Object is the atomic snapshot object the protocol runs over
+// (mpsnap.Object; must be an ASO).
+type Object interface {
+	Update(payload []byte) error
+	Scan() ([][]byte, error)
+}
+
+const noProposal = -1
+
+// phaseRecord is a node's activity in one phase.
+type phaseRecord struct {
+	Report   int // 0 or 1
+	Proposal int // 0, 1, or noProposal (⊥); -2 while unset
+}
+
+// state is one node's segment: its per-phase records and decision.
+type state struct {
+	Phases  []phaseRecord
+	Decided int // -1 until decided
+}
+
+func encodeState(s state) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		panic("consensus: encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeState(b []byte) (state, error) {
+	var s state
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s)
+	return s, err
+}
+
+// Config parameterizes one consensus instance.
+type Config struct {
+	// N nodes, resilience F (n > 2f).
+	N, F int
+	// MaxPhases aborts with an error after this many phases (0 = 10000);
+	// a safety valve for tests, far above typical convergence.
+	MaxPhases int
+	// Rand drives the local coin; required (pass a seeded source for
+	// reproducible simulations).
+	Rand *rand.Rand
+}
+
+func (c Config) validate() error {
+	if c.N <= 2*c.F || c.N <= 0 {
+		return fmt.Errorf("consensus: need n > 2f, got n=%d f=%d", c.N, c.F)
+	}
+	if c.Rand == nil {
+		return errors.New("consensus: Config.Rand is required")
+	}
+	return nil
+}
+
+// ErrTooManyPhases is returned when MaxPhases is exceeded.
+var ErrTooManyPhases = errors.New("consensus: phase budget exceeded")
+
+// Propose runs binary consensus for one node with input bit (0 or 1) and
+// returns the decided bit. Every correct node must call Propose once.
+func Propose(obj Object, cfg Config, bit int) (int, error) {
+	if err := cfg.validate(); err != nil {
+		return 0, err
+	}
+	if bit != 0 && bit != 1 {
+		return 0, fmt.Errorf("consensus: input %d is not a bit", bit)
+	}
+	maxPhases := cfg.MaxPhases
+	if maxPhases == 0 {
+		maxPhases = 10000
+	}
+	pref := bit
+	st := state{Decided: -1}
+	for phase := 0; phase < maxPhases; phase++ {
+		// Report step.
+		st.Phases = append(st.Phases, phaseRecord{Report: pref, Proposal: -2})
+		if err := obj.Update(encodeState(st)); err != nil {
+			return 0, err
+		}
+		reports, decided, err := collect(obj, cfg, phase, func(pr phaseRecord) (int, bool) {
+			return pr.Report, true
+		})
+		if err != nil {
+			return 0, err
+		}
+		if decided >= 0 {
+			// Someone already decided: their f+1 proposals from an
+			// earlier phase guarantee safety of adopting directly.
+			return finish(obj, &st, decided)
+		}
+		proposal := noProposal
+		for v := 0; v <= 1; v++ {
+			if reports[v] > cfg.N/2 {
+				proposal = v
+			}
+		}
+		// Proposal step.
+		st.Phases[phase].Proposal = proposal
+		if err := obj.Update(encodeState(st)); err != nil {
+			return 0, err
+		}
+		proposals, decided, err := collect(obj, cfg, phase, func(pr phaseRecord) (int, bool) {
+			if pr.Proposal == -2 {
+				return 0, false
+			}
+			return pr.Proposal, true
+		})
+		if err != nil {
+			return 0, err
+		}
+		if decided >= 0 {
+			return finish(obj, &st, decided)
+		}
+		switch {
+		case proposals[0] >= cfg.F+1:
+			return finish(obj, &st, 0)
+		case proposals[1] >= cfg.F+1:
+			return finish(obj, &st, 1)
+		case proposals[0] > 0:
+			pref = 0
+		case proposals[1] > 0:
+			pref = 1
+		default:
+			pref = cfg.Rand.Intn(2)
+		}
+	}
+	return 0, ErrTooManyPhases
+}
+
+// finish publishes the decision (so laggards can short-circuit) and
+// returns it.
+func finish(obj Object, st *state, v int) (int, error) {
+	st.Decided = v
+	if err := obj.Update(encodeState(*st)); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// collect scans until at least n-f nodes expose a phase-`phase` entry
+// accepted by get, returning per-value counts (index 0, 1; ⊥ ignored)
+// and any published decision it noticed (-1 if none).
+func collect(obj Object, cfg Config, phase int, get func(phaseRecord) (int, bool)) ([2]int, int, error) {
+	for {
+		snap, err := obj.Scan()
+		if err != nil {
+			return [2]int{}, -1, err
+		}
+		var counts [2]int
+		seen := 0
+		decided := -1
+		for i, seg := range snap {
+			if seg == nil {
+				continue
+			}
+			st, err := decodeState(seg)
+			if err != nil {
+				return [2]int{}, -1, fmt.Errorf("consensus: segment %d: %w", i, err)
+			}
+			if st.Decided >= 0 {
+				decided = st.Decided
+			}
+			if phase >= len(st.Phases) {
+				continue
+			}
+			v, ok := get(st.Phases[phase])
+			if !ok {
+				continue
+			}
+			seen++
+			if v == 0 || v == 1 {
+				counts[v]++
+			}
+		}
+		if decided >= 0 {
+			return counts, decided, nil
+		}
+		if seen >= cfg.N-cfg.F {
+			return counts, -1, nil
+		}
+	}
+}

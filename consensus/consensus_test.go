@@ -1,0 +1,147 @@
+package consensus_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpsnap"
+	"mpsnap/consensus"
+)
+
+// run executes one consensus instance over a fresh cluster and returns
+// the decisions (-1 = did not decide, e.g. crashed).
+func run(t *testing.T, seed int64, inputs []int, crashes int) []int {
+	t.Helper()
+	n := len(inputs)
+	f := (n - 1) / 2
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: f, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < crashes; v++ {
+		c.Crash(n-1-v, mpsnap.Ticks(30*mpsnap.D))
+	}
+	decisions := make([]int, n)
+	for i := range decisions {
+		decisions[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		c.Client(i, func(cl *mpsnap.Client) {
+			cfg := consensus.Config{N: n, F: f, Rand: rand.New(rand.NewSource(seed*131 + int64(i)))}
+			d, err := consensus.Propose(cl.Raw(), cfg, inputs[i])
+			if err != nil {
+				return // crashed node
+			}
+			decisions[i] = d
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return decisions
+}
+
+func checkAgreementValidity(t *testing.T, inputs, decisions []int, minDeciders int) {
+	t.Helper()
+	saw := map[int]bool{}
+	for _, b := range inputs {
+		saw[b] = true
+	}
+	first := -1
+	deciders := 0
+	for i, d := range decisions {
+		if d < 0 {
+			continue
+		}
+		deciders++
+		if !saw[d] {
+			t.Fatalf("node %d decided %d, which nobody proposed", i, d)
+		}
+		if first < 0 {
+			first = d
+		} else if d != first {
+			t.Fatalf("agreement violated: %v", decisions)
+		}
+	}
+	if deciders < minDeciders {
+		t.Fatalf("only %d nodes decided: %v", deciders, decisions)
+	}
+}
+
+func TestUnanimousInputsDecideImmediately(t *testing.T) {
+	for _, bit := range []int{0, 1} {
+		inputs := []int{bit, bit, bit, bit, bit}
+		decisions := run(t, int64(bit)+1, inputs, 0)
+		checkAgreementValidity(t, inputs, decisions, 5)
+		for _, d := range decisions {
+			if d != bit {
+				t.Fatalf("unanimous %d must decide %d: %v", bit, bit, decisions)
+			}
+		}
+	}
+}
+
+func TestMixedInputsAgree(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		inputs := []int{0, 1, 0, 1, 1}
+		decisions := run(t, seed, inputs, 0)
+		checkAgreementValidity(t, inputs, decisions, 5)
+	}
+}
+
+func TestAgreementUnderCrashes(t *testing.T) {
+	inputs := []int{0, 1, 1, 0, 1, 0, 1}
+	decisions := run(t, 9, inputs, 2)
+	checkAgreementValidity(t, inputs, decisions, 5)
+}
+
+func TestAgreementProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		inputs := make([]int, n)
+		for i := range inputs {
+			inputs[i] = rng.Intn(2)
+		}
+		decisions := run(t, seed, inputs, 0)
+		first := -1
+		for _, d := range decisions {
+			if d < 0 {
+				return false // must terminate failure-free
+			}
+			if first < 0 {
+				first = d
+			} else if d != first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Client(0, func(cl *mpsnap.Client) {
+		rng := rand.New(rand.NewSource(1))
+		if _, err := consensus.Propose(cl.Raw(), consensus.Config{N: 4, F: 2, Rand: rng}, 0); err == nil {
+			t.Error("n=4 f=2 must be rejected")
+		}
+		if _, err := consensus.Propose(cl.Raw(), consensus.Config{N: 3, F: 1}, 0); err == nil {
+			t.Error("nil Rand must be rejected")
+		}
+		if _, err := consensus.Propose(cl.Raw(), consensus.Config{N: 3, F: 1, Rand: rng}, 7); err == nil {
+			t.Error("non-bit input must be rejected")
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package crdt implements linearizable state-based CRDTs on top of a
+// snapshot object — one of the paper's motivating applications (Section I:
+// "linearizable conflict-free replicated data types").
+//
+// Each node's CRDT contribution lives in its own segment of the snapshot
+// object: updates rewrite the caller's segment (single-writer), reads SCAN
+// all segments and join them. Run over an atomic snapshot (EQ-ASO), reads
+// and writes are linearizable; over an SSO they are sequentially
+// consistent (a classic consistency/latency trade: SSO reads are local).
+//
+// All methods must be called from the owning node's client thread (at most
+// one operation at a time), matching the paper's sequential-node model.
+package crdt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// Object is the snapshot object a CRDT runs over (mpsnap.Object).
+type Object interface {
+	Update(payload []byte) error
+	Scan() ([][]byte, error)
+}
+
+func encode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic("crdt: encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decode(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// GCounter is a grow-only counter: each segment holds the owner's
+// monotonically non-decreasing contribution; the value is their sum.
+type GCounter struct {
+	obj Object
+	own uint64
+}
+
+// NewGCounter binds a counter to the node's snapshot object.
+func NewGCounter(obj Object) *GCounter { return &GCounter{obj: obj} }
+
+// Add increments this node's contribution by delta.
+func (c *GCounter) Add(delta uint64) error {
+	c.own += delta
+	return c.obj.Update(encode(c.own))
+}
+
+// Value reads the counter (one SCAN).
+func (c *GCounter) Value() (uint64, error) {
+	snap, err := c.obj.Scan()
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	for i, seg := range snap {
+		if seg == nil {
+			continue
+		}
+		var v uint64
+		if err := decode(seg, &v); err != nil {
+			return 0, fmt.Errorf("crdt: segment %d: %w", i, err)
+		}
+		total += v
+	}
+	return total, nil
+}
+
+// pnState is a PN-counter segment.
+type pnState struct{ P, N uint64 }
+
+// PNCounter supports increments and decrements (a pair of G-Counters).
+type PNCounter struct {
+	obj Object
+	own pnState
+}
+
+// NewPNCounter binds a counter to the node's snapshot object.
+func NewPNCounter(obj Object) *PNCounter { return &PNCounter{obj: obj} }
+
+// Add adjusts this node's contribution by delta (which may be negative).
+func (c *PNCounter) Add(delta int64) error {
+	if delta >= 0 {
+		c.own.P += uint64(delta)
+	} else {
+		c.own.N += uint64(-delta)
+	}
+	return c.obj.Update(encode(c.own))
+}
+
+// Value reads the counter (one SCAN).
+func (c *PNCounter) Value() (int64, error) {
+	snap, err := c.obj.Scan()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for i, seg := range snap {
+		if seg == nil {
+			continue
+		}
+		var v pnState
+		if err := decode(seg, &v); err != nil {
+			return 0, fmt.Errorf("crdt: segment %d: %w", i, err)
+		}
+		total += int64(v.P) - int64(v.N)
+	}
+	return total, nil
+}
+
+// tpState is a 2P-set segment: the owner's added and removed elements.
+type tpState struct {
+	Added   []string
+	Removed []string
+}
+
+// TwoPhaseSet is a set with add and remove, where a removed element can
+// never be re-added (2P-set semantics). Each segment holds the owner's
+// add- and tombstone-sets.
+type TwoPhaseSet struct {
+	obj     Object
+	added   map[string]bool
+	removed map[string]bool
+}
+
+// NewTwoPhaseSet binds a set to the node's snapshot object.
+func NewTwoPhaseSet(obj Object) *TwoPhaseSet {
+	return &TwoPhaseSet{obj: obj, added: make(map[string]bool), removed: make(map[string]bool)}
+}
+
+func (s *TwoPhaseSet) push() error {
+	st := tpState{Added: keys(s.added), Removed: keys(s.removed)}
+	return s.obj.Update(encode(st))
+}
+
+// Add inserts e into the node's add-set.
+func (s *TwoPhaseSet) Add(e string) error {
+	s.added[e] = true
+	return s.push()
+}
+
+// Remove tombstones e (any node may remove any element).
+func (s *TwoPhaseSet) Remove(e string) error {
+	s.removed[e] = true
+	return s.push()
+}
+
+// Contains reads membership: added by someone and removed by no one.
+func (s *TwoPhaseSet) Contains(e string) (bool, error) {
+	elems, err := s.Elements()
+	if err != nil {
+		return false, err
+	}
+	for _, x := range elems {
+		if x == e {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Elements reads the set (one SCAN): union of add-sets minus union of
+// tombstones, sorted.
+func (s *TwoPhaseSet) Elements() ([]string, error) {
+	snap, err := s.obj.Scan()
+	if err != nil {
+		return nil, err
+	}
+	added := make(map[string]bool)
+	removed := make(map[string]bool)
+	for i, seg := range snap {
+		if seg == nil {
+			continue
+		}
+		var st tpState
+		if err := decode(seg, &st); err != nil {
+			return nil, fmt.Errorf("crdt: segment %d: %w", i, err)
+		}
+		for _, e := range st.Added {
+			added[e] = true
+		}
+		for _, e := range st.Removed {
+			removed[e] = true
+		}
+	}
+	var out []string
+	for e := range added {
+		if !removed[e] {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,204 @@
+package crdt_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mpsnap"
+	"mpsnap/crdt"
+)
+
+// run executes per-node scripts over an EQ-ASO cluster and fails on error.
+func run(t *testing.T, n, f int, seed int64, alg mpsnap.Algorithm, script func(i int, cl *mpsnap.Client)) {
+	t.Helper()
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: f, Algorithm: alg, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		c.Client(i, func(cl *mpsnap.Client) { script(i, cl) })
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCounterConverges(t *testing.T) {
+	n := 5
+	var final uint64
+	run(t, n, 2, 1, mpsnap.EQASO, func(i int, cl *mpsnap.Client) {
+		ctr := crdt.NewGCounter(cl.Raw())
+		for k := 0; k < 3; k++ {
+			if err := ctr.Add(uint64(i + 1)); err != nil {
+				t.Errorf("add: %v", err)
+				return
+			}
+		}
+		_ = cl.Sleep(20 * mpsnap.D) // quiesce
+		v, err := ctr.Value()
+		if err != nil {
+			t.Errorf("value: %v", err)
+			return
+		}
+		want := uint64(3 * (1 + 2 + 3 + 4 + 5))
+		if v != want {
+			t.Errorf("node %d sees %d, want %d", i, v, want)
+		}
+		final = v
+	})
+	if final == 0 {
+		t.Fatal("no value read")
+	}
+}
+
+func TestGCounterLinearizableReads(t *testing.T) {
+	// A counter read after one's own Add must include it; reads never
+	// regress on the same node (atomicity of the underlying ASO).
+	run(t, 4, 1, 7, mpsnap.EQASO, func(i int, cl *mpsnap.Client) {
+		ctr := crdt.NewGCounter(cl.Raw())
+		var own, last uint64
+		for k := 0; k < 4; k++ {
+			if err := ctr.Add(1); err != nil {
+				return
+			}
+			own++
+			v, err := ctr.Value()
+			if err != nil {
+				return
+			}
+			if v < own {
+				t.Errorf("node %d read %d < own contribution %d", i, v, own)
+			}
+			if v < last {
+				t.Errorf("node %d read regressed: %d after %d", i, v, last)
+			}
+			last = v
+		}
+	})
+}
+
+func TestPNCounter(t *testing.T) {
+	run(t, 3, 1, 3, mpsnap.EQASO, func(i int, cl *mpsnap.Client) {
+		ctr := crdt.NewPNCounter(cl.Raw())
+		if err := ctr.Add(10); err != nil {
+			t.Errorf("add: %v", err)
+			return
+		}
+		if err := ctr.Add(-4); err != nil {
+			t.Errorf("sub: %v", err)
+			return
+		}
+		_ = cl.Sleep(20 * mpsnap.D)
+		v, err := ctr.Value()
+		if err != nil {
+			t.Errorf("value: %v", err)
+			return
+		}
+		if v != 18 { // 3 nodes × (10-4)
+			t.Errorf("node %d sees %d, want 18", i, v)
+		}
+	})
+}
+
+func TestTwoPhaseSet(t *testing.T) {
+	run(t, 3, 1, 5, mpsnap.EQASO, func(i int, cl *mpsnap.Client) {
+		set := crdt.NewTwoPhaseSet(cl.Raw())
+		if err := set.Add(fmt.Sprintf("e%d", i)); err != nil {
+			t.Errorf("add: %v", err)
+			return
+		}
+		if i == 0 {
+			if err := set.Remove("e1"); err != nil { // node 0 removes node 1's element
+				t.Errorf("remove: %v", err)
+				return
+			}
+		}
+		_ = cl.Sleep(20 * mpsnap.D)
+		elems, err := set.Elements()
+		if err != nil {
+			t.Errorf("elements: %v", err)
+			return
+		}
+		if !reflect.DeepEqual(elems, []string{"e0", "e2"}) {
+			t.Errorf("node %d sees %v, want [e0 e2]", i, elems)
+		}
+		ok, err := set.Contains("e1")
+		if err != nil || ok {
+			t.Errorf("e1 should be tombstoned (ok=%v err=%v)", ok, err)
+		}
+	})
+}
+
+func TestGCounterRandomConvergence(t *testing.T) {
+	// Property: after quiescence, all nodes read the same total = sum of
+	// all increments, for random increment patterns and crash-free runs.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		incs := make([][]uint64, n)
+		var want uint64
+		for i := range incs {
+			k := 1 + rng.Intn(3)
+			for j := 0; j < k; j++ {
+				d := uint64(rng.Intn(9) + 1)
+				incs[i] = append(incs[i], d)
+				want += d
+			}
+		}
+		c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: (n - 1) / 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		ok := true
+		for i := 0; i < n; i++ {
+			i := i
+			c.Client(i, func(cl *mpsnap.Client) {
+				ctr := crdt.NewGCounter(cl.Raw())
+				for _, d := range incs[i] {
+					if err := ctr.Add(d); err != nil {
+						ok = false
+						return
+					}
+				}
+				_ = cl.Sleep(30 * mpsnap.D)
+				v, err := ctr.Value()
+				if err != nil || v != want {
+					ok = false
+				}
+			})
+		}
+		if err := c.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRDTOverSSO(t *testing.T) {
+	// Over the SSO, reads are local and sequentially consistent: a node
+	// always sees at least its own contribution.
+	run(t, 5, 2, 9, mpsnap.SSOFast, func(i int, cl *mpsnap.Client) {
+		ctr := crdt.NewGCounter(cl.Raw())
+		var own uint64
+		for k := 0; k < 3; k++ {
+			if err := ctr.Add(2); err != nil {
+				return
+			}
+			own += 2
+			v, err := ctr.Value()
+			if err != nil {
+				return
+			}
+			if v < own {
+				t.Errorf("node %d SSO read %d < own %d", i, v, own)
+			}
+		}
+	})
+}

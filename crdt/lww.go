@@ -1,0 +1,86 @@
+package crdt
+
+import "fmt"
+
+// lwwState is an LWW-register segment: the owner's latest write with its
+// logical timestamp.
+type lwwState struct {
+	Clock int64
+	Val   []byte
+	Unset bool
+}
+
+// LWWRegister is a last-writer-wins register: each node's segment holds
+// its most recent write stamped with a logical clock; reads take the
+// maximum (clock, node) pair over a SCAN. Over an atomic snapshot the
+// register is linearizable: a Set scans first, so its stamp dominates
+// everything that completed before it.
+type LWWRegister struct {
+	obj    Object
+	id     int
+	clock  int64
+	ownVal []byte
+	ownSet bool
+}
+
+// NewLWWRegister binds a register to the node's snapshot object; id must
+// be the node's ID.
+func NewLWWRegister(obj Object, id int) *LWWRegister {
+	return &LWWRegister{obj: obj, id: id}
+}
+
+// Set writes val (one SCAN to advance the clock + one UPDATE).
+func (r *LWWRegister) Set(val []byte) error {
+	_, maxClock, _, err := r.read()
+	if err != nil {
+		return err
+	}
+	if maxClock >= r.clock {
+		r.clock = maxClock + 1
+	} else {
+		r.clock++
+	}
+	r.ownVal = append([]byte(nil), val...)
+	r.ownSet = true
+	return r.obj.Update(encode(lwwState{Clock: r.clock, Val: r.ownVal}))
+}
+
+// Get reads the register (one SCAN); ok is false while unwritten.
+func (r *LWWRegister) Get() (val []byte, ok bool, err error) {
+	val, _, ok, err = r.read()
+	return val, ok, err
+}
+
+func (r *LWWRegister) read() (val []byte, maxClock int64, ok bool, err error) {
+	snap, err := r.obj.Scan()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	bestNode := -1
+	for i, seg := range snap {
+		if seg == nil {
+			continue
+		}
+		var st lwwState
+		if err := decode(seg, &st); err != nil {
+			return nil, 0, false, fmt.Errorf("crdt: lww segment %d: %w", i, err)
+		}
+		if st.Unset {
+			continue
+		}
+		if st.Clock > maxClock || (st.Clock == maxClock && i > bestNode) {
+			maxClock = st.Clock
+			bestNode = i
+			val = st.Val
+			ok = true
+		}
+	}
+	// This node's own completed write is authoritative if the snapshot
+	// lags it.
+	if r.ownSet && (r.clock > maxClock || (r.clock == maxClock && r.id > bestNode)) {
+		maxClock = r.clock
+		val = r.ownVal
+		ok = true
+	}
+	return val, maxClock, ok, nil
+}

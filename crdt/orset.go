@@ -1,0 +1,159 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ORTag uniquely identifies one Add operation (observed-remove sets tag
+// every insertion so removals only affect observed insertions).
+type ORTag struct {
+	Node int
+	Ctr  int
+}
+
+// orState is an OR-set segment: the owner's tagged insertions and the
+// tags it has removed (of any node's insertions).
+type orState struct {
+	Adds    map[string][]ORTag
+	Removes []ORTag
+}
+
+// ORSet is an observed-remove set with add-wins semantics: removing an
+// element cancels only the insertions the remover has observed, so a
+// concurrent re-Add survives. Each segment carries the owner's insertions
+// and removals.
+type ORSet struct {
+	obj     Object
+	id      int
+	ctr     int
+	adds    map[string][]ORTag
+	removes map[ORTag]bool
+}
+
+// NewORSet binds an OR-set to the node's snapshot object; id must be the
+// node's ID.
+func NewORSet(obj Object, id int) *ORSet {
+	return &ORSet{obj: obj, id: id, adds: make(map[string][]ORTag), removes: make(map[ORTag]bool)}
+}
+
+func (s *ORSet) push() error {
+	st := orState{Adds: make(map[string][]ORTag, len(s.adds))}
+	for e, tags := range s.adds {
+		st.Adds[e] = append([]ORTag(nil), tags...)
+	}
+	for tag := range s.removes {
+		st.Removes = append(st.Removes, tag)
+	}
+	sort.Slice(st.Removes, func(i, j int) bool {
+		if st.Removes[i].Node != st.Removes[j].Node {
+			return st.Removes[i].Node < st.Removes[j].Node
+		}
+		return st.Removes[i].Ctr < st.Removes[j].Ctr
+	})
+	return s.obj.Update(encode(st))
+}
+
+// Add inserts e with a fresh tag (one UPDATE).
+func (s *ORSet) Add(e string) error {
+	s.ctr++
+	s.adds[e] = append(s.adds[e], ORTag{Node: s.id, Ctr: s.ctr})
+	return s.push()
+}
+
+// Remove deletes e by tombstoning every currently observable insertion of
+// it (one SCAN + one UPDATE). A concurrent Add with an unobserved tag
+// survives — add-wins.
+func (s *ORSet) Remove(e string) error {
+	visible, err := s.collect()
+	if err != nil {
+		return err
+	}
+	for _, tag := range visible[e] {
+		s.removes[tag] = true
+	}
+	return s.push()
+}
+
+// collect scans and returns, per element, the insertion tags not yet
+// removed by anyone.
+func (s *ORSet) collect() (map[string][]ORTag, error) {
+	snap, err := s.obj.Scan()
+	if err != nil {
+		return nil, err
+	}
+	removed := make(map[ORTag]bool)
+	states := make([]orState, 0, len(snap))
+	for i, seg := range snap {
+		if seg == nil {
+			continue
+		}
+		var st orState
+		if err := decode(seg, &st); err != nil {
+			return nil, fmt.Errorf("crdt: orset segment %d: %w", i, err)
+		}
+		states = append(states, st)
+		for _, tag := range st.Removes {
+			removed[tag] = true
+		}
+	}
+	// The local state is authoritative for this node's own segment (the
+	// snapshot can lag but never lead completed local ops).
+	for tag := range s.removes {
+		removed[tag] = true
+	}
+	visible := make(map[string][]ORTag)
+	add := func(e string, tags []ORTag) {
+		for _, tag := range tags {
+			if !removed[tag] {
+				visible[e] = append(visible[e], tag)
+			}
+		}
+	}
+	for _, st := range states {
+		for e, tags := range st.Adds {
+			add(e, tags)
+		}
+	}
+	for e, tags := range s.adds {
+		add(e, tags)
+	}
+	// Deduplicate tags contributed twice (own segment + local copy).
+	for e, tags := range visible {
+		seen := make(map[ORTag]bool, len(tags))
+		out := tags[:0]
+		for _, tag := range tags {
+			if !seen[tag] {
+				seen[tag] = true
+				out = append(out, tag)
+			}
+		}
+		visible[e] = out
+	}
+	return visible, nil
+}
+
+// Elements reads the set (one SCAN), sorted.
+func (s *ORSet) Elements() ([]string, error) {
+	visible, err := s.collect()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for e, tags := range visible {
+		if len(tags) > 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Contains reads membership of e (one SCAN).
+func (s *ORSet) Contains(e string) (bool, error) {
+	visible, err := s.collect()
+	if err != nil {
+		return false, err
+	}
+	return len(visible[e]) > 0, nil
+}

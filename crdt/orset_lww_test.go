@@ -1,0 +1,256 @@
+package crdt_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mpsnap"
+	"mpsnap/crdt"
+)
+
+func TestORSetAddRemove(t *testing.T) {
+	run(t, 3, 1, 21, mpsnap.EQASO, func(i int, cl *mpsnap.Client) {
+		set := crdt.NewORSet(cl.Raw(), i)
+		if err := set.Add(fmt.Sprintf("e%d", i)); err != nil {
+			t.Errorf("add: %v", err)
+			return
+		}
+		_ = cl.Sleep(20 * mpsnap.D)
+		if i == 0 {
+			if err := set.Remove("e1"); err != nil {
+				t.Errorf("remove: %v", err)
+				return
+			}
+		}
+		_ = cl.Sleep(20 * mpsnap.D)
+		elems, err := set.Elements()
+		if err != nil {
+			t.Errorf("elements: %v", err)
+			return
+		}
+		if !reflect.DeepEqual(elems, []string{"e0", "e2"}) {
+			t.Errorf("node %d sees %v, want [e0 e2]", i, elems)
+		}
+	})
+}
+
+func TestORSetReAddAfterRemove(t *testing.T) {
+	// Unlike the 2P-set, the OR-set allows re-adding a removed element:
+	// the re-Add carries a fresh tag the removal never observed.
+	run(t, 3, 1, 22, mpsnap.EQASO, func(i int, cl *mpsnap.Client) {
+		if i != 0 {
+			return
+		}
+		set := crdt.NewORSet(cl.Raw(), i)
+		mustDo := func(name string, err error) bool {
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return false
+			}
+			return true
+		}
+		if !mustDo("add", set.Add("x")) ||
+			!mustDo("remove", set.Remove("x")) {
+			return
+		}
+		if ok, err := set.Contains("x"); err != nil || ok {
+			t.Errorf("x should be removed (ok=%v err=%v)", ok, err)
+			return
+		}
+		if !mustDo("re-add", set.Add("x")) {
+			return
+		}
+		if ok, err := set.Contains("x"); err != nil || !ok {
+			t.Errorf("x should be back after re-add (ok=%v err=%v)", ok, err)
+		}
+	})
+}
+
+func TestORSetUnobservedAddSurvives(t *testing.T) {
+	// Add-wins: a removal only tombstones the insertion tags it
+	// observed. Node 1's re-add carries a tag created strictly after
+	// node 0's remove completed, so it must survive at every node.
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	removeDone := make(chan struct{}, 1)
+	c.Client(0, func(cl *mpsnap.Client) {
+		set := crdt.NewORSet(cl.Raw(), 0)
+		if err := set.Add("x"); err != nil {
+			return
+		}
+		_ = cl.Sleep(10 * mpsnap.D)
+		if err := set.Remove("x"); err != nil {
+			return
+		}
+		removeDone <- struct{}{}
+	})
+	c.Client(1, func(cl *mpsnap.Client) {
+		set := crdt.NewORSet(cl.Raw(), 1)
+		if err := waitChan(cl, removeDone); err != nil {
+			return
+		}
+		if err := set.Add("x"); err != nil { // fresh, unobserved tag
+			return
+		}
+		_ = cl.Sleep(30 * mpsnap.D)
+		ok, err := set.Contains("x")
+		if err != nil {
+			t.Errorf("contains: %v", err)
+			return
+		}
+		if !ok {
+			t.Error("add-wins violated: unobserved re-add lost")
+		}
+	})
+	c.Client(2, func(cl *mpsnap.Client) {
+		set := crdt.NewORSet(cl.Raw(), 2)
+		_ = cl.Sleep(60 * mpsnap.D)
+		ok, err := set.Contains("x")
+		if err != nil || !ok {
+			t.Errorf("third party should see the re-added x (ok=%v err=%v)", ok, err)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLWWRegisterBasics(t *testing.T) {
+	run(t, 3, 1, 24, mpsnap.EQASO, func(i int, cl *mpsnap.Client) {
+		if i != 0 {
+			return
+		}
+		reg := crdt.NewLWWRegister(cl.Raw(), i)
+		if _, ok, err := reg.Get(); err != nil || ok {
+			t.Errorf("unwritten register: ok=%v err=%v", ok, err)
+			return
+		}
+		if err := reg.Set([]byte("a")); err != nil {
+			t.Errorf("set: %v", err)
+			return
+		}
+		if err := reg.Set([]byte("b")); err != nil {
+			t.Errorf("set: %v", err)
+			return
+		}
+		v, ok, err := reg.Get()
+		if err != nil || !ok || string(v) != "b" {
+			t.Errorf("get = %q ok=%v err=%v, want b", v, ok, err)
+		}
+	})
+}
+
+func TestLWWRegisterCrossNode(t *testing.T) {
+	// Sequential cross-node writes: the later writer's value wins
+	// (its Set scans first, so its clock dominates).
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{}, 1)
+	c.Client(0, func(cl *mpsnap.Client) {
+		reg := crdt.NewLWWRegister(cl.Raw(), 0)
+		if err := reg.Set([]byte("first")); err != nil {
+			t.Errorf("set: %v", err)
+		}
+		done <- struct{}{}
+	})
+	c.Client(1, func(cl *mpsnap.Client) {
+		_ = waitChan(cl, done)
+		reg := crdt.NewLWWRegister(cl.Raw(), 1)
+		if err := reg.Set([]byte("second")); err != nil {
+			t.Errorf("set: %v", err)
+			return
+		}
+		v, ok, err := reg.Get()
+		if err != nil || !ok || string(v) != "second" {
+			t.Errorf("get = %q ok=%v err=%v, want second", v, ok, err)
+		}
+	})
+	c.Client(2, func(cl *mpsnap.Client) {
+		_ = cl.Sleep(40 * mpsnap.D)
+		reg := crdt.NewLWWRegister(cl.Raw(), 2)
+		v, ok, err := reg.Get()
+		if err != nil || !ok || string(v) != "second" {
+			t.Errorf("reader sees %q ok=%v err=%v, want second", v, ok, err)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitChan polls a channel from inside a client script without blocking
+// the scheduler (sim procs must never block on raw Go channels).
+func waitChan(cl *mpsnap.Client, ch chan struct{}) error {
+	for len(ch) == 0 {
+		if err := cl.Sleep(100); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestORSetConvergenceProperty: random concurrent Add/Remove traffic;
+// after quiescence all nodes agree on the same element set.
+func TestORSetConvergenceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2)
+		c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: (n - 1) / 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		results := make([][]string, n)
+		ok := true
+		for i := 0; i < n; i++ {
+			i := i
+			c.Client(i, func(cl *mpsnap.Client) {
+				rng := rand.New(rand.NewSource(seed*13 + int64(i)))
+				set := crdt.NewORSet(cl.Raw(), i)
+				for k := 0; k < 3; k++ {
+					e := fmt.Sprintf("e%d", rng.Intn(4))
+					var err error
+					if rng.Intn(3) == 0 {
+						err = set.Remove(e)
+					} else {
+						err = set.Add(e)
+					}
+					if err != nil {
+						ok = false
+						return
+					}
+					_ = cl.Sleep(mpsnap.Ticks(rng.Intn(2000)))
+				}
+				_ = cl.Sleep(60 * mpsnap.D)
+				elems, err := set.Elements()
+				if err != nil {
+					ok = false
+					return
+				}
+				results[i] = elems
+			})
+		}
+		if err := c.Run(); err != nil {
+			return false
+		}
+		if !ok {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if !reflect.DeepEqual(results[0], results[i]) {
+				t.Logf("seed %d: node 0 %v vs node %d %v", seed, results[0], i, results[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package detect_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpsnap"
+	"mpsnap/detect"
+)
+
+// TestTerminationDetected: a simple token computation — node 0 "sends"
+// one unit of work to each peer, peers receive it, work, and go passive.
+// The detector must eventually report termination.
+func TestTerminationDetected(t *testing.T) {
+	const n = 4
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth, maintained by the scripts in virtual time.
+	var lastActivity mpsnap.Ticks
+	var detectedAt mpsnap.Ticks = -1
+
+	c.Client(0, func(cl *mpsnap.Client) {
+		m := detect.New(cl.Raw(), 0)
+		// Become active and send one message to each peer.
+		if err := m.Publish(func(s *detect.Status) { s.Active = true; s.Sent = n - 1 }); err != nil {
+			t.Errorf("publish: %v", err)
+			return
+		}
+		_ = cl.Sleep(2 * mpsnap.D)
+		if err := m.Publish(func(s *detect.Status) { s.Active = false }); err != nil {
+			t.Errorf("publish: %v", err)
+			return
+		}
+		if cl.Now() > lastActivity {
+			lastActivity = cl.Now()
+		}
+		// Then poll for termination from the same (sequential) client
+		// thread — nodes run at most one operation at a time.
+		for k := 0; k < 60; k++ {
+			done, err := m.CheckTermination()
+			if err != nil {
+				return
+			}
+			if done {
+				detectedAt = cl.Now()
+				return
+			}
+			_ = cl.Sleep(mpsnap.D)
+		}
+	})
+	for i := 1; i < n; i++ {
+		i := i
+		c.Client(i, func(cl *mpsnap.Client) {
+			m := detect.New(cl.Raw(), i)
+			// "Receive" the work after a delivery-ish delay, compute,
+			// then go passive.
+			_ = cl.Sleep(mpsnap.Ticks(i) * mpsnap.D)
+			if err := m.Publish(func(s *detect.Status) { s.Active = true; s.Received = 1 }); err != nil {
+				return
+			}
+			_ = cl.Sleep(3 * mpsnap.D)
+			if err := m.Publish(func(s *detect.Status) { s.Active = false }); err != nil {
+				return
+			}
+			if cl.Now() > lastActivity {
+				lastActivity = cl.Now()
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if detectedAt < 0 {
+		t.Fatal("termination never detected")
+	}
+	if detectedAt < lastActivity {
+		t.Fatalf("false positive: detected at %d before last activity at %d", detectedAt, lastActivity)
+	}
+}
+
+// TestNoFalsePositives: under randomized computations (random send/receive
+// matching, random timing), any true report happens only after the final
+// passive transition — soundness of single-scan detection on an atomic
+// snapshot.
+func TestNoFalsePositives(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: (n - 1) / 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		var lastActivity mpsnap.Ticks
+		var firstDetect mpsnap.Ticks = -1
+		sound := true
+
+		// Each node i>0: activates, receives work[i] messages, sends
+		// none, deactivates. Node 0 sends Σ work and stays the poller.
+		work := make([]int64, n)
+		var total int64
+		for i := 1; i < n; i++ {
+			work[i] = int64(rng.Intn(3) + 1)
+			total += work[i]
+		}
+		for i := 1; i < n; i++ {
+			i := i
+			c.Client(i, func(cl *mpsnap.Client) {
+				m := detect.New(cl.Raw(), i)
+				_ = cl.Sleep(mpsnap.Ticks(rng.Intn(4000)))
+				if err := m.Publish(func(s *detect.Status) { s.Active = true }); err != nil {
+					return
+				}
+				for r := int64(0); r < work[i]; r++ {
+					_ = cl.Sleep(mpsnap.Ticks(rng.Intn(2000)))
+					if err := m.Publish(func(s *detect.Status) { s.Received++ }); err != nil {
+						return
+					}
+				}
+				_ = cl.Sleep(mpsnap.Ticks(rng.Intn(2000)))
+				if err := m.Publish(func(s *detect.Status) { s.Active = false }); err != nil {
+					return
+				}
+				if cl.Now() > lastActivity {
+					lastActivity = cl.Now()
+				}
+			})
+		}
+		c.Client(0, func(cl *mpsnap.Client) {
+			m := detect.New(cl.Raw(), 0)
+			if err := m.Publish(func(s *detect.Status) { s.Active = true; s.Sent = total }); err != nil {
+				return
+			}
+			if err := m.Publish(func(s *detect.Status) { s.Active = false }); err != nil {
+				return
+			}
+			if cl.Now() > lastActivity {
+				lastActivity = cl.Now()
+			}
+			for k := 0; k < 80; k++ {
+				done, err := m.CheckTermination()
+				if err != nil {
+					return
+				}
+				if done {
+					firstDetect = cl.Now()
+					if firstDetect < lastActivity {
+						sound = false
+					}
+					return
+				}
+				_ = cl.Sleep(mpsnap.D)
+			}
+		})
+		if err := c.Run(); err != nil {
+			return false
+		}
+		return sound && firstDetect >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeCountersRejected(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Client(0, func(cl *mpsnap.Client) {
+		m := detect.New(cl.Raw(), 0)
+		if err := m.Publish(func(s *detect.Status) { s.Sent = -1 }); err == nil {
+			t.Error("negative counter must be rejected")
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomStablePredicate(t *testing.T) {
+	// Detect "global quiescence of senders": no node will ever send
+	// again once Sent reaches its cap — modeled here as everyone passive.
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Client(0, func(cl *mpsnap.Client) {
+		m := detect.New(cl.Raw(), 0)
+		if err := m.Publish(func(s *detect.Status) { s.Active = false; s.Sent = 2; s.Received = 2 }); err != nil {
+			return
+		}
+		got, err := m.Check(func(sts []detect.Status) bool {
+			for _, s := range sts {
+				if s.Active {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil || !got {
+			t.Errorf("custom predicate: got=%v err=%v", got, err)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package mpsnap_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mpsnap"
+)
+
+func TestTraceAndRenderHistory(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{
+		N: 3, F: 1, Seed: 6,
+		Crashes: []mpsnap.CrashSpec{{Node: 2, At: 5 * mpsnap.D}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	c.Trace(func(line string) { lines = append(lines, line) })
+	c.Client(0, func(cl *mpsnap.Client) {
+		if err := cl.Update([]byte("hello")); err != nil {
+			t.Errorf("update: %v", err)
+			return
+		}
+		if _, err := cl.Scan(); err != nil {
+			t.Errorf("scan: %v", err)
+		}
+	})
+	if got := c.RenderHistory(80); !strings.Contains(got, "no history") {
+		t.Fatalf("RenderHistory before Run should say so, got %q", got)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	var sends, delivers, crashes int
+	for _, l := range lines {
+		switch {
+		case strings.Contains(l, "CRASH"):
+			crashes++
+		case strings.Contains(l, "→"):
+			sends++
+		case strings.Contains(l, "⇒"):
+			delivers++
+		}
+	}
+	if sends == 0 || delivers == 0 || crashes != 1 {
+		t.Fatalf("trace: sends=%d delivers=%d crashes=%d", sends, delivers, crashes)
+	}
+	gantt := c.RenderHistory(100)
+	if !strings.Contains(gantt, "U(hello)") || !strings.Contains(gantt, "node 0") {
+		t.Fatalf("gantt missing content:\n%s", gantt)
+	}
+}
+
+func TestDumpHistoryErrors(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.DumpHistory(&buf); err == nil {
+		t.Fatal("DumpHistory before Run must error")
+	}
+	c.Client(0, func(cl *mpsnap.Client) { _ = cl.Update([]byte("x")) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DumpHistory(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"type": "update"`) {
+		t.Fatalf("dump missing op: %s", buf.String())
+	}
+}

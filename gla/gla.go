@@ -1,0 +1,79 @@
+// Package gla implements generalized lattice agreement (Faleiro et al.,
+// reference [23]) on the paper's equivalence-quorum framework — Section IV
+// notes the framework "can be used to solve LA and generalized LA problems
+// with a better amortized time complexity".
+//
+// In generalized lattice agreement every node receives a stream of input
+// values and learns a growing sequence of output views such that:
+//
+//   - Validity: outputs contain only proposed values, and every value
+//     proposed by a correct node is eventually in every correct node's
+//     output.
+//   - Consistency: any two outputs, at any two nodes, at any two times,
+//     are comparable (one contains the other).
+//   - Monotonicity: a node's outputs only grow.
+//
+// The implementation reuses the SSO machinery: Propose runs the EQ-ASO
+// update path (value dissemination + lattice renewal, O(√k·D) worst case,
+// amortized O(D)), and the learned view is the node's stored good-lattice
+// view — good views are pairwise comparable (Lemma 2), which is exactly
+// the consistency requirement. Learned is local and free, like SSO scans.
+package gla
+
+import (
+	"fmt"
+
+	"mpsnap/internal/core"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sso"
+)
+
+// Value is one learned value with its proposer.
+type Value struct {
+	Proposer int
+	Seq      int // 1-based per-proposer proposal index (by tag order)
+	Payload  []byte
+}
+
+// Node is one generalized-lattice-agreement node.
+type Node struct {
+	rtm   rt.Runtime
+	inner *sso.Node
+}
+
+// New creates the node; register it as the node's message handler (it
+// implements rt.Handler).
+func New(r rt.Runtime) *Node {
+	return &Node{rtm: r, inner: sso.New(r)}
+}
+
+// HandleMessage implements rt.Handler.
+func (nd *Node) HandleMessage(src int, m rt.Message) { nd.inner.HandleMessage(src, m) }
+
+// Propose submits one input value. It returns once the value is reflected
+// in the node's learned view (and hence propagated to an equivalence
+// quorum).
+func (nd *Node) Propose(payload []byte) error {
+	return nd.inner.Update(payload)
+}
+
+// Learned returns the node's current output: every value it has learned,
+// in deterministic (proposer, sequence) order. It is purely local.
+func (nd *Node) Learned() []Value {
+	view := nd.inner.StoredView()
+	out := make([]Value, 0, view.Len())
+	seqs := make(map[int]int)
+	for _, v := range view { // views are sorted by (tag, writer)
+		seqs[v.TS.Writer]++
+		out = append(out, Value{Proposer: v.TS.Writer, Seq: seqs[v.TS.Writer], Payload: v.Payload})
+	}
+	return out
+}
+
+// LearnedView returns the raw view (used by tests asserting Lemma 2's
+// comparability across nodes).
+func (nd *Node) LearnedView() core.View { return nd.inner.StoredView() }
+
+func (nd *Node) String() string {
+	return fmt.Sprintf("gla.Node(node %d, learned %d values)", nd.rtm.ID(), nd.inner.StoredView().Len())
+}

@@ -1,0 +1,184 @@
+package gla_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpsnap/gla"
+	"mpsnap/internal/core"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sim"
+)
+
+// deploy builds a GLA cluster over the simulator.
+func deploy(n, f int, seed int64) (*sim.World, []*gla.Node) {
+	w := sim.New(sim.Config{N: n, F: f, Seed: seed})
+	nodes := make([]*gla.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = gla.New(w.Runtime(i))
+		w.SetHandler(i, nodes[i])
+	}
+	return w, nodes
+}
+
+func TestProposeAndLearn(t *testing.T) {
+	n := 5
+	w, nodes := deploy(n, 2, 1)
+	for i := 0; i < n; i++ {
+		i := i
+		w.GoNode(fmt.Sprintf("p%d", i), i, func(p *sim.Proc) {
+			for k := 1; k <= 3; k++ {
+				if err := nodes[i].Propose([]byte(fmt.Sprintf("x%d-%d", i, k))); err != nil {
+					t.Errorf("propose: %v", err)
+					return
+				}
+			}
+			// Quiesce, then everyone must have learned everything.
+			_ = p.Sleep(40 * rt.TicksPerD)
+			learned := nodes[i].Learned()
+			if len(learned) != 3*n {
+				t.Errorf("node %d learned %d values, want %d", i, len(learned), 3*n)
+				return
+			}
+			// Deterministic order and per-proposer sequences.
+			for j := 1; j < len(learned); j++ {
+				a, b := learned[j-1], learned[j]
+				if a.Proposer == b.Proposer && a.Seq >= b.Seq {
+					t.Errorf("per-proposer order violated: %+v then %+v", a, b)
+				}
+			}
+		})
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnProposalsAlwaysLearned(t *testing.T) {
+	// Validity, local side: after Propose returns, the proposal is in the
+	// node's learned view (no waiting).
+	w, nodes := deploy(4, 1, 3)
+	w.GoNode("p0", 0, func(p *sim.Proc) {
+		for k := 1; k <= 4; k++ {
+			payload := []byte(fmt.Sprintf("v%d", k))
+			if err := nodes[0].Propose(payload); err != nil {
+				t.Errorf("propose: %v", err)
+				return
+			}
+			found := false
+			for _, v := range nodes[0].Learned() {
+				if v.Proposer == 0 && string(v.Payload) == string(payload) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("proposal %d missing from own learned view", k)
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConsistencyAcrossNodesAndTime: learned views, sampled at arbitrary
+// times on arbitrary nodes, are pairwise comparable — generalized lattice
+// agreement's consistency, with crashes.
+func TestConsistencyAcrossNodesAndTime(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(3)
+		f := (n - 1) / 2
+		w, nodes := deploy(n, f, seed)
+		k := rng.Intn(f + 1)
+		for victim := 0; victim < k; victim++ {
+			w.CrashAt(victim, rt.Ticks(rng.Intn(20000)))
+		}
+		var samples []core.View
+		for i := 0; i < n; i++ {
+			i := i
+			w.GoNode(fmt.Sprintf("p%d", i), i, func(p *sim.Proc) {
+				rng := rand.New(rand.NewSource(seed*37 + int64(i)))
+				for k := 1; k <= 3; k++ {
+					if err := nodes[i].Propose([]byte(fmt.Sprintf("x%d-%d", i, k))); err != nil {
+						return
+					}
+					_ = p.Sleep(rt.Ticks(rng.Intn(3000)))
+				}
+			})
+		}
+		// A sampler polls random nodes' learned views over time.
+		w.Go("sampler", func(p *sim.Proc) {
+			for s := 0; s < 20; s++ {
+				node := rng.Intn(n)
+				samples = append(samples, nodes[node].LearnedView())
+				_ = p.Sleep(rt.Ticks(1500))
+			}
+		})
+		if err := w.Run(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for i := range samples {
+			for j := i + 1; j < len(samples); j++ {
+				if !samples[i].ComparableWith(samples[j]) {
+					t.Logf("seed %d: samples %d and %d incomparable", seed, i, j)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	w, nodes := deploy(4, 1, 9)
+	for i := 0; i < 4; i++ {
+		i := i
+		w.GoNode(fmt.Sprintf("p%d", i), i, func(p *sim.Proc) {
+			_ = nodes[i].Propose([]byte(fmt.Sprintf("a%d", i)))
+		})
+	}
+	w.Go("observer", func(p *sim.Proc) {
+		var prev core.View
+		for s := 0; s < 30; s++ {
+			cur := nodes[1].LearnedView()
+			if !prev.SubsetOf(cur) {
+				t.Errorf("learned view regressed at sample %d", s)
+				return
+			}
+			prev = cur
+			_ = p.Sleep(500)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidityOnlyProposedValues(t *testing.T) {
+	w, nodes := deploy(4, 1, 11)
+	proposed := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		i := i
+		v := fmt.Sprintf("only-%d", i)
+		proposed[v] = true
+		w.GoNode(fmt.Sprintf("p%d", i), i, func(p *sim.Proc) {
+			_ = nodes[i].Propose([]byte(v))
+			_ = p.Sleep(30 * rt.TicksPerD)
+			for _, l := range nodes[i].Learned() {
+				if !proposed[string(l.Payload)] {
+					t.Errorf("learned a never-proposed value %q", l.Payload)
+				}
+			}
+		})
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module mpsnap
+
+go 1.22

@@ -1,0 +1,231 @@
+// Package abd emulates single-writer multi-reader (SWMR) atomic registers
+// in a crash-prone asynchronous message-passing system, in the style of
+// Attiya–Bar-Noy–Dolev (reference [8] of the paper). It is the substrate
+// for the "stacking" baseline the paper's introduction argues against
+// (building an ASO by layering a shared-memory snapshot over emulated
+// registers), and the quorum store used by the Delporte-et-al.-style
+// direct baseline.
+//
+// Node i owns register i. Writes go to a majority and cost O(D); reads
+// query a majority and write the value back before returning (the ABD
+// read fix for atomicity).
+package abd
+
+import (
+	"encoding/gob"
+
+	"mpsnap/internal/rt"
+)
+
+// Entry is one register's state: the owner's value with its sequence
+// number. Seq 0 with nil Val is the initial ⊥.
+type Entry struct {
+	Owner int
+	Seq   int64
+	Val   []byte
+}
+
+// newer reports whether e supersedes o for the same register.
+func (e Entry) newer(o Entry) bool { return e.Seq > o.Seq }
+
+// MsgStore asks the receiver to adopt entries (used by writes and
+// write-backs).
+type MsgStore struct {
+	ReqID   int64
+	Entries []Entry
+}
+
+// Kind implements rt.Message.
+func (MsgStore) Kind() string { return "abdStore" }
+
+// MsgStoreAck acknowledges a MsgStore.
+type MsgStoreAck struct{ ReqID int64 }
+
+// Kind implements rt.Message.
+func (MsgStoreAck) Kind() string { return "abdStoreAck" }
+
+// MsgQuery asks for the receiver's register vector.
+type MsgQuery struct{ ReqID int64 }
+
+// Kind implements rt.Message.
+func (MsgQuery) Kind() string { return "abdQuery" }
+
+// MsgQueryAck returns the receiver's register vector.
+type MsgQueryAck struct {
+	ReqID   int64
+	Entries []Entry
+}
+
+// Kind implements rt.Message.
+func (MsgQueryAck) Kind() string { return "abdQueryAck" }
+
+func init() {
+	gob.Register(MsgStore{})
+	gob.Register(MsgStoreAck{})
+	gob.Register(MsgQuery{})
+	gob.Register(MsgQueryAck{})
+}
+
+type collectState struct {
+	count   int
+	entries []Entry
+}
+
+// Store is one node's view of the n emulated registers.
+type Store struct {
+	rt     rt.Runtime
+	id     int
+	n      int
+	quorum int
+
+	regs    []Entry
+	nextReq int64
+	acks    map[int64]int
+	queries map[int64]*collectState
+}
+
+// New creates the store; register it as the node's handler (or route
+// messages into HandleMessage from a multiplexing handler).
+func New(r rt.Runtime) *Store {
+	n := r.N()
+	s := &Store{
+		rt:      r,
+		id:      r.ID(),
+		n:       n,
+		quorum:  n - r.F(),
+		regs:    make([]Entry, n),
+		acks:    make(map[int64]int),
+		queries: make(map[int64]*collectState),
+	}
+	for i := range s.regs {
+		s.regs[i] = Entry{Owner: i}
+	}
+	return s
+}
+
+// HandleMessage implements rt.Handler. It returns normally for unknown
+// messages so it can back a multiplexing handler; use Handle to detect
+// consumption.
+func (s *Store) HandleMessage(src int, m rt.Message) { s.Handle(src, m) }
+
+// Handle processes a message and reports whether it was an abd message.
+func (s *Store) Handle(src int, m rt.Message) bool {
+	switch msg := m.(type) {
+	case MsgStore:
+		for _, e := range msg.Entries {
+			s.adopt(e)
+		}
+		s.rt.Send(src, MsgStoreAck{ReqID: msg.ReqID})
+	case MsgStoreAck:
+		if _, ok := s.acks[msg.ReqID]; ok {
+			s.acks[msg.ReqID]++
+		}
+	case MsgQuery:
+		s.rt.Send(src, MsgQueryAck{ReqID: msg.ReqID, Entries: append([]Entry(nil), s.regs...)})
+	case MsgQueryAck:
+		st, ok := s.queries[msg.ReqID]
+		if !ok {
+			return true
+		}
+		st.count++
+		for _, e := range msg.Entries {
+			s.adopt(e)
+			if e.newer(st.entries[e.Owner]) {
+				st.entries[e.Owner] = e
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+func (s *Store) adopt(e Entry) {
+	if e.Owner < 0 || e.Owner >= s.n {
+		return
+	}
+	if e.newer(s.regs[e.Owner]) {
+		s.regs[e.Owner] = e
+	}
+}
+
+// store pushes entries to a quorum.
+func (s *Store) store(entries []Entry) error {
+	var req int64
+	s.rt.Atomic(func() {
+		for _, e := range entries {
+			s.adopt(e)
+		}
+		s.nextReq++
+		req = s.nextReq
+		s.acks[req] = 0
+	})
+	s.rt.Broadcast(MsgStore{ReqID: req, Entries: entries})
+	return s.rt.WaitUntilThen("abd store quorum",
+		func() bool { return s.acks[req] >= s.quorum },
+		func() { delete(s.acks, req) })
+}
+
+// Write writes val into this node's own register (one quorum round, the
+// paper's O(D) update cost for [19]-style algorithms).
+func (s *Store) Write(val []byte) error {
+	if s.rt.Crashed() {
+		return rt.ErrCrashed
+	}
+	var e Entry
+	s.rt.Atomic(func() {
+		e = Entry{Owner: s.id, Seq: s.regs[s.id].Seq + 1, Val: val}
+	})
+	return s.store([]Entry{e})
+}
+
+// Collect queries a quorum and returns the per-register maxima. With
+// writeBack, the joined vector is pushed back to a quorum before
+// returning, which is what makes double collects atomic.
+func (s *Store) Collect(writeBack bool) ([]Entry, error) {
+	if s.rt.Crashed() {
+		return nil, rt.ErrCrashed
+	}
+	var req int64
+	var st *collectState
+	s.rt.Atomic(func() {
+		s.nextReq++
+		req = s.nextReq
+		st = &collectState{entries: make([]Entry, s.n)}
+		for i := range st.entries {
+			st.entries[i] = Entry{Owner: i}
+		}
+		s.queries[req] = st
+	})
+	s.rt.Broadcast(MsgQuery{ReqID: req})
+	var out []Entry
+	err := s.rt.WaitUntilThen("abd collect quorum",
+		func() bool { return st.count >= s.quorum },
+		func() {
+			out = append([]Entry(nil), st.entries...)
+			delete(s.queries, req)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if writeBack {
+		if err := s.store(out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Read atomically reads the register of owner: query a quorum, take the
+// freshest entry, write it back to a quorum, then return it.
+func (s *Store) Read(owner int) (Entry, error) {
+	entries, err := s.Collect(false)
+	if err != nil {
+		return Entry{}, err
+	}
+	e := entries[owner]
+	if err := s.store([]Entry{e}); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}

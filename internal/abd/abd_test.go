@@ -1,0 +1,157 @@
+package abd_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mpsnap/internal/abd"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sim"
+)
+
+func deploy(n, f int, seed int64) (*sim.World, []*abd.Store) {
+	w := sim.New(sim.Config{N: n, F: f, Seed: seed})
+	stores := make([]*abd.Store, n)
+	for i := 0; i < n; i++ {
+		stores[i] = abd.New(w.Runtime(i))
+		w.SetHandler(i, stores[i])
+	}
+	return w, stores
+}
+
+func TestWriteThenRead(t *testing.T) {
+	w, st := deploy(3, 1, 1)
+	w.GoNode("w0", 0, func(p *sim.Proc) {
+		if err := st[0].Write([]byte("a")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	w.GoNode("r1", 1, func(p *sim.Proc) {
+		_ = p.Sleep(10 * rt.TicksPerD)
+		e, err := st[1].Read(0)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		if string(e.Val) != "a" || e.Seq != 1 {
+			t.Errorf("read = %+v", e)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadYourCompletedWrites(t *testing.T) {
+	// Regularity/atomicity: once a write completes, every subsequent
+	// read (by anyone) returns it or something newer.
+	prop := func(seed int64) bool {
+		w, st := deploy(5, 2, seed)
+		// Plain shared variable: the simulation is single-threaded, and
+		// procs must never block on raw Go channels (that would bypass
+		// the scheduler's park protocol).
+		var completed int64
+		w.GoNode("writer", 0, func(p *sim.Proc) {
+			for k := 1; k <= 5; k++ {
+				if err := st[0].Write([]byte(fmt.Sprintf("v%d", k))); err != nil {
+					return
+				}
+				completed = int64(k)
+				_ = p.Sleep(rt.Ticks(seed%1000 + 100))
+			}
+		})
+		ok := true
+		w.GoNode("reader", 1, func(p *sim.Proc) {
+			for k := 0; k < 8; k++ {
+				floor := completed
+				e, err := st[1].Read(0)
+				if err != nil {
+					return
+				}
+				if e.Seq < floor {
+					ok = false
+					return
+				}
+				_ = p.Sleep(rt.Ticks(300))
+			}
+		})
+		if err := w.Run(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoStaleReadAfterRead(t *testing.T) {
+	// Atomicity (no new/old inversion): two sequential reads never go
+	// backwards, even while a write is in flight.
+	w, st := deploy(3, 1, 7)
+	w.GoNode("writer", 0, func(p *sim.Proc) {
+		for k := 1; k <= 10; k++ {
+			if err := st[0].Write([]byte(fmt.Sprintf("v%d", k))); err != nil {
+				return
+			}
+		}
+	})
+	w.GoNode("reader", 1, func(p *sim.Proc) {
+		var last int64
+		for k := 0; k < 20; k++ {
+			e, err := st[1].Read(0)
+			if err != nil {
+				return
+			}
+			if e.Seq < last {
+				t.Errorf("read regressed: %d after %d", e.Seq, last)
+				return
+			}
+			last = e.Seq
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectSeesCompletedWrites(t *testing.T) {
+	w, st := deploy(5, 2, 3)
+	w.GoNode("driver", 0, func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			if err := st[0].Write([]byte("x")); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}
+		entries, err := st[0].Collect(false)
+		if err != nil {
+			t.Errorf("collect: %v", err)
+			return
+		}
+		if entries[0].Seq != 3 {
+			t.Errorf("collect misses own completed writes: %+v", entries[0])
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToleratesFCrashes(t *testing.T) {
+	w, st := deploy(5, 2, 9)
+	w.CrashAt(3, 0)
+	w.CrashAt(4, 0)
+	w.GoNode("w0", 0, func(p *sim.Proc) {
+		if err := st[0].Write([]byte("a")); err != nil {
+			t.Errorf("write with f crashed: %v", err)
+		}
+		if _, err := st[0].Read(0); err != nil {
+			t.Errorf("read with f crashed: %v", err)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

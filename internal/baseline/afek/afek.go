@@ -1,0 +1,165 @@
+// Package afek implements the classic shared-memory snapshot algorithm of
+// Afek, Attiya, Dolev, Gafni, Merritt and Shavit (reference [2]): double
+// collect with embedded-view helping. An UPDATE first performs an internal
+// SCAN and stores its value together with the obtained view; a SCAN
+// returns when two successive collects coincide, or borrows the embedded
+// view of a writer it observed moving twice (that writer's embedded view
+// was obtained entirely within the scan's interval).
+//
+// The algorithm is parameterized by a Substrate so the repository can
+// instantiate it two ways:
+//
+//   - over a quorum store-collect (internal/baseline/storecollect), the
+//     shape of Attiya et al.'s store-collect snapshot (Table I row [12]);
+//   - over n emulated SWMR atomic registers read one at a time
+//     (internal/baseline/stacked), the "stacking" construction whose
+//     overhead the paper's introduction criticizes.
+package afek
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"mpsnap/internal/rt"
+)
+
+// Cell is one segment's stored state.
+type Cell struct {
+	Owner int
+	Seq   int64
+	Data  []byte // encoded cellContent; nil when never written
+}
+
+// Substrate is the storage layer the snapshot runs over.
+type Substrate interface {
+	// Store persists the caller's own cell.
+	Store(data []byte) error
+	// Collect returns the latest known cell of every node. It must
+	// reflect every Store that completed before Collect began.
+	Collect() ([]Cell, error)
+}
+
+type cellContent struct {
+	Val  []byte
+	View [][]byte
+}
+
+func encodeCell(c cellContent) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		panic("afek: encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeCell(b []byte) (cellContent, bool) {
+	var c cellContent
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c); err != nil {
+		return c, false
+	}
+	return c, true
+}
+
+// Stats counts operations and collect iterations.
+type Stats struct {
+	Updates  int64
+	Scans    int64
+	Collects int64
+	Borrows  int64
+}
+
+// Node is one snapshot node over a substrate.
+type Node struct {
+	rt    rt.Runtime
+	sub   Substrate
+	n     int
+	stats Stats
+}
+
+// New builds the snapshot over the substrate.
+func New(r rt.Runtime, sub Substrate) *Node {
+	return &Node{rt: r, sub: sub, n: r.N()}
+}
+
+// Stats returns a copy of the node's counters.
+func (nd *Node) Stats() Stats {
+	var s Stats
+	nd.rt.Atomic(func() { s = nd.stats })
+	return s
+}
+
+// Update performs the embedded scan and stores (value, view).
+func (nd *Node) Update(payload []byte) error {
+	nd.rt.Atomic(func() { nd.stats.Updates++ })
+	view, err := nd.scan()
+	if err != nil {
+		return err
+	}
+	return nd.sub.Store(encodeCell(cellContent{Val: payload, View: view}))
+}
+
+// Scan returns one entry per segment; nil marks ⊥.
+func (nd *Node) Scan() ([][]byte, error) {
+	nd.rt.Atomic(func() { nd.stats.Scans++ })
+	return nd.scan()
+}
+
+func (nd *Node) scan() ([][]byte, error) {
+	moved := make([]int, nd.n)
+	c1, err := nd.collect()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c2, err := nd.collect()
+		if err != nil {
+			return nil, err
+		}
+		if seqsEqual(c1, c2) {
+			return viewOf(c2), nil
+		}
+		for j := range c2 {
+			if c1[j].Seq != c2[j].Seq {
+				moved[j]++
+				if moved[j] >= 2 {
+					// Writer j completed an entire update inside
+					// this scan: its embedded view is current.
+					cc, ok := decodeCell(c2[j].Data)
+					if !ok {
+						break
+					}
+					nd.rt.Atomic(func() { nd.stats.Borrows++ })
+					return cc.View, nil
+				}
+			}
+		}
+		c1 = c2
+	}
+}
+
+func (nd *Node) collect() ([]Cell, error) {
+	nd.rt.Atomic(func() { nd.stats.Collects++ })
+	return nd.sub.Collect()
+}
+
+func seqsEqual(a, b []Cell) bool {
+	for i := range a {
+		if a[i].Seq != b[i].Seq {
+			return false
+		}
+	}
+	return true
+}
+
+// viewOf extracts the value vector from collected cells.
+func viewOf(cells []Cell) [][]byte {
+	out := make([][]byte, len(cells))
+	for i, c := range cells {
+		if c.Seq > 0 {
+			if cc, ok := decodeCell(c.Data); ok {
+				out[i] = cc.Val
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package afek
+
+import (
+	"testing"
+
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sim"
+)
+
+// scriptedSubstrate replays a fixed sequence of collect results.
+type scriptedSubstrate struct {
+	collects [][]Cell
+	idx      int
+	stored   [][]byte
+}
+
+func (s *scriptedSubstrate) Store(data []byte) error {
+	s.stored = append(s.stored, data)
+	return nil
+}
+
+func (s *scriptedSubstrate) Collect() ([]Cell, error) {
+	c := s.collects[s.idx]
+	if s.idx < len(s.collects)-1 {
+		s.idx++
+	}
+	return c, nil
+}
+
+func rtFor(t *testing.T, n int) rt.Runtime {
+	t.Helper()
+	w := sim.New(sim.Config{N: n, F: (n - 1) / 2, Seed: 1})
+	return w.Runtime(0)
+}
+
+func cellsOf(vals ...[]byte) []Cell {
+	out := make([]Cell, len(vals))
+	for i, v := range vals {
+		out[i] = Cell{Owner: i}
+		if v != nil {
+			out[i].Seq = 1
+			out[i].Data = v
+		}
+	}
+	return out
+}
+
+func TestScanStableDoubleCollect(t *testing.T) {
+	cell := encodeCell(cellContent{Val: []byte("a"), View: [][]byte{[]byte("a"), nil}})
+	stable := []Cell{{Owner: 0, Seq: 1, Data: cell}, {Owner: 1}}
+	sub := &scriptedSubstrate{collects: [][]Cell{stable, stable}}
+	nd := New(rtFor(t, 2), sub)
+	snap, err := nd.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap[0]) != "a" || snap[1] != nil {
+		t.Fatalf("snap = %q", snap)
+	}
+	if st := nd.Stats(); st.Collects != 2 || st.Borrows != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestScanBorrowsFromDoubleMover: writer 1 moves in every collect; after
+// its second movement the scan must return writer 1's embedded view
+// rather than keep collecting.
+func TestScanBorrowsFromDoubleMover(t *testing.T) {
+	mk := func(seq int64, val string, view [][]byte) Cell {
+		return Cell{Owner: 1, Seq: seq, Data: encodeCell(cellContent{Val: []byte(val), View: view})}
+	}
+	embedded := [][]byte{[]byte("x"), []byte("v3")}
+	c1 := []Cell{{Owner: 0}, mk(1, "v1", nil)}
+	c2 := []Cell{{Owner: 0}, mk(2, "v2", [][]byte{nil, []byte("v1")})}
+	c3 := []Cell{{Owner: 0}, mk(3, "v3", embedded)}
+	sub := &scriptedSubstrate{collects: [][]Cell{c1, c2, c3}}
+	nd := New(rtFor(t, 2), sub)
+	snap, err := nd.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap[0]) != "x" || string(snap[1]) != "v3" {
+		t.Fatalf("borrowed view expected, got %q", snap)
+	}
+	if st := nd.Stats(); st.Borrows != 1 || st.Collects != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestUpdateEmbedsScan: the stored cell contains the view obtained by the
+// update's internal scan.
+func TestUpdateEmbedsScan(t *testing.T) {
+	other := encodeCell(cellContent{Val: []byte("o"), View: nil})
+	stable := []Cell{{Owner: 0}, {Owner: 1, Seq: 4, Data: other}}
+	sub := &scriptedSubstrate{collects: [][]Cell{stable, stable}}
+	nd := New(rtFor(t, 2), sub)
+	if err := nd.Update([]byte("mine")); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.stored) != 1 {
+		t.Fatalf("stored %d cells", len(sub.stored))
+	}
+	cc, ok := decodeCell(sub.stored[0])
+	if !ok || string(cc.Val) != "mine" {
+		t.Fatalf("cell: %+v ok=%v", cc, ok)
+	}
+	if len(cc.View) != 2 || string(cc.View[1]) != "o" {
+		t.Fatalf("embedded view: %q", cc.View)
+	}
+}
+
+func TestDecodeCellGarbage(t *testing.T) {
+	if _, ok := decodeCell([]byte("not gob")); ok {
+		t.Fatal("garbage must not decode")
+	}
+	if _, ok := decodeCell(nil); ok {
+		t.Fatal("nil must not decode")
+	}
+}
+
+func TestViewOfSkipsUnwritten(t *testing.T) {
+	cells := cellsOf(nil, encodeCell(cellContent{Val: []byte("b")}))
+	got := viewOf(cells)
+	if got[0] != nil || string(got[1]) != "b" {
+		t.Fatalf("viewOf = %q", got)
+	}
+}

@@ -1,0 +1,98 @@
+// Package delporte implements the Table I baseline in the style of
+// Delporte-Gallet, Fauconnier, Rajsbaum and Raynal (reference [19]): the
+// first direct message-passing ASO, with O(D) UPDATE and O(n·D) SCAN.
+//
+//   - UPDATE is a single quorum store of the writer's new value.
+//   - SCAN is the double-collect loop: collect-with-write-back twice; if
+//     the two vectors coincide, the vector existed instantaneously and can
+//     be returned. Each failed iteration is caused by a concurrent update,
+//     which is what yields the O(n·D) shape on bounded workloads.
+//
+// Fidelity note (DESIGN.md): [19]'s helping mechanism for scans running
+// concurrently with unboundedly many updates is omitted; under the
+// bounded workloads of the benchmarks the double-collect loop terminates
+// and exhibits the row's complexity shape.
+package delporte
+
+import (
+	"mpsnap/internal/abd"
+	"mpsnap/internal/rt"
+)
+
+// Stats counts operations and collect iterations.
+type Stats struct {
+	Updates  int64
+	Scans    int64
+	Collects int64
+}
+
+// Node is one baseline-ASO node.
+type Node struct {
+	rt    rt.Runtime
+	store *abd.Store
+	stats Stats
+}
+
+// New creates the node; register it as the node's message handler.
+func New(r rt.Runtime) *Node {
+	return &Node{rt: r, store: abd.New(r)}
+}
+
+// HandleMessage implements rt.Handler.
+func (nd *Node) HandleMessage(src int, m rt.Message) { nd.store.HandleMessage(src, m) }
+
+// Stats returns a copy of the node's counters.
+func (nd *Node) Stats() Stats {
+	var s Stats
+	nd.rt.Atomic(func() { s = nd.stats })
+	return s
+}
+
+// Update writes payload to the caller's segment in one quorum round.
+func (nd *Node) Update(payload []byte) error {
+	nd.rt.Atomic(func() { nd.stats.Updates++ })
+	return nd.store.Write(payload)
+}
+
+// Scan double-collects until two successive collect-with-write-back
+// vectors coincide.
+func (nd *Node) Scan() ([][]byte, error) {
+	nd.rt.Atomic(func() { nd.stats.Scans++ })
+	prev, err := nd.collect()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		cur, err := nd.collect()
+		if err != nil {
+			return nil, err
+		}
+		if vectorsEqual(prev, cur) {
+			out := make([][]byte, len(cur))
+			for i, e := range cur {
+				if e.Seq > 0 {
+					out[i] = e.Val
+				}
+			}
+			return out, nil
+		}
+		prev = cur
+	}
+}
+
+func (nd *Node) collect() ([]abd.Entry, error) {
+	nd.rt.Atomic(func() { nd.stats.Collects++ })
+	return nd.store.Collect(true)
+}
+
+func vectorsEqual(a, b []abd.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+// Package stacked is the "stacking" construction the paper's introduction
+// argues against (Section I): emulate n SWMR atomic registers with ABD
+// quorum protocols, then run a shared-memory snapshot algorithm on top,
+// reading the registers one at a time. Every collect costs n sequential
+// atomic reads (each two quorum rounds), so SCAN costs O(n²·D) wall time
+// and UPDATE (which embeds a scan) likewise — the overhead that motivates
+// direct message-passing implementations like EQ-ASO.
+package stacked
+
+import (
+	"mpsnap/internal/abd"
+	"mpsnap/internal/baseline/afek"
+	"mpsnap/internal/rt"
+)
+
+// Node is one stacked-snapshot node.
+type Node struct {
+	*afek.Node
+	store *abd.Store
+}
+
+type substrate struct {
+	store *abd.Store
+	n     int
+}
+
+func (s substrate) Store(data []byte) error { return s.store.Write(data) }
+
+// Collect reads the n registers one atomic Read at a time — the stacking
+// tax.
+func (s substrate) Collect() ([]afek.Cell, error) {
+	cells := make([]afek.Cell, s.n)
+	for owner := 0; owner < s.n; owner++ {
+		e, err := s.store.Read(owner)
+		if err != nil {
+			return nil, err
+		}
+		cells[owner] = afek.Cell{Owner: owner, Seq: e.Seq, Data: e.Val}
+	}
+	return cells, nil
+}
+
+// New creates the node; register it as the node's message handler.
+func New(r rt.Runtime) *Node {
+	st := abd.New(r)
+	return &Node{Node: afek.New(r, substrate{store: st, n: r.N()}), store: st}
+}
+
+// HandleMessage implements rt.Handler.
+func (nd *Node) HandleMessage(src int, m rt.Message) { nd.store.HandleMessage(src, m) }

@@ -1,0 +1,46 @@
+// Package storecollect is the Table I baseline in the style of Attiya,
+// Kumari, Soman and Welch (reference [12]): a snapshot built from a
+// quorum store-collect object, with O(n·D) UPDATE and O(n·D) SCAN. The
+// snapshot layer is the Afek-style double collect with embedded-view
+// helping (internal/baseline/afek); the substrate stores a node's cell in
+// one quorum round and collects with a join-and-write-back quorum round
+// pair (the write-back is what makes double collects atomic; see
+// DESIGN.md).
+package storecollect
+
+import (
+	"mpsnap/internal/abd"
+	"mpsnap/internal/baseline/afek"
+	"mpsnap/internal/rt"
+)
+
+// Node is one store-collect snapshot node.
+type Node struct {
+	*afek.Node
+	store *abd.Store
+}
+
+type substrate struct{ store *abd.Store }
+
+func (s substrate) Store(data []byte) error { return s.store.Write(data) }
+
+func (s substrate) Collect() ([]afek.Cell, error) {
+	entries, err := s.store.Collect(true)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]afek.Cell, len(entries))
+	for i, e := range entries {
+		cells[i] = afek.Cell{Owner: e.Owner, Seq: e.Seq, Data: e.Val}
+	}
+	return cells, nil
+}
+
+// New creates the node; register it as the node's message handler.
+func New(r rt.Runtime) *Node {
+	st := abd.New(r)
+	return &Node{Node: afek.New(r, substrate{store: st}), store: st}
+}
+
+// HandleMessage implements rt.Handler.
+func (nd *Node) HandleMessage(src int, m rt.Message) { nd.store.HandleMessage(src, m) }

@@ -1,0 +1,56 @@
+package byzaso
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"mpsnap/internal/core"
+)
+
+// Inner payload codec for the RBC layer. Two payload kinds exist: values
+// (an UPDATE's value–timestamp pair) and tag announcements.
+
+const (
+	payloadValue byte = 1
+	payloadTag   byte = 2
+)
+
+var errBadPayload = errors.New("byzaso: malformed rbc payload")
+
+func encodeValue(v core.Value) []byte {
+	buf := make([]byte, 1+8+4+len(v.Payload))
+	buf[0] = payloadValue
+	binary.BigEndian.PutUint64(buf[1:], uint64(v.TS.Tag))
+	binary.BigEndian.PutUint32(buf[9:], uint32(v.TS.Writer))
+	copy(buf[13:], v.Payload)
+	return buf
+}
+
+func encodeTag(t core.Tag) []byte {
+	buf := make([]byte, 1+8)
+	buf[0] = payloadTag
+	binary.BigEndian.PutUint64(buf[1:], uint64(t))
+	return buf
+}
+
+func decodePayload(b []byte) (kind byte, v core.Value, t core.Tag, err error) {
+	if len(b) < 1 {
+		return 0, v, 0, errBadPayload
+	}
+	switch b[0] {
+	case payloadValue:
+		if len(b) < 13 {
+			return 0, v, 0, errBadPayload
+		}
+		v.TS.Tag = core.Tag(binary.BigEndian.Uint64(b[1:]))
+		v.TS.Writer = int(int32(binary.BigEndian.Uint32(b[9:])))
+		v.Payload = append([]byte(nil), b[13:]...)
+		return payloadValue, v, 0, nil
+	case payloadTag:
+		if len(b) < 9 {
+			return 0, v, 0, errBadPayload
+		}
+		return payloadTag, v, core.Tag(binary.BigEndian.Uint64(b[1:])), nil
+	}
+	return 0, v, 0, errBadPayload
+}

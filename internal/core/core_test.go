@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func ts(tag Tag, w int) Timestamp { return Timestamp{Tag: tag, Writer: w} }
+
+func val(tag Tag, w int) Value {
+	return Value{TS: ts(tag, w), Payload: []byte(fmt.Sprintf("v%d-%d", w, tag))}
+}
+
+func TestTimestampOrder(t *testing.T) {
+	if !ts(1, 2).Less(ts(2, 1)) {
+		t.Fatal("tag dominates")
+	}
+	if !ts(1, 1).Less(ts(1, 2)) {
+		t.Fatal("writer breaks ties")
+	}
+	if ts(1, 1).Less(ts(1, 1)) {
+		t.Fatal("irreflexive")
+	}
+}
+
+func TestValueSetBasics(t *testing.T) {
+	s := NewValueSet()
+	if !s.Add(val(1, 0)) || s.Add(val(1, 0)) {
+		t.Fatal("Add should report newness exactly once")
+	}
+	s.Add(val(2, 1))
+	s.Add(val(5, 0))
+	if s.Len() != 3 || !s.Has(ts(2, 1)) || s.Has(ts(3, 3)) {
+		t.Fatal("membership")
+	}
+	if got := s.CountLE(2); got != 2 {
+		t.Fatalf("CountLE(2) = %d", got)
+	}
+	v := s.ViewLE(2)
+	if got := v.Timestamps(); !reflect.DeepEqual(got, []Timestamp{ts(1, 0), ts(2, 1)}) {
+		t.Fatalf("ViewLE(2) = %v", got)
+	}
+	all := s.AllView()
+	if all.Len() != 3 || !v.SubsetOf(all) {
+		t.Fatal("AllView / SubsetOf")
+	}
+}
+
+func TestViewSubsetAndComparable(t *testing.T) {
+	a := View{val(1, 0), val(2, 1)}
+	b := View{val(1, 0), val(2, 1), val(3, 2)}
+	c := View{val(1, 0), val(4, 3)}
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Fatal("subset")
+	}
+	if !a.ComparableWith(b) || !b.ComparableWith(a) {
+		t.Fatal("comparable")
+	}
+	if a.ComparableWith(c) {
+		t.Fatal("a and c are incomparable")
+	}
+	if !a.Contains(ts(2, 1)) || a.Contains(ts(3, 2)) {
+		t.Fatal("contains")
+	}
+}
+
+func TestExtract(t *testing.T) {
+	v := View{val(1, 0), val(3, 0), val(2, 1)}
+	snap := v.Extract(3)
+	if string(snap[0]) != "v0-3" {
+		t.Fatalf("segment 0 should hold writer 0's largest-tag value, got %q", snap[0])
+	}
+	if string(snap[1]) != "v1-2" {
+		t.Fatalf("segment 1 = %q", snap[1])
+	}
+	if snap[2] != nil {
+		t.Fatalf("segment 2 should be ⊥ (nil), got %q", snap[2])
+	}
+	// Out-of-range writers are ignored defensively.
+	bad := View{Value{TS: ts(1, 9), Payload: []byte("x")}}
+	if got := bad.Extract(2); got[0] != nil || got[1] != nil {
+		t.Fatalf("out-of-range writer leaked: %v", got)
+	}
+}
+
+func TestEQPredicate(t *testing.T) {
+	// n = 3, quorum 2: the worked example from Section III-C.
+	V := []*ValueSet{NewValueSet(), NewValueSet(), NewValueSet()}
+	u, v := val(1, 0), val(1, 2)
+	// V1[1] = {u,v}, V1[2] = {}, V1[3] = {u,v} (paper's 1-indexed nodes).
+	V[0].Add(u)
+	V[0].Add(v)
+	V[2].Add(u)
+	V[2].Add(v)
+	ok, view := EQ(V, 0, 2, MaxTag)
+	if !ok {
+		t.Fatal("EQ(V1,1) should hold: {1,3} is an equivalence quorum")
+	}
+	if got := view.Timestamps(); !reflect.DeepEqual(got, []Timestamp{u.TS, v.TS}) {
+		t.Fatalf("equivalence set = %v, want {u,v}", got)
+	}
+	// Remove node 3's copy of v: no quorum of 2 now matches node 1.
+	V2 := []*ValueSet{NewValueSet(), NewValueSet(), NewValueSet()}
+	V2[0].Add(u)
+	V2[0].Add(v)
+	V2[2].Add(u)
+	if ok, _ := EQ(V2, 0, 2, MaxTag); ok {
+		t.Fatal("EQ should fail without a matching quorum")
+	}
+	// Tag bound: values above r are invisible to the predicate.
+	V3 := []*ValueSet{NewValueSet(), NewValueSet(), NewValueSet()}
+	V3[0].Add(val(5, 1))
+	if ok, view := EQ(V3, 0, 2, 4); !ok || view.Len() != 0 {
+		t.Fatal("EQ with bound 4 should hold with the empty equivalence set")
+	}
+}
+
+// TestEQTrackerMatchesEQ: under random insert sequences, the incremental
+// tracker agrees with the from-scratch predicate at every step.
+func TestEQTrackerMatchesEQ(t *testing.T) {
+	prop := func(seed int64, rRaw uint8, startAfter uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		quorum := n - rng.Intn(n/2+1)
+		self := rng.Intn(n)
+		r := Tag(rRaw%8) + 1
+		V := make([]*ValueSet, n)
+		for i := range V {
+			V[i] = NewValueSet()
+		}
+		var tracker *EQTracker
+		start := int(startAfter % 20)
+		for step := 0; step < 60; step++ {
+			if step == start {
+				tracker = NewEQTracker(V, self, r, quorum)
+			}
+			j := rng.Intn(n)
+			v := val(Tag(rng.Intn(10)+1), rng.Intn(n))
+			newToJ := V[j].Add(v)
+			newToSelf := newToJ
+			if j != self {
+				newToSelf = V[self].Add(v)
+			}
+			if tracker != nil {
+				tracker.OnAdd(j, v, newToJ, newToSelf)
+				want, _ := EQ(V, self, quorum, r)
+				if tracker.Satisfied() != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubsetInvariant: mimicking the handler discipline (every value added
+// to V[j] is added to V[self]), V[j] ⊆ V[self] always holds, which is what
+// justifies EQ's cardinality comparison.
+func TestSubsetInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3
+		self := 0
+		V := make([]*ValueSet, n)
+		for i := range V {
+			V[i] = NewValueSet()
+		}
+		for step := 0; step < 50; step++ {
+			j := rng.Intn(n)
+			v := val(Tag(rng.Intn(6)+1), rng.Intn(n))
+			V[j].Add(v)
+			if j != self {
+				V[self].Add(v)
+			}
+		}
+		for j := 1; j < n; j++ {
+			if !V[j].AllView().SubsetOf(V[self].AllView()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewComparabilityOfPrefixes: views formed as prefixes of a common
+// stream (what FIFO channels deliver) are always comparable (Observation 1).
+func TestViewComparabilityOfPrefixes(t *testing.T) {
+	prop := func(seed int64, cut1, cut2 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stream := make([]Value, 30)
+		for i := range stream {
+			stream[i] = val(Tag(i+1), rng.Intn(4))
+		}
+		a, b := NewValueSet(), NewValueSet()
+		for i := 0; i < int(cut1%31); i++ {
+			a.Add(stream[i])
+		}
+		for i := 0; i < int(cut2%31); i++ {
+			b.Add(stream[i])
+		}
+		return a.AllView().ComparableWith(b.AllView())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// MaxTag is a tag larger than any real tag; passing it as a bound means
+// "no tag restriction" (the one-shot case of Section III-C).
+const MaxTag Tag = math.MaxInt64
+
+// ValueSet is a mutable set of values keyed by timestamp. V_i[j] in the
+// paper is a ValueSet: the values node i has received from node j.
+type ValueSet struct {
+	m map[Timestamp][]byte
+}
+
+// NewValueSet returns an empty set.
+func NewValueSet() *ValueSet { return &ValueSet{m: make(map[Timestamp][]byte)} }
+
+// Add inserts v and reports whether it was new.
+func (s *ValueSet) Add(v Value) bool {
+	if _, ok := s.m[v.TS]; ok {
+		return false
+	}
+	s.m[v.TS] = v.Payload
+	return true
+}
+
+// Has reports membership by timestamp.
+func (s *ValueSet) Has(ts Timestamp) bool {
+	_, ok := s.m[ts]
+	return ok
+}
+
+// Get returns the payload stored under ts.
+func (s *ValueSet) Get(ts Timestamp) ([]byte, bool) {
+	p, ok := s.m[ts]
+	return p, ok
+}
+
+// Len returns the set size.
+func (s *ValueSet) Len() int { return len(s.m) }
+
+// CountLE counts values with tag ≤ r.
+func (s *ValueSet) CountLE(r Tag) int {
+	c := 0
+	for ts := range s.m {
+		if ts.Tag <= r {
+			c++
+		}
+	}
+	return c
+}
+
+// ViewLE returns an immutable snapshot of the values with tag ≤ r,
+// sorted by timestamp. This realizes V[j]^{≤r}.
+func (s *ValueSet) ViewLE(r Tag) View {
+	out := make(View, 0, len(s.m))
+	for ts, p := range s.m {
+		if ts.Tag <= r {
+			out = append(out, Value{TS: ts, Payload: p})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TS.Less(out[j].TS) })
+	return out
+}
+
+// AllView returns a snapshot of the whole set.
+func (s *ValueSet) AllView() View { return s.ViewLE(MaxTag) }
+
+// EQ evaluates the predicate EQ(V^{≤r}, self) of Definition 6 from scratch:
+// true iff at least quorum nodes j have V[j]^{≤r} = V[self]^{≤r}. Because
+// every value received from any j is also added to V[self] (line 40 of
+// Algorithm 1), V[j] ⊆ V[self] holds as an invariant maintained by the
+// algorithms, so set equality reduces to cardinality equality.
+func EQ(V []*ValueSet, self, quorum int, r Tag) (bool, View) {
+	target := V[self].CountLE(r)
+	matches := 0
+	for _, vs := range V {
+		if vs.CountLE(r) == target {
+			matches++
+		}
+	}
+	if matches >= quorum {
+		return true, V[self].ViewLE(r)
+	}
+	return false, nil
+}
+
+// EQTracker tracks the EQ(V^{≤r}, self) predicate incrementally during one
+// lattice operation, so each incoming value costs O(1) and each predicate
+// evaluation costs O(n) instead of rescanning every set.
+type EQTracker struct {
+	R       Tag
+	self    int
+	quorum  int
+	cntSelf int
+	cnt     []int
+}
+
+// NewEQTracker scans the current sets once and returns a tracker for
+// EQ(V^{≤r}, self) with the given quorum size (n-f).
+func NewEQTracker(V []*ValueSet, self int, r Tag, quorum int) *EQTracker {
+	t := &EQTracker{R: r, self: self, quorum: quorum, cnt: make([]int, len(V))}
+	t.cntSelf = V[self].CountLE(r)
+	for j, vs := range V {
+		t.cnt[j] = vs.CountLE(r)
+	}
+	return t
+}
+
+// OnAdd must be called after the handler inserts value v into V[j] (and
+// V[self]); newToJ/newToSelf report whether each insertion was new.
+func (t *EQTracker) OnAdd(j int, v Value, newToJ, newToSelf bool) {
+	if v.TS.Tag > t.R {
+		return
+	}
+	if newToJ {
+		t.cnt[j]++
+	}
+	if j == t.self {
+		if newToJ {
+			t.cntSelf++
+		}
+		return
+	}
+	if newToSelf {
+		t.cnt[t.self]++
+		t.cntSelf++
+	}
+}
+
+// Satisfied reports whether the equivalence quorum exists.
+func (t *EQTracker) Satisfied() bool {
+	matches := 0
+	for _, c := range t.cnt {
+		if c == t.cntSelf {
+			matches++
+		}
+	}
+	return matches >= t.quorum
+}

@@ -1,0 +1,113 @@
+package eqaso
+
+import (
+	"testing"
+
+	"mpsnap/internal/core"
+	"mpsnap/internal/sim"
+)
+
+// newTestNode builds a node over a throwaway world (white-box tests only
+// poke at its local state).
+func newTestNode(t *testing.T) *Node {
+	t.Helper()
+	w := sim.New(sim.Config{N: 3, F: 1, Seed: 1})
+	return New(w.Runtime(0))
+}
+
+func view(tags ...core.Tag) core.View {
+	out := make(core.View, 0, len(tags))
+	for _, tg := range tags {
+		out = append(out, core.Value{TS: core.Timestamp{Tag: tg, Writer: 0}, Payload: []byte("x")})
+	}
+	return out
+}
+
+func TestBestViewAtLeast(t *testing.T) {
+	nd := newTestNode(t)
+	if _, _, ok := nd.bestViewAtLeast(1); ok {
+		t.Fatal("empty node must have no view")
+	}
+	nd.ownGood[3] = view(1, 2, 3)
+	nd.addBorrow(5, 2, view(1, 2, 3, 4, 5))
+	nd.addBorrow(5, 1, view(1, 2, 3, 4))
+
+	tag, v, ok := nd.bestViewAtLeast(1)
+	if !ok || tag != 3 || v.Len() != 3 {
+		t.Fatalf("want own view at tag 3, got tag=%d len=%d ok=%v", tag, v.Len(), ok)
+	}
+	tag, v, ok = nd.bestViewAtLeast(4)
+	if !ok || tag != 5 {
+		t.Fatalf("want borrowed view at tag 5, got tag=%d ok=%v", tag, ok)
+	}
+	// Deterministic sender choice: smallest node id (1) wins.
+	if v.Len() != 4 {
+		t.Fatalf("want node 1's view (len 4), got len %d", v.Len())
+	}
+	if _, _, ok := nd.bestViewAtLeast(6); ok {
+		t.Fatal("no view with tag ≥ 6 exists")
+	}
+}
+
+func TestPruneBelowKeepsLargest(t *testing.T) {
+	nd := newTestNode(t)
+	nd.ownGood[1] = view(1)
+	nd.ownGood[2] = view(1, 2)
+	nd.addBorrow(3, 1, view(1, 2, 3))
+	nd.pruneBelow(10) // would remove everything — must keep the largest
+	if len(nd.ownGood) != 0 {
+		t.Fatalf("ownGood should be pruned, have %d", len(nd.ownGood))
+	}
+	if _, ok := nd.borrow[3]; !ok {
+		t.Fatal("largest view (tag 3) must be retained")
+	}
+	nd2 := newTestNode(t)
+	nd2.ownGood[1] = view(1)
+	nd2.ownGood[4] = view(1, 2, 3, 4)
+	nd2.addBorrow(2, 2, view(1, 2))
+	nd2.pruneBelow(3)
+	if _, ok := nd2.ownGood[1]; ok {
+		t.Fatal("tag 1 must be pruned")
+	}
+	if _, ok := nd2.borrow[2]; ok {
+		t.Fatal("borrowed tag 2 must be pruned")
+	}
+	if _, ok := nd2.ownGood[4]; !ok {
+		t.Fatal("tag 4 must survive")
+	}
+}
+
+func TestAddBorrowOverwritesPerSender(t *testing.T) {
+	nd := newTestNode(t)
+	nd.addBorrow(1, 2, view(1))
+	nd.addBorrow(1, 2, view(1, 2))
+	if got := nd.borrow[1][2].Len(); got != 2 {
+		t.Fatalf("latest borrow should win, len=%d", got)
+	}
+	nd.addBorrow(1, 0, view(1, 2, 3))
+	if len(nd.borrow[1]) != 2 {
+		t.Fatalf("two senders expected, got %d", len(nd.borrow[1]))
+	}
+}
+
+func TestSortedTags(t *testing.T) {
+	m := map[core.Tag]core.View{5: nil, 1: nil, 3: nil}
+	got := sortedTags(m)
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("sortedTags = %v", got)
+	}
+}
+
+func TestMessageKinds(t *testing.T) {
+	kinds := map[string]bool{}
+	for _, k := range []string{
+		MsgValue{}.Kind(), MsgReadTag{}.Kind(), MsgReadAck{}.Kind(),
+		MsgWriteTag{}.Kind(), MsgWriteAck{}.Kind(), MsgEchoTag{}.Kind(),
+		MsgGoodLA{}.Kind(), MsgBorrowReq{}.Kind(), MsgGoodView{}.Kind(),
+	} {
+		if kinds[k] {
+			t.Fatalf("duplicate message kind %q", k)
+		}
+		kinds[k] = true
+	}
+}

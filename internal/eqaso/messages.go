@@ -1,0 +1,93 @@
+package eqaso
+
+import (
+	"encoding/gob"
+
+	"mpsnap/internal/core"
+)
+
+// Message types of Algorithm 1 plus two liveness-hardening messages
+// ("borrowReq"/"goodView", see the package comment in node.go).
+
+// MsgValue carries a written or forwarded value ("value", ⟨v, ts⟩).
+type MsgValue struct{ Val core.Value }
+
+// Kind implements rt.Message.
+func (MsgValue) Kind() string { return "value" }
+
+// MsgReadTag requests the receiver's maxTag ("readTag").
+type MsgReadTag struct{ ReqID int64 }
+
+// Kind implements rt.Message.
+func (MsgReadTag) Kind() string { return "readTag" }
+
+// MsgReadAck answers a MsgReadTag with the responder's maxTag ("readAck").
+type MsgReadAck struct {
+	ReqID int64
+	Tag   core.Tag
+}
+
+// Kind implements rt.Message.
+func (MsgReadAck) Kind() string { return "readAck" }
+
+// MsgWriteTag writes a tag to the receiver ("writeTag").
+type MsgWriteTag struct {
+	ReqID int64
+	Tag   core.Tag
+}
+
+// Kind implements rt.Message.
+func (MsgWriteTag) Kind() string { return "writeTag" }
+
+// MsgWriteAck acknowledges a MsgWriteTag ("writeAck").
+type MsgWriteAck struct {
+	ReqID int64
+	Tag   core.Tag
+}
+
+// Kind implements rt.Message.
+func (MsgWriteAck) Kind() string { return "writeAck" }
+
+// MsgEchoTag propagates a newly adopted maxTag ("echoTag").
+type MsgEchoTag struct{ Tag core.Tag }
+
+// Kind implements rt.Message.
+func (MsgEchoTag) Kind() string { return "echoTag" }
+
+// MsgGoodLA announces that the sender completed a good lattice operation
+// with the given tag ("goodLA"); by FIFO, the receiver's V[sender]
+// restricted to the tag equals the sender's equivalence set.
+type MsgGoodLA struct{ Tag core.Tag }
+
+// Kind implements rt.Message.
+func (MsgGoodLA) Kind() string { return "goodLA" }
+
+// MsgBorrowReq asks peers for any good view with tag ≥ Tag. It is sent
+// when a LatticeRenewal enters its borrow phase, so that an indirect view
+// can be obtained even if the original goodLA broadcast was cut short by a
+// crash.
+type MsgBorrowReq struct{ Tag core.Tag }
+
+// Kind implements rt.Message.
+func (MsgBorrowReq) Kind() string { return "borrowReq" }
+
+// MsgGoodView answers a MsgBorrowReq with an explicit good view.
+type MsgGoodView struct {
+	Tag  core.Tag
+	View core.View
+}
+
+// Kind implements rt.Message.
+func (MsgGoodView) Kind() string { return "goodView" }
+
+func init() {
+	gob.Register(MsgValue{})
+	gob.Register(MsgReadTag{})
+	gob.Register(MsgReadAck{})
+	gob.Register(MsgWriteTag{})
+	gob.Register(MsgWriteAck{})
+	gob.Register(MsgEchoTag{})
+	gob.Register(MsgGoodLA{})
+	gob.Register(MsgBorrowReq{})
+	gob.Register(MsgGoodView{})
+}

@@ -1,0 +1,283 @@
+// Package eqaso implements EQ-ASO (Algorithm 1 of the paper): the
+// crash-tolerant atomic snapshot object based on equivalence quorums, with
+// O(√k·D) worst-case and amortized O(D) time for UPDATE and SCAN given
+// n > 2f.
+//
+// Two deliberate deviations from the pseudocode, both required for
+// liveness and documented in DESIGN.md:
+//
+//  1. The "writeTag" handler acknowledges every request; only the maxTag
+//     adoption and the "echoTag" broadcast are guarded by tag > maxTag.
+//     (Acknowledging only larger tags would block a writeTag quorum wait
+//     forever once the tag is stale.)
+//
+//  2. The borrow phase (line 29) accepts a good view with any tag ≥ r and
+//     additionally broadcasts a "borrowReq", answered by peers with an
+//     explicit "goodView". This keeps LatticeRenewal live even when the
+//     original goodLA broadcast was truncated by the sender's crash. Any
+//     good view with tag ≥ r preserves conditions (A1)-(A4): good views
+//     are pairwise comparable (Lemma 2), and larger views only grow bases.
+package eqaso
+
+import (
+	"sort"
+
+	"mpsnap/internal/core"
+	"mpsnap/internal/rt"
+)
+
+// Stats counts a node's operations and lattice activity.
+type Stats struct {
+	Updates       int64
+	Scans         int64
+	LatticeOps    int64
+	DirectViews   int64
+	IndirectViews int64
+}
+
+type readState struct {
+	count int
+	max   core.Tag
+}
+
+// Node is one EQ-ASO node: the server-thread state of Algorithm 1 plus the
+// client-thread operations Update and Scan. Install it as the node's
+// message handler and invoke operations from the node's client thread.
+type Node struct {
+	rt     rt.Runtime
+	id     int
+	n      int
+	quorum int // n - f
+
+	// Algorithm 1 local variables.
+	V         []*core.ValueSet               // V[j]: values received from j
+	maxTag    core.Tag                       // largest tag seen via writeTag/echoTag
+	borrow    map[core.Tag]map[int]core.View // D, kept per (tag, sender)
+	ownGood   map[core.Tag]core.View         // this node's good-lattice views
+	forwarded map[core.Timestamp]bool        // values already sent to all
+
+	// In-flight quorum calls and the active EQ wait.
+	nextReq   int64
+	readAcks  map[int64]*readState
+	writeAcks map[int64]int
+	wait      *core.EQTracker
+
+	stats Stats
+
+	// OnGoodLattice, if set, observes every good lattice operation
+	// completed by this node (used by invariant-checking tests and by
+	// the SSO's passive view adoption).
+	OnGoodLattice func(tag core.Tag, view core.View)
+	// OnGoodLAView, if set, observes every good view learned from a peer
+	// ("goodLA" FIFO-derived views and explicit "goodView" replies).
+	OnGoodLAView func(tag core.Tag, from int, view core.View)
+}
+
+// New creates the EQ-ASO node for the given runtime. The caller must
+// register it as the node's message handler.
+func New(r rt.Runtime) *Node {
+	n := r.N()
+	nd := &Node{
+		rt:        r,
+		id:        r.ID(),
+		n:         n,
+		quorum:    n - r.F(),
+		V:         make([]*core.ValueSet, n),
+		borrow:    make(map[core.Tag]map[int]core.View),
+		ownGood:   make(map[core.Tag]core.View),
+		forwarded: make(map[core.Timestamp]bool),
+		readAcks:  make(map[int64]*readState),
+		writeAcks: make(map[int64]int),
+	}
+	for i := range nd.V {
+		nd.V[i] = core.NewValueSet()
+	}
+	return nd
+}
+
+// Stats returns a copy of the node's counters.
+func (nd *Node) Stats() Stats {
+	var s Stats
+	nd.rt.Atomic(func() { s = nd.stats })
+	return s
+}
+
+// MemoryStats reports the node's state sizes: the number of values held
+// (the snapshot's full value history — growth is inherent to the paper's
+// model, which never discards segment history) and the good-view caches,
+// which pruneBelow keeps proportional to in-flight activity rather than
+// to the execution's length.
+type MemoryStats struct {
+	// Values is the size of V[id] (every value ever learned).
+	Values int
+	// BorrowTags / OwnGoodTags count cached good views.
+	BorrowTags, OwnGoodTags int
+	// Forwarded is the size of the forwarding dedup set.
+	Forwarded int
+}
+
+// Memory returns current state sizes (for tests and capacity planning).
+func (nd *Node) Memory() MemoryStats {
+	var m MemoryStats
+	nd.rt.Atomic(func() {
+		m.Values = nd.V[nd.id].Len()
+		m.BorrowTags = len(nd.borrow)
+		m.OwnGoodTags = len(nd.ownGood)
+		m.Forwarded = len(nd.forwarded)
+	})
+	return m
+}
+
+// MaxTag returns the node's current maxTag (for tests and tooling).
+func (nd *Node) MaxTag() core.Tag {
+	var t core.Tag
+	nd.rt.Atomic(func() { t = nd.maxTag })
+	return t
+}
+
+// LocalView returns a snapshot of everything the node has received
+// (V[id]); the SSO built on this package serves scans from it.
+func (nd *Node) LocalView() core.View {
+	var v core.View
+	nd.rt.Atomic(func() { v = nd.V[nd.id].AllView() })
+	return v
+}
+
+// HandleMessage implements rt.Handler (the event handlers of Algorithm 1,
+// lines 40-49). The runtime guarantees atomic execution.
+func (nd *Node) HandleMessage(src int, m rt.Message) {
+	switch msg := m.(type) {
+	case MsgValue:
+		newToJ := nd.V[src].Add(msg.Val)
+		newToSelf := newToJ
+		if src != nd.id {
+			newToSelf = nd.V[nd.id].Add(msg.Val)
+		}
+		if nd.wait != nil {
+			nd.wait.OnAdd(src, msg.Val, newToJ, newToSelf)
+		}
+		if !nd.forwarded[msg.Val.TS] {
+			nd.forwarded[msg.Val.TS] = true
+			nd.rt.Broadcast(MsgValue{Val: msg.Val})
+		}
+	case MsgReadTag:
+		nd.rt.Send(src, MsgReadAck{ReqID: msg.ReqID, Tag: nd.maxTag})
+	case MsgReadAck:
+		if st, ok := nd.readAcks[msg.ReqID]; ok {
+			st.count++
+			if msg.Tag > st.max {
+				st.max = msg.Tag
+			}
+		}
+	case MsgWriteTag:
+		if msg.Tag > nd.maxTag {
+			nd.maxTag = msg.Tag
+			nd.rt.Broadcast(MsgEchoTag{Tag: msg.Tag})
+		}
+		nd.rt.Send(src, MsgWriteAck{ReqID: msg.ReqID, Tag: msg.Tag})
+	case MsgWriteAck:
+		if _, ok := nd.writeAcks[msg.ReqID]; ok {
+			nd.writeAcks[msg.ReqID]++
+		}
+	case MsgEchoTag:
+		if msg.Tag > nd.maxTag {
+			nd.maxTag = msg.Tag
+		}
+	case MsgGoodLA:
+		// By FIFO, V[src]^{≤Tag} now equals src's equivalence set.
+		view := nd.V[src].ViewLE(msg.Tag)
+		nd.addBorrow(msg.Tag, src, view)
+		if nd.OnGoodLAView != nil {
+			nd.OnGoodLAView(msg.Tag, src, view)
+		}
+	case MsgBorrowReq:
+		if tag, view, ok := nd.bestViewAtLeast(msg.Tag); ok {
+			nd.rt.Send(src, MsgGoodView{Tag: tag, View: view})
+		}
+	case MsgGoodView:
+		nd.addBorrow(msg.Tag, src, msg.View)
+		if nd.OnGoodLAView != nil {
+			nd.OnGoodLAView(msg.Tag, src, msg.View)
+		}
+	}
+}
+
+func (nd *Node) addBorrow(tag core.Tag, from int, view core.View) {
+	byNode := nd.borrow[tag]
+	if byNode == nil {
+		byNode = make(map[int]core.View)
+		nd.borrow[tag] = byNode
+	}
+	byNode[from] = view
+}
+
+// bestViewAtLeast returns the smallest-tagged good view this node knows
+// with tag ≥ r (its own good views or borrowed ones). Deterministic.
+func (nd *Node) bestViewAtLeast(r core.Tag) (core.Tag, core.View, bool) {
+	bestTag := core.Tag(-1)
+	var bestView core.View
+	consider := func(tag core.Tag, view core.View) {
+		if tag >= r && (bestTag < 0 || tag < bestTag) {
+			bestTag, bestView = tag, view
+		}
+	}
+	for _, tag := range sortedTags(nd.ownGood) {
+		consider(tag, nd.ownGood[tag])
+	}
+	for tag, byNode := range nd.borrow {
+		if tag < r {
+			continue
+		}
+		nodes := make([]int, 0, len(byNode))
+		for j := range byNode {
+			nodes = append(nodes, j)
+		}
+		sort.Ints(nodes)
+		consider(tag, byNode[nodes[0]])
+	}
+	if bestTag < 0 {
+		return 0, nil, false
+	}
+	return bestTag, bestView, true
+}
+
+func sortedTags(m map[core.Tag]core.View) []core.Tag {
+	tags := make([]core.Tag, 0, len(m))
+	for t := range m {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
+	return tags
+}
+
+// pruneBelow discards borrow/ownGood entries with tag < r; every future
+// need of this node is for tags ≥ r (tags a node works with never
+// decrease), so the memory stays proportional to in-flight activity. The
+// largest view held is always retained so the node can keep answering
+// peers' borrowReq messages.
+func (nd *Node) pruneBelow(r core.Tag) {
+	maxHeld := core.Tag(-1)
+	for tag := range nd.borrow {
+		if tag > maxHeld {
+			maxHeld = tag
+		}
+	}
+	for tag := range nd.ownGood {
+		if tag > maxHeld {
+			maxHeld = tag
+		}
+	}
+	if maxHeld < r {
+		r = maxHeld
+	}
+	for tag := range nd.borrow {
+		if tag < r {
+			delete(nd.borrow, tag)
+		}
+	}
+	for tag := range nd.ownGood {
+		if tag < r {
+			delete(nd.ownGood, tag)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package eqaso
+
+import (
+	"mpsnap/internal/core"
+	"mpsnap/internal/rt"
+)
+
+// readTag implements readTag() (lines 35-37): read the largest maxTag from
+// at least n-f nodes.
+func (nd *Node) readTag() (core.Tag, error) {
+	var req int64
+	var st *readState
+	nd.rt.Atomic(func() {
+		nd.nextReq++
+		req = nd.nextReq
+		st = &readState{}
+		nd.readAcks[req] = st
+	})
+	nd.rt.Broadcast(MsgReadTag{ReqID: req})
+	var r core.Tag
+	err := nd.rt.WaitUntilThen("readTag quorum",
+		func() bool { return st.count >= nd.quorum },
+		func() {
+			r = st.max
+			delete(nd.readAcks, req)
+		})
+	return r, err
+}
+
+// writeTag implements writeTag(tag) (lines 38-39): write the tag to at
+// least n-f nodes.
+func (nd *Node) writeTag(tag core.Tag) error {
+	var req int64
+	nd.rt.Atomic(func() {
+		nd.nextReq++
+		req = nd.nextReq
+		nd.writeAcks[req] = 0
+	})
+	nd.rt.Broadcast(MsgWriteTag{ReqID: req, Tag: tag})
+	return nd.rt.WaitUntilThen("writeTag quorum",
+		func() bool { return nd.writeAcks[req] >= nd.quorum },
+		func() { delete(nd.writeAcks, req) })
+}
+
+// lattice implements Lattice(r) (lines 14-21): write the tag, wait for the
+// equivalence quorum predicate EQ(V^{≤r}, i), and atomically decide whether
+// the operation is good (maxTag ≤ r).
+func (nd *Node) lattice(r core.Tag) (good bool, view core.View, err error) {
+	nd.rt.Atomic(func() { nd.stats.LatticeOps++ })
+	if err := nd.writeTag(r); err != nil {
+		return false, nil, err
+	}
+	var tracker *core.EQTracker
+	nd.rt.Atomic(func() {
+		// This node will never need a view with tag < r again (its tags
+		// are nondecreasing), so keep the good-view caches bounded by
+		// in-flight activity.
+		nd.pruneBelow(r)
+		tracker = core.NewEQTracker(nd.V, nd.id, r, nd.quorum)
+		nd.wait = tracker
+	})
+	err = nd.rt.WaitUntilThen("EQ predicate",
+		tracker.Satisfied,
+		func() {
+			// Lines 16-21, executed atomically.
+			nd.wait = nil
+			if nd.maxTag <= r {
+				good = true
+				view = nd.V[nd.id].ViewLE(r)
+				nd.ownGood[r] = view
+				if nd.OnGoodLattice != nil {
+					nd.OnGoodLattice(r, view)
+				}
+				nd.rt.Broadcast(MsgGoodLA{Tag: r})
+			}
+		})
+	if err != nil {
+		return false, nil, err
+	}
+	return good, view, nil
+}
+
+// latticeRenewal implements LatticeRenewal(r) (lines 22-30): at most three
+// lattice operations; a good one yields a direct view, otherwise the node
+// borrows an indirect view from a peer's good lattice operation.
+func (nd *Node) latticeRenewal(r core.Tag) (core.View, error) {
+	for phase := 1; phase <= 3; phase++ {
+		good, view, err := nd.lattice(r)
+		if err != nil {
+			return nil, err
+		}
+		if good {
+			nd.rt.Atomic(func() { nd.stats.DirectViews++ })
+			return view, nil // direct view
+		}
+		if phase == 3 {
+			break
+		}
+		nd.rt.Atomic(func() { r = nd.maxTag })
+	}
+	// Borrow an indirect view for tag ≥ r (see the package comment for
+	// why ≥ rather than = preserves correctness and improves liveness).
+	nd.rt.Atomic(func() { nd.pruneBelow(r) })
+	nd.rt.Broadcast(MsgBorrowReq{Tag: r})
+	var view core.View
+	err := nd.rt.WaitUntilThen("borrow goodLA view",
+		func() bool { _, _, ok := nd.bestViewAtLeast(r); return ok },
+		func() {
+			_, view, _ = nd.bestViewAtLeast(r)
+			nd.stats.IndirectViews++
+		})
+	return view, err
+}
+
+// Update implements UPDATE(v) (lines 4-10): obtain a fresh timestamp,
+// disseminate the value, run the phase-0 lattice operation, then a
+// LatticeRenewal whose view is discarded.
+func (nd *Node) Update(payload []byte) error {
+	_, _, err := nd.UpdateWithView(payload)
+	return err
+}
+
+// UpdateWithView is Update, additionally returning the view obtained by
+// the operation's final LatticeRenewal and the written value's timestamp.
+// EQ-ASO itself discards that view (line 9's comment); the SSO built on
+// this package stores it.
+func (nd *Node) UpdateWithView(payload []byte) (core.View, core.Timestamp, error) {
+	if nd.rt.Crashed() {
+		return nil, core.Timestamp{}, rt.ErrCrashed
+	}
+	nd.rt.Atomic(func() { nd.stats.Updates++ })
+	r, err := nd.readTag()
+	if err != nil {
+		return nil, core.Timestamp{}, err
+	}
+	ts := core.Timestamp{Tag: r + 1, Writer: nd.id}
+	nd.rt.Atomic(func() { nd.forwarded[ts] = true })
+	nd.rt.Broadcast(MsgValue{Val: core.Value{TS: ts, Payload: payload}})
+	if _, _, err := nd.lattice(r); err != nil { // phase 0
+		return nil, ts, err
+	}
+	var r2 core.Tag
+	nd.rt.Atomic(func() {
+		r2 = r + 1
+		if nd.maxTag > r2 {
+			r2 = nd.maxTag
+		}
+	})
+	view, err := nd.latticeRenewal(r2)
+	return view, ts, err
+}
+
+// RefreshView runs one readTag + LatticeRenewal and returns the obtained
+// view (used by the SSO to catch up until its own value is visible).
+func (nd *Node) RefreshView() (core.View, error) {
+	r, err := nd.readTag()
+	if err != nil {
+		return nil, err
+	}
+	return nd.latticeRenewal(r)
+}
+
+// Scan implements SCAN() (lines 11-13). The returned vector has one entry
+// per node; nil marks a segment never written (⊥).
+func (nd *Node) Scan() ([][]byte, error) {
+	if nd.rt.Crashed() {
+		return nil, rt.ErrCrashed
+	}
+	nd.rt.Atomic(func() { nd.stats.Scans++ })
+	r, err := nd.readTag()
+	if err != nil {
+		return nil, err
+	}
+	view, err := nd.latticeRenewal(r)
+	if err != nil {
+		return nil, err
+	}
+	return view.Extract(nd.n), nil
+}
+
+// ScanView is Scan but returns the underlying view (used by tests and by
+// the lattice-agreement adapter).
+func (nd *Node) ScanView() (core.View, error) {
+	if nd.rt.Crashed() {
+		return nil, rt.ErrCrashed
+	}
+	nd.rt.Atomic(func() { nd.stats.Scans++ })
+	r, err := nd.readTag()
+	if err != nil {
+		return nil, err
+	}
+	return nd.latticeRenewal(r)
+}

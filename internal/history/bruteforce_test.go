@@ -1,0 +1,232 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpsnap/internal/rt"
+)
+
+// bruteForceLinearizable decides linearizability of a small history (all
+// operations completed) by enumerating every permutation that respects the
+// real-time order and replaying it against the sequential specification.
+// It is the ground truth the conditions-based checker is validated against
+// (Theorem 1: both directions).
+func bruteForceLinearizable(h *History) bool {
+	ops := append([]*Op(nil), h.Ops...)
+	n := len(ops)
+	if n > 8 {
+		panic("bruteForceLinearizable: history too large")
+	}
+	used := make([]bool, n)
+	order := make([]*Op, 0, n)
+	var try func() bool
+	try = func() bool {
+		if len(order) == n {
+			return len(h.verifyLegal(order)) == 0
+		}
+		for i, op := range ops {
+			if used[i] {
+				continue
+			}
+			// Real-time: op may come next only if every operation that
+			// precedes it is already placed.
+			ok := true
+			for j, prev := range ops {
+				if !used[j] && i != j && prev.Before(op) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Prune: replay legality incrementally would be faster;
+			// for ≤8 ops full recursion is fine.
+			used[i] = true
+			order = append(order, op)
+			if try() {
+				used[i] = false
+				order = order[:len(order)-1]
+				return true
+			}
+			used[i] = false
+			order = order[:len(order)-1]
+		}
+		return false
+	}
+	return try()
+}
+
+// bruteForceSequentiallyConsistent enumerates permutations that respect
+// each node's program order (but not real time).
+func bruteForceSequentiallyConsistent(h *History) bool {
+	ops := append([]*Op(nil), h.Ops...)
+	n := len(ops)
+	if n > 8 {
+		panic("bruteForceSequentiallyConsistent: history too large")
+	}
+	used := make([]bool, n)
+	order := make([]*Op, 0, n)
+	var try func() bool
+	try = func() bool {
+		if len(order) == n {
+			return len(h.verifyLegal(order)) == 0
+		}
+		for i, op := range ops {
+			if used[i] {
+				continue
+			}
+			ok := true
+			for j, prev := range ops {
+				if used[j] || i == j || prev.Node != op.Node {
+					continue
+				}
+				if prev.Inv < op.Inv || (prev.Inv == op.Inv && prev.ID < op.ID) {
+					ok = false // same-node predecessor not yet placed
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[i] = true
+			order = append(order, op)
+			if try() {
+				used[i] = false
+				order = order[:len(order)-1]
+				return true
+			}
+			used[i] = false
+			order = order[:len(order)-1]
+		}
+		return false
+	}
+	return try()
+}
+
+// genSmallHistory produces a random small history of completed operations:
+// with probability ~1/2 it comes from a genuinely atomic execution
+// (linearization points), otherwise scan results are randomly corrupted.
+func genSmallHistory(rng *rand.Rand) *History {
+	n := 2 + rng.Intn(2)
+	nOps := 3 + rng.Intn(5) // ≤ 7
+	type iv struct {
+		node    int
+		scan    bool
+		inv, pt rt.Ticks
+		resp    rt.Ticks
+		val     string
+	}
+	busy := make([]rt.Ticks, n)
+	ivs := make([]iv, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		node := rng.Intn(n)
+		inv := busy[node] + rt.Ticks(rng.Intn(4))
+		dur := rt.Ticks(1 + rng.Intn(8))
+		resp := inv + dur
+		busy[node] = resp + 1
+		ivs = append(ivs, iv{
+			node: node,
+			scan: rng.Intn(2) == 0,
+			inv:  inv,
+			pt:   inv + rt.Ticks(rng.Int63n(int64(dur))),
+			resp: resp,
+			val:  fmt.Sprintf("v%d-%d", node, i),
+		})
+	}
+	// Apply in linearization-point order to derive atomic scan results.
+	idx := make([]int, len(ivs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := range idx {
+		for j := i + 1; j < len(idx); j++ {
+			if ivs[idx[j]].pt < ivs[idx[i]].pt {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+	}
+	cur := make([]string, n)
+	snaps := make(map[int][]string, len(ivs))
+	for _, id := range idx {
+		if ivs[id].scan {
+			snaps[id] = append([]string(nil), cur...)
+		} else {
+			cur[ivs[id].node] = ivs[id].val
+		}
+	}
+	corrupt := rng.Intn(2) == 0
+	ops := make([]*Op, 0, len(ivs))
+	for i, v := range ivs {
+		if v.scan {
+			snap := snaps[i]
+			if corrupt && rng.Intn(2) == 0 {
+				// Replace one segment with a random (possibly wrong)
+				// value written by that segment's owner or ⊥.
+				seg := rng.Intn(n)
+				var candidates []string
+				candidates = append(candidates, "")
+				for _, w := range ivs {
+					if !w.scan && w.node == seg {
+						candidates = append(candidates, w.val)
+					}
+				}
+				snap = append([]string(nil), snap...)
+				snap[seg] = candidates[rng.Intn(len(candidates))]
+			}
+			ops = append(ops, &Op{ID: i, Node: v.node, Type: Scan, Snap: snap, Inv: v.inv, Resp: v.resp})
+		} else {
+			ops = append(ops, &Op{ID: i, Node: v.node, Type: Update, Arg: v.val, Inv: v.inv, Resp: v.resp})
+		}
+	}
+	return NewHistory(n, ops)
+}
+
+// TestCheckerMatchesBruteForceLinearizability validates Theorem 1
+// empirically: on random small histories — genuinely atomic or corrupted —
+// the (A1)-(A4)+construction checker agrees exactly with exhaustive
+// search.
+func TestCheckerMatchesBruteForceLinearizability(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := genSmallHistory(rng)
+		want := bruteForceLinearizable(h)
+		got := h.CheckLinearizable().OK
+		if got != want {
+			t.Logf("seed %d: checker=%v brute=%v history:", seed, got, want)
+			for _, op := range h.Ops {
+				t.Logf("  %v", op)
+			}
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckerMatchesBruteForceSequentialConsistency does the same for the
+// sequential-consistency checker.
+func TestCheckerMatchesBruteForceSequentialConsistency(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed + 1<<32))
+		h := genSmallHistory(rng)
+		want := bruteForceSequentiallyConsistent(h)
+		got := h.CheckSequentiallyConsistent().OK
+		if got != want {
+			t.Logf("seed %d: checker=%v brute=%v history:", seed, got, want)
+			for _, op := range h.Ops {
+				t.Logf("  %v", op)
+			}
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+)
+
+// scanBases pairs every completed scan with its base, with deterministic
+// order (invocation time, then ID).
+type scanBase struct {
+	sc   *Op
+	base Base
+}
+
+func (h *History) scanBases() ([]scanBase, error) {
+	var out []scanBase
+	for _, sc := range h.Scans() {
+		b, err := h.BaseOf(sc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, scanBase{sc: sc, base: b})
+	}
+	return out, nil
+}
+
+// precCounts[j] = number of node-j updates u' with u' → op (resp before
+// op's invocation).
+func (h *History) precCounts(op *Op) Base {
+	out := make(Base, h.N)
+	for j := 0; j < h.N; j++ {
+		for _, u := range h.updatesByNode[j] {
+			if u.Before(op) {
+				out[j] = u.Seq // program-order prefix: last preceding seq
+			}
+		}
+	}
+	return out
+}
+
+// CheckA1 verifies condition (A1): the bases of any pair of SCAN operations
+// are comparable. It returns the violations found (empty means pass).
+func (h *History) CheckA1() []string {
+	sbs, err := h.scanBases()
+	if err != nil {
+		return []string{err.Error()}
+	}
+	// All pairs are comparable iff the multiset of bases forms a chain.
+	// Sorting by total size and checking adjacent pairs suffices:
+	// containment implies size order, and ⊆ is transitive.
+	sorted := append([]scanBase(nil), sbs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].base.Sum() < sorted[j].base.Sum() })
+	var viol []string
+	for i := 1; i < len(sorted); i++ {
+		a, b := sorted[i-1], sorted[i]
+		if !a.base.LE(b.base) {
+			viol = append(viol, fmt.Sprintf("(A1) incomparable bases: %v base=%v vs %v base=%v", a.sc, a.base, b.sc, b.base))
+		}
+	}
+	return viol
+}
+
+// CheckA2 verifies condition (A2): the base of a SCAN contains every UPDATE
+// that precedes it in real time.
+func (h *History) CheckA2() []string {
+	sbs, err := h.scanBases()
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var viol []string
+	for _, sb := range sbs {
+		need := h.precCounts(sb.sc)
+		if !need.LE(sb.base) {
+			viol = append(viol, fmt.Sprintf("(A2) %v base=%v misses preceding updates (needs ≥ %v)", sb.sc, sb.base, need))
+		}
+	}
+	return viol
+}
+
+// CheckA3 verifies condition (A3): sc1 → sc2 implies base(sc1) ⊆ base(sc2).
+func (h *History) CheckA3() []string {
+	sbs, err := h.scanBases()
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var viol []string
+	for i := range sbs {
+		for j := range sbs {
+			if i == j || !sbs[i].sc.Before(sbs[j].sc) {
+				continue
+			}
+			if !sbs[i].base.LE(sbs[j].base) {
+				viol = append(viol, fmt.Sprintf("(A3) %v → %v but base %v ⊄ %v", sbs[i].sc, sbs[j].sc, sbs[i].base, sbs[j].base))
+			}
+		}
+	}
+	return viol
+}
+
+// CheckA4 verifies condition (A4): if an UPDATE op is in the base of a SCAN,
+// every UPDATE preceding op in real time is in that base too. Since bases
+// are per-writer prefixes, it suffices to check the last included update of
+// each writer.
+func (h *History) CheckA4() []string {
+	sbs, err := h.scanBases()
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var viol []string
+	for _, sb := range sbs {
+		for i := 0; i < h.N; i++ {
+			if sb.base[i] == 0 {
+				continue
+			}
+			last := h.updatesByNode[i][sb.base[i]-1]
+			need := h.precCounts(last)
+			if !need.LE(sb.base) {
+				viol = append(viol, fmt.Sprintf("(A4) %v base=%v contains %v but misses its predecessors (needs ≥ %v)", sb.sc, sb.base, last, need))
+			}
+		}
+	}
+	return viol
+}
+
+// CheckConditions runs (A1)-(A4) (Theorem 1's right-hand side).
+func (h *History) CheckConditions() []string {
+	var viol []string
+	viol = append(viol, h.CheckA1()...)
+	viol = append(viol, h.CheckA2()...)
+	viol = append(viol, h.CheckA3()...)
+	viol = append(viol, h.CheckA4()...)
+	return viol
+}
+
+// Sequential-consistency conditions for SSO (reconstructed from the
+// technical report's outline; the construction below is verified
+// independently, see CheckSequentiallyConsistent):
+//
+//	(S1) bases of any pair of scans are comparable (same as A1);
+//	(S2) the base of a scan contains exactly the scanning node's own
+//	     preceding updates on its own segment (no fewer — program order;
+//	     no more — the scan must not see the node's own future);
+//	(S3) scans of the same node have nondecreasing bases in program order.
+//
+// Per-writer prefix closure (the SC analogue of A4) holds by construction
+// of the Base representation.
+
+// CheckS2 verifies condition (S2).
+func (h *History) CheckS2() []string {
+	sbs, err := h.scanBases()
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var viol []string
+	for _, sb := range sbs {
+		own := 0
+		for _, u := range h.updatesByNode[sb.sc.Node] {
+			if u.Inv < sb.sc.Inv {
+				own = u.Seq
+			}
+		}
+		if sb.base[sb.sc.Node] != own {
+			viol = append(viol, fmt.Sprintf("(S2) %v sees %d own updates, program order requires exactly %d", sb.sc, sb.base[sb.sc.Node], own))
+		}
+	}
+	return viol
+}
+
+// CheckS3 verifies condition (S3).
+func (h *History) CheckS3() []string {
+	sbs, err := h.scanBases()
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var viol []string
+	byNode := make(map[int][]scanBase)
+	for _, sb := range sbs {
+		byNode[sb.sc.Node] = append(byNode[sb.sc.Node], sb)
+	}
+	for _, list := range byNode {
+		for i := 1; i < len(list); i++ {
+			if !list[i-1].base.LE(list[i].base) {
+				viol = append(viol, fmt.Sprintf("(S3) same-node scans regress: %v base=%v then %v base=%v",
+					list[i-1].sc, list[i-1].base, list[i].sc, list[i].base))
+			}
+		}
+	}
+	return viol
+}

@@ -1,0 +1,109 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+
+	"mpsnap/internal/rt"
+)
+
+// historyFromBytes deterministically decodes a byte string into a small
+// history of completed operations: a compact encoding so the fuzzer can
+// explore the space of histories directly.
+//
+// Per operation, 4 bytes: [node|scan flag] [invDelta] [duration] [segment
+// value selector]. Scan results are synthesized from the selector per
+// segment, choosing among ⊥ and the values that segment's owner writes
+// anywhere in the history (so BaseOf always resolves, and the fuzzer
+// reaches deep checker logic rather than tripping on unknown values).
+func historyFromBytes(data []byte) *History {
+	const n = 2
+	nOps := len(data) / 4
+	if nOps > 7 {
+		nOps = 7
+	}
+	// First pass: update values per node, in program order.
+	type raw struct {
+		node    int
+		scan    bool
+		inv     rt.Ticks
+		resp    rt.Ticks
+		sel     byte
+		updName string
+	}
+	var raws []raw
+	busy := [n]rt.Ticks{}
+	count := [n]int{}
+	for i := 0; i < nOps; i++ {
+		b := data[i*4 : i*4+4]
+		node := int(b[0]) % n
+		isScan := b[0]&0x80 != 0
+		inv := busy[node] + rt.Ticks(b[1]%8)
+		dur := rt.Ticks(b[2]%8) + 1
+		r := raw{node: node, scan: isScan, inv: inv, resp: inv + dur, sel: b[3]}
+		if !isScan {
+			count[node]++
+			r.updName = fmt.Sprintf("v%d-%d", node, count[node])
+		}
+		busy[node] = r.resp + 1
+		raws = append(raws, r)
+	}
+	valsByNode := [n][]string{}
+	for _, r := range raws {
+		if !r.scan {
+			valsByNode[r.node] = append(valsByNode[r.node], r.updName)
+		}
+	}
+	ops := make([]*Op, 0, len(raws))
+	for i, r := range raws {
+		if r.scan {
+			snap := make([]string, n)
+			sel := int(r.sel)
+			for seg := 0; seg < n; seg++ {
+				choices := len(valsByNode[seg]) + 1 // incl ⊥
+				pick := sel % choices
+				sel /= choices
+				if pick > 0 {
+					snap[seg] = valsByNode[seg][pick-1]
+				}
+			}
+			ops = append(ops, &Op{ID: i, Node: r.node, Type: Scan, Snap: snap, Inv: r.inv, Resp: r.resp})
+		} else {
+			ops = append(ops, &Op{ID: i, Node: r.node, Type: Update, Arg: r.updName, Inv: r.inv, Resp: r.resp})
+		}
+	}
+	return NewHistory(n, ops)
+}
+
+// FuzzCheckerAgainstBruteForce drives the Theorem 1 checker against
+// exhaustive search on fuzzer-chosen histories.
+func FuzzCheckerAgainstBruteForce(f *testing.F) {
+	f.Add([]byte{0x00, 1, 2, 0, 0x81, 1, 2, 3, 0x01, 0, 1, 5})
+	f.Add([]byte{0x80, 0, 0, 1, 0x00, 0, 0, 0, 0x81, 0, 0, 2, 0x01, 7, 7, 9})
+	f.Add([]byte{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := historyFromBytes(data)
+		if len(h.Ops) == 0 {
+			return
+		}
+		got := h.CheckLinearizable().OK
+		want := bruteForceLinearizable(h)
+		if got != want {
+			for _, op := range h.Ops {
+				t.Logf("  %v", op)
+			}
+			t.Fatalf("checker=%v brute=%v", got, want)
+		}
+		gotSC := h.CheckSequentiallyConsistent().OK
+		wantSC := bruteForceSequentiallyConsistent(h)
+		if gotSC != wantSC {
+			for _, op := range h.Ops {
+				t.Logf("  %v", op)
+			}
+			t.Fatalf("SC checker=%v brute=%v", gotSC, wantSC)
+		}
+		if got && !gotSC {
+			t.Fatal("linearizable history must be sequentially consistent")
+		}
+	})
+}

@@ -1,0 +1,291 @@
+// Package history records executions of a snapshot object and checks them
+// against the paper's correctness conditions.
+//
+// A history is the partially ordered set of UPDATE and SCAN operations of
+// one execution (Section II-B). The package computes the base of every SCAN
+// (Definition 4), checks the tight conditions (A1)-(A4) of Theorem 1,
+// constructs a linearization following the paper's Steps I-II, and verifies
+// the result independently against the sequential specification
+// (Definition 1). It also checks sequential consistency (Definition 2) for
+// SSO histories.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mpsnap/internal/rt"
+)
+
+// OpType distinguishes UPDATE and SCAN operations.
+type OpType int
+
+// Operation types.
+const (
+	Update OpType = iota
+	Scan
+)
+
+func (t OpType) String() string {
+	if t == Update {
+		return "UPDATE"
+	}
+	return "SCAN"
+}
+
+// NoValue is the representation of the initial ⊥ segment value in scans.
+const NoValue = ""
+
+// Op is one operation of a history.
+type Op struct {
+	// ID is unique within the history (assigned in begin order).
+	ID int
+	// Node is the invoking node.
+	Node int
+	// Type is Update or Scan.
+	Type OpType
+	// Seq is, for updates, the 1-based position among the node's updates
+	// in program order.
+	Seq int
+	// Arg is, for updates, the written value. Values must be unique per
+	// node (the paper's uniqueness assumption, Section III-A).
+	Arg string
+	// Snap is, for completed scans, the returned vector; Snap[i] is the
+	// value of segment i or NoValue for ⊥.
+	Snap []string
+	// Inv and Resp are invocation/response times. Resp < 0 marks a
+	// pending operation (the node crashed before responding).
+	Inv, Resp rt.Ticks
+}
+
+// Pending reports whether the operation never responded.
+func (o *Op) Pending() bool { return o.Resp < 0 }
+
+// Before reports the paper's real-time order op → other:
+// resp(op) occurs before inv(other). Pending operations precede nothing.
+func (o *Op) Before(other *Op) bool {
+	return !o.Pending() && o.Resp < other.Inv
+}
+
+func (o *Op) String() string {
+	switch {
+	case o.Type == Update:
+		return fmt.Sprintf("op%d UPDATE(%s)@%d [%d,%d]", o.ID, o.Arg, o.Node, o.Inv, o.Resp)
+	case o.Pending():
+		return fmt.Sprintf("op%d SCAN@%d [%d,pending]", o.ID, o.Node, o.Inv)
+	default:
+		return fmt.Sprintf("op%d SCAN->%v@%d [%d,%d]", o.ID, o.Snap, o.Node, o.Inv, o.Resp)
+	}
+}
+
+// History is a finished execution.
+type History struct {
+	// N is the number of nodes (segments).
+	N int
+	// Ops holds all operations, sorted by invocation time (ID breaks
+	// ties deterministically).
+	Ops []*Op
+
+	updatesByNode [][]*Op // program order per node
+}
+
+// Recorder collects operations concurrently during an execution.
+type Recorder struct {
+	mu      sync.Mutex
+	n       int
+	nextID  int
+	ops     []*Op
+	nextSeq []int
+}
+
+// NewRecorder creates a recorder for an n-node object.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{n: n, nextSeq: make([]int, n)}
+}
+
+// PendingOp is a begun-but-unfinished operation.
+type PendingOp struct {
+	r  *Recorder
+	op *Op
+}
+
+// BeginUpdate records the invocation of UPDATE(arg) at node.
+func (r *Recorder) BeginUpdate(node int, arg string, at rt.Ticks) *PendingOp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextSeq[node]++
+	op := &Op{ID: r.nextID, Node: node, Type: Update, Seq: r.nextSeq[node], Arg: arg, Inv: at, Resp: -1}
+	r.nextID++
+	r.ops = append(r.ops, op)
+	return &PendingOp{r: r, op: op}
+}
+
+// BeginScan records the invocation of a SCAN at node.
+func (r *Recorder) BeginScan(node int, at rt.Ticks) *PendingOp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := &Op{ID: r.nextID, Node: node, Type: Scan, Inv: at, Resp: -1}
+	r.nextID++
+	r.ops = append(r.ops, op)
+	return &PendingOp{r: r, op: op}
+}
+
+// End records the response of an update.
+func (p *PendingOp) End(at rt.Ticks) {
+	p.r.mu.Lock()
+	defer p.r.mu.Unlock()
+	p.op.Resp = at
+}
+
+// EndScan records the response of a scan with the returned vector.
+func (p *PendingOp) EndScan(snap []string, at rt.Ticks) {
+	p.r.mu.Lock()
+	defer p.r.mu.Unlock()
+	p.op.Snap = append([]string(nil), snap...)
+	p.op.Resp = at
+}
+
+// History finalizes and returns the recorded history.
+func (r *Recorder) History() *History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ops := append([]*Op(nil), r.ops...)
+	return NewHistory(r.n, ops)
+}
+
+// NewHistory builds a History from operations (used directly by tests).
+// Update Seq fields are recomputed from per-node invocation order if zero.
+func NewHistory(n int, ops []*Op) *History {
+	h := &History{N: n, Ops: ops}
+	sort.SliceStable(h.Ops, func(i, j int) bool {
+		if h.Ops[i].Inv != h.Ops[j].Inv {
+			return h.Ops[i].Inv < h.Ops[j].Inv
+		}
+		return h.Ops[i].ID < h.Ops[j].ID
+	})
+	h.updatesByNode = make([][]*Op, n)
+	for _, op := range h.Ops {
+		if op.Type == Update {
+			h.updatesByNode[op.Node] = append(h.updatesByNode[op.Node], op)
+		}
+	}
+	for _, ups := range h.updatesByNode {
+		for i, u := range ups {
+			if u.Seq == 0 {
+				u.Seq = i + 1
+			}
+		}
+	}
+	return h
+}
+
+// UpdatesByNode returns node's updates in program order.
+func (h *History) UpdatesByNode(node int) []*Op { return h.updatesByNode[node] }
+
+// Scans returns all completed scans in invocation order.
+func (h *History) Scans() []*Op {
+	var out []*Op
+	for _, op := range h.Ops {
+		if op.Type == Scan && !op.Pending() {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Updates returns all updates (including pending ones) in invocation order.
+func (h *History) Updates() []*Op {
+	var out []*Op
+	for _, op := range h.Ops {
+		if op.Type == Update {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Base is the base of a SCAN (Definition 4) in compact form: Base[i] is the
+// number of node-i updates included. Because a base always contains a
+// program-order prefix of each node's updates, this vector determines the
+// operation set exactly.
+type Base []int
+
+// LE reports pointwise b ≤ o, i.e. base containment B_b ⊆ B_o.
+func (b Base) LE(o Base) bool {
+	for i := range b {
+		if b[i] > o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports b == o.
+func (b Base) Equal(o Base) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Comparable reports Definition 5: b ⊆ o or o ⊆ b.
+func (b Base) Comparable(o Base) bool { return b.LE(o) || o.LE(b) }
+
+// Sum returns the number of updates in the base.
+func (b Base) Sum() int {
+	s := 0
+	for _, v := range b {
+		s += v
+	}
+	return s
+}
+
+func (b Base) String() string { return fmt.Sprint([]int(b)) }
+
+// BaseOf computes the base of a completed scan. It fails if the scan
+// returned a value no update wrote (an immediate legality violation).
+func (h *History) BaseOf(sc *Op) (Base, error) {
+	if sc.Type != Scan || sc.Pending() {
+		return nil, fmt.Errorf("history: BaseOf on %v", sc)
+	}
+	if len(sc.Snap) != h.N {
+		return nil, fmt.Errorf("history: %v returned %d segments, want %d", sc, len(sc.Snap), h.N)
+	}
+	base := make(Base, h.N)
+	for i := 0; i < h.N; i++ {
+		v := sc.Snap[i]
+		if v == NoValue {
+			continue
+		}
+		found := false
+		for _, u := range h.updatesByNode[i] {
+			if u.Arg == v {
+				base[i] = u.Seq
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("history: %v returned %q for segment %d, which no update wrote", sc, v, i)
+		}
+	}
+	return base, nil
+}
+
+// ValidateValues verifies the paper's uniqueness assumption: every node's
+// update values are distinct.
+func (h *History) ValidateValues() error {
+	for node, ups := range h.updatesByNode {
+		seen := make(map[string]bool, len(ups))
+		for _, u := range ups {
+			if seen[u.Arg] {
+				return fmt.Errorf("history: node %d wrote value %q twice", node, u.Arg)
+			}
+			seen[u.Arg] = true
+		}
+	}
+	return nil
+}

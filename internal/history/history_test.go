@@ -1,0 +1,347 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mpsnap/internal/rt"
+)
+
+// mkOp builds an operation for tests.
+func upd(id, node int, arg string, inv, resp rt.Ticks) *Op {
+	return &Op{ID: id, Node: node, Type: Update, Arg: arg, Inv: inv, Resp: resp}
+}
+
+func scn(id, node int, snap []string, inv, resp rt.Ticks) *Op {
+	return &Op{ID: id, Node: node, Type: Scan, Snap: snap, Inv: inv, Resp: resp}
+}
+
+// TestFigure1 reproduces the paper's Figure 1: a 3-node history whose
+// linearization must keep op1 before op2 (real-time order), while a
+// sequentialization may swap them.
+func TestFigure1(t *testing.T) {
+	op1 := upd(1, 0, "1", 0, 10)  // UPDATE(1) by node 1
+	op2 := upd(2, 1, "2", 15, 25) // UPDATE(2) by node 2; op1 → op2
+	op3 := upd(3, 2, "3", 5, 30)  // UPDATE(3) by node 3, concurrent
+	op4 := scn(4, 1, []string{"1", "2", "3"}, 30, 45)
+	op6 := upd(6, 0, "4", 35, 50) // UPDATE(4), node 1's second update
+	op5 := scn(5, 2, []string{"4", "2", "3"}, 55, 70)
+	h := NewHistory(3, []*Op{op1, op2, op3, op4, op5, op6})
+
+	b4, err := h.BaseOf(op4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b4.Equal(Base{1, 1, 1}) {
+		t.Fatalf("base(op4) = %v, want [1 1 1] = {U(1),U(2),U(3)}", b4)
+	}
+	b5, err := h.BaseOf(op5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b5.Equal(Base{2, 1, 1}) {
+		t.Fatalf("base(op5) = %v, want [2 1 1] = {U(1),U(4),U(2),U(3)}", b5)
+	}
+	if !b4.Comparable(b5) || !b4.LE(b5) {
+		t.Fatal("bases of op4 and op5 must be comparable with base(op4) ⊆ base(op5)")
+	}
+
+	rep := h.CheckLinearizable()
+	if !rep.OK {
+		t.Fatalf("Figure 1 history must be linearizable: %v", rep.Violations)
+	}
+	pos := map[int]int{}
+	for i, op := range rep.Order {
+		pos[op.ID] = i
+	}
+	if pos[1] >= pos[2] {
+		t.Fatalf("linearization must keep op1 before op2 (real-time), got order %v", rep.Order)
+	}
+
+	// A sequentialization may place op2 before op1 — still legal, but it
+	// violates the real-time order (the figure's middle row).
+	swapped := []*Op{op2, op1, op3, op4, op6, op5}
+	if viol := h.verifyLegal(swapped); len(viol) != 0 {
+		t.Fatalf("swapped order should remain legal: %v", viol)
+	}
+	if viol := verifyRealTime(swapped); len(viol) == 0 {
+		t.Fatal("swapped order must violate real-time order")
+	}
+
+	if rep := h.CheckSequentiallyConsistent(); !rep.OK {
+		t.Fatalf("a linearizable history is sequentially consistent: %v", rep.Violations)
+	}
+}
+
+func TestBaseOfUnknownValue(t *testing.T) {
+	sc := scn(1, 0, []string{"ghost", ""}, 0, 10)
+	h := NewHistory(2, []*Op{sc})
+	if _, err := h.BaseOf(sc); err == nil || !strings.Contains(err.Error(), "no update wrote") {
+		t.Fatalf("err = %v, want unknown-value error", err)
+	}
+	if rep := h.CheckLinearizable(); rep.OK {
+		t.Fatal("history returning a never-written value must fail")
+	}
+}
+
+func TestA1Violation(t *testing.T) {
+	u1 := upd(1, 0, "a", 0, 100)
+	u2 := upd(2, 1, "b", 0, 100)
+	s1 := scn(3, 0, []string{"a", ""}, 10, 90) // sees only a
+	s2 := scn(4, 1, []string{"", "b"}, 10, 90) // sees only b
+	h := NewHistory(2, []*Op{u1, u2, s1, s2})
+	if v := h.CheckA1(); len(v) == 0 {
+		t.Fatal("expected an (A1) violation for incomparable bases")
+	}
+	if rep := h.CheckLinearizable(); rep.OK {
+		t.Fatal("incomparable bases must not be linearizable")
+	}
+}
+
+func TestA2Violation(t *testing.T) {
+	u1 := upd(1, 0, "a", 0, 10)
+	s1 := scn(2, 1, []string{"", ""}, 20, 30) // u1 → s1 but missed
+	h := NewHistory(2, []*Op{u1, s1})
+	if v := h.CheckA2(); len(v) == 0 {
+		t.Fatal("expected an (A2) violation")
+	}
+	if rep := h.CheckLinearizable(); rep.OK {
+		t.Fatal("missing a preceding update must not be linearizable")
+	}
+}
+
+func TestA3Violation(t *testing.T) {
+	// A pending update is seen by the first scan but vanishes from a
+	// later one: (A2) is silent (the update never completed) but (A3)
+	// and the real-time check both catch it.
+	u1 := upd(1, 0, "a", 0, -1) // pending forever
+	s1 := scn(2, 1, []string{"a", ""}, 10, 20)
+	s2 := scn(3, 1, []string{"", ""}, 30, 40)
+	h := NewHistory(2, []*Op{u1, s1, s2})
+	if v := h.CheckA3(); len(v) == 0 {
+		t.Fatal("expected an (A3) violation")
+	}
+	if rep := h.CheckLinearizable(); rep.OK {
+		t.Fatal("shrinking bases must not be linearizable")
+	}
+}
+
+func TestA4Violation(t *testing.T) {
+	u1 := upd(1, 0, "a", 0, 10)
+	u2 := upd(2, 1, "b", 20, 30) // u1 → u2
+	sc := scn(3, 2, []string{"", "b", ""}, 5, 40)
+	h := NewHistory(3, []*Op{u1, u2, sc})
+	if v := h.CheckA2(); len(v) != 0 {
+		t.Fatalf("A2 should pass here (scan invoked before u1 completed): %v", v)
+	}
+	if v := h.CheckA4(); len(v) == 0 {
+		t.Fatal("expected an (A4) violation: base contains u2 but not its predecessor u1")
+	}
+	if rep := h.CheckLinearizable(); rep.OK {
+		t.Fatal("prefix-closure violation must not be linearizable")
+	}
+}
+
+func TestPendingOps(t *testing.T) {
+	// A crashed update whose value was nevertheless seen must be
+	// linearized; a pending scan is dropped.
+	u1 := upd(1, 0, "a", 0, -1)
+	s1 := scn(2, 1, []string{"a", ""}, 10, 20)
+	s2 := scn(3, 1, nil, 30, -1) // pending scan
+	h := NewHistory(2, []*Op{u1, s1, s2})
+	rep := h.CheckLinearizable()
+	if !rep.OK {
+		t.Fatalf("history with pending ops should be linearizable: %v", rep.Violations)
+	}
+	ids := map[int]bool{}
+	for _, op := range rep.Order {
+		ids[op.ID] = true
+	}
+	if !ids[1] || !ids[2] || ids[3] {
+		t.Fatalf("order should contain u1 and s1 but not the pending scan: %v", rep.Order)
+	}
+}
+
+func TestSequentiallyConsistentButNotLinearizable(t *testing.T) {
+	// Node 1's scan misses node 0's completed update: stale (not
+	// atomic) but sequentially consistent.
+	u1 := upd(1, 0, "a", 0, 10)
+	s1 := scn(2, 1, []string{"", ""}, 20, 30)
+	h := NewHistory(2, []*Op{u1, s1})
+	if rep := h.CheckLinearizable(); rep.OK {
+		t.Fatal("stale scan must not be linearizable")
+	}
+	if rep := h.CheckSequentiallyConsistent(); !rep.OK {
+		t.Fatalf("stale scan is sequentially consistent: %v", rep.Violations)
+	}
+}
+
+func TestS2Violation(t *testing.T) {
+	// A node's scan returns its OWN later update: violates program order.
+	s1 := scn(1, 0, []string{"a", ""}, 0, 10)
+	u1 := upd(2, 0, "a", 20, 30)
+	h := NewHistory(2, []*Op{s1, u1})
+	if v := h.CheckS2(); len(v) == 0 {
+		t.Fatal("expected an (S2) violation: scan sees own future update")
+	}
+	if rep := h.CheckSequentiallyConsistent(); rep.OK {
+		t.Fatal("seeing one's own future must not be sequentially consistent")
+	}
+	// Missing one's own past is equally wrong.
+	u2 := upd(3, 0, "b", 40, 50)
+	s2 := scn(4, 0, []string{"a", ""}, 60, 70) // should see "b"
+	h2 := NewHistory(2, []*Op{upd(5, 0, "a", 0, 10), u2, s2})
+	if v := h2.CheckS2(); len(v) == 0 {
+		t.Fatal("expected an (S2) violation: scan misses own past update")
+	}
+}
+
+func TestS3Violation(t *testing.T) {
+	u1 := upd(1, 0, "a", 0, -1) // pending, so A2/S2 are silent for node 1
+	sA := scn(2, 1, []string{"a", ""}, 10, 20)
+	sB := scn(3, 1, []string{"", ""}, 30, 40)
+	h := NewHistory(2, []*Op{u1, sA, sB})
+	if v := h.CheckS3(); len(v) == 0 {
+		t.Fatal("expected an (S3) violation: same-node scans regressed")
+	}
+}
+
+func TestDuplicateValueRejected(t *testing.T) {
+	u1 := upd(1, 0, "a", 0, 10)
+	u2 := upd(2, 0, "a", 20, 30)
+	h := NewHistory(1, []*Op{u1, u2})
+	if err := h.ValidateValues(); err == nil {
+		t.Fatal("duplicate per-node value must be rejected")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(2)
+	p1 := r.BeginUpdate(0, "x", 5)
+	p1.End(15)
+	p2 := r.BeginScan(1, 20)
+	p2.EndScan([]string{"x", ""}, 30)
+	p3 := r.BeginUpdate(1, "y", 40) // never ends: pending
+	_ = p3
+	h := r.History()
+	if len(h.Ops) != 3 {
+		t.Fatalf("ops = %d", len(h.Ops))
+	}
+	if got := h.UpdatesByNode(0); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("updatesByNode(0) = %v", got)
+	}
+	if got := h.Updates(); len(got) != 2 {
+		t.Fatalf("updates = %v", got)
+	}
+	if got := h.Scans(); len(got) != 1 {
+		t.Fatalf("scans = %v", got)
+	}
+	rep := h.CheckLinearizable()
+	if !rep.OK {
+		t.Fatalf("recorded history should be linearizable: %v", rep.Violations)
+	}
+}
+
+// TestSequentialExecutionsAlwaysPass: histories generated by executing ops
+// one at a time against a real array (atomic by construction) must pass
+// both checkers, for arbitrary op mixes.
+func TestSequentialExecutionsAlwaysPass(t *testing.T) {
+	prop := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		k := int(nOps%60) + 1
+		cur := make([]string, n)
+		rec := NewRecorder(n)
+		now := rt.Ticks(0)
+		count := 0
+		for i := 0; i < k; i++ {
+			node := rng.Intn(n)
+			now += rt.Ticks(1 + rng.Intn(10))
+			if rng.Intn(2) == 0 {
+				count++
+				v := fmt.Sprintf("v%d-%d", node, count)
+				p := rec.BeginUpdate(node, v, now)
+				cur[node] = v
+				now += rt.Ticks(1 + rng.Intn(10))
+				p.End(now)
+			} else {
+				p := rec.BeginScan(node, now)
+				now += rt.Ticks(1 + rng.Intn(10))
+				p.EndScan(cur, now)
+			}
+		}
+		h := rec.History()
+		return h.CheckLinearizable().OK && h.CheckSequentiallyConsistent().OK
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverlappingAtomicExecutionsPass: ops overlap in time but take effect
+// at a linearization point inside their interval; checker must accept.
+func TestOverlappingAtomicExecutionsPass(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3
+		cur := make([]string, n)
+		rec := NewRecorder(n)
+		// Generate operations with random overlapping intervals; apply
+		// effects in linearization-point order.
+		type interval struct {
+			node    int
+			scan    bool
+			inv, pt rt.Ticks
+			resp    rt.Ticks
+			val     string
+		}
+		var ivs []interval
+		busy := make([]rt.Ticks, n) // per-node sequentiality
+		for i := 0; i < 40; i++ {
+			node := rng.Intn(n)
+			inv := busy[node] + rt.Ticks(rng.Intn(5))
+			dur := rt.Ticks(1 + rng.Intn(20))
+			resp := inv + dur
+			pt := inv + rt.Ticks(rng.Int63n(int64(dur)))
+			busy[node] = resp + 1
+			ivs = append(ivs, interval{node: node, scan: rng.Intn(2) == 0, inv: inv, pt: pt, resp: resp, val: fmt.Sprintf("v%d-%d", node, i)})
+		}
+		// Apply in linearization-point order to compute scan results.
+		order := make([]int, len(ivs))
+		for i := range order {
+			order[i] = i
+		}
+		for i := range order {
+			for j := i + 1; j < len(order); j++ {
+				if ivs[order[j]].pt < ivs[order[i]].pt {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		snaps := make(map[int][]string)
+		for _, idx := range order {
+			iv := ivs[idx]
+			if iv.scan {
+				snaps[idx] = append([]string(nil), cur...)
+			} else {
+				cur[iv.node] = iv.val
+			}
+		}
+		for idx, iv := range ivs {
+			if iv.scan {
+				p := rec.BeginScan(iv.node, iv.inv)
+				p.EndScan(snaps[idx], iv.resp)
+			} else {
+				p := rec.BeginUpdate(iv.node, iv.val, iv.inv)
+				p.End(iv.resp)
+			}
+		}
+		return rec.History().CheckLinearizable().OK
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

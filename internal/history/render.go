@@ -1,0 +1,132 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpsnap/internal/rt"
+)
+
+// RenderGantt draws the history as an ASCII space-time diagram in the
+// style of the paper's Figure 1: one row per node, one box per operation
+// (left edge = invocation, right edge = response), labeled with the
+// operation and its value(s). cols is the diagram width in characters.
+func RenderGantt(h *History, cols int) string {
+	if cols < 40 {
+		cols = 40
+	}
+	var maxT rt.Ticks
+	for _, op := range h.Ops {
+		if op.Resp > maxT {
+			maxT = op.Resp
+		}
+		if op.Inv > maxT {
+			maxT = op.Inv
+		}
+	}
+	if maxT == 0 {
+		maxT = 1
+	}
+	scale := func(t rt.Ticks) int {
+		c := int(int64(t) * int64(cols-1) / int64(maxT))
+		if c < 0 {
+			c = 0
+		}
+		if c > cols-1 {
+			c = cols - 1
+		}
+		return c
+	}
+
+	byNode := make(map[int][]*Op)
+	for _, op := range h.Ops {
+		byNode[op.Node] = append(byNode[op.Node], op)
+	}
+	nodes := make([]int, 0, len(byNode))
+	for nd := range byNode {
+		nodes = append(nodes, nd)
+	}
+	sort.Ints(nodes)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time: 0 .. %s (%.1fD), one column ≈ %.2fD\n",
+		fmtTicks(maxT), maxT.DUnits(), maxT.DUnits()/float64(cols))
+	for _, nd := range nodes {
+		// Each node may need several lanes if ops would overlap
+		// visually (pending ops stretch to the right edge).
+		type lane struct {
+			buf   []byte
+			until int
+		}
+		var lanes []*lane
+		ops := byNode[nd]
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Inv < ops[j].Inv })
+		for _, op := range ops {
+			start := scale(op.Inv)
+			end := cols - 1
+			if !op.Pending() {
+				end = scale(op.Resp)
+			}
+			label := opLabel(op)
+			width := end - start + 1
+			if width < len(label)+2 {
+				width = len(label) + 2
+				end = start + width - 1
+			}
+			var ln *lane
+			for _, cand := range lanes {
+				if cand.until < start {
+					ln = cand
+					break
+				}
+			}
+			if ln == nil {
+				ln = &lane{buf: []byte(strings.Repeat(" ", cols+32))}
+				lanes = append(lanes, ln)
+			}
+			// Draw |label────|
+			ln.buf[start] = '|'
+			for c := start + 1; c < end && c < len(ln.buf); c++ {
+				ln.buf[c] = '-'
+			}
+			copy(ln.buf[start+1:], label)
+			if op.Pending() {
+				copy(ln.buf[end-2:], "..x")
+			} else if end < len(ln.buf) {
+				ln.buf[end] = '|'
+			}
+			ln.until = end + 1
+		}
+		for li, ln := range lanes {
+			tag := fmt.Sprintf("node %-2d", nd)
+			if li > 0 {
+				tag = "       "
+			}
+			fmt.Fprintf(&sb, "%s %s\n", tag, strings.TrimRight(string(ln.buf), " "))
+		}
+	}
+	return sb.String()
+}
+
+func opLabel(op *Op) string {
+	if op.Type == Update {
+		return fmt.Sprintf("U(%s)", op.Arg)
+	}
+	if op.Pending() {
+		return "S(?)"
+	}
+	var parts []string
+	for _, v := range op.Snap {
+		if v == NoValue {
+			parts = append(parts, "⊥")
+		} else {
+			parts = append(parts, v)
+		}
+	}
+	return "S[" + strings.Join(parts, ",") + "]"
+}
+
+func fmtTicks(t rt.Ticks) string {
+	return fmt.Sprintf("%d ticks", int64(t))
+}

@@ -1,0 +1,62 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderGantt(t *testing.T) {
+	h := NewHistory(2, []*Op{
+		upd(1, 0, "a", 0, 40),
+		scn(2, 1, []string{"a", ""}, 50, 90),
+		upd(3, 1, "b", 95, -1), // pending
+	})
+	out := RenderGantt(h, 80)
+	if !strings.Contains(out, "U(a)") || !strings.Contains(out, "S[a,⊥]") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "node 0") || !strings.Contains(out, "node 1") {
+		t.Fatalf("node rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "..x") {
+		t.Fatalf("pending op marker missing:\n%s", out)
+	}
+	// The update's box must start before the scan's box (column order).
+	lines := strings.Split(out, "\n")
+	var row0, row1 string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "node 0") {
+			row0 = ln
+		}
+		if strings.HasPrefix(ln, "node 1") {
+			row1 = ln
+		}
+	}
+	if strings.Index(row0, "|") >= strings.Index(row1, "|U") && strings.Contains(row1, "|U") {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+}
+
+func TestRenderGanttOverlapLanes(t *testing.T) {
+	// Two visually overlapping ops at the same node (possible with a
+	// pending op followed by nothing, or tight scaling) must not panic
+	// and must appear on separate lanes when needed.
+	h := NewHistory(1, []*Op{
+		upd(1, 0, "a", 0, 1000),
+		upd(2, 0, "b", 1001, 1002), // tiny box forced wider than its slot
+		upd(3, 0, "c", 1003, 1004),
+	})
+	out := RenderGantt(h, 40)
+	for _, lbl := range []string{"U(a)", "U(b)", "U(c)"} {
+		if !strings.Contains(out, lbl) {
+			t.Fatalf("missing %s:\n%s", lbl, out)
+		}
+	}
+}
+
+func TestRenderGanttEmpty(t *testing.T) {
+	h := NewHistory(1, nil)
+	if out := RenderGantt(h, 60); !strings.Contains(out, "time:") {
+		t.Fatalf("header missing: %q", out)
+	}
+}

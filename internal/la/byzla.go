@@ -1,0 +1,156 @@
+package la
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+
+	"mpsnap/internal/core"
+	"mpsnap/internal/rbc"
+	"mpsnap/internal/rt"
+)
+
+// BLHave announces that the sender RBC-delivered the proposal of Writer.
+type BLHave struct{ Writer int }
+
+// Kind implements rt.Message.
+func (BLHave) Kind() string { return "blHave" }
+
+func init() { gob.Register(BLHave{}) }
+
+// ByzEQLA is the Byzantine-tolerant one-shot lattice agreement (n > 3f),
+// the equivalence-quorum lattice operation hardened the same way as the
+// Byzantine ASO:
+//
+//   - proposals are disseminated with Bracha reliable broadcast, so a
+//     Byzantine proposer contributes at most one value (accepted only if
+//     it names its RBC origin as writer);
+//   - V[j] is built from j's HAVE announcements, admitted in announcement
+//     order and only once locally delivered, keeping V[j] a prefix of j's
+//     honest stream;
+//   - a node decides when its own proposal is delivered and EQ(V, i)
+//     holds; two decisions share a correct quorum member (n > 3f), so all
+//     decided views are comparable.
+type ByzEQLA struct {
+	rt     rt.Runtime
+	id     int
+	n      int
+	quorum int
+
+	layer     *rbc.RBC
+	V         []*core.ValueSet
+	haveQueue [][]int // queued HAVE writers per sender, in arrival order
+	wait      *core.EQTracker
+	proposed  bool
+}
+
+// NewByzEQLA creates the node (panics unless n > 3f); register it as the
+// node's message handler.
+func NewByzEQLA(r rt.Runtime) *ByzEQLA {
+	n := r.N()
+	l := &ByzEQLA{
+		rt:        r,
+		id:        r.ID(),
+		n:         n,
+		quorum:    n - r.F(),
+		V:         make([]*core.ValueSet, n),
+		haveQueue: make([][]int, n),
+	}
+	for i := range l.V {
+		l.V[i] = core.NewValueSet()
+	}
+	l.layer = rbc.New(r, l.onDeliver)
+	return l
+}
+
+// HandleMessage implements rt.Handler.
+func (l *ByzEQLA) HandleMessage(src int, m rt.Message) {
+	if l.layer.Handle(src, m) {
+		return
+	}
+	if h, ok := m.(BLHave); ok {
+		l.haveQueue[src] = append(l.haveQueue[src], h.Writer)
+		l.drainHaves(src)
+	}
+}
+
+func (l *ByzEQLA) onDeliver(id rbc.ID, payload []byte) {
+	if len(payload) < 4 {
+		return
+	}
+	writer := int(int32(binary.BigEndian.Uint32(payload)))
+	if writer != id.Origin {
+		return // forged proposer
+	}
+	v := core.Value{TS: core.Timestamp{Tag: 1, Writer: writer}, Payload: append([]byte(nil), payload[4:]...)}
+	if !l.V[l.id].Add(v) {
+		return
+	}
+	if l.wait != nil {
+		l.wait.OnAdd(l.id, v, true, true)
+	}
+	l.rt.Broadcast(BLHave{Writer: writer})
+	for j := 0; j < l.n; j++ {
+		if j != l.id {
+			l.drainHaves(j)
+		}
+	}
+}
+
+func (l *ByzEQLA) drainHaves(src int) {
+	if src == l.id {
+		l.haveQueue[src] = nil
+		return
+	}
+	q := l.haveQueue[src]
+	for len(q) > 0 {
+		ts := core.Timestamp{Tag: 1, Writer: q[0]}
+		p, ok := l.V[l.id].Get(ts)
+		if !ok {
+			break
+		}
+		q = q[1:]
+		v := core.Value{TS: ts, Payload: p}
+		if l.V[src].Add(v) && l.wait != nil {
+			l.wait.OnAdd(src, v, true, false)
+		}
+	}
+	l.haveQueue[src] = q
+}
+
+// Propose disseminates the node's proposal and decides a comparable view.
+func (l *ByzEQLA) Propose(payload []byte) (core.View, error) {
+	if l.rt.Crashed() {
+		return nil, rt.ErrCrashed
+	}
+	var dup bool
+	l.rt.Atomic(func() {
+		dup = l.proposed
+		if !dup {
+			l.proposed = true
+			buf := make([]byte, 4+len(payload))
+			binary.BigEndian.PutUint32(buf, uint32(l.id))
+			copy(buf[4:], payload)
+			l.layer.Broadcast(buf)
+		}
+	})
+	if dup {
+		return nil, ErrAlreadyUpdated
+	}
+	var tracker *core.EQTracker
+	l.rt.Atomic(func() {
+		tracker = core.NewEQTracker(l.V, l.id, core.MaxTag, l.quorum)
+		l.wait = tracker
+	})
+	ts := core.Timestamp{Tag: 1, Writer: l.id}
+	var view core.View
+	err := l.rt.WaitUntilThen("byz EQLA decide",
+		func() bool { return l.V[l.id].Has(ts) && tracker.Satisfied() },
+		func() {
+			l.wait = nil
+			view = l.V[l.id].AllView()
+		})
+	if err != nil {
+		return nil, err
+	}
+	return view, nil
+}

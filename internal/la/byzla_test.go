@@ -1,0 +1,161 @@
+package la_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"mpsnap/internal/core"
+	"mpsnap/internal/la"
+	"mpsnap/internal/rbc"
+	"mpsnap/internal/sim"
+)
+
+func deployByzLA(n, f int, seed int64) (*sim.World, []*la.ByzEQLA) {
+	w := sim.New(sim.Config{N: n, F: f, Seed: seed})
+	nodes := make([]*la.ByzEQLA, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = la.NewByzEQLA(w.Runtime(i))
+		w.SetHandler(i, nodes[i])
+	}
+	return w, nodes
+}
+
+func runByzLA(t *testing.T, w *sim.World, nodes []*la.ByzEQLA, proposers []int) []core.View {
+	t.Helper()
+	decided := make([]core.View, len(nodes))
+	for _, i := range proposers {
+		i := i
+		w.GoNode(fmt.Sprintf("p%d", i), i, func(p *sim.Proc) {
+			v, err := nodes[i].Propose([]byte(fmt.Sprintf("x%d", i)))
+			if err != nil {
+				return
+			}
+			decided[i] = v
+		})
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return decided
+}
+
+func checkByzLA(t *testing.T, decided []core.View, n int, mustDecide []int) {
+	t.Helper()
+	for _, i := range mustDecide {
+		if decided[i] == nil {
+			t.Fatalf("node %d failed to decide", i)
+		}
+		if !decided[i].Contains(core.Timestamp{Tag: 1, Writer: i}) {
+			t.Fatalf("node %d's decision misses its own proposal", i)
+		}
+	}
+	for i := range decided {
+		for j := i + 1; j < len(decided); j++ {
+			if decided[i] == nil || decided[j] == nil {
+				continue
+			}
+			if !decided[i].ComparableWith(decided[j]) {
+				t.Fatalf("decisions %d and %d incomparable:\n%v\n%v", i, j, decided[i], decided[j])
+			}
+		}
+	}
+}
+
+func TestByzEQLAHonest(t *testing.T) {
+	n, f := 7, 2
+	w, nodes := deployByzLA(n, f, 1)
+	all := []int{0, 1, 2, 3, 4, 5, 6}
+	decided := runByzLA(t, w, nodes, all)
+	checkByzLA(t, decided, n, all)
+}
+
+func TestByzEQLASilentByzantine(t *testing.T) {
+	n, f := 7, 2
+	w, nodes := deployByzLA(n, f, 2)
+	w.CrashAt(5, 0)
+	w.CrashAt(6, 0)
+	live := []int{0, 1, 2, 3, 4}
+	decided := runByzLA(t, w, nodes, live)
+	checkByzLA(t, decided, n, live)
+}
+
+func TestByzEQLAForgedProposerIgnored(t *testing.T) {
+	n, f := 7, 2
+	w, nodes := deployByzLA(n, f, 3)
+	// Byzantine node 6 RBCs a proposal naming node 0 as the writer.
+	forger := rbc.New(w.Runtime(6), nil)
+	w.Go("forger", func(p *sim.Proc) {
+		buf := make([]byte, 4+4)
+		binary.BigEndian.PutUint32(buf, 0) // claims writer 0
+		copy(buf[4:], "evil")
+		forger.Broadcast(buf)
+	})
+	live := []int{1, 2, 3, 4, 5}
+	decided := runByzLA(t, w, nodes, live)
+	checkByzLA(t, decided, n, live)
+	for _, i := range live {
+		for _, v := range decided[i] {
+			if string(v.Payload) == "evil" {
+				t.Fatalf("forged proposal leaked into node %d's decision", i)
+			}
+			if v.TS.Writer == 0 {
+				t.Fatalf("node 0 never proposed but appears in node %d's decision", i)
+			}
+		}
+	}
+}
+
+func TestByzEQLAHaveSpammer(t *testing.T) {
+	// A Byzantine node sprays HAVE announcements for proposals that were
+	// never delivered; honest decisions must stay live and comparable.
+	n, f := 7, 2
+	w, nodes := deployByzLA(n, f, 4)
+	w.Go("spammer", func(p *sim.Proc) {
+		r := w.Runtime(6)
+		for k := 0; k < 30; k++ {
+			r.Broadcast(la.BLHave{Writer: (k % n)})
+			if err := p.Sleep(200); err != nil {
+				return
+			}
+		}
+	})
+	live := []int{0, 1, 2, 3, 4}
+	decided := runByzLA(t, w, nodes, live)
+	checkByzLA(t, decided, n, live)
+}
+
+func TestByzEQLADoubleProposeRejected(t *testing.T) {
+	n, f := 4, 1
+	w, nodes := deployByzLA(n, f, 5)
+	var second error
+	w.GoNode("p0", 0, func(p *sim.Proc) {
+		if _, err := nodes[0].Propose([]byte("a")); err != nil {
+			t.Errorf("first propose: %v", err)
+			return
+		}
+		_, second = nodes[0].Propose([]byte("b"))
+	})
+	for i := 1; i < n; i++ {
+		i := i
+		w.GoNode(fmt.Sprintf("p%d", i), i, func(p *sim.Proc) {
+			_, _ = nodes[i].Propose([]byte(fmt.Sprintf("x%d", i)))
+		})
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second != la.ErrAlreadyUpdated {
+		t.Fatalf("second propose returned %v", second)
+	}
+}
+
+func TestByzEQLARequiresN3F(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewByzEQLA must reject n <= 3f")
+		}
+	}()
+	w := sim.New(sim.Config{N: 4, F: 2, Seed: 1})
+	la.NewByzEQLA(w.Runtime(0))
+}

@@ -1,0 +1,65 @@
+package la
+
+import (
+	"mpsnap/internal/core"
+	"mpsnap/internal/rt"
+)
+
+// EQLA is the early-stopping one-shot lattice agreement algorithm obtained
+// by abstracting the paper's lattice operation (Section I-B): every node
+// proposes one value; the decided views are pairwise comparable, contain
+// the proposer's own value, and contain only proposed values. Proactive
+// forwarding gives O(√k·D) time where k is the number of actual crashes
+// (the same failure-chain bound as EQ-ASO's lattice operation).
+//
+// EQLA shares OneShot's message types ("value"/"valueAck"); a deployment
+// uses one or the other per object instance.
+type EQLA struct {
+	inner *OneShot
+}
+
+// NewEQLA creates the node; register it as the node's handler.
+func NewEQLA(r rt.Runtime) *EQLA { return &EQLA{inner: NewOneShot(r)} }
+
+// HandleMessage implements rt.Handler.
+func (l *EQLA) HandleMessage(src int, m rt.Message) { l.inner.HandleMessage(src, m) }
+
+// Propose disseminates the node's proposal and decides once the node's own
+// value is present and the equivalence quorum predicate EQ(V, i) holds.
+// The returned view is the decided lattice value.
+func (l *EQLA) Propose(payload []byte) (core.View, error) {
+	o := l.inner
+	if o.rt.Crashed() {
+		return nil, rt.ErrCrashed
+	}
+	ts := core.Timestamp{Tag: 1, Writer: o.id}
+	var dup bool
+	o.rt.Atomic(func() {
+		dup = o.updated
+		if !dup {
+			o.updated = true
+			o.forwarded[ts] = true
+			o.acks[ts] = 1
+		}
+	})
+	if dup {
+		return nil, ErrAlreadyUpdated
+	}
+	o.rt.Broadcast(OSValue{Val: core.Value{TS: ts, Payload: payload}})
+	var tracker *core.EQTracker
+	o.rt.Atomic(func() {
+		tracker = core.NewEQTracker(o.V, o.id, core.MaxTag, o.quorum)
+		o.wait = tracker
+	})
+	var view core.View
+	err := o.rt.WaitUntilThen("EQLA decide",
+		func() bool { return o.V[o.id].Has(ts) && tracker.Satisfied() },
+		func() {
+			o.wait = nil
+			view = o.V[o.id].AllView()
+		})
+	if err != nil {
+		return nil, err
+	}
+	return view, nil
+}

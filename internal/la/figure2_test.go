@@ -1,0 +1,144 @@
+package la_test
+
+import (
+	"testing"
+
+	"mpsnap/internal/harness"
+	"mpsnap/internal/la"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sim"
+)
+
+// TestFigure2 reproduces the paper's Figure 2 execution of the one-shot
+// ASO. Paper node numbering is 1-based; here node 1→0, node 2→1, node 3→2.
+//
+//	op1: SCAN by node 3  → returns {} immediately (all views empty).
+//	op2: UPDATE(u) by node 1.
+//	op3: UPDATE(v) by node 3.
+//	op4: SCAN by node 1  → returns {u,v} immediately
+//	     (V1[1] = V1[3] = {u,v}, V1[2] = {}).
+//	op5: UPDATE(w) by node 2.
+//	op6: SCAN by node 3  → blocked: V3[1]={u,v}, V3[2]={w}, V3[3]={u,v,w};
+//	     it must wait for forwarded values from node 1 or node 2, and then
+//	     returns {u,v,w}.
+//
+// The slow links isolate node 2 (paper numbering): everything it receives
+// is slow, as is node 1's inbound link from it.
+func TestFigure2(t *testing.T) {
+	const (
+		fast = 50
+		slow = 800
+		D    = rt.TicksPerD
+	)
+	delays := sim.SlowLinks{
+		Slow: map[[2]int]bool{
+			{0, 1}: true, // node1 → node2 (paper) slow
+			{2, 1}: true, // node3 → node2 slow
+			{1, 0}: true, // node2 → node1 slow
+		},
+		SlowDelay: slow,
+		FastDelay: fast,
+	}
+	w := sim.New(sim.Config{N: 3, F: 1, Seed: 1, D: D, Delay: delays})
+	objs := make([]*la.OneShot, 3)
+	for i := 0; i < 3; i++ {
+		objs[i] = la.NewOneShot(w.Runtime(i))
+		w.SetHandler(i, objs[i])
+	}
+
+	type scanResult struct {
+		snap     []string
+		inv, rsp rt.Ticks
+	}
+	results := make(map[string]*scanResult)
+	scan := func(p *sim.Proc, node int, name string) {
+		r := &scanResult{inv: p.Now()}
+		snap, err := objs[node].Scan()
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			return
+		}
+		r.snap = harness.SnapStrings(snap)
+		r.rsp = p.Now()
+		results[name] = r
+	}
+
+	// Node 1 (idx 0): op2 = UPDATE(u) at t≈0, then op4 = SCAN at t=150.
+	w.GoNode("node1", 0, func(p *sim.Proc) {
+		if err := objs[0].Update([]byte("u")); err != nil {
+			t.Errorf("op2: %v", err)
+		}
+		if err := p.Sleep(150 - p.Now()); err != nil {
+			return
+		}
+		scan(p, 0, "op4")
+	})
+	// Node 2 (idx 1): op5 = UPDATE(w) at t=200.
+	w.GoNode("node2", 1, func(p *sim.Proc) {
+		if err := p.Sleep(200); err != nil {
+			return
+		}
+		if err := objs[1].Update([]byte("w")); err != nil {
+			t.Errorf("op5: %v", err)
+		}
+	})
+	// Node 3 (idx 2): op1 = SCAN at t=0, op3 = UPDATE(v), op6 = SCAN at
+	// t=260 — right after w reached it (t=250) and before any forwarded
+	// copy of w can come back, so the scan observes the blocked state of
+	// the figure: V3[1]={u,v}, V3[2]={w}, V3[3]={u,v,w}.
+	w.GoNode("node3", 2, func(p *sim.Proc) {
+		scan(p, 2, "op1")
+		if err := objs[2].Update([]byte("v")); err != nil {
+			t.Errorf("op3: %v", err)
+		}
+		if err := p.Sleep(260 - p.Now()); err != nil {
+			return
+		}
+		scan(p, 2, "op6")
+	})
+
+	if err := w.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	op1 := results["op1"]
+	if op1 == nil || op1.snap[0] != "" || op1.snap[1] != "" || op1.snap[2] != "" {
+		t.Fatalf("op1 must return the empty snapshot, got %+v", op1)
+	}
+	if op1.rsp != op1.inv {
+		t.Errorf("op1 must return immediately (paper: EQ holds on empty views), took %d ticks", op1.rsp-op1.inv)
+	}
+
+	op4 := results["op4"]
+	if op4 == nil || op4.snap[0] != "u" || op4.snap[1] != "" || op4.snap[2] != "v" {
+		t.Fatalf("op4 must return {u,·,v} with node 2's segment ⊥, got %+v", op4)
+	}
+	if op4.rsp != op4.inv {
+		t.Errorf("op4 must return immediately (V1[1]=V1[3]={u,v}), took %d ticks", op4.rsp-op4.inv)
+	}
+
+	op6 := results["op6"]
+	if op6 == nil || op6.snap[0] != "u" || op6.snap[1] != "w" || op6.snap[2] != "v" {
+		t.Fatalf("op6 must return {u,w,v}, got %+v", op6)
+	}
+	// op6 unblocks only once a forwarded copy of w closes the loop
+	// (node 1 forwards w back at inv+~90, or node 2's forwards of u,v
+	// arrive much later) — the figure's blue arrows.
+	if op6.rsp-op6.inv < 80 {
+		t.Errorf("op6 must block waiting for forwarded values (paper's blue arrows); took only %d ticks", op6.rsp-op6.inv)
+	}
+
+	// The three bases {} ⊆ {op2,op3} ⊆ {op2,op3,op5} are comparable —
+	// "this is not by coincidence" (Section III-C).
+	base := func(s []string) (b int) {
+		for _, v := range s {
+			if v != "" {
+				b++
+			}
+		}
+		return
+	}
+	if !(base(op1.snap) <= base(op4.snap) && base(op4.snap) <= base(op6.snap)) {
+		t.Fatal("bases must form a chain")
+	}
+}

@@ -1,0 +1,162 @@
+// Package la implements the lattice-agreement side of the paper's
+// framework:
+//
+//   - OneShot: the one-shot ASO of Section III-C (each node updates at most
+//     once; scans wait for the untagged EQ predicate). This is the object
+//     behind Figure 2.
+//   - EQLA: the early-stopping one-shot lattice agreement obtained by
+//     abstracting the lattice operation (Section I-B), with O(√k·D) time.
+//   - RoundLA: a pull-based (double-collect style) lattice agreement used
+//     as the baseline the paper contrasts proactive forwarding against;
+//     it takes O(n·D) in the worst case.
+package la
+
+import (
+	"encoding/gob"
+
+	"mpsnap/internal/core"
+	"mpsnap/internal/rt"
+)
+
+// OSValue disseminates a one-shot value (written or forwarded).
+type OSValue struct{ Val core.Value }
+
+// Kind implements rt.Message.
+func (OSValue) Kind() string { return "value" }
+
+// OSAck acknowledges first receipt of a value to its writer.
+type OSAck struct{ TS core.Timestamp }
+
+// Kind implements rt.Message.
+func (OSAck) Kind() string { return "valueAck" }
+
+func init() {
+	gob.Register(OSValue{})
+	gob.Register(OSAck{})
+}
+
+// OneShot is the one-shot atomic snapshot object of Section III-C: UPDATE
+// broadcasts the value and waits for n-f acknowledgements; SCAN waits for
+// the local predicate EQ(V, i) and returns the equivalence set. Values are
+// proactively forwarded on first receipt.
+type OneShot struct {
+	rt     rt.Runtime
+	id     int
+	n      int
+	quorum int
+
+	V         []*core.ValueSet
+	forwarded map[core.Timestamp]bool
+	acks      map[core.Timestamp]int
+	wait      *core.EQTracker
+	updated   bool
+}
+
+// NewOneShot creates the node; register it as the node's handler.
+func NewOneShot(r rt.Runtime) *OneShot {
+	n := r.N()
+	o := &OneShot{
+		rt:        r,
+		id:        r.ID(),
+		n:         n,
+		quorum:    n - r.F(),
+		V:         make([]*core.ValueSet, n),
+		forwarded: make(map[core.Timestamp]bool),
+		acks:      make(map[core.Timestamp]int),
+	}
+	for i := range o.V {
+		o.V[i] = core.NewValueSet()
+	}
+	return o
+}
+
+// HandleMessage implements rt.Handler.
+func (o *OneShot) HandleMessage(src int, m rt.Message) {
+	switch msg := m.(type) {
+	case OSValue:
+		newToJ := o.V[src].Add(msg.Val)
+		newToSelf := newToJ
+		if src != o.id {
+			newToSelf = o.V[o.id].Add(msg.Val)
+		}
+		if o.wait != nil {
+			o.wait.OnAdd(src, msg.Val, newToJ, newToSelf)
+		}
+		if !o.forwarded[msg.Val.TS] {
+			o.forwarded[msg.Val.TS] = true
+			o.rt.Broadcast(OSValue{Val: msg.Val})
+			o.rt.Send(msg.Val.TS.Writer, OSAck{TS: msg.Val.TS})
+		}
+	case OSAck:
+		if _, mine := o.acks[msg.TS]; mine {
+			o.acks[msg.TS]++
+		}
+	}
+}
+
+// Update implements the one-shot UPDATE. Each node may call it at most
+// once.
+func (o *OneShot) Update(payload []byte) error {
+	if o.rt.Crashed() {
+		return rt.ErrCrashed
+	}
+	ts := core.Timestamp{Tag: 1, Writer: o.id}
+	var dup bool
+	o.rt.Atomic(func() {
+		dup = o.updated
+		if !dup {
+			o.updated = true
+			o.forwarded[ts] = true
+			// The writer counts as its own first receipt: marking the
+			// value as forwarded suppresses the self-ack, so seed the
+			// counter with it.
+			o.acks[ts] = 1
+		}
+	})
+	if dup {
+		return ErrAlreadyUpdated
+	}
+	o.rt.Broadcast(OSValue{Val: core.Value{TS: ts, Payload: payload}})
+	return rt.WaitUntil(o.rt, "one-shot update acks",
+		func() bool { return o.acks[ts] >= o.quorum })
+}
+
+// Scan implements the one-shot SCAN: wait until EQ(V, i) holds, return the
+// extracted equivalence set.
+func (o *OneShot) Scan() ([][]byte, error) {
+	view, err := o.ScanView()
+	if err != nil {
+		return nil, err
+	}
+	return view.Extract(o.n), nil
+}
+
+// ScanView is Scan returning the raw equivalence set.
+func (o *OneShot) ScanView() (core.View, error) {
+	if o.rt.Crashed() {
+		return nil, rt.ErrCrashed
+	}
+	var tracker *core.EQTracker
+	o.rt.Atomic(func() {
+		tracker = core.NewEQTracker(o.V, o.id, core.MaxTag, o.quorum)
+		o.wait = tracker
+	})
+	var view core.View
+	err := o.rt.WaitUntilThen("one-shot EQ predicate",
+		tracker.Satisfied,
+		func() {
+			o.wait = nil
+			view = o.V[o.id].AllView()
+		})
+	if err != nil {
+		return nil, err
+	}
+	return view, nil
+}
+
+// ErrAlreadyUpdated is returned by OneShot.Update on a second call.
+var ErrAlreadyUpdated = errAlreadyUpdated{}
+
+type errAlreadyUpdated struct{}
+
+func (errAlreadyUpdated) Error() string { return "la: one-shot object already updated by this node" }

@@ -1,0 +1,126 @@
+package la
+
+import (
+	"encoding/gob"
+
+	"mpsnap/internal/core"
+	"mpsnap/internal/rt"
+)
+
+// RLQuery carries the proposer's current set in a pull round.
+type RLQuery struct {
+	ReqID int64
+	Set   []core.Value
+}
+
+// Kind implements rt.Message.
+func (RLQuery) Kind() string { return "laQuery" }
+
+// RLReply answers a query with the responder's (joined) set.
+type RLReply struct {
+	ReqID int64
+	Set   []core.Value
+}
+
+// Kind implements rt.Message.
+func (RLReply) Kind() string { return "laReply" }
+
+func init() {
+	gob.Register(RLQuery{})
+	gob.Register(RLReply{})
+}
+
+// RoundLA is the pull-based (double-collect style) lattice agreement
+// baseline: a node repeatedly broadcasts its set and collects n-f replies;
+// responders join the broadcast set into their own knowledge and reply
+// with it; the proposer decides when every collected reply equals the set
+// it sent (the pull analogue of the equivalence quorum). Each failed round
+// grows the set by at least one value, so the worst case is O(n·D) —
+// this is the behaviour the paper attributes to double-collect designs
+// (Section III-C).
+type RoundLA struct {
+	rt     rt.Runtime
+	id     int
+	quorum int
+
+	known   *core.ValueSet
+	nextReq int64
+	pending map[int64]*rlCollect
+}
+
+type rlCollect struct {
+	count  int
+	stable bool // all replies so far equal the broadcast set
+	sent   int  // size of the set that was broadcast
+}
+
+// NewRoundLA creates the node; register it as the node's handler.
+func NewRoundLA(r rt.Runtime) *RoundLA {
+	return &RoundLA{
+		rt:      r,
+		id:      r.ID(),
+		quorum:  r.N() - r.F(),
+		known:   core.NewValueSet(),
+		pending: make(map[int64]*rlCollect),
+	}
+}
+
+// HandleMessage implements rt.Handler.
+func (l *RoundLA) HandleMessage(src int, m rt.Message) {
+	switch msg := m.(type) {
+	case RLQuery:
+		for _, v := range msg.Set {
+			l.known.Add(v)
+		}
+		l.rt.Send(src, RLReply{ReqID: msg.ReqID, Set: l.known.AllView()})
+	case RLReply:
+		st, ok := l.pending[msg.ReqID]
+		if !ok {
+			return
+		}
+		st.count++
+		if len(msg.Set) != st.sent {
+			st.stable = false
+		}
+		for _, v := range msg.Set {
+			l.known.Add(v)
+		}
+	}
+}
+
+// Propose disseminates the node's value and decides a comparable view.
+func (l *RoundLA) Propose(payload []byte) (core.View, error) {
+	if l.rt.Crashed() {
+		return nil, rt.ErrCrashed
+	}
+	ts := core.Timestamp{Tag: 1, Writer: l.id}
+	l.rt.Atomic(func() { l.known.Add(core.Value{TS: ts, Payload: payload}) })
+	for {
+		var req int64
+		var sent core.View
+		var st *rlCollect
+		l.rt.Atomic(func() {
+			l.nextReq++
+			req = l.nextReq
+			sent = l.known.AllView()
+			st = &rlCollect{stable: true, sent: len(sent)}
+			l.pending[req] = st
+		})
+		l.rt.Broadcast(RLQuery{ReqID: req, Set: sent})
+		var decided bool
+		err := l.rt.WaitUntilThen("roundLA replies",
+			func() bool { return st.count >= l.quorum },
+			func() {
+				delete(l.pending, req)
+				// Replies all equal the sent set ⇒ an equivalence
+				// quorum matched it exactly; decide.
+				decided = st.stable && l.known.Len() == len(sent)
+			})
+		if err != nil {
+			return nil, err
+		}
+		if decided {
+			return sent, nil
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package mux multiplexes several independent protocol instances over one
+// rt.Runtime. Each instance gets a channel name; its messages are wrapped
+// in an envelope and only delivered to the same-named instance on the
+// receiving node. This is how applications run multiple snapshot objects
+// (say, a CRDT store and a termination detector) over a single cluster
+// without their segments or protocol messages colliding.
+//
+// All instances of a node share the node's atomicity domain (the
+// underlying runtime's handler lock), so cross-instance state remains
+// consistent with the paper's one-server-thread model. Each instance must
+// still be driven by at most one client operation at a time.
+package mux
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"mpsnap/internal/rt"
+)
+
+// Envelope wraps an instance's message with its channel name.
+type Envelope struct {
+	Channel string
+	Msg     rt.Message
+}
+
+// Kind implements rt.Message.
+func (e Envelope) Kind() string { return e.Channel + "/" + e.Msg.Kind() }
+
+func init() { gob.Register(Envelope{}) }
+
+// Mux is one node's multiplexer. Create it, register it as the node's
+// handler, then create named channels and build one protocol instance per
+// channel.
+type Mux struct {
+	rt       rt.Runtime
+	handlers map[string]rt.Handler
+}
+
+// New creates the multiplexer for a node.
+func New(r rt.Runtime) *Mux {
+	return &Mux{rt: r, handlers: make(map[string]rt.Handler)}
+}
+
+// HandleMessage implements rt.Handler: it unwraps envelopes and routes
+// them to the named instance. Unknown channels are dropped (a node that
+// doesn't host an instance ignores its traffic).
+func (m *Mux) HandleMessage(src int, msg rt.Message) {
+	env, ok := msg.(Envelope)
+	if !ok {
+		return
+	}
+	if h := m.handlers[env.Channel]; h != nil {
+		h.HandleMessage(src, env.Msg)
+	}
+}
+
+// Channel returns the sub-runtime for name. Build the protocol instance
+// on it, then register the instance with Bind. The same name must be used
+// on every node.
+func (m *Mux) Channel(name string) rt.Runtime {
+	return &chanRuntime{mux: m, name: name}
+}
+
+// Bind installs the handler of the named instance. Must be called before
+// traffic flows on that channel (instances created at setup time).
+func (m *Mux) Bind(name string, h rt.Handler) {
+	m.rt.Atomic(func() {
+		if _, dup := m.handlers[name]; dup {
+			panic(fmt.Sprintf("mux: channel %q bound twice", name))
+		}
+		m.handlers[name] = h
+	})
+}
+
+// Channels lists the bound channel names (sorted; for tooling).
+func (m *Mux) Channels() []string {
+	var out []string
+	m.rt.Atomic(func() {
+		for name := range m.handlers {
+			out = append(out, name)
+		}
+	})
+	sort.Strings(out)
+	return out
+}
+
+// chanRuntime is the per-channel view of the underlying runtime: sends
+// wrap messages in the channel's envelope; everything else passes through,
+// sharing the node's atomicity and clock.
+type chanRuntime struct {
+	mux  *Mux
+	name string
+}
+
+var _ rt.Runtime = (*chanRuntime)(nil)
+
+func (c *chanRuntime) ID() int { return c.mux.rt.ID() }
+func (c *chanRuntime) N() int  { return c.mux.rt.N() }
+func (c *chanRuntime) F() int  { return c.mux.rt.F() }
+
+func (c *chanRuntime) Send(dst int, msg rt.Message) {
+	c.mux.rt.Send(dst, Envelope{Channel: c.name, Msg: msg})
+}
+
+func (c *chanRuntime) Broadcast(msg rt.Message) {
+	c.mux.rt.Broadcast(Envelope{Channel: c.name, Msg: msg})
+}
+
+func (c *chanRuntime) Atomic(fn func()) { c.mux.rt.Atomic(fn) }
+
+func (c *chanRuntime) WaitUntilThen(label string, pred func() bool, then func()) error {
+	return c.mux.rt.WaitUntilThen(c.name+": "+label, pred, then)
+}
+
+func (c *chanRuntime) Now() rt.Ticks { return c.mux.rt.Now() }
+
+func (c *chanRuntime) Crashed() bool { return c.mux.rt.Crashed() }

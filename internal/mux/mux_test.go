@@ -1,0 +1,139 @@
+package mux_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpsnap/internal/eqaso"
+	"mpsnap/internal/harness"
+	"mpsnap/internal/mux"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sim"
+	"mpsnap/internal/sso"
+)
+
+// TestTwoObjectsOverOneCluster: an EQ-ASO and an SSO share the same nodes
+// through the multiplexer; both behave correctly and independently.
+func TestTwoObjectsOverOneCluster(t *testing.T) {
+	const n, f = 5, 2
+	w := sim.New(sim.Config{N: n, F: f, Seed: 1})
+	asos := make([]*eqaso.Node, n)
+	ssos := make([]*sso.Node, n)
+	for i := 0; i < n; i++ {
+		m := mux.New(w.Runtime(i))
+		w.SetHandler(i, m)
+		asos[i] = eqaso.New(m.Channel("aso"))
+		m.Bind("aso", asos[i])
+		ssos[i] = sso.New(m.Channel("sso"))
+		m.Bind("sso", ssos[i])
+		if got := m.Channels(); len(got) != 2 || got[0] != "aso" || got[1] != "sso" {
+			t.Fatalf("channels = %v", got)
+		}
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		w.GoNode(fmt.Sprintf("client-%d", i), i, func(p *sim.Proc) {
+			// Write DIFFERENT values to the two objects.
+			if err := asos[i].Update([]byte(fmt.Sprintf("aso-%d", i))); err != nil {
+				t.Errorf("aso update: %v", err)
+				return
+			}
+			if err := ssos[i].Update([]byte(fmt.Sprintf("sso-%d", i))); err != nil {
+				t.Errorf("sso update: %v", err)
+				return
+			}
+			_ = p.Sleep(30 * rt.TicksPerD)
+			snapA, err := asos[i].Scan()
+			if err != nil {
+				t.Errorf("aso scan: %v", err)
+				return
+			}
+			snapS, err := ssos[i].Scan()
+			if err != nil {
+				t.Errorf("sso scan: %v", err)
+				return
+			}
+			for j := 0; j < n; j++ {
+				if string(snapA[j]) != fmt.Sprintf("aso-%d", j) {
+					t.Errorf("aso segment %d = %q (cross-object leak?)", j, snapA[j])
+				}
+				if string(snapS[j]) != fmt.Sprintf("sso-%d", j) {
+					t.Errorf("sso segment %d = %q (cross-object leak?)", j, snapS[j])
+				}
+			}
+		})
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMuxedHistoriesStayLinearizable: the multiplexed ASO still passes the
+// checker with a recorded workload.
+func TestMuxedHistoriesStayLinearizable(t *testing.T) {
+	const n, f = 4, 1
+	var muxes []*mux.Mux
+	c := harness.Build(sim.Config{N: n, F: f, Seed: 3}, func(r rt.Runtime) (rt.Handler, harness.Object) {
+		m := mux.New(r)
+		muxes = append(muxes, m)
+		nd := eqaso.New(m.Channel("main"))
+		m.Bind("main", nd)
+		// A second, unrelated object generating background traffic.
+		aux := eqaso.New(m.Channel("aux"))
+		m.Bind("aux", aux)
+		return m, nd
+	})
+	for i := 0; i < n; i++ {
+		c.Client(i, func(o *harness.OpRunner) {
+			for k := 0; k < 3; k++ {
+				if _, err := o.Update(); err != nil {
+					return
+				}
+				if _, err := o.Scan(); err != nil {
+					return
+				}
+			}
+		})
+	}
+	if _, err := c.MustLinearizable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindTwicePanics(t *testing.T) {
+	w := sim.New(sim.Config{N: 1, F: 0, Seed: 1})
+	m := mux.New(w.Runtime(0))
+	m.Bind("x", rt.HandlerFunc(func(int, rt.Message) {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double bind must panic")
+		}
+	}()
+	m.Bind("x", rt.HandlerFunc(func(int, rt.Message) {}))
+}
+
+type plainMsg struct{}
+
+func (plainMsg) Kind() string { return "plain" }
+
+func TestUnknownChannelAndNonEnvelopeDropped(t *testing.T) {
+	w := sim.New(sim.Config{N: 2, F: 0, Seed: 1})
+	m := mux.New(w.Runtime(0))
+	w.SetHandler(0, m)
+	w.Go("d", func(p *sim.Proc) {
+		// Non-envelope and unknown-channel traffic must be ignored
+		// without panicking.
+		w.Runtime(1).Send(0, plainMsg{})
+		w.Runtime(1).Send(0, mux.Envelope{Channel: "ghost", Msg: plainMsg{}})
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvelopeKind(t *testing.T) {
+	e := mux.Envelope{Channel: "aso", Msg: plainMsg{}}
+	if e.Kind() != "aso/plain" {
+		t.Fatalf("kind = %q", e.Kind())
+	}
+}

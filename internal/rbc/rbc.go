@@ -1,0 +1,170 @@
+// Package rbc implements Bracha's asynchronous reliable broadcast
+// (Information and Computation, 1987 — reference [18] of the paper), the
+// primitive the Byzantine ASO integrates with the equivalence quorum
+// framework (Section V).
+//
+// With n > 3f nodes of which at most f are Byzantine, every broadcast
+// satisfies:
+//
+//   - Validity: if a correct node broadcasts m, every correct node
+//     eventually delivers m.
+//   - Agreement: if any correct node delivers m for a broadcast, every
+//     correct node delivers m for it.
+//   - Integrity: a correct node delivers at most one message per broadcast
+//     identifier, and (for correct origins) only a message the origin sent.
+//
+// Concurrency contract: all methods must be called from the node's handler
+// or from inside rt.Runtime.Atomic — the package does no locking of its
+// own. The Deliver callback runs in that same atomic context.
+package rbc
+
+import (
+	"encoding/gob"
+
+	"mpsnap/internal/rt"
+)
+
+// ID identifies one broadcast instance.
+type ID struct {
+	Origin int
+	Seq    int64
+}
+
+// MsgSend is the origin's initial dissemination.
+type MsgSend struct {
+	ID      ID
+	Payload []byte
+}
+
+// Kind implements rt.Message.
+func (MsgSend) Kind() string { return "rbcSend" }
+
+// MsgEcho is the first-phase witness message.
+type MsgEcho struct {
+	ID      ID
+	Payload []byte
+}
+
+// Kind implements rt.Message.
+func (MsgEcho) Kind() string { return "rbcEcho" }
+
+// MsgReady is the second-phase commitment message.
+type MsgReady struct {
+	ID      ID
+	Payload []byte
+}
+
+// Kind implements rt.Message.
+func (MsgReady) Kind() string { return "rbcReady" }
+
+func init() {
+	gob.Register(MsgSend{})
+	gob.Register(MsgEcho{})
+	gob.Register(MsgReady{})
+}
+
+type bcastState struct {
+	sentEcho  bool
+	sentReady bool
+	delivered bool
+	echoes    map[string]map[int]bool // payload -> witnesses
+	readies   map[string]map[int]bool
+}
+
+// RBC is the per-node reliable broadcast layer.
+type RBC struct {
+	rt      rt.Runtime
+	n, f    int
+	nextSeq int64
+	st      map[ID]*bcastState
+
+	// Deliver is invoked exactly once per delivered broadcast, in the
+	// handler's atomic context.
+	Deliver func(id ID, payload []byte)
+}
+
+// New creates the layer; the caller routes rbc messages into Handle.
+func New(r rt.Runtime, deliver func(id ID, payload []byte)) *RBC {
+	if r.N() <= 3*r.F() {
+		panic("rbc: requires n > 3f")
+	}
+	return &RBC{rt: r, n: r.N(), f: r.F(), st: make(map[ID]*bcastState), Deliver: deliver}
+}
+
+func (b *RBC) state(id ID) *bcastState {
+	s := b.st[id]
+	if s == nil {
+		s = &bcastState{
+			echoes:  make(map[string]map[int]bool),
+			readies: make(map[string]map[int]bool),
+		}
+		b.st[id] = s
+	}
+	return s
+}
+
+// Broadcast reliably broadcasts payload and returns the instance ID.
+func (b *RBC) Broadcast(payload []byte) ID {
+	b.nextSeq++
+	id := ID{Origin: b.rt.ID(), Seq: b.nextSeq}
+	b.rt.Broadcast(MsgSend{ID: id, Payload: payload})
+	return id
+}
+
+// Handle processes a message; it returns false if the message is not an
+// rbc message (so callers can multiplex).
+func (b *RBC) Handle(src int, m rt.Message) bool {
+	switch msg := m.(type) {
+	case MsgSend:
+		// Only the origin may open its own broadcast.
+		if src != msg.ID.Origin {
+			return true
+		}
+		s := b.state(msg.ID)
+		if !s.sentEcho {
+			s.sentEcho = true
+			b.rt.Broadcast(MsgEcho{ID: msg.ID, Payload: msg.Payload})
+		}
+	case MsgEcho:
+		s := b.state(msg.ID)
+		key := string(msg.Payload)
+		w := s.echoes[key]
+		if w == nil {
+			w = make(map[int]bool)
+			s.echoes[key] = w
+		}
+		if w[src] {
+			return true
+		}
+		w[src] = true
+		if len(w) >= (b.n+b.f)/2+1 && !s.sentReady {
+			s.sentReady = true
+			b.rt.Broadcast(MsgReady{ID: msg.ID, Payload: msg.Payload})
+		}
+	case MsgReady:
+		s := b.state(msg.ID)
+		key := string(msg.Payload)
+		w := s.readies[key]
+		if w == nil {
+			w = make(map[int]bool)
+			s.readies[key] = w
+		}
+		if w[src] {
+			return true
+		}
+		w[src] = true
+		if len(w) >= b.f+1 && !s.sentReady {
+			s.sentReady = true
+			b.rt.Broadcast(MsgReady{ID: msg.ID, Payload: msg.Payload})
+		}
+		if len(w) >= 2*b.f+1 && !s.delivered {
+			s.delivered = true
+			if b.Deliver != nil {
+				b.Deliver(msg.ID, msg.Payload)
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}

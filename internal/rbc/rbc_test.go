@@ -1,0 +1,194 @@
+package rbc_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mpsnap/internal/rbc"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sim"
+)
+
+// deployment builds an n-node RBC layer over the simulator and returns the
+// per-node delivery logs.
+type deployment struct {
+	w      *sim.World
+	layers []*rbc.RBC
+	got    []map[rbc.ID]string
+}
+
+func deploy(n, f int, seed int64) *deployment {
+	d := &deployment{
+		w:      sim.New(sim.Config{N: n, F: f, Seed: seed}),
+		layers: make([]*rbc.RBC, n),
+		got:    make([]map[rbc.ID]string, n),
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		d.got[i] = make(map[rbc.ID]string)
+		d.layers[i] = rbc.New(d.w.Runtime(i), func(id rbc.ID, payload []byte) {
+			if _, dup := d.got[i][id]; dup {
+				panic(fmt.Sprintf("node %d delivered %v twice", i, id))
+			}
+			d.got[i][id] = string(payload)
+		})
+		d.w.SetHandler(i, rt.HandlerFunc(func(src int, m rt.Message) {
+			d.layers[i].Handle(src, m)
+		}))
+	}
+	return d
+}
+
+func TestValidity(t *testing.T) {
+	d := deploy(4, 1, 1)
+	d.w.Go("origin", func(p *sim.Proc) {
+		d.w.Runtime(0).ID() // no-op; broadcast below under atomic contract
+		d.layers[0].Broadcast([]byte("hello"))
+	})
+	if err := d.w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if len(d.got[i]) != 1 {
+			t.Fatalf("node %d delivered %d messages, want 1", i, len(d.got[i]))
+		}
+		for _, v := range d.got[i] {
+			if v != "hello" {
+				t.Fatalf("node %d delivered %q", i, v)
+			}
+		}
+	}
+}
+
+func TestValidityWithSilentFaults(t *testing.T) {
+	// f nodes crash immediately; correct nodes must still deliver.
+	n, f := 7, 2
+	d := deploy(n, f, 3)
+	for i := n - f; i < n; i++ {
+		d.w.CrashAt(i, 0)
+	}
+	d.w.Go("origin", func(p *sim.Proc) {
+		d.layers[0].Broadcast([]byte("m"))
+	})
+	if err := d.w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n-f; i++ {
+		if len(d.got[i]) != 1 {
+			t.Fatalf("correct node %d delivered %d, want 1", i, len(d.got[i]))
+		}
+	}
+}
+
+func TestAgreementUnderEquivocation(t *testing.T) {
+	// A Byzantine origin sends SEND("a") to half the nodes and SEND("b")
+	// to the other half. Agreement: all correct nodes that deliver must
+	// deliver the same payload; and if any delivers, all deliver.
+	prop := func(seed int64) bool {
+		n, f := 7, 2
+		d := deploy(n, f, seed)
+		byz := n - 1
+		d.w.Go("equivocator", func(p *sim.Proc) {
+			r := d.w.Runtime(byz)
+			id := rbc.ID{Origin: byz, Seq: 1}
+			for dst := 0; dst < n; dst++ {
+				payload := "a"
+				if dst%2 == 0 {
+					payload = "b"
+				}
+				r.Send(dst, rbc.MsgSend{ID: id, Payload: []byte(payload)})
+			}
+		})
+		if err := d.w.Run(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		var delivered []string
+		count := 0
+		for i := 0; i < n-1; i++ { // exclude the byzantine node itself
+			if v, ok := d.got[i][rbc.ID{Origin: byz, Seq: 1}]; ok {
+				delivered = append(delivered, v)
+				count++
+			}
+		}
+		if count == 0 {
+			return true // nobody delivered: allowed for a Byzantine origin
+		}
+		if count != n-1 {
+			t.Logf("seed %d: only %d of %d correct nodes delivered", seed, count, n-1)
+			return false
+		}
+		for _, v := range delivered {
+			if v != delivered[0] {
+				t.Logf("seed %d: divergent deliveries %v", seed, delivered)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForgedOriginIgnored(t *testing.T) {
+	// A Byzantine node opens a broadcast claiming another origin; the
+	// channel authenticates the sender, so the SEND must be ignored.
+	n, f := 4, 1
+	d := deploy(n, f, 5)
+	d.w.Go("forger", func(p *sim.Proc) {
+		r := d.w.Runtime(3)
+		forged := rbc.ID{Origin: 0, Seq: 99}
+		r.Broadcast(rbc.MsgSend{ID: forged, Payload: []byte("fake")})
+	})
+	if err := d.w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if len(d.got[i]) != 0 {
+			t.Fatalf("node %d delivered a forged broadcast: %v", i, d.got[i])
+		}
+	}
+}
+
+func TestManyConcurrentBroadcasts(t *testing.T) {
+	n, f := 7, 2
+	d := deploy(n, f, 9)
+	const each = 5
+	for i := 0; i < n; i++ {
+		i := i
+		d.w.GoNode(fmt.Sprintf("origin-%d", i), i, func(p *sim.Proc) {
+			for k := 0; k < each; k++ {
+				d.layers[i].Broadcast([]byte(fmt.Sprintf("m%d-%d", i, k)))
+				_ = p.Sleep(rt.Ticks(100 * (i + 1)))
+			}
+		})
+	}
+	if err := d.w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if len(d.got[i]) != n*each {
+			t.Fatalf("node %d delivered %d, want %d", i, len(d.got[i]), n*each)
+		}
+	}
+	// Agreement on every instance.
+	for id, v := range d.got[0] {
+		for i := 1; i < n; i++ {
+			if d.got[i][id] != v {
+				t.Fatalf("instance %v: node %d delivered %q, node 0 %q", id, i, d.got[i][id], v)
+			}
+		}
+	}
+}
+
+func TestRequiresNGreaterThan3F(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New must reject n <= 3f")
+		}
+	}()
+	w := sim.New(sim.Config{N: 3, F: 1, Seed: 1})
+	rbc.New(w.Runtime(0), nil)
+}

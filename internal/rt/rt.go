@@ -1,0 +1,101 @@
+// Package rt defines the abstract node runtime that every algorithm in this
+// repository is written against.
+//
+// The model mirrors the paper's system model (Section II-A): each node has
+// one server thread that handles incoming messages atomically, and one
+// sequential client thread that invokes operations. Operations alternate
+// between sending messages and blocking on local predicates ("wait until"
+// in the pseudocode). The same algorithm code runs unchanged on the
+// deterministic virtual-time simulator (internal/sim) and on the real-time
+// transports (internal/transport).
+package rt
+
+import "errors"
+
+// Ticks is a point in (or duration of) virtual time. Real-time runtimes
+// convert wall-clock durations into ticks using their configured D.
+type Ticks int64
+
+// TicksPerD is the number of virtual-time ticks that make up one maximum
+// message delay D. All experiment output is reported in units of D.
+const TicksPerD Ticks = 1000
+
+// DUnits converts a tick count into (fractional) units of D.
+func (t Ticks) DUnits() float64 { return float64(t) / float64(TicksPerD) }
+
+// ErrCrashed is returned from a blocking wait when the local node has
+// crashed. Operations must propagate it; the operation is considered to
+// have no response event.
+var ErrCrashed = errors.New("rt: node crashed")
+
+// Message is a protocol message. Concrete message types live next to the
+// algorithm that owns them and must be registered with encoding/gob to be
+// usable over the TCP transport.
+type Message interface {
+	// Kind returns a short stable name used for tracing, metrics, and
+	// delay-model matching (e.g. "value", "writeTag", "goodLA").
+	Kind() string
+}
+
+// Handler is the server thread of a node: it processes one message at a
+// time. The runtime guarantees that HandleMessage executions are atomic
+// with respect to each other and to Atomic/WaitUntilThen critical sections
+// on the same node. Handlers must not block; they may mutate node state and
+// send messages.
+type Handler interface {
+	HandleMessage(src int, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(src int, msg Message)
+
+// HandleMessage calls f(src, msg).
+func (f HandlerFunc) HandleMessage(src int, msg Message) { f(src, msg) }
+
+// Runtime is the per-node execution environment handed to an algorithm.
+//
+// Channel semantics (Section II-A of the paper): point-to-point channels
+// are reliable and FIFO. Once Send returns, delivery is guaranteed even if
+// the sender subsequently crashes. Messages from a crashed node that were
+// never sent are lost; a crashed node stops sending and handling.
+type Runtime interface {
+	// ID is this node's identifier in [0, N).
+	ID() int
+	// N is the total number of nodes.
+	N() int
+	// F is the resilience bound (maximum number of faulty nodes).
+	F() int
+
+	// Send transmits msg to dst over the reliable FIFO channel. It never
+	// blocks; it may be called from handlers and from critical sections.
+	Send(dst int, msg Message)
+	// Broadcast sends msg to all nodes, including the sender itself.
+	// It is equivalent to a loop of Sends and is NOT atomic with respect
+	// to crashes: a node may crash partway through, reaching only a
+	// prefix of the destinations (this is how failure chains form).
+	Broadcast(msg Message)
+
+	// Atomic runs fn mutually exclusive with the node's message handler
+	// and any other critical section on this node.
+	Atomic(fn func())
+
+	// WaitUntilThen blocks the calling client thread until pred() holds,
+	// then runs then() in the same critical section in which pred was
+	// observed true. pred must be side-effect free; it is evaluated under
+	// the node's atomicity guarantee. label is used for deadlock
+	// diagnostics. Returns ErrCrashed if the node crashes before or
+	// while waiting.
+	WaitUntilThen(label string, pred func() bool, then func()) error
+
+	// Now returns the current time in ticks (virtual time under the
+	// simulator, scaled wall-clock time on real transports).
+	Now() Ticks
+
+	// Crashed reports whether this node has crashed.
+	Crashed() bool
+}
+
+// WaitUntil blocks until pred() holds (see Runtime.WaitUntilThen).
+func WaitUntil(r Runtime, label string, pred func() bool) error {
+	return r.WaitUntilThen(label, pred, func() {})
+}

@@ -1,0 +1,66 @@
+package rt
+
+import "testing"
+
+type msg struct{}
+
+func (msg) Kind() string { return "m" }
+
+func TestHandlerFunc(t *testing.T) {
+	var gotSrc int
+	var gotMsg Message
+	h := HandlerFunc(func(src int, m Message) { gotSrc, gotMsg = src, m })
+	h.HandleMessage(7, msg{})
+	if gotSrc != 7 || gotMsg == nil {
+		t.Fatalf("handler func: src=%d msg=%v", gotSrc, gotMsg)
+	}
+}
+
+func TestDUnits(t *testing.T) {
+	if got := (2 * TicksPerD).DUnits(); got != 2.0 {
+		t.Fatalf("2D = %f", got)
+	}
+	if got := (TicksPerD / 2).DUnits(); got != 0.5 {
+		t.Fatalf("0.5D = %f", got)
+	}
+	if got := Ticks(0).DUnits(); got != 0 {
+		t.Fatalf("0D = %f", got)
+	}
+}
+
+// fakeRuntime exercises the WaitUntil helper.
+type fakeRuntime struct {
+	ranThen bool
+}
+
+func (f *fakeRuntime) ID() int                 { return 0 }
+func (f *fakeRuntime) N() int                  { return 1 }
+func (f *fakeRuntime) F() int                  { return 0 }
+func (f *fakeRuntime) Send(dst int, m Message) {}
+func (f *fakeRuntime) Broadcast(m Message)     {}
+func (f *fakeRuntime) Atomic(fn func())        { fn() }
+func (f *fakeRuntime) Now() Ticks              { return 0 }
+func (f *fakeRuntime) Crashed() bool           { return false }
+func (f *fakeRuntime) WaitUntilThen(label string, pred func() bool, then func()) error {
+	for !pred() {
+	}
+	then()
+	f.ranThen = true
+	return nil
+}
+
+func TestWaitUntilHelper(t *testing.T) {
+	f := &fakeRuntime{}
+	if err := WaitUntil(f, "x", func() bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if !f.ranThen {
+		t.Fatal("WaitUntil must call WaitUntilThen")
+	}
+}
+
+func TestErrCrashed(t *testing.T) {
+	if ErrCrashed.Error() == "" {
+		t.Fatal("ErrCrashed must have a message")
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"runtime/debug"
+
+	"mpsnap/internal/rt"
+)
+
+func debugStack() string { return string(debug.Stack()) }
+
+// nodeRuntime adapts a World node to the rt.Runtime interface. Because the
+// whole simulation is serialized by the scheduler, Atomic is trivial and
+// blocking waits go through the Proc handoff protocol.
+type nodeRuntime struct {
+	w  *World
+	id int
+}
+
+var _ rt.Runtime = (*nodeRuntime)(nil)
+
+func (r *nodeRuntime) ID() int { return r.id }
+func (r *nodeRuntime) N() int  { return r.w.cfg.N }
+func (r *nodeRuntime) F() int  { return r.w.cfg.F }
+
+func (r *nodeRuntime) Send(dst int, msg rt.Message) { r.w.send(r.id, dst, msg) }
+func (r *nodeRuntime) Broadcast(msg rt.Message)     { r.w.broadcast(r.id, msg) }
+
+func (r *nodeRuntime) Atomic(fn func()) { fn() }
+
+func (r *nodeRuntime) WaitUntilThen(label string, pred func() bool, then func()) error {
+	p := r.w.current
+	if p == nil {
+		panic("sim: WaitUntilThen called outside a process (handlers must not block)")
+	}
+	return p.waitUntilThen(r.id, label, pred, then)
+}
+
+func (r *nodeRuntime) Now() rt.Ticks { return r.w.now }
+
+func (r *nodeRuntime) Crashed() bool { return r.w.nodes[r.id].crashed }

@@ -1,0 +1,486 @@
+// Package sim is a deterministic discrete-event simulator of the paper's
+// asynchronous message-passing system (Section II-A).
+//
+// Time is virtual: every message between distinct nodes is delivered within
+// D ticks (rt.TicksPerD by default), with the exact delay chosen by a
+// pluggable DelayModel and the failure pattern chosen by an Adversary.
+// Channels are reliable and FIFO; once a send completes, delivery happens
+// even if the sender crashes afterwards. Crashes may truncate a broadcast
+// partway through (a prefix of destinations receives the message), which is
+// what makes the paper's failure chains (Definition 11) expressible.
+//
+// Node message handlers run atomically on the scheduler goroutine. Client
+// operations run in "processes" (goroutines) that the scheduler resumes one
+// at a time, so an entire simulation is single-threaded and fully
+// deterministic for a given seed, delay model, and adversary.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"mpsnap/internal/rt"
+)
+
+// Config parameterizes a World.
+type Config struct {
+	// N is the number of nodes; must be >= 1.
+	N int
+	// F is the resilience bound reported to algorithms via rt.Runtime.F.
+	F int
+	// D is the maximum message delay in ticks. 0 means rt.TicksPerD.
+	D rt.Ticks
+	// Delay chooses per-message delays. nil means Uniform{1, D}.
+	Delay DelayModel
+	// SelfDelay is the delivery delay for messages a node sends to
+	// itself. 0 means 1 tick.
+	SelfDelay rt.Ticks
+	// Adversary intercepts broadcasts to model crash-during-send and
+	// other failure patterns. nil means no interference.
+	Adversary Adversary
+	// Seed seeds the simulation's private RNG (used by random delay
+	// models). The default 0 is a valid seed.
+	Seed int64
+	// MaxEvents aborts the run (with an error) after this many scheduler
+	// steps, as a livelock backstop. 0 means 100,000,000.
+	MaxEvents int64
+	// Sequencer, if set, replaces time-ordered delivery with explicit
+	// schedule control: at every step the sequencer picks which eligible
+	// event fires next (per-channel FIFO is still enforced — only the
+	// oldest undelivered message of each channel is eligible). Virtual
+	// time degenerates to a step counter. Used by the schedule explorer
+	// (internal/explore); scenarios must not rely on Sleep durations.
+	Sequencer Sequencer
+}
+
+// EventInfo describes one eligible event for a Sequencer.
+type EventInfo struct {
+	// Src/Dst identify a message event's channel; Src is -1 for
+	// non-message events (timers, scheduled crashes).
+	Src, Dst int
+	// Kind is the message kind (empty for non-message events).
+	Kind string
+}
+
+// Sequencer chooses which eligible event fires next. Implementations must
+// be deterministic functions of the choice history to support replay.
+type Sequencer interface {
+	// Next returns an index into eligible (len ≥ 1).
+	Next(eligible []EventInfo) int
+}
+
+// World is one simulated execution.
+type World struct {
+	cfg   Config
+	now   rt.Ticks
+	seq   int64
+	pq    eventHeap
+	rng   *rand.Rand
+	nodes []*nodeState
+	// lastDeliv[src][dst] is the latest scheduled delivery time on the
+	// (src,dst) channel; later sends may not be delivered earlier (FIFO).
+	lastDeliv [][]rt.Ticks
+
+	procs    []*Proc
+	newProcs []*Proc
+	waiters  []*waiter
+	current  *Proc
+	parkCh   chan parkMsg
+
+	steps      int64
+	msgsTotal  int64
+	msgsByKind map[string]int64
+
+	tracer func(TraceEvent)
+
+	ran bool
+}
+
+// TraceEvent is one observable simulator event (for tooling and debug
+// output). Kind is "send", "deliver", or "crash".
+type TraceEvent struct {
+	T    rt.Ticks
+	Kind string
+	Src  int
+	Dst  int
+	Msg  string // message kind; empty for crashes
+}
+
+// SetTracer installs an event observer. It is invoked synchronously on
+// the scheduler, so it must not block or mutate simulation state.
+func (w *World) SetTracer(fn func(TraceEvent)) { w.tracer = fn }
+
+type nodeState struct {
+	handler   rt.Handler
+	crashed   bool
+	version   int64 // bumped whenever node state may have changed
+	sent      int64
+	delivered int64
+}
+
+type event struct {
+	t   rt.Ticks
+	seq int64
+	fn  func()
+	// Metadata for the sequencer (schedule exploration): message events
+	// carry src/dst/kind; other events have src = -1.
+	src, dst int
+	kind     string
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peekTime() rt.Ticks { return h[0].t }
+
+// New creates a fresh simulated world.
+func New(cfg Config) *World {
+	if cfg.N < 1 {
+		panic("sim: Config.N must be >= 1")
+	}
+	if cfg.D == 0 {
+		cfg.D = rt.TicksPerD
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = Uniform{Min: 1, Max: cfg.D}
+	}
+	if cfg.SelfDelay == 0 {
+		cfg.SelfDelay = 1
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 100_000_000
+	}
+	w := &World{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		parkCh:     make(chan parkMsg),
+		msgsByKind: make(map[string]int64),
+	}
+	w.nodes = make([]*nodeState, cfg.N)
+	for i := range w.nodes {
+		w.nodes[i] = &nodeState{}
+	}
+	w.lastDeliv = make([][]rt.Ticks, cfg.N)
+	for i := range w.lastDeliv {
+		w.lastDeliv[i] = make([]rt.Ticks, cfg.N)
+	}
+	return w
+}
+
+// Now returns the current virtual time.
+func (w *World) Now() rt.Ticks { return w.now }
+
+// D returns the configured maximum message delay.
+func (w *World) D() rt.Ticks { return w.cfg.D }
+
+// N returns the number of nodes.
+func (w *World) N() int { return w.cfg.N }
+
+// F returns the resilience bound.
+func (w *World) F() int { return w.cfg.F }
+
+// SetHandler installs the message handler (server thread) of node id.
+func (w *World) SetHandler(id int, h rt.Handler) { w.nodes[id].handler = h }
+
+// Runtime returns the rt.Runtime for node id.
+func (w *World) Runtime(id int) rt.Runtime { return &nodeRuntime{w: w, id: id} }
+
+// Crashed reports whether node id has crashed.
+func (w *World) Crashed(id int) bool { return w.nodes[id].crashed }
+
+// CrashAt schedules node id to crash at time t (before any delivery at t).
+func (w *World) CrashAt(id int, t rt.Ticks) {
+	w.schedule(t, func() { w.crash(id) })
+}
+
+// Crash crashes node id immediately. In-flight messages it already sent are
+// still delivered; it stops sending and handling, and any blocked operation
+// on it fails with rt.ErrCrashed.
+func (w *World) Crash(id int) { w.crash(id) }
+
+func (w *World) crash(id int) {
+	ns := w.nodes[id]
+	if ns.crashed {
+		return
+	}
+	ns.crashed = true
+	ns.version++
+	if w.tracer != nil {
+		w.tracer(TraceEvent{T: w.now, Kind: "crash", Src: id, Dst: -1})
+	}
+}
+
+// CrashedCount returns the number of crashed nodes.
+func (w *World) CrashedCount() int {
+	k := 0
+	for _, ns := range w.nodes {
+		if ns.crashed {
+			k++
+		}
+	}
+	return k
+}
+
+// schedule enqueues fn to run at time t (>= now).
+func (w *World) schedule(t rt.Ticks, fn func()) {
+	if t < w.now {
+		t = w.now
+	}
+	w.seq++
+	heap.Push(&w.pq, event{t: t, seq: w.seq, fn: fn, src: -1, dst: -1})
+}
+
+// scheduleMsg enqueues a message delivery with sequencer metadata.
+func (w *World) scheduleMsg(t rt.Ticks, src, dst int, kind string, fn func()) {
+	if t < w.now {
+		t = w.now
+	}
+	w.seq++
+	heap.Push(&w.pq, event{t: t, seq: w.seq, fn: fn, src: src, dst: dst, kind: kind})
+}
+
+// After schedules fn to run d ticks from now. It is the hook scenario code
+// uses to inject actions (crashes, probes) at chosen times.
+func (w *World) After(d rt.Ticks, fn func()) { w.schedule(w.now+d, fn) }
+
+// send transmits one message on the (src,dst) channel.
+func (w *World) send(src, dst int, msg rt.Message) {
+	if w.nodes[src].crashed {
+		return
+	}
+	var d rt.Ticks
+	if src == dst {
+		d = w.cfg.SelfDelay
+	} else {
+		d = w.cfg.Delay.Delay(src, dst, msg.Kind(), w.now, w.rng)
+	}
+	if d < 1 {
+		d = 1
+	}
+	if d > w.cfg.D {
+		d = w.cfg.D
+	}
+	t := w.now + d
+	if t < w.lastDeliv[src][dst] {
+		t = w.lastDeliv[src][dst] // FIFO: never overtake an earlier send
+	}
+	w.lastDeliv[src][dst] = t
+	w.nodes[src].sent++
+	w.msgsTotal++
+	w.msgsByKind[msg.Kind()]++
+	if w.tracer != nil {
+		w.tracer(TraceEvent{T: w.now, Kind: "send", Src: src, Dst: dst, Msg: msg.Kind()})
+	}
+	w.scheduleMsg(t, src, dst, msg.Kind(), func() { w.deliver(src, dst, msg) })
+}
+
+func (w *World) deliver(src, dst int, msg rt.Message) {
+	ns := w.nodes[dst]
+	if ns.crashed {
+		return
+	}
+	ns.delivered++
+	ns.version++
+	if w.tracer != nil {
+		w.tracer(TraceEvent{T: w.now, Kind: "deliver", Src: src, Dst: dst, Msg: msg.Kind()})
+	}
+	if ns.handler != nil {
+		ns.handler.HandleMessage(src, msg)
+	}
+}
+
+// broadcast sends msg from src to all nodes (including src), possibly
+// truncated by the adversary, which may also crash src afterwards.
+func (w *World) broadcast(src int, msg rt.Message) {
+	if w.nodes[src].crashed {
+		return
+	}
+	dsts := make([]int, w.cfg.N)
+	for i := range dsts {
+		dsts[i] = i
+	}
+	crashAfter := false
+	if w.cfg.Adversary != nil {
+		dsts, crashAfter = w.cfg.Adversary.OnBroadcast(w.now, src, msg, dsts)
+	}
+	for _, dst := range dsts {
+		w.send(src, dst, msg)
+	}
+	if crashAfter {
+		w.crash(src)
+	}
+}
+
+// Stats is a snapshot of simulation counters.
+type Stats struct {
+	Now        rt.Ticks
+	Events     int64
+	MsgsTotal  int64
+	MsgsByKind map[string]int64
+	SentByNode []int64
+}
+
+// Stats returns current counters. The returned maps/slices are copies.
+func (w *World) Stats() Stats {
+	s := Stats{
+		Now:        w.now,
+		Events:     w.steps,
+		MsgsTotal:  w.msgsTotal,
+		MsgsByKind: make(map[string]int64, len(w.msgsByKind)),
+		SentByNode: make([]int64, w.cfg.N),
+	}
+	for k, v := range w.msgsByKind {
+		s.MsgsByKind[k] = v
+	}
+	for i, ns := range w.nodes {
+		s.SentByNode[i] = ns.sent
+	}
+	return s
+}
+
+// SentBy returns the number of messages node id has sent so far. Useful for
+// asserting communication-free operations (e.g. SSO scans).
+func (w *World) SentBy(id int) int64 { return w.nodes[id].sent }
+
+// DeadlockError is returned by Run when no event can make progress while
+// processes are still blocked.
+type DeadlockError struct {
+	Now     rt.Ticks
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%d with %d blocked waiter(s):\n  %s",
+		e.Now, len(e.Blocked), strings.Join(e.Blocked, "\n  "))
+}
+
+// Run executes the simulation until every process has finished and the
+// event queue is empty. It returns a *DeadlockError if processes remain
+// blocked with no pending events, or an error if Config.MaxEvents is hit.
+// Run must be called exactly once per World.
+func (w *World) Run() error {
+	if w.ran {
+		panic("sim: World.Run called twice")
+	}
+	w.ran = true
+	for {
+		w.steps++
+		if w.steps > w.cfg.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%d (livelock?)", w.cfg.MaxEvents, w.now)
+		}
+		// 1. Start any newly spawned processes.
+		if len(w.newProcs) > 0 {
+			p := w.newProcs[0]
+			w.newProcs = w.newProcs[1:]
+			w.runProc(p, false)
+			continue
+		}
+		// 2. Resume a blocked process whose predicate now holds (or
+		//    whose node crashed).
+		if i := w.findFireable(); i >= 0 {
+			wt := w.waiters[i]
+			w.waiters = append(w.waiters[:i], w.waiters[i+1:]...)
+			w.runProc(wt.p, wt.node >= 0 && w.nodes[wt.node].crashed)
+			continue
+		}
+		// 3. Advance virtual time to the next event (or let the
+		//    sequencer pick any eligible one, for schedule exploration).
+		if w.pq.Len() > 0 {
+			var ev event
+			if w.cfg.Sequencer != nil {
+				ev = w.pickSequenced()
+			} else {
+				ev = heap.Pop(&w.pq).(event)
+			}
+			if ev.t > w.now {
+				w.now = ev.t
+			}
+			ev.fn()
+			continue
+		}
+		// 4. Quiescent.
+		if len(w.waiters) > 0 {
+			de := &DeadlockError{Now: w.now}
+			for _, wt := range w.waiters {
+				de.Blocked = append(de.Blocked, fmt.Sprintf("proc %q node=%d wait=%q since t=%d", wt.p.name, wt.node, wt.label, wt.since))
+			}
+			sort.Strings(de.Blocked)
+			return de
+		}
+		return nil
+	}
+}
+
+// pickSequenced builds the eligible event set — every non-message event,
+// plus the oldest undelivered message per channel (FIFO) — and lets the
+// sequencer choose. Eligible events are presented in a deterministic
+// (send-sequence) order so choices replay exactly.
+func (w *World) pickSequenced() event {
+	type cand struct {
+		heapIdx int
+		seq     int64
+		info    EventInfo
+	}
+	var cands []cand
+	chanBest := make(map[[2]int]int)
+	for i, ev := range w.pq {
+		if ev.src < 0 {
+			cands = append(cands, cand{heapIdx: i, seq: ev.seq, info: EventInfo{Src: -1, Dst: -1}})
+			continue
+		}
+		key := [2]int{ev.src, ev.dst}
+		info := EventInfo{Src: ev.src, Dst: ev.dst, Kind: ev.kind}
+		if j, ok := chanBest[key]; ok {
+			if ev.seq < cands[j].seq {
+				cands[j] = cand{heapIdx: i, seq: ev.seq, info: info}
+			}
+			continue
+		}
+		chanBest[key] = len(cands)
+		cands = append(cands, cand{heapIdx: i, seq: ev.seq, info: info})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
+	infos := make([]EventInfo, len(cands))
+	for i, c := range cands {
+		infos[i] = c.info
+	}
+	choice := w.cfg.Sequencer.Next(infos)
+	if choice < 0 || choice >= len(cands) {
+		panic(fmt.Sprintf("sim: sequencer chose %d of %d eligible events", choice, len(cands)))
+	}
+	ev := w.pq[cands[choice].heapIdx]
+	heap.Remove(&w.pq, cands[choice].heapIdx)
+	return ev
+}
+
+func (w *World) findFireable() int {
+	for i, wt := range w.waiters {
+		if wt.node >= 0 {
+			ns := w.nodes[wt.node]
+			if ns.crashed {
+				return i
+			}
+			if ns.version == wt.seenVersion && w.now == wt.seenNow {
+				continue // nothing changed since last evaluation
+			}
+			wt.seenVersion = ns.version
+			wt.seenNow = w.now
+		}
+		if wt.pred() {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"mpsnap/internal/rt"
+)
+
+func TestTracerObservesSendsDeliveriesCrashes(t *testing.T) {
+	w := New(Config{N: 3, F: 1, Seed: 1})
+	var events []TraceEvent
+	w.SetTracer(func(ev TraceEvent) { events = append(events, ev) })
+	w.SetHandler(1, rt.HandlerFunc(func(src int, m rt.Message) {}))
+	w.CrashAt(2, 100)
+	w.Go("d", func(p *Proc) {
+		w.Runtime(0).Send(1, testMsg{Kd: "hello", Seq: 1})
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var sends, delivers, crashes int
+	for _, ev := range events {
+		switch ev.Kind {
+		case "send":
+			sends++
+			if ev.Src != 0 || ev.Dst != 1 || ev.Msg != "hello" {
+				t.Fatalf("send event: %+v", ev)
+			}
+		case "deliver":
+			delivers++
+			if ev.T <= 0 {
+				t.Fatalf("delivery with no delay: %+v", ev)
+			}
+		case "crash":
+			crashes++
+			if ev.Src != 2 {
+				t.Fatalf("crash event: %+v", ev)
+			}
+		}
+	}
+	if sends != 1 || delivers != 1 || crashes != 1 {
+		t.Fatalf("sends=%d delivers=%d crashes=%d", sends, delivers, crashes)
+	}
+}
+
+func TestTracerSilentByDefault(t *testing.T) {
+	w := New(Config{N: 2, F: 0, Seed: 1})
+	w.Go("d", func(p *Proc) {
+		w.Runtime(0).Send(1, testMsg{Kd: "x", Seq: 0})
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err) // must not panic with no tracer installed
+	}
+}

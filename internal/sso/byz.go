@@ -1,0 +1,20 @@
+package sso
+
+import (
+	"mpsnap/internal/byzaso"
+	"mpsnap/internal/core"
+	"mpsnap/internal/rt"
+)
+
+// NewByzantine creates the Byzantine-tolerant SSO (n > 3f): updates run
+// the Byzantine ASO machinery, scans are local. Passive adoption uses the
+// node's own good lattice operations only — peer view announcements cannot
+// be authenticated without signatures, so freshness comes from the node's
+// own updates (still sequentially consistent: staleness is allowed by
+// Definition 2).
+func NewByzantine(r rt.Runtime) *Node {
+	inner := byzaso.New(r)
+	nd := NewWithBackend(r, inner)
+	inner.OnGoodLattice = func(tag core.Tag, view core.View) { nd.adopt(view) }
+	return nd
+}

@@ -1,0 +1,254 @@
+// Package transport provides real-time implementations of the rt.Runtime
+// interface, complementing the deterministic virtual-time simulator:
+//
+//   - ChanNet: in-process nodes connected by goroutine-backed FIFO
+//     channels with injectable random delays (integration testing and the
+//     examples);
+//   - TCP: one node per process over length-prefixed gob frames on TCP
+//     (cmd/asonode), where the kernel's stream ordering provides FIFO.
+//
+// Both satisfy the paper's channel model: reliable FIFO point-to-point
+// links. Atomicity of handlers and critical sections is provided by a
+// per-node mutex; blocking waits use condition variables signalled on
+// every state change.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mpsnap/internal/rt"
+)
+
+// node is the shared mutex/cond machinery of both transports.
+type node struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	handler rt.Handler
+	crashed bool
+	// pending buffers messages that arrive before the handler is
+	// installed (peers may finish their setup at different times;
+	// reliable channels must not drop early traffic).
+	pending []pendingMsg
+}
+
+type pendingMsg struct {
+	src int
+	msg rt.Message
+}
+
+func (nd *node) init() { nd.cond = sync.NewCond(&nd.mu) }
+
+// deliver runs the handler atomically and wakes blocked waiters.
+func (nd *node) deliver(src int, msg rt.Message) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.crashed {
+		return
+	}
+	if nd.handler == nil {
+		nd.pending = append(nd.pending, pendingMsg{src: src, msg: msg})
+		return
+	}
+	nd.handler.HandleMessage(src, msg)
+	nd.cond.Broadcast()
+}
+
+// setHandler installs the handler and flushes buffered deliveries.
+func (nd *node) setHandler(h rt.Handler) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.handler = h
+	for _, pm := range nd.pending {
+		h.HandleMessage(pm.src, pm.msg)
+	}
+	nd.pending = nil
+	nd.cond.Broadcast()
+}
+
+func (nd *node) atomic(fn func()) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	fn()
+	nd.cond.Broadcast()
+}
+
+func (nd *node) waitUntilThen(pred func() bool, then func()) error {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	for !pred() {
+		if nd.crashed {
+			return rt.ErrCrashed
+		}
+		nd.cond.Wait()
+	}
+	if nd.crashed {
+		return rt.ErrCrashed
+	}
+	then()
+	nd.cond.Broadcast()
+	return nil
+}
+
+func (nd *node) crash() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.crashed = true
+	nd.cond.Broadcast()
+}
+
+// ChanNet is an in-process cluster connected by channel-backed links.
+type ChanNet struct {
+	n, f  int
+	d     time.Duration
+	nodes []*chanNode
+	rng   *rand.Rand
+	rngMu sync.Mutex
+	start time.Time
+	wg    sync.WaitGroup
+	done  chan struct{}
+}
+
+type chanNode struct {
+	node
+	net *ChanNet
+	id  int
+	out []chan timedMsg // per-destination FIFO queues
+}
+
+type timedMsg struct {
+	src     int
+	msg     rt.Message
+	notBefo time.Time
+}
+
+// ChanConfig parameterizes a ChanNet.
+type ChanConfig struct {
+	// N nodes with resilience bound F.
+	N, F int
+	// D is the real-time duration standing in for the maximum message
+	// delay (default 2ms). Each message is delayed uniformly in (0, D].
+	D time.Duration
+	// Seed drives the delay randomness.
+	Seed int64
+}
+
+// NewChanNet builds the cluster. Set handlers with SetHandler before
+// sending traffic; call Close when done.
+func NewChanNet(cfg ChanConfig) *ChanNet {
+	if cfg.D == 0 {
+		cfg.D = 2 * time.Millisecond
+	}
+	net := &ChanNet{
+		n:     cfg.N,
+		f:     cfg.F,
+		d:     cfg.D,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+	net.nodes = make([]*chanNode, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		nd := &chanNode{net: net, id: i, out: make([]chan timedMsg, cfg.N)}
+		nd.init()
+		net.nodes[i] = nd
+	}
+	// One goroutine per (src,dst) link preserves FIFO while applying
+	// per-message delays.
+	for src := 0; src < cfg.N; src++ {
+		for dst := 0; dst < cfg.N; dst++ {
+			ch := make(chan timedMsg, 1<<16)
+			net.nodes[src].out[dst] = ch
+			dstNode := net.nodes[dst]
+			net.wg.Add(1)
+			go func() {
+				defer net.wg.Done()
+				for {
+					select {
+					case <-net.done:
+						return
+					case tm := <-ch:
+						if wait := time.Until(tm.notBefo); wait > 0 {
+							select {
+							case <-time.After(wait):
+							case <-net.done:
+								return
+							}
+						}
+						dstNode.deliver(tm.src, tm.msg)
+					}
+				}
+			}()
+		}
+	}
+	return net
+}
+
+// SetHandler installs node id's message handler; messages that arrived
+// earlier are delivered to it immediately.
+func (c *ChanNet) SetHandler(id int, h rt.Handler) { c.nodes[id].setHandler(h) }
+
+// Runtime returns node id's rt.Runtime.
+func (c *ChanNet) Runtime(id int) rt.Runtime { return &chanRuntime{net: c, nd: c.nodes[id]} }
+
+// Crash crash-stops node id.
+func (c *ChanNet) Crash(id int) { c.nodes[id].crash() }
+
+// Close tears the cluster down.
+func (c *ChanNet) Close() {
+	close(c.done)
+	c.wg.Wait()
+}
+
+func (c *ChanNet) delay() time.Duration {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(c.d))) + 1
+}
+
+type chanRuntime struct {
+	net *ChanNet
+	nd  *chanNode
+}
+
+var _ rt.Runtime = (*chanRuntime)(nil)
+
+func (r *chanRuntime) ID() int { return r.nd.id }
+func (r *chanRuntime) N() int  { return r.net.n }
+func (r *chanRuntime) F() int  { return r.net.f }
+
+func (r *chanRuntime) Send(dst int, msg rt.Message) {
+	if r.nd.crashed { // benign race: crashed nodes stop sending
+		return
+	}
+	tm := timedMsg{src: r.nd.id, msg: msg, notBefo: time.Now().Add(r.net.delay())}
+	select {
+	case r.nd.out[dst] <- tm:
+	default:
+		panic(fmt.Sprintf("transport: link %d->%d overflow", r.nd.id, dst))
+	}
+}
+
+func (r *chanRuntime) Broadcast(msg rt.Message) {
+	for dst := 0; dst < r.net.n; dst++ {
+		r.Send(dst, msg)
+	}
+}
+
+func (r *chanRuntime) Atomic(fn func()) { r.nd.atomic(fn) }
+
+func (r *chanRuntime) WaitUntilThen(label string, pred func() bool, then func()) error {
+	return r.nd.waitUntilThen(pred, then)
+}
+
+func (r *chanRuntime) Now() rt.Ticks {
+	return rt.Ticks(time.Since(r.net.start) * time.Duration(rt.TicksPerD) / r.net.d)
+}
+
+func (r *chanRuntime) Crashed() bool {
+	r.nd.mu.Lock()
+	defer r.nd.mu.Unlock()
+	return r.nd.crashed
+}

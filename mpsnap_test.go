@@ -1,0 +1,156 @@
+package mpsnap_test
+
+import (
+	"strings"
+	"testing"
+
+	"mpsnap"
+)
+
+func TestAllAlgorithmsViaPublicAPI(t *testing.T) {
+	for _, alg := range mpsnap.Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			n, f := 5, 2
+			if alg.RequiresNGreaterThan3F() {
+				n, f = 7, 2
+			}
+			c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: f, Algorithm: alg, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				i := i
+				c.Client(i, func(cl *mpsnap.Client) {
+					if cl.Node() != i {
+						t.Errorf("node = %d, want %d", cl.Node(), i)
+					}
+					if err := cl.Update([]byte("a")); err != nil {
+						t.Errorf("update: %v", err)
+						return
+					}
+					snap, err := cl.Scan()
+					if err != nil {
+						t.Errorf("scan: %v", err)
+						return
+					}
+					if string(snap[i]) != "a" {
+						t.Errorf("own segment = %q", snap[i])
+					}
+					if err := cl.Sleep(mpsnap.D); err != nil {
+						t.Errorf("sleep: %v", err)
+					}
+					if err := cl.Update([]byte("b")); err != nil {
+						t.Errorf("update: %v", err)
+					}
+				})
+			}
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Check(); err != nil {
+				t.Fatal(err)
+			}
+			st := c.Stats()
+			if st.Operations != 3*n || st.Messages == 0 || st.VirtualTime <= 0 {
+				t.Fatalf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := mpsnap.NewSimCluster(mpsnap.Config{N: 4, F: 2}); err == nil {
+		t.Fatal("n=4 f=2 must be rejected (need n > 2f)")
+	}
+	if _, err := mpsnap.NewSimCluster(mpsnap.Config{N: 6, F: 2, Algorithm: mpsnap.ByzASO}); err == nil {
+		t.Fatal("n=6 f=2 must be rejected for Byzantine algorithms (need n > 3f)")
+	}
+	if _, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Algorithm: "nope"}); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatal("unknown algorithm must be rejected")
+	}
+	if _, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Crashes: []mpsnap.CrashSpec{{Node: 9}}}); err == nil {
+		t.Fatal("out-of-range crash spec must be rejected")
+	}
+}
+
+func TestCrashConfigAndErrors(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{
+		N: 5, F: 2, Seed: 3,
+		Crashes: []mpsnap.CrashSpec{{Node: 0, At: 2 * mpsnap.D}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr bool
+	c.Client(0, func(cl *mpsnap.Client) {
+		for k := 0; k < 100; k++ {
+			if err := cl.Update([]byte{byte(k)}); err != nil {
+				sawErr = true
+				return
+			}
+		}
+	})
+	c.Client(1, func(cl *mpsnap.Client) {
+		if err := cl.Update([]byte("ok")); err != nil {
+			t.Errorf("healthy node: %v", err)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawErr {
+		t.Fatal("crashed node's client should have seen an error")
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmPredicates(t *testing.T) {
+	if mpsnap.SSOFast.Atomic() || mpsnap.SSOByz.Atomic() {
+		t.Fatal("SSO variants are not atomic")
+	}
+	if !mpsnap.EQASO.Atomic() || !mpsnap.ByzASO.Atomic() {
+		t.Fatal("ASO variants are atomic")
+	}
+	if !mpsnap.ByzASO.RequiresNGreaterThan3F() || !mpsnap.SSOByz.RequiresNGreaterThan3F() {
+		t.Fatal("Byzantine variants need n > 3f")
+	}
+	if mpsnap.EQASO.RequiresNGreaterThan3F() {
+		t.Fatal("EQ-ASO needs only n > 2f")
+	}
+}
+
+func TestCheckBeforeRun(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(); err == nil {
+		t.Fatal("Check before Run must error")
+	}
+}
+
+func TestDelayConstant(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Delay: mpsnap.DelayConstant, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Client(0, func(cl *mpsnap.Client) {
+		if err := cl.Update([]byte("x")); err != nil {
+			t.Errorf("update: %v", err)
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	// With every message taking exactly D, the update needs at least 2D.
+	if st.WorstUpdateD < 2 {
+		t.Fatalf("constant-D update took %.1fD, want ≥ 2D", st.WorstUpdateD)
+	}
+}

@@ -1,0 +1,417 @@
+// Package rsm builds a totally ordered replicated log — general state
+// machine replication — on top of an atomic snapshot object, combining
+// the repository's pieces the way the paper's introduction sketches
+// (linearizable replicated state machines, references [37] and [41], and
+// wait-free constructions [5], [27]).
+//
+// Commutative-command replication needs no consensus (see package
+// statemachine); a *totally ordered* log does. Each log slot is decided
+// by randomized binary consensus sweeps over the snapshot: candidates
+// (nodes) are considered in order, and a Ben-Or-style instance decides
+// whether the candidate's next uncommitted proposal wins the slot. All
+// consensus state — proposals, per-instance phase records, and decided
+// slots — lives in the proposer's own snapshot segment, so the whole
+// construction is a single snapshot object underneath.
+//
+// Safety (total order, no loss, no duplication, per-node FIFO) is
+// deterministic; termination of Append holds with probability 1 (local
+// coins), matching the FLP-imposed trade-off. Decisions are published in
+// segments, so laggards adopt them instead of re-running consensus.
+package rsm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Object is the atomic snapshot object the log runs over (mpsnap.Object;
+// must be an ASO).
+type Object interface {
+	Update(payload []byte) error
+	Scan() ([][]byte, error)
+}
+
+// Config parameterizes a log replica.
+type Config struct {
+	// N nodes, resilience F (n > 2f).
+	N, F int
+	// Rand drives consensus coins; required.
+	Rand *rand.Rand
+	// MaxSweeps bounds candidate sweeps per slot (0 = 10000).
+	MaxSweeps int
+}
+
+// Entry is one committed command.
+type Entry struct {
+	// Slot is the log index.
+	Slot int
+	// Node is the proposer; Seq its per-proposer sequence (1-based).
+	Node, Seq int
+	// Cmd is the command payload.
+	Cmd []byte
+}
+
+// phaseRecord mirrors consensus: a report and a proposal per phase.
+type phaseRecord struct {
+	Report   int
+	Proposal int // 0, 1, -1 (⊥), -2 unset
+}
+
+// segment is a node's full published state.
+type segment struct {
+	Proposals [][]byte                 // the node's commands, in append order
+	Phases    map[string][]phaseRecord // consensus state per instance key
+	Decisions map[int]int              // slot -> winning candidate (node id)
+}
+
+func encodeSegment(s segment) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		panic("rsm: encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeSegment(b []byte) (segment, error) {
+	var s segment
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s)
+	return s, err
+}
+
+// Log is one node's replica handle.
+type Log struct {
+	obj Object
+	id  int
+	cfg Config
+
+	seg       segment
+	decisions map[int]int // local cache of slot -> candidate
+	committed []Entry     // decided prefix
+}
+
+// New creates node id's replica.
+func New(obj Object, id int, cfg Config) (*Log, error) {
+	if cfg.N <= 2*cfg.F || cfg.N <= 0 {
+		return nil, fmt.Errorf("rsm: need n > 2f, got n=%d f=%d", cfg.N, cfg.F)
+	}
+	if cfg.Rand == nil {
+		return nil, errors.New("rsm: Config.Rand is required")
+	}
+	if cfg.MaxSweeps == 0 {
+		cfg.MaxSweeps = 10000
+	}
+	return &Log{
+		obj: obj,
+		id:  id,
+		cfg: cfg,
+		seg: segment{
+			Phases:    make(map[string][]phaseRecord),
+			Decisions: make(map[int]int),
+		},
+		decisions: make(map[int]int),
+	}, nil
+}
+
+func (l *Log) publish() error { return l.obj.Update(encodeSegment(l.seg)) }
+
+// scan decodes all segments (nil for unwritten ones) and folds any newly
+// visible decisions into the local cache.
+func (l *Log) scan() ([]*segment, error) {
+	snap, err := l.obj.Scan()
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]*segment, len(snap))
+	for i, raw := range snap {
+		if raw == nil {
+			continue
+		}
+		s, err := decodeSegment(raw)
+		if err != nil {
+			return nil, fmt.Errorf("rsm: segment %d: %w", i, err)
+		}
+		segs[i] = &s
+		for slot, cand := range s.Decisions {
+			l.decisions[slot] = cand
+		}
+	}
+	if segs[l.id] == nil || len(segs[l.id].Proposals) < len(l.seg.Proposals) {
+		segs[l.id] = &l.seg // own completed publishes are authoritative
+	}
+	return segs, nil
+}
+
+// Append submits cmd and blocks until it is committed, returning its log
+// entry. At most one Append per node at a time (sequential nodes).
+func (l *Log) Append(cmd []byte) (Entry, error) {
+	l.seg.Proposals = append(l.seg.Proposals, append([]byte(nil), cmd...))
+	mySeq := len(l.seg.Proposals) // 1-based
+	if err := l.publish(); err != nil {
+		return Entry{}, err
+	}
+	for {
+		// Extend the committed prefix by one slot at a time until our
+		// command lands.
+		e, err := l.commitSlot(len(l.committed))
+		if err != nil {
+			return Entry{}, err
+		}
+		if e.Node == l.id && e.Seq == mySeq {
+			return e, nil
+		}
+	}
+}
+
+// CatchUp extends the local committed prefix using published decisions
+// only (no consensus driving); readers call it before Committed.
+func (l *Log) CatchUp() error {
+	segs, err := l.scan()
+	if err != nil {
+		return err
+	}
+	for {
+		slot := len(l.committed)
+		cand, ok := l.decisions[slot]
+		if !ok {
+			return nil
+		}
+		if _, err := l.applyChecked(slot, cand, segs); err != nil {
+			return err
+		}
+	}
+}
+
+// Sync actively helps: it keeps committing slots until no visible
+// proposal is left pending. Nodes that have finished their own appends
+// must keep calling Sync while others are appending — consensus instances
+// need n-f participants, so helping is what makes slow appenders' Appends
+// terminate (the replicated-log analogue of the snapshot literature's
+// helping mechanisms).
+func (l *Log) Sync() error {
+	for {
+		if err := l.CatchUp(); err != nil {
+			return err
+		}
+		segs, err := l.scan()
+		if err != nil {
+			return err
+		}
+		pending := false
+		for c := range segs {
+			if segs[c] != nil && len(segs[c].Proposals) > l.pendingIndex(c) {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			return nil
+		}
+		if _, err := l.commitSlot(len(l.committed)); err != nil {
+			return err
+		}
+	}
+}
+
+// Committed returns the locally known committed prefix.
+func (l *Log) Committed() []Entry { return append([]Entry(nil), l.committed...) }
+
+// commitSlot decides slot (adopting a published decision if one exists)
+// and appends it to the committed prefix.
+func (l *Log) commitSlot(slot int) (Entry, error) {
+	for sweep := 0; sweep < l.cfg.MaxSweeps; sweep++ {
+		segs, err := l.scan()
+		if err != nil {
+			return Entry{}, err
+		}
+		if cand, ok := l.decisions[slot]; ok {
+			return l.applyChecked(slot, cand, segs)
+		}
+		for cand := 0; cand < l.cfg.N; cand++ {
+			input := 0
+			if segs[cand] != nil && len(segs[cand].Proposals) > l.pendingIndex(cand) {
+				input = 1
+			}
+			key := fmt.Sprintf("%d/%d/%d", slot, sweep, cand)
+			win, err := l.binaryConsensus(key, input, slot)
+			if err != nil {
+				return Entry{}, err
+			}
+			if dec, ok := l.decisions[slot]; ok {
+				// Someone published the slot's decision mid-sweep.
+				segs, err := l.scan()
+				if err != nil {
+					return Entry{}, err
+				}
+				return l.applyChecked(slot, dec, segs)
+			}
+			if win == 1 {
+				l.seg.Decisions[slot] = cand
+				l.decisions[slot] = cand
+				if err := l.publish(); err != nil {
+					return Entry{}, err
+				}
+				segs, err := l.scan()
+				if err != nil {
+					return Entry{}, err
+				}
+				return l.applyChecked(slot, cand, segs)
+			}
+			// win == 0: next candidate.
+			segs, err = l.scan()
+			if err != nil {
+				return Entry{}, err
+			}
+		}
+		// Full sweep decided nothing; proposals have propagated further
+		// by now — sweep again with fresh instances.
+	}
+	return Entry{}, errors.New("rsm: sweep budget exceeded")
+}
+
+// pendingIndex returns how many of cand's proposals are already committed
+// in the local prefix (the index of its next pending proposal).
+func (l *Log) pendingIndex(cand int) int {
+	k := 0
+	for _, e := range l.committed {
+		if e.Node == cand {
+			k++
+		}
+	}
+	return k
+}
+
+func (l *Log) applyChecked(slot, cand int, segs []*segment) (Entry, error) {
+	if segs[cand] == nil || len(segs[cand].Proposals) <= l.pendingIndex(cand) {
+		// The winner's proposal must be visible: consensus validity
+		// means someone saw it, and our scan follows the deciding scan
+		// in the containment order... but our *local* scan may still
+		// lag. Rescan until visible.
+		for {
+			var err error
+			segs, err = l.scan()
+			if err != nil {
+				return Entry{}, err
+			}
+			if segs[cand] != nil && len(segs[cand].Proposals) > l.pendingIndex(cand) {
+				break
+			}
+		}
+	}
+	return l.apply(slot, cand, segs), nil
+}
+
+func (l *Log) apply(slot, cand int, segs []*segment) Entry {
+	idx := l.pendingIndex(cand)
+	e := Entry{
+		Slot: slot,
+		Node: cand,
+		Seq:  idx + 1,
+		Cmd:  append([]byte(nil), segs[cand].Proposals[idx]...),
+	}
+	l.committed = append(l.committed, e)
+	// The slot's consensus instances are settled; drop their phase
+	// records so segments stay proportional to in-flight slots.
+	prefix := fmt.Sprintf("%d/", slot)
+	for key := range l.seg.Phases {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			delete(l.seg.Phases, key)
+		}
+	}
+	return e
+}
+
+// binaryConsensus is Ben-Or over the embedded per-key phase records (the
+// same protocol as package consensus, namespaced so unboundedly many
+// instances share one snapshot object). A published slot decision acts as
+// an early exit: callers check l.decisions after each call.
+func (l *Log) binaryConsensus(key string, bit, slot int) (int, error) {
+	pref := bit
+	for phase := 0; ; phase++ {
+		// Report step.
+		l.seg.Phases[key] = append(l.seg.Phases[key], phaseRecord{Report: pref, Proposal: -2})
+		if err := l.publish(); err != nil {
+			return 0, err
+		}
+		reports, done, err := l.collect(key, phase, slot, func(pr phaseRecord) (int, bool) { return pr.Report, true })
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			return 0, nil // slot decided elsewhere; value unused
+		}
+		proposal := -1
+		for v := 0; v <= 1; v++ {
+			if reports[v] > l.cfg.N/2 {
+				proposal = v
+			}
+		}
+		// Proposal step.
+		l.seg.Phases[key][phase].Proposal = proposal
+		if err := l.publish(); err != nil {
+			return 0, err
+		}
+		proposals, done, err := l.collect(key, phase, slot, func(pr phaseRecord) (int, bool) {
+			if pr.Proposal == -2 {
+				return 0, false
+			}
+			return pr.Proposal, true
+		})
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			return 0, nil
+		}
+		switch {
+		case proposals[0] >= l.cfg.F+1:
+			return 0, nil
+		case proposals[1] >= l.cfg.F+1:
+			return 1, nil
+		case proposals[0] > 0:
+			pref = 0
+		case proposals[1] > 0:
+			pref = 1
+		default:
+			pref = l.cfg.Rand.Intn(2)
+		}
+	}
+}
+
+// collect scans until n-f phase entries for key are visible, or the slot's
+// decision appears (done=true).
+func (l *Log) collect(key string, phase, slot int, get func(phaseRecord) (int, bool)) ([2]int, bool, error) {
+	for {
+		segs, err := l.scan()
+		if err != nil {
+			return [2]int{}, false, err
+		}
+		if _, ok := l.decisions[slot]; ok {
+			return [2]int{}, true, nil
+		}
+		var counts [2]int
+		seen := 0
+		for _, s := range segs {
+			if s == nil {
+				continue
+			}
+			recs := s.Phases[key]
+			if phase >= len(recs) {
+				continue
+			}
+			v, ok := get(recs[phase])
+			if !ok {
+				continue
+			}
+			seen++
+			if v == 0 || v == 1 {
+				counts[v]++
+			}
+		}
+		if seen >= l.cfg.N-l.cfg.F {
+			return counts, false, nil
+		}
+	}
+}

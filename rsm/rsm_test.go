@@ -1,0 +1,184 @@
+package rsm_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpsnap"
+	"mpsnap/rsm"
+)
+
+// runLog has every node append its commands concurrently, keep helping
+// (Sync) until the expected total is committed, and returns each node's
+// committed view (nil for crashed nodes). Crashed nodes fail at t=0, so
+// they propose nothing and the expected total is well-defined.
+func runLog(t *testing.T, seed int64, n int, cmdsPerNode int, crashes int) [][]rsm.Entry {
+	return runLogAppenders(t, seed, n, n, cmdsPerNode, crashes)
+}
+
+// runLogAppenders is runLog with only the first `appenders` nodes
+// proposing; the rest purely help.
+func runLogAppenders(t *testing.T, seed int64, n, appenders, cmdsPerNode, crashes int) [][]rsm.Entry {
+	t.Helper()
+	f := (n - 1) / 2
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: f, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < crashes; v++ {
+		c.Crash(n-1-v, 0)
+	}
+	liveAppenders := appenders
+	if liveAppenders > n-crashes {
+		liveAppenders = n - crashes
+	}
+	expected := liveAppenders * cmdsPerNode
+	views := make([][]rsm.Entry, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Client(i, func(cl *mpsnap.Client) {
+			log, err := rsm.New(cl.Raw(), i, rsm.Config{
+				N: n, F: f, Rand: rand.New(rand.NewSource(seed*977 + int64(i))),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i < appenders {
+				for k := 1; k <= cmdsPerNode; k++ {
+					cmd := []byte(fmt.Sprintf("c%d-%d", i, k))
+					e, err := log.Append(cmd)
+					if err != nil {
+						return // crashed
+					}
+					if e.Node != i || e.Seq != k || !bytes.Equal(e.Cmd, cmd) {
+						t.Errorf("node %d: append returned %+v for seq %d", i, e, k)
+						return
+					}
+				}
+			}
+			// Keep helping until everything visible is committed.
+			for round := 0; len(log.Committed()) < expected && round < 1000; round++ {
+				if err := log.Sync(); err != nil {
+					return
+				}
+				if len(log.Committed()) < expected {
+					if err := cl.Sleep(mpsnap.D); err != nil {
+						return
+					}
+				}
+			}
+			views[i] = log.Committed()
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return views
+}
+
+// checkLogs verifies total order (prefix property), per-node FIFO, and
+// no duplication across all views.
+func checkLogs(t *testing.T, views [][]rsm.Entry) {
+	t.Helper()
+	// Longest view is the reference; all others must be its prefixes.
+	var ref []rsm.Entry
+	for _, v := range views {
+		if len(v) > len(ref) {
+			ref = v
+		}
+	}
+	if len(ref) == 0 {
+		t.Fatal("no node committed anything")
+	}
+	for i, v := range views {
+		for s := range v {
+			a, b := v[s], ref[s]
+			if a.Node != b.Node || a.Seq != b.Seq || !bytes.Equal(a.Cmd, b.Cmd) {
+				t.Fatalf("total order violated at slot %d: node %d has %+v, reference %+v", s, i, a, b)
+			}
+		}
+	}
+	// Per-node FIFO + no duplication within the reference.
+	nextSeq := map[int]int{}
+	for s, e := range ref {
+		if e.Slot != s {
+			t.Fatalf("slot mismatch at %d: %+v", s, e)
+		}
+		nextSeq[e.Node]++
+		if e.Seq != nextSeq[e.Node] {
+			t.Fatalf("per-node FIFO violated: %+v (expected seq %d)", e, nextSeq[e.Node])
+		}
+	}
+}
+
+func TestSingleAppender(t *testing.T) {
+	views := runLogAppenders(t, 1, 3, 1, 3, 0)
+	checkLogs(t, views)
+	for i, v := range views {
+		if len(v) != 3 {
+			t.Fatalf("node %d sees %d entries, want 3", i, len(v))
+		}
+		for s, e := range v {
+			if e.Node != 0 || e.Seq != s+1 {
+				t.Fatalf("node %d slot %d: %+v", i, s, e)
+			}
+		}
+	}
+}
+
+func TestConcurrentAppendersTotalOrder(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		views := runLog(t, seed, 4, 2, 0)
+		checkLogs(t, views)
+		// All 8 commands must be committed in the reference view.
+		var ref []rsm.Entry
+		for _, v := range views {
+			if len(v) > len(ref) {
+				ref = v
+			}
+		}
+		if len(ref) != 8 {
+			t.Fatalf("seed %d: reference log has %d entries, want 8", seed, len(ref))
+		}
+	}
+}
+
+func TestTotalOrderUnderCrashes(t *testing.T) {
+	views := runLog(t, 7, 5, 2, 1)
+	checkLogs(t, views)
+}
+
+func TestTotalOrderProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(2)
+		views := runLog(t, seed, n, 1+rng.Intn(2), 0)
+		checkLogs(t, views)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Client(0, func(cl *mpsnap.Client) {
+		if _, err := rsm.New(cl.Raw(), 0, rsm.Config{N: 4, F: 2, Rand: rand.New(rand.NewSource(1))}); err == nil {
+			t.Error("n=4 f=2 must be rejected")
+		}
+		if _, err := rsm.New(cl.Raw(), 0, rsm.Config{N: 3, F: 1}); err == nil {
+			t.Error("nil Rand must be rejected")
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package mpsnap implements fault-tolerant snapshot objects for
+// asynchronous message-passing systems, reproducing "Fault-tolerant
+// Snapshot Objects in Message Passing Systems" (Garg, Kumar, Tseng, Zheng
+// — IPDPS 2022).
+//
+// The atomic snapshot object (ASO) is partitioned into n segments, one per
+// node: node i updates segment i and can atomically scan all segments. The
+// package provides:
+//
+//   - EQ-ASO, the paper's crash-tolerant ASO based on equivalence quorums
+//     (O(√k·D) worst-case, amortized O(D) operations, n > 2f);
+//   - a Byzantine-tolerant ASO integrating Bracha reliable broadcast
+//     (n > 3f);
+//   - sequentially consistent snapshot objects (SSO) whose scans complete
+//     locally with zero communication;
+//   - the Table I baselines (Delporte et al. direct ASO, store-collect,
+//     stacked registers, LA-transform);
+//   - lattice agreement (early-stopping EQ-LA and a pull-based baseline);
+//   - a deterministic virtual-time simulator with crash/Byzantine
+//     adversaries, and a history checker for the paper's tight
+//     linearizability conditions (A1)-(A4).
+//
+// # Quick start
+//
+//	cluster := mpsnap.NewSimCluster(mpsnap.Config{N: 5, F: 2, Algorithm: mpsnap.EQASO})
+//	cluster.Client(0, func(c *mpsnap.Client) {
+//		_ = c.Update([]byte("hello"))
+//		snap, _ := c.Scan()
+//		fmt.Println(snap)
+//	})
+//	_ = cluster.Run()
+//
+// Applications (linearizable CRDTs, asset transfer, update-query state
+// machines) live in the crdt, assettransfer, and statemachine
+// subpackages.
+package mpsnap
+
+import (
+	"fmt"
+
+	"mpsnap/internal/baseline/delporte"
+	"mpsnap/internal/baseline/laaso"
+	"mpsnap/internal/baseline/stacked"
+	"mpsnap/internal/baseline/storecollect"
+	"mpsnap/internal/byzaso"
+	"mpsnap/internal/eqaso"
+	"mpsnap/internal/harness"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sso"
+)
+
+// Algorithm selects a snapshot object implementation.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// EQASO is the paper's crash-tolerant atomic snapshot (Algorithm 1).
+	EQASO Algorithm = "eqaso"
+	// ByzASO is the Byzantine-tolerant atomic snapshot (requires n > 3f).
+	ByzASO Algorithm = "byzaso"
+	// SSOFast is the sequentially consistent snapshot with local scans.
+	SSOFast Algorithm = "sso"
+	// SSOByz is the Byzantine sequentially consistent snapshot (n > 3f).
+	SSOByz Algorithm = "sso-byz"
+	// Delporte is the direct baseline of reference [19]: O(D) update,
+	// O(n·D) scan.
+	Delporte Algorithm = "delporte"
+	// StoreCollect is the store-collect baseline of reference [12].
+	StoreCollect Algorithm = "storecollect"
+	// Stacked is the ABD-register + shared-memory-snapshot stacking
+	// construction the paper's introduction argues against.
+	Stacked Algorithm = "stacked"
+	// LAASO is the lattice-agreement-transform baseline ([41],[42]+[11]).
+	LAASO Algorithm = "laaso"
+)
+
+// Algorithms lists every available algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{EQASO, ByzASO, SSOFast, SSOByz, Delporte, StoreCollect, Stacked, LAASO}
+}
+
+// Atomic reports whether the algorithm implements a linearizable (atomic)
+// snapshot; the SSO variants are sequentially consistent instead.
+func (a Algorithm) Atomic() bool { return a != SSOFast && a != SSOByz }
+
+// RequiresNGreaterThan3F reports whether the algorithm needs Byzantine
+// resilience n > 3f (rather than crash resilience n > 2f).
+func (a Algorithm) RequiresNGreaterThan3F() bool { return a == ByzASO || a == SSOByz }
+
+// Object is a snapshot object client bound to one node: Update writes the
+// node's own segment, Scan returns all n segments (nil = never written).
+type Object = harness.Object
+
+// NewNode constructs the chosen algorithm's node on a runtime. The
+// returned value is both the node's message handler and its operation
+// endpoint. Most users should use NewSimCluster or the transport helpers
+// instead; NewNode is the extension point for custom runtimes.
+func NewNode(alg Algorithm, r rt.Runtime) (rt.Handler, Object, error) {
+	if r.N() <= 2*r.F() {
+		return nil, nil, fmt.Errorf("mpsnap: need n > 2f, got n=%d f=%d", r.N(), r.F())
+	}
+	if a := alg; a.RequiresNGreaterThan3F() && r.N() <= 3*r.F() {
+		return nil, nil, fmt.Errorf("mpsnap: algorithm %q needs n > 3f, got n=%d f=%d", alg, r.N(), r.F())
+	}
+	switch alg {
+	case EQASO:
+		nd := eqaso.New(r)
+		return nd, nd, nil
+	case ByzASO:
+		nd := byzaso.New(r)
+		return nd, nd, nil
+	case SSOFast:
+		nd := sso.New(r)
+		return nd, nd, nil
+	case SSOByz:
+		nd := sso.NewByzantine(r)
+		return nd, nd, nil
+	case Delporte:
+		nd := delporte.New(r)
+		return nd, nd, nil
+	case StoreCollect:
+		nd := storecollect.New(r)
+		return nd, nd, nil
+	case Stacked:
+		nd := stacked.New(r)
+		return nd, nd, nil
+	case LAASO:
+		nd := laaso.New(r)
+		return nd, nd, nil
+	}
+	return nil, nil, fmt.Errorf("mpsnap: unknown algorithm %q", alg)
+}

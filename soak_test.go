@@ -1,0 +1,106 @@
+package mpsnap_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mpsnap"
+)
+
+// TestSoakEQASO is the long-haul exercise: a larger cluster, hundreds of
+// operations, staggered crashes, full consistency checking. Skipped with
+// -short.
+func TestSoakEQASO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		n := 15
+		f := 7
+		cfg := mpsnap.Config{N: n, F: f, Algorithm: mpsnap.EQASO, Seed: seed}
+		for v := 0; v < 4; v++ {
+			cfg.Crashes = append(cfg.Crashes, mpsnap.CrashSpec{Node: v, At: mpsnap.Ticks(5000 * (v + 1))})
+		}
+		c, err := mpsnap.NewSimCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			c.Client(i, func(cl *mpsnap.Client) {
+				rng := rand.New(rand.NewSource(seed*77 + int64(i)))
+				for k := 0; k < 20; k++ {
+					var err error
+					if rng.Intn(2) == 0 {
+						err = cl.Update([]byte(fmt.Sprintf("s%d-%d", i, k)))
+					} else {
+						_, err = cl.Scan()
+					}
+					if err != nil {
+						return
+					}
+					_ = cl.Sleep(mpsnap.Ticks(rng.Intn(1500)))
+				}
+			})
+		}
+		if err := c.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := c.Check(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st := c.Stats()
+		if st.Operations < 200 {
+			t.Fatalf("seed %d: only %d operations completed", seed, st.Operations)
+		}
+	}
+}
+
+// TestSoakAllAlgorithmsMedium runs a medium-sized checked workload on
+// every algorithm. Skipped with -short.
+func TestSoakAllAlgorithmsMedium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for _, alg := range mpsnap.Algorithms() {
+		alg := alg
+		t.Run(string(alg), func(t *testing.T) {
+			n, f := 7, 3
+			if alg.RequiresNGreaterThan3F() {
+				f = 2
+			}
+			ops := 8
+			if alg == mpsnap.Stacked {
+				ops = 3 // n² collects per op: keep the soak bounded
+			}
+			c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: f, Algorithm: alg, Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				i := i
+				c.Client(i, func(cl *mpsnap.Client) {
+					rng := rand.New(rand.NewSource(int64(i)))
+					for k := 0; k < ops; k++ {
+						var err error
+						if rng.Intn(2) == 0 {
+							err = cl.Update([]byte(fmt.Sprintf("s%d-%d", i, k)))
+						} else {
+							_, err = cl.Scan()
+						}
+						if err != nil {
+							return
+						}
+					}
+				})
+			}
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

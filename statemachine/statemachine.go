@@ -1,0 +1,106 @@
+// Package statemachine implements the update-query state machine of
+// Faleiro et al. (reference [23]), another of the paper's motivating
+// applications. Updates are commutative commands appended to the calling
+// node's segment (its command log); queries fold a SCAN of all logs in a
+// deterministic order. Because commands commute, any linearization of the
+// per-node logs yields the same state, so an atomic snapshot suffices —
+// no consensus required.
+package statemachine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// Object is the snapshot object the machine runs over (mpsnap.Object).
+type Object interface {
+	Update(payload []byte) error
+	Scan() ([][]byte, error)
+}
+
+// Command is one applied command with its origin.
+type Command struct {
+	Node int
+	Seq  int
+	Op   []byte
+}
+
+// Machine is one node's handle on the replicated update-query machine.
+type Machine struct {
+	obj Object
+	id  int
+	log [][]byte // this node's commands, in program order
+}
+
+// New binds node id's machine to its snapshot object.
+func New(obj Object, id int) *Machine { return &Machine{obj: obj, id: id} }
+
+func encodeLog(log [][]byte) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(log); err != nil {
+		panic("statemachine: encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decodeLog(b []byte) ([][]byte, error) {
+	var log [][]byte
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&log); err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// Apply appends a (commutative) command to this node's log (one UPDATE).
+func (m *Machine) Apply(op []byte) error {
+	m.log = append(m.log, append([]byte(nil), op...))
+	return m.obj.Update(encodeLog(m.log))
+}
+
+// Query scans all logs and returns every command in a deterministic
+// order: by (node, per-node sequence). Callers fold the commands into
+// their state; since commands commute, the fold is well-defined.
+func (m *Machine) Query() ([]Command, error) {
+	snap, err := m.obj.Scan()
+	if err != nil {
+		return nil, err
+	}
+	var out []Command
+	for node, seg := range snap {
+		log := [][]byte(nil)
+		if seg != nil {
+			log, err = decodeLog(seg)
+			if err != nil {
+				return nil, fmt.Errorf("statemachine: segment %d: %w", node, err)
+			}
+		}
+		if node == m.id && len(m.log) > len(log) {
+			log = m.log // own completed commands are authoritative
+		}
+		for s, op := range log {
+			out = append(out, Command{Node: node, Seq: s + 1, Op: op})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out, nil
+}
+
+// Fold queries and folds the commands with the caller's reducer.
+func (m *Machine) Fold(init any, step func(state any, cmd Command) any) (any, error) {
+	cmds, err := m.Query()
+	if err != nil {
+		return nil, err
+	}
+	state := init
+	for _, c := range cmds {
+		state = step(state, c)
+	}
+	return state, nil
+}

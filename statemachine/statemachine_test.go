@@ -1,0 +1,134 @@
+package statemachine_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpsnap"
+	"mpsnap/statemachine"
+)
+
+func TestApplyAndQuery(t *testing.T) {
+	n := 3
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		c.Client(i, func(cl *mpsnap.Client) {
+			m := statemachine.New(cl.Raw(), i)
+			for k := 0; k < 2; k++ {
+				if err := m.Apply([]byte(fmt.Sprintf("c%d-%d", i, k))); err != nil {
+					t.Errorf("apply: %v", err)
+					return
+				}
+			}
+			_ = cl.Sleep(30 * mpsnap.D)
+			cmds, err := m.Query()
+			if err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+			if len(cmds) != 2*n {
+				t.Errorf("node %d sees %d commands, want %d", i, len(cmds), 2*n)
+				return
+			}
+			// Deterministic order: (node, seq) ascending.
+			for j := 1; j < len(cmds); j++ {
+				a, b := cmds[j-1], cmds[j]
+				if a.Node > b.Node || (a.Node == b.Node && a.Seq >= b.Seq) {
+					t.Errorf("order violated: %+v before %+v", a, b)
+				}
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuerySeesOwnCommands(t *testing.T) {
+	c, err := mpsnap.NewSimCluster(mpsnap.Config{N: 3, F: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Client(0, func(cl *mpsnap.Client) {
+		m := statemachine.New(cl.Raw(), 0)
+		for k := 0; k < 3; k++ {
+			if err := m.Apply([]byte{byte(k)}); err != nil {
+				t.Errorf("apply: %v", err)
+				return
+			}
+			cmds, err := m.Query()
+			if err != nil {
+				t.Errorf("query: %v", err)
+				return
+			}
+			own := 0
+			for _, cmd := range cmds {
+				if cmd.Node == 0 {
+					own++
+				}
+			}
+			if own != k+1 {
+				t.Errorf("after %d applies, query sees %d own commands", k+1, own)
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldCommutativeCounter(t *testing.T) {
+	// The canonical update-query machine: commands are "+d" increments;
+	// every node's fold converges to the same total.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		deltas := make([][]int, n)
+		want := 0
+		for i := range deltas {
+			k := 1 + rng.Intn(3)
+			for j := 0; j < k; j++ {
+				d := rng.Intn(20) + 1
+				deltas[i] = append(deltas[i], d)
+				want += d
+			}
+		}
+		c, err := mpsnap.NewSimCluster(mpsnap.Config{N: n, F: (n - 1) / 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		ok := true
+		for i := 0; i < n; i++ {
+			i := i
+			c.Client(i, func(cl *mpsnap.Client) {
+				m := statemachine.New(cl.Raw(), i)
+				for _, d := range deltas[i] {
+					if err := m.Apply([]byte{byte(d)}); err != nil {
+						ok = false
+						return
+					}
+				}
+				_ = cl.Sleep(30 * mpsnap.D)
+				got, err := m.Fold(0, func(state any, cmd statemachine.Command) any {
+					return state.(int) + int(cmd.Op[0])
+				})
+				if err != nil || got.(int) != want {
+					ok = false
+				}
+			})
+		}
+		if err := c.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
