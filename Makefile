@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench fuzz explore experiments vet clean
+.PHONY: all build test test-race test-short cover bench fuzz explore experiments chaos vet clean
 
 all: vet test
 
@@ -44,6 +44,13 @@ explore:
 # Regenerate every table/figure of EXPERIMENTS.md.
 experiments:
 	$(GO) run ./cmd/asobench
+
+# Seeded chaos run (crashes, partitions, loss, delay spikes) with
+# end-to-end linearizability checking, on both the simulator and a TCP
+# loopback cluster. Override: make chaos SEED=7
+SEED ?= 42
+chaos:
+	$(GO) run ./cmd/asochaos -seed $(SEED) -duration 5s
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,185 @@
+// Command asochaos runs a seeded chaos schedule — node crashes (including
+// mid-broadcast), transient partitions with heal, per-link loss and delay
+// spikes — against a snapshot object while concurrent clients issue
+// UPDATE/SCAN operations, then checks the recorded history for
+// linearizability (sequential consistency for SSO).
+//
+// Usage:
+//
+//	asochaos -seed 42 -duration 5s
+//	asochaos -backend tcp -alg byzaso -n 7 -f 2 -json
+//
+// The same seed injects the same fault schedule on every backend; on the
+// sim backend the entire run (history included) is byte-identical across
+// repetitions, so a failing seed is a complete reproduction recipe.
+// Non-zero exit if any backend's consistency check fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mpsnap/internal/chaos"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "chaos seed: drives the fault schedule and the workload")
+		duration  = flag.Duration("duration", 5*time.Second, "workload length (wall time on transports; 1 D per 10ms everywhere)")
+		backend   = flag.String("backend", "both", "backend(s): sim|chan|tcp|both (sim+tcp)|all, or a comma list")
+		alg       = flag.String("alg", "eqaso", "object under test: eqaso|byzaso|sso")
+		n         = flag.Int("n", 5, "number of nodes")
+		f         = flag.Int("f", 2, "resilience bound")
+		crashes   = flag.Int("crashes", 1, "crash events (clamped to f; every other one strikes mid-broadcast)")
+		parts     = flag.Int("partitions", 2, "partition->heal episodes")
+		drops     = flag.Int("drops", 2, "per-link message-loss windows")
+		dropProb  = flag.Float64("drop-prob", 0.25, "loss probability inside a drop window")
+		spikes    = flag.Int("spikes", 2, "per-link delay-spike windows")
+		spikeD    = flag.Float64("spike-extra", 3, "extra delay inside a spike window, in units of D")
+		scanRatio = flag.Float64("scan-ratio", 0.5, "fraction of scans in the workload")
+		showSched = flag.Bool("schedule", false, "print every fault event before running")
+		jsonOut   = flag.Bool("json", false, "emit one JSON report per backend on stdout")
+		dump      = flag.String("dump", "", "write each backend's history JSON to <prefix>-<backend>.json")
+	)
+	flag.Parse()
+
+	cfg := chaos.Config{
+		N: *n, F: *f, Alg: *alg, Seed: *seed,
+		Duration: chaos.TicksOf(*duration),
+		Mix: chaos.Mix{
+			Crashes: *crashes, Partitions: *parts,
+			DropWindows: *drops, DropProb: *dropProb,
+			SpikeWindows: *spikes, SpikeExtraD: *spikeD,
+		},
+		ScanRatio: *scanRatio,
+	}
+
+	backends, err := expandBackends(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var reports []chaos.Report
+	failed := false
+	for _, be := range backends {
+		var res *chaos.Result
+		var err error
+		startWall := time.Now()
+		if be == "sim" {
+			res, err = chaos.RunSim(cfg)
+		} else {
+			res, err = chaos.RunTransport(cfg, be)
+		}
+		if err != nil {
+			log.Fatalf("backend %s: %v", be, err)
+		}
+		rep := chaos.NewReport(be, *alg, res)
+		reports = append(reports, rep)
+		if !rep.OK {
+			failed = true
+		}
+		if *dump != "" {
+			path := fmt.Sprintf("%s-%s.json", strings.TrimSuffix(*dump, ".json"), be)
+			if err := writeHistory(path, res); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if !*jsonOut {
+			printReport(rep, cfg, *duration, time.Since(startWall), *showSched)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func expandBackends(s string) ([]string, error) {
+	var out []string
+	for _, b := range strings.Split(s, ",") {
+		switch strings.TrimSpace(b) {
+		case "sim", "chan", "tcp":
+			out = append(out, strings.TrimSpace(b))
+		case "both":
+			out = append(out, "sim", "tcp")
+		case "all":
+			out = append(out, "sim", "chan", "tcp")
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown backend %q (want sim|chan|tcp|both|all)", b)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no backend selected")
+	}
+	return out, nil
+}
+
+func printReport(rep chaos.Report, cfg chaos.Config, wall, took time.Duration, showSched bool) {
+	fmt.Printf("backend=%-4s alg=%s n=%d f=%d seed=%d duration=%s (%d ticks) schedule=%s\n",
+		rep.Backend, rep.Alg, cfg.N, cfg.F, cfg.Seed, wall, cfg.Duration, rep.ScheduleHash)
+	mix := rep.Schedule.Mix
+	fmt.Printf("  faults: %d crashes, %d partitions, %d drop windows (p=%.2f), %d spikes (+%gD) — %d events\n",
+		mix.Crashes, mix.Partitions, mix.DropWindows, mix.DropProb, mix.SpikeWindows, mix.SpikeExtraD,
+		len(rep.Schedule.Events))
+	if showSched {
+		for _, ev := range rep.Schedule.Events {
+			fmt.Printf("    %s\n", ev)
+		}
+	}
+	fmt.Printf("  ops=%d pending=%d", rep.Ops, rep.Pending)
+	if rep.Stats != nil {
+		fmt.Printf(" msgs=%d dropped=%d held=%d", rep.Stats.MsgsTotal, rep.Stats.MsgsDrop, rep.Stats.MsgsHeld)
+	} else {
+		fmt.Printf(" dropped=%d held=%d", rep.NetDrops, rep.NetHeld)
+	}
+	if rep.HistoryHash != "" {
+		fmt.Printf(" history=%s", rep.HistoryHash)
+	}
+	fmt.Printf(" (%.1fs wall)\n", took.Seconds())
+	for _, b := range rep.Blocked {
+		fmt.Printf("  stuck: %s\n", b)
+	}
+	kind := "linearizable (A1-A4)"
+	if rep.Alg == "sso" {
+		kind = "sequentially consistent"
+	}
+	if rep.OK {
+		fmt.Printf("  consistency: %s ✓\n", kind)
+	} else {
+		fmt.Printf("  consistency: FAILED — %d violations; first: %s\n", len(rep.Violations), rep.Violations[0])
+		fmt.Printf("  reproduce: asochaos -backend %s -alg %s -n %d -f %d -seed %d -duration %s\n",
+			rep.Backend, rep.Alg, cfg.N, cfg.F, cfg.Seed, wall)
+	}
+}
+
+func writeHistory(path string, res *chaos.Result) error {
+	if res.Hist == nil {
+		return nil
+	}
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Hist.DumpJSON(fd); err != nil {
+		fd.Close()
+		return err
+	}
+	if err := fd.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  history written to %s (re-check with: asosim -check %s)\n", path, path)
+	return nil
+}

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"fmt"
+
+	"mpsnap/internal/byzaso"
+	"mpsnap/internal/eqaso"
+	"mpsnap/internal/history"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sim"
+	"mpsnap/internal/sso"
+)
+
+// object is the client face of every snapshot object under test.
+type object interface {
+	Update(payload []byte) error
+	Scan() ([][]byte, error)
+}
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// N nodes with resilience bound F (n > 2f; n > 3f for byzaso).
+	N, F int
+	// Alg selects the object: "eqaso" (default), "byzaso", or "sso".
+	Alg string
+	// Seed drives schedule generation, fault randomness, and the
+	// workload. On the sim backend the entire run is a deterministic
+	// function of the seed.
+	Seed int64
+	// Duration is the workload length in virtual ticks (rt.TicksPerD
+	// ticks per D). Clients stop invoking new operations past it.
+	Duration rt.Ticks
+	// Mix is the fault mix; zero value means DefaultMix.
+	Mix Mix
+	// ScanRatio is the fraction of scans in the workload (default 0.5).
+	ScanRatio float64
+	// MaxSleep is the maximum client think time between operations, in
+	// ticks (default 1.5·D).
+	MaxSleep rt.Ticks
+}
+
+func (cfg *Config) normalize() error {
+	if cfg.Alg == "" {
+		cfg.Alg = "eqaso"
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix()
+	}
+	if cfg.ScanRatio == 0 {
+		cfg.ScanRatio = 0.5
+	}
+	if cfg.MaxSleep == 0 {
+		cfg.MaxSleep = 3 * rt.TicksPerD / 2
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("chaos: Duration must be positive")
+	}
+	if cfg.N <= 0 || cfg.N <= 2*cfg.F {
+		return fmt.Errorf("chaos: need n > 2f, got n=%d f=%d", cfg.N, cfg.F)
+	}
+	if cfg.Alg == "byzaso" && cfg.N <= 3*cfg.F {
+		return fmt.Errorf("chaos: byzaso needs n > 3f, got n=%d f=%d", cfg.N, cfg.F)
+	}
+	if _, err := checkerFor(cfg.Alg); err != nil {
+		return err
+	}
+	return nil
+}
+
+// newNode constructs the algorithm node for one runtime.
+func newNode(alg string, r rt.Runtime) (rt.Handler, object, error) {
+	switch alg {
+	case "eqaso":
+		nd := eqaso.New(r)
+		return nd, nd, nil
+	case "byzaso":
+		nd := byzaso.New(r)
+		return nd, nd, nil
+	case "sso":
+		nd := sso.New(r)
+		return nd, nd, nil
+	}
+	return nil, nil, fmt.Errorf("chaos: unknown algorithm %q (want eqaso|byzaso|sso)", alg)
+}
+
+// checkerFor returns the consistency check for the algorithm:
+// linearizability for the atomic objects, sequential consistency for SSO.
+func checkerFor(alg string) (func(*history.History) *history.Report, error) {
+	switch alg {
+	case "eqaso", "byzaso":
+		return (*history.History).CheckLinearizable, nil
+	case "sso":
+		return (*history.History).CheckSequentiallyConsistent, nil
+	}
+	return nil, fmt.Errorf("chaos: unknown algorithm %q (want eqaso|byzaso|sso)", alg)
+}
+
+// Result is the outcome of one chaos run.
+type Result struct {
+	// Schedule is the fault schedule that was injected.
+	Schedule Schedule
+	// Hist is the recorded operation history (pending operations mark
+	// crashed or force-aborted clients).
+	Hist *history.History
+	// Check is the consistency verdict: linearizability for eqaso and
+	// byzaso, sequential consistency for sso.
+	Check *history.Report
+	// Blocked lists operations that were still stuck at the end of the
+	// run (their nodes were crash-aborted so the run could terminate);
+	// each entry names the node and the blocked wait predicate.
+	Blocked []string
+	// Stats holds simulator counters (sim backend only).
+	Stats *sim.Stats
+	// NetDrops / NetHeld count messages dropped and parked by the
+	// transport fault injector (transport backends only).
+	NetDrops, NetHeld int64
+}
+
+// graceTicks is how long past the workload deadline an in-flight
+// operation may take before it is considered stuck: generous against the
+// worst measured op latencies (≤ ~10D) plus spike delays.
+const graceTicks = 30 * rt.TicksPerD

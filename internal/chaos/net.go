@@ -1,0 +1,321 @@
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"mpsnap/internal/rt"
+)
+
+// Net injects a chaos Schedule into a real transport: it wraps each
+// node's rt.Runtime so every outgoing Send/Broadcast passes through the
+// shared fault state (partition cut, per-link drop probability, per-link
+// spike hold, crash flags). The same Schedule that drives the simulator
+// drives a ChanNet or TCP loopback cluster through this wrapper.
+//
+// Partitioned and spiked links hold messages (in send order) and release
+// them when the cut heals or the window closes, preserving per-link FIFO
+// — a partition is indistinguishable from a long delay, exactly as on
+// the simulator. Dropped messages are lost for good.
+type Net struct {
+	mu     sync.Mutex
+	n      int
+	rng    *rand.Rand
+	unders []rt.Runtime
+	// crash crash-stops a node of the underlying transport so blocked
+	// waits release with rt.ErrCrashed.
+	crashFn func(id int)
+
+	cutOn   bool
+	cut     [][]bool
+	drop    map[[2]int]float64
+	spike   map[[2]int]bool
+	held    []heldNetMsg
+	crashed []bool
+	armed   []bool
+
+	drops, holds int64
+}
+
+type heldNetMsg struct {
+	src, dst int
+	msg      rt.Message
+}
+
+// NewNet wraps the underlying per-node runtimes. crashFn must crash-stop
+// node id on the backing transport.
+func NewNet(seed int64, unders []rt.Runtime, crashFn func(id int)) *Net {
+	n := len(unders)
+	nt := &Net{
+		n:       n,
+		rng:     rand.New(rand.NewSource(seed)),
+		unders:  unders,
+		crashFn: crashFn,
+		cut:     make([][]bool, n),
+		drop:    make(map[[2]int]float64),
+		spike:   make(map[[2]int]bool),
+		crashed: make([]bool, n),
+		armed:   make([]bool, n),
+	}
+	for i := range nt.cut {
+		nt.cut[i] = make([]bool, n)
+	}
+	return nt
+}
+
+// Runtime returns node id's fault-injected runtime; install the
+// algorithm node against this, not the underlying transport runtime.
+func (nt *Net) Runtime(id int) rt.Runtime {
+	return &faultyRuntime{nt: nt, id: id, under: nt.unders[id]}
+}
+
+// Crashed reports whether the chaos controller crashed node id.
+func (nt *Net) Crashed(id int) bool {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	return nt.crashed[id]
+}
+
+// Drops returns how many messages the loss windows discarded.
+func (nt *Net) Drops() int64 {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	return nt.drops
+}
+
+// Holds returns how many messages were parked at a cut or spike.
+func (nt *Net) Holds() int64 {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	return nt.holds
+}
+
+// Crash crash-stops node id: its sends are suppressed and the backing
+// transport releases its blocked waits with rt.ErrCrashed.
+func (nt *Net) Crash(id int) {
+	nt.mu.Lock()
+	if nt.crashed[id] {
+		nt.mu.Unlock()
+		return
+	}
+	nt.crashed[id] = true
+	nt.mu.Unlock()
+	if nt.crashFn != nil {
+		nt.crashFn(id)
+	}
+}
+
+// CrashAll crash-stops every node (end-of-run abort of stuck clients).
+func (nt *Net) CrashAll() {
+	for id := 0; id < nt.n; id++ {
+		nt.Crash(id)
+	}
+}
+
+// Arm makes node id's next broadcast reach only a random prefix of the
+// destinations before the node crashes (mid-broadcast crash).
+func (nt *Net) Arm(id int) {
+	nt.mu.Lock()
+	nt.armed[id] = true
+	nt.mu.Unlock()
+}
+
+// Partition isolates the given islands (nodes in no group form one
+// implicit extra island), holding cross-cut messages until Heal.
+func (nt *Net) Partition(groups ...[]int) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	island := make([]int, nt.n)
+	for i := range island {
+		island[i] = -1
+	}
+	for g, nodes := range groups {
+		for _, id := range nodes {
+			island[id] = g
+		}
+	}
+	for s := 0; s < nt.n; s++ {
+		for d := 0; d < nt.n; d++ {
+			nt.cut[s][d] = s != d && island[s] != island[d]
+		}
+	}
+	nt.cutOn = true
+}
+
+// Heal removes the partition and releases every releasable held message
+// in send order.
+func (nt *Net) Heal() {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	nt.cutOn = false
+	for i := range nt.cut {
+		for j := range nt.cut[i] {
+			nt.cut[i][j] = false
+		}
+	}
+	nt.flushLocked()
+}
+
+// DropOn starts a loss window on the src→dst link.
+func (nt *Net) DropOn(src, dst int, prob float64) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	nt.drop[[2]int{src, dst}] = prob
+}
+
+// DropOff ends the loss window on the src→dst link.
+func (nt *Net) DropOff(src, dst int) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	delete(nt.drop, [2]int{src, dst})
+}
+
+// SpikeOn starts a delay spike on the src→dst link: the link holds its
+// messages until SpikeOff, delaying them by up to the window length.
+func (nt *Net) SpikeOn(src, dst int) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	nt.spike[[2]int{src, dst}] = true
+}
+
+// SpikeOff ends the delay spike and releases the link's held messages.
+func (nt *Net) SpikeOff(src, dst int) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	delete(nt.spike, [2]int{src, dst})
+	nt.flushLocked()
+}
+
+// flushLocked re-sends every held message whose link is clear, keeping
+// the rest parked. Held messages survive a sender crash (they were
+// in flight), though a crash-stop backing transport may still discard
+// them on the sender side.
+func (nt *Net) flushLocked() {
+	var keep []heldNetMsg
+	for _, hm := range nt.held {
+		if (nt.cutOn && nt.cut[hm.src][hm.dst]) || nt.spike[[2]int{hm.src, hm.dst}] {
+			keep = append(keep, hm)
+			continue
+		}
+		nt.unders[hm.src].Send(hm.dst, hm.msg)
+	}
+	nt.held = keep
+}
+
+func (nt *Net) send(src, dst int, msg rt.Message) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	nt.sendLocked(src, dst, msg)
+}
+
+func (nt *Net) sendLocked(src, dst int, msg rt.Message) {
+	if nt.crashed[src] {
+		return
+	}
+	if src != dst {
+		key := [2]int{src, dst}
+		if p := nt.drop[key]; p > 0 && nt.rng.Float64() < p {
+			nt.drops++
+			return
+		}
+		if (nt.cutOn && nt.cut[src][dst]) || nt.spike[key] {
+			nt.holds++
+			nt.held = append(nt.held, heldNetMsg{src: src, dst: dst, msg: msg})
+			return
+		}
+	}
+	nt.unders[src].Send(dst, msg)
+}
+
+func (nt *Net) broadcast(src int, msg rt.Message) {
+	nt.mu.Lock()
+	if nt.crashed[src] {
+		nt.mu.Unlock()
+		return
+	}
+	if nt.armed[src] {
+		nt.armed[src] = false
+		prefix := nt.rng.Intn(nt.n)
+		for dst := 0; dst < prefix; dst++ {
+			nt.sendLocked(src, dst, msg)
+		}
+		nt.mu.Unlock()
+		nt.Crash(src)
+		return
+	}
+	for dst := 0; dst < nt.n; dst++ {
+		nt.sendLocked(src, dst, msg)
+	}
+	nt.mu.Unlock()
+}
+
+// Apply spawns a driver that replays the schedule against this Net,
+// mapping ev.At ticks to wall time via tick (the real duration of one
+// virtual tick). It returns immediately; close done to stop early.
+func (nt *Net) Apply(sched Schedule, tick time.Duration, done <-chan struct{}) {
+	go func() {
+		start := time.Now()
+		for _, ev := range sched.Events {
+			if wait := time.Duration(ev.At)*tick - time.Since(start); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-done:
+					return
+				}
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+			switch ev.Kind {
+			case EvCrash:
+				if ev.Mid {
+					nt.Arm(ev.Node)
+					// Hard-crash fallback if the victim never
+					// broadcasts (mirrors the sim runner).
+					node := ev.Node
+					time.AfterFunc(time.Duration(2*rt.TicksPerD)*tick, func() { nt.Crash(node) })
+				} else {
+					nt.Crash(ev.Node)
+				}
+			case EvPartition:
+				nt.Partition(ev.Groups...)
+			case EvHeal:
+				nt.Heal()
+			case EvDropOn:
+				nt.DropOn(ev.Src, ev.Dst, ev.Prob)
+			case EvDropOff:
+				nt.DropOff(ev.Src, ev.Dst)
+			case EvSpikeOn:
+				nt.SpikeOn(ev.Src, ev.Dst)
+			case EvSpikeOff:
+				nt.SpikeOff(ev.Src, ev.Dst)
+			}
+		}
+	}()
+}
+
+// faultyRuntime is a node's fault-injected view of the transport.
+type faultyRuntime struct {
+	nt    *Net
+	id    int
+	under rt.Runtime
+}
+
+var _ rt.Runtime = (*faultyRuntime)(nil)
+
+func (r *faultyRuntime) ID() int { return r.under.ID() }
+func (r *faultyRuntime) N() int  { return r.under.N() }
+func (r *faultyRuntime) F() int  { return r.under.F() }
+
+func (r *faultyRuntime) Send(dst int, msg rt.Message) { r.nt.send(r.id, dst, msg) }
+func (r *faultyRuntime) Broadcast(msg rt.Message)     { r.nt.broadcast(r.id, msg) }
+
+func (r *faultyRuntime) Atomic(fn func()) { r.under.Atomic(fn) }
+func (r *faultyRuntime) WaitUntilThen(label string, pred func() bool, then func()) error {
+	return r.under.WaitUntilThen(label, pred, then)
+}
+func (r *faultyRuntime) Now() rt.Ticks { return r.under.Now() }
+func (r *faultyRuntime) Crashed() bool { return r.under.Crashed() }

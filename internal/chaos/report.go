@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"mpsnap/internal/sim"
+)
+
+// Report is the machine-readable outcome of one chaos run, emitted by
+// cmd/asochaos -json.
+type Report struct {
+	Backend  string   `json:"backend"`
+	Alg      string   `json:"alg"`
+	OK       bool     `json:"ok"`
+	Schedule Schedule `json:"schedule"`
+	// ScheduleHash fingerprints the fault schedule: two runs with equal
+	// hashes injected the exact same faults.
+	ScheduleHash string `json:"scheduleHash"`
+	Ops          int    `json:"ops"`
+	Pending      int    `json:"pending"`
+	// Violations are the checker's complaints (empty when OK).
+	Violations []string `json:"violations,omitempty"`
+	// Blocked lists operations crash-aborted at the end of the run.
+	Blocked []string `json:"blocked,omitempty"`
+	// HistoryHash fingerprints the recorded history JSON; on the sim
+	// backend it is identical across runs with the same seed.
+	HistoryHash string     `json:"historyHash,omitempty"`
+	Stats       *sim.Stats `json:"stats,omitempty"`
+	NetDrops    int64      `json:"netDrops,omitempty"`
+	NetHeld     int64      `json:"netHeld,omitempty"`
+}
+
+// NewReport condenses a Result.
+func NewReport(backend, alg string, res *Result) Report {
+	rep := Report{
+		Backend:      backend,
+		Alg:          alg,
+		Schedule:     res.Schedule,
+		ScheduleHash: res.Schedule.Hash(),
+		Blocked:      res.Blocked,
+		Stats:        res.Stats,
+		NetDrops:     res.NetDrops,
+		NetHeld:      res.NetHeld,
+	}
+	if res.Hist != nil {
+		rep.Ops = len(res.Hist.Ops)
+		for _, op := range res.Hist.Ops {
+			if op.Pending() {
+				rep.Pending++
+			}
+		}
+		var buf bytes.Buffer
+		if err := res.Hist.DumpJSON(&buf); err == nil {
+			rep.HistoryHash = hashBytes(buf.Bytes())
+		}
+	}
+	if res.Check != nil {
+		rep.OK = res.Check.OK
+		rep.Violations = append(rep.Violations, res.Check.Violations...)
+	}
+	return rep
+}
+
+// Hash fingerprints the schedule (first 16 hex digits of SHA-256 over its
+// canonical JSON).
+func (s Schedule) Hash() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "unhashable"
+	}
+	return hashBytes(b)
+}
+
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,207 @@
+// Package chaos is a randomized fault-schedule harness for the snapshot
+// objects: it drives concurrent UPDATE/SCAN clients against EQ-ASO,
+// Byz-ASO, or SSO while injecting a seeded schedule of node crashes
+// (including mid-broadcast), transient network partitions with heal, and
+// per-link message-loss / delay-spike windows, then records every
+// operation with internal/history and checks the resulting history
+// against the appropriate consistency condition.
+//
+// The same Schedule runs on two backends: the deterministic virtual-time
+// simulator (internal/sim — byte-identical histories per seed) and the
+// real transports (internal/transport — ChanNet or a TCP loopback
+// cluster), where one D of virtual time maps to DReal of wall clock.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mpsnap/internal/rt"
+)
+
+// Mix sets how many faults of each kind a schedule contains.
+type Mix struct {
+	// Crashes is the number of crash events; clamped to F at generation
+	// (every other crash strikes mid-broadcast, truncating the victim's
+	// last broadcast to a prefix of the destinations — the paper's
+	// failure-chain mechanism).
+	Crashes int `json:"crashes"`
+	// Partitions is the number of partition→heal episodes. Each episode
+	// isolates a random island of at most F nodes (so a quorum survives
+	// on the majority side) and always heals before the run ends.
+	Partitions int `json:"partitions"`
+	// DropWindows is the number of per-link message-loss windows.
+	DropWindows int `json:"dropWindows"`
+	// DropProb is the loss probability inside a drop window (default
+	// 0.25). Loss violates the reliable-channel model: completed
+	// operations must still linearize, but stuck ones are crashed at the
+	// end of the run and recorded as pending.
+	DropProb float64 `json:"dropProb"`
+	// SpikeWindows is the number of per-link delay-spike windows.
+	SpikeWindows int `json:"spikeWindows"`
+	// SpikeExtraD is the extra per-message delay inside a spike window,
+	// in units of D (default 3).
+	SpikeExtraD float64 `json:"spikeExtraD"`
+}
+
+// DefaultMix is the standard chaotic diet: one crash, two partition
+// episodes, two loss windows, two delay spikes.
+func DefaultMix() Mix {
+	return Mix{Crashes: 1, Partitions: 2, DropWindows: 2, DropProb: 0.25, SpikeWindows: 2, SpikeExtraD: 3}
+}
+
+// EventKind names a fault event.
+type EventKind string
+
+// Fault event kinds.
+const (
+	EvCrash     EventKind = "crash"
+	EvPartition EventKind = "partition"
+	EvHeal      EventKind = "heal"
+	EvDropOn    EventKind = "drop-on"
+	EvDropOff   EventKind = "drop-off"
+	EvSpikeOn   EventKind = "spike-on"
+	EvSpikeOff  EventKind = "spike-off"
+)
+
+// Event is one fault injection at virtual time At.
+type Event struct {
+	At   rt.Ticks  `json:"at"`
+	Kind EventKind `json:"kind"`
+	// Node is the crash victim; Mid selects a mid-broadcast crash.
+	Node int  `json:"node,omitempty"`
+	Mid  bool `json:"mid,omitempty"`
+	// Groups are the partition islands (nodes in no group form one
+	// implicit extra island).
+	Groups [][]int `json:"groups,omitempty"`
+	// Src/Dst identify the link of a drop or spike window.
+	Src int `json:"src,omitempty"`
+	Dst int `json:"dst,omitempty"`
+	// Prob is the loss probability of a drop window.
+	Prob float64 `json:"prob,omitempty"`
+	// Extra is the added delay of a spike window, in ticks.
+	Extra rt.Ticks `json:"extra,omitempty"`
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvCrash:
+		mid := ""
+		if e.Mid {
+			mid = " (mid-broadcast)"
+		}
+		return fmt.Sprintf("t=%-8d crash node %d%s", e.At, e.Node, mid)
+	case EvPartition:
+		return fmt.Sprintf("t=%-8d partition islands=%v", e.At, e.Groups)
+	case EvHeal:
+		return fmt.Sprintf("t=%-8d heal", e.At)
+	case EvDropOn:
+		return fmt.Sprintf("t=%-8d drop-on  %d->%d p=%.2f", e.At, e.Src, e.Dst, e.Prob)
+	case EvDropOff:
+		return fmt.Sprintf("t=%-8d drop-off %d->%d", e.At, e.Src, e.Dst)
+	case EvSpikeOn:
+		return fmt.Sprintf("t=%-8d spike-on  %d->%d extra=%d", e.At, e.Src, e.Dst, e.Extra)
+	case EvSpikeOff:
+		return fmt.Sprintf("t=%-8d spike-off %d->%d", e.At, e.Src, e.Dst)
+	}
+	return fmt.Sprintf("t=%-8d %s", e.At, e.Kind)
+}
+
+// Schedule is a deterministic fault schedule: the same (seed, n, f,
+// duration, mix) always generates the same event list, on every backend.
+type Schedule struct {
+	Seed     int64    `json:"seed"`
+	N        int      `json:"n"`
+	F        int      `json:"f"`
+	Duration rt.Ticks `json:"duration"`
+	Mix      Mix      `json:"mix"`
+	Events   []Event  `json:"events"`
+}
+
+// Generate derives the fault schedule from the seed. All randomness comes
+// from one private RNG consumed in a fixed order, so schedules reproduce
+// exactly; events are sorted by time (generation order breaks ties).
+func Generate(seed int64, n, f int, duration rt.Ticks, mix Mix) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if mix.DropProb == 0 {
+		mix.DropProb = 0.25
+	}
+	if mix.SpikeExtraD == 0 {
+		mix.SpikeExtraD = 3
+	}
+	var evs []Event
+
+	// Crashes: distinct victims, times in the middle [0.15, 0.8) of the
+	// run so operations exist both before and after.
+	crashes := mix.Crashes
+	if crashes > f {
+		crashes = f
+	}
+	if crashes > 0 {
+		victims := rng.Perm(n)[:crashes]
+		for i, v := range victims {
+			at := duration * rt.Ticks(15+rng.Intn(65)) / 100
+			evs = append(evs, Event{At: at, Kind: EvCrash, Node: v, Mid: i%2 == 1})
+		}
+	}
+
+	// Partition episodes: serialized into disjoint slots of [0.1, 0.9) of
+	// the run, each isolating an island small enough that the majority
+	// side keeps an n-f quorum, and each healing within its slot.
+	if mix.Partitions > 0 && n > 1 {
+		maxIsland := f
+		if maxIsland < 1 {
+			maxIsland = 1
+		}
+		if maxIsland > n-1 {
+			maxIsland = n - 1
+		}
+		span := duration * 8 / 10
+		slot := span / rt.Ticks(mix.Partitions)
+		for i := 0; i < mix.Partitions; i++ {
+			base := duration/10 + rt.Ticks(i)*slot
+			start := base + rt.Ticks(rng.Int63n(int64(slot/4)+1))
+			heal := start + slot/2
+			m := 1 + rng.Intn(maxIsland)
+			island := append([]int(nil), rng.Perm(n)[:m]...)
+			sort.Ints(island)
+			evs = append(evs,
+				Event{At: start, Kind: EvPartition, Groups: [][]int{island}},
+				Event{At: heal, Kind: EvHeal})
+		}
+	}
+
+	// Per-link drop and spike windows, anywhere in [0.1, 0.85) of the run.
+	window := func() (rt.Ticks, rt.Ticks) {
+		start := duration/10 + rt.Ticks(rng.Int63n(int64(duration*6/10)+1))
+		length := duration/20 + rt.Ticks(rng.Int63n(int64(duration/10)+1))
+		return start, start + length
+	}
+	link := func() (int, int) {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		return src, dst
+	}
+	for i := 0; i < mix.DropWindows && n > 1; i++ {
+		start, end := window()
+		src, dst := link()
+		evs = append(evs,
+			Event{At: start, Kind: EvDropOn, Src: src, Dst: dst, Prob: mix.DropProb},
+			Event{At: end, Kind: EvDropOff, Src: src, Dst: dst})
+	}
+	extra := rt.Ticks(mix.SpikeExtraD * float64(rt.TicksPerD))
+	for i := 0; i < mix.SpikeWindows && n > 1; i++ {
+		start, end := window()
+		src, dst := link()
+		evs = append(evs,
+			Event{At: start, Kind: EvSpikeOn, Src: src, Dst: dst, Extra: extra},
+			Event{At: end, Kind: EvSpikeOff, Src: src, Dst: dst})
+	}
+
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return Schedule{Seed: seed, N: n, F: f, Duration: duration, Mix: mix, Events: evs}
+}

@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"mpsnap/internal/harness"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sim"
+)
+
+// simLink realizes the schedule's drop and spike windows as a
+// sim.LinkAdversary. State is mutated by scheduled events; the RNG is
+// consulted only for links inside an active drop window, in send order,
+// so runs replay exactly.
+type simLink struct {
+	rng   *rand.Rand
+	drop  map[[2]int]float64
+	extra map[[2]int]rt.Ticks
+}
+
+func newSimLink(seed int64) *simLink {
+	return &simLink{
+		rng:   rand.New(rand.NewSource(seed)),
+		drop:  make(map[[2]int]float64),
+		extra: make(map[[2]int]rt.Ticks),
+	}
+}
+
+// OnSend implements sim.LinkAdversary.
+func (l *simLink) OnSend(now rt.Ticks, src, dst int, kind string) sim.LinkFate {
+	key := [2]int{src, dst}
+	fate := sim.LinkFate{Extra: l.extra[key]}
+	if p := l.drop[key]; p > 0 && l.rng.Float64() < p {
+		fate.Drop = true
+	}
+	return fate
+}
+
+// midCrash arms scheduled mid-broadcast crashes: an armed node's next
+// broadcast reaches only a random prefix of the destinations, then the
+// node crashes — the paper's "crash while sending" failure mode.
+type midCrash struct {
+	rng   *rand.Rand
+	armed map[int]bool
+}
+
+func newMidCrash(seed int64) *midCrash {
+	return &midCrash{rng: rand.New(rand.NewSource(seed)), armed: make(map[int]bool)}
+}
+
+// OnBroadcast implements sim.Adversary.
+func (a *midCrash) OnBroadcast(now rt.Ticks, src int, msg rt.Message, dsts []int) ([]int, bool) {
+	if !a.armed[src] {
+		return dsts, false
+	}
+	delete(a.armed, src)
+	return dsts[:a.rng.Intn(len(dsts))], true
+}
+
+// RunSim executes one chaos run on the deterministic simulator. The
+// entire run — schedule, workload, recorded history — is a function of
+// cfg alone, so a failing seed replays byte-identically.
+func RunSim(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	check, _ := checkerFor(cfg.Alg)
+	sched := Generate(cfg.Seed, cfg.N, cfg.F, cfg.Duration, cfg.Mix)
+	link := newSimLink(cfg.Seed + 1)
+	adv := newMidCrash(cfg.Seed + 2)
+
+	var buildErr error
+	c := harness.Build(sim.Config{N: cfg.N, F: cfg.F, Seed: cfg.Seed, Adversary: adv, Link: link},
+		func(r rt.Runtime) (rt.Handler, harness.Object) {
+			h, obj, err := newNode(cfg.Alg, r)
+			if err != nil {
+				buildErr = err
+			}
+			return h, obj
+		})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+
+	// Inject the schedule.
+	w := c.W
+	for _, ev := range sched.Events {
+		ev := ev
+		switch ev.Kind {
+		case EvCrash:
+			if ev.Mid {
+				// Arm the mid-broadcast crash; if the victim broadcasts
+				// nothing within 2D, crash it outright (idempotent).
+				w.After(ev.At, func() { adv.armed[ev.Node] = true })
+				w.After(ev.At+2*rt.TicksPerD, func() { w.Crash(ev.Node) })
+			} else {
+				w.CrashAt(ev.Node, ev.At)
+			}
+		case EvPartition:
+			w.After(ev.At, func() { w.Partition(ev.Groups...) })
+		case EvHeal:
+			w.After(ev.At, func() { w.Heal() })
+		case EvDropOn:
+			w.After(ev.At, func() { link.drop[[2]int{ev.Src, ev.Dst}] = ev.Prob })
+		case EvDropOff:
+			w.After(ev.At, func() { delete(link.drop, [2]int{ev.Src, ev.Dst}) })
+		case EvSpikeOn:
+			w.After(ev.At, func() { link.extra[[2]int{ev.Src, ev.Dst}] = ev.Extra })
+		case EvSpikeOff:
+			w.After(ev.At, func() { delete(link.extra, [2]int{ev.Src, ev.Dst}) })
+		}
+	}
+
+	// Workload: every node alternates seeded updates/scans with think
+	// time until the deadline.
+	deadline := cfg.Duration
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		c.Client(i, func(o *harness.OpRunner) {
+			rng := rand.New(rand.NewSource(cfg.Seed*1009 + int64(i)))
+			for o.P.Now() < deadline {
+				var err error
+				if rng.Float64() < cfg.ScanRatio {
+					_, err = o.Scan()
+				} else {
+					_, err = o.Update()
+				}
+				if err != nil {
+					return // node crashed: op stays pending
+				}
+				if o.P.Now() >= deadline {
+					return
+				}
+				if err := o.P.Sleep(rt.Ticks(rng.Int63n(int64(cfg.MaxSleep) + 1))); err != nil {
+					return
+				}
+			}
+		})
+	}
+
+	// Unblock sweeps: past the deadline plus grace, any operation still
+	// blocked (its quorum lost to drops or excess crashes) has its node
+	// crash-aborted so the run terminates with the op recorded as
+	// pending. Each sweep either finds nothing or crashes at least one
+	// node, so n+1 sweeps always suffice.
+	res := &Result{Schedule: sched}
+	for k := 1; k <= cfg.N+1; k++ {
+		w.After(deadline+graceTicks*rt.Ticks(k), func() {
+			for _, bw := range w.Blocked() {
+				if bw.Node >= 0 && !w.Crashed(bw.Node) {
+					res.Blocked = append(res.Blocked, bw.String())
+					w.Crash(bw.Node)
+				}
+			}
+		})
+	}
+
+	h, err := c.Run()
+	res.Hist = h
+	if err != nil {
+		return res, err
+	}
+	st := w.Stats()
+	res.Stats = &st
+	res.Check = check(h)
+	return res, nil
+}

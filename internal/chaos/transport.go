@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"mpsnap/internal/harness"
+	"mpsnap/internal/history"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/transport"
+)
+
+// DReal is the wall-clock duration standing in for one maximum message
+// delay D on the real transports, so a Schedule's virtual times map to
+// wall time uniformly across backends: ev.At ticks → ev.At·(DReal/TicksPerD).
+const DReal = 10 * time.Millisecond
+
+// tickReal is the wall-clock duration of one virtual tick.
+const tickReal = DReal / time.Duration(rt.TicksPerD)
+
+// TicksOf converts a wall-clock duration into virtual ticks under the
+// DReal mapping, so "-duration 5s" means the same schedule on every
+// backend.
+func TicksOf(d time.Duration) rt.Ticks { return rt.Ticks(d / tickReal) }
+
+// RunTransport executes one chaos run over a real transport backend:
+// "chan" (in-process goroutine links) or "tcp" (a TCP loopback cluster,
+// all n nodes in this process). The same seeded Schedule as RunSim is
+// injected through a Net wrapper; operation times are recorded against
+// one shared wall clock so the history's real-time order is meaningful
+// across nodes. Real scheduling is not deterministic — only the fault
+// schedule is — so the check verdict, not the exact history, is the
+// reproducible artifact here.
+func RunTransport(cfg Config, backend string) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	check, _ := checkerFor(cfg.Alg)
+	sched := Generate(cfg.Seed, cfg.N, cfg.F, cfg.Duration, cfg.Mix)
+
+	unders := make([]rt.Runtime, cfg.N)
+	var crashFn func(id int)
+	var setHandler func(id int, h rt.Handler)
+	var closeAll func()
+	switch backend {
+	case "chan":
+		cn := transport.NewChanNet(transport.ChanConfig{N: cfg.N, F: cfg.F, D: DReal, Seed: cfg.Seed})
+		for i := 0; i < cfg.N; i++ {
+			unders[i] = cn.Runtime(i)
+		}
+		crashFn = cn.Crash
+		setHandler = cn.SetHandler
+		closeAll = cn.Close
+	case "tcp":
+		nodes, err := dialLoopback(cfg.N, cfg.F)
+		if err != nil {
+			return nil, err
+		}
+		for i, nd := range nodes {
+			unders[i] = nd.Runtime()
+		}
+		crashFn = func(id int) { nodes[id].Crash() }
+		setHandler = func(id int, h rt.Handler) { nodes[id].SetHandler(h) }
+		closeAll = func() {
+			for _, nd := range nodes {
+				nd.Close()
+			}
+		}
+	default:
+		return nil, fmt.Errorf("chaos: unknown backend %q (want chan|tcp)", backend)
+	}
+	defer closeAll()
+
+	nt := NewNet(cfg.Seed+3, unders, crashFn)
+	objs := make([]object, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		h, obj, err := newNode(cfg.Alg, nt.Runtime(i))
+		if err != nil {
+			return nil, err
+		}
+		setHandler(i, h)
+		objs[i] = obj
+	}
+
+	// One shared wall clock for all history events: per-node Now() values
+	// are offset by each node's start time and would order concurrent
+	// events inconsistently across nodes, producing false violations.
+	rec := history.NewRecorder(cfg.N)
+	start := time.Now()
+	now := func() rt.Ticks { return rt.Ticks(time.Since(start) / tickReal) }
+
+	done := make(chan struct{})
+	defer close(done)
+	nt.Apply(sched, tickReal, done)
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.N; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*1009 + int64(i)))
+			seq := 0
+			for now() < cfg.Duration {
+				if rng.Float64() < cfg.ScanRatio {
+					p := rec.BeginScan(i, now())
+					snap, err := objs[i].Scan()
+					if err != nil {
+						return // crashed: op stays pending
+					}
+					p.EndScan(harness.SnapStrings(snap), now())
+				} else {
+					seq++
+					v := fmt.Sprintf("v%d-%d", i, seq)
+					p := rec.BeginUpdate(i, v, now())
+					if err := objs[i].Update([]byte(v)); err != nil {
+						return
+					}
+					p.End(now())
+				}
+				if now() >= cfg.Duration {
+					return
+				}
+				time.Sleep(time.Duration(rng.Int63n(int64(cfg.MaxSleep)+1)) * tickReal)
+			}
+		}()
+	}
+
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+
+	res := &Result{Schedule: sched}
+	abortAt := start.Add(time.Duration(cfg.Duration+graceTicks) * tickReal)
+	select {
+	case <-finished:
+	case <-time.After(time.Until(abortAt)):
+		// An operation lost its quorum (drops, excess crashes): crash
+		// every node so blocked waits release with rt.ErrCrashed and the
+		// stuck operations end the run as pending.
+		res.Blocked = append(res.Blocked,
+			fmt.Sprintf("transport/%s: clients still blocked %v past deadline; crash-aborted all nodes", backend, time.Duration(graceTicks)*tickReal))
+		nt.CrashAll()
+		<-finished
+	}
+
+	h := rec.History()
+	res.Hist = h
+	res.NetDrops = nt.Drops()
+	res.NetHeld = nt.Holds()
+	res.Check = check(h)
+	return res, nil
+}
+
+// dialLoopback brings up an n-node TCP full mesh in this process: every
+// listener binds 127.0.0.1:0 first so the real addresses are known before
+// any node starts dialing.
+func dialLoopback(n, f int) ([]*transport.TCPNode, error) {
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("chaos: listen: %w", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*transport.TCPNode, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nodes[i], errs[i] = transport.NewTCPNode(transport.TCPConfig{
+				ID: i, Addrs: addrs, F: f, D: DReal, Listener: lns[i],
+			})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			for _, nd := range nodes {
+				if nd != nil {
+					nd.Close()
+				}
+			}
+			return nil, fmt.Errorf("chaos: tcp node %d: %w", i, err)
+		}
+	}
+	return nodes, nil
+}

@@ -9,13 +9,30 @@ import (
 	"mpsnap/internal/rt"
 )
 
-// bruteForceLinearizable decides linearizability of a small history (all
-// operations completed) by enumerating every permutation that respects the
-// real-time order and replaying it against the sequential specification.
-// It is the ground truth the conditions-based checker is validated against
-// (Theorem 1: both directions).
+// linearizableOps selects the operations a linearization must contain:
+// every update (a pending update may have taken effect, and placing it in
+// the trailing gap is equivalent to removing it) and every completed
+// scan; pending scans have no observable effect and are dropped — the
+// same treatment the checker's verifyComplete demands.
+func linearizableOps(h *History) []*Op {
+	ops := make([]*Op, 0, len(h.Ops))
+	for _, op := range h.Ops {
+		if op.Type == Update || !op.Pending() {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// bruteForceLinearizable decides linearizability of a small history by
+// enumerating every permutation that respects the real-time order and
+// replaying it against the sequential specification. Pending updates
+// (crashed updaters) are placed like any other update — real time never
+// forces them early, so some permutation puts an ineffective one after
+// every scan. It is the ground truth the conditions-based checker is
+// validated against (Theorem 1: both directions).
 func bruteForceLinearizable(h *History) bool {
-	ops := append([]*Op(nil), h.Ops...)
+	ops := linearizableOps(h)
 	n := len(ops)
 	if n > 8 {
 		panic("bruteForceLinearizable: history too large")
@@ -63,7 +80,7 @@ func bruteForceLinearizable(h *History) bool {
 // bruteForceSequentiallyConsistent enumerates permutations that respect
 // each node's program order (but not real time).
 func bruteForceSequentiallyConsistent(h *History) bool {
-	ops := append([]*Op(nil), h.Ops...)
+	ops := linearizableOps(h)
 	n := len(ops)
 	if n > 8 {
 		panic("bruteForceSequentiallyConsistent: history too large")

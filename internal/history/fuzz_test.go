@@ -8,14 +8,19 @@ import (
 )
 
 // historyFromBytes deterministically decodes a byte string into a small
-// history of completed operations: a compact encoding so the fuzzer can
-// explore the space of histories directly.
+// history: a compact encoding so the fuzzer can explore the space of
+// histories directly.
 //
-// Per operation, 4 bytes: [node|scan flag] [invDelta] [duration] [segment
-// value selector]. Scan results are synthesized from the selector per
+// Per operation, 4 bytes: [node|flags] [invDelta] [duration] [segment
+// value selector]. Flag 0x80 makes the op a scan; flag 0x40 makes it
+// pending — the node crashed during the op, so it has no response and
+// the node issues nothing afterwards (later ops decoded for a crashed
+// node are skipped). Scan results are synthesized from the selector per
 // segment, choosing among ⊥ and the values that segment's owner writes
-// anywhere in the history (so BaseOf always resolves, and the fuzzer
-// reaches deep checker logic rather than tripping on unknown values).
+// anywhere in the history — including values of pending updates, which
+// may legitimately have taken effect (so BaseOf always resolves, and the
+// fuzzer reaches deep checker logic rather than tripping on unknown
+// values).
 func historyFromBytes(data []byte) *History {
 	const n = 2
 	nOps := len(data) / 4
@@ -26,6 +31,7 @@ func historyFromBytes(data []byte) *History {
 	type raw struct {
 		node    int
 		scan    bool
+		pending bool
 		inv     rt.Ticks
 		resp    rt.Ticks
 		sel     byte
@@ -34,16 +40,24 @@ func historyFromBytes(data []byte) *History {
 	var raws []raw
 	busy := [n]rt.Ticks{}
 	count := [n]int{}
+	crashed := [n]bool{}
 	for i := 0; i < nOps; i++ {
 		b := data[i*4 : i*4+4]
 		node := int(b[0]) % n
+		if crashed[node] {
+			continue
+		}
 		isScan := b[0]&0x80 != 0
+		pending := b[0]&0x40 != 0
 		inv := busy[node] + rt.Ticks(b[1]%8)
 		dur := rt.Ticks(b[2]%8) + 1
-		r := raw{node: node, scan: isScan, inv: inv, resp: inv + dur, sel: b[3]}
+		r := raw{node: node, scan: isScan, pending: pending, inv: inv, resp: inv + dur, sel: b[3]}
 		if !isScan {
 			count[node]++
 			r.updName = fmt.Sprintf("v%d-%d", node, count[node])
+		}
+		if pending {
+			crashed[node] = true
 		}
 		busy[node] = r.resp + 1
 		raws = append(raws, r)
@@ -56,7 +70,10 @@ func historyFromBytes(data []byte) *History {
 	}
 	ops := make([]*Op, 0, len(raws))
 	for i, r := range raws {
-		if r.scan {
+		switch {
+		case r.scan && r.pending:
+			ops = append(ops, &Op{ID: i, Node: r.node, Type: Scan, Inv: r.inv, Resp: -1})
+		case r.scan:
 			snap := make([]string, n)
 			sel := int(r.sel)
 			for seg := 0; seg < n; seg++ {
@@ -68,7 +85,9 @@ func historyFromBytes(data []byte) *History {
 				}
 			}
 			ops = append(ops, &Op{ID: i, Node: r.node, Type: Scan, Snap: snap, Inv: r.inv, Resp: r.resp})
-		} else {
+		case r.pending:
+			ops = append(ops, &Op{ID: i, Node: r.node, Type: Update, Arg: r.updName, Inv: r.inv, Resp: -1})
+		default:
 			ops = append(ops, &Op{ID: i, Node: r.node, Type: Update, Arg: r.updName, Inv: r.inv, Resp: r.resp})
 		}
 	}
@@ -81,6 +100,12 @@ func FuzzCheckerAgainstBruteForce(f *testing.F) {
 	f.Add([]byte{0x00, 1, 2, 0, 0x81, 1, 2, 3, 0x01, 0, 1, 5})
 	f.Add([]byte{0x80, 0, 0, 1, 0x00, 0, 0, 0, 0x81, 0, 0, 2, 0x01, 7, 7, 9})
 	f.Add([]byte{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4})
+	// Partition-era shapes: crashed updaters (0x40) whose pending updates
+	// a later scan may or may not observe, and a pending scan.
+	f.Add([]byte{0x40, 1, 2, 0, 0x81, 3, 4, 1, 0x01, 0, 1, 0})
+	f.Add([]byte{0x00, 0, 1, 0, 0x40, 2, 2, 0, 0x81, 0, 6, 2, 0x01, 1, 1, 3})
+	f.Add([]byte{0xc1, 0, 3, 0, 0x00, 1, 1, 0, 0x80, 2, 2, 1})
+	f.Add([]byte{0x40, 0, 7, 0, 0x41, 1, 7, 0, 0x80, 0, 1, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h := historyFromBytes(data)
 		if len(h.Ops) == 0 {

@@ -1,0 +1,160 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpsnap/internal/rt"
+)
+
+// genSmallHistoryWithPending produces a random small history in which
+// some nodes crash mid-operation: a crashed node's last operation is
+// pending (no response) and the node issues nothing afterwards — the
+// shape chaos runs record around partitions and crashes. A pending
+// update takes effect at its linearization point with probability 1/2
+// (a crash mid-broadcast may or may not have reached a quorum), so later
+// scans legitimately may or may not observe it. With probability ~1/2
+// one completed scan is then corrupted, as in genSmallHistory.
+func genSmallHistoryWithPending(rng *rand.Rand) *History {
+	n := 2 + rng.Intn(2)
+	nOps := 3 + rng.Intn(5) // ≤ 7
+	type iv struct {
+		node        int
+		scan        bool
+		pending     bool
+		takesEffect bool
+		inv, pt     rt.Ticks
+		resp        rt.Ticks
+		val         string
+	}
+	busy := make([]rt.Ticks, n)
+	crashed := make([]bool, n)
+	ivs := make([]iv, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		node := rng.Intn(n)
+		if crashed[node] {
+			continue
+		}
+		inv := busy[node] + rt.Ticks(rng.Intn(4))
+		dur := rt.Ticks(1 + rng.Intn(8))
+		resp := inv + dur
+		busy[node] = resp + 1
+		v := iv{
+			node:        node,
+			scan:        rng.Intn(2) == 0,
+			inv:         inv,
+			pt:          inv + rt.Ticks(rng.Int63n(int64(dur))),
+			resp:        resp,
+			val:         fmt.Sprintf("v%d-%d", node, i),
+			takesEffect: true,
+		}
+		// ~1/4 of ops crash their node.
+		if rng.Intn(4) == 0 {
+			v.pending = true
+			v.takesEffect = rng.Intn(2) == 0
+			crashed[node] = true
+		}
+		ivs = append(ivs, v)
+	}
+	// Apply in linearization-point order to derive atomic scan results;
+	// ineffective pending updates and pending scans are skipped.
+	idx := make([]int, len(ivs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := range idx {
+		for j := i + 1; j < len(idx); j++ {
+			if ivs[idx[j]].pt < ivs[idx[i]].pt {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+	}
+	cur := make([]string, n)
+	snaps := make(map[int][]string, len(ivs))
+	for _, id := range idx {
+		switch {
+		case ivs[id].scan:
+			if !ivs[id].pending {
+				snaps[id] = append([]string(nil), cur...)
+			}
+		case ivs[id].takesEffect:
+			cur[ivs[id].node] = ivs[id].val
+		}
+	}
+	corrupt := rng.Intn(2) == 0
+	ops := make([]*Op, 0, len(ivs))
+	for i, v := range ivs {
+		switch {
+		case v.scan && v.pending:
+			ops = append(ops, &Op{ID: i, Node: v.node, Type: Scan, Inv: v.inv, Resp: -1})
+		case v.scan:
+			snap := snaps[i]
+			if corrupt && rng.Intn(2) == 0 {
+				seg := rng.Intn(n)
+				candidates := []string{NoValue}
+				for _, w := range ivs {
+					if !w.scan && w.node == seg {
+						candidates = append(candidates, w.val)
+					}
+				}
+				snap = append([]string(nil), snap...)
+				snap[seg] = candidates[rng.Intn(len(candidates))]
+			}
+			ops = append(ops, &Op{ID: i, Node: v.node, Type: Scan, Snap: snap, Inv: v.inv, Resp: v.resp})
+		case v.pending:
+			ops = append(ops, &Op{ID: i, Node: v.node, Type: Update, Arg: v.val, Inv: v.inv, Resp: -1})
+		default:
+			ops = append(ops, &Op{ID: i, Node: v.node, Type: Update, Arg: v.val, Inv: v.inv, Resp: v.resp})
+		}
+	}
+	return NewHistory(n, ops)
+}
+
+// TestCheckerMatchesBruteForceWithPending extends the Theorem 1
+// empirical validation to histories with crashed operations: the
+// conditions checker and exhaustive search must agree whether a pending
+// update can be linearized somewhere (or nowhere observable) and a
+// pending scan dropped.
+func TestCheckerMatchesBruteForceWithPending(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed + 2<<40))
+		h := genSmallHistoryWithPending(rng)
+		want := bruteForceLinearizable(h)
+		got := h.CheckLinearizable().OK
+		if got != want {
+			t.Logf("seed %d: checker=%v brute=%v history:", seed, got, want)
+			for _, op := range h.Ops {
+				t.Logf("  %v", op)
+			}
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSCCheckerMatchesBruteForceWithPending does the same for the
+// sequential-consistency checker.
+func TestSCCheckerMatchesBruteForceWithPending(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed + 3<<40))
+		h := genSmallHistoryWithPending(rng)
+		want := bruteForceSequentiallyConsistent(h)
+		got := h.CheckSequentiallyConsistent().OK
+		if got != want {
+			t.Logf("seed %d: SC checker=%v brute=%v history:", seed, got, want)
+			for _, op := range h.Ops {
+				t.Logf("  %v", op)
+			}
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -41,6 +41,10 @@ type Config struct {
 	// Adversary intercepts broadcasts to model crash-during-send and
 	// other failure patterns. nil means no interference.
 	Adversary Adversary
+	// Link intercepts point-to-point sends between distinct nodes to
+	// model message loss and delay spikes (see LinkAdversary). nil means
+	// a fault-free network.
+	Link LinkAdversary
 	// Seed seeds the simulation's private RNG (used by random delay
 	// models). The default 0 is a valid seed.
 	Seed int64
@@ -84,6 +88,12 @@ type World struct {
 	// (src,dst) channel; later sends may not be delivered earlier (FIFO).
 	lastDeliv [][]rt.Ticks
 
+	// Partition state: cut[src][dst] marks severed channels; held parks
+	// cross-cut messages (in send order) until Heal.
+	partitioned bool
+	cut         [][]bool
+	held        []heldMsg
+
 	procs    []*Proc
 	newProcs []*Proc
 	waiters  []*waiter
@@ -92,6 +102,8 @@ type World struct {
 
 	steps      int64
 	msgsTotal  int64
+	msgsDrop   int64
+	msgsHeld   int64
 	msgsByKind map[string]int64
 
 	tracer func(TraceEvent)
@@ -100,7 +112,9 @@ type World struct {
 }
 
 // TraceEvent is one observable simulator event (for tooling and debug
-// output). Kind is "send", "deliver", or "crash".
+// output). Kind is "send", "deliver", "crash", "drop" (link adversary
+// discarded the message), "hold" (parked at a partition cut),
+// "partition", or "heal".
 type TraceEvent struct {
 	T    rt.Ticks
 	Kind string
@@ -255,11 +269,47 @@ func (w *World) scheduleMsg(t rt.Ticks, src, dst int, kind string, fn func()) {
 // uses to inject actions (crashes, probes) at chosen times.
 func (w *World) After(d rt.Ticks, fn func()) { w.schedule(w.now+d, fn) }
 
-// send transmits one message on the (src,dst) channel.
+// send transmits one message on the (src,dst) channel, consulting the
+// link adversary and the partition cut.
 func (w *World) send(src, dst int, msg rt.Message) {
 	if w.nodes[src].crashed {
 		return
 	}
+	w.nodes[src].sent++
+	w.msgsTotal++
+	w.msgsByKind[msg.Kind()]++
+	var extra rt.Ticks
+	if src != dst {
+		if w.cfg.Link != nil {
+			fate := w.cfg.Link.OnSend(w.now, src, dst, msg.Kind())
+			if fate.Drop {
+				w.msgsDrop++
+				if w.tracer != nil {
+					w.tracer(TraceEvent{T: w.now, Kind: "drop", Src: src, Dst: dst, Msg: msg.Kind()})
+				}
+				return
+			}
+			extra = fate.Extra
+		}
+		if w.partitioned && w.cut[src][dst] {
+			w.msgsHeld++
+			w.held = append(w.held, heldMsg{src: src, dst: dst, msg: msg})
+			if w.tracer != nil {
+				w.tracer(TraceEvent{T: w.now, Kind: "hold", Src: src, Dst: dst, Msg: msg.Kind()})
+			}
+			return
+		}
+	}
+	if w.tracer != nil {
+		w.tracer(TraceEvent{T: w.now, Kind: "send", Src: src, Dst: dst, Msg: msg.Kind()})
+	}
+	w.dispatch(src, dst, msg, extra)
+}
+
+// dispatch schedules the actual delivery: base delay in [1, D] from the
+// delay model, plus any adversarial extra, never overtaking earlier sends
+// on the same channel (FIFO).
+func (w *World) dispatch(src, dst int, msg rt.Message, extra rt.Ticks) {
 	var d rt.Ticks
 	if src == dst {
 		d = w.cfg.SelfDelay
@@ -272,17 +322,11 @@ func (w *World) send(src, dst int, msg rt.Message) {
 	if d > w.cfg.D {
 		d = w.cfg.D
 	}
-	t := w.now + d
+	t := w.now + d + extra
 	if t < w.lastDeliv[src][dst] {
 		t = w.lastDeliv[src][dst] // FIFO: never overtake an earlier send
 	}
 	w.lastDeliv[src][dst] = t
-	w.nodes[src].sent++
-	w.msgsTotal++
-	w.msgsByKind[msg.Kind()]++
-	if w.tracer != nil {
-		w.tracer(TraceEvent{T: w.now, Kind: "send", Src: src, Dst: dst, Msg: msg.Kind()})
-	}
 	w.scheduleMsg(t, src, dst, msg.Kind(), func() { w.deliver(src, dst, msg) })
 }
 
@@ -328,6 +372,8 @@ type Stats struct {
 	Now        rt.Ticks
 	Events     int64
 	MsgsTotal  int64
+	MsgsDrop   int64 // discarded by the link adversary
+	MsgsHeld   int64 // parked at a partition cut (delivered on heal)
 	MsgsByKind map[string]int64
 	SentByNode []int64
 }
@@ -338,6 +384,8 @@ func (w *World) Stats() Stats {
 		Now:        w.now,
 		Events:     w.steps,
 		MsgsTotal:  w.msgsTotal,
+		MsgsDrop:   w.msgsDrop,
+		MsgsHeld:   w.msgsHeld,
 		MsgsByKind: make(map[string]int64, len(w.msgsByKind)),
 		SentByNode: make([]int64, w.cfg.N),
 	}
@@ -355,15 +403,28 @@ func (w *World) Stats() Stats {
 func (w *World) SentBy(id int) int64 { return w.nodes[id].sent }
 
 // DeadlockError is returned by Run when no event can make progress while
-// processes are still blocked.
+// processes are still blocked. Waiters identifies every blocked
+// WaitUntilThen predicate (process name, node id, wait label, block time)
+// so hangs — e.g. a chaos run that dropped a quorum's worth of messages —
+// are diagnosable rather than a bare failure.
 type DeadlockError struct {
 	Now     rt.Ticks
-	Blocked []string
+	Waiters []BlockedWaiter
+}
+
+// Blocked returns the formatted waiter descriptions (sorted).
+func (e *DeadlockError) Blocked() []string {
+	out := make([]string, len(e.Waiters))
+	for i, bw := range e.Waiters {
+		out[i] = bw.String()
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock at t=%d with %d blocked waiter(s):\n  %s",
-		e.Now, len(e.Blocked), strings.Join(e.Blocked, "\n  "))
+		e.Now, len(e.Waiters), strings.Join(e.Blocked(), "\n  "))
 }
 
 // Run executes the simulation until every process has finished and the
@@ -378,7 +439,16 @@ func (w *World) Run() error {
 	for {
 		w.steps++
 		if w.steps > w.cfg.MaxEvents {
-			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%d (livelock?)", w.cfg.MaxEvents, w.now)
+			blocked := ""
+			if bws := w.Blocked(); len(bws) > 0 {
+				lines := make([]string, len(bws))
+				for i, bw := range bws {
+					lines[i] = bw.String()
+				}
+				sort.Strings(lines)
+				blocked = fmt.Sprintf("; %d blocked waiter(s):\n  %s", len(lines), strings.Join(lines, "\n  "))
+			}
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%d (livelock?)%s", w.cfg.MaxEvents, w.now, blocked)
 		}
 		// 1. Start any newly spawned processes.
 		if len(w.newProcs) > 0 {
@@ -412,12 +482,7 @@ func (w *World) Run() error {
 		}
 		// 4. Quiescent.
 		if len(w.waiters) > 0 {
-			de := &DeadlockError{Now: w.now}
-			for _, wt := range w.waiters {
-				de.Blocked = append(de.Blocked, fmt.Sprintf("proc %q node=%d wait=%q since t=%d", wt.p.name, wt.node, wt.label, wt.since))
-			}
-			sort.Strings(de.Blocked)
-			return de
+			return &DeadlockError{Now: w.now, Waiters: w.Blocked()}
 		}
 		return nil
 	}

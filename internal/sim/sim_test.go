@@ -222,8 +222,11 @@ func TestDeadlockDetection(t *testing.T) {
 	if !errors.As(err, &de) {
 		t.Fatalf("err = %v, want DeadlockError", err)
 	}
-	if len(de.Blocked) != 1 || !strings.Contains(de.Blocked[0], "impossible") {
-		t.Fatalf("diagnostics: %v", de.Blocked)
+	if len(de.Waiters) != 1 || de.Waiters[0].Label != "impossible" || de.Waiters[0].Node != 0 {
+		t.Fatalf("diagnostics: %+v", de.Waiters)
+	}
+	if !strings.Contains(de.Error(), "impossible") {
+		t.Fatalf("error text lacks blocked predicate label: %v", de)
 	}
 }
 

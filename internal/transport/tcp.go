@@ -190,6 +190,11 @@ func (t *TCPNode) SetHandler(h rt.Handler) { t.setHandler(h) }
 // Runtime returns this node's rt.Runtime.
 func (t *TCPNode) Runtime() rt.Runtime { return (*tcpRuntime)(t) }
 
+// Crash crash-stops the node: it stops handling messages and blocked
+// waits return rt.ErrCrashed. Connections stay open (peers need not
+// distinguish a crashed node from a silent one).
+func (t *TCPNode) Crash() { t.crash() }
+
 // Close shuts the node down.
 func (t *TCPNode) Close() {
 	select {
