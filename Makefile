@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench fuzz explore experiments chaos vet clean
+.PHONY: all build test test-race test-short cover bench bench-smoke fuzz explore experiments chaos vet clean
 
 all: vet test
 
@@ -27,6 +27,11 @@ cover:
 # One benchmark iteration per target; see bench_output.txt conventions.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Quick service-layer throughput sweep (batched vs serialized clients);
+# writes the machine-readable points to BENCH_throughput.json.
+bench-smoke:
+	$(GO) run ./cmd/asobench -e throughput -quick -json BENCH_throughput.json
 
 # Randomized conformance fuzzing across all algorithms (bounded batch).
 fuzz:

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mpsnap/internal/bench"
@@ -22,9 +24,10 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("e", "all", "experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|all")
-		quick = flag.Bool("quick", false, "smaller parameters (CI-sized)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
+		exp      = flag.String("e", "all", "experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|throughput|all")
+		quick    = flag.Bool("quick", false, "smaller parameters (CI-sized)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		jsonPath = flag.String("json", "", "write the throughput points to this JSON file (throughput experiment only)")
 	)
 	flag.Parse()
 
@@ -45,6 +48,9 @@ func main() {
 		table1K   = 4
 		ssoN      = 9
 		ssoOps    = 6
+		tputNs    = []int{8, 16}
+		tputCs    = []int{1, 4, 16, 64}
+		tputOps   = 2
 	)
 	if *quick {
 		table1Ops, table1N, table1F, table1K = 3, 7, 3, 2
@@ -54,6 +60,7 @@ func main() {
 		byzFs = []int{1, 2}
 		latticeKs = []int{0, 2, 4, 8}
 		ssoN, ssoOps = 5, 3
+		tputNs, tputCs = []int{8, 16}, []int{1, 16, 64}
 	}
 
 	experiments := []experiment{
@@ -65,6 +72,23 @@ func main() {
 		{"sso", func() (string, error) { return bench.SSOScan(ssoN, ssoOps, *seed) }},
 		{"lattice", func() (string, error) { return bench.Lattice(latticeKs, *seed) }},
 		{"messages", func() (string, error) { return bench.Messages(table1N, table1Ops, *seed) }},
+		{"throughput", func() (string, error) {
+			out, points, err := bench.Throughput(tputNs, tputCs, tputOps, *seed)
+			if err != nil {
+				return "", err
+			}
+			if *jsonPath != "" {
+				blob, err := json.MarshalIndent(points, "", "  ")
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("points written to %s\n", *jsonPath)
+			}
+			return out, nil
+		}},
 	}
 
 	ran := 0

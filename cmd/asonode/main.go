@@ -1,13 +1,24 @@
 // Command asonode runs one snapshot-object node over real TCP. Start one
-// process per node with the same -addrs list, then drive any node through
-// its stdin REPL:
+// process per node with the same -addrs list (peers may come up in any
+// order — dialing retries with exponential backoff for -dial-timeout),
+// then drive any node through its stdin REPL:
 //
 //	# shell 1                                  # shell 2, 3 ...
 //	asonode -id 0 -addrs :7000,:7001,:7002     asonode -id 1 -addrs ...
 //
 //	> update hello          write to the own segment
 //	> scan                  atomic snapshot of all segments
+//	> stats                 service-layer counters
 //	> quit
+//
+// All operations flow through the concurrent service layer (internal/svc):
+// pending updates coalesce into one protocol update, concurrent scans
+// share one protocol scan. With -clients ADDR the node also accepts any
+// number of concurrent TCP client sessions speaking the same line
+// protocol, all multiplexed onto this node's single protocol instance:
+//
+//	asonode -id 0 -addrs ... -clients :8000 &
+//	nc localhost 8000
 //
 // The transport relies on TCP's in-order delivery for the paper's FIFO
 // channel assumption; the deployment is crash-stop (no reconnects).
@@ -17,7 +28,9 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -26,21 +39,20 @@ import (
 	"mpsnap/internal/eqaso"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sso"
+	"mpsnap/internal/svc"
 	"mpsnap/internal/transport"
 )
 
-type object interface {
-	Update(payload []byte) error
-	Scan() ([][]byte, error)
-}
-
 func main() {
 	var (
-		id    = flag.Int("id", 0, "this node's index into -addrs")
-		addrs = flag.String("addrs", "", "comma-separated listen addresses of all nodes")
-		f     = flag.Int("f", 0, "resilience bound (default: (n-1)/2, or (n-1)/3 for byzaso)")
-		alg   = flag.String("alg", "eqaso", "algorithm: eqaso|byzaso|sso")
-		d     = flag.Duration("d", 10*time.Millisecond, "wall-clock duration treated as one D (reporting only)")
+		id          = flag.Int("id", 0, "this node's index into -addrs")
+		addrs       = flag.String("addrs", "", "comma-separated listen addresses of all nodes")
+		f           = flag.Int("f", 0, "resilience bound (default: (n-1)/2, or (n-1)/3 for byzaso)")
+		alg         = flag.String("alg", "eqaso", "algorithm: eqaso|byzaso|sso")
+		d           = flag.Duration("d", 10*time.Millisecond, "wall-clock duration treated as one D (reporting only)")
+		dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "total per-peer connection budget at startup")
+		clients     = flag.String("clients", "", "optional listen address for concurrent TCP client sessions")
+		maxPending  = flag.Int("max-pending", svc.DefaultMaxPending, "service queue bound (backpressure blocks past it)")
 	)
 	flag.Parse()
 	list := strings.Split(*addrs, ",")
@@ -56,13 +68,13 @@ func main() {
 		}
 	}
 
-	tn, err := transport.NewTCPNode(transport.TCPConfig{ID: *id, Addrs: list, F: *f, D: *d})
+	tn, err := transport.NewTCPNode(transport.TCPConfig{ID: *id, Addrs: list, F: *f, D: *d, DialTimeout: *dialTimeout})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer tn.Close()
 
-	var obj object
+	var obj svc.Object
 	var handler rt.Handler
 	switch *alg {
 	case "eqaso":
@@ -79,48 +91,98 @@ func main() {
 	}
 	tn.SetHandler(handler)
 
-	fmt.Printf("node %d/%d up (%s, f=%d); commands: update <value> | scan | quit\n", *id, n, *alg, *f)
-	in := bufio.NewScanner(os.Stdin)
+	service := svc.New(tn.Runtime(), obj, svc.Options{
+		Mode:       svc.ModeFor(*alg),
+		MaxPending: *maxPending,
+	})
+	go func() {
+		if err := service.Serve(); err != nil {
+			log.Printf("service stopped: %v", err)
+		}
+	}()
+	defer service.Close()
+
+	if *clients != "" {
+		ln, err := net.Listen("tcp", *clients)
+		if err != nil {
+			log.Fatalf("client listener: %v", err)
+		}
+		defer ln.Close()
+		go acceptClients(ln, service)
+		fmt.Printf("client sessions on %s\n", ln.Addr())
+	}
+
+	fmt.Printf("node %d/%d up (%s, f=%d, service mode %s); commands: update <value> | scan | stats | quit\n",
+		*id, n, *alg, *f, svc.ModeFor(*alg))
+	session(os.Stdin, os.Stdout, service, true)
+}
+
+// acceptClients serves each inbound connection as an independent client
+// session; all sessions share the node's service (and thus its batches).
+func acceptClients(ln net.Listener, s *svc.Service) {
 	for {
-		fmt.Print("> ")
-		if !in.Scan() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			defer conn.Close()
+			fmt.Fprintln(conn, "commands: update <value> | scan | stats | quit")
+			session(conn, conn, s, false)
+		}()
+	}
+}
+
+// session runs the line protocol until quit or EOF. The prompt is only
+// printed on the interactive stdin session.
+func session(in io.Reader, out io.Writer, s *svc.Service, prompt bool) {
+	sc := bufio.NewScanner(in)
+	for {
+		if prompt {
+			fmt.Fprint(out, "> ")
+		}
+		if !sc.Scan() {
 			return
 		}
-		fields := strings.Fields(in.Text())
+		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
 			continue
 		}
 		switch fields[0] {
 		case "update", "u":
 			if len(fields) < 2 {
-				fmt.Println("usage: update <value>")
+				fmt.Fprintln(out, "usage: update <value>")
 				continue
 			}
 			start := time.Now()
-			if err := obj.Update([]byte(strings.Join(fields[1:], " "))); err != nil {
-				fmt.Println("error:", err)
+			if err := s.Update([]byte(strings.Join(fields[1:], " "))); err != nil {
+				fmt.Fprintln(out, "error:", err)
 				continue
 			}
-			fmt.Printf("ok (%v)\n", time.Since(start).Round(time.Microsecond))
+			fmt.Fprintf(out, "ok (%v)\n", time.Since(start).Round(time.Microsecond))
 		case "scan", "s":
 			start := time.Now()
-			snap, err := obj.Scan()
+			snap, err := s.Scan()
 			if err != nil {
-				fmt.Println("error:", err)
+				fmt.Fprintln(out, "error:", err)
 				continue
 			}
-			fmt.Printf("snapshot (%v):\n", time.Since(start).Round(time.Microsecond))
+			fmt.Fprintf(out, "snapshot (%v):\n", time.Since(start).Round(time.Microsecond))
 			for seg, v := range snap {
 				if v == nil {
-					fmt.Printf("  [%d] ⊥\n", seg)
+					fmt.Fprintf(out, "  [%d] ⊥\n", seg)
 				} else {
-					fmt.Printf("  [%d] %s\n", seg, v)
+					fmt.Fprintf(out, "  [%d] %s\n", seg, v)
 				}
 			}
+		case "stats":
+			st := s.Stats()
+			fmt.Fprintf(out, "updates=%d scans=%d protoUpdates=%d protoScans=%d maxBatch=%d rejected=%d queued=%d\n",
+				st.Updates, st.Scans, st.ProtoUpdates, st.ProtoScans, st.MaxBatch, st.Rejected, s.QueueLen())
 		case "quit", "q", "exit":
 			return
 		default:
-			fmt.Println("commands: update <value> | scan | quit")
+			fmt.Fprintln(out, "commands: update <value> | scan | stats | quit")
 		}
 	}
 }

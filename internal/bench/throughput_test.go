@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestThroughputBatchingWins: at a CI-sized coordinate the batched service
+// clearly outperforms the serialized baseline, and both histories check.
+func TestThroughputBatchingWins(t *testing.T) {
+	batched, err := RunThroughput(ThroughputConfig{
+		N: 8, F: 3, Clients: 16, OpsPerClient: 2, ScanRatio: 0.5, Seed: 1, Batched: true, Check: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunThroughput(ThroughputConfig{
+		N: 8, F: 3, Clients: 16, OpsPerClient: 2, ScanRatio: 0.5, Seed: 1, Batched: false, Check: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Ops != serial.Ops {
+		t.Errorf("op counts differ: %d vs %d", batched.Ops, serial.Ops)
+	}
+	if batched.OpsPerD < 3*serial.OpsPerD {
+		t.Errorf("batched %.2f ops/D vs serialized %.2f ops/D: want ≥ 3×", batched.OpsPerD, serial.OpsPerD)
+	}
+	if batched.MaxBatch < 2 {
+		t.Errorf("MaxBatch = %d, batching never happened", batched.MaxBatch)
+	}
+	if batched.ProtoOps >= int64(batched.Ops) {
+		t.Errorf("batched issued %d protocol ops for %d client ops", batched.ProtoOps, batched.Ops)
+	}
+}

@@ -37,6 +37,14 @@ type Config struct {
 	// MaxSleep is the maximum client think time between operations, in
 	// ticks (default 1.5·D).
 	MaxSleep rt.Ticks
+	// Service routes all client operations through the internal/svc
+	// concurrent service layer (UPDATE coalescing + SCAN sharing)
+	// instead of calling the object directly. Sim backend only.
+	Service bool
+	// Clients is the number of concurrent client threads per node
+	// (default 1). Values above 1 require Service: the raw protocol
+	// objects admit one operation at a time.
+	Clients int
 }
 
 func (cfg *Config) normalize() error {
@@ -51,6 +59,15 @@ func (cfg *Config) normalize() error {
 	}
 	if cfg.MaxSleep == 0 {
 		cfg.MaxSleep = 3 * rt.TicksPerD / 2
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Clients < 0 {
+		return fmt.Errorf("chaos: Clients must be positive, got %d", cfg.Clients)
+	}
+	if cfg.Clients > 1 && !cfg.Service {
+		return fmt.Errorf("chaos: Clients=%d needs Service (raw objects admit one operation at a time)", cfg.Clients)
 	}
 	if cfg.Duration <= 0 {
 		return fmt.Errorf("chaos: Duration must be positive")

@@ -1,11 +1,13 @@
 package chaos
 
 import (
+	"fmt"
 	"math/rand"
 
 	"mpsnap/internal/harness"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
+	"mpsnap/internal/svc"
 )
 
 // simLink realizes the schedule's drop and spike windows as a
@@ -111,31 +113,61 @@ func RunSim(cfg Config) (*Result, error) {
 		}
 	}
 
-	// Workload: every node alternates seeded updates/scans with think
-	// time until the deadline.
 	deadline := cfg.Duration
-	for i := 0; i < cfg.N; i++ {
-		i := i
-		c.Client(i, func(o *harness.OpRunner) {
-			rng := rand.New(rand.NewSource(cfg.Seed*1009 + int64(i)))
-			for o.P.Now() < deadline {
-				var err error
-				if rng.Float64() < cfg.ScanRatio {
-					_, err = o.Scan()
-				} else {
-					_, err = o.Update()
-				}
-				if err != nil {
-					return // node crashed: op stays pending
-				}
-				if o.P.Now() >= deadline {
-					return
-				}
-				if err := o.P.Sleep(rt.Ticks(rng.Int63n(int64(cfg.MaxSleep) + 1))); err != nil {
-					return
-				}
+
+	// Service layer (optional): wrap each node's object in a svc.Service
+	// whose worker runs on a dedicated node thread; all of the node's
+	// clients then share it. Services close shortly past the deadline —
+	// strictly before the first unblock sweep — so drained workers exit
+	// cleanly instead of being mistaken for stuck operations and
+	// crash-aborted.
+	fronts := make([]harness.Object, cfg.N)
+	for i := range fronts {
+		fronts[i] = c.Objects[i]
+	}
+	if cfg.Service {
+		services := make([]*svc.Service, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			s := svc.New(w.Runtime(i), c.Objects[i], svc.Options{Mode: svc.ModeFor(cfg.Alg)})
+			services[i] = s
+			fronts[i] = s
+			w.GoNode(fmt.Sprintf("svc-%d", i), i, func(p *sim.Proc) {
+				_ = s.Serve() // returns on drain (nil) or node crash
+			})
+		}
+		w.After(deadline+graceTicks/2, func() {
+			for _, s := range services {
+				s.Close()
 			}
 		})
+	}
+
+	// Workload: every client thread alternates seeded updates/scans with
+	// think time until the deadline.
+	for i := 0; i < cfg.N; i++ {
+		for cid := 0; cid < cfg.Clients; cid++ {
+			seed := cfg.Seed*1009 + int64(i) + 7919*int64(cid)
+			c.ClientOn(i, fronts[i], func(o *harness.OpRunner) {
+				rng := rand.New(rand.NewSource(seed))
+				for o.P.Now() < deadline {
+					var err error
+					if rng.Float64() < cfg.ScanRatio {
+						_, err = o.Scan()
+					} else {
+						_, err = o.Update()
+					}
+					if err != nil {
+						return // node crashed: op stays pending
+					}
+					if o.P.Now() >= deadline {
+						return
+					}
+					if err := o.P.Sleep(rt.Ticks(rng.Int63n(int64(cfg.MaxSleep) + 1))); err != nil {
+						return
+					}
+				}
+			})
+		}
 	}
 
 	// Unblock sweeps: past the deadline plus grace, any operation still

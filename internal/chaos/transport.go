@@ -38,6 +38,9 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
+	if cfg.Service {
+		return nil, fmt.Errorf("chaos: Service mode runs on the sim backend only (use RunSim)")
+	}
 	check, _ := checkerFor(cfg.Alg)
 	sched := Generate(cfg.Seed, cfg.N, cfg.F, cfg.Duration, cfg.Mix)
 

@@ -1,0 +1,134 @@
+package eqaso_test
+
+import (
+	"testing"
+
+	"mpsnap/internal/core"
+	"mpsnap/internal/eqaso"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sim"
+)
+
+// TestUpdateBatchTimestampsAndVisibility: a k-batch takes k consecutive
+// timestamps with one round sequence; a later single update takes a
+// strictly larger timestamp; readers observe the batch's last value.
+func TestUpdateBatchTimestampsAndVisibility(t *testing.T) {
+	const n, f = 4, 1
+	w := sim.New(sim.Config{N: n, F: f, Seed: 7})
+	nodes := make([]*eqaso.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = eqaso.New(w.Runtime(i))
+		w.SetHandler(i, nodes[i])
+	}
+	batchDone := false
+	w.GoNode("writer", 0, func(p *sim.Proc) {
+		view, tss, err := nodes[0].UpdateBatchWithView([][]byte{[]byte("a"), []byte("b"), []byte("c")})
+		if err != nil {
+			t.Errorf("batch: %v", err)
+			return
+		}
+		if len(tss) != 3 {
+			t.Fatalf("got %d timestamps, want 3", len(tss))
+		}
+		for i, ts := range tss {
+			if ts.Writer != 0 || ts.Tag != tss[0].Tag+core.Tag(i) {
+				t.Errorf("timestamps not consecutive: %v", tss)
+				break
+			}
+		}
+		if !view.Contains(tss[2]) {
+			t.Errorf("renewal view misses the batch's last value")
+		}
+		batchDone = true
+		// A later single update must take a strictly larger timestamp
+		// (the renewal wrote tag r+k to a quorum).
+		_, ts, err := nodes[0].UpdateWithView([]byte("d"))
+		if err != nil {
+			t.Errorf("update after batch: %v", err)
+			return
+		}
+		if ts.Tag <= tss[2].Tag {
+			t.Errorf("post-batch timestamp %v not above batch's %v", ts, tss[2])
+		}
+	})
+	w.GoNode("reader", 1, func(p *sim.Proc) {
+		if err := p.WaitUntilGlobal("batch done", func() bool { return batchDone }); err != nil {
+			return
+		}
+		snap, err := nodes[1].Scan()
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		// The batch committed before batchDone was set, so segment 0
+		// shows its last value — or "d" if the follow-up update already
+		// landed.
+		if got := string(snap[0]); got != "c" && got != "d" {
+			t.Errorf("segment 0 = %q, want batch tail %q (or later %q)", got, "c", "d")
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := nodes[0].Stats()
+	if st.Updates != 4 || st.Batches != 2 {
+		t.Errorf("stats = %+v, want Updates=4 Batches=2", st)
+	}
+}
+
+// TestUpdateBatchEmptyAndSingle: the empty batch is a no-op; a 1-batch is
+// exactly one classic update.
+func TestUpdateBatchEmptyAndSingle(t *testing.T) {
+	const n, f = 3, 1
+	w := sim.New(sim.Config{N: n, F: f, Seed: 8})
+	nodes := make([]*eqaso.Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = eqaso.New(w.Runtime(i))
+		w.SetHandler(i, nodes[i])
+	}
+	w.GoNode("writer", 0, func(p *sim.Proc) {
+		if err := nodes[0].UpdateBatch(nil); err != nil {
+			t.Errorf("empty batch: %v", err)
+		}
+		if st := nodes[0].Stats(); st.Updates != 0 || st.Batches != 0 {
+			t.Errorf("empty batch counted: %+v", st)
+		}
+		if err := nodes[0].UpdateBatch([][]byte{[]byte("solo")}); err != nil {
+			t.Errorf("1-batch: %v", err)
+		}
+		snap, err := nodes[0].Scan()
+		if err != nil {
+			t.Errorf("scan: %v", err)
+			return
+		}
+		if string(snap[0]) != "solo" {
+			t.Errorf("segment 0 = %q", snap[0])
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdateBatchCrashed: a crashed node refuses batches.
+func TestUpdateBatchCrashed(t *testing.T) {
+	w := sim.New(sim.Config{N: 3, F: 1, Seed: 9})
+	nodes := make([]*eqaso.Node, 3)
+	for i := 0; i < 3; i++ {
+		nodes[i] = eqaso.New(w.Runtime(i))
+		w.SetHandler(i, nodes[i])
+	}
+	w.Crash(0)
+	w.GoNode("writer", 1, func(p *sim.Proc) {
+		// Peer 0 is down but quorum 2/3 remains: batches still commit.
+		if err := nodes[1].UpdateBatch([][]byte{[]byte("x"), []byte("y")}); err != nil {
+			t.Errorf("batch with one peer down: %v", err)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].UpdateBatch([][]byte{[]byte("z")}); err != rt.ErrCrashed {
+		t.Errorf("crashed node batch = %v, want ErrCrashed", err)
+	}
+}

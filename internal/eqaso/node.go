@@ -28,7 +28,8 @@ import (
 
 // Stats counts a node's operations and lattice activity.
 type Stats struct {
-	Updates       int64
+	Updates       int64 // values written (a k-batch counts k)
+	Batches       int64 // update round sequences (single updates count 1)
 	Scans         int64
 	LatticeOps    int64
 	DirectViews   int64

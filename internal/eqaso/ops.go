@@ -125,29 +125,72 @@ func (nd *Node) Update(payload []byte) error {
 // EQ-ASO itself discards that view (line 9's comment); the SSO built on
 // this package stores it.
 func (nd *Node) UpdateWithView(payload []byte) (core.View, core.Timestamp, error) {
-	if nd.rt.Crashed() {
-		return nil, core.Timestamp{}, rt.ErrCrashed
+	view, tss, err := nd.UpdateBatchWithView([][]byte{payload})
+	var ts core.Timestamp
+	if len(tss) > 0 {
+		ts = tss[0]
 	}
-	nd.rt.Atomic(func() { nd.stats.Updates++ })
+	return view, ts, err
+}
+
+// UpdateBatch writes the payloads, in order, as successive values of this
+// node's segment with ONE protocol update's round sequence. This is the
+// amortization lever behind the paper's O(D) amortized bound: k pending
+// writes share a single readTag, phase-0 lattice operation, and
+// LatticeRenewal, so the whole batch costs what one UPDATE costs. The
+// service layer (internal/svc) uses it to coalesce concurrent clients.
+func (nd *Node) UpdateBatch(payloads [][]byte) error {
+	_, _, err := nd.UpdateBatchWithView(payloads)
+	return err
+}
+
+// UpdateBatchWithView is UpdateBatch, additionally returning the final
+// renewal's view and the written timestamps (in payload order). With one
+// payload it produces exactly the message sequence of UpdateWithView.
+//
+// The batch takes timestamps r+1..r+k: all values are disseminated before
+// the phase-0 lattice operation, and the renewal runs at max(r+k, maxTag),
+// which writeTags ≥ r+k to a quorum — so any later readTag (whose quorum
+// intersects it) returns ≥ r+k and per-writer timestamps stay strictly
+// increasing, exactly as in the single-value protocol.
+func (nd *Node) UpdateBatchWithView(payloads [][]byte) (core.View, []core.Timestamp, error) {
+	if nd.rt.Crashed() {
+		return nil, nil, rt.ErrCrashed
+	}
+	if len(payloads) == 0 {
+		return nil, nil, nil
+	}
+	k := core.Tag(len(payloads))
+	nd.rt.Atomic(func() {
+		nd.stats.Updates += int64(k)
+		nd.stats.Batches++
+	})
 	r, err := nd.readTag()
 	if err != nil {
-		return nil, core.Timestamp{}, err
+		return nil, nil, err
 	}
-	ts := core.Timestamp{Tag: r + 1, Writer: nd.id}
-	nd.rt.Atomic(func() { nd.forwarded[ts] = true })
-	nd.rt.Broadcast(MsgValue{Val: core.Value{TS: ts, Payload: payload}})
+	tss := make([]core.Timestamp, len(payloads))
+	nd.rt.Atomic(func() {
+		for i := range payloads {
+			tss[i] = core.Timestamp{Tag: r + 1 + core.Tag(i), Writer: nd.id}
+			nd.forwarded[tss[i]] = true
+		}
+	})
+	for i, payload := range payloads {
+		nd.rt.Broadcast(MsgValue{Val: core.Value{TS: tss[i], Payload: payload}})
+	}
 	if _, _, err := nd.lattice(r); err != nil { // phase 0
-		return nil, ts, err
+		return nil, tss, err
 	}
 	var r2 core.Tag
 	nd.rt.Atomic(func() {
-		r2 = r + 1
+		r2 = r + k
 		if nd.maxTag > r2 {
 			r2 = nd.maxTag
 		}
 	})
 	view, err := nd.latticeRenewal(r2)
-	return view, ts, err
+	return view, tss, err
 }
 
 // RefreshView runs one readTag + LatticeRenewal and returns the obtained

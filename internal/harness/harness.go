@@ -27,13 +27,15 @@ type Cluster struct {
 	W       *sim.World
 	Objects []Object
 	Rec     *history.Recorder
+
+	nextCID []int // per-node client-id counter (multi-client runs)
 }
 
 // Build constructs a cluster: for each node, mk creates the message handler
 // and the client object (they are usually the same value).
 func Build(cfg sim.Config, mk func(r rt.Runtime) (rt.Handler, Object)) *Cluster {
 	w := sim.New(cfg)
-	c := &Cluster{W: w, Rec: history.NewRecorder(cfg.N)}
+	c := &Cluster{W: w, Rec: history.NewRecorder(cfg.N), nextCID: make([]int, cfg.N)}
 	c.Objects = make([]Object, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		h, obj := mk(w.Runtime(i))
@@ -47,36 +49,60 @@ func Build(cfg sim.Config, mk func(r rt.Runtime) (rt.Handler, Object)) *Cluster 
 type OpRunner struct {
 	c    *Cluster
 	P    *sim.Proc
+	obj  Object
 	node int
+	cid  int
 	seq  int
 }
 
 // Client spawns node's client thread running script and returns once the
 // process is registered (the simulation starts at W.Run).
 func (c *Cluster) Client(node int, script func(o *OpRunner)) {
-	c.W.GoNode(fmt.Sprintf("client-%d", node), node, func(p *sim.Proc) {
-		script(&OpRunner{c: c, P: p, node: node})
+	c.ClientOn(node, c.Objects[node], script)
+}
+
+// ClientOn is Client driving an alternative object front — typically a
+// svc.Service wrapping the node's object, so several concurrent client
+// threads per node can share one protocol instance. Each call gets a fresh
+// client id; value uniqueness across a node's clients is preserved (the
+// first client writes "v<node>-<seq>" exactly as single-client runs always
+// did, client c>0 writes "v<node>.<c>-<seq>").
+func (c *Cluster) ClientOn(node int, obj Object, script func(o *OpRunner)) {
+	cid := c.nextCID[node]
+	c.nextCID[node]++
+	name := fmt.Sprintf("client-%d", node)
+	if cid > 0 {
+		name = fmt.Sprintf("client-%d.%d", node, cid)
+	}
+	c.W.GoNode(name, node, func(p *sim.Proc) {
+		script(&OpRunner{c: c, P: p, obj: obj, node: node, cid: cid})
 	})
 }
 
 // Node returns the runner's node ID.
 func (o *OpRunner) Node() int { return o.node }
 
-// Object returns the node's raw (unrecorded) snapshot object.
-func (o *OpRunner) Object() Object { return o.c.Objects[o.node] }
+// Object returns the object this runner drives (unrecorded).
+func (o *OpRunner) Object() Object { return o.obj }
 
 // Update issues a recorded UPDATE with an automatically unique value
-// ("v<node>-<seq>") and returns the value written.
+// ("v<node>-<seq>", or "v<node>.<cid>-<seq>" for extra clients) and
+// returns the value written.
 func (o *OpRunner) Update() (string, error) {
 	o.seq++
-	v := fmt.Sprintf("v%d-%d", o.node, o.seq)
+	var v string
+	if o.cid == 0 {
+		v = fmt.Sprintf("v%d-%d", o.node, o.seq)
+	} else {
+		v = fmt.Sprintf("v%d.%d-%d", o.node, o.cid, o.seq)
+	}
 	return v, o.UpdateValue(v)
 }
 
 // UpdateValue issues a recorded UPDATE writing v.
 func (o *OpRunner) UpdateValue(v string) error {
 	pend := o.c.Rec.BeginUpdate(o.node, v, o.c.W.Now())
-	err := o.c.Objects[o.node].Update([]byte(v))
+	err := o.obj.Update([]byte(v))
 	if err != nil {
 		return err // pending: no response event
 	}
@@ -87,7 +113,7 @@ func (o *OpRunner) UpdateValue(v string) error {
 // Scan issues a recorded SCAN and returns the segment values ("" = ⊥).
 func (o *OpRunner) Scan() ([]string, error) {
 	pend := o.c.Rec.BeginScan(o.node, o.c.W.Now())
-	snap, err := o.c.Objects[o.node].Scan()
+	snap, err := o.obj.Scan()
 	if err != nil {
 		return nil, err
 	}

@@ -155,7 +155,12 @@ func (h *History) CheckS2() []string {
 	for _, sb := range sbs {
 		own := 0
 		for _, u := range h.updatesByNode[sb.sc.Node] {
-			if u.Inv < sb.sc.Inv {
+			// "Preceding" is the node's program order. With concurrent
+			// service-layer clients an update and a scan of the same node
+			// can share an invocation tick; the recorder assigns IDs in
+			// begin order, so (Inv, ID) is exactly that program order —
+			// for single-client histories the ID tie-break never fires.
+			if u.Inv < sb.sc.Inv || (u.Inv == sb.sc.Inv && u.ID < sb.sc.ID) {
 				own = u.Seq
 			}
 		}

@@ -65,13 +65,28 @@ func (m *Mux) Channel(name string) rt.Runtime {
 
 // Bind installs the handler of the named instance. Must be called before
 // traffic flows on that channel (instances created at setup time).
+// Registering the same name twice is always a setup bug — two instances
+// would steal each other's protocol messages — so it panics; components
+// that assemble channels dynamically should use BindErr instead.
 func (m *Mux) Bind(name string, h rt.Handler) {
+	if err := m.BindErr(name, h); err != nil {
+		panic(err)
+	}
+}
+
+// BindErr is Bind returning a descriptive error instead of panicking when
+// the channel name is already taken. The registration is atomic: on error
+// the existing handler is untouched.
+func (m *Mux) BindErr(name string, h rt.Handler) error {
+	var err error
 	m.rt.Atomic(func() {
 		if _, dup := m.handlers[name]; dup {
-			panic(fmt.Sprintf("mux: channel %q bound twice", name))
+			err = fmt.Errorf("mux: channel %q bound twice (each protocol instance needs a unique channel name)", name)
+			return
 		}
 		m.handlers[name] = h
 	})
+	return err
 }
 
 // Channels lists the bound channel names (sorted; for tooling).

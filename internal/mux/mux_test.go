@@ -2,6 +2,7 @@ package mux_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"mpsnap/internal/eqaso"
@@ -110,6 +111,37 @@ func TestBindTwicePanics(t *testing.T) {
 		}
 	}()
 	m.Bind("x", rt.HandlerFunc(func(int, rt.Message) {}))
+}
+
+// TestBindErrReportsDuplicate: the non-panicking registration reports a
+// duplicate channel name descriptively and leaves the original handler in
+// place (components that assemble channels dynamically, like svc.Store,
+// depend on both properties).
+func TestBindErrReportsDuplicate(t *testing.T) {
+	w := sim.New(sim.Config{N: 1, F: 0, Seed: 1})
+	m := mux.New(w.Runtime(0))
+	var got []string
+	first := rt.HandlerFunc(func(int, rt.Message) { got = append(got, "first") })
+	if err := m.BindErr("x", first); err != nil {
+		t.Fatalf("first BindErr: %v", err)
+	}
+	err := m.BindErr("x", rt.HandlerFunc(func(int, rt.Message) { got = append(got, "second") }))
+	if err == nil {
+		t.Fatal("duplicate BindErr must error")
+	}
+	for _, want := range []string{"x", "bound twice"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// The original binding must be untouched.
+	m.HandleMessage(0, mux.Envelope{Channel: "x", Msg: plainMsg{}})
+	if len(got) != 1 || got[0] != "first" {
+		t.Errorf("after duplicate BindErr, delivery went to %v (want [first])", got)
+	}
+	if ch := m.Channels(); len(ch) != 1 || ch[0] != "x" {
+		t.Errorf("channels = %v", ch)
+	}
 }
 
 type plainMsg struct{}

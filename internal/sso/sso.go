@@ -47,6 +47,12 @@ type backend interface {
 	RefreshView() (core.View, error)
 }
 
+// batchBackend is a backend whose updates can be batched into one round
+// sequence (EQ-ASO; the Byzantine backend falls back to sequential).
+type batchBackend interface {
+	UpdateBatchWithView(payloads [][]byte) (core.View, []core.Timestamp, error)
+}
+
 // Node is a sequentially consistent snapshot object node.
 type Node struct {
 	rtm    rt.Runtime
@@ -100,6 +106,54 @@ func (nd *Node) Update(payload []byte) error {
 		nd.rtm.Atomic(func() {
 			nd.adopt(view)
 			done = nd.stored.Contains(ts)
+		})
+		if done {
+			return nil
+		}
+		nd.rtm.Atomic(func() { nd.stats.ExtraRenewal++ })
+		view, err = nd.inner.RefreshView()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// UpdateBatch writes the payloads, in order, as successive values of the
+// caller's segment, amortizing one protocol round sequence over the batch
+// when the backend supports it. It completes only once the stored view
+// contains the LAST written value: the self-channel is FIFO and views are
+// tag-closed per writer, so a stored view containing timestamp r+k from
+// this node also contains its r+1..r+k-1 — every earlier batch member is
+// visible too (condition S2 for all of them at once).
+func (nd *Node) UpdateBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	bb, ok := nd.inner.(batchBackend)
+	if !ok {
+		// Sequential fallback (Byzantine backend): still correct, no
+		// amortization.
+		for _, p := range payloads {
+			if err := nd.Update(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if nd.rtm.Crashed() {
+		return rt.ErrCrashed
+	}
+	nd.rtm.Atomic(func() { nd.stats.Updates += int64(len(payloads)) })
+	view, tss, err := bb.UpdateBatchWithView(payloads)
+	if err != nil {
+		return err
+	}
+	last := tss[len(tss)-1]
+	for {
+		var done bool
+		nd.rtm.Atomic(func() {
+			nd.adopt(view)
+			done = nd.stored.Contains(last)
 		})
 		if done {
 			return nil

@@ -1,0 +1,153 @@
+package svc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpsnap/internal/eqaso"
+	"mpsnap/internal/mux"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/sim"
+	"mpsnap/internal/svc"
+)
+
+// buildStores wires one Store per node over per-node muxes on a fresh
+// world, spawning every shard worker. Returns the world and the stores.
+func buildStores(n, f int, seed int64, shards int) (*sim.World, []*svc.Store) {
+	w := sim.New(sim.Config{N: n, F: f, Seed: seed})
+	stores := make([]*svc.Store, n)
+	for i := 0; i < n; i++ {
+		m := mux.New(w.Runtime(i))
+		w.SetHandler(i, m)
+		st, err := svc.NewStore(m, svc.StoreConfig{
+			Shards: shards,
+			NewObject: func(r rt.Runtime) (rt.Handler, svc.Object) {
+				nd := eqaso.New(r)
+				return nd, nd
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		stores[i] = st
+		for j, s := range st.Services() {
+			s := s
+			w.GoNode(fmt.Sprintf("store-%d/%d", i, j), i, func(p *sim.Proc) { _ = s.Serve() })
+		}
+	}
+	return w, stores
+}
+
+// TestStoreEndToEnd: keys written by different nodes are visible
+// cluster-wide, values written in earlier batches survive later batches
+// to the same shard (cumulative segments), and overwrites win.
+func TestStoreEndToEnd(t *testing.T) {
+	const n, f, shards = 3, 1, 2
+	w, stores := buildStores(n, f, 31, shards)
+	writersDone := 0
+	keys := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < 2; i++ {
+		i := i
+		w.GoNode(fmt.Sprintf("writer-%d", i), i, func(p *sim.Proc) {
+			defer func() { writersDone++ }()
+			// Sequential writes: every key lands in its own batch, so a
+			// later batch to the same shard must not evict earlier keys.
+			for _, k := range keys {
+				if err := stores[i].Update(k, []byte(fmt.Sprintf("%s@%d", k, i))); err != nil {
+					t.Errorf("update %s: %v", k, err)
+					return
+				}
+			}
+			// Overwrite one key; the new value must win.
+			if err := stores[i].Update("alpha", []byte(fmt.Sprintf("alpha2@%d", i))); err != nil {
+				t.Errorf("overwrite: %v", err)
+			}
+		})
+	}
+	w.GoNode("reader", 2, func(p *sim.Proc) {
+		_ = p.WaitUntilGlobal("writers done", func() bool { return writersDone == 2 })
+		for _, k := range keys {
+			vals, err := stores[2].Scan(k)
+			if err != nil {
+				t.Errorf("scan %s: %v", k, err)
+				return
+			}
+			for i := 0; i < 2; i++ {
+				want := fmt.Sprintf("%s@%d", k, i)
+				if k == "alpha" {
+					want = fmt.Sprintf("alpha2@%d", i)
+				}
+				if string(vals[i]) != want {
+					t.Errorf("scan(%s)[%d] = %q, want %q", k, i, vals[i], want)
+				}
+			}
+			if vals[2] != nil {
+				t.Errorf("scan(%s)[2] = %q, want nil (node 2 never wrote)", k, vals[2])
+			}
+		}
+		for _, st := range stores {
+			st.Close()
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreShardRouting: the key hash is deterministic, identical across
+// stores, and spreads keys over every shard.
+func TestStoreShardRouting(t *testing.T) {
+	w, stores := buildStores(2, 0, 32, 4)
+	seen := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		sh := stores[0].ShardFor(k)
+		if sh < 0 || sh >= stores[0].Shards() {
+			t.Fatalf("ShardFor(%s) = %d out of range", k, sh)
+		}
+		if got := stores[1].ShardFor(k); got != sh {
+			t.Fatalf("ShardFor(%s) differs across nodes: %d vs %d", k, sh, got)
+		}
+		seen[sh] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("64 keys reached only shards %v, want all 4", seen)
+	}
+	for _, st := range stores {
+		st.Close()
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreConfigErrors: invalid configurations and duplicate channel
+// prefixes are reported, not silently absorbed.
+func TestStoreConfigErrors(t *testing.T) {
+	w := sim.New(sim.Config{N: 1, F: 0, Seed: 33})
+	m := mux.New(w.Runtime(0))
+	mk := func(r rt.Runtime) (rt.Handler, svc.Object) {
+		nd := eqaso.New(r)
+		return nd, nd
+	}
+	if _, err := svc.NewStore(m, svc.StoreConfig{}); err == nil {
+		t.Error("missing NewObject must error")
+	}
+	if _, err := svc.NewStore(m, svc.StoreConfig{
+		NewObject: mk,
+		Options:   svc.Options{Coalesce: func(p [][]byte) []byte { return nil }},
+	}); err == nil {
+		t.Error("reserved Coalesce must error")
+	}
+	if _, err := svc.NewStore(m, svc.StoreConfig{NewObject: mk}); err != nil {
+		t.Fatalf("first store: %v", err)
+	}
+	// Same prefix again: the mux channel collision must surface as an
+	// error (through BindErr), not a panic or a silent overwrite.
+	if _, err := svc.NewStore(m, svc.StoreConfig{NewObject: mk}); err == nil {
+		t.Error("duplicate prefix must error")
+	}
+	if _, err := svc.NewStore(m, svc.StoreConfig{NewObject: mk, Prefix: "other"}); err != nil {
+		t.Errorf("distinct prefix must succeed: %v", err)
+	}
+}

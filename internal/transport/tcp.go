@@ -107,7 +107,8 @@ func NewTCPNode(cfg TCPConfig) (*TCPNode, error) {
 		conn, err := dialUntil(cfg.Addrs[peer], deadline)
 		if err != nil {
 			t.Close()
-			return nil, fmt.Errorf("transport: dial node %d (%s): %w", peer, cfg.Addrs[peer], err)
+			return nil, fmt.Errorf("transport: node %d unreachable at %s (retried with backoff for %v): %w",
+				peer, cfg.Addrs[peer], cfg.DialTimeout, err)
 		}
 		enc := gob.NewEncoder(conn)
 		if err := enc.Encode(hello{ID: cfg.ID}); err != nil {
@@ -123,7 +124,13 @@ func NewTCPNode(cfg TCPConfig) (*TCPNode, error) {
 	return t, nil
 }
 
+// dialUntil dials addr with bounded exponential backoff (50ms doubling to
+// a 2s cap) until the deadline passes. Peers of a cluster may come up in
+// any order, so early connection refusals are expected, not fatal; only a
+// peer still unreachable once the whole budget is spent is an error.
 func dialUntil(addr string, deadline time.Time) (net.Conn, error) {
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
 	for {
 		conn, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
@@ -132,7 +139,15 @@ func dialUntil(addr string, deadline time.Time) (net.Conn, error) {
 		if time.Now().After(deadline) {
 			return nil, err
 		}
-		time.Sleep(50 * time.Millisecond)
+		sleep := backoff
+		if rem := time.Until(deadline); rem < sleep {
+			sleep = rem
+		}
+		time.Sleep(sleep)
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
 }
 
