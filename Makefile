@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench bench-smoke fuzz explore experiments chaos vet clean
+.PHONY: all build test test-race test-short cover bench bench-smoke fuzz fuzz-wire explore experiments chaos vet fmt-check clean
 
 all: vet test
 
@@ -11,6 +11,10 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fails if any file is not gofmt-formatted.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -28,10 +32,12 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# Quick service-layer throughput sweep (batched vs serialized clients);
-# writes the machine-readable points to BENCH_throughput.json.
+# Quick service-layer throughput sweep (batched vs serialized clients)
+# plus the wire-vs-gob codec micro-benchmark; writes the machine-readable
+# points to BENCH_throughput.json and BENCH_codec.json.
 bench-smoke:
 	$(GO) run ./cmd/asobench -e throughput -quick -json BENCH_throughput.json
+	$(GO) run ./cmd/asobench -e codec -json BENCH_codec.json
 
 # Randomized conformance fuzzing across all algorithms (bounded batch).
 fuzz:
@@ -40,6 +46,13 @@ fuzz:
 # Native Go fuzzing of the checker against brute force (30s).
 fuzz-checker:
 	$(GO) test -fuzz=FuzzCheckerAgainstBruteForce -fuzztime=30s ./internal/history/
+
+# Wire codec fuzzing: canonical round trips + mutated-frame decodes, via
+# both the asofuzz soak driver and the native fuzz engines.
+fuzz-wire:
+	$(GO) run ./cmd/asofuzz -wire -count 5000 -seed 1
+	$(GO) test -fuzz=FuzzWireRoundTrip -fuzztime=30s ./internal/wire/
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=30s ./internal/wire/
 
 # Bounded-exhaustive schedule exploration of the core algorithms.
 explore:

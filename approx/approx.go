@@ -23,11 +23,11 @@
 package approx
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math"
+
+	"mpsnap/internal/wire"
 )
 
 // Object is the atomic snapshot object the protocol runs over
@@ -43,17 +43,22 @@ type state struct {
 }
 
 func encodeState(s state) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
-		panic("approx: encode: " + err.Error())
+	var b wire.Buffer
+	b.PutUvarint(uint64(len(s.Vals)))
+	for _, v := range s.Vals {
+		b.PutFloat64(v)
 	}
-	return buf.Bytes()
+	return b.Bytes()
 }
 
 func decodeState(b []byte) (state, error) {
+	d := wire.NewDecoder(b)
+	n := d.Count(8)
 	var s state
-	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s)
-	return s, err
+	for i := 0; i < n; i++ {
+		s.Vals = append(s.Vals, d.Float64())
+	}
+	return s, d.Err()
 }
 
 // Config parameterizes one agreement instance.

@@ -14,10 +14,10 @@
 package assettransfer
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
+
+	"mpsnap/internal/wire"
 )
 
 // Object is the snapshot object the ledger runs over (mpsnap.Object).
@@ -58,19 +58,23 @@ func New(obj Object, id, n int, initial []uint64) (*Ledger, error) {
 }
 
 func encodeLog(log []Transfer) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(log); err != nil {
-		panic("assettransfer: encode: " + err.Error())
+	var b wire.Buffer
+	b.PutUvarint(uint64(len(log)))
+	for _, tr := range log {
+		b.PutInt(tr.To)
+		b.PutUvarint(tr.Amount)
 	}
-	return buf.Bytes()
+	return b.Bytes()
 }
 
 func decodeLog(b []byte) ([]Transfer, error) {
+	d := wire.NewDecoder(b)
+	n := d.Count(2)
 	var log []Transfer
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&log); err != nil {
-		return nil, err
+	for i := 0; i < n; i++ {
+		log = append(log, Transfer{To: d.Int(), Amount: d.Uvarint()})
 	}
-	return log, nil
+	return log, d.Err()
 }
 
 // balances computes every account's balance from a snapshot.

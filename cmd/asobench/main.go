@@ -24,10 +24,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("e", "all", "experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|throughput|all")
+		exp      = flag.String("e", "all", "experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|throughput|codec|all")
 		quick    = flag.Bool("quick", false, "smaller parameters (CI-sized)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
-		jsonPath = flag.String("json", "", "write the throughput points to this JSON file (throughput experiment only)")
+		jsonPath = flag.String("json", "", "write the machine-readable points to this JSON file (throughput and codec experiments)")
 	)
 	flag.Parse()
 
@@ -78,14 +78,23 @@ func main() {
 				return "", err
 			}
 			if *jsonPath != "" {
-				blob, err := json.MarshalIndent(points, "", "  ")
-				if err != nil {
-					return "", err
-				}
-				if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+				if err := writeJSON(*jsonPath, points); err != nil {
 					return "", err
 				}
 				out += fmt.Sprintf("points written to %s\n", *jsonPath)
+			}
+			return out, nil
+		}},
+		{"codec", func() (string, error) {
+			out, report, err := bench.Codec()
+			if err != nil {
+				return "", err
+			}
+			if *jsonPath != "" {
+				if err := writeJSON(*jsonPath, report); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("report written to %s\n", *jsonPath)
 			}
 			return out, nil
 		}},
@@ -93,6 +102,9 @@ func main() {
 
 	ran := 0
 	for _, e := range experiments {
+		if *exp == "all" && e.name == "codec" {
+			continue // needs the go toolchain (gob baseline); run explicitly
+		}
 		if *exp != "all" && *exp != e.name {
 			continue
 		}
@@ -107,4 +119,12 @@ func main() {
 	if ran == 0 {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
+}
+
+func writeJSON(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }

@@ -41,6 +41,8 @@ func main() {
 		dropProb  = flag.Float64("drop-prob", 0.25, "loss probability inside a drop window")
 		spikes    = flag.Int("spikes", 2, "per-link delay-spike windows")
 		spikeD    = flag.Float64("spike-extra", 3, "extra delay inside a spike window, in units of D")
+		corrupts  = flag.Int("corrupts", 0, "per-link wire-corruption windows (requires f > 0; undecodable mutants are dropped, decodable ones delivered only to byzaso)")
+		corrProb  = flag.Float64("corrupt-prob", 0.2, "corruption probability inside a corrupt window")
 		scanRatio = flag.Float64("scan-ratio", 0.5, "fraction of scans in the workload")
 		showSched = flag.Bool("schedule", false, "print every fault event before running")
 		jsonOut   = flag.Bool("json", false, "emit one JSON report per backend on stdout")
@@ -55,6 +57,7 @@ func main() {
 			Crashes: *crashes, Partitions: *parts,
 			DropWindows: *drops, DropProb: *dropProb,
 			SpikeWindows: *spikes, SpikeExtraD: *spikeD,
+			CorruptWindows: *corrupts, CorruptProb: *corrProb,
 		},
 		ScanRatio: *scanRatio,
 	}
@@ -131,9 +134,9 @@ func printReport(rep chaos.Report, cfg chaos.Config, wall, took time.Duration, s
 	fmt.Printf("backend=%-4s alg=%s n=%d f=%d seed=%d duration=%s (%d ticks) schedule=%s\n",
 		rep.Backend, rep.Alg, cfg.N, cfg.F, cfg.Seed, wall, cfg.Duration, rep.ScheduleHash)
 	mix := rep.Schedule.Mix
-	fmt.Printf("  faults: %d crashes, %d partitions, %d drop windows (p=%.2f), %d spikes (+%gD) — %d events\n",
+	fmt.Printf("  faults: %d crashes, %d partitions, %d drop windows (p=%.2f), %d spikes (+%gD), %d corrupt windows — %d events\n",
 		mix.Crashes, mix.Partitions, mix.DropWindows, mix.DropProb, mix.SpikeWindows, mix.SpikeExtraD,
-		len(rep.Schedule.Events))
+		mix.CorruptWindows, len(rep.Schedule.Events))
 	if showSched {
 		for _, ev := range rep.Schedule.Events {
 			fmt.Printf("    %s\n", ev)
@@ -141,9 +144,10 @@ func printReport(rep chaos.Report, cfg chaos.Config, wall, took time.Duration, s
 	}
 	fmt.Printf("  ops=%d pending=%d", rep.Ops, rep.Pending)
 	if rep.Stats != nil {
-		fmt.Printf(" msgs=%d dropped=%d held=%d", rep.Stats.MsgsTotal, rep.Stats.MsgsDrop, rep.Stats.MsgsHeld)
+		fmt.Printf(" msgs=%d dropped=%d held=%d corrupt=%d",
+			rep.Stats.MsgsTotal, rep.Stats.MsgsDrop, rep.Stats.MsgsHeld, rep.Stats.MsgsCorrupt)
 	} else {
-		fmt.Printf(" dropped=%d held=%d", rep.NetDrops, rep.NetHeld)
+		fmt.Printf(" dropped=%d held=%d corrupt=%d", rep.NetDrops, rep.NetHeld, rep.NetCorrupt)
 	}
 	if rep.HistoryHash != "" {
 		fmt.Printf(" history=%s", rep.HistoryHash)

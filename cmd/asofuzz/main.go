@@ -10,6 +10,13 @@
 //	asofuzz                    # fuzz all algorithms until interrupted
 //	asofuzz -count 100         # a bounded batch (CI)
 //	asofuzz -alg eqaso -seed 7 # reproduce one case
+//	asofuzz -wire -count 1000  # fuzz the wire codec layer instead
+//
+// With -wire, each run generates one message per registered codec and
+// checks the encode→decode→re-encode round trip for byte equality, then
+// feeds mutated frames to the decoder to prove it errors instead of
+// panicking — the same properties as internal/wire's fuzz targets, but
+// runnable as a long-haul soak without the go test fuzz driver.
 package main
 
 import (
@@ -20,15 +27,22 @@ import (
 	"time"
 
 	"mpsnap"
+	"mpsnap/internal/wire"
 )
 
 func main() {
 	var (
-		count = flag.Int("count", 0, "number of runs (0 = until interrupted)")
-		alg   = flag.String("alg", "", "restrict to one algorithm (default: rotate all)")
-		seed  = flag.Int64("seed", 0, "starting seed (default: time-based)")
+		count    = flag.Int("count", 0, "number of runs (0 = until interrupted)")
+		alg      = flag.String("alg", "", "restrict to one algorithm (default: rotate all)")
+		seed     = flag.Int64("seed", 0, "starting seed (default: time-based)")
+		wireMode = flag.Bool("wire", false, "fuzz the wire codec round trip instead of the protocols")
 	)
 	flag.Parse()
+
+	if *wireMode {
+		fuzzWire(*count, *seed)
+		return
+	}
 
 	algs := mpsnap.Algorithms()
 	if *alg != "" {
@@ -53,6 +67,52 @@ func main() {
 		}
 	}
 	fmt.Printf("done: %d runs, 0 violations (%.1fs)\n", *count, time.Since(start).Seconds())
+}
+
+// fuzzWire soaks the codec layer: canonical round trips for generated
+// messages of every registered type, then mutated frames that must decode
+// to an error, never a panic.
+func fuzzWire(count int, seed int64) {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	codecs := wire.Registered()
+	start := time.Now()
+	msgs := 0
+	for run := 0; count == 0 || run < count; run++ {
+		rng := rand.New(rand.NewSource(seed + int64(run)))
+		for _, c := range codecs {
+			msg := c.Gen(rng)
+			if _, err := wire.Roundtrip(msg); err != nil {
+				fmt.Fprintf(os.Stderr, "\nVIOLATION: tag %d (%T): %v\n", c.Tag, c.Proto, err)
+				fmt.Fprintf(os.Stderr, "  reproduce: asofuzz -wire -seed %d -count 1\n", seed+int64(run))
+				os.Exit(1)
+			}
+			frame, err := wire.MarshalFrame(msg, 0)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\nVIOLATION: tag %d (%T): frame: %v\n", c.Tag, c.Proto, err)
+				os.Exit(1)
+			}
+			// Mutate: a bit flip, a truncation, or garbage — the decoder
+			// must return an error or a valid message, never panic.
+			switch rng.Intn(3) {
+			case 0:
+				frame[rng.Intn(len(frame))] ^= 1 << uint(rng.Intn(8))
+			case 1:
+				frame = frame[:rng.Intn(len(frame))]
+			case 2:
+				rng.Read(frame)
+			}
+			_, _ = wire.UnmarshalFrame(frame, 0)
+			msgs++
+		}
+		if run%500 == 499 {
+			fmt.Printf("%6d runs ok, %d messages (%.0f msgs/s)\n",
+				run+1, msgs, float64(msgs)/time.Since(start).Seconds())
+		}
+	}
+	fmt.Printf("done: %d wire runs over %d codecs, %d messages, 0 violations (%.1fs)\n",
+		count, len(codecs), msgs, time.Since(start).Seconds())
 }
 
 // fuzzOne executes one randomized checked run.

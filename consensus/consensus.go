@@ -28,11 +28,11 @@
 package consensus
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
+
+	"mpsnap/internal/wire"
 )
 
 // Object is the atomic snapshot object the protocol runs over
@@ -57,17 +57,24 @@ type state struct {
 }
 
 func encodeState(s state) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
-		panic("consensus: encode: " + err.Error())
+	var b wire.Buffer
+	b.PutVarint(int64(s.Decided))
+	b.PutUvarint(uint64(len(s.Phases)))
+	for _, pr := range s.Phases {
+		b.PutVarint(int64(pr.Report))
+		b.PutVarint(int64(pr.Proposal))
 	}
-	return buf.Bytes()
+	return b.Bytes()
 }
 
 func decodeState(b []byte) (state, error) {
-	var s state
-	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s)
-	return s, err
+	d := wire.NewDecoder(b)
+	s := state{Decided: d.Int()}
+	n := d.Count(2)
+	for i := 0; i < n; i++ {
+		s.Phases = append(s.Phases, phaseRecord{Report: d.Int(), Proposal: d.Int()})
+	}
+	return s, d.Err()
 }
 
 // Config parameterizes one consensus instance.

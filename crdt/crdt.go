@@ -13,10 +13,10 @@
 package crdt
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
+
+	"mpsnap/internal/wire"
 )
 
 // Object is the snapshot object a CRDT runs over (mpsnap.Object).
@@ -25,16 +25,61 @@ type Object interface {
 	Scan() ([][]byte, error)
 }
 
-func encode(v any) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		panic("crdt: encode: " + err.Error())
-	}
-	return buf.Bytes()
+func encodeUint(v uint64) []byte {
+	var b wire.Buffer
+	b.PutUvarint(v)
+	return b.Bytes()
 }
 
-func decode(b []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+func decodeUint(b []byte) (uint64, error) {
+	d := wire.NewDecoder(b)
+	v := d.Uvarint()
+	return v, d.Err()
+}
+
+func encodePN(v pnState) []byte {
+	var b wire.Buffer
+	b.PutUvarint(v.P)
+	b.PutUvarint(v.N)
+	return b.Bytes()
+}
+
+func decodePN(b []byte) (pnState, error) {
+	d := wire.NewDecoder(b)
+	v := pnState{P: d.Uvarint(), N: d.Uvarint()}
+	return v, d.Err()
+}
+
+func encodeTP(st tpState) []byte {
+	var b wire.Buffer
+	putStrings(&b, st.Added)
+	putStrings(&b, st.Removed)
+	return b.Bytes()
+}
+
+func decodeTP(b []byte) (tpState, error) {
+	d := wire.NewDecoder(b)
+	st := tpState{Added: getStrings(d), Removed: getStrings(d)}
+	return st, d.Err()
+}
+
+func putStrings(b *wire.Buffer, ss []string) {
+	b.PutUvarint(uint64(len(ss)))
+	for _, s := range ss {
+		b.PutString(s)
+	}
+}
+
+func getStrings(d *wire.Decoder) []string {
+	n := d.Count(1)
+	if n == 0 {
+		return nil
+	}
+	ss := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		ss = append(ss, d.String())
+	}
+	return ss
 }
 
 // GCounter is a grow-only counter: each segment holds the owner's
@@ -50,7 +95,7 @@ func NewGCounter(obj Object) *GCounter { return &GCounter{obj: obj} }
 // Add increments this node's contribution by delta.
 func (c *GCounter) Add(delta uint64) error {
 	c.own += delta
-	return c.obj.Update(encode(c.own))
+	return c.obj.Update(encodeUint(c.own))
 }
 
 // Value reads the counter (one SCAN).
@@ -64,8 +109,8 @@ func (c *GCounter) Value() (uint64, error) {
 		if seg == nil {
 			continue
 		}
-		var v uint64
-		if err := decode(seg, &v); err != nil {
+		v, err := decodeUint(seg)
+		if err != nil {
 			return 0, fmt.Errorf("crdt: segment %d: %w", i, err)
 		}
 		total += v
@@ -92,7 +137,7 @@ func (c *PNCounter) Add(delta int64) error {
 	} else {
 		c.own.N += uint64(-delta)
 	}
-	return c.obj.Update(encode(c.own))
+	return c.obj.Update(encodePN(c.own))
 }
 
 // Value reads the counter (one SCAN).
@@ -106,8 +151,8 @@ func (c *PNCounter) Value() (int64, error) {
 		if seg == nil {
 			continue
 		}
-		var v pnState
-		if err := decode(seg, &v); err != nil {
+		v, err := decodePN(seg)
+		if err != nil {
 			return 0, fmt.Errorf("crdt: segment %d: %w", i, err)
 		}
 		total += int64(v.P) - int64(v.N)
@@ -137,7 +182,7 @@ func NewTwoPhaseSet(obj Object) *TwoPhaseSet {
 
 func (s *TwoPhaseSet) push() error {
 	st := tpState{Added: keys(s.added), Removed: keys(s.removed)}
-	return s.obj.Update(encode(st))
+	return s.obj.Update(encodeTP(st))
 }
 
 // Add inserts e into the node's add-set.
@@ -179,8 +224,8 @@ func (s *TwoPhaseSet) Elements() ([]string, error) {
 		if seg == nil {
 			continue
 		}
-		var st tpState
-		if err := decode(seg, &st); err != nil {
+		st, err := decodeTP(seg)
+		if err != nil {
 			return nil, fmt.Errorf("crdt: segment %d: %w", i, err)
 		}
 		for _, e := range st.Added {

@@ -1,6 +1,10 @@
 package crdt
 
-import "fmt"
+import (
+	"fmt"
+
+	"mpsnap/internal/wire"
+)
 
 // lwwState is an LWW-register segment: the owner's latest write with its
 // logical timestamp.
@@ -8,6 +12,20 @@ type lwwState struct {
 	Clock int64
 	Val   []byte
 	Unset bool
+}
+
+func encodeLWW(st lwwState) []byte {
+	var b wire.Buffer
+	b.PutVarint(st.Clock)
+	b.PutBytes(st.Val)
+	b.PutBool(st.Unset)
+	return b.Bytes()
+}
+
+func decodeLWW(b []byte) (lwwState, error) {
+	d := wire.NewDecoder(b)
+	st := lwwState{Clock: d.Varint(), Val: d.Bytes(), Unset: d.Bool()}
+	return st, d.Err()
 }
 
 // LWWRegister is a last-writer-wins register: each node's segment holds
@@ -42,7 +60,7 @@ func (r *LWWRegister) Set(val []byte) error {
 	}
 	r.ownVal = append([]byte(nil), val...)
 	r.ownSet = true
-	return r.obj.Update(encode(lwwState{Clock: r.clock, Val: r.ownVal}))
+	return r.obj.Update(encodeLWW(lwwState{Clock: r.clock, Val: r.ownVal}))
 }
 
 // Get reads the register (one SCAN); ok is false while unwritten.
@@ -61,8 +79,8 @@ func (r *LWWRegister) read() (val []byte, maxClock int64, ok bool, err error) {
 		if seg == nil {
 			continue
 		}
-		var st lwwState
-		if err := decode(seg, &st); err != nil {
+		st, err := decodeLWW(seg)
+		if err != nil {
 			return nil, 0, false, fmt.Errorf("crdt: lww segment %d: %w", i, err)
 		}
 		if st.Unset {

@@ -3,6 +3,8 @@ package crdt
 import (
 	"fmt"
 	"sort"
+
+	"mpsnap/internal/wire"
 )
 
 // ORTag uniquely identifies one Add operation (observed-remove sets tag
@@ -17,6 +19,55 @@ type ORTag struct {
 type orState struct {
 	Adds    map[string][]ORTag
 	Removes []ORTag
+}
+
+// encodeOR serializes an OR-set segment deterministically: Adds entries
+// are emitted in sorted element order (Removes is sorted by push).
+func encodeOR(st orState) []byte {
+	var b wire.Buffer
+	elems := make([]string, 0, len(st.Adds))
+	for e := range st.Adds {
+		elems = append(elems, e)
+	}
+	sort.Strings(elems)
+	b.PutUvarint(uint64(len(elems)))
+	for _, e := range elems {
+		b.PutString(e)
+		putTags(&b, st.Adds[e])
+	}
+	putTags(&b, st.Removes)
+	return b.Bytes()
+}
+
+func decodeOR(b []byte) (orState, error) {
+	d := wire.NewDecoder(b)
+	st := orState{Adds: make(map[string][]ORTag)}
+	for i, n := 0, d.Count(2); i < n && d.Err() == nil; i++ {
+		e := d.String()
+		st.Adds[e] = getTags(d)
+	}
+	st.Removes = getTags(d)
+	return st, d.Err()
+}
+
+func putTags(b *wire.Buffer, tags []ORTag) {
+	b.PutUvarint(uint64(len(tags)))
+	for _, tag := range tags {
+		b.PutInt(tag.Node)
+		b.PutInt(tag.Ctr)
+	}
+}
+
+func getTags(d *wire.Decoder) []ORTag {
+	n := d.Count(2)
+	if n == 0 {
+		return nil
+	}
+	tags := make([]ORTag, 0, n)
+	for i := 0; i < n; i++ {
+		tags = append(tags, ORTag{Node: d.Int(), Ctr: d.Int()})
+	}
+	return tags
 }
 
 // ORSet is an observed-remove set with add-wins semantics: removing an
@@ -51,7 +102,7 @@ func (s *ORSet) push() error {
 		}
 		return st.Removes[i].Ctr < st.Removes[j].Ctr
 	})
-	return s.obj.Update(encode(st))
+	return s.obj.Update(encodeOR(st))
 }
 
 // Add inserts e with a fresh tag (one UPDATE).
@@ -88,8 +139,8 @@ func (s *ORSet) collect() (map[string][]ORTag, error) {
 		if seg == nil {
 			continue
 		}
-		var st orState
-		if err := decode(seg, &st); err != nil {
+		st, err := decodeOR(seg)
+		if err != nil {
 			return nil, fmt.Errorf("crdt: orset segment %d: %w", i, err)
 		}
 		states = append(states, st)

@@ -17,9 +17,9 @@
 package detect
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
+
+	"mpsnap/internal/wire"
 )
 
 // Object is the snapshot object the monitor runs over (mpsnap.Object).
@@ -49,17 +49,17 @@ type Monitor struct {
 func New(obj Object, id int) *Monitor { return &Monitor{obj: obj, id: id} }
 
 func encodeStatus(s Status) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
-		panic("detect: encode: " + err.Error())
-	}
-	return buf.Bytes()
+	var b wire.Buffer
+	b.PutBool(s.Active)
+	b.PutVarint(s.Sent)
+	b.PutVarint(s.Received)
+	return b.Bytes()
 }
 
 func decodeStatus(b []byte) (Status, error) {
-	var s Status
-	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s)
-	return s, err
+	d := wire.NewDecoder(b)
+	s := Status{Active: d.Bool(), Sent: d.Varint(), Received: d.Varint()}
+	return s, d.Err()
 }
 
 // Publish applies mut to the local status and publishes it (one UPDATE).

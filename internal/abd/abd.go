@@ -12,9 +12,10 @@
 package abd
 
 import (
-	"encoding/gob"
+	"math/rand"
 
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // Entry is one register's state: the owner's value with its sequence
@@ -59,11 +60,82 @@ type MsgQueryAck struct {
 // Kind implements rt.Message.
 func (MsgQueryAck) Kind() string { return "abdQueryAck" }
 
+func putEntries(b *wire.Buffer, es []Entry) {
+	b.PutUvarint(uint64(len(es)))
+	for _, e := range es {
+		b.PutInt(e.Owner)
+		b.PutVarint(e.Seq)
+		b.PutBytes(e.Val)
+	}
+}
+
+func getEntries(d *wire.Decoder) []Entry {
+	// A serialized entry is at least 3 bytes (owner, seq, val length).
+	n := d.Count(3)
+	if n == 0 {
+		return nil
+	}
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{Owner: d.Int(), Seq: d.Varint(), Val: d.Bytes()}
+	}
+	return es
+}
+
+func genEntries(rng *rand.Rand) []Entry {
+	n := rng.Intn(5)
+	if n == 0 {
+		return nil
+	}
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{Owner: rng.Intn(16), Seq: rng.Int63n(1 << 30), Val: wire.GenPayload(rng)}
+	}
+	return es
+}
+
+// Wire tags 64–67 (see DESIGN.md, wire format section).
 func init() {
-	gob.Register(MsgStore{})
-	gob.Register(MsgStoreAck{})
-	gob.Register(MsgQuery{})
-	gob.Register(MsgQueryAck{})
+	wire.Register(wire.Codec{
+		Tag: 64, Proto: MsgStore{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgStore)
+			b.PutVarint(msg.ReqID)
+			putEntries(b, msg.Entries)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgStore{ReqID: d.Varint(), Entries: getEntries(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgStore{ReqID: rng.Int63(), Entries: genEntries(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 65, Proto: MsgStoreAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(MsgStoreAck).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgStoreAck{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgStoreAck{ReqID: rng.Int63()} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 66, Proto: MsgQuery{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(MsgQuery).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgQuery{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgQuery{ReqID: rng.Int63()} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 67, Proto: MsgQueryAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgQueryAck)
+			b.PutVarint(msg.ReqID)
+			putEntries(b, msg.Entries)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgQueryAck{ReqID: d.Varint(), Entries: getEntries(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgQueryAck{ReqID: rng.Int63(), Entries: genEntries(rng)}
+		},
+	})
 }
 
 type collectState struct {

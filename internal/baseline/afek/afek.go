@@ -17,10 +17,8 @@
 package afek
 
 import (
-	"bytes"
-	"encoding/gob"
-
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // Cell is one segment's stored state.
@@ -44,18 +42,41 @@ type cellContent struct {
 	View [][]byte
 }
 
+// encodeCell serializes a cell; View entries carry a presence flag so a
+// nil segment (never written) survives the round trip distinct from an
+// empty one.
 func encodeCell(c cellContent) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
-		panic("afek: encode: " + err.Error())
+	var b wire.Buffer
+	b.PutBytes(c.Val)
+	b.PutUvarint(uint64(len(c.View)))
+	for _, seg := range c.View {
+		b.PutBool(seg != nil)
+		if seg != nil {
+			b.PutBytes(seg)
+		}
 	}
-	return buf.Bytes()
+	return b.Bytes()
 }
 
 func decodeCell(b []byte) (cellContent, bool) {
+	d := wire.NewDecoder(b)
 	var c cellContent
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&c); err != nil {
-		return c, false
+	c.Val = d.Bytes()
+	n := d.Count(1)
+	if n > 0 {
+		c.View = make([][]byte, n)
+		for i := range c.View {
+			if d.Bool() {
+				seg := d.Bytes()
+				if seg == nil {
+					seg = []byte{}
+				}
+				c.View[i] = seg
+			}
+		}
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		return cellContent{}, false
 	}
 	return c, true
 }

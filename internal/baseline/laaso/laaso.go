@@ -19,11 +19,12 @@
 package laaso
 
 import (
-	"encoding/gob"
+	"math/rand"
 	"sort"
 
 	"mpsnap/internal/core"
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // MsgValue disseminates a freshly written value (no forwarding: receivers
@@ -97,16 +98,103 @@ type MsgBorrowReq struct{ Tag core.Tag }
 // Kind implements rt.Message.
 func (MsgBorrowReq) Kind() string { return "laBorrowReq" }
 
+// Wire tags 48–56 (see DESIGN.md, wire format section).
 func init() {
-	gob.Register(MsgValue{})
-	gob.Register(MsgPull{})
-	gob.Register(MsgPullAck{})
-	gob.Register(MsgReadTag{})
-	gob.Register(MsgReadAck{})
-	gob.Register(MsgWriteTag{})
-	gob.Register(MsgWriteAck{})
-	gob.Register(MsgGoodLA{})
-	gob.Register(MsgBorrowReq{})
+	wire.Register(wire.Codec{
+		Tag: 48, Proto: MsgValue{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutValue(b, m.(MsgValue).Val) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgValue{Val: wire.GetValue(d)}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgValue{Val: wire.GenValue(rng)} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 49, Proto: MsgPull{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgPull)
+			b.PutVarint(msg.ReqID)
+			wire.PutTag(b, msg.R)
+			wire.PutValues(b, msg.Set)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgPull{ReqID: d.Varint(), R: wire.GetTag(d), Set: wire.GetValues(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgPull{ReqID: rng.Int63(), R: core.Tag(rng.Int63n(1 << 20)), Set: wire.GenValues(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 50, Proto: MsgPullAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgPullAck)
+			b.PutVarint(msg.ReqID)
+			wire.PutValues(b, msg.Set)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgPullAck{ReqID: d.Varint(), Set: wire.GetValues(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgPullAck{ReqID: rng.Int63(), Set: wire.GenValues(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 51, Proto: MsgReadTag{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(MsgReadTag).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgReadTag{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgReadTag{ReqID: rng.Int63()} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 52, Proto: MsgReadAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgReadAck)
+			b.PutVarint(msg.ReqID)
+			wire.PutTag(b, msg.Tag)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgReadAck{ReqID: d.Varint(), Tag: wire.GetTag(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgReadAck{ReqID: rng.Int63(), Tag: core.Tag(rng.Int63n(1 << 20))}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 53, Proto: MsgWriteTag{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgWriteTag)
+			b.PutVarint(msg.ReqID)
+			wire.PutTag(b, msg.Tag)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgWriteTag{ReqID: d.Varint(), Tag: wire.GetTag(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgWriteTag{ReqID: rng.Int63(), Tag: core.Tag(rng.Int63n(1 << 20))}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 54, Proto: MsgWriteAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(MsgWriteAck).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgWriteAck{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgWriteAck{ReqID: rng.Int63()} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 55, Proto: MsgGoodLA{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgGoodLA)
+			wire.PutTag(b, msg.Tag)
+			wire.PutView(b, msg.View)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgGoodLA{Tag: wire.GetTag(d), View: wire.GetView(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgGoodLA{Tag: core.Tag(rng.Int63n(1 << 20)), View: wire.GenView(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 56, Proto: MsgBorrowReq{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutTag(b, m.(MsgBorrowReq).Tag) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgBorrowReq{Tag: wire.GetTag(d)}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgBorrowReq{Tag: core.Tag(rng.Int63n(1 << 20))} },
+	})
 }
 
 type pullState struct {

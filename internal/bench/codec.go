@@ -1,0 +1,139 @@
+// The codec micro-benchmark: typed internal/wire vs the encoding/gob
+// baseline it replaced, over the EQ-ASO hot messages.
+//
+// The wire side is measured in-process with testing.Benchmark. The gob
+// baseline lives in internal/wire's external benchmark file (gob is banned
+// from non-test sources), so its numbers come from running
+// `go test -bench BenchmarkGobCodec ./internal/wire` and parsing the
+// output — which is why this experiment needs the go toolchain and the
+// repository root as working directory (how make and CI invoke it).
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"text/tabwriter"
+
+	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
+
+	// Registers the EQ-ASO message codecs the corpus generates.
+	_ "mpsnap/internal/eqaso"
+)
+
+// CodecPoint is one codec's measurement, for the JSON perf artifact.
+type CodecPoint struct {
+	Codec       string  `json:"codec"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"allocBytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	WireBytes   float64 `json:"wireBytesPerOp,omitempty"`
+}
+
+// CodecReport is the experiment's JSON artifact: both measurements plus
+// the headline ratio.
+type CodecReport struct {
+	Wire    CodecPoint `json:"wire"`
+	Gob     CodecPoint `json:"gob"`
+	Speedup float64    `json:"speedup"`
+}
+
+// codecCorpus mirrors the corpus of internal/wire's benchmarks: the
+// EQ-ASO hot messages (tags 16–24), generated from one fixed seed.
+func codecCorpus() []rt.Message {
+	rng := rand.New(rand.NewSource(1))
+	var msgs []rt.Message
+	for _, c := range wire.Registered() {
+		if c.Tag < 16 || c.Tag > 24 {
+			continue
+		}
+		for k := 0; k < 4; k++ {
+			msgs = append(msgs, c.Gen(rng))
+		}
+	}
+	return msgs
+}
+
+// Codec measures wire-vs-gob encode+decode cost per message and reports
+// the speedup.
+func Codec() (string, CodecReport, error) {
+	msgs := codecCorpus()
+	if len(msgs) == 0 {
+		return "", CodecReport{}, fmt.Errorf("codec: no eqaso codecs registered")
+	}
+
+	var buf wire.Buffer
+	wireBytes := 0
+	ops := 0
+	res := testing.Benchmark(func(b *testing.B) {
+		wireBytes, ops = 0, b.N
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			msg := msgs[i%len(msgs)]
+			buf.Reset()
+			if err := wire.AppendMessage(&buf, msg); err != nil {
+				b.Fatal(err)
+			}
+			wireBytes += buf.Len()
+			if _, err := wire.Unmarshal(buf.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	wirePoint := CodecPoint{
+		Codec:       "wire",
+		NsPerOp:     float64(res.NsPerOp()),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		WireBytes:   float64(wireBytes) / float64(ops),
+	}
+
+	gobPoint, err := gobBaseline()
+	if err != nil {
+		return "", CodecReport{}, err
+	}
+
+	speedup := 0.0
+	if wirePoint.NsPerOp > 0 {
+		speedup = gobPoint.NsPerOp / wirePoint.NsPerOp
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Codec round trip (encode+decode), EQ-ASO hot messages\n")
+	w := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "codec\tns/op\twire bytes/op\talloc B/op\tallocs/op")
+	for _, p := range []CodecPoint{wirePoint, gobPoint} {
+		fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%d\t%d\n", p.Codec, p.NsPerOp, p.WireBytes, p.BytesPerOp, p.AllocsPerOp)
+	}
+	w.Flush()
+	fmt.Fprintf(&sb, "speedup: wire is %.1fx faster than gob\n", speedup)
+
+	return sb.String(), CodecReport{Wire: wirePoint, Gob: gobPoint, Speedup: speedup}, nil
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// BenchmarkGobCodec  20223  17363 ns/op  77.24 wirebytes/op  8386 B/op  179 allocs/op
+var benchLine = regexp.MustCompile(
+	`BenchmarkGobCodec\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) wirebytes/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+func gobBaseline() (CodecPoint, error) {
+	out, err := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^BenchmarkGobCodec$", "-benchmem", "./internal/wire").CombinedOutput()
+	if err != nil {
+		return CodecPoint{}, fmt.Errorf("codec: gob baseline (run from the repository root): %v\n%s", err, out)
+	}
+	m := benchLine.FindStringSubmatch(string(out))
+	if m == nil {
+		return CodecPoint{}, fmt.Errorf("codec: no benchmark line in gob baseline output:\n%s", out)
+	}
+	ns, _ := strconv.ParseFloat(m[1], 64)
+	wb, _ := strconv.ParseFloat(m[2], 64)
+	ab, _ := strconv.ParseInt(m[3], 10, 64)
+	ac, _ := strconv.ParseInt(m[4], 10, 64)
+	return CodecPoint{Codec: "gob", NsPerOp: ns, BytesPerOp: ab, AllocsPerOp: ac, WireBytes: wb}, nil
+}

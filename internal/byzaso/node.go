@@ -36,12 +36,13 @@
 package byzaso
 
 import (
-	"encoding/gob"
+	"math/rand"
 	"sort"
 
 	"mpsnap/internal/core"
 	"mpsnap/internal/rbc"
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // MsgHave announces that the sender has RBC-delivered the value ts.
@@ -81,12 +82,54 @@ type MsgTagAck struct{ ReqID int64 }
 // Kind implements rt.Message.
 func (MsgTagAck) Kind() string { return "tagAck" }
 
+// Wire tags 96–100 (see DESIGN.md, wire format section).
 func init() {
-	gob.Register(MsgHave{})
-	gob.Register(MsgReadTag{})
-	gob.Register(MsgReadAck{})
-	gob.Register(MsgTagQuery{})
-	gob.Register(MsgTagAck{})
+	wire.Register(wire.Codec{
+		Tag: 96, Proto: MsgHave{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutTimestamp(b, m.(MsgHave).TS) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgHave{TS: wire.GetTimestamp(d)}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgHave{TS: wire.GenTimestamp(rng)} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 97, Proto: MsgReadTag{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(MsgReadTag).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgReadTag{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgReadTag{ReqID: rng.Int63()} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 98, Proto: MsgReadAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgReadAck)
+			b.PutVarint(msg.ReqID)
+			wire.PutTag(b, msg.Tag)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgReadAck{ReqID: d.Varint(), Tag: wire.GetTag(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgReadAck{ReqID: rng.Int63(), Tag: core.Tag(rng.Int63n(1 << 20))}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 99, Proto: MsgTagQuery{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgTagQuery)
+			b.PutVarint(msg.ReqID)
+			wire.PutTag(b, msg.Tag)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgTagQuery{ReqID: d.Varint(), Tag: wire.GetTag(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgTagQuery{ReqID: rng.Int63(), Tag: core.Tag(rng.Int63n(1 << 20))}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 100, Proto: MsgTagAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(MsgTagAck).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgTagAck{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgTagAck{ReqID: rng.Int63()} },
+	})
 }
 
 type readState struct {

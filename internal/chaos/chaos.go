@@ -131,6 +131,9 @@ type Result struct {
 	// NetDrops / NetHeld count messages dropped and parked by the
 	// transport fault injector (transport backends only).
 	NetDrops, NetHeld int64
+	// NetCorrupt counts messages hit by a wire-corruption window
+	// (transport backends only; the sim counts these in Stats).
+	NetCorrupt int64
 }
 
 // graceTicks is how long past the workload deadline an in-flight

@@ -34,8 +34,11 @@ type Net struct {
 	held    []heldNetMsg
 	crashed []bool
 	armed   []bool
+	// corr, if set, mutates messages at the wire layer inside corrupt
+	// windows (see corrupter); accessed under mu.
+	corr *corrupter
 
-	drops, holds int64
+	drops, holds, corrupts int64
 }
 
 type heldNetMsg struct {
@@ -89,6 +92,39 @@ func (nt *Net) Holds() int64 {
 	nt.mu.Lock()
 	defer nt.mu.Unlock()
 	return nt.holds
+}
+
+// SetCorrupter installs the wire-corruption fault; call before traffic
+// flows.
+func (nt *Net) SetCorrupter(c *corrupter) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	nt.corr = c
+}
+
+// Corrupts returns how many messages the corrupt windows hit.
+func (nt *Net) Corrupts() int64 {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	return nt.corrupts
+}
+
+// CorruptOn starts a wire-corruption window on the src→dst link.
+func (nt *Net) CorruptOn(src, dst int, prob float64) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	if nt.corr != nil {
+		nt.corr.windows[[2]int{src, dst}] = prob
+	}
+}
+
+// CorruptOff ends the wire-corruption window on the src→dst link.
+func (nt *Net) CorruptOff(src, dst int) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	if nt.corr != nil {
+		delete(nt.corr.windows, [2]int{src, dst})
+	}
 }
 
 // Crash crash-stops node id: its sends are suppressed and the backing
@@ -219,6 +255,16 @@ func (nt *Net) sendLocked(src, dst int, msg rt.Message) {
 			nt.drops++
 			return
 		}
+		if nt.corr != nil {
+			if m, drop := nt.corr.OnWire(0, src, dst, msg); drop {
+				nt.corrupts++
+				nt.drops++
+				return
+			} else if m != nil {
+				nt.corrupts++
+				msg = m
+			}
+		}
 		if (nt.cutOn && nt.cut[src][dst]) || nt.spike[key] {
 			nt.holds++
 			nt.held = append(nt.held, heldNetMsg{src: src, dst: dst, msg: msg})
@@ -292,6 +338,10 @@ func (nt *Net) Apply(sched Schedule, tick time.Duration, done <-chan struct{}) {
 				nt.SpikeOn(ev.Src, ev.Dst)
 			case EvSpikeOff:
 				nt.SpikeOff(ev.Src, ev.Dst)
+			case EvCorruptOn:
+				nt.CorruptOn(ev.Src, ev.Dst, ev.Prob)
+			case EvCorruptOff:
+				nt.CorruptOff(ev.Src, ev.Dst)
 			}
 		}
 	}()

@@ -31,6 +31,7 @@ type Report struct {
 	Stats       *sim.Stats `json:"stats,omitempty"`
 	NetDrops    int64      `json:"netDrops,omitempty"`
 	NetHeld     int64      `json:"netHeld,omitempty"`
+	NetCorrupt  int64      `json:"netCorrupt,omitempty"`
 }
 
 // NewReport condenses a Result.
@@ -44,6 +45,7 @@ func NewReport(backend, alg string, res *Result) Report {
 		Stats:        res.Stats,
 		NetDrops:     res.NetDrops,
 		NetHeld:      res.NetHeld,
+		NetCorrupt:   res.NetCorrupt,
 	}
 	if res.Hist != nil {
 		rep.Ops = len(res.Hist.Ops)

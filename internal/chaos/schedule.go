@@ -43,6 +43,18 @@ type Mix struct {
 	// SpikeExtraD is the extra per-message delay inside a spike window,
 	// in units of D (default 3).
 	SpikeExtraD float64 `json:"spikeExtraD"`
+	// CorruptWindows is the number of per-link wire-corruption windows:
+	// inside a window, each message on the link is (with CorruptProb)
+	// framed through internal/wire and mutated — a flipped bit, a
+	// truncation, or an oversized length prefix. Mutants that no longer
+	// decode are dropped (the receiver would close the connection);
+	// mutants that still decode are delivered only to the Byzantine
+	// algorithm, from sources drawn from the ≤ f fault budget (crash
+	// victims first). Requires f > 0; ignored otherwise.
+	CorruptWindows int `json:"corruptWindows,omitempty"`
+	// CorruptProb is the per-message corruption probability inside a
+	// corrupt window (default 0.2).
+	CorruptProb float64 `json:"corruptProb,omitempty"`
 }
 
 // DefaultMix is the standard chaotic diet: one crash, two partition
@@ -56,13 +68,15 @@ type EventKind string
 
 // Fault event kinds.
 const (
-	EvCrash     EventKind = "crash"
-	EvPartition EventKind = "partition"
-	EvHeal      EventKind = "heal"
-	EvDropOn    EventKind = "drop-on"
-	EvDropOff   EventKind = "drop-off"
-	EvSpikeOn   EventKind = "spike-on"
-	EvSpikeOff  EventKind = "spike-off"
+	EvCrash      EventKind = "crash"
+	EvPartition  EventKind = "partition"
+	EvHeal       EventKind = "heal"
+	EvDropOn     EventKind = "drop-on"
+	EvDropOff    EventKind = "drop-off"
+	EvSpikeOn    EventKind = "spike-on"
+	EvSpikeOff   EventKind = "spike-off"
+	EvCorruptOn  EventKind = "corrupt-on"
+	EvCorruptOff EventKind = "corrupt-off"
 )
 
 // Event is one fault injection at virtual time At.
@@ -104,6 +118,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("t=%-8d spike-on  %d->%d extra=%d", e.At, e.Src, e.Dst, e.Extra)
 	case EvSpikeOff:
 		return fmt.Sprintf("t=%-8d spike-off %d->%d", e.At, e.Src, e.Dst)
+	case EvCorruptOn:
+		return fmt.Sprintf("t=%-8d corrupt-on  %d->%d p=%.2f", e.At, e.Src, e.Dst, e.Prob)
+	case EvCorruptOff:
+		return fmt.Sprintf("t=%-8d corrupt-off %d->%d", e.At, e.Src, e.Dst)
 	}
 	return fmt.Sprintf("t=%-8d %s", e.At, e.Kind)
 }
@@ -138,8 +156,9 @@ func Generate(seed int64, n, f int, duration rt.Ticks, mix Mix) Schedule {
 	if crashes > f {
 		crashes = f
 	}
+	var victims []int
 	if crashes > 0 {
-		victims := rng.Perm(n)[:crashes]
+		victims = rng.Perm(n)[:crashes]
 		for i, v := range victims {
 			at := duration * rt.Ticks(15+rng.Intn(65)) / 100
 			evs = append(evs, Event{At: at, Kind: EvCrash, Node: v, Mid: i%2 == 1})
@@ -200,6 +219,45 @@ func Generate(seed int64, n, f int, duration rt.Ticks, mix Mix) Schedule {
 		evs = append(evs,
 			Event{At: start, Kind: EvSpikeOn, Src: src, Dst: dst, Extra: extra},
 			Event{At: end, Kind: EvSpikeOff, Src: src, Dst: dst})
+	}
+
+	// Wire-corruption windows. Generated last so enabling them never
+	// perturbs the RNG draws of the fault kinds above — a seed's crash,
+	// partition, drop, and spike events stay identical with or without
+	// corruption. Corrupt sources come from a fixed budget of at most f
+	// nodes (crash victims first, then fresh picks), so a mutant that
+	// still decodes attributes all Byzantine behaviour to ≤ f nodes.
+	if mix.CorruptWindows > 0 && n > 1 && f > 0 {
+		if mix.CorruptProb == 0 {
+			mix.CorruptProb = 0.2
+		}
+		srcs := append([]int(nil), victims...)
+		for _, cand := range rng.Perm(n) {
+			if len(srcs) >= f {
+				break
+			}
+			taken := false
+			for _, s := range srcs {
+				if s == cand {
+					taken = true
+					break
+				}
+			}
+			if !taken {
+				srcs = append(srcs, cand)
+			}
+		}
+		for i := 0; i < mix.CorruptWindows; i++ {
+			start, end := window()
+			src := srcs[rng.Intn(len(srcs))]
+			dst := rng.Intn(n - 1)
+			if dst >= src {
+				dst++
+			}
+			evs = append(evs,
+				Event{At: start, Kind: EvCorruptOn, Src: src, Dst: dst, Prob: mix.CorruptProb},
+				Event{At: end, Kind: EvCorruptOff, Src: src, Dst: dst})
+		}
 	}
 
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })

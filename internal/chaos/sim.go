@@ -70,9 +70,10 @@ func RunSim(cfg Config) (*Result, error) {
 	sched := Generate(cfg.Seed, cfg.N, cfg.F, cfg.Duration, cfg.Mix)
 	link := newSimLink(cfg.Seed + 1)
 	adv := newMidCrash(cfg.Seed + 2)
+	corr := newCorrupter(cfg.Seed+4, cfg.Alg == "byzaso")
 
 	var buildErr error
-	c := harness.Build(sim.Config{N: cfg.N, F: cfg.F, Seed: cfg.Seed, Adversary: adv, Link: link},
+	c := harness.Build(sim.Config{N: cfg.N, F: cfg.F, Seed: cfg.Seed, Adversary: adv, Link: link, Wire: corr},
 		func(r rt.Runtime) (rt.Handler, harness.Object) {
 			h, obj, err := newNode(cfg.Alg, r)
 			if err != nil {
@@ -110,6 +111,10 @@ func RunSim(cfg Config) (*Result, error) {
 			w.After(ev.At, func() { link.extra[[2]int{ev.Src, ev.Dst}] = ev.Extra })
 		case EvSpikeOff:
 			w.After(ev.At, func() { delete(link.extra, [2]int{ev.Src, ev.Dst}) })
+		case EvCorruptOn:
+			w.After(ev.At, func() { corr.windows[[2]int{ev.Src, ev.Dst}] = ev.Prob })
+		case EvCorruptOff:
+			w.After(ev.At, func() { delete(corr.windows, [2]int{ev.Src, ev.Dst}) })
 		}
 	}
 

@@ -78,6 +78,7 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	defer closeAll()
 
 	nt := NewNet(cfg.Seed+3, unders, crashFn)
+	nt.SetCorrupter(newCorrupter(cfg.Seed+4, cfg.Alg == "byzaso"))
 	objs := make([]object, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		h, obj, err := newNode(cfg.Alg, nt.Runtime(i))
@@ -153,6 +154,7 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	res.Hist = h
 	res.NetDrops = nt.Drops()
 	res.NetHeld = nt.Holds()
+	res.NetCorrupt = nt.Corrupts()
 	res.Check = check(h)
 	return res, nil
 }

@@ -1,9 +1,11 @@
 package eqaso
 
 import (
-	"encoding/gob"
+	"math/rand"
 
 	"mpsnap/internal/core"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // Message types of Algorithm 1 plus two liveness-hardening messages
@@ -80,14 +82,92 @@ type MsgGoodView struct {
 // Kind implements rt.Message.
 func (MsgGoodView) Kind() string { return "goodView" }
 
+// Wire tags 16–24 (see DESIGN.md, wire format section).
 func init() {
-	gob.Register(MsgValue{})
-	gob.Register(MsgReadTag{})
-	gob.Register(MsgReadAck{})
-	gob.Register(MsgWriteTag{})
-	gob.Register(MsgWriteAck{})
-	gob.Register(MsgEchoTag{})
-	gob.Register(MsgGoodLA{})
-	gob.Register(MsgBorrowReq{})
-	gob.Register(MsgGoodView{})
+	wire.Register(wire.Codec{
+		Tag: 16, Proto: MsgValue{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutValue(b, m.(MsgValue).Val) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgValue{Val: wire.GetValue(d)}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgValue{Val: wire.GenValue(rng)} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 17, Proto: MsgReadTag{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(MsgReadTag).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgReadTag{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgReadTag{ReqID: rng.Int63()} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 18, Proto: MsgReadAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgReadAck)
+			b.PutVarint(msg.ReqID)
+			wire.PutTag(b, msg.Tag)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgReadAck{ReqID: d.Varint(), Tag: wire.GetTag(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgReadAck{ReqID: rng.Int63(), Tag: core.Tag(rng.Int63n(1 << 20))}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 19, Proto: MsgWriteTag{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgWriteTag)
+			b.PutVarint(msg.ReqID)
+			wire.PutTag(b, msg.Tag)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgWriteTag{ReqID: d.Varint(), Tag: wire.GetTag(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgWriteTag{ReqID: rng.Int63(), Tag: core.Tag(rng.Int63n(1 << 20))}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 20, Proto: MsgWriteAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgWriteAck)
+			b.PutVarint(msg.ReqID)
+			wire.PutTag(b, msg.Tag)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgWriteAck{ReqID: d.Varint(), Tag: wire.GetTag(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgWriteAck{ReqID: rng.Int63(), Tag: core.Tag(rng.Int63n(1 << 20))}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 21, Proto: MsgEchoTag{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutTag(b, m.(MsgEchoTag).Tag) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgEchoTag{Tag: wire.GetTag(d)}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgEchoTag{Tag: core.Tag(rng.Int63n(1 << 20))} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 22, Proto: MsgGoodLA{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutTag(b, m.(MsgGoodLA).Tag) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgGoodLA{Tag: wire.GetTag(d)}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgGoodLA{Tag: core.Tag(rng.Int63n(1 << 20))} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 23, Proto: MsgBorrowReq{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutTag(b, m.(MsgBorrowReq).Tag) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgBorrowReq{Tag: wire.GetTag(d)}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgBorrowReq{Tag: core.Tag(rng.Int63n(1 << 20))} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 24, Proto: MsgGoodView{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgGoodView)
+			wire.PutTag(b, msg.Tag)
+			wire.PutView(b, msg.View)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgGoodView{Tag: wire.GetTag(d), View: wire.GetView(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgGoodView{Tag: core.Tag(rng.Int63n(1 << 20)), View: wire.GenView(rng)}
+		},
+	})
 }

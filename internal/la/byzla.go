@@ -2,11 +2,12 @@ package la
 
 import (
 	"encoding/binary"
-	"encoding/gob"
+	"math/rand"
 
 	"mpsnap/internal/core"
 	"mpsnap/internal/rbc"
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // BLHave announces that the sender RBC-delivered the proposal of Writer.
@@ -15,7 +16,15 @@ type BLHave struct{ Writer int }
 // Kind implements rt.Message.
 func (BLHave) Kind() string { return "blHave" }
 
-func init() { gob.Register(BLHave{}) }
+// Wire tag 38 (see DESIGN.md, wire format section).
+func init() {
+	wire.Register(wire.Codec{
+		Tag: 38, Proto: BLHave{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutInt(m.(BLHave).Writer) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return BLHave{Writer: d.Int()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return BLHave{Writer: rng.Intn(16)} },
+	})
+}
 
 // ByzEQLA is the Byzantine-tolerant one-shot lattice agreement (n > 3f),
 // the equivalence-quorum lattice operation hardened the same way as the

@@ -12,10 +12,11 @@
 package la
 
 import (
-	"encoding/gob"
+	"math/rand"
 
 	"mpsnap/internal/core"
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // OSValue disseminates a one-shot value (written or forwarded).
@@ -30,9 +31,20 @@ type OSAck struct{ TS core.Timestamp }
 // Kind implements rt.Message.
 func (OSAck) Kind() string { return "valueAck" }
 
+// Wire tags 32–33 (see DESIGN.md, wire format section).
 func init() {
-	gob.Register(OSValue{})
-	gob.Register(OSAck{})
+	wire.Register(wire.Codec{
+		Tag: 32, Proto: OSValue{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutValue(b, m.(OSValue).Val) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return OSValue{Val: wire.GetValue(d)}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return OSValue{Val: wire.GenValue(rng)} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 33, Proto: OSAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutTimestamp(b, m.(OSAck).TS) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return OSAck{TS: wire.GetTimestamp(d)}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return OSAck{TS: wire.GenTimestamp(rng)} },
+	})
 }
 
 // OneShot is the one-shot atomic snapshot object of Section III-C: UPDATE

@@ -1,10 +1,11 @@
 package la
 
 import (
-	"encoding/gob"
+	"math/rand"
 
 	"mpsnap/internal/core"
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // OSScanRead asks responders for their current view (the "typical
@@ -24,9 +25,28 @@ type OSScanReadAck struct {
 // Kind implements rt.Message.
 func (OSScanReadAck) Kind() string { return "scanReadAck" }
 
+// Wire tags 34–35 (see DESIGN.md, wire format section).
 func init() {
-	gob.Register(OSScanRead{})
-	gob.Register(OSScanReadAck{})
+	wire.Register(wire.Codec{
+		Tag: 34, Proto: OSScanRead{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(OSScanRead).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return OSScanRead{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return OSScanRead{ReqID: rng.Int63()} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 35, Proto: OSScanReadAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(OSScanReadAck)
+			b.PutVarint(msg.ReqID)
+			wire.PutValues(b, msg.Set)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return OSScanReadAck{ReqID: d.Varint(), Set: wire.GetValues(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return OSScanReadAck{ReqID: rng.Int63(), Set: wire.GenValues(rng)}
+		},
+	})
 }
 
 // OneShotAtomic is the one-shot ASO with full linearizability. OneShot is

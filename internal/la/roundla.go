@@ -1,10 +1,11 @@
 package la
 
 import (
-	"encoding/gob"
+	"math/rand"
 
 	"mpsnap/internal/core"
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // RLQuery carries the proposer's current set in a pull round.
@@ -25,9 +26,36 @@ type RLReply struct {
 // Kind implements rt.Message.
 func (RLReply) Kind() string { return "laReply" }
 
+// Wire tags 36–37 (see DESIGN.md, wire format section).
 func init() {
-	gob.Register(RLQuery{})
-	gob.Register(RLReply{})
+	wire.Register(wire.Codec{
+		Tag: 36, Proto: RLQuery{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(RLQuery)
+			b.PutVarint(msg.ReqID)
+			wire.PutValues(b, msg.Set)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return RLQuery{ReqID: d.Varint(), Set: wire.GetValues(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return RLQuery{ReqID: rng.Int63(), Set: wire.GenValues(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 37, Proto: RLReply{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(RLReply)
+			b.PutVarint(msg.ReqID)
+			wire.PutValues(b, msg.Set)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return RLReply{ReqID: d.Varint(), Set: wire.GetValues(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return RLReply{ReqID: rng.Int63(), Set: wire.GenValues(rng)}
+		},
+	})
 }
 
 // RoundLA is the pull-based (double-collect style) lattice agreement

@@ -12,11 +12,12 @@
 package mux
 
 import (
-	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // Envelope wraps an instance's message with its channel name.
@@ -28,7 +29,40 @@ type Envelope struct {
 // Kind implements rt.Message.
 func (e Envelope) Kind() string { return e.Channel + "/" + e.Msg.Kind() }
 
-func init() { gob.Register(Envelope{}) }
+// Wire tag 1 (see DESIGN.md, wire format section). The envelope is the
+// one composite codec: its body is the channel name followed by the
+// nested message's own (tag + body) encoding.
+func init() {
+	wire.Register(wire.Codec{
+		Tag: 1, Proto: Envelope{}, Composite: true,
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			env := m.(Envelope)
+			b.PutString(env.Channel)
+			if err := wire.AppendMessage(b, env.Msg); err != nil {
+				// Sending an unregistered type over a channel is a setup
+				// bug, caught the first time the instance sends anything.
+				panic(fmt.Sprintf("mux: envelope on channel %q: %v", env.Channel, err))
+			}
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			ch := d.String()
+			if err := d.Err(); err != nil {
+				return nil, err
+			}
+			inner, err := wire.DecodeMessageFrom(d)
+			if err != nil {
+				return nil, err
+			}
+			return Envelope{Channel: ch, Msg: inner}, nil
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return Envelope{Channel: fmt.Sprintf("ch%d", rng.Intn(4)), Msg: wire.GenLeaf(rng)}
+		},
+		Encodable: func(m rt.Message) bool {
+			return wire.Marshalable(m.(Envelope).Msg)
+		},
+	})
+}
 
 // Mux is one node's multiplexer. Create it, register it as the node's
 // handler, then create named channels and build one protocol instance per

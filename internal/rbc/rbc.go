@@ -19,9 +19,10 @@
 package rbc
 
 import (
-	"encoding/gob"
+	"math/rand"
 
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // ID identifies one broadcast instance.
@@ -57,10 +58,68 @@ type MsgReady struct {
 // Kind implements rt.Message.
 func (MsgReady) Kind() string { return "rbcReady" }
 
+func putIDPayload(b *wire.Buffer, id ID, payload []byte) {
+	b.PutInt(id.Origin)
+	b.PutVarint(id.Seq)
+	b.PutBytes(payload)
+}
+
+func getIDPayload(d *wire.Decoder) (ID, []byte) {
+	id := ID{Origin: d.Int(), Seq: d.Varint()}
+	return id, d.Bytes()
+}
+
+func genIDPayload(rng *rand.Rand) (ID, []byte) {
+	return ID{Origin: rng.Intn(16), Seq: rng.Int63n(1 << 30)}, wire.GenPayload(rng)
+}
+
+// Wire tags 80–82 (see DESIGN.md, wire format section).
 func init() {
-	gob.Register(MsgSend{})
-	gob.Register(MsgEcho{})
-	gob.Register(MsgReady{})
+	wire.Register(wire.Codec{
+		Tag: 80, Proto: MsgSend{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgSend)
+			putIDPayload(b, msg.ID, msg.Payload)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			id, p := getIDPayload(d)
+			return MsgSend{ID: id, Payload: p}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			id, p := genIDPayload(rng)
+			return MsgSend{ID: id, Payload: p}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 81, Proto: MsgEcho{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgEcho)
+			putIDPayload(b, msg.ID, msg.Payload)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			id, p := getIDPayload(d)
+			return MsgEcho{ID: id, Payload: p}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			id, p := genIDPayload(rng)
+			return MsgEcho{ID: id, Payload: p}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 82, Proto: MsgReady{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgReady)
+			putIDPayload(b, msg.ID, msg.Payload)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			id, p := getIDPayload(d)
+			return MsgReady{ID: id, Payload: p}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			id, p := genIDPayload(rng)
+			return MsgReady{ID: id, Payload: p}
+		},
+	})
 }
 
 type bcastState struct {

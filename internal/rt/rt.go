@@ -29,8 +29,9 @@ func (t Ticks) DUnits() float64 { return float64(t) / float64(TicksPerD) }
 var ErrCrashed = errors.New("rt: node crashed")
 
 // Message is a protocol message. Concrete message types live next to the
-// algorithm that owns them and must be registered with encoding/gob to be
-// usable over the TCP transport.
+// algorithm that owns them and must be registered with internal/wire
+// (a stable tag plus Encode/Decode) to cross a transport or the
+// simulator's copy-through mode.
 type Message interface {
 	// Kind returns a short stable name used for tracing, metrics, and
 	// delay-model matching (e.g. "value", "writeTag", "goodLA").

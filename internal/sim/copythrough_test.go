@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
+)
+
+// ctMsg is a registered test-local message (tag in the reserved test
+// range) so copy-through behaviour is observable without importing an
+// algorithm package.
+type ctMsg struct {
+	Seq     int
+	Payload []byte
+}
+
+func (ctMsg) Kind() string { return "ctMsg" }
+
+func init() {
+	wire.Register(wire.Codec{
+		Tag: wire.TestTagBase, Proto: ctMsg{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(ctMsg)
+			b.PutInt(msg.Seq)
+			b.PutBytes(msg.Payload)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return ctMsg{Seq: d.Int(), Payload: d.Bytes()}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return ctMsg{Seq: rng.Intn(1 << 20), Payload: wire.GenPayload(rng)}
+		},
+	})
+}
+
+// TestCopyThroughDetachesMemory: with CopyThrough on, a receiver must see
+// the bytes as they were at send time — mutating the sender's buffer
+// afterwards cannot reach the receiver, exactly as over a real wire.
+func TestCopyThroughDetachesMemory(t *testing.T) {
+	w := New(Config{N: 2, F: 0, Seed: 1, CopyThrough: true})
+	rec := &recorder2{}
+	w.SetHandler(1, rec)
+	payload := []byte("original")
+	w.Go("driver", func(p *Proc) {
+		w.Runtime(0).Send(1, ctMsg{Seq: 7, Payload: payload})
+		payload[0] = 'X' // sender scribbles after the send
+	})
+	if err := w.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rec.got) != 1 {
+		t.Fatalf("received %d messages, want 1", len(rec.got))
+	}
+	got := rec.got[0].(ctMsg)
+	if string(got.Payload) != "original" {
+		t.Fatalf("receiver saw mutated payload %q", got.Payload)
+	}
+	if got.Seq != 7 {
+		t.Fatalf("Seq = %d, want 7", got.Seq)
+	}
+}
+
+// TestCopyThroughPassesUnregisteredTypes: test-local scaffolding messages
+// without a codec still flow (by reference) under copy-through.
+func TestCopyThroughPassesUnregisteredTypes(t *testing.T) {
+	w := New(Config{N: 2, F: 0, Seed: 1, CopyThrough: true})
+	rec := &recorder2{}
+	w.SetHandler(1, rec)
+	w.Go("driver", func(p *Proc) {
+		w.Runtime(0).Send(1, testMsg{Kd: "scaffold", Seq: 3})
+	})
+	if err := w.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rec.got) != 1 || rec.got[0].(testMsg).Seq != 3 {
+		t.Fatalf("got %v, want the unregistered message delivered unchanged", rec.got)
+	}
+}
+
+// recorder2 collects delivered messages.
+type recorder2 struct{ got []rt.Message }
+
+func (r *recorder2) HandleMessage(src int, msg rt.Message) { r.got = append(r.got, msg) }
+
+// dropEvens drops every message with an even ctMsg.Seq and rewrites odd
+// seqs to 99.
+type dropEvens struct{}
+
+func (dropEvens) OnWire(now rt.Ticks, src, dst int, msg rt.Message) (rt.Message, bool) {
+	m, ok := msg.(ctMsg)
+	if !ok {
+		return nil, false
+	}
+	if m.Seq%2 == 0 {
+		return nil, true
+	}
+	m.Seq = 99
+	return m, false
+}
+
+// TestWireFaultHook: the Wire hook can kill and rewrite messages, and
+// both actions are counted and traced as corruption.
+func TestWireFaultHook(t *testing.T) {
+	w := New(Config{N: 2, F: 0, Seed: 1, Wire: dropEvens{}})
+	rec := &recorder2{}
+	w.SetHandler(1, rec)
+	var corruptTraces int
+	w.SetTracer(func(ev TraceEvent) {
+		if ev.Kind == "corrupt" {
+			corruptTraces++
+		}
+	})
+	w.Go("driver", func(p *Proc) {
+		r0 := w.Runtime(0)
+		for i := 0; i < 6; i++ {
+			r0.Send(1, ctMsg{Seq: i})
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rec.got) != 3 {
+		t.Fatalf("received %d messages, want 3 survivors", len(rec.got))
+	}
+	for _, m := range rec.got {
+		if m.(ctMsg).Seq != 99 {
+			t.Fatalf("survivor not rewritten: %v", m)
+		}
+	}
+	st := w.Stats()
+	if st.MsgsCorrupt != 6 {
+		t.Fatalf("MsgsCorrupt = %d, want 6 (3 kills + 3 rewrites)", st.MsgsCorrupt)
+	}
+	if st.MsgsDrop != 3 {
+		t.Fatalf("MsgsDrop = %d, want 3", st.MsgsDrop)
+	}
+	if corruptTraces != 6 {
+		t.Fatalf("corrupt trace events = %d, want 6", corruptTraces)
+	}
+}

@@ -19,11 +19,19 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
+
+// CopyThroughEnv is the environment variable that force-enables
+// Config.CopyThrough for every World (CI runs the whole test suite with
+// it set, so every registered message of every scenario crosses the
+// codec).
+const CopyThroughEnv = "MPSNAP_WIRE_COPYTHROUGH"
 
 // Config parameterizes a World.
 type Config struct {
@@ -45,6 +53,20 @@ type Config struct {
 	// model message loss and delay spikes (see LinkAdversary). nil means
 	// a fault-free network.
 	Link LinkAdversary
+	// CopyThrough round-trips every sent message through the
+	// internal/wire codec (encode, decode, verify the re-encode is
+	// byte-identical), so simulator runs exercise exactly the encodings a
+	// real deployment would and receivers share no memory with senders.
+	// Messages of unregistered types (test-local scaffolding) pass
+	// through unchanged; a codec failure on a registered type panics —
+	// it is a registration or canonicality bug, never an input error.
+	// The MPSNAP_WIRE_COPYTHROUGH environment variable force-enables it.
+	CopyThrough bool
+	// Wire intercepts messages between distinct nodes at the codec layer,
+	// after the link adversary: it may rewrite the message (a corrupt
+	// frame that still decodes) or drop it (a corrupt frame the receiver
+	// rejects and treats as a dead connection). nil means no wire faults.
+	Wire WireFault
 	// Seed seeds the simulation's private RNG (used by random delay
 	// models). The default 0 is a valid seed.
 	Seed int64
@@ -58,6 +80,16 @@ type Config struct {
 	// time degenerates to a step counter. Used by the schedule explorer
 	// (internal/explore); scenarios must not rely on Sleep durations.
 	Sequencer Sequencer
+}
+
+// WireFault models faults at the wire (codec) layer — the simulator
+// counterpart of flipped bits on a TCP stream. OnWire sees every message
+// between distinct nodes; it returns drop=true to discard the message
+// (modelling a frame the receiver could not decode, i.e. a closed
+// connection), a non-nil replacement to deliver a corrupted rewrite, or
+// (nil, false) to deliver the message unchanged.
+type WireFault interface {
+	OnWire(now rt.Ticks, src, dst int, msg rt.Message) (replacement rt.Message, drop bool)
 }
 
 // EventInfo describes one eligible event for a Sequencer.
@@ -100,11 +132,12 @@ type World struct {
 	current  *Proc
 	parkCh   chan parkMsg
 
-	steps      int64
-	msgsTotal  int64
-	msgsDrop   int64
-	msgsHeld   int64
-	msgsByKind map[string]int64
+	steps       int64
+	msgsTotal   int64
+	msgsDrop    int64
+	msgsHeld    int64
+	msgsCorrupt int64
+	msgsByKind  map[string]int64
 
 	tracer func(TraceEvent)
 
@@ -113,8 +146,8 @@ type World struct {
 
 // TraceEvent is one observable simulator event (for tooling and debug
 // output). Kind is "send", "deliver", "crash", "drop" (link adversary
-// discarded the message), "hold" (parked at a partition cut),
-// "partition", or "heal".
+// discarded the message), "corrupt" (wire fault rewrote or killed the
+// message), "hold" (parked at a partition cut), "partition", or "heal".
 type TraceEvent struct {
 	T    rt.Ticks
 	Kind string
@@ -175,6 +208,9 @@ func New(cfg Config) *World {
 	}
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 100_000_000
+	}
+	if os.Getenv(CopyThroughEnv) != "" {
+		cfg.CopyThrough = true
 	}
 	w := &World{
 		cfg:        cfg,
@@ -270,10 +306,24 @@ func (w *World) scheduleMsg(t rt.Ticks, src, dst int, kind string, fn func()) {
 func (w *World) After(d rt.Ticks, fn func()) { w.schedule(w.now+d, fn) }
 
 // send transmits one message on the (src,dst) channel, consulting the
-// link adversary and the partition cut.
+// link adversary, the wire-fault hook, and the partition cut.
 func (w *World) send(src, dst int, msg rt.Message) {
 	if w.nodes[src].crashed {
 		return
+	}
+	if w.cfg.CopyThrough {
+		// Per-destination round trip: each receiver gets the message a
+		// codec would hand it, sharing no memory with the sender or with
+		// other receivers of the same broadcast. Messages a codec could
+		// not encode (test-local types, envelopes nesting them) pass
+		// through unchanged.
+		if wire.Marshalable(msg) {
+			m, err := wire.Roundtrip(msg)
+			if err != nil {
+				panic(fmt.Sprintf("sim: copy-through %d->%d: %v", src, dst, err))
+			}
+			msg = m
+		}
 	}
 	w.nodes[src].sent++
 	w.msgsTotal++
@@ -290,6 +340,24 @@ func (w *World) send(src, dst int, msg rt.Message) {
 				return
 			}
 			extra = fate.Extra
+		}
+		if w.cfg.Wire != nil {
+			m, drop := w.cfg.Wire.OnWire(w.now, src, dst, msg)
+			if drop {
+				w.msgsCorrupt++
+				w.msgsDrop++
+				if w.tracer != nil {
+					w.tracer(TraceEvent{T: w.now, Kind: "corrupt", Src: src, Dst: dst, Msg: msg.Kind()})
+				}
+				return
+			}
+			if m != nil {
+				w.msgsCorrupt++
+				if w.tracer != nil {
+					w.tracer(TraceEvent{T: w.now, Kind: "corrupt", Src: src, Dst: dst, Msg: msg.Kind()})
+				}
+				msg = m
+			}
 		}
 		if w.partitioned && w.cut[src][dst] {
 			w.msgsHeld++
@@ -369,25 +437,27 @@ func (w *World) broadcast(src int, msg rt.Message) {
 
 // Stats is a snapshot of simulation counters.
 type Stats struct {
-	Now        rt.Ticks
-	Events     int64
-	MsgsTotal  int64
-	MsgsDrop   int64 // discarded by the link adversary
-	MsgsHeld   int64 // parked at a partition cut (delivered on heal)
-	MsgsByKind map[string]int64
-	SentByNode []int64
+	Now         rt.Ticks
+	Events      int64
+	MsgsTotal   int64
+	MsgsDrop    int64 // discarded by the link adversary or a wire fault
+	MsgsHeld    int64 // parked at a partition cut (delivered on heal)
+	MsgsCorrupt int64 // rewritten or killed by the wire-fault hook
+	MsgsByKind  map[string]int64
+	SentByNode  []int64
 }
 
 // Stats returns current counters. The returned maps/slices are copies.
 func (w *World) Stats() Stats {
 	s := Stats{
-		Now:        w.now,
-		Events:     w.steps,
-		MsgsTotal:  w.msgsTotal,
-		MsgsDrop:   w.msgsDrop,
-		MsgsHeld:   w.msgsHeld,
-		MsgsByKind: make(map[string]int64, len(w.msgsByKind)),
-		SentByNode: make([]int64, w.cfg.N),
+		Now:         w.now,
+		Events:      w.steps,
+		MsgsTotal:   w.msgsTotal,
+		MsgsDrop:    w.msgsDrop,
+		MsgsHeld:    w.msgsHeld,
+		MsgsCorrupt: w.msgsCorrupt,
+		MsgsByKind:  make(map[string]int64, len(w.msgsByKind)),
+		SentByNode:  make([]int64, w.cfg.N),
 	}
 	for k, v := range w.msgsByKind {
 		s.MsgsByKind[k] = v

@@ -14,12 +14,12 @@
 package svc
 
 import (
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 
 	"mpsnap/internal/mux"
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // DefaultShards is the shard count when StoreConfig.Shards is 0.
@@ -121,14 +121,16 @@ func (sh *shard) merge(payloads [][]byte) []byte {
 	return encodeRecords(recs)
 }
 
-// encodeRecords serializes a record list deterministically (JSON array in
-// the given order; callers pass a deterministic order).
+// encodeRecords serializes a record list deterministically (wire records
+// in the given order; callers pass a deterministic order).
 func encodeRecords(recs []record) []byte {
-	b, err := json.Marshal(recs)
-	if err != nil {
-		panic(fmt.Sprintf("svc: encode store records: %v", err)) // unreachable: record is JSON-safe
+	var b wire.Buffer
+	b.PutUvarint(uint64(len(recs)))
+	for _, rec := range recs {
+		b.PutString(rec.K)
+		b.PutBytes(rec.V)
 	}
-	return b
+	return b.Bytes()
 }
 
 // decodeRecords parses a segment payload; a corrupt payload (impossible
@@ -137,8 +139,13 @@ func decodeRecords(p []byte) []record {
 	if len(p) == 0 {
 		return nil
 	}
-	var recs []record
-	if err := json.Unmarshal(p, &recs); err != nil {
+	d := wire.NewDecoder(p)
+	n := d.Count(2)
+	recs := make([]record, 0, n)
+	for i := 0; i < n; i++ {
+		recs = append(recs, record{K: d.String(), V: d.Bytes()})
+	}
+	if d.Err() != nil {
 		return nil
 	}
 	return recs

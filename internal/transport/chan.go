@@ -4,7 +4,7 @@
 //   - ChanNet: in-process nodes connected by goroutine-backed FIFO
 //     channels with injectable random delays (integration testing and the
 //     examples);
-//   - TCP: one node per process over length-prefixed gob frames on TCP
+//   - TCP: one node per process over internal/wire frames on TCP
 //     (cmd/asonode), where the kernel's stream ordering provides FIFO.
 //
 // Both satisfy the paper's channel model: reliable FIFO point-to-point
@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
 // node is the shared mutex/cond machinery of both transports.
@@ -101,14 +102,15 @@ func (nd *node) crash() {
 
 // ChanNet is an in-process cluster connected by channel-backed links.
 type ChanNet struct {
-	n, f  int
-	d     time.Duration
-	nodes []*chanNode
-	rng   *rand.Rand
-	rngMu sync.Mutex
-	start time.Time
-	wg    sync.WaitGroup
-	done  chan struct{}
+	n, f        int
+	d           time.Duration
+	copyThrough bool
+	nodes       []*chanNode
+	rng         *rand.Rand
+	rngMu       sync.Mutex
+	start       time.Time
+	wg          sync.WaitGroup
+	done        chan struct{}
 }
 
 type chanNode struct {
@@ -133,6 +135,11 @@ type ChanConfig struct {
 	D time.Duration
 	// Seed drives the delay randomness.
 	Seed int64
+	// CopyThrough round-trips every sent message through the internal/wire
+	// codec, so in-process tests exercise exactly the encodings a TCP
+	// deployment would (and share no memory between sender and receiver).
+	// A codec failure panics: it is a registration or canonicality bug.
+	CopyThrough bool
 }
 
 // NewChanNet builds the cluster. Set handlers with SetHandler before
@@ -142,12 +149,13 @@ func NewChanNet(cfg ChanConfig) *ChanNet {
 		cfg.D = 2 * time.Millisecond
 	}
 	net := &ChanNet{
-		n:     cfg.N,
-		f:     cfg.F,
-		d:     cfg.D,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		start: time.Now(),
-		done:  make(chan struct{}),
+		n:           cfg.N,
+		f:           cfg.F,
+		d:           cfg.D,
+		copyThrough: cfg.CopyThrough,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		start:       time.Now(),
+		done:        make(chan struct{}),
 	}
 	net.nodes = make([]*chanNode, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -222,6 +230,13 @@ func (r *chanRuntime) F() int  { return r.net.f }
 func (r *chanRuntime) Send(dst int, msg rt.Message) {
 	if r.nd.crashed { // benign race: crashed nodes stop sending
 		return
+	}
+	if r.net.copyThrough && wire.Marshalable(msg) {
+		m, err := wire.Roundtrip(msg)
+		if err != nil {
+			panic(fmt.Sprintf("transport: copy-through %d->%d: %v", r.nd.id, dst, err))
+		}
+		msg = m
 	}
 	tm := timedMsg{src: r.nd.id, msg: msg, notBefo: time.Now().Add(r.net.delay())}
 	select {

@@ -67,7 +67,10 @@ func TestAllAlgorithmsOverChanTransport(t *testing.T) {
 			if tc.minNOver3F {
 				n, f = 4, 1 // 4 > 3·1
 			}
-			net := transport.NewChanNet(transport.ChanConfig{N: n, F: f, D: time.Millisecond, Seed: 7})
+			// CopyThrough: every message of every algorithm crosses the
+			// internal/wire codec, so this battery also proves total codec
+			// coverage with canonical (re-encodable) encodings.
+			net := transport.NewChanNet(transport.ChanConfig{N: n, F: f, D: time.Millisecond, Seed: 7, CopyThrough: true})
 			defer net.Close()
 			objs := make([]object, n)
 			rts := make([]rt.Runtime, n)

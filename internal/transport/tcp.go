@@ -1,24 +1,37 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
 )
 
-// envelope is the wire frame: gob handles the rt.Message interface via the
-// concrete types registered by each algorithm package.
-type envelope struct {
-	Src int
-	Msg rt.Message
-}
+// Hello is the per-connection handshake: the first frame on every
+// connection carries the dialer's node ID, which is what attributes all
+// subsequent frames on that connection to a source (frames themselves
+// carry no source field).
+type Hello struct{ ID int }
 
-// hello is the connection handshake.
-type hello struct{ ID int }
+// Kind implements rt.Message.
+func (Hello) Kind() string { return "transportHello" }
+
+// Wire tag 2 (see DESIGN.md, wire format section).
+func init() {
+	wire.Register(wire.Codec{
+		Tag: 2, Proto: Hello{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutInt(m.(Hello).ID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return Hello{ID: d.Int()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return Hello{ID: rng.Intn(64)} },
+	})
+}
 
 // TCPConfig parameterizes one TCP node.
 type TCPConfig struct {
@@ -36,6 +49,17 @@ type TCPConfig struct {
 	// DialTimeout bounds the total time spent connecting to each peer
 	// (default 10s).
 	DialTimeout time.Duration
+	// MaxFrame caps the wire frame size on both encode and decode
+	// (default wire.DefaultMaxFrame). A corrupt length prefix can never
+	// allocate more than this.
+	MaxFrame int
+	// OnError, if set, is invoked (from a transport goroutine) whenever a
+	// peer connection is dropped because its byte stream failed to decode
+	// — a framing error, an unknown tag, a malformed body. The peer index
+	// is -1 if the connection failed before identifying itself. Only that
+	// connection is affected; the rest of the mesh keeps running. When
+	// nil, errors are recorded and retrievable via Errors.
+	OnError func(peer int, err error)
 	// Listener, if set, is used instead of listening on Addrs[ID]
 	// (lets tests bind :0 first and distribute the real addresses).
 	Listener net.Listener
@@ -52,12 +76,14 @@ type TCPNode struct {
 	listener net.Listener
 	start    time.Time
 
-	sendMu sync.Mutex
-	outs   []chan envelope // per-peer outbound queues
-	conns  []net.Conn
+	outs  []chan rt.Message // per-peer outbound queues
+	conns []net.Conn
 
 	acceptedMu sync.Mutex
 	accepted   []net.Conn
+
+	errMu sync.Mutex
+	errs  []error
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -80,7 +106,7 @@ func NewTCPNode(cfg TCPConfig) (*TCPNode, error) {
 	t := &TCPNode{
 		cfg:    cfg,
 		start:  time.Now(),
-		outs:   make([]chan envelope, n),
+		outs:   make([]chan rt.Message, n),
 		conns:  make([]net.Conn, n),
 		closed: make(chan struct{}),
 	}
@@ -96,7 +122,8 @@ func NewTCPNode(cfg TCPConfig) (*TCPNode, error) {
 	t.listener = ln
 
 	// Accept inbound connections: each peer dials us once and sends a
-	// hello; we then read frames from it forever.
+	// hello frame; we then read frames from it until the stream ends or
+	// fails to decode.
 	t.wg.Add(1)
 	go t.acceptLoop()
 
@@ -110,16 +137,20 @@ func NewTCPNode(cfg TCPConfig) (*TCPNode, error) {
 			return nil, fmt.Errorf("transport: node %d unreachable at %s (retried with backoff for %v): %w",
 				peer, cfg.Addrs[peer], cfg.DialTimeout, err)
 		}
-		enc := gob.NewEncoder(conn)
-		if err := enc.Encode(hello{ID: cfg.ID}); err != nil {
+		frame, err := wire.MarshalFrame(Hello{ID: cfg.ID}, cfg.MaxFrame)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: encode handshake: %w", err)
+		}
+		if _, err := conn.Write(frame); err != nil {
 			t.Close()
 			return nil, fmt.Errorf("transport: handshake with node %d: %w", peer, err)
 		}
 		t.conns[peer] = conn
-		out := make(chan envelope, 1<<14)
+		out := make(chan rt.Message, 1<<14)
 		t.outs[peer] = out
 		t.wg.Add(1)
-		go t.sendLoop(enc, out)
+		go t.sendLoop(peer, conn, out)
 	}
 	return t, nil
 }
@@ -166,37 +197,146 @@ func (t *TCPNode) acceptLoop() {
 	}
 }
 
+// recvLoop reads frames from one inbound connection until the stream
+// ends. A clean close (or a network-level failure) ends the loop
+// silently, matching crash-stop semantics; a stream that stops making
+// sense as frames — bad version, oversized length, truncated payload,
+// unknown tag, malformed body — closes only this connection and surfaces
+// a descriptive error through the error hook.
 func (t *TCPNode) recvLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	var h hello
-	if err := dec.Decode(&h); err != nil {
+	r := bufio.NewReader(conn)
+	var buf []byte
+
+	// Handshake: the first frame must be a Hello naming the peer.
+	payload, err := wire.ReadFrame(r, buf, t.cfg.MaxFrame)
+	if err != nil {
+		t.recvError(-1, conn, err, false)
+		return
+	}
+	buf = payload
+	hm, err := wire.Unmarshal(payload)
+	if err != nil {
+		t.recvError(-1, conn, err, true)
+		return
+	}
+	h, ok := hm.(Hello)
+	if !ok || h.ID < 0 || h.ID >= len(t.cfg.Addrs) {
+		t.recvError(-1, conn, fmt.Errorf("transport: bad handshake %q from %s", hm.Kind(), conn.RemoteAddr()), true)
 		return
 	}
 	src := h.ID
+
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
-			return // peer gone (crash-stop)
+		payload, err := wire.ReadFrame(r, buf, t.cfg.MaxFrame)
+		if err != nil {
+			t.recvError(src, conn, err, false)
+			return
 		}
-		t.deliver(src, env.Msg)
+		buf = payload
+		msg, err := wire.Unmarshal(payload)
+		if err != nil {
+			t.recvError(src, conn, err, true)
+			return
+		}
+		// Decoders copy all byte fields, so reusing buf for the next
+		// frame cannot mutate a delivered message.
+		t.deliver(src, msg)
 	}
 }
 
-func (t *TCPNode) sendLoop(enc *gob.Encoder, out <-chan envelope) {
+// recvError records or reports why a connection is being dropped. decode
+// marks errors past the framing layer, which are always wire errors;
+// framing-layer errors are surfaced only when the bytes were wrong
+// (version, length, truncation), not when the network ended the stream
+// (EOF, reset, local shutdown) — a dead peer is the crash model at work,
+// not a protocol violation.
+func (t *TCPNode) recvError(peer int, conn net.Conn, err error, decode bool) {
+	if !decode {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return
+		}
+		if !errors.Is(err, wire.ErrBadVersion) && !errors.Is(err, wire.ErrFrameTooLarge) && !errors.Is(err, wire.ErrShortFrame) {
+			return // network-level failure, not a wire error
+		}
+		if errors.Is(err, wire.ErrShortFrame) {
+			// A frame cut short by a vanished peer is a network event;
+			// only a stream that keeps flowing with wrong bytes is not.
+			var ne net.Error
+			if errors.As(err, &ne) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return
+			}
+		}
+	}
+	t.reportError(peer, fmt.Errorf("transport: connection from peer %d (%s) dropped: %w", peer, conn.RemoteAddr(), err))
+}
+
+// reportError surfaces err through the hook, or records it when no hook
+// is installed. Errors racing with shutdown are discarded.
+func (t *TCPNode) reportError(peer int, err error) {
+	select {
+	case <-t.closed:
+		return // shutdown races are not peer errors
+	default:
+	}
+	if t.cfg.OnError != nil {
+		t.cfg.OnError(peer, err)
+		return
+	}
+	t.errMu.Lock()
+	t.errs = append(t.errs, err)
+	t.errMu.Unlock()
+}
+
+// Errors returns the decode errors recorded so far (when no OnError hook
+// is installed).
+func (t *TCPNode) Errors() []error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return append([]error(nil), t.errs...)
+}
+
+// sendLoop encodes and writes frames for one peer, flushing whenever the
+// queue drains so bursts are batched but the tail is never delayed.
+func (t *TCPNode) sendLoop(peer int, conn net.Conn, out <-chan rt.Message) {
 	defer t.wg.Done()
+	w := bufio.NewWriter(conn)
+	var body wire.Buffer
+	var frame []byte
 	for {
 		select {
 		case <-t.closed:
 			return
-		case env := <-out:
-			if err := enc.Encode(env); err != nil {
+		case msg := <-out:
+			body.Reset()
+			if err := wire.AppendMessage(&body, msg); err != nil {
+				// An unregistered type is a local programming error; it
+				// must not tear down the connection.
+				t.reportError(peer, fmt.Errorf("transport: encode to node %d: %w", peer, err))
+				continue
+			}
+			var err error
+			frame, err = wire.AppendFrame(frame[:0], body.Bytes(), t.cfg.MaxFrame)
+			if err != nil {
+				t.reportError(peer, fmt.Errorf("transport: encode to node %d: %w", peer, err))
+				continue
+			}
+			if _, err := w.Write(frame); err != nil {
 				return // peer gone
+			}
+			if len(out) == 0 {
+				if err := w.Flush(); err != nil {
+					return // peer gone
+				}
 			}
 		}
 	}
 }
+
+// Addr is the node's actual listen address (useful when the config bound
+// port 0).
+func (t *TCPNode) Addr() string { return t.listener.Addr().String() }
 
 // SetHandler installs the message handler; messages that arrived earlier
 // (peers finish setup at different times) are delivered to it immediately.
@@ -248,7 +388,7 @@ func (r *tcpRuntime) Send(dst int, msg rt.Message) {
 		return
 	}
 	select {
-	case out <- envelope{Src: r.cfg.ID, Msg: msg}:
+	case out <- msg:
 	default:
 		panic(fmt.Sprintf("transport: outbound queue to node %d overflow", dst))
 	}

@@ -20,11 +20,12 @@
 package rsm
 
 import (
-	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
+
+	"mpsnap/internal/wire"
 )
 
 // Object is the atomic snapshot object the log runs over (mpsnap.Object;
@@ -67,18 +68,65 @@ type segment struct {
 	Decisions map[int]int              // slot -> winning candidate (node id)
 }
 
+// encodeSegment serializes a segment deterministically: map entries are
+// emitted in sorted key order, so equal segments encode to equal bytes.
 func encodeSegment(s segment) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
-		panic("rsm: encode: " + err.Error())
+	var b wire.Buffer
+	b.PutUvarint(uint64(len(s.Proposals)))
+	for _, p := range s.Proposals {
+		b.PutBytes(p)
 	}
-	return buf.Bytes()
+	keys := make([]string, 0, len(s.Phases))
+	for k := range s.Phases {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.PutUvarint(uint64(len(keys)))
+	for _, k := range keys {
+		b.PutString(k)
+		recs := s.Phases[k]
+		b.PutUvarint(uint64(len(recs)))
+		for _, pr := range recs {
+			b.PutVarint(int64(pr.Report))
+			b.PutVarint(int64(pr.Proposal))
+		}
+	}
+	slots := make([]int, 0, len(s.Decisions))
+	for slot := range s.Decisions {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	b.PutUvarint(uint64(len(slots)))
+	for _, slot := range slots {
+		b.PutInt(slot)
+		b.PutInt(s.Decisions[slot])
+	}
+	return b.Bytes()
 }
 
 func decodeSegment(b []byte) (segment, error) {
-	var s segment
-	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s)
-	return s, err
+	d := wire.NewDecoder(b)
+	s := segment{
+		Phases:    make(map[string][]phaseRecord),
+		Decisions: make(map[int]int),
+	}
+	for i, n := 0, d.Count(1); i < n; i++ {
+		s.Proposals = append(s.Proposals, d.Bytes())
+	}
+	for i, n := 0, d.Count(2); i < n && d.Err() == nil; i++ {
+		k := d.String()
+		nr := d.Count(2)
+		recs := make([]phaseRecord, 0, nr)
+		for j := 0; j < nr; j++ {
+			recs = append(recs, phaseRecord{Report: d.Int(), Proposal: d.Int()})
+		}
+		s.Phases[k] = recs
+	}
+	for i, n := 0, d.Count(2); i < n && d.Err() == nil; i++ {
+		slot := d.Int()
+		s.Decisions[slot] = d.Int()
+	}
+	return s, d.Err()
 }
 
 // Log is one node's replica handle.

@@ -8,10 +8,10 @@
 package statemachine
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sort"
+
+	"mpsnap/internal/wire"
 )
 
 // Object is the snapshot object the machine runs over (mpsnap.Object).
@@ -38,19 +38,22 @@ type Machine struct {
 func New(obj Object, id int) *Machine { return &Machine{obj: obj, id: id} }
 
 func encodeLog(log [][]byte) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(log); err != nil {
-		panic("statemachine: encode: " + err.Error())
+	var b wire.Buffer
+	b.PutUvarint(uint64(len(log)))
+	for _, op := range log {
+		b.PutBytes(op)
 	}
-	return buf.Bytes()
+	return b.Bytes()
 }
 
 func decodeLog(b []byte) ([][]byte, error) {
+	d := wire.NewDecoder(b)
+	n := d.Count(1)
 	var log [][]byte
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&log); err != nil {
-		return nil, err
+	for i := 0; i < n; i++ {
+		log = append(log, d.Bytes())
 	}
-	return log, nil
+	return log, d.Err()
 }
 
 // Apply appends a (commutative) command to this node's log (one UPDATE).
