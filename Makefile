@@ -2,12 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-short cover bench bench-smoke fuzz fuzz-wire explore experiments chaos vet fmt-check clean
+.PHONY: all build build-examples test test-race test-short cover bench bench-smoke fuzz fuzz-wire explore experiments chaos vet fmt-check clean
 
 all: vet test
 
 build:
 	$(GO) build ./...
+
+# Compile every example program (build-only smoke; they are interactive or
+# long-running, so CI never executes them).
+build-examples:
+	@for d in examples/*/; do \
+		echo "build $$d"; \
+		$(GO) build -o /dev/null "./$$d" || exit 1; \
+	done
 
 vet:
 	$(GO) vet ./...
@@ -25,8 +33,11 @@ test-short:
 test-race:
 	$(GO) test -race ./...
 
+# Coverage profile across all packages plus a per-function summary; the
+# total line is the number CI reports.
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # One benchmark iteration per target; see bench_output.txt conventions.
 bench:
@@ -38,6 +49,7 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/asobench -e throughput -quick -json BENCH_throughput.json
 	$(GO) run ./cmd/asobench -e codec -json BENCH_codec.json
+	$(GO) run ./cmd/asobench -e latency -quick -json BENCH_latency.json
 
 # Randomized conformance fuzzing across all algorithms (bounded batch).
 fuzz:

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchConfig(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		want    benchConfig
+		wantErr string
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			want: benchConfig{Exp: "all", Seed: 1},
+		},
+		{
+			name: "latency with json",
+			args: []string{"-e", "latency", "-json", "BENCH_latency.json", "-seed", "7", "-quick"},
+			want: benchConfig{Exp: "latency", Quick: true, Seed: 7, JSONPath: "BENCH_latency.json"},
+		},
+		{name: "every known experiment parses", args: []string{"-e", "table1"}, want: benchConfig{Exp: "table1", Seed: 1}},
+		{name: "unknown experiment", args: []string{"-e", "warp"}, wantErr: "unknown experiment"},
+		{name: "bad flag", args: []string{"-nope"}, wantErr: "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseBenchConfig(tc.args, io.Discard)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err=%v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("got %+v want %+v", got, tc.want)
+			}
+		})
+	}
+	// The -e vocabulary itself: every listed name must validate.
+	for _, name := range knownExperiments {
+		if _, err := parseBenchConfig([]string{"-e", name}, io.Discard); err != nil {
+			t.Errorf("known experiment %q rejected: %v", name, err)
+		}
+	}
+}

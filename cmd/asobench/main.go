@@ -8,12 +8,12 @@
 //	asobench                 # run everything
 //	asobench -e table1       # one experiment: table1 sqrtk amortized
 //	                         # failurefree byzantine sso lattice
+//	asobench -e latency -json BENCH_latency.json
 //	asobench -quick          # smaller parameters
 package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -23,13 +23,11 @@ import (
 )
 
 func main() {
-	var (
-		exp      = flag.String("e", "all", "experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|throughput|codec|all")
-		quick    = flag.Bool("quick", false, "smaller parameters (CI-sized)")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		jsonPath = flag.String("json", "", "write the machine-readable points to this JSON file (throughput and codec experiments)")
-	)
-	flag.Parse()
+	cfg, err := parseBenchConfig(os.Args[1:], os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed := cfg.Seed
 
 	type experiment struct {
 		name string
@@ -51,8 +49,10 @@ func main() {
 		tputNs    = []int{8, 16}
 		tputCs    = []int{1, 4, 16, 64}
 		tputOps   = 2
+		latN      = 16
+		latOps    = 6
 	)
-	if *quick {
+	if cfg.Quick {
 		table1Ops, table1N, table1F, table1K = 3, 7, 3, 2
 		sqrtKs = []int{0, 2, 4, 8}
 		amortK, amortOps = 8, []int{1, 2, 4, 8}
@@ -61,27 +61,46 @@ func main() {
 		latticeKs = []int{0, 2, 4, 8}
 		ssoN, ssoOps = 5, 3
 		tputNs, tputCs = []int{8, 16}, []int{1, 16, 64}
+		latN, latOps = 8, 3
 	}
 
 	experiments := []experiment{
-		{"table1", func() (string, error) { return bench.Table1(table1N, table1F, table1K, table1Ops, *seed) }},
-		{"sqrtk", func() (string, error) { return bench.SqrtK(sqrtKs, 2, *seed) }},
-		{"amortized", func() (string, error) { return bench.Amortized(amortK, amortOps, *seed) }},
-		{"failurefree", func() (string, error) { return bench.FailureFree(ffNs, 2, *seed) }},
-		{"byzantine", func() (string, error) { return bench.Byzantine(byzFs, 3, *seed) }},
-		{"sso", func() (string, error) { return bench.SSOScan(ssoN, ssoOps, *seed) }},
-		{"lattice", func() (string, error) { return bench.Lattice(latticeKs, *seed) }},
-		{"messages", func() (string, error) { return bench.Messages(table1N, table1Ops, *seed) }},
-		{"throughput", func() (string, error) {
-			out, points, err := bench.Throughput(tputNs, tputCs, tputOps, *seed)
+		{"table1", func() (string, error) { return bench.Table1(table1N, table1F, table1K, table1Ops, seed) }},
+		{"sqrtk", func() (string, error) { return bench.SqrtK(sqrtKs, 2, seed) }},
+		{"amortized", func() (string, error) { return bench.Amortized(amortK, amortOps, seed) }},
+		{"failurefree", func() (string, error) { return bench.FailureFree(ffNs, 2, seed) }},
+		{"byzantine", func() (string, error) { return bench.Byzantine(byzFs, 3, seed) }},
+		{"sso", func() (string, error) { return bench.SSOScan(ssoN, ssoOps, seed) }},
+		{"lattice", func() (string, error) { return bench.Lattice(latticeKs, seed) }},
+		{"messages", func() (string, error) { return bench.Messages(table1N, table1Ops, seed) }},
+		{"latency", func() (string, error) {
+			l, err := bench.RunLatency(latN, latOps, seed)
 			if err != nil {
 				return "", err
 			}
-			if *jsonPath != "" {
-				if err := writeJSON(*jsonPath, points); err != nil {
+			out := l.Render()
+			if cfg.JSONPath != "" {
+				blob, err := l.JSON()
+				if err != nil {
 					return "", err
 				}
-				out += fmt.Sprintf("points written to %s\n", *jsonPath)
+				if err := os.WriteFile(cfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("points written to %s\n", cfg.JSONPath)
+			}
+			return out, nil
+		}},
+		{"throughput", func() (string, error) {
+			out, points, err := bench.Throughput(tputNs, tputCs, tputOps, seed)
+			if err != nil {
+				return "", err
+			}
+			if cfg.JSONPath != "" {
+				if err := writeJSON(cfg.JSONPath, points); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("points written to %s\n", cfg.JSONPath)
 			}
 			return out, nil
 		}},
@@ -90,34 +109,29 @@ func main() {
 			if err != nil {
 				return "", err
 			}
-			if *jsonPath != "" {
-				if err := writeJSON(*jsonPath, report); err != nil {
+			if cfg.JSONPath != "" {
+				if err := writeJSON(cfg.JSONPath, report); err != nil {
 					return "", err
 				}
-				out += fmt.Sprintf("report written to %s\n", *jsonPath)
+				out += fmt.Sprintf("report written to %s\n", cfg.JSONPath)
 			}
 			return out, nil
 		}},
 	}
 
-	ran := 0
 	for _, e := range experiments {
-		if *exp == "all" && e.name == "codec" {
+		if cfg.Exp == "all" && e.name == "codec" {
 			continue // needs the go toolchain (gob baseline); run explicitly
 		}
-		if *exp != "all" && *exp != e.name {
+		if cfg.Exp != "all" && cfg.Exp != e.name {
 			continue
 		}
-		ran++
 		start := time.Now()
 		out, err := e.run()
 		if err != nil {
 			log.Fatalf("%s: %v", e.name, err)
 		}
 		fmt.Printf("━━━ %s (%.1fs) ━━━\n%s\n", e.name, time.Since(start).Seconds(), out)
-	}
-	if ran == 0 {
-		log.Fatalf("unknown experiment %q", *exp)
 	}
 }
 

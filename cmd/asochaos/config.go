@@ -1,0 +1,85 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"mpsnap/internal/chaos"
+)
+
+// chaosConfig is the parsed asochaos command line: the chaos.Config for
+// every selected backend plus command-level options.
+type chaosConfig struct {
+	Chaos     chaos.Config
+	Backends  []string
+	Duration  time.Duration
+	ShowSched bool
+	JSONOut   bool
+	Dump      string
+}
+
+// parseChaosConfig parses and validates the asochaos command line. Usage
+// and flag errors are written to out.
+func parseChaosConfig(args []string, out io.Writer) (chaosConfig, error) {
+	var (
+		cfg     chaosConfig
+		backend string
+	)
+	fs := flag.NewFlagSet("asochaos", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fs.Int64Var(&cfg.Chaos.Seed, "seed", 1, "chaos seed: drives the fault schedule and the workload")
+	fs.DurationVar(&cfg.Duration, "duration", 5*time.Second, "workload length (wall time on transports; 1 D per 10ms everywhere)")
+	fs.StringVar(&backend, "backend", "both", "backend(s): sim|chan|tcp|both (sim+tcp)|all, or a comma list")
+	fs.StringVar(&cfg.Chaos.Alg, "alg", "eqaso", "object under test: eqaso|byzaso|sso")
+	fs.IntVar(&cfg.Chaos.N, "n", 5, "number of nodes")
+	fs.IntVar(&cfg.Chaos.F, "f", 2, "resilience bound")
+	fs.IntVar(&cfg.Chaos.Mix.Crashes, "crashes", 1, "crash events (clamped to f; every other one strikes mid-broadcast)")
+	fs.IntVar(&cfg.Chaos.Mix.Partitions, "partitions", 2, "partition->heal episodes")
+	fs.IntVar(&cfg.Chaos.Mix.DropWindows, "drops", 2, "per-link message-loss windows")
+	fs.Float64Var(&cfg.Chaos.Mix.DropProb, "drop-prob", 0.25, "loss probability inside a drop window")
+	fs.IntVar(&cfg.Chaos.Mix.SpikeWindows, "spikes", 2, "per-link delay-spike windows")
+	fs.Float64Var(&cfg.Chaos.Mix.SpikeExtraD, "spike-extra", 3, "extra delay inside a spike window, in units of D")
+	fs.IntVar(&cfg.Chaos.Mix.CorruptWindows, "corrupts", 0, "per-link wire-corruption windows (requires f > 0; undecodable mutants are dropped, decodable ones delivered only to byzaso)")
+	fs.Float64Var(&cfg.Chaos.Mix.CorruptProb, "corrupt-prob", 0.2, "corruption probability inside a corrupt window")
+	fs.Float64Var(&cfg.Chaos.ScanRatio, "scan-ratio", 0.5, "fraction of scans in the workload")
+	fs.StringVar(&cfg.Chaos.TraceDir, "trace-dir", "", "dump a JSONL observability trace into this directory when the check fails (sim backend)")
+	fs.IntVar(&cfg.Chaos.TraceCap, "trace-cap", 0, "trace ring capacity (default 8192)")
+	fs.BoolVar(&cfg.Chaos.TraceAlways, "trace-always", false, "dump the trace even when the check passes")
+	fs.BoolVar(&cfg.ShowSched, "schedule", false, "print every fault event before running")
+	fs.BoolVar(&cfg.JSONOut, "json", false, "emit one JSON report per backend on stdout")
+	fs.StringVar(&cfg.Dump, "dump", "", "write each backend's history JSON to <prefix>-<backend>.json")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	cfg.Chaos.Duration = chaos.TicksOf(cfg.Duration)
+	var err error
+	cfg.Backends, err = expandBackends(backend)
+	if err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func expandBackends(s string) ([]string, error) {
+	var out []string
+	for _, b := range strings.Split(s, ",") {
+		switch strings.TrimSpace(b) {
+		case "sim", "chan", "tcp":
+			out = append(out, strings.TrimSpace(b))
+		case "both":
+			out = append(out, "sim", "tcp")
+		case "all":
+			out = append(out, "sim", "chan", "tcp")
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown backend %q (want sim|chan|tcp|both|all)", b)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no backend selected")
+	}
+	return out, nil
+}

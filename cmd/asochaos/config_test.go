@@ -1,0 +1,103 @@
+package main
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mpsnap/internal/chaos"
+	"mpsnap/internal/rt"
+)
+
+func TestParseChaosConfig(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+		check   func(t *testing.T, c chaosConfig)
+	}{
+		{
+			name: "defaults",
+			args: nil,
+			check: func(t *testing.T, c chaosConfig) {
+				if !reflect.DeepEqual(c.Backends, []string{"sim", "tcp"}) {
+					t.Errorf("backends: %v", c.Backends)
+				}
+				if c.Chaos.N != 5 || c.Chaos.F != 2 || c.Chaos.Alg != "eqaso" || c.Chaos.Seed != 1 {
+					t.Errorf("chaos cfg: %+v", c.Chaos)
+				}
+				// 5s at 10ms per D.
+				if c.Chaos.Duration != 500*rt.TicksPerD {
+					t.Errorf("duration: %d ticks", c.Chaos.Duration)
+				}
+				if c.Chaos.TraceDir != "" || c.Chaos.TraceAlways {
+					t.Errorf("tracing should default off: %+v", c.Chaos)
+				}
+			},
+		},
+		{
+			name: "trace flags and backend list",
+			args: []string{"-backend", "sim,chan", "-trace-dir", "traces", "-trace-cap", "99", "-trace-always", "-seed", "13"},
+			check: func(t *testing.T, c chaosConfig) {
+				if !reflect.DeepEqual(c.Backends, []string{"sim", "chan"}) {
+					t.Errorf("backends: %v", c.Backends)
+				}
+				want := chaos.Config{TraceDir: "traces", TraceCap: 99, TraceAlways: true}
+				if c.Chaos.TraceDir != want.TraceDir || c.Chaos.TraceCap != want.TraceCap || !c.Chaos.TraceAlways {
+					t.Errorf("trace cfg: %+v", c.Chaos)
+				}
+				if c.Chaos.Seed != 13 {
+					t.Errorf("seed: %d", c.Chaos.Seed)
+				}
+			},
+		},
+		{
+			name: "all expands",
+			args: []string{"-backend", "all"},
+			check: func(t *testing.T, c chaosConfig) {
+				if !reflect.DeepEqual(c.Backends, []string{"sim", "chan", "tcp"}) {
+					t.Errorf("backends: %v", c.Backends)
+				}
+			},
+		},
+		{name: "bad backend", args: []string{"-backend", "carrier-pigeon"}, wantErr: "unknown backend"},
+		{name: "empty backend", args: []string{"-backend", ","}, wantErr: "no backend selected"},
+		{name: "bad flag", args: []string{"-nope"}, wantErr: "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := parseChaosConfig(tc.args, io.Discard)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err=%v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, c)
+		})
+	}
+}
+
+// TestTraceLine: the failure report's one-line trace pointer carries the
+// dump path, the seed, and the schedule digest.
+func TestTraceLine(t *testing.T) {
+	rep := chaos.Report{
+		TracePath:    "traces/chaos-eqaso-seed42-deadbeef.jsonl",
+		ScheduleHash: "deadbeefdeadbeef",
+		Schedule:     chaos.Schedule{Seed: 42},
+	}
+	got := traceLine(rep)
+	for _, want := range []string{"traces/chaos-eqaso-seed42-deadbeef.jsonl", "seed=42", "schedule=deadbeefdeadbeef"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace line %q missing %q", got, want)
+		}
+	}
+	rep.TraceDropped = 7
+	if got := traceLine(rep); !strings.Contains(got, "7 older events evicted") {
+		t.Errorf("trace line %q missing eviction note", got)
+	}
+}

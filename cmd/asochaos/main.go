@@ -8,16 +8,18 @@
 //
 //	asochaos -seed 42 -duration 5s
 //	asochaos -backend tcp -alg byzaso -n 7 -f 2 -json
+//	asochaos -backend sim -trace-dir traces   # JSONL post-mortem on failure
 //
 // The same seed injects the same fault schedule on every backend; on the
 // sim backend the entire run (history included) is byte-identical across
-// repetitions, so a failing seed is a complete reproduction recipe.
-// Non-zero exit if any backend's consistency check fails.
+// repetitions, so a failing seed is a complete reproduction recipe. With
+// -trace-dir a failing sim run additionally dumps its operation/phase and
+// fault-injection events as JSONL — itself a deterministic function of the
+// seed. Non-zero exit if any backend's consistency check fails.
 package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -28,76 +30,42 @@ import (
 )
 
 func main() {
-	var (
-		seed      = flag.Int64("seed", 1, "chaos seed: drives the fault schedule and the workload")
-		duration  = flag.Duration("duration", 5*time.Second, "workload length (wall time on transports; 1 D per 10ms everywhere)")
-		backend   = flag.String("backend", "both", "backend(s): sim|chan|tcp|both (sim+tcp)|all, or a comma list")
-		alg       = flag.String("alg", "eqaso", "object under test: eqaso|byzaso|sso")
-		n         = flag.Int("n", 5, "number of nodes")
-		f         = flag.Int("f", 2, "resilience bound")
-		crashes   = flag.Int("crashes", 1, "crash events (clamped to f; every other one strikes mid-broadcast)")
-		parts     = flag.Int("partitions", 2, "partition->heal episodes")
-		drops     = flag.Int("drops", 2, "per-link message-loss windows")
-		dropProb  = flag.Float64("drop-prob", 0.25, "loss probability inside a drop window")
-		spikes    = flag.Int("spikes", 2, "per-link delay-spike windows")
-		spikeD    = flag.Float64("spike-extra", 3, "extra delay inside a spike window, in units of D")
-		corrupts  = flag.Int("corrupts", 0, "per-link wire-corruption windows (requires f > 0; undecodable mutants are dropped, decodable ones delivered only to byzaso)")
-		corrProb  = flag.Float64("corrupt-prob", 0.2, "corruption probability inside a corrupt window")
-		scanRatio = flag.Float64("scan-ratio", 0.5, "fraction of scans in the workload")
-		showSched = flag.Bool("schedule", false, "print every fault event before running")
-		jsonOut   = flag.Bool("json", false, "emit one JSON report per backend on stdout")
-		dump      = flag.String("dump", "", "write each backend's history JSON to <prefix>-<backend>.json")
-	)
-	flag.Parse()
-
-	cfg := chaos.Config{
-		N: *n, F: *f, Alg: *alg, Seed: *seed,
-		Duration: chaos.TicksOf(*duration),
-		Mix: chaos.Mix{
-			Crashes: *crashes, Partitions: *parts,
-			DropWindows: *drops, DropProb: *dropProb,
-			SpikeWindows: *spikes, SpikeExtraD: *spikeD,
-			CorruptWindows: *corrupts, CorruptProb: *corrProb,
-		},
-		ScanRatio: *scanRatio,
-	}
-
-	backends, err := expandBackends(*backend)
+	cfg, err := parseChaosConfig(os.Args[1:], os.Stderr)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	var reports []chaos.Report
 	failed := false
-	for _, be := range backends {
+	for _, be := range cfg.Backends {
 		var res *chaos.Result
 		var err error
 		startWall := time.Now()
 		if be == "sim" {
-			res, err = chaos.RunSim(cfg)
+			res, err = chaos.RunSim(cfg.Chaos)
 		} else {
-			res, err = chaos.RunTransport(cfg, be)
+			res, err = chaos.RunTransport(cfg.Chaos, be)
 		}
 		if err != nil {
 			log.Fatalf("backend %s: %v", be, err)
 		}
-		rep := chaos.NewReport(be, *alg, res)
+		rep := chaos.NewReport(be, cfg.Chaos.Alg, res)
 		reports = append(reports, rep)
 		if !rep.OK {
 			failed = true
 		}
-		if *dump != "" {
-			path := fmt.Sprintf("%s-%s.json", strings.TrimSuffix(*dump, ".json"), be)
+		if cfg.Dump != "" {
+			path := fmt.Sprintf("%s-%s.json", strings.TrimSuffix(cfg.Dump, ".json"), be)
 			if err := writeHistory(path, res); err != nil {
 				log.Fatal(err)
 			}
 		}
-		if !*jsonOut {
-			printReport(rep, cfg, *duration, time.Since(startWall), *showSched)
+		if !cfg.JSONOut {
+			printReport(rep, cfg, time.Since(startWall))
 		}
 	}
 
-	if *jsonOut {
+	if cfg.JSONOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
@@ -109,35 +77,15 @@ func main() {
 	}
 }
 
-func expandBackends(s string) ([]string, error) {
-	var out []string
-	for _, b := range strings.Split(s, ",") {
-		switch strings.TrimSpace(b) {
-		case "sim", "chan", "tcp":
-			out = append(out, strings.TrimSpace(b))
-		case "both":
-			out = append(out, "sim", "tcp")
-		case "all":
-			out = append(out, "sim", "chan", "tcp")
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown backend %q (want sim|chan|tcp|both|all)", b)
-		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no backend selected")
-	}
-	return out, nil
-}
-
-func printReport(rep chaos.Report, cfg chaos.Config, wall, took time.Duration, showSched bool) {
+func printReport(rep chaos.Report, cfg chaosConfig, took time.Duration) {
+	c := cfg.Chaos
 	fmt.Printf("backend=%-4s alg=%s n=%d f=%d seed=%d duration=%s (%d ticks) schedule=%s\n",
-		rep.Backend, rep.Alg, cfg.N, cfg.F, cfg.Seed, wall, cfg.Duration, rep.ScheduleHash)
+		rep.Backend, rep.Alg, c.N, c.F, c.Seed, cfg.Duration, c.Duration, rep.ScheduleHash)
 	mix := rep.Schedule.Mix
 	fmt.Printf("  faults: %d crashes, %d partitions, %d drop windows (p=%.2f), %d spikes (+%gD), %d corrupt windows — %d events\n",
 		mix.Crashes, mix.Partitions, mix.DropWindows, mix.DropProb, mix.SpikeWindows, mix.SpikeExtraD,
 		mix.CorruptWindows, len(rep.Schedule.Events))
-	if showSched {
+	if cfg.ShowSched {
 		for _, ev := range rep.Schedule.Events {
 			fmt.Printf("    %s\n", ev)
 		}
@@ -165,8 +113,21 @@ func printReport(rep chaos.Report, cfg chaos.Config, wall, took time.Duration, s
 	} else {
 		fmt.Printf("  consistency: FAILED — %d violations; first: %s\n", len(rep.Violations), rep.Violations[0])
 		fmt.Printf("  reproduce: asochaos -backend %s -alg %s -n %d -f %d -seed %d -duration %s\n",
-			rep.Backend, rep.Alg, cfg.N, cfg.F, cfg.Seed, wall)
+			rep.Backend, rep.Alg, c.N, c.F, c.Seed, cfg.Duration)
 	}
+	if rep.TracePath != "" {
+		fmt.Println("  " + traceLine(rep))
+	}
+}
+
+// traceLine is the one-line pointer from a report to its trace dump: the
+// path plus everything needed to regenerate it (seed + schedule digest).
+func traceLine(rep chaos.Report) string {
+	s := fmt.Sprintf("trace: %s (seed=%d schedule=%s", rep.TracePath, rep.Schedule.Seed, rep.ScheduleHash)
+	if rep.TraceDropped > 0 {
+		s += fmt.Sprintf(", %d older events evicted", rep.TraceDropped)
+	}
+	return s + ")"
 }
 
 func writeHistory(path string, res *chaos.Result) error {

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"mpsnap/internal/svc"
+)
+
+// nodeConfig is the parsed and validated command line of one asonode
+// process.
+type nodeConfig struct {
+	ID          int
+	Addrs       []string
+	F           int
+	Alg         string
+	D           time.Duration
+	DialTimeout time.Duration
+	Clients     string
+	MaxPending  int
+	// HTTP, if non-empty, serves GET /metrics (Prometheus text format,
+	// wall-clock µs latencies) and GET /debug/trace (recent events as
+	// JSONL) on this address.
+	HTTP string
+	// TraceCap bounds the /debug/trace ring buffer.
+	TraceCap int
+}
+
+// N is the cluster size implied by the address list.
+func (c nodeConfig) N() int { return len(c.Addrs) }
+
+// parseNodeConfig parses the asonode command line. Usage and flag errors
+// are written to out; validation errors are returned.
+func parseNodeConfig(args []string, out io.Writer) (nodeConfig, error) {
+	var cfg nodeConfig
+	var addrs string
+	fs := flag.NewFlagSet("asonode", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fs.IntVar(&cfg.ID, "id", 0, "this node's index into -addrs")
+	fs.StringVar(&addrs, "addrs", "", "comma-separated listen addresses of all nodes")
+	fs.IntVar(&cfg.F, "f", 0, "resilience bound (default: (n-1)/2, or (n-1)/3 for byzaso)")
+	fs.StringVar(&cfg.Alg, "alg", "eqaso", "algorithm: eqaso|byzaso|sso")
+	fs.DurationVar(&cfg.D, "d", 10*time.Millisecond, "wall-clock duration treated as one D (reporting only)")
+	fs.DurationVar(&cfg.DialTimeout, "dial-timeout", 10*time.Second, "total per-peer connection budget at startup")
+	fs.StringVar(&cfg.Clients, "clients", "", "optional listen address for concurrent TCP client sessions")
+	fs.IntVar(&cfg.MaxPending, "max-pending", svc.DefaultMaxPending, "service queue bound (backpressure blocks past it)")
+	fs.StringVar(&cfg.HTTP, "http", "", "optional listen address for /metrics and /debug/trace")
+	fs.IntVar(&cfg.TraceCap, "trace-cap", 4096, "event capacity of the /debug/trace ring buffer")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if addrs != "" {
+		cfg.Addrs = strings.Split(addrs, ",")
+	}
+	if len(cfg.Addrs) < 3 {
+		return cfg, fmt.Errorf("need -addrs with at least 3 comma-separated addresses")
+	}
+	switch cfg.Alg {
+	case "eqaso", "byzaso", "sso":
+	default:
+		return cfg, fmt.Errorf("unknown algorithm %q (want eqaso|byzaso|sso)", cfg.Alg)
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.N() {
+		return cfg, fmt.Errorf("-id %d out of range for %d addresses", cfg.ID, cfg.N())
+	}
+	if cfg.F == 0 {
+		if cfg.Alg == "byzaso" {
+			cfg.F = (cfg.N() - 1) / 3
+		} else {
+			cfg.F = (cfg.N() - 1) / 2
+		}
+	}
+	if cfg.F < 0 || cfg.N() <= 2*cfg.F {
+		return cfg, fmt.Errorf("need n > 2f, got n=%d f=%d", cfg.N(), cfg.F)
+	}
+	if cfg.Alg == "byzaso" && cfg.N() <= 3*cfg.F {
+		return cfg, fmt.Errorf("byzaso needs n > 3f, got n=%d f=%d", cfg.N(), cfg.F)
+	}
+	if cfg.D <= 0 {
+		return cfg, fmt.Errorf("-d must be positive")
+	}
+	if cfg.TraceCap <= 0 {
+		return cfg, fmt.Errorf("-trace-cap must be positive")
+	}
+	return cfg, nil
+}

@@ -20,23 +20,29 @@
 //	asonode -id 0 -addrs ... -clients :8000 &
 //	nc localhost 8000
 //
+// With -http ADDR the node serves its observability surface: GET /metrics
+// exports per-operation latency histograms (wall-clock µs) and message
+// counters in Prometheus text format; GET /debug/trace streams the most
+// recent operation/phase/message events as JSONL.
+//
 // The transport relies on TCP's in-order delivery for the paper's FIFO
 // channel assumption; the deployment is crash-stop (no reconnects).
 package main
 
 import (
 	"bufio"
-	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"mpsnap/internal/byzaso"
 	"mpsnap/internal/eqaso"
+	"mpsnap/internal/obs"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sso"
 	"mpsnap/internal/svc"
@@ -44,31 +50,27 @@ import (
 )
 
 func main() {
-	var (
-		id          = flag.Int("id", 0, "this node's index into -addrs")
-		addrs       = flag.String("addrs", "", "comma-separated listen addresses of all nodes")
-		f           = flag.Int("f", 0, "resilience bound (default: (n-1)/2, or (n-1)/3 for byzaso)")
-		alg         = flag.String("alg", "eqaso", "algorithm: eqaso|byzaso|sso")
-		d           = flag.Duration("d", 10*time.Millisecond, "wall-clock duration treated as one D (reporting only)")
-		dialTimeout = flag.Duration("dial-timeout", 10*time.Second, "total per-peer connection budget at startup")
-		clients     = flag.String("clients", "", "optional listen address for concurrent TCP client sessions")
-		maxPending  = flag.Int("max-pending", svc.DefaultMaxPending, "service queue bound (backpressure blocks past it)")
-	)
-	flag.Parse()
-	list := strings.Split(*addrs, ",")
-	if len(list) < 3 || *addrs == "" {
-		log.Fatal("need -addrs with at least 3 comma-separated addresses")
-	}
-	n := len(list)
-	if *f == 0 {
-		if *alg == "byzaso" {
-			*f = (n - 1) / 3
-		} else {
-			*f = (n - 1) / 2
-		}
+	cfg, err := parseNodeConfig(os.Args[1:], os.Stderr)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	tn, err := transport.NewTCPNode(transport.TCPConfig{ID: *id, Addrs: list, F: *f, D: *d, DialTimeout: *dialTimeout})
+	// Observability: one Metrics (histograms in wall-clock µs, D = cfg.D)
+	// plus one trace ring feed every event source — transport, protocol
+	// node, service layer — and back the -http endpoints.
+	var observer rt.Observer
+	var metrics *obs.Metrics
+	var trace *obs.Trace
+	if cfg.HTTP != "" {
+		metrics = obs.NewWallMetrics(cfg.D)
+		trace = obs.NewTrace(cfg.TraceCap)
+		observer = obs.Multi{metrics, trace}
+	}
+
+	tn, err := transport.NewTCPNode(transport.TCPConfig{
+		ID: cfg.ID, Addrs: cfg.Addrs, F: cfg.F, D: cfg.D,
+		DialTimeout: cfg.DialTimeout, Observer: observer,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,24 +78,32 @@ func main() {
 
 	var obj svc.Object
 	var handler rt.Handler
-	switch *alg {
+	switch cfg.Alg {
 	case "eqaso":
 		nd := eqaso.New(tn.Runtime())
+		if observer != nil {
+			nd.SetObserver(observer)
+		}
 		obj, handler = nd, nd
 	case "byzaso":
 		nd := byzaso.New(tn.Runtime())
+		if observer != nil {
+			nd.SetObserver(observer)
+		}
 		obj, handler = nd, nd
 	case "sso":
 		nd := sso.New(tn.Runtime())
+		if observer != nil {
+			nd.SetObserver(observer)
+		}
 		obj, handler = nd, nd
-	default:
-		log.Fatalf("unknown algorithm %q", *alg)
 	}
 	tn.SetHandler(handler)
 
 	service := svc.New(tn.Runtime(), obj, svc.Options{
-		Mode:       svc.ModeFor(*alg),
-		MaxPending: *maxPending,
+		Mode:       svc.ModeFor(cfg.Alg),
+		MaxPending: cfg.MaxPending,
+		Observer:   observer,
 	})
 	go func() {
 		if err := service.Serve(); err != nil {
@@ -102,8 +112,18 @@ func main() {
 	}()
 	defer service.Close()
 
-	if *clients != "" {
-		ln, err := net.Listen("tcp", *clients)
+	if cfg.HTTP != "" {
+		ln, err := net.Listen("tcp", cfg.HTTP)
+		if err != nil {
+			log.Fatalf("http listener: %v", err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, obsMux(metrics, trace))
+		fmt.Printf("metrics on http://%s/metrics, trace on http://%s/debug/trace\n", ln.Addr(), ln.Addr())
+	}
+
+	if cfg.Clients != "" {
+		ln, err := net.Listen("tcp", cfg.Clients)
 		if err != nil {
 			log.Fatalf("client listener: %v", err)
 		}
@@ -113,8 +133,26 @@ func main() {
 	}
 
 	fmt.Printf("node %d/%d up (%s, f=%d, service mode %s); commands: update <value> | scan | stats | quit\n",
-		*id, n, *alg, *f, svc.ModeFor(*alg))
+		cfg.ID, cfg.N(), cfg.Alg, cfg.F, svc.ModeFor(cfg.Alg))
 	session(os.Stdin, os.Stdout, service, true)
+}
+
+// obsMux serves the node's observability endpoints.
+func obsMux(metrics *obs.Metrics, trace *obs.Trace) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WritePrometheus(w, metrics.Snapshot()); err != nil {
+			log.Printf("/metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		if err := trace.WriteJSONL(w); err != nil {
+			log.Printf("/debug/trace: %v", err)
+		}
+	})
+	return mux
 }
 
 // acceptClients serves each inbound connection as an independent client

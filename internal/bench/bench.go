@@ -95,6 +95,11 @@ type Config struct {
 	// Check verifies the history (linearizability, or sequential
 	// consistency for SSO) after the run.
 	Check bool
+	// Observer, if set, receives message events from the simulator and
+	// operation events from every node that supports SetObserver
+	// (EQ-ASO, SSO, Byz-ASO). The latency experiment feeds it an
+	// obs.Metrics to get per-op histograms in D-units.
+	Observer rt.Observer
 }
 
 // Result is one run's measurements.
@@ -129,7 +134,7 @@ func keyOf(a Algo) func(rt.Message) (any, bool) {
 // Run executes one configuration and returns its measurements.
 func Run(cfg Config) (Result, error) {
 	res := Result{Config: cfg}
-	simCfg := sim.Config{N: cfg.N, F: cfg.F, Seed: cfg.Seed}
+	simCfg := sim.Config{N: cfg.N, F: cfg.F, Seed: cfg.Seed, Observer: cfg.Observer}
 	if !cfg.UniformDelay {
 		simCfg.Delay = sim.Constant{Ticks: rt.TicksPerD}
 	}
@@ -154,6 +159,13 @@ func Run(cfg Config) (Result, error) {
 	c := harness.Build(simCfg, func(r rt.Runtime) (rt.Handler, harness.Object) {
 		return make1(cfg.Algo, r)
 	})
+	if cfg.Observer != nil {
+		for _, o := range c.Objects {
+			if so, ok := o.(interface{ SetObserver(rt.Observer) }); ok {
+				so.SetObserver(cfg.Observer)
+			}
+		}
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	if cfg.Faults.Chains {

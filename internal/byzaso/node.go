@@ -175,6 +175,11 @@ type Node struct {
 	wait  *core.EQTracker
 	stats Stats
 
+	// Operation instrumentation (see obs.go); owned by the client thread.
+	obs   rt.Observer
+	opSeq int64
+	curOp opCtx
+
 	// OnGoodLattice observes good lattice operations (for tests).
 	OnGoodLattice func(tag core.Tag, view core.View)
 }

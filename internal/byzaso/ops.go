@@ -36,6 +36,7 @@ func (nd *Node) tagQuorum(r core.Tag) error {
 // package comment).
 func (nd *Node) latticeLoop(r core.Tag) (core.View, error) {
 	for {
+		nd.phase("lattice")
 		nd.rt.Atomic(func() {
 			nd.stats.LatticeOps++
 			nd.announceTag(r)
@@ -83,11 +84,12 @@ func (nd *Node) Update(payload []byte) error {
 
 // UpdateWithView is Update, additionally returning the final lattice view
 // and the written value's timestamp (used by the Byzantine SSO).
-func (nd *Node) UpdateWithView(payload []byte) (core.View, core.Timestamp, error) {
+func (nd *Node) UpdateWithView(payload []byte) (view core.View, ts core.Timestamp, err error) {
 	if nd.rt.Crashed() {
 		return nil, core.Timestamp{}, rt.ErrCrashed
 	}
-	var ts core.Timestamp
+	c := nd.opStart("update")
+	defer func() { nd.opEnd(c, err) }()
 	nd.rt.Atomic(func() {
 		nd.stats.Updates++
 		ts = core.Timestamp{Tag: nd.maxTag + 1, Writer: nd.id}
@@ -105,7 +107,7 @@ func (nd *Node) UpdateWithView(payload []byte) (core.View, core.Timestamp, error
 		nd.tagAcks[req] = make(map[int]bool)
 	})
 	nd.rt.Broadcast(MsgTagQuery{ReqID: req, Tag: ts.Tag})
-	err := nd.rt.WaitUntilThen("byz update stable",
+	err = nd.rt.WaitUntilThen("byz update stable",
 		func() bool { return len(nd.tagAcks[req]) >= nd.quorum && nd.haveCount[ts] >= nd.quorum },
 		func() {
 			delete(nd.tagAcks, req)
@@ -114,6 +116,7 @@ func (nd *Node) UpdateWithView(payload []byte) (core.View, core.Timestamp, error
 	if err != nil {
 		return nil, ts, err
 	}
+	nd.phase("stable")
 	var r core.Tag
 	nd.rt.Atomic(func() {
 		r = ts.Tag
@@ -121,7 +124,7 @@ func (nd *Node) UpdateWithView(payload []byte) (core.View, core.Timestamp, error
 			r = nd.maxTag
 		}
 	})
-	view, err := nd.latticeLoop(r)
+	view, err = nd.latticeLoop(r)
 	return view, ts, err
 }
 
@@ -140,6 +143,7 @@ func (nd *Node) RefreshView() (core.View, error) {
 // largest: at least one honest node vouches for it (liveness) and every
 // completed operation's tag is covered by quorum intersection (safety).
 func (nd *Node) readTag() (core.Tag, error) {
+	nd.phase("readTag")
 	var req int64
 	var st *readState
 	nd.rt.Atomic(func() {
@@ -168,10 +172,12 @@ func (nd *Node) readTag() (core.Tag, error) {
 }
 
 // Scan returns one entry per segment; nil marks ⊥.
-func (nd *Node) Scan() ([][]byte, error) {
+func (nd *Node) Scan() (res [][]byte, err error) {
 	if nd.rt.Crashed() {
 		return nil, rt.ErrCrashed
 	}
+	c := nd.opStart("scan")
+	defer func() { nd.opEnd(c, err) }()
 	nd.rt.Atomic(func() { nd.stats.Scans++ })
 	r, err := nd.readTag()
 	if err != nil {

@@ -45,6 +45,24 @@ type Config struct {
 	// (default 1). Values above 1 require Service: the raw protocol
 	// objects admit one operation at a time.
 	Clients int
+	// TraceDir, if non-empty, arms the observability trace (sim backend):
+	// the run records operation lifecycles, protocol phases, and
+	// fault-injection events into a ring buffer, and dumps them as JSONL
+	// into this directory when the consistency check fails (always, with
+	// TraceAlways). Result.TracePath names the dump. The dump is a
+	// deterministic function of the seed, so a failing nightly run can be
+	// replayed and diffed byte-for-byte.
+	TraceDir string
+	// TraceCap bounds the trace ring buffer (default 8192 events; oldest
+	// events are evicted first).
+	TraceCap int
+	// TraceAlways dumps the trace even when the check passes.
+	TraceAlways bool
+	// forceCheckFail (test hook) overrides the checker verdict to
+	// exercise the failure path: correct algorithms never fail the check,
+	// so the dump-on-failure plumbing needs a forced failure to be
+	// testable.
+	forceCheckFail bool
 }
 
 func (cfg *Config) normalize() error {
@@ -134,6 +152,12 @@ type Result struct {
 	// NetCorrupt counts messages hit by a wire-corruption window
 	// (transport backends only; the sim counts these in Stats).
 	NetCorrupt int64
+	// TracePath is the JSONL trace dump written for this run ("" when
+	// tracing was off or the run passed without TraceAlways).
+	TracePath string
+	// TraceDropped counts trace events evicted by ring wraparound (the
+	// dump holds the most recent TraceCap events).
+	TraceDropped uint64
 }
 
 // graceTicks is how long past the workload deadline an in-flight

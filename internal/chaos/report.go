@@ -32,6 +32,10 @@ type Report struct {
 	NetDrops    int64      `json:"netDrops,omitempty"`
 	NetHeld     int64      `json:"netHeld,omitempty"`
 	NetCorrupt  int64      `json:"netCorrupt,omitempty"`
+	// TracePath names the JSONL observability trace dumped for this run
+	// (set on failures when tracing is armed, or always with TraceAlways).
+	TracePath    string `json:"tracePath,omitempty"`
+	TraceDropped uint64 `json:"traceDropped,omitempty"`
 }
 
 // NewReport condenses a Result.
@@ -46,6 +50,8 @@ func NewReport(backend, alg string, res *Result) Report {
 		NetDrops:     res.NetDrops,
 		NetHeld:      res.NetHeld,
 		NetCorrupt:   res.NetCorrupt,
+		TracePath:    res.TracePath,
+		TraceDropped: res.TraceDropped,
 	}
 	if res.Hist != nil {
 		rep.Ops = len(res.Hist.Ops)

@@ -3,8 +3,11 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 
 	"mpsnap/internal/harness"
+	"mpsnap/internal/history"
+	"mpsnap/internal/obs"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
 	"mpsnap/internal/svc"
@@ -85,6 +88,30 @@ func RunSim(cfg Config) (*Result, error) {
 		return nil, buildErr
 	}
 
+	// Observability trace: op/phase events from the objects (and service
+	// fronts), fault events from the simulator's tracer. Raw send/deliver
+	// traffic is deliberately NOT recorded — it would evict the op events
+	// a failure post-mortem actually needs from the ring.
+	var tr *obs.Trace
+	if cfg.TraceDir != "" {
+		capacity := cfg.TraceCap
+		if capacity <= 0 {
+			capacity = 8192
+		}
+		tr = obs.NewTrace(capacity)
+		c.W.SetTracer(func(ev sim.TraceEvent) {
+			switch ev.Kind {
+			case "crash", "partition", "heal", "drop", "corrupt", "hold":
+				tr.Sys(ev.T, ev.Kind, ev.Src, ev.Dst, ev.Msg)
+			}
+		})
+		for _, o := range c.Objects {
+			if so, ok := o.(interface{ SetObserver(rt.Observer) }); ok {
+				so.SetObserver(tr)
+			}
+		}
+	}
+
 	// Inject the schedule.
 	w := c.W
 	for _, ev := range sched.Events {
@@ -133,7 +160,11 @@ func RunSim(cfg Config) (*Result, error) {
 	if cfg.Service {
 		services := make([]*svc.Service, cfg.N)
 		for i := 0; i < cfg.N; i++ {
-			s := svc.New(w.Runtime(i), c.Objects[i], svc.Options{Mode: svc.ModeFor(cfg.Alg)})
+			opts := svc.Options{Mode: svc.ModeFor(cfg.Alg)}
+			if tr != nil {
+				opts.Observer = tr
+			}
+			s := svc.New(w.Runtime(i), c.Objects[i], opts)
 			services[i] = s
 			fronts[i] = s
 			w.GoNode(fmt.Sprintf("svc-%d", i), i, func(p *sim.Proc) {
@@ -200,5 +231,17 @@ func RunSim(cfg Config) (*Result, error) {
 	st := w.Stats()
 	res.Stats = &st
 	res.Check = check(h)
+	if cfg.forceCheckFail {
+		res.Check = &history.Report{OK: false, Violations: []string{"forced failure (chaos test hook)"}}
+	}
+	if tr != nil && (!res.Check.OK || cfg.TraceAlways) {
+		path := filepath.Join(cfg.TraceDir,
+			fmt.Sprintf("chaos-%s-seed%d-%s.jsonl", cfg.Alg, cfg.Seed, sched.Hash()))
+		if err := tr.DumpJSONL(path); err != nil {
+			return res, fmt.Errorf("chaos: %w", err)
+		}
+		res.TracePath = path
+		res.TraceDropped = tr.Dropped()
+	}
 	return res, nil
 }

@@ -65,6 +65,11 @@ type Node struct {
 
 	stats Stats
 
+	// Operation instrumentation (see obs.go); owned by the client thread.
+	obs   rt.Observer
+	opSeq int64
+	curOp opCtx
+
 	// OnGoodLattice, if set, observes every good lattice operation
 	// completed by this node (used by invariant-checking tests and by
 	// the SSO's passive view adoption).

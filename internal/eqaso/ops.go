@@ -8,6 +8,7 @@ import (
 // readTag implements readTag() (lines 35-37): read the largest maxTag from
 // at least n-f nodes.
 func (nd *Node) readTag() (core.Tag, error) {
+	nd.phase("readTag")
 	var req int64
 	var st *readState
 	nd.rt.Atomic(func() {
@@ -30,6 +31,7 @@ func (nd *Node) readTag() (core.Tag, error) {
 // writeTag implements writeTag(tag) (lines 38-39): write the tag to at
 // least n-f nodes.
 func (nd *Node) writeTag(tag core.Tag) error {
+	nd.phase("writeTag")
 	var req int64
 	nd.rt.Atomic(func() {
 		nd.nextReq++
@@ -59,6 +61,7 @@ func (nd *Node) lattice(r core.Tag) (good bool, view core.View, err error) {
 		tracker = core.NewEQTracker(nd.V, nd.id, r, nd.quorum)
 		nd.wait = tracker
 	})
+	nd.phase("eqWait")
 	err = nd.rt.WaitUntilThen("EQ predicate",
 		tracker.Satisfied,
 		func() {
@@ -77,6 +80,11 @@ func (nd *Node) lattice(r core.Tag) (good bool, view core.View, err error) {
 	if err != nil {
 		return false, nil, err
 	}
+	if good {
+		nd.phase("eqGood")
+	} else {
+		nd.phase("eqNotGood")
+	}
 	return good, view, nil
 }
 
@@ -85,6 +93,7 @@ func (nd *Node) lattice(r core.Tag) (good bool, view core.View, err error) {
 // borrows an indirect view from a peer's good lattice operation.
 func (nd *Node) latticeRenewal(r core.Tag) (core.View, error) {
 	for phase := 1; phase <= 3; phase++ {
+		nd.phase(renewalPhases[phase-1])
 		good, view, err := nd.lattice(r)
 		if err != nil {
 			return nil, err
@@ -100,6 +109,7 @@ func (nd *Node) latticeRenewal(r core.Tag) (core.View, error) {
 	}
 	// Borrow an indirect view for tag ≥ r (see the package comment for
 	// why ≥ rather than = preserves correctness and improves liveness).
+	nd.phase("borrow")
 	nd.rt.Atomic(func() { nd.pruneBelow(r) })
 	nd.rt.Broadcast(MsgBorrowReq{Tag: r})
 	var view core.View
@@ -153,13 +163,15 @@ func (nd *Node) UpdateBatch(payloads [][]byte) error {
 // which writeTags ≥ r+k to a quorum — so any later readTag (whose quorum
 // intersects it) returns ≥ r+k and per-writer timestamps stay strictly
 // increasing, exactly as in the single-value protocol.
-func (nd *Node) UpdateBatchWithView(payloads [][]byte) (core.View, []core.Timestamp, error) {
+func (nd *Node) UpdateBatchWithView(payloads [][]byte) (view core.View, tss []core.Timestamp, err error) {
 	if nd.rt.Crashed() {
 		return nil, nil, rt.ErrCrashed
 	}
 	if len(payloads) == 0 {
 		return nil, nil, nil
 	}
+	c := nd.opStart("update")
+	defer func() { nd.opEnd(c, err) }()
 	k := core.Tag(len(payloads))
 	nd.rt.Atomic(func() {
 		nd.stats.Updates += int64(k)
@@ -169,17 +181,18 @@ func (nd *Node) UpdateBatchWithView(payloads [][]byte) (core.View, []core.Timest
 	if err != nil {
 		return nil, nil, err
 	}
-	tss := make([]core.Timestamp, len(payloads))
+	tss = make([]core.Timestamp, len(payloads))
 	nd.rt.Atomic(func() {
 		for i := range payloads {
 			tss[i] = core.Timestamp{Tag: r + 1 + core.Tag(i), Writer: nd.id}
 			nd.forwarded[tss[i]] = true
 		}
 	})
+	nd.phase("disseminate")
 	for i, payload := range payloads {
 		nd.rt.Broadcast(MsgValue{Val: core.Value{TS: tss[i], Payload: payload}})
 	}
-	if _, _, err := nd.lattice(r); err != nil { // phase 0
+	if _, _, err = nd.lattice(r); err != nil { // phase 0
 		return nil, tss, err
 	}
 	var r2 core.Tag
@@ -189,7 +202,7 @@ func (nd *Node) UpdateBatchWithView(payloads [][]byte) (core.View, []core.Timest
 			r2 = nd.maxTag
 		}
 	})
-	view, err := nd.latticeRenewal(r2)
+	view, err = nd.latticeRenewal(r2)
 	return view, tss, err
 }
 
@@ -205,10 +218,12 @@ func (nd *Node) RefreshView() (core.View, error) {
 
 // Scan implements SCAN() (lines 11-13). The returned vector has one entry
 // per node; nil marks a segment never written (⊥).
-func (nd *Node) Scan() ([][]byte, error) {
+func (nd *Node) Scan() (res [][]byte, err error) {
 	if nd.rt.Crashed() {
 		return nil, rt.ErrCrashed
 	}
+	c := nd.opStart("scan")
+	defer func() { nd.opEnd(c, err) }()
 	nd.rt.Atomic(func() { nd.stats.Scans++ })
 	r, err := nd.readTag()
 	if err != nil {
@@ -223,10 +238,12 @@ func (nd *Node) Scan() ([][]byte, error) {
 
 // ScanView is Scan but returns the underlying view (used by tests and by
 // the lattice-agreement adapter).
-func (nd *Node) ScanView() (core.View, error) {
+func (nd *Node) ScanView() (view core.View, err error) {
 	if nd.rt.Crashed() {
 		return nil, rt.ErrCrashed
 	}
+	c := nd.opStart("scan")
+	defer func() { nd.opEnd(c, err) }()
 	nd.rt.Atomic(func() { nd.stats.Scans++ })
 	r, err := nd.readTag()
 	if err != nil {

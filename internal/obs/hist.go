@@ -1,0 +1,227 @@
+// Package obs is the zero-dependency observability layer: fixed-bucket
+// latency histograms, per-kind message counters, and a ring-buffer
+// structured event trace, all fed through the rt.Observer interface that
+// the simulator and the real transports expose.
+//
+// Units: every histogram carries the unit its values are recorded in.
+// On the simulator latencies are recorded in units of D (virtual time,
+// rt.Ticks.DUnits); on the chan/TCP backends they are recorded in
+// wall-clock microseconds. The unit is part of the metric name in the
+// Prometheus exposition (mpsnap_op_latency_d vs mpsnap_op_latency_us),
+// so the two can never be confused or aggregated across backends.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// histShards is the number of independently locked histogram shards.
+// Writers hash to a shard, so concurrent recorders rarely contend; reads
+// (Snapshot) sum across shards.
+const histShards = 8
+
+// DefaultDBuckets are histogram bounds for latencies in units of D:
+// fine-grained around the O(D) amortized region, geometric past it so the
+// √k·D worst cases land in resolvable buckets.
+func DefaultDBuckets() []float64 {
+	return []float64{
+		0.25, 0.5, 0.75, 1, 1.25, 1.5, 2, 2.5, 3, 4, 5, 6, 8, 10,
+		12, 16, 20, 24, 32, 48, 64, 96, 128, 192, 256,
+	}
+}
+
+// DefaultMicrosBuckets are histogram bounds for wall-clock latencies in
+// microseconds (50µs .. 10s, roughly geometric).
+func DefaultMicrosBuckets() []float64 {
+	return []float64{
+		50, 100, 250, 500, 1000, 2500, 5000, 10_000, 25_000, 50_000,
+		100_000, 250_000, 500_000, 1e6, 2.5e6, 5e6, 1e7,
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// recording: values hash to one of histShards independently locked
+// shards, so the hot path takes one uncontended mutex and touches one
+// cache line's worth of counters. Values must be >= 0.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds; +Inf implicit
+	shards [histShards]histShard
+}
+
+type histShard struct {
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; last is the overflow bucket
+	count  uint64
+	sum    float64
+	max    float64
+}
+
+// NewHistogram creates a histogram with the given strictly increasing
+// bucket upper bounds (an overflow bucket is implicit).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d: %g <= %g",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	for i := range h.shards {
+		h.shards[i].counts = make([]uint64, len(bounds)+1)
+	}
+	return h
+}
+
+// Observe records one value (>= 0; negative values are clamped to 0).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	// Cheap multiplicative hash of the value bits spreads concurrent
+	// recorders over the shards deterministically.
+	s := &h.shards[(math.Float64bits(v)*0x9E3779B97F4A7C15)>>61%histShards]
+	b := h.bucketOf(v)
+	s.mu.Lock()
+	s.counts[b]++
+	s.count++
+	s.sum += v
+	if v > s.max {
+		s.max = v
+	}
+	s.mu.Unlock()
+}
+
+// bucketOf returns the index of the first bucket whose bound is >= v
+// (binary search; the overflow bucket is len(bounds)).
+func (h *Histogram) bucketOf(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// HistSnap is a consistent point-in-time copy of a histogram.
+type HistSnap struct {
+	// Bounds are the bucket upper bounds (the overflow bucket is
+	// implicit: Counts has one more entry than Bounds).
+	Bounds []float64 `json:"bounds"`
+	// Counts are per-bucket (non-cumulative) observation counts.
+	Counts []uint64 `json:"counts"`
+	// Count/Sum/Max summarize all observations.
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot sums the shards into one consistent-enough view (each shard is
+// copied atomically; cross-shard skew is bounded by in-flight Observes).
+func (h *Histogram) Snapshot() HistSnap {
+	s := HistSnap{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.bounds)+1),
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		sh.mu.Lock()
+		for b, c := range sh.counts {
+			s.Counts[b] += c
+		}
+		s.Count += sh.count
+		s.Sum += sh.sum
+		if sh.max > s.Max {
+			s.Max = sh.max
+		}
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Merge combines two snapshots with identical bounds (e.g. the same op's
+// histogram from every node of a cluster).
+func (s HistSnap) Merge(o HistSnap) (HistSnap, error) {
+	if len(s.Bounds) != len(o.Bounds) {
+		return HistSnap{}, fmt.Errorf("obs: merge of mismatched histograms (%d vs %d buckets)", len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return HistSnap{}, fmt.Errorf("obs: merge of mismatched histograms (bound %d: %g vs %g)", i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	out := HistSnap{
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: make([]uint64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		Max:    math.Max(s.Max, o.Max),
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out, nil
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistSnap) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the containing bucket. Values in the overflow bucket report Max.
+// Returns 0 when the histogram is empty.
+func (s HistSnap) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c < target {
+			cum += c
+			continue
+		}
+		if b == len(s.Bounds) {
+			return s.Max // overflow bucket
+		}
+		lower := 0.0
+		if b > 0 {
+			lower = s.Bounds[b-1]
+		}
+		upper := s.Bounds[b]
+		// Position of the target rank within this bucket.
+		frac := float64(target-cum) / float64(c)
+		v := lower + (upper-lower)*frac
+		return math.Min(v, s.Max)
+	}
+	return s.Max
+}
+
+// Summary returns the p50/p90/p99/max digest used by reports.
+func (s HistSnap) Summary() (p50, p90, p99, max float64) {
+	return s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99), s.Max
+}

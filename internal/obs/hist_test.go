@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.5, 0}, {1, 0}, // upper bounds are inclusive
+		{1.0001, 1}, {2, 1},
+		{3, 2}, {4, 2},
+		{4.0001, 3}, {100, 3}, // overflow bucket
+		{-5, 0}, // clamped
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	snap := h.Snapshot()
+	wantCounts := make([]uint64, 4)
+	for _, c := range cases {
+		wantCounts[c.want]++
+	}
+	for i, want := range wantCounts {
+		if snap.Counts[i] != want {
+			t.Errorf("bucket %d: got %d want %d", i, snap.Counts[i], want)
+		}
+	}
+	if snap.Count != uint64(len(cases)) {
+		t.Errorf("count: got %d want %d", snap.Count, len(cases))
+	}
+	if snap.Max != 100 {
+		t.Errorf("max: got %g want 100", snap.Max)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// 100 values uniform in (0,1]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); math.Abs(p50-0.5) > 0.02 {
+		t.Errorf("p50: got %g want ~0.5", p50)
+	}
+	if p99 := s.Quantile(0.99); math.Abs(p99-0.99) > 0.02 {
+		t.Errorf("p99: got %g want ~0.99", p99)
+	}
+	// Quantile never exceeds the observed max even with interpolation.
+	if q := s.Quantile(1); q > s.Max {
+		t.Errorf("q100 %g exceeds max %g", q, s.Max)
+	}
+
+	// Overflow values report Max.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(50)
+	h2.Observe(70)
+	if q := h2.Snapshot().Quantile(0.99); q != 70 {
+		t.Errorf("overflow quantile: got %g want 70", q)
+	}
+
+	// Empty histogram.
+	if q := NewHistogram([]float64{1}).Snapshot().Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile: got %g want 0", q)
+	}
+}
+
+func TestHistogramQuantileAcrossBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3, 4})
+	// One observation per bucket: ranks 1..4 at ~1,2,3,4.
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// p50 -> rank 2 -> second bucket (1,2], interpolated to its upper bound.
+	if p50 := s.Quantile(0.5); p50 < 1 || p50 > 2 {
+		t.Errorf("p50: got %g want in (1,2]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 3 || p99 > 3.5 {
+		t.Errorf("p99: got %g want in (3,3.5]", p99)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	a.Observe(1.5)
+	b.Observe(1.5)
+	b.Observe(9)
+	m, err := a.Snapshot().Merge(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 4 || m.Max != 9 {
+		t.Errorf("merge: count=%d max=%g, want 4/9", m.Count, m.Max)
+	}
+	if got := []uint64{m.Counts[0], m.Counts[1], m.Counts[2]}; got[0] != 1 || got[1] != 2 || got[2] != 1 {
+		t.Errorf("merge counts: got %v want [1 2 1]", got)
+	}
+	if math.Abs(m.Sum-12.5) > 1e-9 {
+		t.Errorf("merge sum: got %g want 12.5", m.Sum)
+	}
+
+	c := NewHistogram([]float64{1, 3})
+	if _, err := a.Snapshot().Merge(c.Snapshot()); err == nil {
+		t.Error("merge of mismatched bounds should fail")
+	}
+	d := NewHistogram([]float64{1})
+	if _, err := a.Snapshot().Merge(d.Snapshot()); err == nil {
+		t.Error("merge of different bucket counts should fail")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	if m := h.Snapshot().Mean(); m != 0 {
+		t.Errorf("empty mean: got %g", m)
+	}
+	h.Observe(2)
+	h.Observe(4)
+	if m := h.Snapshot().Mean(); m != 3 {
+		t.Errorf("mean: got %g want 3", m)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DefaultDBuckets())
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per+i) / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Errorf("count: got %d want %d", s.Count, workers*per)
+	}
+	var inBuckets uint64
+	for _, c := range s.Counts {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Errorf("bucket sum %d != count %d", inBuckets, s.Count)
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}

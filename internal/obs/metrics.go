@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mpsnap/internal/rt"
+)
+
+// Metrics implements rt.Observer by recording operation latencies into
+// per-op histograms and counting message lifecycle events per Kind.
+// Phase events and op starts are counted but not timed (the trace is the
+// tool for phase-level timing); PhaseEnd events feed the histograms.
+type Metrics struct {
+	// Unit names the latency unit: "d" (units of D, sim backend) or
+	// "us" (wall-clock microseconds, chan/TCP backends).
+	Unit string
+
+	bounds []float64
+	toUnit func(rt.Ticks) float64
+
+	mu    sync.Mutex
+	ops   map[string]*Histogram // op name -> latency histogram
+	fails map[string]uint64     // op name -> failed (Err) completions
+
+	msgMu sync.Mutex
+	msgs  map[msgKey]uint64
+}
+
+type msgKey struct {
+	event string // rt.MsgSend / MsgDeliver / MsgDrop / MsgCorrupt
+	kind  string
+}
+
+var _ rt.Observer = (*Metrics)(nil)
+
+// NewSimMetrics builds Metrics for the simulator backend: latencies are
+// recorded in units of D (virtual time) with the default D-bucket bounds.
+func NewSimMetrics() *Metrics {
+	return &Metrics{
+		Unit:   "d",
+		bounds: DefaultDBuckets(),
+		toUnit: func(t rt.Ticks) float64 { return t.DUnits() },
+	}
+}
+
+// NewWallMetrics builds Metrics for a wall-clock backend configured with
+// maximum message delay d: tick durations (which those backends derive
+// from wall time as elapsed·TicksPerD/d) convert back to microseconds.
+func NewWallMetrics(d time.Duration) *Metrics {
+	usPerTick := float64(d.Microseconds()) / float64(rt.TicksPerD)
+	return &Metrics{
+		Unit:   "us",
+		bounds: DefaultMicrosBuckets(),
+		toUnit: func(t rt.Ticks) float64 { return float64(t) * usPerTick },
+	}
+}
+
+// OnOp records PhaseEnd latencies; other phases are ignored here.
+func (m *Metrics) OnOp(e rt.OpEvent) {
+	if e.Phase != rt.PhaseEnd {
+		return
+	}
+	m.mu.Lock()
+	if m.ops == nil {
+		m.ops = make(map[string]*Histogram)
+		m.fails = make(map[string]uint64)
+	}
+	h := m.ops[e.Op]
+	if h == nil {
+		h = NewHistogram(m.bounds)
+		m.ops[e.Op] = h
+	}
+	if e.Err {
+		m.fails[e.Op]++
+	}
+	m.mu.Unlock()
+	if !e.Err {
+		h.Observe(m.toUnit(e.Dur))
+	}
+}
+
+// OnMsg counts the event per (lifecycle, kind).
+func (m *Metrics) OnMsg(e rt.MsgEvent) {
+	k := msgKey{event: e.Event, kind: e.Kind}
+	m.msgMu.Lock()
+	if m.msgs == nil {
+		m.msgs = make(map[msgKey]uint64)
+	}
+	m.msgs[k]++
+	m.msgMu.Unlock()
+}
+
+// OpSnap is the snapshot of one operation's latency distribution.
+type OpSnap struct {
+	Op     string   `json:"op"`
+	Unit   string   `json:"unit"`
+	Hist   HistSnap `json:"hist"`
+	Failed uint64   `json:"failed,omitempty"`
+}
+
+// MsgSnap is one (lifecycle event, kind) counter.
+type MsgSnap struct {
+	Event string `json:"event"`
+	Kind  string `json:"kind"`
+	Count uint64 `json:"count"`
+}
+
+// Snap is a consistent point-in-time copy of all metrics.
+type Snap struct {
+	Unit string    `json:"unit"`
+	Ops  []OpSnap  `json:"ops"`
+	Msgs []MsgSnap `json:"msgs"`
+}
+
+// Snapshot copies every histogram and counter, sorted by name so output
+// is deterministic.
+func (m *Metrics) Snapshot() Snap {
+	s := Snap{Unit: m.Unit}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.ops))
+	for op := range m.ops {
+		names = append(names, op)
+	}
+	sort.Strings(names)
+	hists := make([]*Histogram, len(names))
+	for i, op := range names {
+		hists[i] = m.ops[op]
+	}
+	fails := make([]uint64, len(names))
+	for i, op := range names {
+		fails[i] = m.fails[op]
+	}
+	m.mu.Unlock()
+	for i, op := range names {
+		s.Ops = append(s.Ops, OpSnap{Op: op, Unit: m.Unit, Hist: hists[i].Snapshot(), Failed: fails[i]})
+	}
+	m.msgMu.Lock()
+	keys := make([]msgKey, 0, len(m.msgs))
+	for k := range m.msgs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].event != keys[j].event {
+			return keys[i].event < keys[j].event
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	for _, k := range keys {
+		s.Msgs = append(s.Msgs, MsgSnap{Event: k.event, Kind: k.kind, Count: m.msgs[k]})
+	}
+	m.msgMu.Unlock()
+	return s
+}
+
+// Op returns the snapshot of a single op's histogram (zero value when the
+// op was never completed).
+func (m *Metrics) Op(op string) HistSnap {
+	m.mu.Lock()
+	h := m.ops[op]
+	m.mu.Unlock()
+	if h == nil {
+		return HistSnap{}
+	}
+	return h.Snapshot()
+}
+
+// Multi fans every event out to each observer in order. Use it to run a
+// Metrics and a Trace off the same backend hook.
+type Multi []rt.Observer
+
+var _ rt.Observer = Multi(nil)
+
+// OnOp forwards to every observer.
+func (m Multi) OnOp(e rt.OpEvent) {
+	for _, o := range m {
+		o.OnOp(e)
+	}
+}
+
+// OnMsg forwards to every observer.
+func (m Multi) OnMsg(e rt.MsgEvent) {
+	for _, o := range m {
+		o.OnMsg(e)
+	}
+}

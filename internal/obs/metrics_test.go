@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mpsnap/internal/rt"
+)
+
+func TestSimMetricsRecordsDUnits(t *testing.T) {
+	m := NewSimMetrics()
+	// A 1.5·D update and a 3·D update.
+	m.OnOp(rt.OpEvent{Op: "update", Phase: rt.PhaseStart})
+	m.OnOp(rt.OpEvent{Op: "update", Phase: rt.PhaseEnd, Dur: 3 * rt.TicksPerD / 2})
+	m.OnOp(rt.OpEvent{Op: "update", Phase: rt.PhaseEnd, Dur: 3 * rt.TicksPerD})
+	s := m.Op("update")
+	if s.Count != 2 {
+		t.Fatalf("count: got %d want 2", s.Count)
+	}
+	if s.Max != 3 {
+		t.Fatalf("max: got %g want 3 (D-units)", s.Max)
+	}
+	if s.Sum != 4.5 {
+		t.Fatalf("sum: got %g want 4.5", s.Sum)
+	}
+	// Phase events other than end must not be recorded.
+	m.OnOp(rt.OpEvent{Op: "update", Phase: "eqWait"})
+	if got := m.Op("update").Count; got != 2 {
+		t.Fatalf("phase event was recorded: count %d", got)
+	}
+}
+
+func TestWallMetricsRecordsMicros(t *testing.T) {
+	m := NewWallMetrics(10 * time.Millisecond)                            // 1 tick = 10µs
+	m.OnOp(rt.OpEvent{Op: "scan", Phase: rt.PhaseEnd, Dur: rt.TicksPerD}) // 1·D = 10ms
+	s := m.Op("scan")
+	if s.Max != 10_000 {
+		t.Fatalf("max: got %gµs want 10000µs", s.Max)
+	}
+	if m.Unit != "us" {
+		t.Fatalf("unit: got %q", m.Unit)
+	}
+}
+
+func TestMetricsErrCompletions(t *testing.T) {
+	m := NewSimMetrics()
+	m.OnOp(rt.OpEvent{Op: "scan", Phase: rt.PhaseEnd, Dur: rt.TicksPerD})
+	m.OnOp(rt.OpEvent{Op: "scan", Phase: rt.PhaseEnd, Dur: 99 * rt.TicksPerD, Err: true})
+	s := m.Snapshot()
+	if len(s.Ops) != 1 {
+		t.Fatalf("ops: got %d", len(s.Ops))
+	}
+	// Errored ops are counted as failures, not latencies.
+	if s.Ops[0].Hist.Count != 1 || s.Ops[0].Failed != 1 {
+		t.Fatalf("got count=%d failed=%d, want 1/1", s.Ops[0].Hist.Count, s.Ops[0].Failed)
+	}
+}
+
+func TestMetricsMsgCounters(t *testing.T) {
+	m := NewSimMetrics()
+	for i := 0; i < 3; i++ {
+		m.OnMsg(rt.MsgEvent{Event: rt.MsgSend, Kind: "value"})
+	}
+	m.OnMsg(rt.MsgEvent{Event: rt.MsgDeliver, Kind: "value"})
+	m.OnMsg(rt.MsgEvent{Event: rt.MsgCorrupt, Kind: ""})
+	s := m.Snapshot()
+	want := []MsgSnap{
+		{Event: rt.MsgCorrupt, Kind: "", Count: 1},
+		{Event: rt.MsgDeliver, Kind: "value", Count: 1},
+		{Event: rt.MsgSend, Kind: "value", Count: 3},
+	}
+	if len(s.Msgs) != len(want) {
+		t.Fatalf("msgs: got %v", s.Msgs)
+	}
+	for i, w := range want {
+		if s.Msgs[i] != w {
+			t.Errorf("msg %d: got %+v want %+v", i, s.Msgs[i], w)
+		}
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewSimMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.OnOp(rt.OpEvent{Op: "update", Phase: rt.PhaseEnd, Dur: rt.Ticks(i)})
+				m.OnMsg(rt.MsgEvent{Event: rt.MsgSend, Kind: "k"})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = m.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := m.Snapshot()
+	if s.Ops[0].Hist.Count != 4000 {
+		t.Fatalf("op count: got %d want 4000", s.Ops[0].Hist.Count)
+	}
+	if s.Msgs[0].Count != 4000 {
+		t.Fatalf("msg count: got %d want 4000", s.Msgs[0].Count)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewSimMetrics(), NewTrace(8)
+	mo := Multi{a, b}
+	mo.OnOp(rt.OpEvent{Op: "scan", Phase: rt.PhaseEnd, Dur: rt.TicksPerD})
+	mo.OnMsg(rt.MsgEvent{Event: rt.MsgSend, Kind: "k"})
+	if a.Op("scan").Count != 1 {
+		t.Error("metrics missed the op")
+	}
+	if b.Len() != 2 {
+		t.Errorf("trace len: got %d want 2", b.Len())
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4). Output is deterministic: ops and
+// counter keys are already sorted in the snapshot, buckets are emitted
+// cumulative in bound order with a final +Inf bucket, and floats use the
+// shortest round-trip encoding.
+//
+// Metric names embed the latency unit so sim (units of D) and wall-clock
+// (µs) deployments can never be confused:
+//
+//	mpsnap_op_latency_<unit>_bucket{op="scan",le="1.5"}  cumulative count
+//	mpsnap_op_latency_<unit>_sum{op="scan"}              sum of latencies
+//	mpsnap_op_latency_<unit>_count{op="scan"}            completions
+//	mpsnap_op_failed_total{op="scan"}                    Err completions
+//	mpsnap_messages_total{event="send",kind="value"}     per-kind counters
+func WritePrometheus(w io.Writer, s Snap) error {
+	bw := &promWriter{w: w}
+	if len(s.Ops) > 0 {
+		name := "mpsnap_op_latency_" + s.Unit
+		unitHelp := "units of D (virtual time)"
+		if s.Unit == "us" {
+			unitHelp = "wall-clock microseconds"
+		}
+		bw.printf("# HELP %s Operation latency in %s.\n", name, unitHelp)
+		bw.printf("# TYPE %s histogram\n", name)
+		for _, op := range s.Ops {
+			var cum uint64
+			for i, bound := range op.Hist.Bounds {
+				cum += op.Hist.Counts[i]
+				bw.printf("%s_bucket{op=%q,le=\"%s\"} %d\n", name, op.Op, formatFloat(bound), cum)
+			}
+			cum += op.Hist.Counts[len(op.Hist.Bounds)]
+			bw.printf("%s_bucket{op=%q,le=\"+Inf\"} %d\n", name, op.Op, cum)
+			bw.printf("%s_sum{op=%q} %s\n", name, op.Op, formatFloat(op.Hist.Sum))
+			bw.printf("%s_count{op=%q} %d\n", name, op.Op, op.Hist.Count)
+		}
+		failed := false
+		for _, op := range s.Ops {
+			if op.Failed > 0 {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			bw.printf("# HELP mpsnap_op_failed_total Operations that ended in error (node crashed mid-op).\n")
+			bw.printf("# TYPE mpsnap_op_failed_total counter\n")
+			for _, op := range s.Ops {
+				if op.Failed > 0 {
+					bw.printf("mpsnap_op_failed_total{op=%q} %d\n", op.Op, op.Failed)
+				}
+			}
+		}
+	}
+	if len(s.Msgs) > 0 {
+		bw.printf("# HELP mpsnap_messages_total Message lifecycle events per kind.\n")
+		bw.printf("# TYPE mpsnap_messages_total counter\n")
+		for _, m := range s.Msgs {
+			bw.printf("mpsnap_messages_total{event=%q,kind=%q} %d\n", m.Event, m.Kind, m.Count)
+		}
+	}
+	return bw.err
+}
+
+// PrometheusString is WritePrometheus into a string (tests, debugging).
+func PrometheusString(s Snap) string {
+	var b strings.Builder
+	_ = WritePrometheus(&b, s)
+	return b.String()
+}
+
+// formatFloat is the shortest exact decimal encoding (matches what the
+// Prometheus client library emits for bucket bounds).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promWriter latches the first write error so the emit loop stays linear.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"mpsnap/internal/rt"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// promFixture builds a small, fully deterministic metrics population.
+func promFixture() Snap {
+	m := &Metrics{
+		Unit:   "d",
+		bounds: []float64{0.5, 1, 2, 4},
+		toUnit: func(t rt.Ticks) float64 { return t.DUnits() },
+	}
+	for _, d := range []rt.Ticks{400, 900, 1100, 2500, 9000} {
+		m.OnOp(rt.OpEvent{Op: "scan", Phase: rt.PhaseEnd, Dur: d})
+	}
+	for _, d := range []rt.Ticks{700, 1800} {
+		m.OnOp(rt.OpEvent{Op: "update", Phase: rt.PhaseEnd, Dur: d})
+	}
+	m.OnOp(rt.OpEvent{Op: "update", Phase: rt.PhaseEnd, Dur: 50_000, Err: true})
+	for i := 0; i < 12; i++ {
+		m.OnMsg(rt.MsgEvent{Event: rt.MsgSend, Kind: "value"})
+	}
+	for i := 0; i < 11; i++ {
+		m.OnMsg(rt.MsgEvent{Event: rt.MsgDeliver, Kind: "value"})
+	}
+	m.OnMsg(rt.MsgEvent{Event: rt.MsgDrop, Kind: "value"})
+	m.OnMsg(rt.MsgEvent{Event: rt.MsgCorrupt, Kind: ""})
+	return m.Snapshot()
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	got := PrometheusString(promFixture())
+	const path = "testdata/metrics.prom"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	a := PrometheusString(promFixture())
+	b := PrometheusString(promFixture())
+	if a != b {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	if out := PrometheusString(Snap{Unit: "d"}); out != "" {
+		t.Fatalf("empty snapshot should render nothing, got:\n%s", out)
+	}
+}
+
+func TestWritePrometheusWallUnit(t *testing.T) {
+	m := NewWallMetrics(2 * time.Millisecond)
+	m.OnOp(rt.OpEvent{Op: "scan", Phase: rt.PhaseEnd, Dur: rt.TicksPerD})
+	out := PrometheusString(m.Snapshot())
+	for _, want := range []string{
+		"mpsnap_op_latency_us_bucket{op=\"scan\",le=\"+Inf\"} 1",
+		"mpsnap_op_latency_us_count{op=\"scan\"} 1",
+		"wall-clock microseconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"mpsnap/internal/rt"
+)
+
+// Event categories for Event.Cat.
+const (
+	CatOp  = "op"  // operation lifecycle (from rt.OpEvent)
+	CatMsg = "msg" // message lifecycle (from rt.MsgEvent)
+	CatSys = "sys" // system/chaos events (crash, partition, heal, ...)
+)
+
+// Event is one trace record. It is the union of the three categories;
+// unused fields are omitted from the JSON encoding, so a JSONL dump stays
+// compact and diff-friendly.
+type Event struct {
+	// Seq is the trace-global sequence number (assigned by Trace in
+	// arrival order; ties in T are broken by Seq).
+	Seq uint64 `json:"seq"`
+	// T is the event time in ticks.
+	T rt.Ticks `json:"t"`
+	// Cat is CatOp, CatMsg, or CatSys.
+	Cat string `json:"cat"`
+
+	// Op-category fields (see rt.OpEvent).
+	Node  int      `json:"node,omitempty"`
+	ID    int64    `json:"id,omitempty"`
+	Op    string   `json:"op,omitempty"`
+	Phase string   `json:"phase,omitempty"`
+	Dur   rt.Ticks `json:"dur,omitempty"`
+	Err   bool     `json:"err,omitempty"`
+
+	// Msg-category fields (see rt.MsgEvent). Src/Dst also carry the
+	// affected node(s) of sys events.
+	Event string `json:"event,omitempty"`
+	Src   int    `json:"src,omitempty"`
+	Dst   int    `json:"dst,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+
+	// Detail is free-form context for sys events ("partition {0,1}|{2,3}").
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is a fixed-capacity ring buffer of Events. When full, the oldest
+// events are overwritten; Dropped reports how many were lost. It is safe
+// for concurrent writers and implements rt.Observer, so it can be
+// installed directly on a backend (alone or via Multi alongside Metrics).
+type Trace struct {
+	mu  sync.Mutex
+	buf []Event
+	n   uint64 // total events ever appended
+}
+
+var _ rt.Observer = (*Trace)(nil)
+
+// NewTrace creates a trace holding the most recent cap events (min 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{buf: make([]Event, 0, capacity)}
+}
+
+// append assigns the sequence number and stores e, evicting the oldest
+// event when the ring is full.
+func (t *Trace) append(e Event) {
+	t.mu.Lock()
+	e.Seq = t.n
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.n%uint64(cap(t.buf))] = e
+	}
+	t.n++
+	t.mu.Unlock()
+}
+
+// OnOp records an operation event (rt.Observer).
+func (t *Trace) OnOp(e rt.OpEvent) {
+	t.append(Event{
+		T: e.T, Cat: CatOp,
+		Node: e.Node, ID: e.ID, Op: e.Op, Phase: e.Phase, Dur: e.Dur, Err: e.Err,
+	})
+}
+
+// OnMsg records a message event (rt.Observer).
+func (t *Trace) OnMsg(e rt.MsgEvent) {
+	t.append(Event{
+		T: e.T, Cat: CatMsg,
+		Event: e.Event, Src: e.Src, Dst: e.Dst, Kind: e.Kind,
+	})
+}
+
+// Sys records a system/chaos event ("crash", "partition", "heal",
+// "corrupt", "drop", "hold") affecting nodes src->dst (use the same node
+// twice, or -1, when only one or neither side applies).
+func (t *Trace) Sys(at rt.Ticks, event string, src, dst int, detail string) {
+	t.append(Event{T: at, Cat: CatSys, Event: event, Src: src, Dst: dst, Detail: detail})
+}
+
+// Events returns the buffered events oldest-first.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		return append(out, t.buf...)
+	}
+	head := int(t.n % uint64(cap(t.buf)))
+	out = append(out, t.buf[head:]...)
+	return append(out, t.buf[:head]...)
+}
+
+// Len returns the number of buffered events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped returns how many events were evicted by ring wraparound.
+func (t *Trace) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n - uint64(len(t.buf))
+}
+
+// WriteJSONL writes the buffered events oldest-first, one JSON object per
+// line. The encoding is deterministic (struct field order), so two runs
+// with the same seed produce byte-identical dumps.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DumpJSONL writes the trace to path (creating parent-less path as a
+// plain file), returning the path for inclusion in failure reports.
+func (t *Trace) DumpJSONL(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace dump: %w", err)
+	}
+	if err := t.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: trace dump: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: trace dump: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"sync"
+	"testing"
+
+	"mpsnap/internal/rt"
+)
+
+func TestTraceWraparound(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Sys(rt.Ticks(i), "crash", i, -1, "")
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("len: got %d want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped: got %d want 6", got)
+	}
+	ev := tr.Events()
+	for i, e := range ev {
+		wantSeq := uint64(6 + i) // oldest surviving event is #6
+		if e.Seq != wantSeq || e.T != rt.Ticks(6+i) {
+			t.Errorf("event %d: seq=%d t=%d, want seq=%d t=%d", i, e.Seq, e.T, wantSeq, 6+i)
+		}
+	}
+}
+
+func TestTraceUnderCapacity(t *testing.T) {
+	tr := NewTrace(8)
+	tr.OnOp(rt.OpEvent{T: 1, Node: 2, ID: 7, Op: "scan", Phase: rt.PhaseStart})
+	tr.OnMsg(rt.MsgEvent{T: 2, Event: rt.MsgSend, Src: 0, Dst: 1, Kind: "value"})
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped: got %d want 0", tr.Dropped())
+	}
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("len: got %d want 2", len(ev))
+	}
+	if ev[0].Cat != CatOp || ev[0].Op != "scan" || ev[0].Node != 2 || ev[0].ID != 7 {
+		t.Errorf("op event mangled: %+v", ev[0])
+	}
+	if ev[1].Cat != CatMsg || ev[1].Event != rt.MsgSend || ev[1].Kind != "value" {
+		t.Errorf("msg event mangled: %+v", ev[1])
+	}
+}
+
+// TestTraceConcurrentWriters exercises the ring under -race: many
+// goroutines appending through all three entry points while a reader
+// snapshots.
+func TestTraceConcurrentWriters(t *testing.T) {
+	tr := NewTrace(64)
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				switch i % 3 {
+				case 0:
+					tr.OnOp(rt.OpEvent{T: rt.Ticks(i), Node: w, Op: "update", Phase: rt.PhaseEnd, Dur: 1})
+				case 1:
+					tr.OnMsg(rt.MsgEvent{T: rt.Ticks(i), Event: rt.MsgDeliver, Src: w, Dst: 0, Kind: "k"})
+				default:
+					tr.Sys(rt.Ticks(i), "heal", w, -1, "")
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = tr.Events()
+			_ = tr.Dropped()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if total := tr.Dropped() + uint64(tr.Len()); total != workers*per {
+		t.Fatalf("total events: got %d want %d", total, workers*per)
+	}
+	// Seq numbers in the buffer must be the most recent contiguous run.
+	ev := tr.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seq at %d: %d after %d", i, ev[i].Seq, ev[i-1].Seq)
+		}
+	}
+}
+
+func TestTraceWriteJSONLDeterministic(t *testing.T) {
+	mk := func() *Trace {
+		tr := NewTrace(8)
+		tr.OnOp(rt.OpEvent{T: 5, Node: 1, ID: 3, Op: "scan", Phase: rt.PhaseEnd, Dur: 1200})
+		tr.Sys(7, "partition", 0, 2, "{0,1}|{2,3}")
+		tr.OnMsg(rt.MsgEvent{T: 9, Event: rt.MsgCorrupt, Src: 2, Dst: -1, Kind: ""})
+		return tr
+	}
+	var a, b bytes.Buffer
+	if err := mk().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("JSONL not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if lines := bytes.Count(a.Bytes(), []byte("\n")); lines != 3 {
+		t.Fatalf("lines: got %d want 3", lines)
+	}
+}
+
+func TestTraceDumpJSONL(t *testing.T) {
+	tr := NewTrace(4)
+	tr.Sys(1, "crash", 3, -1, "")
+	path := t.TempDir() + "/trace.jsonl"
+	if err := tr.DumpJSONL(path); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, buf.Bytes()) {
+		t.Fatalf("dump differs from WriteJSONL:\n%s\nvs\n%s", onDisk, buf.String())
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty dump")
+	}
+}

@@ -100,3 +100,65 @@ type Runtime interface {
 func WaitUntil(r Runtime, label string, pred func() bool) error {
 	return r.WaitUntilThen(label, pred, func() {})
 }
+
+// Op phase markers common to every operation event stream. Algorithm-
+// specific phase names ("readTag", "eqWait", "borrow", ...) appear between
+// a PhaseStart and a PhaseEnd of the same (Node, ID) pair.
+const (
+	PhaseStart = "start"
+	PhaseEnd   = "end"
+)
+
+// OpEvent is one operation-lifecycle event: an UPDATE/SCAN starting,
+// finishing, or crossing an internal protocol phase. Events of one
+// operation share (Node, ID); IDs are per-node sequence numbers.
+type OpEvent struct {
+	// T is the event time in ticks (virtual on sim, scaled wall-clock on
+	// real transports).
+	T Ticks
+	// Node is the node running the operation.
+	Node int
+	// ID is the per-node operation sequence number.
+	ID int64
+	// Op names the operation ("update", "scan", "svc.update", ...).
+	Op string
+	// Phase is PhaseStart, PhaseEnd, or a protocol phase name.
+	Phase string
+	// Dur is the operation latency in ticks (PhaseEnd events only).
+	Dur Ticks
+	// Err marks a failed operation (PhaseEnd events only; the node
+	// crashed while the operation was in flight).
+	Err bool
+}
+
+// Message lifecycle event names for MsgEvent.Event.
+const (
+	MsgSend    = "send"
+	MsgDeliver = "deliver"
+	MsgDrop    = "drop"
+	MsgCorrupt = "corrupt"
+)
+
+// MsgEvent is one message-lifecycle event at a backend.
+type MsgEvent struct {
+	// T is the event time in ticks.
+	T Ticks
+	// Event is MsgSend, MsgDeliver, MsgDrop, or MsgCorrupt.
+	Event string
+	// Src and Dst are the channel endpoints (Dst is -1 when unknown,
+	// e.g. a corrupt inbound frame that never identified its stream).
+	Src, Dst int
+	// Kind is the message kind ("" when the message never decoded).
+	Kind string
+}
+
+// Observer receives runtime events: operation lifecycles from algorithms
+// and message lifecycles from backends. Implementations must be safe for
+// concurrent use (real transports call them from multiple goroutines) and
+// must not block or re-enter the runtime — both methods are invoked on hot
+// paths. internal/obs provides the standard implementations (latency
+// histograms, per-kind message counters, and a ring-buffer event trace).
+type Observer interface {
+	OnOp(OpEvent)
+	OnMsg(MsgEvent)
+}

@@ -67,6 +67,13 @@ type Config struct {
 	// frame that still decodes) or drop it (a corrupt frame the receiver
 	// rejects and treats as a dead connection). nil means no wire faults.
 	Wire WireFault
+	// Observer, if set, receives a rt.MsgEvent for every message
+	// lifecycle step (send, deliver, drop, corrupt). It is invoked
+	// synchronously on the scheduler, so it must not block or mutate
+	// simulation state; internal/obs provides the standard
+	// implementations. Held (partitioned) messages emit their send event
+	// when the partition heals and they are actually dispatched.
+	Observer rt.Observer
 	// Seed seeds the simulation's private RNG (used by random delay
 	// models). The default 0 is a valid seed.
 	Seed int64
@@ -337,6 +344,7 @@ func (w *World) send(src, dst int, msg rt.Message) {
 				if w.tracer != nil {
 					w.tracer(TraceEvent{T: w.now, Kind: "drop", Src: src, Dst: dst, Msg: msg.Kind()})
 				}
+				w.observeMsg(rt.MsgDrop, src, dst, msg.Kind())
 				return
 			}
 			extra = fate.Extra
@@ -349,6 +357,7 @@ func (w *World) send(src, dst int, msg rt.Message) {
 				if w.tracer != nil {
 					w.tracer(TraceEvent{T: w.now, Kind: "corrupt", Src: src, Dst: dst, Msg: msg.Kind()})
 				}
+				w.observeMsg(rt.MsgCorrupt, src, dst, msg.Kind())
 				return
 			}
 			if m != nil {
@@ -356,6 +365,7 @@ func (w *World) send(src, dst int, msg rt.Message) {
 				if w.tracer != nil {
 					w.tracer(TraceEvent{T: w.now, Kind: "corrupt", Src: src, Dst: dst, Msg: msg.Kind()})
 				}
+				w.observeMsg(rt.MsgCorrupt, src, dst, msg.Kind())
 				msg = m
 			}
 		}
@@ -371,7 +381,16 @@ func (w *World) send(src, dst int, msg rt.Message) {
 	if w.tracer != nil {
 		w.tracer(TraceEvent{T: w.now, Kind: "send", Src: src, Dst: dst, Msg: msg.Kind()})
 	}
+	w.observeMsg(rt.MsgSend, src, dst, msg.Kind())
 	w.dispatch(src, dst, msg, extra)
+}
+
+// observeMsg forwards a message lifecycle event to the configured
+// Observer, if any.
+func (w *World) observeMsg(event string, src, dst int, kind string) {
+	if w.cfg.Observer != nil {
+		w.cfg.Observer.OnMsg(rt.MsgEvent{T: w.now, Event: event, Src: src, Dst: dst, Kind: kind})
+	}
 }
 
 // dispatch schedules the actual delivery: base delay in [1, D] from the
@@ -408,6 +427,7 @@ func (w *World) deliver(src, dst int, msg rt.Message) {
 	if w.tracer != nil {
 		w.tracer(TraceEvent{T: w.now, Kind: "deliver", Src: src, Dst: dst, Msg: msg.Kind()})
 	}
+	w.observeMsg(rt.MsgDeliver, src, dst, msg.Kind())
 	if ns.handler != nil {
 		ns.handler.HandleMessage(src, msg)
 	}

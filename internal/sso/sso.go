@@ -59,6 +59,37 @@ type Node struct {
 	inner  backend
 	stored core.View
 	stats  Stats
+
+	// Operation instrumentation; owned by the client thread.
+	obs   rt.Observer
+	opSeq int64
+}
+
+// SetObserver installs an operation observer. The SSO emits its own
+// "update" and "scan" lifecycles; it deliberately does NOT install the
+// observer on its inner ASO — each layer reports only its own
+// operations, so an SSO update is one event, not one per inner renewal.
+func (nd *Node) SetObserver(o rt.Observer) { nd.obs = o }
+
+// opStart/opEnd bracket one operation (single client thread; see eqaso).
+func (nd *Node) opStart(op string) (int64, rt.Ticks) {
+	nd.opSeq++
+	start := nd.rtm.Now()
+	if nd.obs != nil {
+		nd.obs.OnOp(rt.OpEvent{T: start, Node: nd.rtm.ID(), ID: nd.opSeq, Op: op, Phase: rt.PhaseStart})
+	}
+	return nd.opSeq, start
+}
+
+func (nd *Node) opEnd(id int64, op string, start rt.Ticks, err error) {
+	if nd.obs == nil {
+		return
+	}
+	now := nd.rtm.Now()
+	nd.obs.OnOp(rt.OpEvent{
+		T: now, Node: nd.rtm.ID(), ID: id, Op: op,
+		Phase: rt.PhaseEnd, Dur: now - start, Err: err != nil,
+	})
 }
 
 // New creates the crash-tolerant SSO (SSO-Fast-Scan in Table I) on top of
@@ -92,10 +123,12 @@ func (nd *Node) HandleMessage(src int, m rt.Message) { nd.inner.HandleMessage(sr
 
 // Update writes payload to the caller's segment. It completes only once
 // the node's stored view contains the written value.
-func (nd *Node) Update(payload []byte) error {
+func (nd *Node) Update(payload []byte) (err error) {
 	if nd.rtm.Crashed() {
 		return rt.ErrCrashed
 	}
+	id, start := nd.opStart("update")
+	defer func() { nd.opEnd(id, "update", start, err) }()
 	nd.rtm.Atomic(func() { nd.stats.Updates++ })
 	view, ts, err := nd.inner.UpdateWithView(payload)
 	if err != nil {
@@ -143,6 +176,9 @@ func (nd *Node) UpdateBatch(payloads [][]byte) error {
 	if nd.rtm.Crashed() {
 		return rt.ErrCrashed
 	}
+	id, start := nd.opStart("update")
+	var err error
+	defer func() { nd.opEnd(id, "update", start, err) }()
 	nd.rtm.Atomic(func() { nd.stats.Updates += int64(len(payloads)) })
 	view, tss, err := bb.UpdateBatchWithView(payloads)
 	if err != nil {
@@ -172,11 +208,13 @@ func (nd *Node) Scan() ([][]byte, error) {
 	if nd.rtm.Crashed() {
 		return nil, rt.ErrCrashed
 	}
+	id, start := nd.opStart("scan")
 	var snap [][]byte
 	nd.rtm.Atomic(func() {
 		nd.stats.Scans++
 		snap = nd.stored.Extract(nd.rtm.N())
 	})
+	nd.opEnd(id, "scan", start, nil)
 	return snap, nil
 }
 

@@ -118,6 +118,14 @@ type Options struct {
 	// precedence over BatchObject. The sharded Store uses it to merge
 	// per-key writes into one segment map.
 	Coalesce func(payloads [][]byte) []byte
+	// Observer, if set, receives "svc.update"/"svc.scan" operation
+	// events: start at admission (the request's position in the serving
+	// order is fixed), end when the worker resolves it. The measured
+	// latency therefore includes queueing — the client-visible number —
+	// whereas the underlying object's own observer (installed separately)
+	// measures bare protocol latency. Must be concurrency-safe and
+	// non-blocking.
+	Observer rt.Observer
 }
 
 // Stats counts a service's activity.
@@ -148,6 +156,10 @@ type request struct {
 	done    bool
 	err     error
 	snap    [][]byte
+	// Observability: per-service op sequence number and admission time
+	// (set under the atomicity domain when the observer is installed).
+	id    int64
+	start rt.Ticks
 }
 
 // Service is one node's concurrent front to one snapshot object. Clients
@@ -163,6 +175,7 @@ type Service struct {
 	closed  bool
 	serving bool
 	stats   Stats
+	nextOp  int64
 }
 
 // New creates the service for one node's object. The object's protocol
@@ -277,6 +290,15 @@ func (s *Service) enqueue(req *request) error {
 				s.stats.Updates++
 			} else {
 				s.stats.Scans++
+			}
+			if s.opts.Observer != nil {
+				s.nextOp++
+				req.id = s.nextOp
+				req.start = s.rtm.Now()
+				s.opts.Observer.OnOp(rt.OpEvent{
+					T: req.start, Node: s.rtm.ID(), ID: req.id,
+					Op: req.opName(), Phase: rt.PhaseStart,
+				})
 			}
 			s.q = append(s.q, req)
 		}
@@ -411,6 +433,7 @@ func (s *Service) serveUpdates(ups []*request) {
 		for _, req := range ups {
 			req.err = err
 			req.done = true
+			s.observeEnd(req)
 		}
 	})
 }
@@ -426,7 +449,29 @@ func (s *Service) serveScans(scans []*request) {
 			req.snap = snap
 			req.err = err
 			req.done = true
+			s.observeEnd(req)
 		}
+	})
+}
+
+// opName is the observer-facing operation name.
+func (r *request) opName() string {
+	if r.kind == opUpdate {
+		return "svc.update"
+	}
+	return "svc.scan"
+}
+
+// observeEnd emits a request's end event (admission-to-resolution
+// latency). Must run in the atomicity domain, like all request state.
+func (s *Service) observeEnd(req *request) {
+	if s.opts.Observer == nil {
+		return
+	}
+	now := s.rtm.Now()
+	s.opts.Observer.OnOp(rt.OpEvent{
+		T: now, Node: s.rtm.ID(), ID: req.id, Op: req.opName(),
+		Phase: rt.PhaseEnd, Dur: now - req.start, Err: req.err != nil,
 	})
 }
 

@@ -105,6 +105,7 @@ type ChanNet struct {
 	n, f        int
 	d           time.Duration
 	copyThrough bool
+	obs         rt.Observer
 	nodes       []*chanNode
 	rng         *rand.Rand
 	rngMu       sync.Mutex
@@ -140,6 +141,11 @@ type ChanConfig struct {
 	// deployment would (and share no memory between sender and receiver).
 	// A codec failure panics: it is a registration or canonicality bug.
 	CopyThrough bool
+	// Observer, if set, receives a rt.MsgEvent for every send and
+	// delivery. It is called concurrently from sender goroutines and the
+	// per-link delivery goroutines, so it must be concurrency-safe and
+	// non-blocking (internal/obs implementations are).
+	Observer rt.Observer
 }
 
 // NewChanNet builds the cluster. Set handlers with SetHandler before
@@ -153,6 +159,7 @@ func NewChanNet(cfg ChanConfig) *ChanNet {
 		f:           cfg.F,
 		d:           cfg.D,
 		copyThrough: cfg.CopyThrough,
+		obs:         cfg.Observer,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		start:       time.Now(),
 		done:        make(chan struct{}),
@@ -185,6 +192,7 @@ func NewChanNet(cfg ChanConfig) *ChanNet {
 								return
 							}
 						}
+						net.observeMsg(rt.MsgDeliver, tm.src, dst, tm.msg.Kind())
 						dstNode.deliver(tm.src, tm.msg)
 					}
 				}
@@ -208,6 +216,17 @@ func (c *ChanNet) Crash(id int) { c.nodes[id].crash() }
 func (c *ChanNet) Close() {
 	close(c.done)
 	c.wg.Wait()
+}
+
+// nowTicks is wall time scaled into ticks, matching chanRuntime.Now.
+func (c *ChanNet) nowTicks() rt.Ticks {
+	return rt.Ticks(time.Since(c.start) * time.Duration(rt.TicksPerD) / c.d)
+}
+
+func (c *ChanNet) observeMsg(event string, src, dst int, kind string) {
+	if c.obs != nil {
+		c.obs.OnMsg(rt.MsgEvent{T: c.nowTicks(), Event: event, Src: src, Dst: dst, Kind: kind})
+	}
 }
 
 func (c *ChanNet) delay() time.Duration {
@@ -239,6 +258,7 @@ func (r *chanRuntime) Send(dst int, msg rt.Message) {
 		msg = m
 	}
 	tm := timedMsg{src: r.nd.id, msg: msg, notBefo: time.Now().Add(r.net.delay())}
+	r.net.observeMsg(rt.MsgSend, r.nd.id, dst, msg.Kind())
 	select {
 	case r.nd.out[dst] <- tm:
 	default:
@@ -258,9 +278,7 @@ func (r *chanRuntime) WaitUntilThen(label string, pred func() bool, then func())
 	return r.nd.waitUntilThen(pred, then)
 }
 
-func (r *chanRuntime) Now() rt.Ticks {
-	return rt.Ticks(time.Since(r.net.start) * time.Duration(rt.TicksPerD) / r.net.d)
-}
+func (r *chanRuntime) Now() rt.Ticks { return r.net.nowTicks() }
 
 func (r *chanRuntime) Crashed() bool {
 	r.nd.mu.Lock()

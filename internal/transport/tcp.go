@@ -63,6 +63,12 @@ type TCPConfig struct {
 	// Listener, if set, is used instead of listening on Addrs[ID]
 	// (lets tests bind :0 first and distribute the real addresses).
 	Listener net.Listener
+	// Observer, if set, receives a rt.MsgEvent for every outbound send,
+	// inbound delivery, and corrupt inbound stream. It is called from
+	// client and receive goroutines concurrently, so it must be
+	// concurrency-safe and non-blocking (internal/obs implementations
+	// are).
+	Observer rt.Observer
 }
 
 // TCPNode is a node of a TCP-connected deployment. TCP's in-order
@@ -218,6 +224,7 @@ func (t *TCPNode) recvLoop(conn net.Conn) {
 	buf = payload
 	hm, err := wire.Unmarshal(payload)
 	if err != nil {
+		t.observeMsg(rt.MsgCorrupt, -1, t.cfg.ID, "")
 		t.recvError(-1, conn, err, true)
 		return
 	}
@@ -237,11 +244,13 @@ func (t *TCPNode) recvLoop(conn net.Conn) {
 		buf = payload
 		msg, err := wire.Unmarshal(payload)
 		if err != nil {
+			t.observeMsg(rt.MsgCorrupt, src, t.cfg.ID, "")
 			t.recvError(src, conn, err, true)
 			return
 		}
 		// Decoders copy all byte fields, so reusing buf for the next
 		// frame cannot mutate a delivered message.
+		t.observeMsg(rt.MsgDeliver, src, t.cfg.ID, msg.Kind())
 		t.deliver(src, msg)
 	}
 }
@@ -334,6 +343,17 @@ func (t *TCPNode) sendLoop(peer int, conn net.Conn, out <-chan rt.Message) {
 	}
 }
 
+// nowTicks is wall time scaled into ticks, matching tcpRuntime.Now.
+func (t *TCPNode) nowTicks() rt.Ticks {
+	return rt.Ticks(time.Since(t.start) * time.Duration(rt.TicksPerD) / t.cfg.D)
+}
+
+func (t *TCPNode) observeMsg(event string, src, dst int, kind string) {
+	if t.cfg.Observer != nil {
+		t.cfg.Observer.OnMsg(rt.MsgEvent{T: t.nowTicks(), Event: event, Src: src, Dst: dst, Kind: kind})
+	}
+}
+
 // Addr is the node's actual listen address (useful when the config bound
 // port 0).
 func (t *TCPNode) Addr() string { return t.listener.Addr().String() }
@@ -387,6 +407,7 @@ func (r *tcpRuntime) Send(dst int, msg rt.Message) {
 	if out == nil {
 		return
 	}
+	(*TCPNode)(r).observeMsg(rt.MsgSend, r.cfg.ID, dst, msg.Kind())
 	select {
 	case out <- msg:
 	default:
@@ -406,9 +427,7 @@ func (r *tcpRuntime) WaitUntilThen(label string, pred func() bool, then func()) 
 	return (*TCPNode)(r).waitUntilThen(pred, then)
 }
 
-func (r *tcpRuntime) Now() rt.Ticks {
-	return rt.Ticks(time.Since(r.start) * time.Duration(rt.TicksPerD) / r.cfg.D)
-}
+func (r *tcpRuntime) Now() rt.Ticks { return (*TCPNode)(r).nowTicks() }
 
 func (r *tcpRuntime) Crashed() bool {
 	nd := (*TCPNode)(r)
