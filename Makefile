@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build build-examples test test-race test-short cover bench bench-smoke fuzz fuzz-wire explore experiments chaos vet fmt-check clean
+.PHONY: all build build-examples test test-race test-short cover bench bench-core bench-smoke fuzz fuzz-wire explore experiments chaos vet fmt-check clean
 
 all: vet test
 
@@ -43,6 +43,11 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
+# Data-structure micro-benchmarks: the reference map engine (ValueSet)
+# vs the history-independent value log on Add/CountLE/ViewLE/EQ setup.
+bench-core:
+	$(GO) test ./internal/core -bench . -benchmem -run '^$$'
+
 # Quick service-layer throughput sweep (batched vs serialized clients)
 # plus the wire-vs-gob codec micro-benchmark; writes the machine-readable
 # points to BENCH_throughput.json and BENCH_codec.json.
@@ -50,6 +55,7 @@ bench-smoke:
 	$(GO) run ./cmd/asobench -e throughput -quick -json BENCH_throughput.json
 	$(GO) run ./cmd/asobench -e codec -json BENCH_codec.json
 	$(GO) run ./cmd/asobench -e latency -quick -json BENCH_latency.json
+	$(GO) run ./cmd/asobench -e hotpath -quick -check -json BENCH_hotpath.json
 
 # Randomized conformance fuzzing across all algorithms (bounded batch).
 fuzz:

@@ -10,6 +10,7 @@ import (
 var knownExperiments = []string{
 	"table1", "sqrtk", "amortized", "failurefree", "byzantine",
 	"sso", "lattice", "messages", "throughput", "codec", "latency",
+	"hotpath",
 }
 
 // benchConfig is the parsed asobench command line.
@@ -18,6 +19,7 @@ type benchConfig struct {
 	Quick    bool
 	Seed     int64
 	JSONPath string
+	Check    bool
 }
 
 // parseBenchConfig parses and validates the asobench command line. Usage
@@ -27,11 +29,13 @@ func parseBenchConfig(args []string, out io.Writer) (benchConfig, error) {
 	fs := flag.NewFlagSet("asobench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	fs.StringVar(&cfg.Exp, "e", "all",
-		"experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|throughput|codec|latency|all")
+		"experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|throughput|codec|latency|hotpath|all")
 	fs.BoolVar(&cfg.Quick, "quick", false, "smaller parameters (CI-sized)")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "simulation seed")
 	fs.StringVar(&cfg.JSONPath, "json", "",
-		"write the machine-readable points to this JSON file (throughput, codec, and latency experiments)")
+		"write the machine-readable points to this JSON file (throughput, codec, latency, and hotpath experiments)")
+	fs.BoolVar(&cfg.Check, "check", false,
+		"fail when an experiment's acceptance criterion does not hold (hotpath: flat log-engine allocation growth)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}

@@ -51,6 +51,10 @@ func main() {
 		tputOps   = 2
 		latN      = 16
 		latOps    = 6
+		hpN       = 8
+		hpWindow  = 128
+		hpWindows = 16
+		hpHs      = []int{1024, 4096, 16384, 65536}
 	)
 	if cfg.Quick {
 		table1Ops, table1N, table1F, table1K = 3, 7, 3, 2
@@ -62,6 +66,7 @@ func main() {
 		ssoN, ssoOps = 5, 3
 		tputNs, tputCs = []int{8, 16}, []int{1, 16, 64}
 		latN, latOps = 8, 3
+		hpWindows, hpHs = 8, []int{1024, 4096, 16384}
 	}
 
 	experiments := []experiment{
@@ -101,6 +106,27 @@ func main() {
 					return "", err
 				}
 				out += fmt.Sprintf("points written to %s\n", cfg.JSONPath)
+			}
+			return out, nil
+		}},
+		{"hotpath", func() (string, error) {
+			h := bench.RunHotpath(hpN, hpWindow, hpWindows, hpHs)
+			out := h.Render()
+			if cfg.JSONPath != "" {
+				blob, err := h.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(cfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("points written to %s\n", cfg.JSONPath)
+			}
+			if cfg.Check {
+				if err := h.Check(1.5); err != nil {
+					return "", err
+				}
+				out += "check passed: log-engine allocations per window are flat in H\n"
 			}
 			return out, nil
 		}},

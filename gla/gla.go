@@ -63,10 +63,10 @@ func (nd *Node) Learned() []Value {
 	view := nd.inner.StoredView()
 	out := make([]Value, 0, view.Len())
 	seqs := make(map[int]int)
-	for _, v := range view { // views are sorted by (tag, writer)
+	view.Each(func(v core.Value) { // views are sorted by (tag, writer)
 		seqs[v.TS.Writer]++
 		out = append(out, Value{Proposer: v.TS.Writer, Seq: seqs[v.TS.Writer], Payload: v.Payload})
-	}
+	})
 	return out
 }
 

@@ -267,7 +267,7 @@ func (nd *Node) HandleMessage(src int, m rt.Message) {
 		for _, v := range msg.Set {
 			nd.known.Add(v)
 		}
-		nd.rt.Send(src, MsgPullAck{ReqID: msg.ReqID, Set: nd.known.ViewLE(msg.R)})
+		nd.rt.Send(src, MsgPullAck{ReqID: msg.ReqID, Set: nd.known.ViewLE(msg.R).Values()})
 	case MsgPullAck:
 		st, ok := nd.pulls[msg.ReqID]
 		if !ok {
@@ -317,7 +317,7 @@ func (nd *Node) bestAtLeast(r core.Tag) (core.Tag, core.View, bool) {
 		}
 	}
 	if len(tags) == 0 {
-		return 0, nil, false
+		return 0, core.View{}, false
 	}
 	sort.Slice(tags, func(i, j int) bool { return tags[i] < tags[j] })
 	return tags[0], nd.good[tags[0]], true
@@ -364,17 +364,17 @@ func (nd *Node) writeTag(tag core.Tag) error {
 func (nd *Node) lattice(r core.Tag) (bool, core.View, error) {
 	nd.rt.Atomic(func() { nd.stats.LatticeOps++ })
 	if err := nd.writeTag(r); err != nil {
-		return false, nil, err
+		return false, core.View{}, err
 	}
 	for {
 		var req int64
-		var sent core.View
+		var sent []core.Value
 		var st *pullState
 		nd.rt.Atomic(func() {
 			nd.stats.PullRounds++
 			nd.nextReq++
 			req = nd.nextReq
-			sent = nd.known.ViewLE(r)
+			sent = nd.known.ViewLE(r).Values()
 			st = &pullState{stable: true, sent: len(sent)}
 			nd.pulls[req] = st
 		})
@@ -387,20 +387,21 @@ func (nd *Node) lattice(r core.Tag) (bool, core.View, error) {
 				stable = st.stable && nd.known.CountLE(r) == len(sent)
 			})
 		if err != nil {
-			return false, nil, err
+			return false, core.View{}, err
 		}
 		if !stable {
 			continue
 		}
 		var good bool
+		view := core.ViewOf(sent...)
 		nd.rt.Atomic(func() {
 			if nd.maxTag <= r {
 				good = true
-				nd.good[r] = sent
-				nd.rt.Broadcast(MsgGoodLA{Tag: r, View: sent})
+				nd.good[r] = view
+				nd.rt.Broadcast(MsgGoodLA{Tag: r, View: view})
 			}
 		})
-		return good, sent, nil
+		return good, view, nil
 	}
 }
 
@@ -408,7 +409,7 @@ func (nd *Node) renewal(r core.Tag) (core.View, error) {
 	for phase := 1; phase <= 3; phase++ {
 		good, view, err := nd.lattice(r)
 		if err != nil {
-			return nil, err
+			return core.View{}, err
 		}
 		if good {
 			return view, nil

@@ -158,7 +158,7 @@ type Node struct {
 
 	rbc *rbc.RBC
 
-	V         []*core.ValueSet // V[id] = delivered values; V[j] via HAVE prefixes
+	log       *core.ValueLog // V[id] = delivered values; V[j] via HAVE prefixes
 	haveQueue [][]core.Timestamp
 
 	announced    []core.Tag // per-origin largest RBC-delivered tag announcement
@@ -194,15 +194,12 @@ func New(r rt.Runtime) *Node {
 		n:         n,
 		f:         r.F(),
 		quorum:    n - r.F(),
-		V:         make([]*core.ValueSet, n),
+		log:       core.NewValueLog(n, r.ID()),
 		haveQueue: make([][]core.Timestamp, n),
 		announced: make([]core.Tag, n),
 		readAcks:  make(map[int64]*readState),
 		tagAcks:   make(map[int64]map[int]bool),
 		haveCount: make(map[core.Timestamp]int),
-	}
-	for i := range nd.V {
-		nd.V[i] = core.NewValueSet()
 	}
 	nd.rbc = rbc.New(r, nd.onDeliver)
 	return nd
@@ -256,7 +253,7 @@ func (nd *Node) onDeliver(id rbc.ID, payload []byte) {
 		if v.TS.Writer != id.Origin || v.TS.Tag < 1 {
 			return // forged writer or invalid tag: ignore
 		}
-		if !nd.V[nd.id].Add(v) {
+		if !nd.log.AddSelf(v) {
 			return
 		}
 		if nd.wait != nil {
@@ -289,13 +286,13 @@ func (nd *Node) drainHaves(src int) {
 	q := nd.haveQueue[src]
 	for len(q) > 0 {
 		ts := q[0]
-		p, ok := nd.V[nd.id].Get(ts)
+		p, ok := nd.log.Get(ts)
 		if !ok {
 			break
 		}
 		q = q[1:]
 		v := core.Value{TS: ts, Payload: p}
-		if nd.V[src].Add(v) {
+		if newToJ, _ := nd.log.Add(src, v); newToJ {
 			if nd.wait != nil {
 				nd.wait.OnAdd(src, v, true, false)
 			}

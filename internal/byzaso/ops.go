@@ -42,11 +42,11 @@ func (nd *Node) latticeLoop(r core.Tag) (core.View, error) {
 			nd.announceTag(r)
 		})
 		if err := nd.tagQuorum(r); err != nil {
-			return nil, err
+			return core.View{}, err
 		}
 		var tracker *core.EQTracker
 		nd.rt.Atomic(func() {
-			tracker = core.NewEQTracker(nd.V, nd.id, r, nd.quorum)
+			tracker = core.NewEQTrackerFromLog(nd.log, r, nd.quorum)
 			nd.wait = tracker
 		})
 		var good bool
@@ -57,7 +57,10 @@ func (nd *Node) latticeLoop(r core.Tag) (core.View, error) {
 				nd.wait = nil
 				if nd.maxTag <= r {
 					good = true
-					view = nd.V[nd.id].ViewLE(r)
+					// Freeze the quorum-held prefix so the view is a
+					// zero-copy alias of the log (see core.ValueLog).
+					nd.log.AdvanceFrontier(r)
+					view = nd.log.ViewLE(r)
 					if nd.OnGoodLattice != nil {
 						nd.OnGoodLattice(r, view)
 					}
@@ -66,7 +69,7 @@ func (nd *Node) latticeLoop(r core.Tag) (core.View, error) {
 				}
 			})
 		if err != nil {
-			return nil, err
+			return core.View{}, err
 		}
 		if good {
 			return view, nil
@@ -86,7 +89,7 @@ func (nd *Node) Update(payload []byte) error {
 // and the written value's timestamp (used by the Byzantine SSO).
 func (nd *Node) UpdateWithView(payload []byte) (view core.View, ts core.Timestamp, err error) {
 	if nd.rt.Crashed() {
-		return nil, core.Timestamp{}, rt.ErrCrashed
+		return core.View{}, core.Timestamp{}, rt.ErrCrashed
 	}
 	c := nd.opStart("update")
 	defer func() { nd.opEnd(c, err) }()
@@ -114,7 +117,7 @@ func (nd *Node) UpdateWithView(payload []byte) (view core.View, ts core.Timestam
 			delete(nd.haveCount, ts)
 		})
 	if err != nil {
-		return nil, ts, err
+		return core.View{}, ts, err
 	}
 	nd.phase("stable")
 	var r core.Tag
@@ -134,7 +137,7 @@ func (nd *Node) UpdateWithView(payload []byte) (view core.View, ts core.Timestam
 func (nd *Node) RefreshView() (core.View, error) {
 	r, err := nd.readTag()
 	if err != nil {
-		return nil, err
+		return core.View{}, err
 	}
 	return nd.latticeLoop(r)
 }

@@ -50,9 +50,9 @@ func TestValueSetBasics(t *testing.T) {
 }
 
 func TestViewSubsetAndComparable(t *testing.T) {
-	a := View{val(1, 0), val(2, 1)}
-	b := View{val(1, 0), val(2, 1), val(3, 2)}
-	c := View{val(1, 0), val(4, 3)}
+	a := ViewOf(val(1, 0), val(2, 1))
+	b := ViewOf(val(1, 0), val(2, 1), val(3, 2))
+	c := ViewOf(val(1, 0), val(4, 3))
 	if !a.SubsetOf(b) || b.SubsetOf(a) {
 		t.Fatal("subset")
 	}
@@ -68,7 +68,7 @@ func TestViewSubsetAndComparable(t *testing.T) {
 }
 
 func TestExtract(t *testing.T) {
-	v := View{val(1, 0), val(3, 0), val(2, 1)}
+	v := ViewOf(val(1, 0), val(3, 0), val(2, 1))
 	snap := v.Extract(3)
 	if string(snap[0]) != "v0-3" {
 		t.Fatalf("segment 0 should hold writer 0's largest-tag value, got %q", snap[0])
@@ -80,7 +80,7 @@ func TestExtract(t *testing.T) {
 		t.Fatalf("segment 2 should be ⊥ (nil), got %q", snap[2])
 	}
 	// Out-of-range writers are ignored defensively.
-	bad := View{Value{TS: ts(1, 9), Payload: []byte("x")}}
+	bad := ViewOf(Value{TS: ts(1, 9), Payload: []byte("x")})
 	if got := bad.Extract(2); got[0] != nil || got[1] != nil {
 		t.Fatalf("out-of-range writer leaked: %v", got)
 	}

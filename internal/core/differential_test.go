@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Differential harness: drive a ValueLog and the reference per-peer
+// ValueSets (the map engine) through the same operation stream and check
+// that every query agrees. The stream is decoded from bytes so the same
+// harness serves the property test (random seeds) and the fuzz target.
+//
+// Payloads are a function of the timestamp, matching the protocol
+// invariant that a timestamp names exactly one written value.
+
+const diffNodes = 5
+
+type diffState struct {
+	log  *ValueLog
+	sets []*ValueSet // sets[j] mirrors V[j]; self is node 0
+}
+
+func newDiffState() *diffState {
+	d := &diffState{log: NewValueLog(diffNodes, 0), sets: make([]*ValueSet, diffNodes)}
+	for j := range d.sets {
+		d.sets[j] = NewValueSet()
+	}
+	return d
+}
+
+func diffValue(tag Tag, w int) Value {
+	return Value{TS: Timestamp{Tag: tag, Writer: w}, Payload: []byte(fmt.Sprintf("p%d-%d", tag, w))}
+}
+
+// step decodes one operation from data[i:] and applies it to both
+// engines, returning the number of bytes consumed (0 when exhausted).
+func (d *diffState) step(data []byte, i int) int {
+	if i+3 >= len(data) {
+		return 0
+	}
+	op, a, b, c := data[i], data[i+1], data[i+2], data[i+3]
+	switch op % 8 {
+	case 6:
+		// Advance the frontier, as a good lattice operation would.
+		d.log.AdvanceFrontier(Tag(1 + a%64))
+	case 7:
+		// Checkpoint round-trip: split a view at the frontier and
+		// recompose it; the result must equal the original.
+		ck := d.log.Frontier()
+		view := d.log.ViewLE(Tag(1 + a%64))
+		if delta, ok := d.log.DeltaAbove(view, ck); ok {
+			if got, ok2 := d.log.ComposeAt(ck, delta); !ok2 || !got.Equal(view) {
+				panic(fmt.Sprintf("compose(%+v) != original view %v", ck, view))
+			}
+		}
+	default:
+		// Value arrival from src: into V[src] and V[self], both engines.
+		src := int(a) % diffNodes
+		v := diffValue(Tag(1+b%64), int(c)%diffNodes)
+		d.log.Add(src, v)
+		d.sets[src].Add(v)
+		d.sets[0].Add(v)
+	}
+	return 4
+}
+
+func (d *diffState) check(t *testing.T) {
+	t.Helper()
+	if got, want := d.log.SelfLen(), d.sets[0].Len(); got != want {
+		t.Fatalf("SelfLen: log %d, map %d", got, want)
+	}
+	for j := 0; j < diffNodes; j++ {
+		if got, want := d.log.Len(j), d.sets[j].Len(); got != want {
+			t.Fatalf("Len(%d): log %d, map %d", j, got, want)
+		}
+		for _, r := range []Tag{0, 3, 17, 40, 64, MaxTag} {
+			if got, want := d.log.CountLE(j, r), d.sets[j].CountLE(r); got != want {
+				t.Fatalf("CountLE(%d, %d): log %d, map %d", j, r, got, want)
+			}
+			lv, mv := d.log.PeerViewLE(j, r), d.sets[j].ViewLE(r)
+			if !lv.Equal(mv) {
+				t.Fatalf("PeerViewLE(%d, %d): log %v, map %v", j, r, lv, mv)
+			}
+		}
+	}
+	for _, r := range []Tag{0, 11, 32, 64, MaxTag} {
+		lv, mv := d.log.ViewLE(r), d.sets[0].ViewLE(r)
+		if !lv.Equal(mv) {
+			t.Fatalf("ViewLE(%d): log %v, map %v", r, lv, mv)
+		}
+		le, me := lv.Extract(diffNodes), mv.Extract(diffNodes)
+		for w := range le {
+			if !bytes.Equal(le[w], me[w]) {
+				t.Fatalf("Extract(%d)[%d]: log %q, map %q", r, w, le[w], me[w])
+			}
+		}
+	}
+	// Membership must agree on every timestamp either engine can hold.
+	for tag := Tag(1); tag <= 64; tag++ {
+		for w := 0; w < diffNodes; w++ {
+			ts := Timestamp{Tag: tag, Writer: w}
+			lp, lok := d.log.Get(ts)
+			mp, mok := d.sets[0].Get(ts)
+			if lok != mok || !bytes.Equal(lp, mp) {
+				t.Fatalf("Get(%v): log (%q,%v), map (%q,%v)", ts, lp, lok, mp, mok)
+			}
+		}
+	}
+}
+
+// run replays a whole byte stream, checking equivalence periodically and
+// at the end.
+func diffRun(t *testing.T, data []byte) {
+	t.Helper()
+	d := newDiffState()
+	steps := 0
+	for i := 0; ; steps++ {
+		n := d.step(data, i)
+		if n == 0 {
+			break
+		}
+		i += n
+		if steps%32 == 31 {
+			d.check(t)
+		}
+	}
+	d.check(t)
+}
+
+func TestValueLogDifferential(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 64+rng.Intn(2048))
+		rng.Read(data)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) { diffRun(t, data) })
+	}
+}
+
+// TestValueLogDifferentialAdversarial replays hand-picked streams that
+// exercise the structurally interesting paths: inserts below the frontier
+// (copy-on-write), prefix demotions, and straggler absorption.
+func TestValueLogDifferentialAdversarial(t *testing.T) {
+	add := func(src, tag, w byte) []byte { return []byte{0, src, tag - 1, w} }
+	freeze := func(tag byte) []byte { return []byte{6, tag - 1, 0, 0} }
+	compose := func(tag byte) []byte { return []byte{7, tag - 1, 0, 0} }
+	var stream []byte
+	// Build a prefix, freeze it, then land older values under it.
+	for tag := byte(10); tag <= 30; tag += 2 {
+		stream = append(stream, add(1, tag, 1)...)
+	}
+	stream = append(stream, freeze(30)...)
+	for tag := byte(9); tag >= 3; tag -= 2 {
+		stream = append(stream, add(2, tag, 2)...) // COW inserts
+	}
+	stream = append(stream, compose(30)...)
+	// Peer 1 receives the stragglers out of order, then the gap filler.
+	stream = append(stream, add(1, 40, 3)...)
+	stream = append(stream, add(1, 36, 4)...)
+	stream = append(stream, add(1, 38, 0)...)
+	stream = append(stream, freeze(40)...)
+	stream = append(stream, compose(64)...)
+	diffRun(t, stream)
+}
+
+// FuzzValueSetEquivalence feeds arbitrary operation streams through both
+// engines; any query disagreement fails the run. This is the CI-bounded
+// guard that the history-independent log stays observationally equal to
+// the reference map implementation.
+func FuzzValueSetEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 5, 2, 6, 10, 0, 0, 0, 2, 3, 1, 7, 63, 0, 0})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 4; i++ {
+		data := make([]byte, 128)
+		rng.Read(data)
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			t.Skip("bounded input")
+		}
+		diffRun(t, data)
+	})
+}

@@ -6,10 +6,7 @@
 // all built from these pieces.
 package core
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Tag is the logical tag attached to values and lattice operations.
 type Tag int64
@@ -36,84 +33,4 @@ func (t Timestamp) String() string { return fmt.Sprintf("⟨%d,%d⟩", t.Tag, t.
 type Value struct {
 	TS      Timestamp
 	Payload []byte
-}
-
-// View is an immutable set of values, sorted by timestamp. Views are what
-// good lattice operations return and what SCANs extract their vectors from
-// (Definition 9).
-type View []Value
-
-// Len returns the number of values in the view.
-func (v View) Len() int { return len(v) }
-
-// Timestamps returns the view's timestamps, in order.
-func (v View) Timestamps() []Timestamp {
-	out := make([]Timestamp, len(v))
-	for i, val := range v {
-		out[i] = val.TS
-	}
-	return out
-}
-
-// Contains reports whether the view holds a value with timestamp ts.
-func (v View) Contains(ts Timestamp) bool {
-	i := sort.Search(len(v), func(i int) bool { return !v[i].TS.Less(ts) })
-	return i < len(v) && v[i].TS == ts
-}
-
-// SubsetOf reports v ⊆ o (by timestamp).
-func (v View) SubsetOf(o View) bool {
-	if len(v) > len(o) {
-		return false
-	}
-	i := 0
-	for _, val := range v {
-		for i < len(o) && o[i].TS.Less(val.TS) {
-			i++
-		}
-		if i >= len(o) || o[i].TS != val.TS {
-			return false
-		}
-		i++
-	}
-	return true
-}
-
-// ComparableWith reports v ⊆ o or o ⊆ v — the comparability at the heart
-// of Lemma 1 and Lemma 2.
-func (v View) ComparableWith(o View) bool {
-	return v.SubsetOf(o) || o.SubsetOf(v)
-}
-
-// Extract implements the extract(S) procedure (lines 31–34 of Algorithm 1):
-// for each node j, the payload with the largest tag among j's values in the
-// view; nil marks ⊥ (no value).
-func (v View) Extract(n int) [][]byte {
-	snap := make([][]byte, n)
-	best := make([]Tag, n)
-	for i := range best {
-		best[i] = -1
-	}
-	for _, val := range v {
-		w := val.TS.Writer
-		if w < 0 || w >= n {
-			continue // defensive: ignore out-of-range writers
-		}
-		if val.TS.Tag > best[w] {
-			best[w] = val.TS.Tag
-			snap[w] = val.Payload
-		}
-	}
-	return snap
-}
-
-func (v View) String() string {
-	s := "{"
-	for i, val := range v {
-		if i > 0 {
-			s += " "
-		}
-		s += val.TS.String()
-	}
-	return s + "}"
 }

@@ -1,0 +1,458 @@
+package core
+
+import "sort"
+
+// ValueLog is the history-independent replacement for an array of per-peer
+// ValueSets. One timestamp-sorted backing array holds each value the node
+// knows exactly once; per-peer membership (V[j] in the paper) is tracked as
+// a prefix cursor plus a small straggler set, which is sound because the
+// algorithms maintain V[j] ⊆ V[self] (every value received from any j is
+// also added to V[self], line 40 of Algorithm 1).
+//
+// The log additionally maintains a stable frontier: when the node performs
+// a good lattice operation at tag r — so the prefix with tags ≤ r is known
+// good at n−f nodes — AdvanceFrontier(r) freezes that prefix. The frozen
+// region is immutable in place: views returned by ViewLE/AllView alias it
+// zero-copy, and a straggler insert below the frontier reallocates the
+// backing array (copy-on-write) so already-published views never change.
+// A digest prefix-sum array summarizes every log prefix, so a frontier
+// Checkpoint (count + order-independent digest) advertised by a peer can
+// be vouched for in O(1); borrow replies then ship only the delta above
+// the checkpoint instead of the full history.
+//
+// Per-operation costs with H total values and n nodes: Add is O(log H)
+// amortized (appends dominate in tag order; a mid-tail insert memmoves
+// only the unfrozen tail), CountLE is O(log H), NewEQTrackerFromLog is
+// O(n log H), and ViewLE at or below the frontier is O(1).
+type ValueLog struct {
+	n, self  int
+	vals     []Value  // sorted by timestamp, no duplicates
+	digsum   []uint64 // digsum[i] = Σ digestValue(vals[:i]); len = len(vals)+1
+	frozen   int      // vals[:frozen] is immutable in place
+	frontier Tag      // largest tag passed to AdvanceFrontier
+	peers    []peerSet
+
+	// Master per-writer extract over the frozen prefix, republished as an
+	// immutable snapshot (ext) at each freeze so views can cache it.
+	extTags  []Tag
+	extPays  [][]byte
+	ext      *baseExtract
+	extOK    bool // false once a writer outside [0,n) is seen
+	extStale bool // master differs from published snapshot
+
+	stats LogStats
+}
+
+// peerSet is node j's membership in the shared log: j holds every value in
+// vals[:prefix) plus the timestamps in strag. Invariant: every straggler's
+// position in vals is ≥ prefix (so all straggler timestamps are greater
+// than all prefix timestamps, and strag is sorted).
+type peerSet struct {
+	prefix int
+	strag  []Timestamp
+}
+
+// Checkpoint summarizes a log prefix: every held value with tag ≤ Tag, how
+// many there are, and an order-independent digest over them. Two nodes
+// whose prefixes carry equal Count and Digest hold the same value sequence
+// below that point (up to checksum collisions; the digest is an integrity
+// check for the crash model, not cryptographic).
+type Checkpoint struct {
+	Tag    Tag
+	Count  int
+	Digest uint64
+}
+
+// LogStats counts structural events, exposed for benchmarks and tests.
+type LogStats struct {
+	Appends     int64 // new value appended at the end of the log
+	TailInserts int64 // new value memmoved into the unfrozen tail
+	COWInserts  int64 // new value below the frontier forced a reallocation
+	Demotions   int64 // peer prefix values demoted to stragglers
+	Freezes     int64 // AdvanceFrontier calls that grew the frozen prefix
+}
+
+// NewValueLog returns an empty log for node self of n.
+func NewValueLog(n, self int) *ValueLog {
+	l := &ValueLog{
+		n:       n,
+		self:    self,
+		digsum:  make([]uint64, 1, 16),
+		peers:   make([]peerSet, n),
+		extTags: make([]Tag, n),
+		extPays: make([][]byte, n),
+		extOK:   true,
+	}
+	for i := range l.extTags {
+		l.extTags[i] = -1
+	}
+	return l
+}
+
+// N returns the cluster size the log was built for.
+func (l *ValueLog) N() int { return l.n }
+
+// Stats returns the structural counters.
+func (l *ValueLog) Stats() LogStats { return l.stats }
+
+// upperBound returns the number of values with tag ≤ r.
+func (l *ValueLog) upperBound(r Tag) int {
+	return sort.Search(len(l.vals), func(i int) bool { return l.vals[i].TS.Tag > r })
+}
+
+// locate returns the insertion position for ts and whether it is present.
+func (l *ValueLog) locate(ts Timestamp) (int, bool) {
+	p := searchSeg(l.vals, ts)
+	return p, p < len(l.vals) && l.vals[p].TS == ts
+}
+
+// Has reports whether the node holds a value with timestamp ts.
+func (l *ValueLog) Has(ts Timestamp) bool {
+	_, ok := l.locate(ts)
+	return ok
+}
+
+// Get returns the payload stored under ts.
+func (l *ValueLog) Get(ts Timestamp) ([]byte, bool) {
+	p, ok := l.locate(ts)
+	if !ok {
+		return nil, false
+	}
+	return l.vals[p].Payload, true
+}
+
+// SelfLen returns |V[self]|: the total number of values held.
+func (l *ValueLog) SelfLen() int { return len(l.vals) }
+
+// Len returns |V[j]|.
+func (l *ValueLog) Len(j int) int {
+	if j == l.self {
+		return len(l.vals)
+	}
+	ps := &l.peers[j]
+	return ps.prefix + len(ps.strag)
+}
+
+// CountLE returns |V[j]^{≤r}| in O(log H + log |strag|).
+func (l *ValueLog) CountLE(j int, r Tag) int {
+	ub := l.upperBound(r)
+	if j == l.self {
+		return ub
+	}
+	ps := &l.peers[j]
+	c := ps.prefix
+	if ub < c {
+		c = ub
+	}
+	c += sort.Search(len(ps.strag), func(i int) bool { return ps.strag[i].Tag > r })
+	return c
+}
+
+// Add records that value v was received from node j, inserting it into
+// V[self] too (the containment invariant). It reports whether v was new to
+// V[j] and new to V[self], matching ValueSet.Add semantics for EQTracker.
+func (l *ValueLog) Add(j int, v Value) (newToJ, newToSelf bool) {
+	p, present := l.locate(v.TS)
+	if !present {
+		l.insert(p, v)
+		newToSelf = true
+	}
+	if j == l.self {
+		return newToSelf, newToSelf
+	}
+	ps := &l.peers[j]
+	if p < ps.prefix {
+		// insert() demotes any prefix spanning the insertion point first,
+		// so p < prefix means the value pre-existed inside j's prefix.
+		return false, newToSelf
+	}
+	if p == ps.prefix {
+		ps.prefix++
+		l.absorb(ps)
+		return true, newToSelf
+	}
+	k := sort.Search(len(ps.strag), func(i int) bool { return !ps.strag[i].Less(v.TS) })
+	if k < len(ps.strag) && ps.strag[k] == v.TS {
+		return false, newToSelf
+	}
+	ps.strag = append(ps.strag, Timestamp{})
+	copy(ps.strag[k+1:], ps.strag[k:])
+	ps.strag[k] = v.TS
+	return true, newToSelf
+}
+
+// AddSelf records the node's own value: Add(self, v).
+func (l *ValueLog) AddSelf(v Value) bool {
+	n, _ := l.Add(l.self, v)
+	return n
+}
+
+// absorb advances a peer prefix over stragglers that have become
+// contiguous with it.
+func (l *ValueLog) absorb(ps *peerSet) {
+	for len(ps.strag) > 0 && ps.prefix < len(l.vals) && ps.strag[0] == l.vals[ps.prefix].TS {
+		ps.prefix++
+		ps.strag = ps.strag[1:]
+	}
+}
+
+// insert places v at position p, demoting any peer prefix that spans p
+// (its values at positions ≥ p become stragglers, keeping the position
+// invariant; Add re-absorbs them right away when j is receiving v itself).
+// Below the frontier the backing array is reallocated so published views
+// stay immutable; inside the unfrozen tail a memmove suffices because no
+// view references those positions.
+func (l *ValueLog) insert(p int, v Value) {
+	for j := range l.peers {
+		if j == l.self {
+			continue
+		}
+		ps := &l.peers[j]
+		if ps.prefix <= p {
+			continue
+		}
+		demoted := l.vals[p:ps.prefix]
+		ns := make([]Timestamp, 0, len(demoted)+len(ps.strag))
+		for i := range demoted {
+			ns = append(ns, demoted[i].TS)
+		}
+		ps.strag = append(ns, ps.strag...)
+		ps.prefix = p
+		l.stats.Demotions += int64(len(demoted))
+	}
+	switch {
+	case p < l.frozen:
+		nv := make([]Value, len(l.vals)+1)
+		copy(nv, l.vals[:p])
+		nv[p] = v
+		copy(nv[p+1:], l.vals[p:])
+		l.vals = nv
+		l.frozen++
+		l.noteFrozen(v)
+		l.publishExt()
+		l.stats.COWInserts++
+	case p == len(l.vals):
+		l.vals = append(l.vals, v)
+		l.stats.Appends++
+	default:
+		l.vals = append(l.vals, Value{})
+		copy(l.vals[p+1:], l.vals[p:])
+		l.vals[p] = v
+		l.stats.TailInserts++
+	}
+	// Extend/repair the digest prefix sums from p on.
+	l.digsum = append(l.digsum, 0)
+	for i := p; i < len(l.vals); i++ {
+		l.digsum[i+1] = l.digsum[i] + digestValue(l.vals[i])
+	}
+}
+
+// noteFrozen folds a newly frozen value into the master per-writer extract.
+func (l *ValueLog) noteFrozen(v Value) {
+	w := v.TS.Writer
+	if w < 0 || w >= l.n {
+		l.extOK = false
+		return
+	}
+	if v.TS.Tag > l.extTags[w] {
+		l.extTags[w] = v.TS.Tag
+		l.extPays[w] = v.Payload
+		l.extStale = true
+	}
+}
+
+// publishExt snapshots the master extract for attachment to views.
+func (l *ValueLog) publishExt() {
+	if !l.extOK {
+		l.ext = nil
+		return
+	}
+	if !l.extStale && l.ext != nil {
+		return
+	}
+	l.ext = &baseExtract{
+		tags: append([]Tag(nil), l.extTags...),
+		pays: append([][]byte(nil), l.extPays...),
+	}
+	l.extStale = false
+}
+
+// AdvanceFrontier marks every value with tag ≤ r stable: the node learned
+// that the prefix V^{≤r} is an equivalence set held by n−f nodes (its own
+// good lattice operation at r). The prefix is frozen in place; later
+// views at or below r are zero-copy. MaxTag is ignored — freezing at the
+// one-shot pseudo-tag would make every later insert a copy-on-write.
+func (l *ValueLog) AdvanceFrontier(r Tag) {
+	if r <= l.frontier || r == MaxTag {
+		return
+	}
+	l.frontier = r
+	nf := l.upperBound(r)
+	if nf > l.frozen {
+		for i := l.frozen; i < nf; i++ {
+			l.noteFrozen(l.vals[i])
+		}
+		l.frozen = nf
+		l.publishExt()
+		l.stats.Freezes++
+	}
+}
+
+// Frontier returns the checkpoint of the current frozen prefix (the zero
+// Checkpoint when nothing is frozen yet).
+func (l *ValueLog) Frontier() Checkpoint {
+	return Checkpoint{Tag: l.frontier, Count: l.frozen, Digest: l.digsum[l.frozen]}
+}
+
+// Vouches reports whether this log's own prefix of ck.Count values matches
+// the checkpoint digest — i.e. both nodes hold the exact same value
+// sequence below that point. O(1) via the digest prefix sums.
+func (l *ValueLog) Vouches(ck Checkpoint) bool {
+	return ck.Count >= 0 && ck.Count < len(l.digsum) && l.digsum[ck.Count] == ck.Digest
+}
+
+// ViewLE returns V[self]^{≤r}. At or below the frozen prefix this is a
+// zero-copy alias of the log; above it, the base aliases the frozen prefix
+// and only the unfrozen tail portion is copied.
+func (l *ValueLog) ViewLE(r Tag) View {
+	ub := l.upperBound(r)
+	if ub <= l.frozen {
+		var ext *baseExtract
+		if ub == l.frozen {
+			ext = l.ext
+		}
+		return View{base: l.vals[:ub:ub], ext: ext}
+	}
+	tail := make([]Value, ub-l.frozen)
+	copy(tail, l.vals[l.frozen:ub])
+	return View{base: l.vals[:l.frozen:l.frozen], tail: tail, ext: l.ext}
+}
+
+// AllView returns a view of every value held.
+func (l *ValueLog) AllView() View { return l.ViewLE(MaxTag) }
+
+// PeerViewLE materializes V[j]^{≤r} from j's cursor state: the shared
+// prefix (zero-copy up to the frozen boundary) plus j's stragglers with
+// tag ≤ r. The straggler-position invariant guarantees the concatenation
+// is sorted.
+func (l *ValueLog) PeerViewLE(j int, r Tag) View {
+	if j == l.self {
+		return l.ViewLE(r)
+	}
+	ps := &l.peers[j]
+	ub := l.upperBound(r)
+	limit := ps.prefix
+	if ub < limit {
+		limit = ub
+	}
+	baseN := limit
+	if l.frozen < baseN {
+		baseN = l.frozen
+	}
+	var tail []Value
+	if m := limit - baseN; m > 0 {
+		tail = make([]Value, m, m+len(ps.strag))
+		copy(tail, l.vals[baseN:limit])
+	}
+	for _, ts := range ps.strag {
+		if ts.Tag > r {
+			break
+		}
+		if p, ok := l.locate(ts); ok {
+			tail = append(tail, l.vals[p])
+		}
+	}
+	var ext *baseExtract
+	if baseN == l.frozen {
+		ext = l.ext
+	}
+	return View{base: l.vals[:baseN:baseN], tail: tail, ext: ext}
+}
+
+// DeltaAbove splits view into (ck, delta): when this log vouches for ck
+// and the view literally extends this log's prefix (its base aliases the
+// backing array), the caller may ship only delta — the values above
+// ck.Count — and the receiver reconstructs the view with ComposeAt.
+// Returns false when the prefixes disagree or the view was not cut from
+// this log; callers fall back to sending the full view.
+func (l *ValueLog) DeltaAbove(view View, ck Checkpoint) ([]Value, bool) {
+	if ck.Count < 0 || ck.Count > view.Len() || !l.Vouches(ck) {
+		return nil, false
+	}
+	if ck.Count > 0 {
+		// The view's base must alias this log's array so that
+		// view[:Count] == vals[:Count] without comparing elements.
+		if len(view.base) < ck.Count || !sameBacking(view.base, l.vals) {
+			return nil, false
+		}
+	}
+	delta := make([]Value, 0, view.Len()-ck.Count)
+	for i := ck.Count; i < view.Len(); i++ {
+		delta = append(delta, view.At(i))
+	}
+	return delta, true
+}
+
+// ComposeAt rebuilds a view from a checkpoint this log vouches for and the
+// delta above it. The base aliases the local frozen prefix (zero-copy);
+// the delta may contain values this node does not hold. Returns false
+// when the checkpoint no longer matches local state (the prefix changed
+// under a copy-on-write insert) or the delta is not a sorted extension —
+// callers escalate to a full-view borrow.
+func (l *ValueLog) ComposeAt(ck Checkpoint, delta []Value) (View, bool) {
+	if ck.Count < 0 || ck.Count > l.frozen || !l.Vouches(ck) {
+		return View{}, false
+	}
+	base := l.vals[:ck.Count:ck.Count]
+	last := Timestamp{Tag: -1}
+	if ck.Count > 0 {
+		last = base[ck.Count-1].TS
+	}
+	for i := range delta {
+		if !last.Less(delta[i].TS) {
+			return View{}, false
+		}
+		last = delta[i].TS
+	}
+	var ext *baseExtract
+	if ck.Count == l.frozen {
+		ext = l.ext
+	}
+	return View{base: base, tail: delta, ext: ext}, true
+}
+
+// NewEQTrackerFromLog returns an incremental tracker for EQ(V^{≤r}, self)
+// over a log, set up in O(n log H) via the per-peer cursors.
+func NewEQTrackerFromLog(l *ValueLog, r Tag, quorum int) *EQTracker {
+	t := &EQTracker{R: r, self: l.self, quorum: quorum, cnt: make([]int, l.n)}
+	for j := 0; j < l.n; j++ {
+		t.cnt[j] = l.CountLE(j, r)
+	}
+	t.cntSelf = t.cnt[l.self]
+	return t
+}
+
+// digestValue hashes one value (FNV-1a over timestamp and payload, then an
+// avalanche mix so additive combination distributes well). Prefix digests
+// are sums of these, hence order-independent and cheap to maintain.
+func digestValue(v Value) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix8 := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	mix8(uint64(v.TS.Tag))
+	mix8(uint64(int64(v.TS.Writer)))
+	for _, b := range v.Payload {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}

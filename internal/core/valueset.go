@@ -11,6 +11,12 @@ const MaxTag Tag = math.MaxInt64
 
 // ValueSet is a mutable set of values keyed by timestamp. V_i[j] in the
 // paper is a ValueSet: the values node i has received from node j.
+//
+// The long-running algorithms (eqaso, byzaso) now keep their state in the
+// history-independent ValueLog instead; ValueSet remains the reference
+// implementation — O(H) scans, but obviously correct — used by the
+// one-shot lattice-agreement packages, the baselines, and the
+// differential/fuzz tests that check the log against it.
 type ValueSet struct {
 	m map[Timestamp][]byte
 }
@@ -56,14 +62,14 @@ func (s *ValueSet) CountLE(r Tag) int {
 // ViewLE returns an immutable snapshot of the values with tag ≤ r,
 // sorted by timestamp. This realizes V[j]^{≤r}.
 func (s *ValueSet) ViewLE(r Tag) View {
-	out := make(View, 0, len(s.m))
+	out := make([]Value, 0, len(s.m))
 	for ts, p := range s.m {
 		if ts.Tag <= r {
 			out = append(out, Value{TS: ts, Payload: p})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].TS.Less(out[j].TS) })
-	return out
+	return ViewOf(out...)
 }
 
 // AllView returns a snapshot of the whole set.
@@ -85,7 +91,7 @@ func EQ(V []*ValueSet, self, quorum int, r Tag) (bool, View) {
 	if matches >= quorum {
 		return true, V[self].ViewLE(r)
 	}
-	return false, nil
+	return false, View{}
 }
 
 // EQTracker tracks the EQ(V^{≤r}, self) predicate incrementally during one

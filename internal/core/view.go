@@ -1,0 +1,188 @@
+package core
+
+import "sort"
+
+// View is an immutable set of values, sorted by timestamp. Views are what
+// good lattice operations return and what SCANs extract their vectors from
+// (Definition 9).
+//
+// A View is stored as two sorted segments: base, a shared immutable prefix
+// of a node's value log (never mutated in place once handed out — the log
+// copies on write for below-frontier inserts), and tail, a small owned
+// slice of values whose timestamps are all strictly greater than every
+// timestamp in base. Views cut directly from a frozen log prefix are
+// zero-copy: base aliases the log's backing array and tail is empty.
+// Callers must treat both segments as read-only.
+type View struct {
+	base []Value
+	tail []Value
+	// ext, when set, caches the per-writer latest value over base, so
+	// Extract only walks tail. It is published by the owning ValueLog
+	// together with base and is immutable.
+	ext *baseExtract
+}
+
+// baseExtract is the cached extract(base) of a frozen log prefix: for each
+// writer, the largest tag (−1 = none) and its payload.
+type baseExtract struct {
+	tags []Tag
+	pays [][]byte
+}
+
+// ViewOf builds a view from values already sorted by timestamp. The slice
+// is retained, not copied.
+func ViewOf(vals ...Value) View { return View{tail: vals} }
+
+// Len returns the number of values in the view.
+func (v View) Len() int { return len(v.base) + len(v.tail) }
+
+// At returns the i-th value in timestamp order.
+func (v View) At(i int) Value {
+	if i < len(v.base) {
+		return v.base[i]
+	}
+	return v.tail[i-len(v.base)]
+}
+
+// Values returns the view's values as one sorted slice. When the view is a
+// single segment the underlying array is returned without copying; treat
+// the result as read-only.
+func (v View) Values() []Value {
+	switch {
+	case len(v.tail) == 0:
+		return v.base
+	case len(v.base) == 0:
+		return v.tail
+	}
+	out := make([]Value, 0, v.Len())
+	out = append(out, v.base...)
+	return append(out, v.tail...)
+}
+
+// Each calls fn for every value in timestamp order.
+func (v View) Each(fn func(Value)) {
+	for i := range v.base {
+		fn(v.base[i])
+	}
+	for i := range v.tail {
+		fn(v.tail[i])
+	}
+}
+
+// Timestamps returns the view's timestamps, in order.
+func (v View) Timestamps() []Timestamp {
+	out := make([]Timestamp, 0, v.Len())
+	for i := range v.base {
+		out = append(out, v.base[i].TS)
+	}
+	for i := range v.tail {
+		out = append(out, v.tail[i].TS)
+	}
+	return out
+}
+
+// searchSeg returns the position of the first value in seg whose timestamp
+// is not less than ts.
+func searchSeg(seg []Value, ts Timestamp) int {
+	return sort.Search(len(seg), func(i int) bool { return !seg[i].TS.Less(ts) })
+}
+
+// Contains reports whether the view holds a value with timestamp ts.
+func (v View) Contains(ts Timestamp) bool {
+	seg := v.base
+	if len(v.base) == 0 || v.base[len(v.base)-1].TS.Less(ts) {
+		seg = v.tail
+	}
+	i := searchSeg(seg, ts)
+	return i < len(seg) && seg[i].TS == ts
+}
+
+// sameBacking reports whether a and b alias the same backing array start,
+// i.e. they are prefixes of the same frozen log array and therefore agree
+// on their common prefix.
+func sameBacking(a, b []Value) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+// SubsetOf reports v ⊆ o (by timestamp). When both views cut their base
+// from the same log array the shared prefix is skipped without comparing,
+// making containment checks between sibling views O(tail).
+func (v View) SubsetOf(o View) bool {
+	if v.Len() > o.Len() {
+		return false
+	}
+	start := 0
+	if sameBacking(v.base, o.base) {
+		start = len(v.base)
+		if len(o.base) < start {
+			start = len(o.base)
+		}
+	}
+	i := start
+	for k := start; k < v.Len(); k++ {
+		ts := v.At(k).TS
+		for i < o.Len() && o.At(i).TS.Less(ts) {
+			i++
+		}
+		if i >= o.Len() || o.At(i).TS != ts {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// ComparableWith reports v ⊆ o or o ⊆ v — the comparability at the heart
+// of Lemma 1 and Lemma 2.
+func (v View) ComparableWith(o View) bool {
+	return v.SubsetOf(o) || o.SubsetOf(v)
+}
+
+// Equal reports that v and o hold exactly the same timestamps.
+func (v View) Equal(o View) bool {
+	return v.Len() == o.Len() && v.SubsetOf(o)
+}
+
+// Extract implements the extract(S) procedure (lines 31–34 of Algorithm 1):
+// for each node j, the payload with the largest tag among j's values in the
+// view; nil marks ⊥ (no value). When the view carries a cached base
+// extract (views cut from a frozen log prefix do), only the tail is
+// walked, so SCAN extraction is O(n + |tail|) instead of O(H).
+func (v View) Extract(n int) [][]byte {
+	snap := make([][]byte, n)
+	best := make([]Tag, n)
+	for i := range best {
+		best[i] = -1
+	}
+	start := 0
+	if v.ext != nil && len(v.ext.tags) <= n {
+		copy(best, v.ext.tags)
+		copy(snap, v.ext.pays)
+		start = len(v.base)
+	}
+	for k := start; k < v.Len(); k++ {
+		val := v.At(k)
+		w := val.TS.Writer
+		if w < 0 || w >= n {
+			continue // defensive: ignore out-of-range writers
+		}
+		if val.TS.Tag > best[w] {
+			best[w] = val.TS.Tag
+			snap[w] = val.Payload
+		}
+	}
+	return snap
+}
+
+func (v View) String() string {
+	s := "{"
+	first := true
+	v.Each(func(val Value) {
+		if !first {
+			s += " "
+		}
+		first = false
+		s += val.TS.String()
+	})
+	return s + "}"
+}

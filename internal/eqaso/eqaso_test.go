@@ -280,7 +280,7 @@ func TestPerWriterTimestampsIncrease(t *testing.T) {
 	view := nodes[0].LocalView()
 	last := make(map[int]core.Tag)
 	count := make(map[int]int)
-	for _, v := range view {
+	for _, v := range view.Values() {
 		if prev, ok := last[v.TS.Writer]; ok && v.TS.Tag <= prev {
 			t.Fatalf("writer %d tags not increasing: %d then %d", v.TS.Writer, prev, v.TS.Tag)
 		}

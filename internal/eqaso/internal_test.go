@@ -16,11 +16,11 @@ func newTestNode(t *testing.T) *Node {
 }
 
 func view(tags ...core.Tag) core.View {
-	out := make(core.View, 0, len(tags))
+	out := make([]core.Value, 0, len(tags))
 	for _, tg := range tags {
 		out = append(out, core.Value{TS: core.Timestamp{Tag: tg, Writer: 0}, Payload: []byte("x")})
 	}
-	return out
+	return core.ViewOf(out...)
 }
 
 func TestBestViewAtLeast(t *testing.T) {
@@ -91,7 +91,7 @@ func TestAddBorrowOverwritesPerSender(t *testing.T) {
 }
 
 func TestSortedTags(t *testing.T) {
-	m := map[core.Tag]core.View{5: nil, 1: nil, 3: nil}
+	m := map[core.Tag]core.View{5: {}, 1: {}, 3: {}}
 	got := sortedTags(m)
 	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
 		t.Fatalf("sortedTags = %v", got)
@@ -104,10 +104,157 @@ func TestMessageKinds(t *testing.T) {
 		MsgValue{}.Kind(), MsgReadTag{}.Kind(), MsgReadAck{}.Kind(),
 		MsgWriteTag{}.Kind(), MsgWriteAck{}.Kind(), MsgEchoTag{}.Kind(),
 		MsgGoodLA{}.Kind(), MsgBorrowReq{}.Kind(), MsgGoodView{}.Kind(),
+		MsgGoodViewDelta{}.Kind(), MsgBorrowNak{}.Kind(),
 	} {
 		if kinds[k] {
 			t.Fatalf("duplicate message kind %q", k)
 		}
 		kinds[k] = true
+	}
+}
+
+// newCluster builds n node states over one throwaway world (no scheduler
+// runs; white-box tests drive handlers directly).
+func newCluster(t *testing.T, n, f int) []*Node {
+	t.Helper()
+	w := sim.New(sim.Config{N: n, F: f, Seed: 1})
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = New(w.Runtime(i))
+	}
+	return nodes
+}
+
+func TestBorrowSampleSizeAndDeterminism(t *testing.T) {
+	nodes := newCluster(t, 5, 2)
+	k := 5 - nodes[0].quorum + 1 // f+1
+	for src := 0; src < 5; src++ {
+		for tag := core.Tag(1); tag <= 40; tag++ {
+			count := 0
+			for _, nd := range nodes {
+				in := nd.inSample(src, tag)
+				if in != nd.inSample(src, tag) {
+					t.Fatal("inSample must be deterministic")
+				}
+				if nd.id == src && in {
+					t.Fatalf("requester %d sampled itself at tag %d", src, tag)
+				}
+				if in {
+					count++
+				}
+			}
+			if count != k {
+				t.Fatalf("src=%d tag=%d: %d sampled responders, want f+1=%d", src, tag, count, k)
+			}
+		}
+	}
+	// The rotation must spread load: over many tags, every non-requester
+	// should be sampled at least once.
+	for _, nd := range nodes[1:] {
+		hit := false
+		for tag := core.Tag(1); tag <= 40 && !hit; tag++ {
+			hit = nd.inSample(0, tag)
+		}
+		if !hit {
+			t.Fatalf("node %d never sampled for src 0 over 40 tags", nd.id)
+		}
+	}
+}
+
+func TestBorrowReqGatingSuppressesOffSampleReplies(t *testing.T) {
+	nodes := newCluster(t, 5, 2)
+	nd := nodes[1]
+	const src = 0
+	var sampled, suppressed int
+	for tag := core.Tag(1); tag <= 30; tag++ {
+		if nd.inSample(src, tag) {
+			sampled++
+		}
+		nd.HandleMessage(src, MsgBorrowReq{Tag: tag, Attempt: 0})
+	}
+	suppressed = int(nd.stats.BorrowsSuppressed)
+	if suppressed == 0 || sampled == 0 {
+		t.Fatalf("want both outcomes over 30 tags: sampled=%d suppressed=%d", sampled, suppressed)
+	}
+	if suppressed+sampled != 30 {
+		t.Fatalf("each request either answered or suppressed: %d+%d != 30", sampled, suppressed)
+	}
+	// Attempt 1 (escalated) requests are never suppressed: all are parked
+	// (this node holds no good view) with a nak sent.
+	before := nd.stats.BorrowsSuppressed
+	nd.HandleMessage(src, MsgBorrowReq{Tag: 99, Attempt: 1})
+	if nd.stats.BorrowsSuppressed != before {
+		t.Fatal("attempt-1 borrowReq must not be gated")
+	}
+	if _, ok := nd.pending[src]; !ok {
+		t.Fatal("unanswerable borrowReq must be parked as pending")
+	}
+}
+
+func TestServeBorrowDeltaVsFullReply(t *testing.T) {
+	nodes := newCluster(t, 3, 1)
+	nd := nodes[0]
+	for i := 1; i <= 6; i++ {
+		nd.log.AddSelf(core.Value{TS: core.Timestamp{Tag: core.Tag(i), Writer: 0}, Payload: []byte("x")})
+	}
+	nd.log.AdvanceFrontier(4)
+	view := nd.log.ViewLE(6)
+	nd.ownGood[6] = view
+
+	// The requester advertises the same frozen prefix: delta reply.
+	nd.serveBorrow(1, 5, nd.log.Frontier())
+	if nd.stats.BorrowDeltaReplies != 1 || nd.stats.BorrowFullReplies != 0 {
+		t.Fatalf("want delta reply for a vouched checkpoint: %+v", nd.stats)
+	}
+	// A checkpoint this log cannot vouch for: full view.
+	nd.serveBorrow(1, 5, core.Checkpoint{Tag: 4, Count: 4, Digest: 12345})
+	if nd.stats.BorrowFullReplies != 1 {
+		t.Fatalf("want full reply for a foreign checkpoint: %+v", nd.stats)
+	}
+	// The empty checkpoint (fresh requester) is always vouched: the delta
+	// is the whole view, equivalent to a full reply in size but uniform.
+	nd.serveBorrow(2, 5, core.Checkpoint{})
+	if nd.stats.BorrowDeltaReplies != 2 {
+		t.Fatalf("empty checkpoint should take the delta path: %+v", nd.stats)
+	}
+}
+
+func TestPendingBorrowServedOnNewView(t *testing.T) {
+	nodes := newCluster(t, 3, 1)
+	nd := nodes[0]
+	nd.serveBorrow(2, 5, core.Checkpoint{})
+	if _, ok := nd.pending[2]; !ok {
+		t.Fatal("no view yet: request must be parked")
+	}
+	// A too-small view does not serve the request.
+	nd.addBorrow(3, 1, view(1, 2, 3))
+	nd.servePending()
+	if nd.stats.BorrowPendingServed != 0 {
+		t.Fatalf("tag-3 view must not satisfy a tag-5 borrow: %+v", nd.stats)
+	}
+	// A covering view does.
+	nd.addBorrow(6, 1, view(1, 2, 3, 4, 6))
+	nd.servePending()
+	if nd.stats.BorrowPendingServed != 1 {
+		t.Fatalf("pending borrow should be served: %+v", nd.stats)
+	}
+	if _, ok := nd.pending[2]; ok {
+		t.Fatal("served request must leave the pending set")
+	}
+}
+
+func TestMaybeEscalateOnce(t *testing.T) {
+	nodes := newCluster(t, 3, 1)
+	nd := nodes[0]
+	nd.maybeEscalate(7) // no borrow in flight: no-op
+	if nd.stats.BorrowsEscalated != 0 {
+		t.Fatal("escalation without an in-flight borrow")
+	}
+	nd.curBorrow = &borrowWait{tag: 7}
+	nd.maybeEscalate(5) // stale tag: no-op
+	nd.maybeEscalate(7)
+	nd.maybeEscalate(7) // second nak: already escalated
+	if nd.stats.BorrowsEscalated != 1 || !nd.curBorrow.escalated {
+		t.Fatalf("want exactly one escalation: %+v", nd.stats)
 	}
 }

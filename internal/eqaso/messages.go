@@ -67,13 +67,20 @@ func (MsgGoodLA) Kind() string { return "goodLA" }
 // MsgBorrowReq asks peers for any good view with tag ≥ Tag. It is sent
 // when a LatticeRenewal enters its borrow phase, so that an indirect view
 // can be obtained even if the original goodLA broadcast was cut short by a
-// crash.
-type MsgBorrowReq struct{ Tag core.Tag }
+// crash. Attempt 0 is answered only by a sampled subset of responders
+// (reply-amplification gating); attempt 1 — broadcast after a borrowNak —
+// by everyone. Base advertises the requester's stable frontier so a
+// responder holding the same prefix can reply with just the delta.
+type MsgBorrowReq struct {
+	Tag     core.Tag
+	Attempt uint8
+	Base    core.Checkpoint
+}
 
 // Kind implements rt.Message.
 func (MsgBorrowReq) Kind() string { return "borrowReq" }
 
-// MsgGoodView answers a MsgBorrowReq with an explicit good view.
+// MsgGoodView answers a MsgBorrowReq with an explicit full good view.
 type MsgGoodView struct {
 	Tag  core.Tag
 	View core.View
@@ -81,6 +88,27 @@ type MsgGoodView struct {
 
 // Kind implements rt.Message.
 func (MsgGoodView) Kind() string { return "goodView" }
+
+// MsgGoodViewDelta answers a MsgBorrowReq whose Base checkpoint the
+// responder vouches for: the good view equals the requester's own frozen
+// prefix of Base.Count values followed by Delta. Message size is bounded
+// by activity above the frontier instead of the whole history.
+type MsgGoodViewDelta struct {
+	Tag   core.Tag
+	Base  core.Checkpoint
+	Delta []core.Value
+}
+
+// Kind implements rt.Message.
+func (MsgGoodViewDelta) Kind() string { return "goodViewDelta" }
+
+// MsgBorrowNak tells a borrower that a sampled responder holds no good
+// view with tag ≥ Tag yet; the borrower escalates to a full broadcast and
+// the responder parks the request, serving it when a view arrives.
+type MsgBorrowNak struct{ Tag core.Tag }
+
+// Kind implements rt.Message.
+func (MsgBorrowNak) Kind() string { return "borrowNak" }
 
 // Wire tags 16–24 (see DESIGN.md, wire format section).
 func init() {
@@ -152,9 +180,22 @@ func init() {
 	})
 	wire.Register(wire.Codec{
 		Tag: 23, Proto: MsgBorrowReq{},
-		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutTag(b, m.(MsgBorrowReq).Tag) },
-		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgBorrowReq{Tag: wire.GetTag(d)}, d.Err() },
-		Gen:    func(rng *rand.Rand) rt.Message { return MsgBorrowReq{Tag: core.Tag(rng.Int63n(1 << 20))} },
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgBorrowReq)
+			wire.PutTag(b, msg.Tag)
+			b.PutByte(msg.Attempt)
+			wire.PutCheckpoint(b, msg.Base)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgBorrowReq{Tag: wire.GetTag(d), Attempt: d.Byte(), Base: wire.GetCheckpoint(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgBorrowReq{
+				Tag:     core.Tag(rng.Int63n(1 << 20)),
+				Attempt: uint8(rng.Intn(2)),
+				Base:    wire.GenCheckpoint(rng),
+			}
+		},
 	})
 	wire.Register(wire.Codec{
 		Tag: 24, Proto: MsgGoodView{},
@@ -169,5 +210,34 @@ func init() {
 		Gen: func(rng *rand.Rand) rt.Message {
 			return MsgGoodView{Tag: core.Tag(rng.Int63n(1 << 20)), View: wire.GenView(rng)}
 		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 25, Proto: MsgGoodViewDelta{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgGoodViewDelta)
+			wire.PutTag(b, msg.Tag)
+			wire.PutCheckpoint(b, msg.Base)
+			wire.PutValues(b, msg.Delta)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgGoodViewDelta{
+				Tag:   wire.GetTag(d),
+				Base:  wire.GetCheckpoint(d),
+				Delta: wire.GetValues(d),
+			}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgGoodViewDelta{
+				Tag:   core.Tag(rng.Int63n(1 << 20)),
+				Base:  wire.GenCheckpoint(rng),
+				Delta: wire.GenValues(rng),
+			}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 26, Proto: MsgBorrowNak{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutTag(b, m.(MsgBorrowNak).Tag) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgBorrowNak{Tag: wire.GetTag(d)}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgBorrowNak{Tag: core.Tag(rng.Int63n(1 << 20))} },
 	})
 }

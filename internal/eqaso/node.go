@@ -17,6 +17,13 @@
 //     original goodLA broadcast was truncated by the sender's crash. Any
 //     good view with tag ≥ r preserves conditions (A1)-(A4): good views
 //     are pairwise comparable (Lemma 2), and larger views only grow bases.
+//
+// Local state lives in a core.ValueLog (one shared timestamp-sorted array
+// with per-peer cursors) rather than n separate value maps, which makes
+// the per-operation cost independent of the history length: EQ tracker
+// setup is O(n log H), good views are zero-copy prefixes of the frozen
+// log, and borrow replies ship only the delta above the requester's
+// stable frontier (see DESIGN.md §8).
 package eqaso
 
 import (
@@ -34,11 +41,36 @@ type Stats struct {
 	LatticeOps    int64
 	DirectViews   int64
 	IndirectViews int64
+
+	// Borrow-protocol counters (see the borrowReq gating in node.go).
+	BorrowsSuppressed   int64 // borrowReq received but not in the sample → no reply
+	BorrowsEscalated    int64 // borrow attempts rebroadcast to everyone
+	BorrowDeltaReplies  int64 // goodViewDelta replies sent (frontier matched)
+	BorrowFullReplies   int64 // full goodView replies sent
+	BorrowPendingServed int64 // replies sent late, once a view became known
+	BorrowDeltaRejects  int64 // received deltas whose checkpoint no longer matched
 }
 
 type readState struct {
 	count int
 	max   core.Tag
+}
+
+// pendingBorrow is a borrowReq this node could not answer yet: it is
+// served as soon as a covering good view becomes known (the requester was
+// told to wait with a borrowNak).
+type pendingBorrow struct {
+	tag  core.Tag
+	base core.Checkpoint
+}
+
+// borrowWait is the client thread's in-flight borrow, visible to the
+// server thread so a borrowNak or a stale delta can trigger the one-time
+// escalation from the sampled request to a full broadcast.
+type borrowWait struct {
+	tag       core.Tag
+	base      core.Checkpoint
+	escalated bool
 }
 
 // Node is one EQ-ASO node: the server-thread state of Algorithm 1 plus the
@@ -50,8 +82,9 @@ type Node struct {
 	n      int
 	quorum int // n - f
 
-	// Algorithm 1 local variables.
-	V         []*core.ValueSet               // V[j]: values received from j
+	// Algorithm 1 local variables. log holds V[0..n-1] (the per-peer value
+	// sets) as one shared value log.
+	log       *core.ValueLog
 	maxTag    core.Tag                       // largest tag seen via writeTag/echoTag
 	borrow    map[core.Tag]map[int]core.View // D, kept per (tag, sender)
 	ownGood   map[core.Tag]core.View         // this node's good-lattice views
@@ -62,6 +95,10 @@ type Node struct {
 	readAcks  map[int64]*readState
 	writeAcks map[int64]int
 	wait      *core.EQTracker
+
+	// Borrow protocol state.
+	pending   map[int]pendingBorrow // requester id → unanswered borrowReq
+	curBorrow *borrowWait
 
 	stats Stats
 
@@ -88,15 +125,13 @@ func New(r rt.Runtime) *Node {
 		id:        r.ID(),
 		n:         n,
 		quorum:    n - r.F(),
-		V:         make([]*core.ValueSet, n),
+		log:       core.NewValueLog(n, r.ID()),
 		borrow:    make(map[core.Tag]map[int]core.View),
 		ownGood:   make(map[core.Tag]core.View),
 		forwarded: make(map[core.Timestamp]bool),
 		readAcks:  make(map[int64]*readState),
 		writeAcks: make(map[int64]int),
-	}
-	for i := range nd.V {
-		nd.V[i] = core.NewValueSet()
+		pending:   make(map[int]pendingBorrow),
 	}
 	return nd
 }
@@ -116,6 +151,9 @@ func (nd *Node) Stats() Stats {
 type MemoryStats struct {
 	// Values is the size of V[id] (every value ever learned).
 	Values int
+	// Frozen is the stable-frontier prefix length: values in zero-copy,
+	// immutable log positions.
+	Frozen int
 	// BorrowTags / OwnGoodTags count cached good views.
 	BorrowTags, OwnGoodTags int
 	// Forwarded is the size of the forwarding dedup set.
@@ -126,12 +164,21 @@ type MemoryStats struct {
 func (nd *Node) Memory() MemoryStats {
 	var m MemoryStats
 	nd.rt.Atomic(func() {
-		m.Values = nd.V[nd.id].Len()
+		m.Values = nd.log.SelfLen()
+		m.Frozen = nd.log.Frontier().Count
 		m.BorrowTags = len(nd.borrow)
 		m.OwnGoodTags = len(nd.ownGood)
 		m.Forwarded = len(nd.forwarded)
 	})
 	return m
+}
+
+// LogStats returns the value log's structural counters (for tests and
+// benchmarks).
+func (nd *Node) LogStats() core.LogStats {
+	var s core.LogStats
+	nd.rt.Atomic(func() { s = nd.log.Stats() })
+	return s
 }
 
 // MaxTag returns the node's current maxTag (for tests and tooling).
@@ -145,7 +192,7 @@ func (nd *Node) MaxTag() core.Tag {
 // (V[id]); the SSO built on this package serves scans from it.
 func (nd *Node) LocalView() core.View {
 	var v core.View
-	nd.rt.Atomic(func() { v = nd.V[nd.id].AllView() })
+	nd.rt.Atomic(func() { v = nd.log.AllView() })
 	return v
 }
 
@@ -154,11 +201,7 @@ func (nd *Node) LocalView() core.View {
 func (nd *Node) HandleMessage(src int, m rt.Message) {
 	switch msg := m.(type) {
 	case MsgValue:
-		newToJ := nd.V[src].Add(msg.Val)
-		newToSelf := newToJ
-		if src != nd.id {
-			newToSelf = nd.V[nd.id].Add(msg.Val)
-		}
+		newToJ, newToSelf := nd.log.Add(src, msg.Val)
 		if nd.wait != nil {
 			nd.wait.OnAdd(src, msg.Val, newToJ, newToSelf)
 		}
@@ -191,21 +234,46 @@ func (nd *Node) HandleMessage(src int, m rt.Message) {
 		}
 	case MsgGoodLA:
 		// By FIFO, V[src]^{≤Tag} now equals src's equivalence set.
-		view := nd.V[src].ViewLE(msg.Tag)
+		view := nd.log.PeerViewLE(src, msg.Tag)
 		nd.addBorrow(msg.Tag, src, view)
 		if nd.OnGoodLAView != nil {
 			nd.OnGoodLAView(msg.Tag, src, view)
 		}
+		nd.servePending()
 	case MsgBorrowReq:
-		if tag, view, ok := nd.bestViewAtLeast(msg.Tag); ok {
-			nd.rt.Send(src, MsgGoodView{Tag: tag, View: view})
+		if msg.Attempt == 0 && !nd.inSample(src, msg.Tag) {
+			// Reply amplification gate: on the first attempt only f+1
+			// deterministically sampled responders answer; the requester
+			// escalates (attempt 1, everyone answers) if a sampled
+			// responder naks.
+			nd.stats.BorrowsSuppressed++
+			return
 		}
+		nd.serveBorrow(src, msg.Tag, msg.Base)
+	case MsgBorrowNak:
+		nd.maybeEscalate(msg.Tag)
 	case MsgGoodView:
-		nd.addBorrow(msg.Tag, src, msg.View)
-		if nd.OnGoodLAView != nil {
-			nd.OnGoodLAView(msg.Tag, src, msg.View)
+		nd.adoptBorrowed(msg.Tag, src, msg.View)
+	case MsgGoodViewDelta:
+		if view, ok := nd.log.ComposeAt(msg.Base, msg.Delta); ok {
+			nd.adoptBorrowed(msg.Tag, src, view)
+		} else {
+			// Our frozen prefix changed under the in-flight borrow (a
+			// straggler forced a copy-on-write) — ask for full views.
+			nd.stats.BorrowDeltaRejects++
+			nd.maybeEscalate(msg.Tag)
 		}
 	}
+}
+
+// adoptBorrowed records a good view received from a peer and serves any
+// borrowReq this node had parked (it now holds a view to answer with).
+func (nd *Node) adoptBorrowed(tag core.Tag, from int, view core.View) {
+	nd.addBorrow(tag, from, view)
+	if nd.OnGoodLAView != nil {
+		nd.OnGoodLAView(tag, from, view)
+	}
+	nd.servePending()
 }
 
 func (nd *Node) addBorrow(tag core.Tag, from int, view core.View) {
@@ -215,6 +283,87 @@ func (nd *Node) addBorrow(tag core.Tag, from int, view core.View) {
 		nd.borrow[tag] = byNode
 	}
 	byNode[from] = view
+}
+
+// inSample reports whether this node is one of the f+1 responders sampled
+// for src's borrowReq at the given tag. The sample is a deterministic
+// function of (tag, src) — a rotation of the ring starting at a
+// tag-and-requester-derived offset — so the requester needs no extra
+// coordination and repeated borrows at growing tags spread the load.
+func (nd *Node) inSample(src int, tag core.Tag) bool {
+	k := nd.n - nd.quorum + 1 // f+1: at least one sampled node is correct
+	h := uint64(tag)*0x9e3779b97f4a7c15 + uint64(src)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	start := int(h % uint64(nd.n))
+	for i, c := 0, 0; i < nd.n && c < k; i++ {
+		id := (start + i) % nd.n
+		if id == src {
+			continue // the requester answers itself for free
+		}
+		if id == nd.id {
+			return true
+		}
+		c++
+	}
+	return false
+}
+
+// serveBorrow answers a borrowReq: with the delta above the requester's
+// advertised frontier when both sides agree on that prefix, with a full
+// view otherwise, or — lacking any view with tag ≥ r — with a borrowNak
+// now and a real reply later (servePending) if a view arrives.
+func (nd *Node) serveBorrow(src int, r core.Tag, base core.Checkpoint) {
+	if tag, view, ok := nd.bestViewAtLeast(r); ok {
+		nd.sendView(src, tag, view, base)
+		return
+	}
+	nd.pending[src] = pendingBorrow{tag: r, base: base}
+	nd.rt.Send(src, MsgBorrowNak{Tag: r})
+}
+
+func (nd *Node) sendView(src int, tag core.Tag, view core.View, base core.Checkpoint) {
+	if delta, ok := nd.log.DeltaAbove(view, base); ok {
+		nd.stats.BorrowDeltaReplies++
+		nd.rt.Send(src, MsgGoodViewDelta{Tag: tag, Base: base, Delta: delta})
+		return
+	}
+	nd.stats.BorrowFullReplies++
+	nd.rt.Send(src, MsgGoodView{Tag: tag, View: view})
+}
+
+// servePending answers parked borrowReqs that a newly learned view can now
+// satisfy. Iteration is in requester order for determinism.
+func (nd *Node) servePending() {
+	if len(nd.pending) == 0 {
+		return
+	}
+	reqs := make([]int, 0, len(nd.pending))
+	for src := range nd.pending {
+		reqs = append(reqs, src)
+	}
+	sort.Ints(reqs)
+	for _, src := range reqs {
+		pb := nd.pending[src]
+		if tag, view, ok := nd.bestViewAtLeast(pb.tag); ok {
+			delete(nd.pending, src)
+			nd.stats.BorrowPendingServed++
+			nd.sendView(src, tag, view, pb.base)
+		}
+	}
+}
+
+// maybeEscalate rebroadcasts the in-flight borrow to every node, once: a
+// sampled responder had nothing to offer (borrowNak) or a delta reply went
+// stale. Escalation restores the pre-gating behavior, so liveness matches
+// the original always-broadcast protocol.
+func (nd *Node) maybeEscalate(tag core.Tag) {
+	bw := nd.curBorrow
+	if bw == nil || bw.escalated || tag != bw.tag {
+		return
+	}
+	bw.escalated = true
+	nd.stats.BorrowsEscalated++
+	nd.rt.Broadcast(MsgBorrowReq{Tag: bw.tag, Attempt: 1, Base: bw.base})
 }
 
 // bestViewAtLeast returns the smallest-tagged good view this node knows
@@ -242,7 +391,7 @@ func (nd *Node) bestViewAtLeast(r core.Tag) (core.Tag, core.View, bool) {
 		consider(tag, byNode[nodes[0]])
 	}
 	if bestTag < 0 {
-		return 0, nil, false
+		return 0, core.View{}, false
 	}
 	return bestTag, bestView, true
 }

@@ -50,7 +50,7 @@ func (nd *Node) writeTag(tag core.Tag) error {
 func (nd *Node) lattice(r core.Tag) (good bool, view core.View, err error) {
 	nd.rt.Atomic(func() { nd.stats.LatticeOps++ })
 	if err := nd.writeTag(r); err != nil {
-		return false, nil, err
+		return false, core.View{}, err
 	}
 	var tracker *core.EQTracker
 	nd.rt.Atomic(func() {
@@ -58,7 +58,7 @@ func (nd *Node) lattice(r core.Tag) (good bool, view core.View, err error) {
 		// are nondecreasing), so keep the good-view caches bounded by
 		// in-flight activity.
 		nd.pruneBelow(r)
-		tracker = core.NewEQTracker(nd.V, nd.id, r, nd.quorum)
+		tracker = core.NewEQTrackerFromLog(nd.log, r, nd.quorum)
 		nd.wait = tracker
 	})
 	nd.phase("eqWait")
@@ -69,16 +69,21 @@ func (nd *Node) lattice(r core.Tag) (good bool, view core.View, err error) {
 			nd.wait = nil
 			if nd.maxTag <= r {
 				good = true
-				view = nd.V[nd.id].ViewLE(r)
+				// The prefix ≤ r is an equivalence set held by n−f
+				// nodes: freeze it first, so the view below is a
+				// zero-copy alias of the frozen log.
+				nd.log.AdvanceFrontier(r)
+				view = nd.log.ViewLE(r)
 				nd.ownGood[r] = view
 				if nd.OnGoodLattice != nil {
 					nd.OnGoodLattice(r, view)
 				}
 				nd.rt.Broadcast(MsgGoodLA{Tag: r})
+				nd.servePending()
 			}
 		})
 	if err != nil {
-		return false, nil, err
+		return false, core.View{}, err
 	}
 	if good {
 		nd.phase("eqGood")
@@ -96,7 +101,7 @@ func (nd *Node) latticeRenewal(r core.Tag) (core.View, error) {
 		nd.phase(renewalPhases[phase-1])
 		good, view, err := nd.lattice(r)
 		if err != nil {
-			return nil, err
+			return core.View{}, err
 		}
 		if good {
 			nd.rt.Atomic(func() { nd.stats.DirectViews++ })
@@ -109,14 +114,24 @@ func (nd *Node) latticeRenewal(r core.Tag) (core.View, error) {
 	}
 	// Borrow an indirect view for tag ≥ r (see the package comment for
 	// why ≥ rather than = preserves correctness and improves liveness).
+	// The request advertises the stable frontier so holders can reply
+	// with a delta, and is answered by a sampled subset of nodes first
+	// (escalated to everyone on a borrowNak — see maybeEscalate).
 	nd.phase("borrow")
-	nd.rt.Atomic(func() { nd.pruneBelow(r) })
-	nd.rt.Broadcast(MsgBorrowReq{Tag: r})
+	var req MsgBorrowReq
+	nd.rt.Atomic(func() {
+		nd.pruneBelow(r)
+		base := nd.log.Frontier()
+		nd.curBorrow = &borrowWait{tag: r, base: base}
+		req = MsgBorrowReq{Tag: r, Attempt: 0, Base: base}
+	})
+	nd.rt.Broadcast(req)
 	var view core.View
 	err := nd.rt.WaitUntilThen("borrow goodLA view",
 		func() bool { _, _, ok := nd.bestViewAtLeast(r); return ok },
 		func() {
 			_, view, _ = nd.bestViewAtLeast(r)
+			nd.curBorrow = nil
 			nd.stats.IndirectViews++
 		})
 	return view, err
@@ -165,10 +180,10 @@ func (nd *Node) UpdateBatch(payloads [][]byte) error {
 // increasing, exactly as in the single-value protocol.
 func (nd *Node) UpdateBatchWithView(payloads [][]byte) (view core.View, tss []core.Timestamp, err error) {
 	if nd.rt.Crashed() {
-		return nil, nil, rt.ErrCrashed
+		return core.View{}, nil, rt.ErrCrashed
 	}
 	if len(payloads) == 0 {
-		return nil, nil, nil
+		return core.View{}, nil, nil
 	}
 	c := nd.opStart("update")
 	defer func() { nd.opEnd(c, err) }()
@@ -179,7 +194,7 @@ func (nd *Node) UpdateBatchWithView(payloads [][]byte) (view core.View, tss []co
 	})
 	r, err := nd.readTag()
 	if err != nil {
-		return nil, nil, err
+		return core.View{}, nil, err
 	}
 	tss = make([]core.Timestamp, len(payloads))
 	nd.rt.Atomic(func() {
@@ -193,7 +208,7 @@ func (nd *Node) UpdateBatchWithView(payloads [][]byte) (view core.View, tss []co
 		nd.rt.Broadcast(MsgValue{Val: core.Value{TS: tss[i], Payload: payload}})
 	}
 	if _, _, err = nd.lattice(r); err != nil { // phase 0
-		return nil, tss, err
+		return core.View{}, tss, err
 	}
 	var r2 core.Tag
 	nd.rt.Atomic(func() {
@@ -211,7 +226,7 @@ func (nd *Node) UpdateBatchWithView(payloads [][]byte) (view core.View, tss []co
 func (nd *Node) RefreshView() (core.View, error) {
 	r, err := nd.readTag()
 	if err != nil {
-		return nil, err
+		return core.View{}, err
 	}
 	return nd.latticeRenewal(r)
 }
@@ -240,14 +255,14 @@ func (nd *Node) Scan() (res [][]byte, err error) {
 // the lattice-agreement adapter).
 func (nd *Node) ScanView() (view core.View, err error) {
 	if nd.rt.Crashed() {
-		return nil, rt.ErrCrashed
+		return core.View{}, rt.ErrCrashed
 	}
 	c := nd.opStart("scan")
 	defer func() { nd.opEnd(c, err) }()
 	nd.rt.Atomic(func() { nd.stats.Scans++ })
 	r, err := nd.readTag()
 	if err != nil {
-		return nil, err
+		return core.View{}, err
 	}
 	return nd.latticeRenewal(r)
 }

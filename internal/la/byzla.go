@@ -129,7 +129,7 @@ func (l *ByzEQLA) drainHaves(src int) {
 // Propose disseminates the node's proposal and decides a comparable view.
 func (l *ByzEQLA) Propose(payload []byte) (core.View, error) {
 	if l.rt.Crashed() {
-		return nil, rt.ErrCrashed
+		return core.View{}, rt.ErrCrashed
 	}
 	var dup bool
 	l.rt.Atomic(func() {
@@ -143,7 +143,7 @@ func (l *ByzEQLA) Propose(payload []byte) (core.View, error) {
 		}
 	})
 	if dup {
-		return nil, ErrAlreadyUpdated
+		return core.View{}, ErrAlreadyUpdated
 	}
 	var tracker *core.EQTracker
 	l.rt.Atomic(func() {
@@ -159,7 +159,7 @@ func (l *ByzEQLA) Propose(payload []byte) (core.View, error) {
 			view = l.V[l.id].AllView()
 		})
 	if err != nil {
-		return nil, err
+		return core.View{}, err
 	}
 	return view, nil
 }

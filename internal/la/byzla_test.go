@@ -43,7 +43,7 @@ func runByzLA(t *testing.T, w *sim.World, nodes []*la.ByzEQLA, proposers []int) 
 func checkByzLA(t *testing.T, decided []core.View, n int, mustDecide []int) {
 	t.Helper()
 	for _, i := range mustDecide {
-		if decided[i] == nil {
+		if decided[i].Len() == 0 {
 			t.Fatalf("node %d failed to decide", i)
 		}
 		if !decided[i].Contains(core.Timestamp{Tag: 1, Writer: i}) {
@@ -52,7 +52,7 @@ func checkByzLA(t *testing.T, decided []core.View, n int, mustDecide []int) {
 	}
 	for i := range decided {
 		for j := i + 1; j < len(decided); j++ {
-			if decided[i] == nil || decided[j] == nil {
+			if decided[i].Len() == 0 || decided[j].Len() == 0 {
 				continue
 			}
 			if !decided[i].ComparableWith(decided[j]) {
@@ -95,7 +95,7 @@ func TestByzEQLAForgedProposerIgnored(t *testing.T) {
 	decided := runByzLA(t, w, nodes, live)
 	checkByzLA(t, decided, n, live)
 	for _, i := range live {
-		for _, v := range decided[i] {
+		for _, v := range decided[i].Values() {
 			if string(v.Payload) == "evil" {
 				t.Fatalf("forged proposal leaked into node %d's decision", i)
 			}

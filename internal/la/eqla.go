@@ -30,7 +30,7 @@ func (l *EQLA) HandleMessage(src int, m rt.Message) { l.inner.HandleMessage(src,
 func (l *EQLA) Propose(payload []byte) (core.View, error) {
 	o := l.inner
 	if o.rt.Crashed() {
-		return nil, rt.ErrCrashed
+		return core.View{}, rt.ErrCrashed
 	}
 	ts := core.Timestamp{Tag: 1, Writer: o.id}
 	var dup bool
@@ -43,7 +43,7 @@ func (l *EQLA) Propose(payload []byte) (core.View, error) {
 		}
 	})
 	if dup {
-		return nil, ErrAlreadyUpdated
+		return core.View{}, ErrAlreadyUpdated
 	}
 	o.rt.Broadcast(OSValue{Val: core.Value{TS: ts, Payload: payload}})
 	var tracker *core.EQTracker
@@ -59,7 +59,7 @@ func (l *EQLA) Propose(payload []byte) (core.View, error) {
 			view = o.V[o.id].AllView()
 		})
 	if err != nil {
-		return nil, err
+		return core.View{}, err
 	}
 	return view, nil
 }

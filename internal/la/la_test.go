@@ -176,7 +176,7 @@ func checkLAProperties(t *testing.T, decided []core.View, n int) {
 	t.Helper()
 	anyDecided := false
 	for i, v := range decided {
-		if v == nil {
+		if v.Len() == 0 {
 			continue
 		}
 		anyDecided = true
@@ -185,7 +185,7 @@ func checkLAProperties(t *testing.T, decided []core.View, n int) {
 			t.Fatalf("node %d's decision misses its own proposal: %v", i, v)
 		}
 		// Downward validity: only proposed values.
-		for _, val := range v {
+		for _, val := range v.Values() {
 			if val.TS.Tag != 1 || val.TS.Writer < 0 || val.TS.Writer >= n {
 				t.Fatalf("node %d decided a non-proposal %v", i, val.TS)
 			}
@@ -196,7 +196,7 @@ func checkLAProperties(t *testing.T, decided []core.View, n int) {
 	}
 	for i := range decided {
 		for j := i + 1; j < len(decided); j++ {
-			if decided[i] == nil || decided[j] == nil {
+			if decided[i].Len() == 0 || decided[j].Len() == 0 {
 				continue
 			}
 			if !decided[i].ComparableWith(decided[j]) {

@@ -146,7 +146,7 @@ func (o *OneShot) Scan() ([][]byte, error) {
 // ScanView is Scan returning the raw equivalence set.
 func (o *OneShot) ScanView() (core.View, error) {
 	if o.rt.Crashed() {
-		return nil, rt.ErrCrashed
+		return core.View{}, rt.ErrCrashed
 	}
 	var tracker *core.EQTracker
 	o.rt.Atomic(func() {
@@ -161,7 +161,7 @@ func (o *OneShot) ScanView() (core.View, error) {
 			view = o.V[o.id].AllView()
 		})
 	if err != nil {
-		return nil, err
+		return core.View{}, err
 	}
 	return view, nil
 }

@@ -75,7 +75,7 @@ func (o *OneShotAtomic) HandleMessage(src int, m rt.Message) {
 	in := o.inner
 	switch msg := m.(type) {
 	case OSScanRead:
-		in.rt.Send(src, OSScanReadAck{ReqID: msg.ReqID, Set: in.V[in.id].AllView()})
+		in.rt.Send(src, OSScanReadAck{ReqID: msg.ReqID, Set: in.V[in.id].AllView().Values()})
 	case OSScanReadAck:
 		if _, ok := o.reads[msg.ReqID]; !ok {
 			return

@@ -100,7 +100,7 @@ func (l *RoundLA) HandleMessage(src int, m rt.Message) {
 		for _, v := range msg.Set {
 			l.known.Add(v)
 		}
-		l.rt.Send(src, RLReply{ReqID: msg.ReqID, Set: l.known.AllView()})
+		l.rt.Send(src, RLReply{ReqID: msg.ReqID, Set: l.known.AllView().Values()})
 	case RLReply:
 		st, ok := l.pending[msg.ReqID]
 		if !ok {
@@ -119,18 +119,18 @@ func (l *RoundLA) HandleMessage(src int, m rt.Message) {
 // Propose disseminates the node's value and decides a comparable view.
 func (l *RoundLA) Propose(payload []byte) (core.View, error) {
 	if l.rt.Crashed() {
-		return nil, rt.ErrCrashed
+		return core.View{}, rt.ErrCrashed
 	}
 	ts := core.Timestamp{Tag: 1, Writer: l.id}
 	l.rt.Atomic(func() { l.known.Add(core.Value{TS: ts, Payload: payload}) })
 	for {
 		var req int64
-		var sent core.View
+		var sent []core.Value
 		var st *rlCollect
 		l.rt.Atomic(func() {
 			l.nextReq++
 			req = l.nextReq
-			sent = l.known.AllView()
+			sent = l.known.AllView().Values()
 			st = &rlCollect{stable: true, sent: len(sent)}
 			l.pending[req] = st
 		})
@@ -145,10 +145,10 @@ func (l *RoundLA) Propose(payload []byte) (core.View, error) {
 				decided = st.stable && l.known.Len() == len(sent)
 			})
 		if err != nil {
-			return nil, err
+			return core.View{}, err
 		}
 		if decided {
-			return sent, nil
+			return core.ViewOf(sent...), nil
 		}
 	}
 }

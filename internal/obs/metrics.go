@@ -25,12 +25,19 @@ type Metrics struct {
 	fails map[string]uint64     // op name -> failed (Err) completions
 
 	msgMu sync.Mutex
-	msgs  map[msgKey]uint64
+	msgs  map[msgKey]*msgCounter
 }
 
 type msgKey struct {
 	event string // rt.MsgSend / MsgDeliver / MsgDrop / MsgCorrupt
 	kind  string
+}
+
+// msgCounter accumulates one (lifecycle, kind) cell: how many events and
+// how many encoded payload bytes they carried.
+type msgCounter struct {
+	count uint64
+	bytes uint64
 }
 
 var _ rt.Observer = (*Metrics)(nil)
@@ -81,14 +88,21 @@ func (m *Metrics) OnOp(e rt.OpEvent) {
 	}
 }
 
-// OnMsg counts the event per (lifecycle, kind).
+// OnMsg counts the event and its encoded payload bytes per (lifecycle,
+// kind).
 func (m *Metrics) OnMsg(e rt.MsgEvent) {
 	k := msgKey{event: e.Event, kind: e.Kind}
 	m.msgMu.Lock()
 	if m.msgs == nil {
-		m.msgs = make(map[msgKey]uint64)
+		m.msgs = make(map[msgKey]*msgCounter)
 	}
-	m.msgs[k]++
+	c := m.msgs[k]
+	if c == nil {
+		c = &msgCounter{}
+		m.msgs[k] = c
+	}
+	c.count++
+	c.bytes += uint64(e.Bytes)
 	m.msgMu.Unlock()
 }
 
@@ -100,11 +114,13 @@ type OpSnap struct {
 	Failed uint64   `json:"failed,omitempty"`
 }
 
-// MsgSnap is one (lifecycle event, kind) counter.
+// MsgSnap is one (lifecycle event, kind) counter: event count and total
+// encoded payload bytes (0 when the backend could not size the messages).
 type MsgSnap struct {
 	Event string `json:"event"`
 	Kind  string `json:"kind"`
 	Count uint64 `json:"count"`
+	Bytes uint64 `json:"bytes,omitempty"`
 }
 
 // Snap is a consistent point-in-time copy of all metrics.
@@ -148,7 +164,8 @@ func (m *Metrics) Snapshot() Snap {
 		return keys[i].kind < keys[j].kind
 	})
 	for _, k := range keys {
-		s.Msgs = append(s.Msgs, MsgSnap{Event: k.event, Kind: k.kind, Count: m.msgs[k]})
+		c := m.msgs[k]
+		s.Msgs = append(s.Msgs, MsgSnap{Event: k.event, Kind: k.kind, Count: c.count, Bytes: c.bytes})
 	}
 	m.msgMu.Unlock()
 	return s

@@ -60,15 +60,15 @@ func TestMetricsErrCompletions(t *testing.T) {
 func TestMetricsMsgCounters(t *testing.T) {
 	m := NewSimMetrics()
 	for i := 0; i < 3; i++ {
-		m.OnMsg(rt.MsgEvent{Event: rt.MsgSend, Kind: "value"})
+		m.OnMsg(rt.MsgEvent{Event: rt.MsgSend, Kind: "value", Bytes: 10})
 	}
-	m.OnMsg(rt.MsgEvent{Event: rt.MsgDeliver, Kind: "value"})
+	m.OnMsg(rt.MsgEvent{Event: rt.MsgDeliver, Kind: "value", Bytes: 10})
 	m.OnMsg(rt.MsgEvent{Event: rt.MsgCorrupt, Kind: ""})
 	s := m.Snapshot()
 	want := []MsgSnap{
 		{Event: rt.MsgCorrupt, Kind: "", Count: 1},
-		{Event: rt.MsgDeliver, Kind: "value", Count: 1},
-		{Event: rt.MsgSend, Kind: "value", Count: 3},
+		{Event: rt.MsgDeliver, Kind: "value", Count: 1, Bytes: 10},
+		{Event: rt.MsgSend, Kind: "value", Count: 3, Bytes: 30},
 	}
 	if len(s.Msgs) != len(want) {
 		t.Fatalf("msgs: got %v", s.Msgs)

@@ -21,6 +21,7 @@ import (
 //	mpsnap_op_latency_<unit>_count{op="scan"}            completions
 //	mpsnap_op_failed_total{op="scan"}                    Err completions
 //	mpsnap_messages_total{event="send",kind="value"}     per-kind counters
+//	mpsnap_message_bytes_total{event="send",kind="value"} per-kind bytes
 func WritePrometheus(w io.Writer, s Snap) error {
 	bw := &promWriter{w: w}
 	if len(s.Ops) > 0 {
@@ -64,6 +65,22 @@ func WritePrometheus(w io.Writer, s Snap) error {
 		bw.printf("# TYPE mpsnap_messages_total counter\n")
 		for _, m := range s.Msgs {
 			bw.printf("mpsnap_messages_total{event=%q,kind=%q} %d\n", m.Event, m.Kind, m.Count)
+		}
+		sized := false
+		for _, m := range s.Msgs {
+			if m.Bytes > 0 {
+				sized = true
+				break
+			}
+		}
+		if sized {
+			bw.printf("# HELP mpsnap_message_bytes_total Encoded payload bytes per message lifecycle event and kind.\n")
+			bw.printf("# TYPE mpsnap_message_bytes_total counter\n")
+			for _, m := range s.Msgs {
+				if m.Bytes > 0 {
+					bw.printf("mpsnap_message_bytes_total{event=%q,kind=%q} %d\n", m.Event, m.Kind, m.Bytes)
+				}
+			}
 		}
 	}
 	return bw.err

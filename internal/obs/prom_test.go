@@ -27,12 +27,12 @@ func promFixture() Snap {
 	}
 	m.OnOp(rt.OpEvent{Op: "update", Phase: rt.PhaseEnd, Dur: 50_000, Err: true})
 	for i := 0; i < 12; i++ {
-		m.OnMsg(rt.MsgEvent{Event: rt.MsgSend, Kind: "value"})
+		m.OnMsg(rt.MsgEvent{Event: rt.MsgSend, Kind: "value", Bytes: 24})
 	}
 	for i := 0; i < 11; i++ {
-		m.OnMsg(rt.MsgEvent{Event: rt.MsgDeliver, Kind: "value"})
+		m.OnMsg(rt.MsgEvent{Event: rt.MsgDeliver, Kind: "value", Bytes: 24})
 	}
-	m.OnMsg(rt.MsgEvent{Event: rt.MsgDrop, Kind: "value"})
+	m.OnMsg(rt.MsgEvent{Event: rt.MsgDrop, Kind: "value", Bytes: 24})
 	m.OnMsg(rt.MsgEvent{Event: rt.MsgCorrupt, Kind: ""})
 	return m.Snapshot()
 }

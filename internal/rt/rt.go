@@ -150,6 +150,10 @@ type MsgEvent struct {
 	Src, Dst int
 	// Kind is the message kind ("" when the message never decoded).
 	Kind string
+	// Bytes is the encoded payload size (wire tag + body, excluding
+	// framing). 0 when unknown: a frame that never decoded, or an
+	// unmarshalable test-local message on an in-memory backend.
+	Bytes int
 }
 
 // Observer receives runtime events: operation lifecycles from algorithms

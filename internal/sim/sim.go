@@ -344,7 +344,7 @@ func (w *World) send(src, dst int, msg rt.Message) {
 				if w.tracer != nil {
 					w.tracer(TraceEvent{T: w.now, Kind: "drop", Src: src, Dst: dst, Msg: msg.Kind()})
 				}
-				w.observeMsg(rt.MsgDrop, src, dst, msg.Kind())
+				w.observeMsg(rt.MsgDrop, src, dst, msg)
 				return
 			}
 			extra = fate.Extra
@@ -357,7 +357,7 @@ func (w *World) send(src, dst int, msg rt.Message) {
 				if w.tracer != nil {
 					w.tracer(TraceEvent{T: w.now, Kind: "corrupt", Src: src, Dst: dst, Msg: msg.Kind()})
 				}
-				w.observeMsg(rt.MsgCorrupt, src, dst, msg.Kind())
+				w.observeMsg(rt.MsgCorrupt, src, dst, msg)
 				return
 			}
 			if m != nil {
@@ -365,7 +365,7 @@ func (w *World) send(src, dst int, msg rt.Message) {
 				if w.tracer != nil {
 					w.tracer(TraceEvent{T: w.now, Kind: "corrupt", Src: src, Dst: dst, Msg: msg.Kind()})
 				}
-				w.observeMsg(rt.MsgCorrupt, src, dst, msg.Kind())
+				w.observeMsg(rt.MsgCorrupt, src, dst, msg)
 				msg = m
 			}
 		}
@@ -381,15 +381,19 @@ func (w *World) send(src, dst int, msg rt.Message) {
 	if w.tracer != nil {
 		w.tracer(TraceEvent{T: w.now, Kind: "send", Src: src, Dst: dst, Msg: msg.Kind()})
 	}
-	w.observeMsg(rt.MsgSend, src, dst, msg.Kind())
+	w.observeMsg(rt.MsgSend, src, dst, msg)
 	w.dispatch(src, dst, msg, extra)
 }
 
 // observeMsg forwards a message lifecycle event to the configured
-// Observer, if any.
-func (w *World) observeMsg(event string, src, dst int, kind string) {
+// Observer, if any. The encoded size is computed only when someone is
+// listening; unmarshalable test-local messages report 0 bytes.
+func (w *World) observeMsg(event string, src, dst int, msg rt.Message) {
 	if w.cfg.Observer != nil {
-		w.cfg.Observer.OnMsg(rt.MsgEvent{T: w.now, Event: event, Src: src, Dst: dst, Kind: kind})
+		w.cfg.Observer.OnMsg(rt.MsgEvent{
+			T: w.now, Event: event, Src: src, Dst: dst,
+			Kind: msg.Kind(), Bytes: wire.EncodedSize(msg),
+		})
 	}
 }
 
@@ -427,7 +431,7 @@ func (w *World) deliver(src, dst int, msg rt.Message) {
 	if w.tracer != nil {
 		w.tracer(TraceEvent{T: w.now, Kind: "deliver", Src: src, Dst: dst, Msg: msg.Kind()})
 	}
-	w.observeMsg(rt.MsgDeliver, src, dst, msg.Kind())
+	w.observeMsg(rt.MsgDeliver, src, dst, msg)
 	if ns.handler != nil {
 		ns.handler.HandleMessage(src, msg)
 	}

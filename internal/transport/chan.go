@@ -192,7 +192,7 @@ func NewChanNet(cfg ChanConfig) *ChanNet {
 								return
 							}
 						}
-						net.observeMsg(rt.MsgDeliver, tm.src, dst, tm.msg.Kind())
+						net.observeMsg(rt.MsgDeliver, tm.src, dst, tm.msg)
 						dstNode.deliver(tm.src, tm.msg)
 					}
 				}
@@ -223,9 +223,12 @@ func (c *ChanNet) nowTicks() rt.Ticks {
 	return rt.Ticks(time.Since(c.start) * time.Duration(rt.TicksPerD) / c.d)
 }
 
-func (c *ChanNet) observeMsg(event string, src, dst int, kind string) {
+func (c *ChanNet) observeMsg(event string, src, dst int, msg rt.Message) {
 	if c.obs != nil {
-		c.obs.OnMsg(rt.MsgEvent{T: c.nowTicks(), Event: event, Src: src, Dst: dst, Kind: kind})
+		c.obs.OnMsg(rt.MsgEvent{
+			T: c.nowTicks(), Event: event, Src: src, Dst: dst,
+			Kind: msg.Kind(), Bytes: wire.EncodedSize(msg),
+		})
 	}
 }
 
@@ -258,7 +261,7 @@ func (r *chanRuntime) Send(dst int, msg rt.Message) {
 		msg = m
 	}
 	tm := timedMsg{src: r.nd.id, msg: msg, notBefo: time.Now().Add(r.net.delay())}
-	r.net.observeMsg(rt.MsgSend, r.nd.id, dst, msg.Kind())
+	r.net.observeMsg(rt.MsgSend, r.nd.id, dst, msg)
 	select {
 	case r.nd.out[dst] <- tm:
 	default:

@@ -224,7 +224,7 @@ func (t *TCPNode) recvLoop(conn net.Conn) {
 	buf = payload
 	hm, err := wire.Unmarshal(payload)
 	if err != nil {
-		t.observeMsg(rt.MsgCorrupt, -1, t.cfg.ID, "")
+		t.observeMsg(rt.MsgCorrupt, -1, t.cfg.ID, "", len(payload))
 		t.recvError(-1, conn, err, true)
 		return
 	}
@@ -244,13 +244,13 @@ func (t *TCPNode) recvLoop(conn net.Conn) {
 		buf = payload
 		msg, err := wire.Unmarshal(payload)
 		if err != nil {
-			t.observeMsg(rt.MsgCorrupt, src, t.cfg.ID, "")
+			t.observeMsg(rt.MsgCorrupt, src, t.cfg.ID, "", len(payload))
 			t.recvError(src, conn, err, true)
 			return
 		}
 		// Decoders copy all byte fields, so reusing buf for the next
 		// frame cannot mutate a delivered message.
-		t.observeMsg(rt.MsgDeliver, src, t.cfg.ID, msg.Kind())
+		t.observeMsg(rt.MsgDeliver, src, t.cfg.ID, msg.Kind(), len(payload))
 		t.deliver(src, msg)
 	}
 }
@@ -348,9 +348,12 @@ func (t *TCPNode) nowTicks() rt.Ticks {
 	return rt.Ticks(time.Since(t.start) * time.Duration(rt.TicksPerD) / t.cfg.D)
 }
 
-func (t *TCPNode) observeMsg(event string, src, dst int, kind string) {
+func (t *TCPNode) observeMsg(event string, src, dst int, kind string, bytes int) {
 	if t.cfg.Observer != nil {
-		t.cfg.Observer.OnMsg(rt.MsgEvent{T: t.nowTicks(), Event: event, Src: src, Dst: dst, Kind: kind})
+		t.cfg.Observer.OnMsg(rt.MsgEvent{
+			T: t.nowTicks(), Event: event, Src: src, Dst: dst,
+			Kind: kind, Bytes: bytes,
+		})
 	}
 }
 
@@ -407,7 +410,7 @@ func (r *tcpRuntime) Send(dst int, msg rt.Message) {
 	if out == nil {
 		return
 	}
-	(*TCPNode)(r).observeMsg(rt.MsgSend, r.cfg.ID, dst, msg.Kind())
+	(*TCPNode)(r).observeMsg(rt.MsgSend, r.cfg.ID, dst, msg.Kind(), wire.EncodedSize(msg))
 	select {
 	case out <- msg:
 	default:

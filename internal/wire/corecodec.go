@@ -62,11 +62,28 @@ func GetValues(d *Decoder) []core.Value {
 	return vs
 }
 
-// PutView appends a core.View.
-func PutView(b *Buffer, v core.View) { PutValues(b, v) }
+// PutView appends a core.View in timestamp order (the view's two segments
+// flatten to one sorted value list on the wire).
+func PutView(b *Buffer, v core.View) {
+	b.PutUvarint(uint64(v.Len()))
+	v.Each(func(val core.Value) { PutValue(b, val) })
+}
 
 // GetView reads a core.View.
-func GetView(d *Decoder) core.View { return core.View(GetValues(d)) }
+func GetView(d *Decoder) core.View { return core.ViewOf(GetValues(d)...) }
+
+// PutCheckpoint appends a core.Checkpoint (frontier tag, prefix length,
+// prefix digest).
+func PutCheckpoint(b *Buffer, ck core.Checkpoint) {
+	PutTag(b, ck.Tag)
+	b.PutUvarint(uint64(ck.Count))
+	b.PutUint64(ck.Digest)
+}
+
+// GetCheckpoint reads a core.Checkpoint.
+func GetCheckpoint(d *Decoder) core.Checkpoint {
+	return core.Checkpoint{Tag: GetTag(d), Count: int(d.Uvarint()), Digest: d.Uint64()}
+}
 
 // Pseudo-random generators for fuzzing and benchmarks.
 
@@ -106,8 +123,17 @@ func GenValues(rng *rand.Rand) []core.Value {
 	return vs
 }
 
+// GenCheckpoint builds a random checkpoint.
+func GenCheckpoint(rng *rand.Rand) core.Checkpoint {
+	return core.Checkpoint{
+		Tag:    core.Tag(rng.Int63n(1 << 20)),
+		Count:  rng.Intn(1 << 12),
+		Digest: rng.Uint64(),
+	}
+}
+
 // GenView builds a random view.
-func GenView(rng *rand.Rand) core.View { return core.View(GenValues(rng)) }
+func GenView(rng *rand.Rand) core.View { return core.ViewOf(GenValues(rng)...) }
 
 func sortValues(vs []core.Value) {
 	for i := 1; i < len(vs); i++ {

@@ -226,6 +226,28 @@ func DecodeMessageFrom(d *Decoder) (rt.Message, error) {
 	return msg, nil
 }
 
+// sizeBufs pools encode buffers for EncodedSize, so per-message byte
+// accounting adds no steady-state allocations to backend hot paths.
+var sizeBufs = sync.Pool{New: func() any { return new(Buffer) }}
+
+// EncodedSize returns the encoded payload size (tag + body) of msg in
+// bytes, or 0 when msg — or something it nests — is not marshalable.
+// In-memory backends use it to attribute wire bytes to message kinds
+// without actually shipping frames.
+func EncodedSize(msg rt.Message) int {
+	if !Marshalable(msg) {
+		return 0
+	}
+	b := sizeBufs.Get().(*Buffer)
+	b.Reset()
+	n := 0
+	if AppendMessage(b, msg) == nil {
+		n = b.Len()
+	}
+	sizeBufs.Put(b)
+	return n
+}
+
 // Marshal encodes msg as a standalone payload (tag + body).
 func Marshal(msg rt.Message) ([]byte, error) {
 	var b Buffer

@@ -129,10 +129,10 @@ func Run(cfg Config) ([]Decision, error) {
 			continue
 		}
 		d := Decision{Node: i, LatencyD: lat[i]}
-		for _, val := range views[i] {
+		views[i].Each(func(val core.Value) {
 			d.Proposers = append(d.Proposers, val.TS.Writer)
 			d.Values = append(d.Values, val.Payload)
-		}
+		})
 		out = append(out, d)
 		for j := 0; j < i; j++ {
 			if decided[j] && !views[i].ComparableWith(views[j]) {
