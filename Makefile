@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build build-examples test test-race test-short cover bench bench-core bench-smoke fuzz fuzz-wire explore experiments chaos vet fmt-check clean
+.PHONY: all build build-examples test test-race test-short test-recovery cover bench bench-core bench-smoke fuzz fuzz-wire fuzz-wal explore experiments chaos vet fmt-check clean
 
 all: vet test
 
@@ -33,6 +33,12 @@ test-short:
 test-race:
 	$(GO) test -race ./...
 
+# Crash-recovery matrix under the race detector: WAL replay, restart and
+# rejoin under chaos on both the sim and chan backends, plus the WAL's
+# crash-point suite and the pruned-log differential oracle.
+test-recovery:
+	$(GO) test -race -count=1 -run 'Restart|Recover|Replay|Writer|CrashPoint|Prune|NoteVouch|Differential' ./internal/chaos/ ./internal/wal/ ./internal/core/
+
 # Coverage profile across all packages plus a per-function summary; the
 # total line is the number CI reports.
 cover:
@@ -56,6 +62,7 @@ bench-smoke:
 	$(GO) run ./cmd/asobench -e codec -json BENCH_codec.json
 	$(GO) run ./cmd/asobench -e latency -quick -json BENCH_latency.json
 	$(GO) run ./cmd/asobench -e hotpath -quick -check -json BENCH_hotpath.json
+	$(GO) run ./cmd/asobench -e recovery -quick -check -json BENCH_recovery.json
 
 # Randomized conformance fuzzing across all algorithms (bounded batch).
 fuzz:
@@ -71,6 +78,11 @@ fuzz-wire:
 	$(GO) run ./cmd/asofuzz -wire -count 5000 -seed 1
 	$(GO) test -fuzz=FuzzWireRoundTrip -fuzztime=30s ./internal/wire/
 	$(GO) test -fuzz=FuzzWireDecode -fuzztime=30s ./internal/wire/
+
+# WAL replay fuzzing: arbitrary byte images must never panic and must
+# recover exactly the longest intact record prefix.
+fuzz-wal:
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=30s ./internal/wal/
 
 # Bounded-exhaustive schedule exploration of the core algorithms.
 explore:

@@ -55,6 +55,10 @@ func main() {
 		hpWindow  = 128
 		hpWindows = 16
 		hpHs      = []int{1024, 4096, 16384, 65536}
+		rcN       = 8
+		rcWindow  = 128
+		rcReps    = 3
+		rcHs      = []int{1024, 4096, 16384, 65536}
 	)
 	if cfg.Quick {
 		table1Ops, table1N, table1F, table1K = 3, 7, 3, 2
@@ -67,6 +71,7 @@ func main() {
 		tputNs, tputCs = []int{8, 16}, []int{1, 16, 64}
 		latN, latOps = 8, 3
 		hpWindows, hpHs = 8, []int{1024, 4096, 16384}
+		rcHs = []int{1024, 4096, 16384}
 	}
 
 	experiments := []experiment{
@@ -127,6 +132,27 @@ func main() {
 					return "", err
 				}
 				out += "check passed: log-engine allocations per window are flat in H\n"
+			}
+			return out, nil
+		}},
+		{"recovery", func() (string, error) {
+			r := bench.RunRecovery(rcN, rcWindow, rcReps, rcHs)
+			out := r.Render()
+			if cfg.JSONPath != "" {
+				blob, err := r.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(cfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("points written to %s\n", cfg.JSONPath)
+			}
+			if cfg.Check {
+				if err := r.Check(2.0); err != nil {
+					return "", err
+				}
+				out += "check passed: GC-on recovered residency is flat in H\n"
 			}
 			return out, nil
 		}},

@@ -85,6 +85,15 @@ func printReport(rep chaos.Report, cfg chaosConfig, took time.Duration) {
 	fmt.Printf("  faults: %d crashes, %d partitions, %d drop windows (p=%.2f), %d spikes (+%gD), %d corrupt windows — %d events\n",
 		mix.Crashes, mix.Partitions, mix.DropWindows, mix.DropProb, mix.SpikeWindows, mix.SpikeExtraD,
 		mix.CorruptWindows, len(rep.Schedule.Events))
+	if mix.Restarts > 0 {
+		restarts := 0
+		for _, ev := range rep.Schedule.Events {
+			if ev.Kind == chaos.EvRestart {
+				restarts++
+			}
+		}
+		fmt.Printf("  recovery: %d of %d crash victims restart (WAL replay + rejoin)\n", restarts, mix.Crashes)
+	}
 	if cfg.ShowSched {
 		for _, ev := range rep.Schedule.Events {
 			fmt.Printf("    %s\n", ev)

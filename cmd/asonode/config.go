@@ -27,6 +27,13 @@ type nodeConfig struct {
 	HTTP string
 	// TraceCap bounds the /debug/trace ring buffer.
 	TraceCap int
+	// WAL, if non-empty, persists the node's protocol state to this
+	// file; if the file already holds a durable prefix the node recovers
+	// from it and rejoins the cluster (eqaso and sso only).
+	WAL string
+	// GC prunes the in-memory value log below the globally-vouched
+	// checkpoint (requires WAL).
+	GC bool
 }
 
 // N is the cluster size implied by the address list.
@@ -49,6 +56,8 @@ func parseNodeConfig(args []string, out io.Writer) (nodeConfig, error) {
 	fs.IntVar(&cfg.MaxPending, "max-pending", svc.DefaultMaxPending, "service queue bound (backpressure blocks past it)")
 	fs.StringVar(&cfg.HTTP, "http", "", "optional listen address for /metrics and /debug/trace")
 	fs.IntVar(&cfg.TraceCap, "trace-cap", 4096, "event capacity of the /debug/trace ring buffer")
+	fs.StringVar(&cfg.WAL, "wal", "", "write-ahead log file for crash-recovery; recovers and rejoins if it already has content (eqaso|sso)")
+	fs.BoolVar(&cfg.GC, "gc", false, "prune the value log below the globally-vouched checkpoint (requires -wal)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -84,6 +93,12 @@ func parseNodeConfig(args []string, out io.Writer) (nodeConfig, error) {
 	}
 	if cfg.TraceCap <= 0 {
 		return cfg, fmt.Errorf("-trace-cap must be positive")
+	}
+	if cfg.WAL != "" && cfg.Alg == "byzaso" {
+		return cfg, fmt.Errorf("-wal needs a crash-recovery algorithm (eqaso or sso)")
+	}
+	if cfg.GC && cfg.WAL == "" {
+		return cfg, fmt.Errorf("-gc requires -wal (pruning is only safe below a durable checkpoint)")
 	}
 	return cfg, nil
 }

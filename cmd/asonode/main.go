@@ -47,7 +47,12 @@ import (
 	"mpsnap/internal/sso"
 	"mpsnap/internal/svc"
 	"mpsnap/internal/transport"
+	"mpsnap/internal/wal"
 )
+
+// walBatch is the fsync batch for -wal: foreign values may ride a batch;
+// the protocol's durability points force explicit syncs regardless.
+const walBatch = 8
 
 func main() {
 	cfg, err := parseNodeConfig(os.Args[1:], os.Stderr)
@@ -76,11 +81,45 @@ func main() {
 	}
 	defer tn.Close()
 
+	// Crash-recovery: with -wal, replay the file's durable prefix (torn
+	// tails are the normal shape of a crash) and rebuild the node from
+	// it; new appends go to the same file. AttachWAL/Recover must happen
+	// before the handler is installed.
+	var walW *wal.Writer
+	var walSt *wal.State
+	if cfg.WAL != "" {
+		data, err := os.ReadFile(cfg.WAL)
+		if err != nil && !os.IsNotExist(err) {
+			log.Fatalf("wal: %v", err)
+		}
+		f, err := os.OpenFile(cfg.WAL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("wal: %v", err)
+		}
+		defer f.Close()
+		walW = wal.NewWriter(f, walBatch)
+		if len(data) > 0 {
+			walSt = wal.Recover(data, cfg.N(), cfg.ID)
+			fmt.Printf("wal: replayed %d records from %s (frontier count=%d, tail: %v)\n",
+				walSt.Records, cfg.WAL, walSt.Frontier.Count, walSt.TailErr)
+		}
+	}
+
 	var obj svc.Object
 	var handler rt.Handler
+	var rejoin func()
 	switch cfg.Alg {
 	case "eqaso":
-		nd := eqaso.New(tn.Runtime())
+		var nd *eqaso.Node
+		if walSt != nil {
+			nd = eqaso.Recover(tn.Runtime(), walSt, walW, cfg.GC)
+			rejoin = nd.Rejoin
+		} else {
+			nd = eqaso.New(tn.Runtime())
+			if walW != nil {
+				nd.AttachWAL(walW, cfg.GC)
+			}
+		}
 		if observer != nil {
 			nd.SetObserver(observer)
 		}
@@ -92,13 +131,26 @@ func main() {
 		}
 		obj, handler = nd, nd
 	case "sso":
-		nd := sso.New(tn.Runtime())
+		var nd *sso.Node
+		if walSt != nil {
+			nd = sso.Recover(tn.Runtime(), walSt, walW, cfg.GC)
+			rejoin = nd.Rejoin
+		} else {
+			nd = sso.New(tn.Runtime())
+			if walW != nil {
+				nd.AttachWAL(walW, cfg.GC)
+			}
+		}
 		if observer != nil {
 			nd.SetObserver(observer)
 		}
 		obj, handler = nd, nd
 	}
 	tn.SetHandler(handler)
+	if rejoin != nil {
+		rejoin()
+		fmt.Println("wal: rejoined the cluster from the recovered checkpoint")
+	}
 
 	service := svc.New(tn.Runtime(), obj, svc.Options{
 		Mode:       svc.ModeFor(cfg.Alg),

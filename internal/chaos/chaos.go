@@ -9,6 +9,7 @@ import (
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
 	"mpsnap/internal/sso"
+	"mpsnap/internal/wal"
 )
 
 // object is the client face of every snapshot object under test.
@@ -96,6 +97,14 @@ func (cfg *Config) normalize() error {
 	if cfg.Alg == "byzaso" && cfg.N <= 3*cfg.F {
 		return fmt.Errorf("chaos: byzaso needs n > 3f, got n=%d f=%d", cfg.N, cfg.F)
 	}
+	if cfg.Mix.Restarts > 0 {
+		if cfg.Alg == "byzaso" {
+			return fmt.Errorf("chaos: restarts need a WAL-capable algorithm (eqaso or sso), not %q", cfg.Alg)
+		}
+		if cfg.Service {
+			return fmt.Errorf("chaos: restarts drive direct clients; Service mode is not supported")
+		}
+	}
 	if _, err := checkerFor(cfg.Alg); err != nil {
 		return err
 	}
@@ -116,6 +125,31 @@ func newNode(alg string, r rt.Runtime) (rt.Handler, object, error) {
 		return nd, nd, nil
 	}
 	return nil, nil, fmt.Errorf("chaos: unknown algorithm %q (want eqaso|byzaso|sso)", alg)
+}
+
+// walAttacher is implemented by nodes that can persist to a write-ahead
+// log (eqaso and sso).
+type walAttacher interface {
+	AttachWAL(*wal.Writer, bool)
+}
+
+// rejoiner is implemented by recovered nodes that re-enter the protocol.
+type rejoiner interface {
+	Rejoin()
+}
+
+// recoverNode rebuilds the algorithm node of a restarted process from its
+// replayed WAL (GC stays enabled — recovery under pruning is the point).
+func recoverNode(alg string, r rt.Runtime, st *wal.State, w *wal.Writer) (rt.Handler, object, rejoiner, error) {
+	switch alg {
+	case "eqaso":
+		nd := eqaso.Recover(r, st, w, true)
+		return nd, nd, nd, nil
+	case "sso":
+		nd := sso.Recover(r, st, w, true)
+		return nd, nd, nd, nil
+	}
+	return nil, nil, nil, fmt.Errorf("chaos: algorithm %q cannot recover from a WAL", alg)
 }
 
 // checkerFor returns the consistency check for the algorithm:

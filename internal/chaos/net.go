@@ -34,6 +34,10 @@ type Net struct {
 	held    []heldNetMsg
 	crashed []bool
 	armed   []bool
+	// onRestart, if set, handles EvRestart events from Apply: it restores
+	// the backing transport and node (WAL replay, handler reinstall,
+	// client respawn) and finishes by calling ClearCrashed.
+	onRestart func(id int)
 	// corr, if set, mutates messages at the wire layer inside corrupt
 	// windows (see corrupter); accessed under mu.
 	corr *corrupter
@@ -140,6 +144,24 @@ func (nt *Net) Crash(id int) {
 	if nt.crashFn != nil {
 		nt.crashFn(id)
 	}
+}
+
+// OnRestart registers the crash-recovery callback invoked for EvRestart
+// events during Apply; set it before traffic flows.
+func (nt *Net) OnRestart(fn func(id int)) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	nt.onRestart = fn
+}
+
+// ClearCrashed unmarks a crash-stopped node so its sends flow again. The
+// caller must have restored the backing transport (and reinstalled the
+// recovered handler) first.
+func (nt *Net) ClearCrashed(id int) {
+	nt.mu.Lock()
+	defer nt.mu.Unlock()
+	nt.crashed[id] = false
+	nt.armed[id] = false
 }
 
 // CrashAll crash-stops every node (end-of-run abort of stuck clients).
@@ -286,8 +308,19 @@ func (nt *Net) broadcast(src int, msg rt.Message) {
 		for dst := 0; dst < prefix; dst++ {
 			nt.sendLocked(src, dst, msg)
 		}
+		// Crash the victim without re-entering the transport from this
+		// goroutine: the broadcaster holds its own node lock (transports
+		// run protocol sections under it), so a synchronous crashFn
+		// would self-deadlock. Marking crashed here already suppresses
+		// every later send; the transport-level crash — which releases
+		// the victim's blocked waits — lands as soon as the in-progress
+		// critical section ends.
+		nt.crashed[src] = true
+		fn := nt.crashFn
 		nt.mu.Unlock()
-		nt.Crash(src)
+		if fn != nil {
+			go fn(src)
+		}
 		return
 	}
 	for dst := 0; dst < nt.n; dst++ {
@@ -342,6 +375,13 @@ func (nt *Net) Apply(sched Schedule, tick time.Duration, done <-chan struct{}) {
 				nt.CorruptOn(ev.Src, ev.Dst, ev.Prob)
 			case EvCorruptOff:
 				nt.CorruptOff(ev.Src, ev.Dst)
+			case EvRestart:
+				nt.mu.Lock()
+				cb := nt.onRestart
+				nt.mu.Unlock()
+				if cb != nil {
+					cb(ev.Node)
+				}
 			}
 		}
 	}()

@@ -55,6 +55,16 @@ type Mix struct {
 	// CorruptProb is the per-message corruption probability inside a
 	// corrupt window (default 0.2).
 	CorruptProb float64 `json:"corruptProb,omitempty"`
+	// Restarts is how many crash victims later recover: each replays its
+	// write-ahead log, rejoins via the checkpoint-delta path, and resumes
+	// the workload as a fresh client. Clamped to the number of crashes.
+	// Requires a WAL-capable algorithm (eqaso or sso) without the Service
+	// layer; rejected otherwise.
+	Restarts int `json:"restarts,omitempty"`
+	// RestartDelayD is the crash-to-recovery delay in units of D (default
+	// 5, minimum 3 so the mid-broadcast fallback crash at +2D always
+	// precedes the restart).
+	RestartDelayD float64 `json:"restartDelayD,omitempty"`
 }
 
 // DefaultMix is the standard chaotic diet: one crash, two partition
@@ -77,6 +87,7 @@ const (
 	EvSpikeOff   EventKind = "spike-off"
 	EvCorruptOn  EventKind = "corrupt-on"
 	EvCorruptOff EventKind = "corrupt-off"
+	EvRestart    EventKind = "restart"
 )
 
 // Event is one fault injection at virtual time At.
@@ -122,6 +133,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("t=%-8d corrupt-on  %d->%d p=%.2f", e.At, e.Src, e.Dst, e.Prob)
 	case EvCorruptOff:
 		return fmt.Sprintf("t=%-8d corrupt-off %d->%d", e.At, e.Src, e.Dst)
+	case EvRestart:
+		return fmt.Sprintf("t=%-8d restart node %d", e.At, e.Node)
 	}
 	return fmt.Sprintf("t=%-8d %s", e.At, e.Kind)
 }
@@ -257,6 +270,38 @@ func Generate(seed int64, n, f int, duration rt.Ticks, mix Mix) Schedule {
 			evs = append(evs,
 				Event{At: start, Kind: EvCorruptOn, Src: src, Dst: dst, Prob: mix.CorruptProb},
 				Event{At: end, Kind: EvCorruptOff, Src: src, Dst: dst})
+		}
+	}
+
+	// Restarts. Generated last (like corruption) so enabling them never
+	// perturbs the RNG draws of any fault kind above: a seed's crash,
+	// partition, drop, spike, and corrupt events are identical with or
+	// without recovery. The first Restarts crash victims come back a
+	// randomized delay after their crash — at least 3D, so the
+	// mid-broadcast fallback crash (armed victim + 2D) has always fired
+	// by the time the node restarts.
+	if mix.Restarts > 0 && len(victims) > 0 {
+		delayD := mix.RestartDelayD
+		if delayD == 0 {
+			delayD = 5
+		}
+		if delayD < 3 {
+			delayD = 3
+		}
+		k := mix.Restarts
+		if k > len(victims) {
+			k = len(victims)
+		}
+		for i := 0; i < k; i++ {
+			v := victims[i]
+			var crashAt rt.Ticks
+			for _, e := range evs {
+				if e.Kind == EvCrash && e.Node == v {
+					crashAt = e.At
+				}
+			}
+			delay := rt.Ticks(delayD*float64(rt.TicksPerD)) + rt.Ticks(rng.Int63n(int64(rt.TicksPerD)))
+			evs = append(evs, Event{At: crashAt + delay, Kind: EvRestart, Node: v})
 		}
 	}
 

@@ -11,7 +11,14 @@ import (
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
 	"mpsnap/internal/svc"
+	"mpsnap/internal/wal"
 )
+
+// chaosWALBatch is the WAL fsync batch for chaos runs: foreign values may
+// ride a batch, while the protocol's critical points (own values before
+// dissemination, checkpoints before vouches, prunes before execution)
+// force explicit syncs regardless.
+const chaosWALBatch = 8
 
 // simLink realizes the schedule's drop and spike windows as a
 // sim.LinkAdversary. State is mutated by scheduled events; the RNG is
@@ -88,6 +95,18 @@ func RunSim(cfg Config) (*Result, error) {
 		return nil, buildErr
 	}
 
+	// Crash-recovery: each node persists to an in-memory WAL (with GC of
+	// the value log below the globally-vouched checkpoint); a restart
+	// event replays the durable prefix, rejoins, and respawns the client.
+	var walFiles []*wal.MemFile
+	if cfg.Mix.Restarts > 0 {
+		walFiles = make([]*wal.MemFile, cfg.N)
+		for i, o := range c.Objects {
+			walFiles[i] = wal.NewMemFile()
+			o.(walAttacher).AttachWAL(wal.NewWriter(walFiles[i], chaosWALBatch), true)
+		}
+	}
+
 	// Observability trace: op/phase events from the objects (and service
 	// fronts), fault events from the simulator's tracer. Raw send/deliver
 	// traffic is deliberately NOT recorded — it would evict the op events
@@ -101,7 +120,7 @@ func RunSim(cfg Config) (*Result, error) {
 		tr = obs.NewTrace(capacity)
 		c.W.SetTracer(func(ev sim.TraceEvent) {
 			switch ev.Kind {
-			case "crash", "partition", "heal", "drop", "corrupt", "hold":
+			case "crash", "restart", "partition", "heal", "drop", "corrupt", "hold":
 				tr.Sys(ev.T, ev.Kind, ev.Src, ev.Dst, ev.Msg)
 			}
 		})
@@ -112,8 +131,11 @@ func RunSim(cfg Config) (*Result, error) {
 		}
 	}
 
-	// Inject the schedule.
+	// Inject the schedule. restartNode is assigned below (it closes over
+	// the workload script); the scheduled callbacks only run inside Run,
+	// long after the assignment.
 	w := c.W
+	var restartNode func(id int)
 	for _, ev := range sched.Events {
 		ev := ev
 		switch ev.Kind {
@@ -142,6 +164,8 @@ func RunSim(cfg Config) (*Result, error) {
 			w.After(ev.At, func() { corr.windows[[2]int{ev.Src, ev.Dst}] = ev.Prob })
 		case EvCorruptOff:
 			w.After(ev.At, func() { delete(corr.windows, [2]int{ev.Src, ev.Dst}) })
+		case EvRestart:
+			w.After(ev.At, func() { restartNode(ev.Node) })
 		}
 	}
 
@@ -179,31 +203,65 @@ func RunSim(cfg Config) (*Result, error) {
 	}
 
 	// Workload: every client thread alternates seeded updates/scans with
-	// think time until the deadline.
+	// think time until the deadline. Restarted nodes respawn the same
+	// script (after rejoining) under a fresh client id, so their post-
+	// recovery values stay distinct from pre-crash ones.
+	script := func(seed int64, rejoin rejoiner) func(o *harness.OpRunner) {
+		return func(o *harness.OpRunner) {
+			if rejoin != nil {
+				rejoin.Rejoin()
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for o.P.Now() < deadline {
+				var err error
+				if rng.Float64() < cfg.ScanRatio {
+					_, err = o.Scan()
+				} else {
+					_, err = o.Update()
+				}
+				if err != nil {
+					return // node crashed: op stays pending
+				}
+				if o.P.Now() >= deadline {
+					return
+				}
+				if err := o.P.Sleep(rt.Ticks(rng.Int63n(int64(cfg.MaxSleep) + 1))); err != nil {
+					return
+				}
+			}
+		}
+	}
 	for i := 0; i < cfg.N; i++ {
 		for cid := 0; cid < cfg.Clients; cid++ {
 			seed := cfg.Seed*1009 + int64(i) + 7919*int64(cid)
-			c.ClientOn(i, fronts[i], func(o *harness.OpRunner) {
-				rng := rand.New(rand.NewSource(seed))
-				for o.P.Now() < deadline {
-					var err error
-					if rng.Float64() < cfg.ScanRatio {
-						_, err = o.Scan()
-					} else {
-						_, err = o.Update()
-					}
-					if err != nil {
-						return // node crashed: op stays pending
-					}
-					if o.P.Now() >= deadline {
-						return
-					}
-					if err := o.P.Sleep(rt.Ticks(rng.Int63n(int64(cfg.MaxSleep) + 1))); err != nil {
-						return
-					}
-				}
-			})
+			c.ClientOn(i, fronts[i], script(seed, nil))
 		}
+	}
+
+	// Crash-recovery: replay the victim's durable WAL prefix (the unsynced
+	// tail died with the process), rebuild the node on the same runtime,
+	// un-crash it, and respawn its client — which first rejoins (re-
+	// disseminating retained values above the recovered frontier and
+	// requesting the delta it missed) and then resumes the workload.
+	restartNode = func(id int) {
+		if !w.Crashed(id) || walFiles == nil {
+			return
+		}
+		f := walFiles[id]
+		f.Crash()
+		st := wal.Recover(f.Durable(), cfg.N, id)
+		h, obj, rj, err := recoverNode(cfg.Alg, w.Runtime(id), st, wal.NewWriter(f, chaosWALBatch))
+		if err != nil {
+			return // unreachable: normalize rejected non-WAL algorithms
+		}
+		if tr != nil {
+			if so, ok := obj.(interface{ SetObserver(rt.Observer) }); ok {
+				so.SetObserver(tr)
+			}
+		}
+		w.SetHandler(id, h)
+		w.Restart(id)
+		c.ClientOn(id, obj, script(cfg.Seed*1009+int64(id)+104729, rj))
 	}
 
 	// Unblock sweeps: past the deadline plus grace, any operation still

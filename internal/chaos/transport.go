@@ -11,6 +11,7 @@ import (
 	"mpsnap/internal/history"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/transport"
+	"mpsnap/internal/wal"
 )
 
 // DReal is the wall-clock duration standing in for one maximum message
@@ -41,12 +42,16 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	if cfg.Service {
 		return nil, fmt.Errorf("chaos: Service mode runs on the sim backend only (use RunSim)")
 	}
+	if cfg.Mix.Restarts > 0 && backend != "chan" {
+		return nil, fmt.Errorf("chaos: restarts run on the sim and chan backends only (a tcp restart is a process restart)")
+	}
 	check, _ := checkerFor(cfg.Alg)
 	sched := Generate(cfg.Seed, cfg.N, cfg.F, cfg.Duration, cfg.Mix)
 
 	unders := make([]rt.Runtime, cfg.N)
 	var crashFn func(id int)
 	var setHandler func(id int, h rt.Handler)
+	var restartFn func(id int, h rt.Handler)
 	var closeAll func()
 	switch backend {
 	case "chan":
@@ -56,6 +61,7 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 		}
 		crashFn = cn.Crash
 		setHandler = cn.SetHandler
+		restartFn = cn.Restart
 		closeAll = cn.Close
 	case "tcp":
 		nodes, err := dialLoopback(cfg.N, cfg.F)
@@ -80,10 +86,18 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	nt := NewNet(cfg.Seed+3, unders, crashFn)
 	nt.SetCorrupter(newCorrupter(cfg.Seed+4, cfg.Alg == "byzaso"))
 	objs := make([]object, cfg.N)
+	var walFiles []*wal.MemFile
+	if cfg.Mix.Restarts > 0 {
+		walFiles = make([]*wal.MemFile, cfg.N)
+	}
 	for i := 0; i < cfg.N; i++ {
 		h, obj, err := newNode(cfg.Alg, nt.Runtime(i))
 		if err != nil {
 			return nil, err
+		}
+		if walFiles != nil {
+			walFiles[i] = wal.NewMemFile()
+			obj.(walAttacher).AttachWAL(wal.NewWriter(walFiles[i], chaosWALBatch), true)
 		}
 		setHandler(i, h)
 		objs[i] = obj
@@ -96,45 +110,101 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	start := time.Now()
 	now := func() rt.Ticks { return rt.Ticks(time.Since(start) / tickReal) }
 
+	// Client accounting is a guarded counter rather than a WaitGroup:
+	// restarts spawn clients mid-run, and WaitGroup.Add concurrent with
+	// Wait is undefined. The counter only reaches zero once no respawn can
+	// reserve a slot (reservations are refused after it hits zero).
+	finished := make(chan struct{})
+	var cliMu sync.Mutex
+	activeClients := cfg.N
+	clientDone := func() {
+		cliMu.Lock()
+		activeClients--
+		if activeClients == 0 {
+			close(finished)
+		}
+		cliMu.Unlock()
+	}
+	// client is one node's workload loop. cid distinguishes a restarted
+	// incarnation's values ("v<id>.<cid>-<seq>") from pre-crash ones;
+	// rejoin, when set, runs before the first operation.
+	client := func(i, cid int, obj object, rejoin rejoiner) {
+		defer clientDone()
+		if rejoin != nil {
+			rejoin.Rejoin()
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed*1009 + int64(i) + 104729*int64(cid)))
+		seq := 0
+		for now() < cfg.Duration {
+			if rng.Float64() < cfg.ScanRatio {
+				p := rec.BeginScan(i, now())
+				snap, err := obj.Scan()
+				if err != nil {
+					return // crashed: op stays pending
+				}
+				p.EndScan(harness.SnapStrings(snap), now())
+			} else {
+				seq++
+				v := fmt.Sprintf("v%d-%d", i, seq)
+				if cid > 0 {
+					v = fmt.Sprintf("v%d.%d-%d", i, cid, seq)
+				}
+				p := rec.BeginUpdate(i, v, now())
+				if err := obj.Update([]byte(v)); err != nil {
+					return
+				}
+				p.End(now())
+			}
+			if now() >= cfg.Duration {
+				return
+			}
+			time.Sleep(time.Duration(rng.Int63n(int64(cfg.MaxSleep)+1)) * tickReal)
+		}
+	}
+
+	// Crash-recovery: replay the victim's durable WAL prefix, rebuild the
+	// node, swap it into the transport (crash flag and handler change under
+	// one lock), and respawn its client — which rejoins before resuming the
+	// workload. Runs on the Apply goroutine, so restarts are serialized.
+	if walFiles != nil {
+		nt.OnRestart(func(id int) {
+			if !nt.Crashed(id) || now() >= cfg.Duration {
+				return
+			}
+			// Reserve a client slot up front so the run cannot be declared
+			// finished while the node is being rebuilt.
+			cliMu.Lock()
+			if activeClients == 0 {
+				cliMu.Unlock()
+				return
+			}
+			activeClients++
+			cliMu.Unlock()
+			// Lock-step with the dead incarnation's last critical section
+			// before touching its WAL file (all appends run under the
+			// transport node's mutex; the node is crashed, so no new ones).
+			unders[id].Atomic(func() {})
+			f := walFiles[id]
+			f.Crash()
+			st := wal.Recover(f.Durable(), cfg.N, id)
+			h, obj, rj, err := recoverNode(cfg.Alg, nt.Runtime(id), st, wal.NewWriter(f, chaosWALBatch))
+			if err != nil {
+				clientDone() // unreachable: normalize rejected non-WAL algorithms
+				return
+			}
+			restartFn(id, h)
+			nt.ClearCrashed(id)
+			go client(id, 1, obj, rj)
+		})
+	}
+
 	done := make(chan struct{})
 	defer close(done)
 	nt.Apply(sched, tickReal, done)
 
-	var wg sync.WaitGroup
 	for i := 0; i < cfg.N; i++ {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed*1009 + int64(i)))
-			seq := 0
-			for now() < cfg.Duration {
-				if rng.Float64() < cfg.ScanRatio {
-					p := rec.BeginScan(i, now())
-					snap, err := objs[i].Scan()
-					if err != nil {
-						return // crashed: op stays pending
-					}
-					p.EndScan(harness.SnapStrings(snap), now())
-				} else {
-					seq++
-					v := fmt.Sprintf("v%d-%d", i, seq)
-					p := rec.BeginUpdate(i, v, now())
-					if err := objs[i].Update([]byte(v)); err != nil {
-						return
-					}
-					p.End(now())
-				}
-				if now() >= cfg.Duration {
-					return
-				}
-				time.Sleep(time.Duration(rng.Int63n(int64(cfg.MaxSleep)+1)) * tickReal)
-			}
-		}()
+		go client(i, 0, objs[i], nil)
 	}
-
-	finished := make(chan struct{})
-	go func() { wg.Wait(); close(finished) }()
 
 	res := &Result{Schedule: sched}
 	abortAt := start.Add(time.Duration(cfg.Duration+graceTicks) * tickReal)

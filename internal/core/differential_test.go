@@ -20,10 +20,19 @@ const diffNodes = 5
 type diffState struct {
 	log  *ValueLog
 	sets []*ValueSet // sets[j] mirrors V[j]; self is node 0
+	// GC bookkeeping: the oracle never prunes, so the harness remembers
+	// which timestamps the log garbage-collected and the tag floor below
+	// which the equivalence contract no longer applies.
+	pruned map[Timestamp]bool
+	floor  Tag
 }
 
 func newDiffState() *diffState {
-	d := &diffState{log: NewValueLog(diffNodes, 0), sets: make([]*ValueSet, diffNodes)}
+	d := &diffState{
+		log:    NewValueLog(diffNodes, 0),
+		sets:   make([]*ValueSet, diffNodes),
+		pruned: make(map[Timestamp]bool),
+	}
 	for j := range d.sets {
 		d.sets[j] = NewValueSet()
 	}
@@ -42,6 +51,30 @@ func (d *diffState) step(data []byte, i int) int {
 	}
 	op, a, b, c := data[i], data[i+1], data[i+2], data[i+3]
 	switch op % 8 {
+	case 5:
+		// Global vouch + GC: deliver the full retained view to every peer
+		// in both engines — modelling the catch-up a real vouch round
+		// implies (NoteVouch advances cursors only for values every node
+		// provably holds) — then prune below the current frontier.
+		all := d.log.AllView()
+		for j := 1; j < diffNodes; j++ {
+			all.Each(func(v Value) {
+				d.log.Add(j, v)
+				d.sets[j].Add(v)
+			})
+		}
+		ck := d.log.Frontier()
+		if idx := ck.Count - d.log.PrunedCount(); idx > 0 {
+			for k := 0; k < idx; k++ {
+				d.pruned[all.At(k).TS] = true
+			}
+			if !d.log.PruneTo(ck) {
+				panic(fmt.Sprintf("PruneTo refused globally-vouched %+v", ck))
+			}
+			if ck.Tag > d.floor {
+				d.floor = ck.Tag
+			}
+		}
 	case 6:
 		// Advance the frontier, as a good lattice operation would.
 		d.log.AdvanceFrontier(Tag(1 + a%64))
@@ -59,11 +92,32 @@ func (d *diffState) step(data []byte, i int) int {
 		// Value arrival from src: into V[src] and V[self], both engines.
 		src := int(a) % diffNodes
 		v := diffValue(Tag(1+b%64), int(c)%diffNodes)
+		if v.TS.Tag <= d.floor && !d.log.Has(v.TS) {
+			// A new value at or below a pruned checkpoint tag: the
+			// protocol cannot produce one (new tags always exceed vouched
+			// frontiers) and the log rejects it, so skip both engines.
+			return 4
+		}
 		d.log.Add(src, v)
 		d.sets[src].Add(v)
 		d.sets[0].Add(v)
 	}
 	return 4
+}
+
+// retained filters the oracle's view down to the values the log still
+// holds physically, so physical view comparisons stay meaningful after GC.
+func (d *diffState) retained(mv View) View {
+	if len(d.pruned) == 0 {
+		return mv
+	}
+	var out []Value
+	mv.Each(func(v Value) {
+		if !d.pruned[v.TS] {
+			out = append(out, v)
+		}
+	})
+	return ViewOf(out...)
 }
 
 func (d *diffState) check(t *testing.T) {
@@ -76,19 +130,36 @@ func (d *diffState) check(t *testing.T) {
 			t.Fatalf("Len(%d): log %d, map %d", j, got, want)
 		}
 		for _, r := range []Tag{0, 3, 17, 40, 64, MaxTag} {
+			if r < d.floor {
+				continue // below the pruned checkpoint: out of contract
+			}
 			if got, want := d.log.CountLE(j, r), d.sets[j].CountLE(r); got != want {
 				t.Fatalf("CountLE(%d, %d): log %d, map %d", j, r, got, want)
 			}
 			lv, mv := d.log.PeerViewLE(j, r), d.sets[j].ViewLE(r)
-			if !lv.Equal(mv) {
+			if !lv.Equal(d.retained(mv)) {
 				t.Fatalf("PeerViewLE(%d, %d): log %v, map %v", j, r, lv, mv)
+			}
+			// Extraction must stay exact across GC: the pruned-prefix
+			// summary stands in for the physically absent values.
+			le, me := lv.Extract(diffNodes), mv.Extract(diffNodes)
+			for w := range le {
+				if !bytes.Equal(le[w], me[w]) {
+					t.Fatalf("PeerViewLE(%d, %d).Extract[%d]: log %q, map %q", j, r, w, le[w], me[w])
+				}
 			}
 		}
 	}
 	for _, r := range []Tag{0, 11, 32, 64, MaxTag} {
+		if r < d.floor {
+			continue
+		}
 		lv, mv := d.log.ViewLE(r), d.sets[0].ViewLE(r)
-		if !lv.Equal(mv) {
+		if !lv.Equal(d.retained(mv)) {
 			t.Fatalf("ViewLE(%d): log %v, map %v", r, lv, mv)
+		}
+		if got, want := lv.LogicalLen(), mv.Len(); got != want {
+			t.Fatalf("ViewLE(%d).LogicalLen: log %d, map %d", r, got, want)
 		}
 		le, me := lv.Extract(diffNodes), mv.Extract(diffNodes)
 		for w := range le {
@@ -96,12 +167,28 @@ func (d *diffState) check(t *testing.T) {
 				t.Fatalf("Extract(%d)[%d]: log %q, map %q", r, w, le[w], me[w])
 			}
 		}
+		// EQ-tracker equivalence: both constructions must agree on the
+		// predicate at every quorum size.
+		for q := 1; q <= diffNodes; q++ {
+			lt := NewEQTrackerFromLog(d.log, r, q)
+			mt := NewEQTracker(d.sets, 0, r, q)
+			if lt.Satisfied() != mt.Satisfied() {
+				t.Fatalf("EQTracker(r=%d, q=%d): log %v, map %v", r, q, lt.Satisfied(), mt.Satisfied())
+			}
+		}
 	}
-	// Membership must agree on every timestamp either engine can hold.
+	// Membership must agree on every timestamp either engine can hold;
+	// garbage-collected timestamps must be physically gone from the log.
 	for tag := Tag(1); tag <= 64; tag++ {
 		for w := 0; w < diffNodes; w++ {
 			ts := Timestamp{Tag: tag, Writer: w}
 			lp, lok := d.log.Get(ts)
+			if d.pruned[ts] {
+				if lok {
+					t.Fatalf("Get(%v): pruned value still physically present", ts)
+				}
+				continue
+			}
 			mp, mok := d.sets[0].Get(ts)
 			if lok != mok || !bytes.Equal(lp, mp) {
 				t.Fatalf("Get(%v): log (%q,%v), map (%q,%v)", ts, lp, lok, mp, mok)
@@ -145,6 +232,7 @@ func TestValueLogDifferentialAdversarial(t *testing.T) {
 	add := func(src, tag, w byte) []byte { return []byte{0, src, tag - 1, w} }
 	freeze := func(tag byte) []byte { return []byte{6, tag - 1, 0, 0} }
 	compose := func(tag byte) []byte { return []byte{7, tag - 1, 0, 0} }
+	prune := []byte{5, 0, 0, 0}
 	var stream []byte
 	// Build a prefix, freeze it, then land older values under it.
 	for tag := byte(10); tag <= 30; tag += 2 {
@@ -161,6 +249,18 @@ func TestValueLogDifferentialAdversarial(t *testing.T) {
 	stream = append(stream, add(1, 38, 0)...)
 	stream = append(stream, freeze(40)...)
 	stream = append(stream, compose(64)...)
+	// Garbage-collect below the vouched frontier, keep writing above it,
+	// freeze and prune again (cumulative pre-extract), then compose on the
+	// pruned log.
+	stream = append(stream, prune...)
+	stream = append(stream, add(3, 50, 2)...)
+	stream = append(stream, add(3, 44, 1)...)
+	stream = append(stream, add(1, 47, 0)...)
+	stream = append(stream, freeze(50)...)
+	stream = append(stream, compose(64)...)
+	stream = append(stream, prune...)
+	stream = append(stream, add(2, 60, 4)...)
+	stream = append(stream, compose(64)...)
 	diffRun(t, stream)
 }
 
@@ -170,6 +270,8 @@ func TestValueLogDifferentialAdversarial(t *testing.T) {
 // the reference map implementation.
 func FuzzValueSetEquivalence(f *testing.F) {
 	f.Add([]byte{0, 1, 5, 2, 6, 10, 0, 0, 0, 2, 3, 1, 7, 63, 0, 0})
+	// Truncation events: build, freeze, prune (5), keep writing, re-prune.
+	f.Add([]byte{0, 1, 9, 1, 0, 2, 14, 2, 6, 20, 0, 0, 5, 0, 0, 0, 0, 3, 30, 3, 6, 40, 0, 0, 5, 0, 0, 0, 7, 63, 0, 0})
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 4; i++ {
 		data := make([]byte, 128)

@@ -24,13 +24,30 @@ import "sort"
 // amortized (appends dominate in tag order; a mid-tail insert memmoves
 // only the unfrozen tail), CountLE is O(log H), NewEQTrackerFromLog is
 // O(n log H), and ViewLE at or below the frontier is O(1).
+// Garbage collection: once a checkpoint has been vouched by every node
+// (each peer's NoteVouch recorded), PruneTo drops the value prefix below
+// it. Counts stay absolute across pruning — off is the number of pruned
+// values, and SelfLen/Len/CountLE/Frontier all report off + physical —
+// while digsum is re-based so digsum[i] remains the absolute digest of
+// pruned ∪ vals[:i] exactly (the digests are order-independent sums).
+// The pruned prefix survives as a per-writer extract (preExt) attached to
+// views, so SCAN extraction still sees every writer's latest value.
 type ValueLog struct {
 	n, self  int
-	vals     []Value  // sorted by timestamp, no duplicates
-	digsum   []uint64 // digsum[i] = Σ digestValue(vals[:i]); len = len(vals)+1
+	vals     []Value  // sorted by timestamp, no duplicates (above the pruned prefix)
+	digsum   []uint64 // digsum[i] = digest of pruned prefix ∪ vals[:i]; len = len(vals)+1
 	frozen   int      // vals[:frozen] is immutable in place
 	frontier Tag      // largest tag passed to AdvanceFrontier
 	peers    []peerSet
+
+	off       int // values pruned below the globally-vouched checkpoint
+	prunedTag Tag // tag of the last checkpoint pruned to
+
+	// Per-writer extract over the pruned prefix (cumulative across prunes),
+	// published as preExt and attached to views so extracts stay exact.
+	preTags []Tag
+	prePays [][]byte
+	preExt  *baseExtract
 
 	// Master per-writer extract over the frozen prefix, republished as an
 	// immutable snapshot (ext) at each freeze so views can cache it.
@@ -70,6 +87,8 @@ type LogStats struct {
 	COWInserts  int64 // new value below the frontier forced a reallocation
 	Demotions   int64 // peer prefix values demoted to stragglers
 	Freezes     int64 // AdvanceFrontier calls that grew the frozen prefix
+	Prunes      int64 // PruneTo calls that dropped a prefix
+	PrunedVals  int64 // total values garbage-collected by PruneTo
 }
 
 // NewValueLog returns an empty log for node self of n.
@@ -81,10 +100,13 @@ func NewValueLog(n, self int) *ValueLog {
 		peers:   make([]peerSet, n),
 		extTags: make([]Tag, n),
 		extPays: make([][]byte, n),
+		preTags: make([]Tag, n),
+		prePays: make([][]byte, n),
 		extOK:   true,
 	}
 	for i := range l.extTags {
 		l.extTags[i] = -1
+		l.preTags[i] = -1
 	}
 	return l
 }
@@ -121,23 +143,38 @@ func (l *ValueLog) Get(ts Timestamp) ([]byte, bool) {
 	return l.vals[p].Payload, true
 }
 
-// SelfLen returns |V[self]|: the total number of values held.
-func (l *ValueLog) SelfLen() int { return len(l.vals) }
+// SelfLen returns |V[self]|: the total number of values held, counting
+// the pruned prefix.
+func (l *ValueLog) SelfLen() int { return l.off + len(l.vals) }
 
-// Len returns |V[j]|.
+// RetainedLen returns the number of values held physically (after GC).
+func (l *ValueLog) RetainedLen() int { return len(l.vals) }
+
+// PrunedCount returns how many values have been garbage-collected.
+func (l *ValueLog) PrunedCount() int { return l.off }
+
+// PrunedTag returns the frontier tag of the last prune (0 when none).
+func (l *ValueLog) PrunedTag() Tag { return l.prunedTag }
+
+// Len returns |V[j]|, counting the pruned prefix (a prune requires every
+// peer's cursor to cover it).
 func (l *ValueLog) Len(j int) int {
 	if j == l.self {
-		return len(l.vals)
+		return l.off + len(l.vals)
 	}
 	ps := &l.peers[j]
-	return ps.prefix + len(ps.strag)
+	return l.off + ps.prefix + len(ps.strag)
 }
 
-// CountLE returns |V[j]^{≤r}| in O(log H + log |strag|).
+// CountLE returns |V[j]^{≤r}| in O(log H + log |strag|). Exact for
+// r ≥ PrunedTag (every pruned value has tag ≤ PrunedTag, so the pruned
+// prefix is entirely below any such bound); below the prune point the
+// count degrades to the prune-inclusive upper bound, which no protocol
+// query hits — operation tags only grow past vouched frontiers.
 func (l *ValueLog) CountLE(j int, r Tag) int {
 	ub := l.upperBound(r)
 	if j == l.self {
-		return ub
+		return l.off + ub
 	}
 	ps := &l.peers[j]
 	c := ps.prefix
@@ -145,7 +182,7 @@ func (l *ValueLog) CountLE(j int, r Tag) int {
 		c = ub
 	}
 	c += sort.Search(len(ps.strag), func(i int) bool { return ps.strag[i].Tag > r })
-	return c
+	return l.off + c
 }
 
 // Add records that value v was received from node j, inserting it into
@@ -154,6 +191,15 @@ func (l *ValueLog) CountLE(j int, r Tag) int {
 func (l *ValueLog) Add(j int, v Value) (newToJ, newToSelf bool) {
 	p, present := l.locate(v.TS)
 	if !present {
+		if l.off > 0 && v.TS.Tag <= l.prunedTag {
+			// Presumed already pruned: re-admitting a value at or below the
+			// pruned checkpoint tag would double-count it in the absolute
+			// counts and diverge the digests. In-protocol this loses
+			// nothing — a genuinely new value always carries a tag above
+			// any globally-vouched frontier (its writeTag quorum intersects
+			// the vouching lattice operation's readTag quorum).
+			return false, false
+		}
 		l.insert(p, v)
 		newToSelf = true
 	}
@@ -299,16 +345,31 @@ func (l *ValueLog) AdvanceFrontier(r Tag) {
 }
 
 // Frontier returns the checkpoint of the current frozen prefix (the zero
-// Checkpoint when nothing is frozen yet).
+// Checkpoint when nothing is frozen yet). Count is absolute: it includes
+// the pruned prefix, so checkpoints stay comparable across nodes with
+// different prune points.
 func (l *ValueLog) Frontier() Checkpoint {
-	return Checkpoint{Tag: l.frontier, Count: l.frozen, Digest: l.digsum[l.frozen]}
+	return Checkpoint{Tag: l.frontier, Count: l.off + l.frozen, Digest: l.digsum[l.frozen]}
 }
 
 // Vouches reports whether this log's own prefix of ck.Count values matches
 // the checkpoint digest — i.e. both nodes hold the exact same value
-// sequence below that point. O(1) via the digest prefix sums.
+// sequence below that point. O(1) via the digest prefix sums. Checkpoints
+// strictly below this log's prune point cannot be vouched (their digest
+// is no longer reconstructible), which is fine: the prune point itself
+// was globally vouched, so every live checkpoint is at or above it.
 func (l *ValueLog) Vouches(ck Checkpoint) bool {
-	return ck.Count >= 0 && ck.Count < len(l.digsum) && l.digsum[ck.Count] == ck.Digest
+	idx := ck.Count - l.off
+	return idx >= 0 && idx < len(l.digsum) && l.digsum[idx] == ck.Digest
+}
+
+// withPre attaches the pruned-prefix summary to a view cut from this log.
+func (l *ValueLog) withPre(v View) View {
+	if l.off > 0 {
+		v.pre = l.preExt
+		v.pruned = l.off
+	}
+	return v
 }
 
 // ViewLE returns V[self]^{≤r}. At or below the frozen prefix this is a
@@ -321,11 +382,11 @@ func (l *ValueLog) ViewLE(r Tag) View {
 		if ub == l.frozen {
 			ext = l.ext
 		}
-		return View{base: l.vals[:ub:ub], ext: ext}
+		return l.withPre(View{base: l.vals[:ub:ub], ext: ext})
 	}
 	tail := make([]Value, ub-l.frozen)
 	copy(tail, l.vals[l.frozen:ub])
-	return View{base: l.vals[:l.frozen:l.frozen], tail: tail, ext: l.ext}
+	return l.withPre(View{base: l.vals[:l.frozen:l.frozen], tail: tail, ext: l.ext})
 }
 
 // AllView returns a view of every value held.
@@ -366,7 +427,7 @@ func (l *ValueLog) PeerViewLE(j int, r Tag) View {
 	if baseN == l.frozen {
 		ext = l.ext
 	}
-	return View{base: l.vals[:baseN:baseN], tail: tail, ext: ext}
+	return l.withPre(View{base: l.vals[:baseN:baseN], tail: tail, ext: ext})
 }
 
 // DeltaAbove splits view into (ck, delta): when this log vouches for ck
@@ -376,18 +437,19 @@ func (l *ValueLog) PeerViewLE(j int, r Tag) View {
 // Returns false when the prefixes disagree or the view was not cut from
 // this log; callers fall back to sending the full view.
 func (l *ValueLog) DeltaAbove(view View, ck Checkpoint) ([]Value, bool) {
-	if ck.Count < 0 || ck.Count > view.Len() || !l.Vouches(ck) {
+	idx := ck.Count - l.off
+	if idx < 0 || idx > view.Len() || view.pruned != l.off || !l.Vouches(ck) {
 		return nil, false
 	}
-	if ck.Count > 0 {
+	if idx > 0 {
 		// The view's base must alias this log's array so that
-		// view[:Count] == vals[:Count] without comparing elements.
-		if len(view.base) < ck.Count || !sameBacking(view.base, l.vals) {
+		// view[:idx] == vals[:idx] without comparing elements.
+		if len(view.base) < idx || !sameBacking(view.base, l.vals) {
 			return nil, false
 		}
 	}
-	delta := make([]Value, 0, view.Len()-ck.Count)
-	for i := ck.Count; i < view.Len(); i++ {
+	delta := make([]Value, 0, view.Len()-idx)
+	for i := idx; i < view.Len(); i++ {
 		delta = append(delta, view.At(i))
 	}
 	return delta, true
@@ -400,13 +462,14 @@ func (l *ValueLog) DeltaAbove(view View, ck Checkpoint) ([]Value, bool) {
 // under a copy-on-write insert) or the delta is not a sorted extension —
 // callers escalate to a full-view borrow.
 func (l *ValueLog) ComposeAt(ck Checkpoint, delta []Value) (View, bool) {
-	if ck.Count < 0 || ck.Count > l.frozen || !l.Vouches(ck) {
+	idx := ck.Count - l.off
+	if idx < 0 || idx > l.frozen || !l.Vouches(ck) {
 		return View{}, false
 	}
-	base := l.vals[:ck.Count:ck.Count]
+	base := l.vals[:idx:idx]
 	last := Timestamp{Tag: -1}
-	if ck.Count > 0 {
-		last = base[ck.Count-1].TS
+	if idx > 0 {
+		last = base[idx-1].TS
 	}
 	for i := range delta {
 		if !last.Less(delta[i].TS) {
@@ -415,10 +478,131 @@ func (l *ValueLog) ComposeAt(ck Checkpoint, delta []Value) (View, bool) {
 		last = delta[i].TS
 	}
 	var ext *baseExtract
-	if ck.Count == l.frozen {
+	if idx == l.frozen {
 		ext = l.ext
 	}
-	return View{base: base, tail: delta, ext: ext}, true
+	return l.withPre(View{base: base, tail: delta, ext: ext}), true
+}
+
+// NoteVouch records that node j vouched for checkpoint ck: j attests it
+// holds exactly this log's first ck.Count values. When this log vouches
+// for ck too, j's cursor is advanced to cover that prefix (stragglers the
+// prefix absorbs are folded in), which is what makes the PruneTo
+// precondition — every peer's cursor covers the prune point — reachable
+// without j re-sending its history. Returns false for an unverifiable or
+// foreign checkpoint. Callers that hold an active EQTracker must note
+// that cursor jumps bypass OnAdd; the tracker then undercounts j, which
+// can only delay EQ, never falsely satisfy it.
+func (l *ValueLog) NoteVouch(j int, ck Checkpoint) bool {
+	if j == l.self || j < 0 || j >= l.n || !l.Vouches(ck) {
+		return false
+	}
+	idx := ck.Count - l.off
+	if idx <= 0 {
+		return true // vouches (part of) the already-pruned prefix
+	}
+	ps := &l.peers[j]
+	if idx <= ps.prefix {
+		return true
+	}
+	cut := l.vals[idx-1].TS
+	keep := ps.strag[:0]
+	for _, ts := range ps.strag {
+		if cut.Less(ts) {
+			keep = append(keep, ts)
+		}
+	}
+	ps.strag = keep
+	ps.prefix = idx
+	l.absorb(ps)
+	return true
+}
+
+// PruneTo garbage-collects the value prefix below ck, a checkpoint every
+// node has vouched for (the caller establishes global agreement; this log
+// re-verifies its own digest and that every peer cursor covers the
+// prefix). The pruned values are folded into the cumulative per-writer
+// pre-extract so extracts stay exact, the retained values move to a fresh
+// backing array so the dropped prefix becomes collectable, and all
+// absolute counts (SelfLen, CountLE, Frontier.Count, checkpoint digests)
+// are preserved via the base offset. Must not be called while an
+// EQTracker from this log is live — prune between lattice operations.
+func (l *ValueLog) PruneTo(ck Checkpoint) bool {
+	idx := ck.Count - l.off
+	if idx <= 0 || idx > len(l.vals) || !l.Vouches(ck) {
+		return false
+	}
+	for j := range l.peers {
+		if j != l.self && l.peers[j].prefix < idx {
+			return false
+		}
+	}
+	for i := 0; i < idx; i++ {
+		if w := l.vals[i].TS.Writer; w < 0 || w >= l.n {
+			return false // the pre-extract cannot summarize foreign writers
+		}
+	}
+	// Freeze through the prune point first if the local frontier lags: the
+	// prefix is globally vouched, a strictly stronger stability guarantee
+	// than the n−f a frontier advance needs.
+	if idx > l.frozen {
+		for i := l.frozen; i < idx; i++ {
+			l.noteFrozen(l.vals[i])
+		}
+		l.frozen = idx
+		if ck.Tag > l.frontier && ck.Tag != MaxTag {
+			l.frontier = ck.Tag
+		}
+		l.publishExt()
+		l.stats.Freezes++
+	}
+	for i := 0; i < idx; i++ {
+		v := l.vals[i]
+		w := v.TS.Writer
+		if v.TS.Tag > l.preTags[w] {
+			l.preTags[w] = v.TS.Tag
+			l.prePays[w] = v.Payload
+		}
+	}
+	l.preExt = &baseExtract{
+		tags: append([]Tag(nil), l.preTags...),
+		pays: append([][]byte(nil), l.prePays...),
+	}
+	// Fresh backing arrays: the old ones stay alive only while previously
+	// published views still reference them.
+	nv := make([]Value, len(l.vals)-idx)
+	copy(nv, l.vals[idx:])
+	l.vals = nv
+	nd := make([]uint64, len(l.digsum)-idx)
+	copy(nd, l.digsum[idx:])
+	l.digsum = nd
+	l.frozen -= idx
+	l.off += idx
+	if ck.Tag > l.prunedTag {
+		l.prunedTag = ck.Tag
+	}
+	for j := range l.peers {
+		if j != l.self {
+			l.peers[j].prefix -= idx
+		}
+	}
+	l.stats.Prunes++
+	l.stats.PrunedVals += int64(idx)
+	return true
+}
+
+// HeapBytes estimates the log's resident size in bytes (backing arrays,
+// payloads, straggler sets) — deterministic, for benchmarks.
+func (l *ValueLog) HeapBytes() int {
+	const valHdr = 40 // Timestamp (16) + payload slice header (24)
+	b := cap(l.digsum)*8 + cap(l.vals)*valHdr
+	for i := range l.vals {
+		b += len(l.vals[i].Payload)
+	}
+	for j := range l.peers {
+		b += cap(l.peers[j].strag) * 16
+	}
+	return b
 }
 
 // NewEQTrackerFromLog returns an incremental tracker for EQ(V^{≤r}, self)

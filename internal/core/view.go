@@ -20,6 +20,13 @@ type View struct {
 	// Extract only walks tail. It is published by the owning ValueLog
 	// together with base and is immutable.
 	ext *baseExtract
+	// pre, when set, summarizes a garbage-collected log prefix that the
+	// view logically includes but no longer holds physically: for each
+	// writer, the latest pruned value. Every pruned timestamp sorts below
+	// every value in base/tail. pruned counts the values the summary
+	// stands for (the view's logical length is pruned + Len()).
+	pre    *baseExtract
+	pruned int
 }
 
 // baseExtract is the cached extract(base) of a frozen log prefix: for each
@@ -33,8 +40,20 @@ type baseExtract struct {
 // is retained, not copied.
 func ViewOf(vals ...Value) View { return View{tail: vals} }
 
-// Len returns the number of values in the view.
+// Len returns the number of values the view holds physically. A view cut
+// from a pruned log logically also includes the pruned prefix (see
+// LogicalLen); Len, At, Each and the subset relations see only the
+// physical values.
 func (v View) Len() int { return len(v.base) + len(v.tail) }
+
+// LogicalLen returns the number of values the view stands for, counting
+// the garbage-collected prefix it summarizes. Two good views from logs
+// with different prune points compare correctly by logical length where
+// physical Len would mislead.
+func (v View) LogicalLen() int { return v.pruned + v.Len() }
+
+// Pruned returns the number of summarized (physically absent) values.
+func (v View) Pruned() int { return v.pruned }
 
 // At returns the i-th value in timestamp order.
 func (v View) At(i int) Value {
@@ -97,6 +116,21 @@ func (v View) Contains(ts Timestamp) bool {
 	return i < len(seg) && seg[i].TS == ts
 }
 
+// Covers reports whether the view holds ts physically or its garbage-
+// collected prefix held it. The pruned prefix is a timestamp-order prefix
+// of the log, so for a value that exists, a latest-pruned tag for its
+// writer at or above ts.Tag proves ts was inside the prefix (per-writer
+// channels are FIFO: every earlier tag of that writer was delivered and
+// sorted below). Callers must only pass timestamps of values actually
+// written (the SSO passes its own just-written timestamps).
+func (v View) Covers(ts Timestamp) bool {
+	if v.Contains(ts) {
+		return true
+	}
+	return v.pre != nil && ts.Writer >= 0 && ts.Writer < len(v.pre.tags) &&
+		v.pre.tags[ts.Writer] >= ts.Tag
+}
+
 // sameBacking reports whether a and b alias the same backing array start,
 // i.e. they are prefixes of the same frozen log array and therefore agree
 // on their common prefix.
@@ -155,10 +189,16 @@ func (v View) Extract(n int) [][]byte {
 		best[i] = -1
 	}
 	start := 0
-	if v.ext != nil && len(v.ext.tags) <= n {
+	switch {
+	case v.ext != nil && len(v.ext.tags) <= n:
+		// The base extract already folds in any pruned prefix (the master
+		// extract is cumulative and never truncated), so pre is subsumed.
 		copy(best, v.ext.tags)
 		copy(snap, v.ext.pays)
 		start = len(v.base)
+	case v.pre != nil && len(v.pre.tags) <= n:
+		copy(best, v.pre.tags)
+		copy(snap, v.pre.pays)
 	}
 	for k := start; k < v.Len(); k++ {
 		val := v.At(k)
@@ -172,6 +212,30 @@ func (v View) Extract(n int) [][]byte {
 		}
 	}
 	return snap
+}
+
+// Standalone flattens the view into one that depends on no pruned-prefix
+// summary: each writer's latest pruned value is materialized as a real
+// value ahead of the retained ones (every pruned timestamp sorts below
+// every retained one, so the result stays sorted). The materialized view
+// approximates the original — intermediate pruned values are gone — but
+// extracts identically, which is what wire-encoded full views and rejoin
+// replies need.
+func (v View) Standalone() View {
+	if v.pre == nil || v.pruned == 0 {
+		return v
+	}
+	var pv []Value
+	for w, tag := range v.pre.tags {
+		if tag >= 0 {
+			pv = append(pv, Value{TS: Timestamp{Tag: tag, Writer: w}, Payload: v.pre.pays[w]})
+		}
+	}
+	sort.Slice(pv, func(i, j int) bool { return pv[i].TS.Less(pv[j].TS) })
+	out := make([]Value, 0, len(pv)+v.Len())
+	out = append(out, pv...)
+	v.Each(func(val Value) { out = append(out, val) })
+	return ViewOf(out...)
 }
 
 func (v View) String() string {

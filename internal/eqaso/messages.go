@@ -110,7 +110,39 @@ type MsgBorrowNak struct{ Tag core.Tag }
 // Kind implements rt.Message.
 func (MsgBorrowNak) Kind() string { return "borrowNak" }
 
-// Wire tags 16–24 (see DESIGN.md, wire format section).
+// MsgCkptVouch announces that the sender's durable frontier reached Ck:
+// the sender holds (and has WAL-synced) exactly that prefix and will
+// never retract it, even across a crash. A receiver that vouches Ck too
+// advances its cursor for the sender over the prefix; once every node
+// has vouched a checkpoint, the log below the minimum such checkpoint is
+// garbage-collectable.
+type MsgCkptVouch struct{ Ck core.Checkpoint }
+
+// Kind implements rt.Message.
+func (MsgCkptVouch) Kind() string { return "ckptVouch" }
+
+// MsgRejoinReq announces that the sender recovered from a crash with
+// durable state through Base. Receivers repair their cursor for the
+// sender (it provably holds that prefix) and reply with the values they
+// hold above it.
+type MsgRejoinReq struct{ Base core.Checkpoint }
+
+// Kind implements rt.Message.
+func (MsgRejoinReq) Kind() string { return "rejoinReq" }
+
+// MsgRejoinAck answers a MsgRejoinReq: when the responder vouches Base,
+// Vals is just the delta above it; otherwise Full is set and Vals is the
+// responder's whole (standalone) value set.
+type MsgRejoinAck struct {
+	Base core.Checkpoint
+	Full bool
+	Vals []core.Value
+}
+
+// Kind implements rt.Message.
+func (MsgRejoinAck) Kind() string { return "rejoinAck" }
+
+// Wire tags 16–29 (see DESIGN.md, wire format section).
 func init() {
 	wire.Register(wire.Codec{
 		Tag: 16, Proto: MsgValue{},
@@ -239,5 +271,40 @@ func init() {
 		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutTag(b, m.(MsgBorrowNak).Tag) },
 		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgBorrowNak{Tag: wire.GetTag(d)}, d.Err() },
 		Gen:    func(rng *rand.Rand) rt.Message { return MsgBorrowNak{Tag: core.Tag(rng.Int63n(1 << 20))} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 27, Proto: MsgCkptVouch{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutCheckpoint(b, m.(MsgCkptVouch).Ck) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgCkptVouch{Ck: wire.GetCheckpoint(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message { return MsgCkptVouch{Ck: wire.GenCheckpoint(rng)} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 28, Proto: MsgRejoinReq{},
+		Encode: func(b *wire.Buffer, m rt.Message) { wire.PutCheckpoint(b, m.(MsgRejoinReq).Base) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgRejoinReq{Base: wire.GetCheckpoint(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message { return MsgRejoinReq{Base: wire.GenCheckpoint(rng)} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 29, Proto: MsgRejoinAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgRejoinAck)
+			wire.PutCheckpoint(b, msg.Base)
+			b.PutBool(msg.Full)
+			wire.PutValues(b, msg.Vals)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgRejoinAck{
+				Base: wire.GetCheckpoint(d),
+				Full: d.Bool(),
+				Vals: wire.GetValues(d),
+			}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgRejoinAck{Base: wire.GenCheckpoint(rng), Full: rng.Intn(2) == 1, Vals: wire.GenValues(rng)}
+		},
 	})
 }

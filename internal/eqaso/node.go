@@ -31,6 +31,7 @@ import (
 
 	"mpsnap/internal/core"
 	"mpsnap/internal/rt"
+	"mpsnap/internal/wal"
 )
 
 // Stats counts a node's operations and lattice activity.
@@ -49,6 +50,13 @@ type Stats struct {
 	BorrowFullReplies   int64 // full goodView replies sent
 	BorrowPendingServed int64 // replies sent late, once a view became known
 	BorrowDeltaRejects  int64 // received deltas whose checkpoint no longer matched
+
+	// Durability and garbage-collection counters (WAL mode only).
+	VouchesSent        int64 // checkpoint vouches broadcast after a durable frontier advance
+	LogPrunes          int64 // value-log prefixes garbage-collected
+	RejoinDeltaReplies int64 // rejoinReq answered with a delta above the base
+	RejoinFullReplies  int64 // rejoinReq answered with a full standalone view
+	Rejoins            int64 // crash-recovery rejoins performed by this node
 }
 
 type readState struct {
@@ -100,6 +108,15 @@ type Node struct {
 	pending   map[int]pendingBorrow // requester id → unanswered borrowReq
 	curBorrow *borrowWait
 
+	// Crash-recovery state (nil/zero when the node runs without a WAL).
+	// wal is the durability sink: own values are synced before they are
+	// disseminated, frontier checkpoints before they are vouched, prunes
+	// before they execute. vouched[j] is the largest checkpoint node j has
+	// durably vouched; gc enables pruning below the global minimum.
+	wal     *wal.Writer
+	gc      bool
+	vouched []core.Checkpoint
+
 	stats Stats
 
 	// Operation instrumentation (see obs.go); owned by the client thread.
@@ -132,8 +149,19 @@ func New(r rt.Runtime) *Node {
 		readAcks:  make(map[int64]*readState),
 		writeAcks: make(map[int64]int),
 		pending:   make(map[int]pendingBorrow),
+		vouched:   make([]core.Checkpoint, n),
 	}
 	return nd
+}
+
+// AttachWAL makes the node durable: every value admitted to V[self] is
+// appended to w (own values synced before dissemination), frontier
+// checkpoints are synced and then vouched to peers, and — when gc is set
+// — the value log is pruned below the globally-vouched checkpoint. Must
+// be called before the node is installed as a message handler.
+func (nd *Node) AttachWAL(w *wal.Writer, gc bool) {
+	nd.wal = w
+	nd.gc = gc
 }
 
 // Stats returns a copy of the node's counters.
@@ -151,6 +179,14 @@ func (nd *Node) Stats() Stats {
 type MemoryStats struct {
 	// Values is the size of V[id] (every value ever learned).
 	Values int
+	// Retained is the number of values held physically; with GC enabled
+	// it tracks the active window instead of the whole history.
+	Retained int
+	// Pruned is the number of values garbage-collected below the
+	// globally-vouched checkpoint.
+	Pruned int
+	// LogBytes estimates the value log's resident size.
+	LogBytes int
 	// Frozen is the stable-frontier prefix length: values in zero-copy,
 	// immutable log positions.
 	Frozen int
@@ -165,6 +201,9 @@ func (nd *Node) Memory() MemoryStats {
 	var m MemoryStats
 	nd.rt.Atomic(func() {
 		m.Values = nd.log.SelfLen()
+		m.Retained = nd.log.RetainedLen()
+		m.Pruned = nd.log.PrunedCount()
+		m.LogBytes = nd.log.HeapBytes()
 		m.Frozen = nd.log.Frontier().Count
 		m.BorrowTags = len(nd.borrow)
 		m.OwnGoodTags = len(nd.ownGood)
@@ -201,14 +240,7 @@ func (nd *Node) LocalView() core.View {
 func (nd *Node) HandleMessage(src int, m rt.Message) {
 	switch msg := m.(type) {
 	case MsgValue:
-		newToJ, newToSelf := nd.log.Add(src, msg.Val)
-		if nd.wait != nil {
-			nd.wait.OnAdd(src, msg.Val, newToJ, newToSelf)
-		}
-		if !nd.forwarded[msg.Val.TS] {
-			nd.forwarded[msg.Val.TS] = true
-			nd.rt.Broadcast(MsgValue{Val: msg.Val})
-		}
+		nd.addValue(src, msg.Val)
 	case MsgReadTag:
 		nd.rt.Send(src, MsgReadAck{ReqID: msg.ReqID, Tag: nd.maxTag})
 	case MsgReadAck:
@@ -263,6 +295,107 @@ func (nd *Node) HandleMessage(src int, m rt.Message) {
 			nd.stats.BorrowDeltaRejects++
 			nd.maybeEscalate(msg.Tag)
 		}
+	case MsgCkptVouch:
+		nd.noteVouch(src, msg.Ck)
+	case MsgRejoinReq:
+		// src recovered with durable state through Base: that prefix
+		// survived the crash, so credit src's cursor with it — this also
+		// repairs goodLA FIFO reconstruction for values src received but
+		// whose broadcasts were cut short pre-crash.
+		nd.noteVouch(src, msg.Base)
+		all := nd.log.AllView()
+		if delta, ok := nd.log.DeltaAbove(all, msg.Base); ok {
+			nd.stats.RejoinDeltaReplies++
+			nd.rt.Send(src, MsgRejoinAck{Base: msg.Base, Vals: delta})
+		} else {
+			nd.stats.RejoinFullReplies++
+			nd.rt.Send(src, MsgRejoinAck{Full: true, Vals: all.Standalone().Values()})
+		}
+	case MsgRejoinAck:
+		if !msg.Full {
+			// src vouched our recovered base implicitly by replying with a
+			// delta above it.
+			nd.log.NoteVouch(src, msg.Base)
+		}
+		for _, v := range msg.Vals {
+			nd.addValue(src, v)
+		}
+	}
+}
+
+// addValue admits a value received from src (the "value" handler, line 40
+// of Algorithm 1): into the log, the active EQ wait, the WAL, and —
+// once per timestamp — back out to everyone (reliable broadcast).
+func (nd *Node) addValue(src int, v core.Value) {
+	newToJ, newToSelf := nd.log.Add(src, v)
+	if nd.wait != nil {
+		nd.wait.OnAdd(src, v, newToJ, newToSelf)
+	}
+	if newToSelf && nd.wal != nil {
+		nd.wal.AppendValue(src, v)
+	}
+	if !nd.forwarded[v.TS] {
+		nd.forwarded[v.TS] = true
+		nd.rt.Broadcast(MsgValue{Val: v})
+	}
+}
+
+// vouchFrontier durably checkpoints the current frontier and vouches it to
+// all peers. Called (atomically) after a good lattice operation advanced
+// the frontier; the checkpoint is WAL-synced BEFORE the vouch broadcast,
+// so a peer can only GC below a frontier this node will still hold after
+// any crash. The node's own vouch is recorded via the self-delivered
+// broadcast.
+func (nd *Node) vouchFrontier() {
+	if nd.wal == nil {
+		return
+	}
+	ck := nd.log.Frontier()
+	if ck.Count <= nd.vouched[nd.id].Count {
+		return
+	}
+	nd.wal.AppendCheckpoint(ck)
+	if nd.wal.Sync() != nil {
+		return
+	}
+	nd.stats.VouchesSent++
+	nd.rt.Broadcast(MsgCkptVouch{Ck: ck})
+}
+
+// noteVouch records j's durable checkpoint, advances j's cursor over the
+// vouched prefix when this log vouches it too, and garbage-collects if a
+// new global floor emerged.
+func (nd *Node) noteVouch(j int, ck core.Checkpoint) {
+	nd.log.NoteVouch(j, ck)
+	if nd.log.Vouches(ck) && ck.Count > nd.vouched[j].Count {
+		nd.vouched[j] = ck
+	}
+	nd.maybeGC()
+}
+
+// maybeGC prunes the value log below the smallest checkpoint every node
+// has durably vouched. The prune is WAL-logged and synced first so replay
+// prunes at the same point and recovered digests match live peers. Never
+// runs while an EQ wait is active (the tracker caches absolute counts).
+func (nd *Node) maybeGC() {
+	if nd.wal == nil || !nd.gc || nd.wait != nil {
+		return
+	}
+	floor := nd.vouched[0]
+	for _, ck := range nd.vouched[1:] {
+		if ck.Count < floor.Count {
+			floor = ck
+		}
+	}
+	if floor.Count <= nd.log.PrunedCount() || !nd.log.Vouches(floor) {
+		return
+	}
+	nd.wal.AppendPrune(floor)
+	if nd.wal.Sync() != nil {
+		return
+	}
+	if nd.log.PruneTo(floor) {
+		nd.stats.LogPrunes++
 	}
 }
 
@@ -328,7 +461,9 @@ func (nd *Node) sendView(src int, tag core.Tag, view core.View, base core.Checkp
 		return
 	}
 	nd.stats.BorrowFullReplies++
-	nd.rt.Send(src, MsgGoodView{Tag: tag, View: view})
+	// Full views must not depend on this node's pruned-prefix summary
+	// (the wire codec flattens views): materialize it first.
+	nd.rt.Send(src, MsgGoodView{Tag: tag, View: view.Standalone()})
 }
 
 // servePending answers parked borrowReqs that a newly learned view can now

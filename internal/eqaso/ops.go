@@ -14,7 +14,10 @@ func (nd *Node) readTag() (core.Tag, error) {
 	nd.rt.Atomic(func() {
 		nd.nextReq++
 		req = nd.nextReq
-		st = &readState{}
+		// Seed with the local maxTag: the quorum maximum can only raise it,
+		// and a node recovering from its WAL must never pick a timestamp at
+		// or below one it already wrote durably.
+		st = &readState{max: nd.maxTag}
 		nd.readAcks[req] = st
 	})
 	nd.rt.Broadcast(MsgReadTag{ReqID: req})
@@ -79,6 +82,7 @@ func (nd *Node) lattice(r core.Tag) (good bool, view core.View, err error) {
 					nd.OnGoodLattice(r, view)
 				}
 				nd.rt.Broadcast(MsgGoodLA{Tag: r})
+				nd.vouchFrontier()
 				nd.servePending()
 			}
 		})
@@ -201,6 +205,20 @@ func (nd *Node) UpdateBatchWithView(payloads [][]byte) (view core.View, tss []co
 		for i := range payloads {
 			tss[i] = core.Timestamp{Tag: r + 1 + core.Tag(i), Writer: nd.id}
 			nd.forwarded[tss[i]] = true
+		}
+		if nd.wal != nil {
+			// Durable-before-disseminate: admit the batch to V[self] and
+			// sync it BEFORE any peer can observe a value, so no value a
+			// survivor holds can be lost by this node's crash. Without a
+			// WAL the values enter the log through the self-delivered
+			// broadcast below, exactly as before.
+			for i := range payloads {
+				v := core.Value{TS: tss[i], Payload: payloads[i]}
+				if nd.log.AddSelf(v) {
+					nd.wal.AppendValue(nd.id, v)
+				}
+			}
+			nd.wal.Sync()
 		}
 	})
 	nd.phase("disseminate")

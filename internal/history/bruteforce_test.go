@@ -9,33 +9,28 @@ import (
 	"mpsnap/internal/rt"
 )
 
-// linearizableOps selects the operations a linearization must contain:
-// every update (a pending update may have taken effect, and placing it in
-// the trailing gap is equivalent to removing it) and every completed
-// scan; pending scans have no observable effect and are dropped — the
-// same treatment the checker's verifyComplete demands.
-func linearizableOps(h *History) []*Op {
-	ops := make([]*Op, 0, len(h.Ops))
+// splitOps separates a history's operations into the completed ones
+// (always present in a linearization or sequentialization) and the
+// pending updates (which took effect or not); pending scans have no
+// observable effect and are dropped.
+func splitOps(h *History) (completed, pend []*Op) {
 	for _, op := range h.Ops {
-		if op.Type == Update || !op.Pending() {
-			ops = append(ops, op)
+		switch {
+		case !op.Pending():
+			completed = append(completed, op)
+		case op.Type == Update:
+			pend = append(pend, op)
 		}
 	}
-	return ops
+	return completed, pend
 }
 
-// bruteForceLinearizable decides linearizability of a small history by
-// enumerating every permutation that respects the real-time order and
-// replaying it against the sequential specification. Pending updates
-// (crashed updaters) are placed like any other update — real time never
-// forces them early, so some permutation puts an ineffective one after
-// every scan. It is the ground truth the conditions-based checker is
-// validated against (Theorem 1: both directions).
-func bruteForceLinearizable(h *History) bool {
-	ops := linearizableOps(h)
+// permSearch reports whether some permutation of ops that respects
+// mustPrecede is legal.
+func permSearch(h *History, ops []*Op, mustPrecede func(prev, op *Op) bool) bool {
 	n := len(ops)
 	if n > 8 {
-		panic("bruteForceLinearizable: history too large")
+		panic("permSearch: history too large")
 	}
 	used := make([]bool, n)
 	order := make([]*Op, 0, n)
@@ -48,11 +43,11 @@ func bruteForceLinearizable(h *History) bool {
 			if used[i] {
 				continue
 			}
-			// Real-time: op may come next only if every operation that
-			// precedes it is already placed.
+			// op may come next only if everything that must precede it is
+			// already placed.
 			ok := true
 			for j, prev := range ops {
-				if !used[j] && i != j && prev.Before(op) {
+				if !used[j] && i != j && mustPrecede(prev, op) {
 					ok = false
 					break
 				}
@@ -60,8 +55,6 @@ func bruteForceLinearizable(h *History) bool {
 			if !ok {
 				continue
 			}
-			// Prune: replay legality incrementally would be faster;
-			// for ≤8 ops full recursion is fine.
 			used[i] = true
 			order = append(order, op)
 			if try() {
@@ -77,51 +70,61 @@ func bruteForceLinearizable(h *History) bool {
 	return try()
 }
 
-// bruteForceSequentiallyConsistent enumerates permutations that respect
-// each node's program order (but not real time).
+// forEffectSubsets runs search over the completed operations joined with
+// every subset of pending updates — a crashed update either takes effect
+// (and must then be ordered) or never does (and is absent).
+func forEffectSubsets(h *History, search func(ops []*Op) bool) bool {
+	completed, pend := splitOps(h)
+	for mask := 0; mask < 1<<len(pend); mask++ {
+		ops := append([]*Op(nil), completed...)
+		for i, u := range pend {
+			if mask&(1<<i) != 0 {
+				ops = append(ops, u)
+			}
+		}
+		if search(ops) {
+			return true
+		}
+	}
+	return false
+}
+
+// programOrderBefore reports prev < op in the same node's program order.
+func programOrderBefore(prev, op *Op) bool {
+	return prev.Node == op.Node &&
+		(prev.Inv < op.Inv || (prev.Inv == op.Inv && prev.ID < op.ID))
+}
+
+// bruteForceLinearizable decides linearizability of a small history by
+// enumerating, for every subset of pending updates that took effect,
+// every permutation that respects the real-time order — plus the
+// recovery fence: an included pending update must precede every later
+// same-node operation, because recovery replays the crashed
+// incarnation's durable write before the restarted node issues anything
+// new (real time alone never forces a pending op early, but a write that
+// surfaced only after the new incarnation's operations would have no
+// execution producing it). It is the ground truth the conditions-based
+// checker is validated against (Theorem 1: both directions).
+func bruteForceLinearizable(h *History) bool {
+	return forEffectSubsets(h, func(ops []*Op) bool {
+		return permSearch(h, ops, func(prev, op *Op) bool {
+			return prev.Before(op) ||
+				(prev.Pending() && prev.Type == Update && programOrderBefore(prev, op))
+		})
+	})
+}
+
+// bruteForceSequentiallyConsistent does the same for sequential
+// consistency: permutations respect each node's program order (but not
+// real time), which already subsumes the recovery fence. An ineffective
+// pending update cannot just ride in the trailing gap here: when the
+// crashed node recovers and issues more operations, program order would
+// force the dead incarnation's pending update ahead of them, so "never
+// took effect" is modelled by leaving the op out.
 func bruteForceSequentiallyConsistent(h *History) bool {
-	ops := linearizableOps(h)
-	n := len(ops)
-	if n > 8 {
-		panic("bruteForceSequentiallyConsistent: history too large")
-	}
-	used := make([]bool, n)
-	order := make([]*Op, 0, n)
-	var try func() bool
-	try = func() bool {
-		if len(order) == n {
-			return len(h.verifyLegal(order)) == 0
-		}
-		for i, op := range ops {
-			if used[i] {
-				continue
-			}
-			ok := true
-			for j, prev := range ops {
-				if used[j] || i == j || prev.Node != op.Node {
-					continue
-				}
-				if prev.Inv < op.Inv || (prev.Inv == op.Inv && prev.ID < op.ID) {
-					ok = false // same-node predecessor not yet placed
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			used[i] = true
-			order = append(order, op)
-			if try() {
-				used[i] = false
-				order = order[:len(order)-1]
-				return true
-			}
-			used[i] = false
-			order = order[:len(order)-1]
-		}
-		return false
-	}
-	return try()
+	return forEffectSubsets(h, func(ops []*Op) bool {
+		return permSearch(h, ops, programOrderBefore)
+	})
 }
 
 // genSmallHistory produces a random small history of completed operations:

@@ -153,7 +153,7 @@ func (h *History) CheckS2() []string {
 	}
 	var viol []string
 	for _, sb := range sbs {
-		own := 0
+		lo, hi := 0, 0
 		for _, u := range h.updatesByNode[sb.sc.Node] {
 			// "Preceding" is the node's program order. With concurrent
 			// service-layer clients an update and a scan of the same node
@@ -161,11 +161,23 @@ func (h *History) CheckS2() []string {
 			// begin order, so (Inv, ID) is exactly that program order —
 			// for single-client histories the ID tie-break never fires.
 			if u.Inv < sb.sc.Inv || (u.Inv == sb.sc.Inv && u.ID < sb.sc.ID) {
-				own = u.Seq
+				hi = u.Seq
+				if !u.Pending() {
+					lo = u.Seq
+				}
 			}
 		}
-		if sb.base[sb.sc.Node] != own {
-			viol = append(viol, fmt.Sprintf("(S2) %v sees %d own updates, program order requires exactly %d", sb.sc, sb.base[sb.sc.Node], own))
+		// Every completed own update must be visible (no fewer) and the
+		// node's own future must not be (no more). A pending own update —
+		// the node crashed mid-op, possibly recovering later — may or may
+		// not have taken effect, so it widens the requirement to a range;
+		// without pending own updates lo == hi and the check is exact.
+		if b := sb.base[sb.sc.Node]; b < lo || b > hi {
+			if lo == hi {
+				viol = append(viol, fmt.Sprintf("(S2) %v sees %d own updates, program order requires exactly %d", sb.sc, b, lo))
+			} else {
+				viol = append(viol, fmt.Sprintf("(S2) %v sees %d own updates, program order requires %d..%d (a crashed update may not have taken effect)", sb.sc, b, lo, hi))
+			}
 		}
 	}
 	return viol

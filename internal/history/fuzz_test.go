@@ -14,11 +14,13 @@ import (
 // Per operation, 4 bytes: [node|flags] [invDelta] [duration] [segment
 // value selector]. Flag 0x80 makes the op a scan; flag 0x40 makes it
 // pending — the node crashed during the op, so it has no response and
-// the node issues nothing afterwards (later ops decoded for a crashed
-// node are skipped). Scan results are synthesized from the selector per
-// segment, choosing among ⊥ and the values that segment's owner writes
-// anywhere in the history — including values of pending updates, which
-// may legitimately have taken effect (so BaseOf always resolves, and the
+// stays down (later ops decoded for a crashed node are skipped) unless a
+// later op carries flag 0x20, which restarts the node: that op opens the
+// recovered incarnation (crash-recovery, as chaos restart schedules
+// record). Scan results are synthesized from the selector per segment,
+// choosing among ⊥ and the values that segment's owner writes anywhere
+// in the history — including values of pending updates, which may
+// legitimately have taken effect (so BaseOf always resolves, and the
 // fuzzer reaches deep checker logic rather than tripping on unknown
 // values).
 func historyFromBytes(data []byte) *History {
@@ -45,7 +47,10 @@ func historyFromBytes(data []byte) *History {
 		b := data[i*4 : i*4+4]
 		node := int(b[0]) % n
 		if crashed[node] {
-			continue
+			if b[0]&0x20 == 0 {
+				continue
+			}
+			crashed[node] = false // 0x20 restarts the node
 		}
 		isScan := b[0]&0x80 != 0
 		pending := b[0]&0x40 != 0
@@ -106,6 +111,13 @@ func FuzzCheckerAgainstBruteForce(f *testing.F) {
 	f.Add([]byte{0x00, 0, 1, 0, 0x40, 2, 2, 0, 0x81, 0, 6, 2, 0x01, 1, 1, 3})
 	f.Add([]byte{0xc1, 0, 3, 0, 0x00, 1, 1, 0, 0x80, 2, 2, 1})
 	f.Add([]byte{0x40, 0, 7, 0, 0x41, 1, 7, 0, 0x80, 0, 1, 2})
+	// Crash-recovery shapes: a node crashes mid-update (0x40), restarts
+	// (0x20), and keeps operating — its pending update may or may not
+	// have taken effect, and the new incarnation's scans must be checked
+	// against both possibilities.
+	f.Add([]byte{0x40, 1, 2, 0, 0x20, 1, 2, 0, 0x80, 2, 2, 1})
+	f.Add([]byte{0x40, 0, 3, 0, 0x01, 1, 1, 0, 0xa0, 2, 2, 2, 0x81, 1, 1, 3})
+	f.Add([]byte{0x40, 0, 2, 0, 0x60, 1, 2, 0, 0x20, 1, 1, 0, 0x80, 1, 1, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h := historyFromBytes(data)
 		if len(h.Ops) == 0 {

@@ -53,6 +53,20 @@ func (h *History) buildOrder() ([]*Op, error) {
 				break
 			}
 		}
+		if u.Pending() && (g == len(sbs) || sbs[g].base[u.Node] != u.Seq) {
+			// The updater crashed before responding and no scan returned
+			// the written value: the operation never observably took
+			// effect and the sequential equivalent omits it. A base can
+			// contain the update nominally — prefix representation, when a
+			// scan saw a later same-node value — without requiring it, and
+			// placing it anyway would wrongly constrain a recovered node's
+			// later operations (program order and the recovery fence put
+			// the dead incarnation's pending update ahead of everything
+			// the new incarnation does). With comparable bases (A1) the
+			// first scan containing u has base[u.Node] == u.Seq exactly
+			// when some scan returned u's value.
+			continue
+		}
 		gaps[g] = append(gaps[g], u)
 	}
 	var out []*Op
@@ -111,6 +125,29 @@ func verifyRealTime(order []*Op) []string {
 	return viol
 }
 
+// verifyRecoveryFence checks that every pending update in order is placed
+// before all later operations of its node. Recovery replays a crashed
+// incarnation's durable write before the restarted node issues new
+// operations, so a pending update takes effect, if ever, before the
+// node's next operation begins — a write surfacing only after the new
+// incarnation's operations has no execution producing it. (For completed
+// operations real-time order subsumes this; sequential consistency's
+// per-node order check subsumes it entirely.)
+func verifyRecoveryFence(order []*Op) []string {
+	var viol []string
+	for i, u := range order {
+		if u.Type != Update || !u.Pending() {
+			continue
+		}
+		for _, op := range order[:i] {
+			if op.Node == u.Node && (op.Inv > u.Inv || (op.Inv == u.Inv && op.ID > u.ID)) {
+				viol = append(viol, fmt.Sprintf("recovery fence violated: %v placed before %v", op, u))
+			}
+		}
+	}
+	return viol
+}
+
 // verifyPerNodeOrder checks S ≃ H: restricted to each node, order must be
 // the node's program order.
 func (h *History) verifyPerNodeOrder(order []*Op) []string {
@@ -125,24 +162,32 @@ func (h *History) verifyPerNodeOrder(order []*Op) []string {
 	return viol
 }
 
-// verifyComplete checks that order contains exactly the completed
-// operations and pending updates of the history (pending scans have no
-// effect and are dropped).
+// verifyComplete checks that order contains every completed operation of
+// the history exactly once and nothing else, except that pending
+// operations are optional: a pending scan has no observable effect and is
+// dropped, and a pending update (the node crashed mid-op) may or may not
+// have taken effect — if its value was observed the legality check forces
+// it into the order, otherwise the order may omit it.
 func (h *History) verifyComplete(order []*Op) []string {
-	want := make(map[int]bool)
+	required := make(map[int]bool)
+	optional := make(map[int]bool)
 	for _, op := range h.Ops {
-		if op.Type == Update || !op.Pending() {
-			want[op.ID] = true
+		switch {
+		case !op.Pending():
+			required[op.ID] = true
+		case op.Type == Update:
+			optional[op.ID] = true
 		}
 	}
 	var viol []string
 	for _, op := range order {
-		if !want[op.ID] {
+		if !required[op.ID] && !optional[op.ID] {
 			viol = append(viol, fmt.Sprintf("unexpected op in order: %v", op))
 		}
-		delete(want, op.ID)
+		delete(required, op.ID)
+		delete(optional, op.ID)
 	}
-	for id := range want {
+	for id := range required {
 		viol = append(viol, fmt.Sprintf("op%d missing from order", id))
 	}
 	return viol
@@ -167,6 +212,7 @@ func (h *History) CheckLinearizable() *Report {
 	rep.Violations = append(rep.Violations, h.verifyComplete(order)...)
 	rep.Violations = append(rep.Violations, h.verifyLegal(order)...)
 	rep.Violations = append(rep.Violations, verifyRealTime(order)...)
+	rep.Violations = append(rep.Violations, verifyRecoveryFence(order)...)
 	rep.Order = order
 	rep.OK = len(rep.Violations) == 0
 	return rep

@@ -10,13 +10,17 @@ import (
 )
 
 // genSmallHistoryWithPending produces a random small history in which
-// some nodes crash mid-operation: a crashed node's last operation is
-// pending (no response) and the node issues nothing afterwards — the
-// shape chaos runs record around partitions and crashes. A pending
-// update takes effect at its linearization point with probability 1/2
-// (a crash mid-broadcast may or may not have reached a quorum), so later
-// scans legitimately may or may not observe it. With probability ~1/2
-// one completed scan is then corrupted, as in genSmallHistory.
+// some nodes crash mid-operation: a crashed node's operation is pending
+// (no response), and the node afterwards either stays down or — with
+// probability 1/2 per subsequent draw — recovers and resumes issuing
+// operations as a new incarnation (the shapes chaos runs record around
+// partitions, crashes, and WAL-replay restarts). A pending update takes
+// effect at its linearization point with probability 1/2 (a crash
+// mid-broadcast may or may not have reached a quorum, and the write may
+// or may not have been durably logged), so later scans — including the
+// recovered incarnation's own — legitimately may or may not observe it.
+// With probability ~1/2 one completed scan is then corrupted, as in
+// genSmallHistory.
 func genSmallHistoryWithPending(rng *rand.Rand) *History {
 	n := 2 + rng.Intn(2)
 	nOps := 3 + rng.Intn(5) // ≤ 7
@@ -35,7 +39,10 @@ func genSmallHistoryWithPending(rng *rand.Rand) *History {
 	for i := 0; i < nOps; i++ {
 		node := rng.Intn(n)
 		if crashed[node] {
-			continue
+			if rng.Intn(2) == 0 {
+				continue // stays down
+			}
+			crashed[node] = false // restarts; this op opens the new incarnation
 		}
 		inv := busy[node] + rt.Ticks(rng.Intn(4))
 		dur := rt.Ticks(1 + rng.Intn(8))

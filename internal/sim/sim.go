@@ -152,9 +152,10 @@ type World struct {
 }
 
 // TraceEvent is one observable simulator event (for tooling and debug
-// output). Kind is "send", "deliver", "crash", "drop" (link adversary
-// discarded the message), "corrupt" (wire fault rewrote or killed the
-// message), "hold" (parked at a partition cut), "partition", or "heal".
+// output). Kind is "send", "deliver", "crash", "restart", "drop" (link
+// adversary discarded the message), "corrupt" (wire fault rewrote or
+// killed the message), "hold" (parked at a partition cut), "partition",
+// or "heal".
 type TraceEvent struct {
 	T    rt.Ticks
 	Kind string
@@ -277,6 +278,32 @@ func (w *World) crash(id int) {
 	if w.tracer != nil {
 		w.tracer(TraceEvent{T: w.now, Kind: "crash", Src: id, Dst: -1})
 	}
+}
+
+// Restart brings a crashed node back: it resumes receiving, sending, and
+// handling messages. The caller installs the recovered incarnation's
+// handler (SetHandler) before the restart and spawns a fresh client
+// process (GoNode) after it — processes of the old incarnation died with
+// rt.ErrCrashed at crash time and stay dead. Channel state survives the
+// model's way: messages already in flight to the node when it crashed are
+// delivered to the NEW incarnation if their delivery time falls after the
+// restart (the node re-binds the same identity), while deliveries that
+// fired during the downtime are lost forever.
+func (w *World) Restart(id int) {
+	ns := w.nodes[id]
+	if !ns.crashed {
+		return
+	}
+	ns.crashed = false
+	ns.version++
+	if w.tracer != nil {
+		w.tracer(TraceEvent{T: w.now, Kind: "restart", Src: id, Dst: -1})
+	}
+}
+
+// RestartAt schedules node id to restart at time t.
+func (w *World) RestartAt(id int, t rt.Ticks) {
+	w.schedule(t, func() { w.Restart(id) })
 }
 
 // CrashedCount returns the number of crashed nodes.

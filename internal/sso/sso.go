@@ -112,8 +112,11 @@ func NewWithBackend(r rt.Runtime, b backend) *Node {
 
 // adopt replaces the stored view if the candidate is larger. Must run in
 // an atomic context (it is called from handlers and from Atomic sections).
+// Sizes compare logically (counting any garbage-collected prefix): after a
+// GC a good view can be physically smaller yet stand for more values, and
+// good views remain comparable by their logical lengths.
 func (nd *Node) adopt(view core.View) {
-	if view.Len() > nd.stored.Len() {
+	if view.LogicalLen() > nd.stored.LogicalLen() {
 		nd.stored = view
 	}
 }
@@ -138,7 +141,9 @@ func (nd *Node) Update(payload []byte) (err error) {
 		var done bool
 		nd.rtm.Atomic(func() {
 			nd.adopt(view)
-			done = nd.stored.Contains(ts)
+			// Covers, not Contains: with GC the written value may already
+			// sit inside the stored view's pruned prefix.
+			done = nd.stored.Covers(ts)
 		})
 		if done {
 			return nil
@@ -189,7 +194,7 @@ func (nd *Node) UpdateBatch(payloads [][]byte) error {
 		var done bool
 		nd.rtm.Atomic(func() {
 			nd.adopt(view)
-			done = nd.stored.Contains(last)
+			done = nd.stored.Covers(last)
 		})
 		if done {
 			return nil

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpsnap/internal/rt"
@@ -28,7 +29,10 @@ type node struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	handler rt.Handler
-	crashed bool
+	// crashed is atomic because the send path checks it without the node
+	// lock, and crash/restart may flip it from another goroutine (the
+	// chaos harness's mid-broadcast crash, the recovery path).
+	crashed atomic.Bool
 	// pending buffers messages that arrive before the handler is
 	// installed (peers may finish their setup at different times;
 	// reliable channels must not drop early traffic).
@@ -46,7 +50,7 @@ func (nd *node) init() { nd.cond = sync.NewCond(&nd.mu) }
 func (nd *node) deliver(src int, msg rt.Message) {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
-	if nd.crashed {
+	if nd.crashed.Load() {
 		return
 	}
 	if nd.handler == nil {
@@ -80,12 +84,12 @@ func (nd *node) waitUntilThen(pred func() bool, then func()) error {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
 	for !pred() {
-		if nd.crashed {
+		if nd.crashed.Load() {
 			return rt.ErrCrashed
 		}
 		nd.cond.Wait()
 	}
-	if nd.crashed {
+	if nd.crashed.Load() {
 		return rt.ErrCrashed
 	}
 	then()
@@ -96,7 +100,22 @@ func (nd *node) waitUntilThen(pred func() bool, then func()) error {
 func (nd *node) crash() {
 	nd.mu.Lock()
 	defer nd.mu.Unlock()
-	nd.crashed = true
+	nd.crashed.Store(true)
+	nd.cond.Broadcast()
+}
+
+// restart clears the crash flag and installs the recovered incarnation's
+// handler in one critical section, so no message can reach the old
+// handler after the node is back. Messages that arrived during the
+// downtime were dropped (the model's crashed-receiver semantics); any
+// buffered pre-install deliveries belonged to the old incarnation and are
+// discarded with it.
+func (nd *node) restart(h rt.Handler) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.crashed.Store(false)
+	nd.handler = h
+	nd.pending = nil
 	nd.cond.Broadcast()
 }
 
@@ -212,6 +231,12 @@ func (c *ChanNet) Runtime(id int) rt.Runtime { return &chanRuntime{net: c, nd: c
 // Crash crash-stops node id.
 func (c *ChanNet) Crash(id int) { c.nodes[id].crash() }
 
+// Restart brings a crashed node back with the recovered incarnation's
+// handler (crash-recovery). The node resumes receiving and sending; its
+// per-link FIFO queues were never torn down, so channel ordering survives
+// the downtime.
+func (c *ChanNet) Restart(id int, h rt.Handler) { c.nodes[id].restart(h) }
+
 // Close tears the cluster down.
 func (c *ChanNet) Close() {
 	close(c.done)
@@ -250,7 +275,7 @@ func (r *chanRuntime) N() int  { return r.net.n }
 func (r *chanRuntime) F() int  { return r.net.f }
 
 func (r *chanRuntime) Send(dst int, msg rt.Message) {
-	if r.nd.crashed { // benign race: crashed nodes stop sending
+	if r.nd.crashed.Load() { // crashed nodes stop sending
 		return
 	}
 	if r.net.copyThrough && wire.Marshalable(msg) {
@@ -283,8 +308,4 @@ func (r *chanRuntime) WaitUntilThen(label string, pred func() bool, then func())
 
 func (r *chanRuntime) Now() rt.Ticks { return r.net.nowTicks() }
 
-func (r *chanRuntime) Crashed() bool {
-	r.nd.mu.Lock()
-	defer r.nd.mu.Unlock()
-	return r.nd.crashed
-}
+func (r *chanRuntime) Crashed() bool { return r.nd.crashed.Load() }

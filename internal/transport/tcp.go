@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mpsnap/internal/rt"
@@ -73,8 +74,13 @@ type TCPConfig struct {
 
 // TCPNode is a node of a TCP-connected deployment. TCP's in-order
 // delivery provides the FIFO channel property; reliability holds as long
-// as connections stay up (crash-stop deployments; this transport does not
-// re-deliver across reconnects).
+// as connections stay up. When a peer's connection dies, the send loop
+// redials with backoff and resumes on the fresh connection: frames in
+// flight or buffered at the crash are lost — the crashed-receiver
+// semantics crash-recovery deployments (`asonode -wal`) repair on
+// rejoin — but the mesh heals, so a restarted process receives the
+// replies it is owed. The transport never re-delivers across
+// reconnects.
 type TCPNode struct {
 	node
 	cfg TCPConfig
@@ -82,8 +88,17 @@ type TCPNode struct {
 	listener net.Listener
 	start    time.Time
 
-	outs  []chan rt.Message // per-peer outbound queues
-	conns []net.Conn
+	outs []chan rt.Message // per-peer outbound queues
+
+	// stale[peer] is set when peer's inbound stream ends: the process
+	// behind it is gone, so our outbound connection is doomed even though
+	// the kernel may still accept a write or two. The send loop checks it
+	// before each frame and redials first, instead of losing the frame to
+	// a dead socket.
+	stale []atomic.Bool
+
+	connsMu sync.Mutex
+	conns   []net.Conn
 
 	acceptedMu sync.Mutex
 	accepted   []net.Conn
@@ -113,6 +128,7 @@ func NewTCPNode(cfg TCPConfig) (*TCPNode, error) {
 		cfg:    cfg,
 		start:  time.Now(),
 		outs:   make([]chan rt.Message, n),
+		stale:  make([]atomic.Bool, n),
 		conns:  make([]net.Conn, n),
 		closed: make(chan struct{}),
 	}
@@ -238,6 +254,11 @@ func (t *TCPNode) recvLoop(conn net.Conn) {
 	for {
 		payload, err := wire.ReadFrame(r, buf, t.cfg.MaxFrame)
 		if err != nil {
+			// The stream ended: the process behind it is gone (crash or
+			// restart), so our outbound connection to src is doomed too —
+			// flag it so the send loop redials before trusting it with
+			// another frame.
+			t.stale[src].Store(true)
 			t.recvError(src, conn, err, false)
 			return
 		}
@@ -307,7 +328,15 @@ func (t *TCPNode) Errors() []error {
 }
 
 // sendLoop encodes and writes frames for one peer, flushing whenever the
-// queue drains so bursts are batched but the tail is never delayed.
+// queue drains so bursts are batched but the tail is never delayed. A
+// write failure (or a stale flag raised by the receive side) means the
+// peer's process died; the loop redials with backoff and resends the
+// frame in hand on the fresh connection — the dead socket rejected it, so
+// the old incarnation cannot have delivered it. Frames flushed before the
+// failure are the in-flight loss of the crash model, repaired by the
+// rejoin path when the peer recovers with a WAL; without the redial a
+// restarted process would never again receive this node's messages and
+// its first operation would starve awaiting a quorum.
 func (t *TCPNode) sendLoop(peer int, conn net.Conn, out <-chan rt.Message) {
 	defer t.wg.Done()
 	w := bufio.NewWriter(conn)
@@ -331,14 +360,70 @@ func (t *TCPNode) sendLoop(peer int, conn net.Conn, out <-chan rt.Message) {
 				t.reportError(peer, fmt.Errorf("transport: encode to node %d: %w", peer, err))
 				continue
 			}
-			if _, err := w.Write(frame); err != nil {
-				return // peer gone
-			}
-			if len(out) == 0 {
-				if err := w.Flush(); err != nil {
-					return // peer gone
+			if t.stale[peer].CompareAndSwap(true, false) {
+				// The peer's inbound stream ended since the last frame: the
+				// kernel would accept this write and drop it on the floor.
+				if conn, w = t.redial(peer, conn); conn == nil {
+					return // node shut down while reconnecting
 				}
 			}
+			for {
+				_, werr := w.Write(frame)
+				if werr == nil && len(out) == 0 {
+					werr = w.Flush()
+				}
+				if werr == nil {
+					break
+				}
+				if conn, w = t.redial(peer, conn); conn == nil {
+					return // node shut down while reconnecting
+				}
+			}
+		}
+	}
+}
+
+// redial replaces a dead peer connection: it closes the old one, dials
+// the peer with capped exponential backoff until the node itself shuts
+// down, and performs the Hello handshake on the fresh connection. It
+// returns (nil, nil) only when the node closed while reconnecting.
+func (t *TCPNode) redial(peer int, old net.Conn) (net.Conn, *bufio.Writer) {
+	old.Close()
+	hello, err := wire.MarshalFrame(Hello{ID: t.cfg.ID}, t.cfg.MaxFrame)
+	if err != nil {
+		t.reportError(peer, fmt.Errorf("transport: encode handshake: %w", err))
+		return nil, nil
+	}
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for {
+		conn, err := net.DialTimeout("tcp", t.cfg.Addrs[peer], time.Second)
+		if err == nil {
+			if _, err = conn.Write(hello); err == nil {
+				t.connsMu.Lock()
+				t.conns[peer] = conn
+				t.connsMu.Unlock()
+				t.stale[peer].Store(false)
+				select {
+				case <-t.closed:
+					// Close may already have walked conns; make sure the
+					// replacement cannot outlive the node.
+					conn.Close()
+					return nil, nil
+				default:
+				}
+				return conn, bufio.NewWriter(conn)
+			}
+			conn.Close()
+		}
+		select {
+		case <-t.closed:
+			return nil, nil
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
 		}
 	}
 }
@@ -384,11 +469,13 @@ func (t *TCPNode) Close() {
 	if t.listener != nil {
 		t.listener.Close()
 	}
+	t.connsMu.Lock()
 	for _, c := range t.conns {
 		if c != nil {
 			c.Close()
 		}
 	}
+	t.connsMu.Unlock()
 	t.acceptedMu.Lock()
 	for _, c := range t.accepted {
 		c.Close()
@@ -432,9 +519,4 @@ func (r *tcpRuntime) WaitUntilThen(label string, pred func() bool, then func()) 
 
 func (r *tcpRuntime) Now() rt.Ticks { return (*TCPNode)(r).nowTicks() }
 
-func (r *tcpRuntime) Crashed() bool {
-	nd := (*TCPNode)(r)
-	nd.mu.Lock()
-	defer nd.mu.Unlock()
-	return nd.crashed
-}
+func (r *tcpRuntime) Crashed() bool { return (*TCPNode)(r).crashed.Load() }

@@ -11,6 +11,7 @@ import (
 
 	"mpsnap/internal/eqaso"
 	"mpsnap/internal/harness"
+	"mpsnap/internal/rt"
 	"mpsnap/internal/transport"
 	"mpsnap/internal/wire"
 )
@@ -208,6 +209,94 @@ func TestTCPUnknownTagSurfaced(t *testing.T) {
 	serr := waitForError(t, surfaced, "peer 1")
 	if !errors.Is(serr, wire.ErrUnknownTag) {
 		t.Fatalf("surfaced error = %v, want ErrUnknownTag", serr)
+	}
+}
+
+// TestTCPReconnectAfterPeerRestart is the regression test for the
+// crash-recovery rejoin path over TCP: when a peer's process dies and a
+// new incarnation comes back on the same address, the surviving node's
+// send loop must redial (its old outbound connection died with the old
+// process) so the restarted peer receives the messages it is owed —
+// without it, a recovered `asonode -wal` would starve on its first
+// post-restart operation, never seeing the mesh's replies.
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tcp loopback test")
+	}
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{lnA.Addr().String(), lnB.Addr().String()}
+
+	newNode := func(id int, ln net.Listener, got chan<- int) *transport.TCPNode {
+		t.Helper()
+		cfg := transport.TCPConfig{ID: id, Addrs: addrs, F: 0, D: 5 * time.Millisecond, Listener: ln}
+		tn, err := transport.NewTCPNode(cfg)
+		if err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+		tn.SetHandler(rtHandlerCapture(got))
+		return tn
+	}
+	// Nodes dial each other concurrently (NewTCPNode waits for the full
+	// mesh, so bringing them up serially would deadlock).
+	gotA := make(chan int, 16)
+	gotB := make(chan int, 16)
+	var a *transport.TCPNode
+	done := make(chan struct{})
+	go func() { a = newNode(0, lnA, gotA); close(done) }()
+	b1 := newNode(1, lnB, gotB)
+	<-done
+	defer a.Close()
+
+	recv := func(ch <-chan int, want int, when string) {
+		t.Helper()
+		select {
+		case got := <-ch:
+			if got != want {
+				t.Fatalf("%s: delivered %d, want %d", when, got, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: no delivery of %d", when, want)
+		}
+	}
+	a.Runtime().Send(1, transport.Hello{ID: 7})
+	recv(gotB, 7, "before restart")
+
+	// The peer's process dies; give the survivor's receive loop a moment
+	// to observe the EOF and flag the outbound connection stale.
+	b1.Close()
+	time.Sleep(100 * time.Millisecond)
+
+	// A new incarnation comes up on the same address. Its NewTCPNode
+	// blocks until it reaches every peer, so once it returns the mesh is
+	// re-formed from its side; the survivor's side must self-heal.
+	gotB2 := make(chan int, 16)
+	lnB2, err := net.Listen("tcp", addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := newNode(1, lnB2, gotB2)
+	defer b2.Close()
+
+	a.Runtime().Send(1, transport.Hello{ID: 8})
+	recv(gotB2, 8, "after restart")
+	// And the restarted incarnation reaches the survivor on fresh dials.
+	b2.Runtime().Send(0, transport.Hello{ID: 9})
+	recv(gotA, 9, "restarted node to survivor")
+}
+
+// rtHandlerCapture forwards the IDs of delivered Hello payloads.
+func rtHandlerCapture(got chan<- int) rt.HandlerFunc {
+	return func(src int, msg rt.Message) {
+		if h, ok := msg.(transport.Hello); ok {
+			got <- h.ID
+		}
 	}
 }
 

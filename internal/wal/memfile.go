@@ -1,0 +1,54 @@
+package wal
+
+// MemFile is an in-memory File with power-cut semantics: bytes written
+// become durable only when Sync succeeds. The simulator's restart fault
+// and the crash-point tests use it to model exactly what a crashed node
+// gets back — the synced prefix — without touching a real filesystem.
+type MemFile struct {
+	buf    []byte
+	synced int
+	// SyncHook, when set, runs before a sync takes effect; returning an
+	// error fails the sync (the unsynced tail stays volatile). Crash-point
+	// tests inject power cuts here.
+	SyncHook func() error
+}
+
+// NewMemFile returns an empty in-memory WAL file.
+func NewMemFile() *MemFile { return &MemFile{} }
+
+// Write appends p (volatile until the next successful Sync).
+func (f *MemFile) Write(p []byte) (int, error) {
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+// Sync marks everything written so far durable.
+func (f *MemFile) Sync() error {
+	if f.SyncHook != nil {
+		if err := f.SyncHook(); err != nil {
+			return err
+		}
+	}
+	f.synced = len(f.buf)
+	return nil
+}
+
+// Len returns the total bytes written, durable or not.
+func (f *MemFile) Len() int { return len(f.buf) }
+
+// SyncedLen returns the durable byte count.
+func (f *MemFile) SyncedLen() int { return f.synced }
+
+// Bytes returns everything written (aliases the buffer; read-only).
+func (f *MemFile) Bytes() []byte { return f.buf }
+
+// Durable returns a copy of the synced prefix — what survives a crash.
+func (f *MemFile) Durable() []byte {
+	return append([]byte(nil), f.buf[:f.synced]...)
+}
+
+// Crash models the power cut: the unsynced tail is lost. The file can
+// keep being written afterwards (the recovered node reopens it).
+func (f *MemFile) Crash() {
+	f.buf = f.buf[:f.synced]
+}

@@ -1,0 +1,215 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mpsnap/internal/core"
+)
+
+func val(tag core.Tag, w int) core.Value {
+	return core.Value{TS: core.Timestamp{Tag: tag, Writer: w}, Payload: []byte(fmt.Sprintf("p%d-%d", tag, w))}
+}
+
+func TestWriterReplayRoundtrip(t *testing.T) {
+	f := NewMemFile()
+	w := NewWriter(f, 1)
+	recs := []Record{
+		{Kind: RecValue, Src: 1, Val: val(3, 1)},
+		{Kind: RecValue, Src: 0, Val: val(5, 0)},
+		{Kind: RecCheckpoint, Ck: core.Checkpoint{Tag: 5, Count: 2, Digest: 0xfeed}},
+		{Kind: RecValue, Src: 2, Val: val(9, 2)},
+		{Kind: RecPrune, Ck: core.Checkpoint{Tag: 5, Count: 2, Digest: 0xfeed}},
+	}
+	for _, r := range recs {
+		var err error
+		switch r.Kind {
+		case RecValue:
+			err = w.AppendValue(r.Src, r.Val)
+		case RecCheckpoint:
+			err = w.AppendCheckpoint(r.Ck)
+		case RecPrune:
+			err = w.AppendPrune(r.Ck)
+		}
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	got, err := Replay(f.Bytes())
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Kind != recs[i].Kind || got[i].Src != recs[i].Src ||
+			got[i].Val.TS != recs[i].Val.TS || got[i].Ck != recs[i].Ck {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestWriterBatchingDurability(t *testing.T) {
+	f := NewMemFile()
+	w := NewWriter(f, 3)
+	for i := 0; i < 4; i++ {
+		if err := w.AppendValue(0, val(core.Tag(i+1), 0)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// Records 1..3 auto-synced at the batch boundary; record 4 is volatile.
+	recs, err := Replay(f.Durable())
+	if err != nil {
+		t.Fatalf("replay durable: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("durable records = %d, want 3", len(recs))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if recs, _ = Replay(f.Durable()); len(recs) != 4 {
+		t.Fatalf("after explicit sync durable records = %d, want 4", len(recs))
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	f := NewMemFile()
+	w := NewWriter(f, 1)
+	for i := 0; i < 3; i++ {
+		w.AppendValue(0, val(core.Tag(i+1), 0))
+	}
+	whole := append([]byte(nil), f.Bytes()...)
+	for cut := len(whole) - 1; cut >= 0; cut-- {
+		recs, err := Replay(whole[:cut])
+		// Count how many full records fit in the cut prefix.
+		full := 0
+		off := 0
+		for off < cut {
+			if cut-off < headerLen {
+				break
+			}
+			n := int(uint32(whole[off])<<24 | uint32(whole[off+1])<<16 | uint32(whole[off+2])<<8 | uint32(whole[off+3]))
+			if cut-off-headerLen < n {
+				break
+			}
+			full++
+			off += headerLen + n
+		}
+		boundary := off == cut
+		if len(recs) != full {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(recs), full)
+		}
+		if boundary && err != nil {
+			t.Fatalf("cut %d at boundary: unexpected error %v", cut, err)
+		}
+		if !boundary && !errors.Is(err, ErrTornRecord) {
+			t.Fatalf("cut %d mid-record: err = %v, want torn record", cut, err)
+		}
+	}
+}
+
+func TestReplayBitFlips(t *testing.T) {
+	f := NewMemFile()
+	w := NewWriter(f, 1)
+	for i := 0; i < 3; i++ {
+		w.AppendValue(1, val(core.Tag(10+i), 1))
+	}
+	whole := f.Bytes()
+	// Locate record boundaries.
+	var bounds []int
+	off := 0
+	for off < len(whole) {
+		bounds = append(bounds, off)
+		n := int(uint32(whole[off])<<24 | uint32(whole[off+1])<<16 | uint32(whole[off+2])<<8 | uint32(whole[off+3]))
+		off += headerLen + n
+	}
+	for pos := 0; pos < len(whole); pos++ {
+		mut := append([]byte(nil), whole...)
+		mut[pos] ^= 0x40
+		recs, err := Replay(mut)
+		// The flip lands in some record k; records before k must survive.
+		k := 0
+		for k+1 < len(bounds) && bounds[k+1] <= pos {
+			k++
+		}
+		if len(recs) < k {
+			t.Fatalf("flip at %d: only %d records before corrupt record %d", pos, len(recs), k)
+		}
+		// A flip can accidentally produce a longer valid-looking frame that
+		// swallows later records, but it must never yield MORE records than
+		// the file held, and never a nil error with fewer records.
+		if len(recs) > 3 {
+			t.Fatalf("flip at %d: %d records from a 3-record file", pos, len(recs))
+		}
+		if err == nil && len(recs) != 3 {
+			t.Fatalf("flip at %d: clean replay but %d records", pos, len(recs))
+		}
+	}
+}
+
+func TestRecoverRebuildsLog(t *testing.T) {
+	const n, self = 3, 0
+	live := core.NewValueLog(n, self)
+	f := NewMemFile()
+	w := NewWriter(f, 1)
+	add := func(src int, v core.Value) {
+		if _, newSelf := live.Add(src, v); newSelf {
+			w.AppendValue(src, v)
+		}
+	}
+	add(0, val(2, 0))
+	add(1, val(4, 1))
+	add(2, val(6, 2))
+	live.AdvanceFrontier(6)
+	ck := live.Frontier()
+	w.AppendCheckpoint(ck)
+	for j := 1; j < n; j++ {
+		live.NoteVouch(j, ck)
+	}
+	w.AppendPrune(ck)
+	if !live.PruneTo(ck) {
+		t.Fatal("live prune refused")
+	}
+	add(1, val(9, 1))
+	add(0, val(11, 0))
+	w.Sync()
+
+	st := Recover(f.Durable(), n, self)
+	if st.TailErr != nil {
+		t.Fatalf("tail error on clean wal: %v", st.TailErr)
+	}
+	if st.OwnTag != 11 {
+		t.Fatalf("OwnTag = %d, want 11", st.OwnTag)
+	}
+	if st.MaxTag != 11 {
+		t.Fatalf("MaxTag = %d, want 11", st.MaxTag)
+	}
+	if st.Frontier != live.Frontier() {
+		t.Fatalf("frontier %+v, want %+v", st.Frontier, live.Frontier())
+	}
+	if st.Log.SelfLen() != live.SelfLen() || st.Log.PrunedCount() != live.PrunedCount() {
+		t.Fatalf("recovered sizes (%d,%d) != live (%d,%d)",
+			st.Log.SelfLen(), st.Log.PrunedCount(), live.SelfLen(), live.PrunedCount())
+	}
+	if !st.Log.AllView().Equal(live.AllView()) {
+		t.Fatalf("recovered view %v != live %v", st.Log.AllView(), live.AllView())
+	}
+	// Digest agreement is what lets the recovered node vouch for peers'
+	// checkpoints: both must vouch each other's frontier.
+	if !st.Log.Vouches(live.Frontier()) || !live.Vouches(st.Log.Frontier()) {
+		t.Fatal("recovered and live logs do not cross-vouch")
+	}
+}
+
+func TestRecoverEmptyAndGarbage(t *testing.T) {
+	if st := Recover(nil, 3, 0); st.Records != 0 || st.TailErr != nil {
+		t.Fatalf("empty wal: %+v", st)
+	}
+	st := Recover([]byte("not a wal at all, just bytes"), 3, 0)
+	if st.Records != 0 || st.TailErr == nil {
+		t.Fatalf("garbage wal: records=%d err=%v", st.Records, st.TailErr)
+	}
+}
