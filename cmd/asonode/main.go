@@ -83,8 +83,11 @@ func main() {
 
 	// Crash-recovery: with -wal, replay the file's durable prefix (torn
 	// tails are the normal shape of a crash) and rebuild the node from
-	// it; new appends go to the same file. AttachWAL/Recover must happen
-	// before the handler is installed.
+	// it; new appends go to the same file, after the garbage tail replay
+	// stopped at has been truncated away — appending behind it would make
+	// every later record unreachable to the next replay, silently losing
+	// durably-acted-on state on a second crash. AttachWAL/Recover must
+	// happen before the handler is installed.
 	var walW *wal.Writer
 	var walSt *wal.State
 	if cfg.WAL != "" {
@@ -92,17 +95,22 @@ func main() {
 		if err != nil && !os.IsNotExist(err) {
 			log.Fatalf("wal: %v", err)
 		}
+		if len(data) > 0 {
+			walSt = wal.Recover(data, cfg.N(), cfg.ID)
+			if walSt.Intact < len(data) {
+				if err := os.Truncate(cfg.WAL, int64(walSt.Intact)); err != nil {
+					log.Fatalf("wal: truncate torn tail: %v", err)
+				}
+			}
+			fmt.Printf("wal: replayed %d records from %s (frontier count=%d, tail: %v)\n",
+				walSt.Records, cfg.WAL, walSt.Frontier.Count, walSt.TailErr)
+		}
 		f, err := os.OpenFile(cfg.WAL, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			log.Fatalf("wal: %v", err)
 		}
 		defer f.Close()
 		walW = wal.NewWriter(f, walBatch)
-		if len(data) > 0 {
-			walSt = wal.Recover(data, cfg.N(), cfg.ID)
-			fmt.Printf("wal: replayed %d records from %s (frontier count=%d, tail: %v)\n",
-				walSt.Records, cfg.WAL, walSt.Frontier.Count, walSt.TailErr)
-		}
 	}
 
 	var obj svc.Object

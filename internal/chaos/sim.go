@@ -242,7 +242,11 @@ func RunSim(cfg Config) (*Result, error) {
 	// tail died with the process), rebuild the node on the same runtime,
 	// un-crash it, and respawn its client — which first rejoins (re-
 	// disseminating retained values above the recovered frontier and
-	// requesting the delta it missed) and then resumes the workload.
+	// requesting the delta it missed) and then resumes the workload. The
+	// respawn seed mixes the node's incarnation count so a node restarted
+	// twice does not replay the same RNG stream (op mix and sleeps) in
+	// every incarnation.
+	incarnation := make([]int64, cfg.N)
 	restartNode = func(id int) {
 		if !w.Crashed(id) || walFiles == nil {
 			return
@@ -261,7 +265,8 @@ func RunSim(cfg Config) (*Result, error) {
 		}
 		w.SetHandler(id, h)
 		w.Restart(id)
-		c.ClientOn(id, obj, script(cfg.Seed*1009+int64(id)+104729, rj))
+		incarnation[id]++
+		c.ClientOn(id, obj, script(cfg.Seed*1009+int64(id)+104729*incarnation[id], rj))
 	}
 
 	// Unblock sweeps: past the deadline plus grace, any operation still

@@ -166,7 +166,10 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	// node, swap it into the transport (crash flag and handler change under
 	// one lock), and respawn its client — which rejoins before resuming the
 	// workload. Runs on the Apply goroutine, so restarts are serialized.
+	// Each incarnation gets its own cid so repeated restarts of one node
+	// neither replay the same RNG stream nor reuse value names.
 	if walFiles != nil {
+		incarnation := make([]int, cfg.N)
 		nt.OnRestart(func(id int) {
 			if !nt.Crashed(id) || now() >= cfg.Duration {
 				return
@@ -194,7 +197,8 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 			}
 			restartFn(id, h)
 			nt.ClearCrashed(id)
-			go client(id, 1, obj, rj)
+			incarnation[id]++
+			go client(id, incarnation[id], obj, rj)
 		})
 	}
 

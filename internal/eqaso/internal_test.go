@@ -5,6 +5,7 @@ import (
 
 	"mpsnap/internal/core"
 	"mpsnap/internal/sim"
+	"mpsnap/internal/wal"
 )
 
 // newTestNode builds a node over a throwaway world (white-box tests only
@@ -95,6 +96,42 @@ func TestSortedTags(t *testing.T) {
 	got := sortedTags(m)
 	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
 		t.Fatalf("sortedTags = %v", got)
+	}
+}
+
+// TestNoteVouchBuffersUnverifiable: a vouch that arrives while this
+// node's log still lags the vouched prefix must not be dropped — it is
+// buffered and applied once the local frontier catches up, so GC cannot
+// stall waiting for the peer's next vouch.
+func TestNoteVouchBuffersUnverifiable(t *testing.T) {
+	nd := newTestNode(t)
+	nd.AttachWAL(wal.NewWriter(wal.NewMemFile(), 1), true)
+	// The vouching peer's log: two values, frontier advanced.
+	peer := core.NewValueLog(3, 1)
+	v1 := core.Value{TS: core.Timestamp{Tag: 1, Writer: 1}, Payload: []byte("a")}
+	v2 := core.Value{TS: core.Timestamp{Tag: 2, Writer: 1}, Payload: []byte("b")}
+	peer.Add(1, v1)
+	peer.Add(1, v2)
+	peer.AdvanceFrontier(2)
+	ck := peer.Frontier()
+
+	// The vouch outruns nd (empty log): not verifiable, must be buffered.
+	nd.noteVouch(1, ck)
+	if nd.vouched[1].Count != 0 {
+		t.Fatalf("unverifiable vouch recorded as verified: %+v", nd.vouched[1])
+	}
+	if nd.rawVouch[1] != ck {
+		t.Fatalf("raw vouch not buffered: %+v", nd.rawVouch[1])
+	}
+
+	// nd catches up and its frontier advances (the path a good lattice
+	// operation takes): the buffered vouch must apply now.
+	nd.log.Add(1, v1)
+	nd.log.Add(1, v2)
+	nd.log.AdvanceFrontier(2)
+	nd.vouchFrontier()
+	if nd.vouched[1] != ck {
+		t.Fatalf("buffered vouch not applied after catch-up: %+v", nd.vouched[1])
 	}
 }
 

@@ -112,10 +112,14 @@ type Node struct {
 	// wal is the durability sink: own values are synced before they are
 	// disseminated, frontier checkpoints before they are vouched, prunes
 	// before they execute. vouched[j] is the largest checkpoint node j has
-	// durably vouched; gc enables pruning below the global minimum.
-	wal     *wal.Writer
-	gc      bool
-	vouched []core.Checkpoint
+	// durably vouched AND this log can verify; rawVouch[j] is the largest
+	// vouch received from j regardless of local verifiability (re-checked
+	// when the local frontier catches up); gc enables pruning below the
+	// global minimum.
+	wal      *wal.Writer
+	gc       bool
+	vouched  []core.Checkpoint
+	rawVouch []core.Checkpoint
 
 	stats Stats
 
@@ -150,6 +154,7 @@ func New(r rt.Runtime) *Node {
 		writeAcks: make(map[int64]int),
 		pending:   make(map[int]pendingBorrow),
 		vouched:   make([]core.Checkpoint, n),
+		rawVouch:  make([]core.Checkpoint, n),
 	}
 	return nd
 }
@@ -360,17 +365,43 @@ func (nd *Node) vouchFrontier() {
 	}
 	nd.stats.VouchesSent++
 	nd.rt.Broadcast(MsgCkptVouch{Ck: ck})
+	// The frontier just advanced: vouches that outran this log when they
+	// arrived may verify now. Without this re-check a peer's vouch received
+	// while this node lagged would stay buffered until the peer's NEXT good
+	// lattice op, stalling GC indefinitely.
+	nd.recheckVouches()
+	nd.maybeGC()
 }
 
-// noteVouch records j's durable checkpoint, advances j's cursor over the
-// vouched prefix when this log vouches it too, and garbage-collects if a
-// new global floor emerged.
+// noteVouch records j's durable checkpoint: the raw vouch is always
+// buffered (latest per peer), and when this log vouches the same prefix
+// it advances j's cursor, raises vouched[j], and garbage-collects if a
+// new global floor emerged. A vouch this log cannot verify yet — the
+// local frontier lags j's — stays in rawVouch and is re-examined by
+// recheckVouches once the frontier advances.
 func (nd *Node) noteVouch(j int, ck core.Checkpoint) {
+	if ck.Count > nd.rawVouch[j].Count {
+		nd.rawVouch[j] = ck
+	}
 	nd.log.NoteVouch(j, ck)
 	if nd.log.Vouches(ck) && ck.Count > nd.vouched[j].Count {
 		nd.vouched[j] = ck
 	}
 	nd.maybeGC()
+}
+
+// recheckVouches re-applies buffered raw vouches that were not verifiable
+// when they arrived. Called after the local frontier advances.
+func (nd *Node) recheckVouches() {
+	for j, ck := range nd.rawVouch {
+		if j == nd.id || ck.Count <= nd.vouched[j].Count {
+			continue
+		}
+		nd.log.NoteVouch(j, ck)
+		if nd.log.Vouches(ck) {
+			nd.vouched[j] = ck
+		}
+	}
 }
 
 // maybeGC prunes the value log below the smallest checkpoint every node

@@ -201,6 +201,7 @@ func (nd *Node) UpdateBatchWithView(payloads [][]byte) (view core.View, tss []co
 		return core.View{}, nil, err
 	}
 	tss = make([]core.Timestamp, len(payloads))
+	var walErr error
 	nd.rt.Atomic(func() {
 		for i := range payloads {
 			tss[i] = core.Timestamp{Tag: r + 1 + core.Tag(i), Writer: nd.id}
@@ -218,9 +219,16 @@ func (nd *Node) UpdateBatchWithView(payloads [][]byte) (view core.View, tss []co
 					nd.wal.AppendValue(nd.id, v)
 				}
 			}
-			nd.wal.Sync()
+			walErr = nd.wal.Sync()
 		}
 	})
+	if walErr != nil {
+		// The batch is not durable: disseminating it would let peers act on
+		// (and GC behind) values this node cannot reconstruct after a crash.
+		// Writer errors latch, so every subsequent update fails here too —
+		// the node is write-fenced until the operator intervenes.
+		return core.View{}, nil, walErr
+	}
 	nd.phase("disseminate")
 	for i, payload := range payloads {
 		nd.rt.Broadcast(MsgValue{Val: core.Value{TS: tss[i], Payload: payload}})

@@ -75,12 +75,14 @@ type TCPConfig struct {
 // TCPNode is a node of a TCP-connected deployment. TCP's in-order
 // delivery provides the FIFO channel property; reliability holds as long
 // as connections stay up. When a peer's connection dies, the send loop
-// redials with backoff and resumes on the fresh connection: frames in
-// flight or buffered at the crash are lost — the crashed-receiver
-// semantics crash-recovery deployments (`asonode -wal`) repair on
-// rejoin — but the mesh heals, so a restarted process receives the
-// replies it is owed. The transport never re-delivers across
-// reconnects.
+// redials with backoff and resumes on the fresh connection: frames the
+// send loop had batched but not yet written to a socket are resent in
+// order, so a transient reset between two live processes does not open a
+// FIFO gap; frames already written to the dead socket are the in-flight
+// loss of the crash model — the crashed-receiver semantics crash-recovery
+// deployments (`asonode -wal`) repair on rejoin — but the mesh heals, so
+// a restarted process receives the replies it is owed. The transport
+// never re-delivers frames it knows a socket accepted.
 type TCPNode struct {
 	node
 	cfg TCPConfig
@@ -327,21 +329,28 @@ func (t *TCPNode) Errors() []error {
 	return append([]error(nil), t.errs...)
 }
 
-// sendLoop encodes and writes frames for one peer, flushing whenever the
-// queue drains so bursts are batched but the tail is never delayed. A
-// write failure (or a stale flag raised by the receive side) means the
-// peer's process died; the loop redials with backoff and resends the
-// frame in hand on the fresh connection — the dead socket rejected it, so
-// the old incarnation cannot have delivered it. Frames flushed before the
-// failure are the in-flight loss of the crash model, repaired by the
-// rejoin path when the peer recovers with a WAL; without the redial a
-// restarted process would never again receive this node's messages and
-// its first operation would starve awaiting a quorum.
+// sendLoop encodes and writes frames for one peer. Frames are batched in
+// a local buffer and written to the socket whenever the queue drains (or
+// the buffer grows past maxSendBatch), so bursts are batched but the tail
+// is never delayed. A write failure (or a stale flag raised by the
+// receive side) means the connection died; the loop redials with backoff
+// and resends the WHOLE unwritten batch on the fresh connection — the
+// buffer is cleared only after a successful write, so a transient
+// connection reset between two live processes cannot silently drop
+// frames that were batched but never handed to a socket, which would
+// open a FIFO gap the protocol's reliable-channel assumption does not
+// tolerate. Frames already written before the failure are the in-flight
+// loss of the crash model, repaired by the rejoin path when the peer
+// recovers with a WAL; without the redial a restarted process would
+// never again receive this node's messages and its first operation would
+// starve awaiting a quorum.
 func (t *TCPNode) sendLoop(peer int, conn net.Conn, out <-chan rt.Message) {
 	defer t.wg.Done()
-	w := bufio.NewWriter(conn)
 	var body wire.Buffer
 	var frame []byte
+	// pending holds encoded frames not yet accepted by a socket write.
+	const maxSendBatch = 64 << 10
+	var pending []byte
 	for {
 		select {
 		case <-t.closed:
@@ -360,22 +369,24 @@ func (t *TCPNode) sendLoop(peer int, conn net.Conn, out <-chan rt.Message) {
 				t.reportError(peer, fmt.Errorf("transport: encode to node %d: %w", peer, err))
 				continue
 			}
+			pending = append(pending, frame...)
 			if t.stale[peer].CompareAndSwap(true, false) {
 				// The peer's inbound stream ended since the last frame: the
 				// kernel would accept this write and drop it on the floor.
-				if conn, w = t.redial(peer, conn); conn == nil {
+				if conn = t.redial(peer, conn); conn == nil {
 					return // node shut down while reconnecting
 				}
 			}
+			if len(out) > 0 && len(pending) < maxSendBatch {
+				continue // batch: more frames are already queued
+			}
 			for {
-				_, werr := w.Write(frame)
-				if werr == nil && len(out) == 0 {
-					werr = w.Flush()
-				}
+				_, werr := conn.Write(pending)
 				if werr == nil {
+					pending = pending[:0]
 					break
 				}
-				if conn, w = t.redial(peer, conn); conn == nil {
+				if conn = t.redial(peer, conn); conn == nil {
 					return // node shut down while reconnecting
 				}
 			}
@@ -386,13 +397,13 @@ func (t *TCPNode) sendLoop(peer int, conn net.Conn, out <-chan rt.Message) {
 // redial replaces a dead peer connection: it closes the old one, dials
 // the peer with capped exponential backoff until the node itself shuts
 // down, and performs the Hello handshake on the fresh connection. It
-// returns (nil, nil) only when the node closed while reconnecting.
-func (t *TCPNode) redial(peer int, old net.Conn) (net.Conn, *bufio.Writer) {
+// returns nil only when the node closed while reconnecting.
+func (t *TCPNode) redial(peer int, old net.Conn) net.Conn {
 	old.Close()
 	hello, err := wire.MarshalFrame(Hello{ID: t.cfg.ID}, t.cfg.MaxFrame)
 	if err != nil {
 		t.reportError(peer, fmt.Errorf("transport: encode handshake: %w", err))
-		return nil, nil
+		return nil
 	}
 	backoff := 50 * time.Millisecond
 	const maxBackoff = 2 * time.Second
@@ -409,16 +420,16 @@ func (t *TCPNode) redial(peer int, old net.Conn) (net.Conn, *bufio.Writer) {
 					// Close may already have walked conns; make sure the
 					// replacement cannot outlive the node.
 					conn.Close()
-					return nil, nil
+					return nil
 				default:
 				}
-				return conn, bufio.NewWriter(conn)
+				return conn
 			}
 			conn.Close()
 		}
 		select {
 		case <-t.closed:
-			return nil, nil
+			return nil
 		case <-time.After(backoff):
 		}
 		backoff *= 2

@@ -40,19 +40,23 @@ func FuzzWALReplay(f *testing.F) {
 		if len(data) > 1<<16 {
 			t.Skip("bounded input")
 		}
-		recs, err := Replay(data)
-		// Stop offset: sum of the framed sizes of the decoded records.
+		recs, intact, err := Replay(data)
+		// Stop offset: sum of the framed sizes of the decoded records —
+		// must agree with the reported intact-prefix length.
 		off := 0
 		for range recs {
 			n := int(uint32(data[off])<<24 | uint32(data[off+1])<<16 | uint32(data[off+2])<<8 | uint32(data[off+3]))
 			off += headerLen + n
+		}
+		if off != intact {
+			t.Fatalf("intact prefix %d bytes, record sizes sum to %d", intact, off)
 		}
 		if err == nil && off != len(data) {
 			t.Fatalf("clean replay consumed %d of %d bytes", off, len(data))
 		}
 		// Prefix consistency: replaying exactly the intact prefix must
 		// yield the same records, cleanly.
-		again, err2 := Replay(data[:off])
+		again, _, err2 := Replay(data[:off])
 		if err2 != nil {
 			t.Fatalf("intact prefix did not replay cleanly: %v", err2)
 		}
@@ -71,6 +75,9 @@ func FuzzWALReplay(f *testing.F) {
 		st := Recover(data, 3, 0)
 		if st.Records != len(recs) {
 			t.Fatalf("Recover saw %d records, Replay %d", st.Records, len(recs))
+		}
+		if st.Intact != intact {
+			t.Fatalf("Recover intact %d, Replay %d", st.Intact, intact)
 		}
 		if st.Log.SelfLen() < st.Log.PrunedCount() {
 			t.Fatalf("recovered log inconsistent: selfLen %d < pruned %d", st.Log.SelfLen(), st.Log.PrunedCount())

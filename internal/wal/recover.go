@@ -19,6 +19,12 @@ type State struct {
 	MaxTag core.Tag
 	// Records is how many intact records were replayed.
 	Records int
+	// Intact is the byte length of the replayed intact prefix. When
+	// TailErr is non-nil the file holds garbage past this offset; a
+	// caller reopening the file for append must truncate to Intact first,
+	// or every record it writes lands after the garbage and is lost to
+	// the next replay.
+	Intact int
 	// TailErr describes why replay stopped, nil for a clean end. A torn
 	// tail is the normal shape of a crash; everything the node acted on
 	// before crashing is in the intact prefix (sync-before-act).
@@ -30,8 +36,9 @@ type State struct {
 // prefix, with TailErr saying where and why replay stopped.
 func Recover(data []byte, n, self int) *State {
 	st := &State{Log: core.NewValueLog(n, self)}
-	recs, err := Replay(data)
+	recs, intact, err := Replay(data)
 	st.TailErr = err
+	st.Intact = intact
 	st.Records = len(recs)
 	note := func(t core.Tag) {
 		if t > st.MaxTag && t != core.MaxTag {

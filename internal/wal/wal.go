@@ -177,37 +177,40 @@ type Record struct {
 }
 
 // Replay decodes every intact record from the front of data, stopping
-// cleanly at the first torn or corrupt one. The returned error describes
-// why replay stopped (nil when data ends exactly at a record boundary);
-// the records before the stop are always valid. Replay never panics on
-// arbitrary input.
-func Replay(data []byte) ([]Record, error) {
+// cleanly at the first torn or corrupt one. It returns the decoded
+// records, the byte length of the intact prefix (the offset replay
+// stopped at — the point a caller must truncate to before appending new
+// records after garbage bytes), and an error describing why replay
+// stopped (nil when data ends exactly at a record boundary). The records
+// before the stop are always valid. Replay never panics on arbitrary
+// input.
+func Replay(data []byte) ([]Record, int, error) {
 	var recs []Record
 	off := 0
 	for off < len(data) {
 		if len(data)-off < headerLen {
-			return recs, fmt.Errorf("%w: %d trailing header bytes at offset %d", ErrTornRecord, len(data)-off, off)
+			return recs, off, fmt.Errorf("%w: %d trailing header bytes at offset %d", ErrTornRecord, len(data)-off, off)
 		}
 		n := binary.BigEndian.Uint32(data[off:])
 		if n > MaxRecord {
-			return recs, fmt.Errorf("%w: length %d exceeds cap at offset %d", ErrBadRecord, n, off)
+			return recs, off, fmt.Errorf("%w: length %d exceeds cap at offset %d", ErrBadRecord, n, off)
 		}
 		want := binary.BigEndian.Uint32(data[off+4:])
 		if uint32(len(data)-off-headerLen) < n {
-			return recs, fmt.Errorf("%w: %d payload bytes of %d at offset %d", ErrTornRecord, len(data)-off-headerLen, n, off)
+			return recs, off, fmt.Errorf("%w: %d payload bytes of %d at offset %d", ErrTornRecord, len(data)-off-headerLen, n, off)
 		}
 		payload := data[off+headerLen : off+headerLen+int(n)]
 		if got := crc32.Checksum(payload, crcTable); got != want {
-			return recs, fmt.Errorf("%w: %08x != %08x at offset %d", ErrBadCRC, got, want, off)
+			return recs, off, fmt.Errorf("%w: %08x != %08x at offset %d", ErrBadCRC, got, want, off)
 		}
 		rec, err := decodeRecord(payload)
 		if err != nil {
-			return recs, fmt.Errorf("%w at offset %d: %w", ErrBadRecord, off, err)
+			return recs, off, fmt.Errorf("%w at offset %d: %w", ErrBadRecord, off, err)
 		}
 		recs = append(recs, rec)
 		off += headerLen + int(n)
 	}
-	return recs, nil
+	return recs, off, nil
 }
 
 func decodeRecord(payload []byte) (Record, error) {

@@ -36,9 +36,12 @@ func TestWriterReplayRoundtrip(t *testing.T) {
 			t.Fatalf("append: %v", err)
 		}
 	}
-	got, err := Replay(f.Bytes())
+	got, intact, err := Replay(f.Bytes())
 	if err != nil {
 		t.Fatalf("replay: %v", err)
+	}
+	if intact != f.Len() {
+		t.Fatalf("intact prefix %d bytes, want the whole file (%d)", intact, f.Len())
 	}
 	if len(got) != len(recs) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
@@ -60,7 +63,7 @@ func TestWriterBatchingDurability(t *testing.T) {
 		}
 	}
 	// Records 1..3 auto-synced at the batch boundary; record 4 is volatile.
-	recs, err := Replay(f.Durable())
+	recs, _, err := Replay(f.Durable())
 	if err != nil {
 		t.Fatalf("replay durable: %v", err)
 	}
@@ -70,7 +73,7 @@ func TestWriterBatchingDurability(t *testing.T) {
 	if err := w.Sync(); err != nil {
 		t.Fatalf("sync: %v", err)
 	}
-	if recs, _ = Replay(f.Durable()); len(recs) != 4 {
+	if recs, _, _ = Replay(f.Durable()); len(recs) != 4 {
 		t.Fatalf("after explicit sync durable records = %d, want 4", len(recs))
 	}
 }
@@ -83,7 +86,7 @@ func TestReplayTornTail(t *testing.T) {
 	}
 	whole := append([]byte(nil), f.Bytes()...)
 	for cut := len(whole) - 1; cut >= 0; cut-- {
-		recs, err := Replay(whole[:cut])
+		recs, intact, err := Replay(whole[:cut])
 		// Count how many full records fit in the cut prefix.
 		full := 0
 		off := 0
@@ -101,6 +104,9 @@ func TestReplayTornTail(t *testing.T) {
 		boundary := off == cut
 		if len(recs) != full {
 			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(recs), full)
+		}
+		if intact != off {
+			t.Fatalf("cut %d: intact prefix %d bytes, want %d", cut, intact, off)
 		}
 		if boundary && err != nil {
 			t.Fatalf("cut %d at boundary: unexpected error %v", cut, err)
@@ -129,7 +135,7 @@ func TestReplayBitFlips(t *testing.T) {
 	for pos := 0; pos < len(whole); pos++ {
 		mut := append([]byte(nil), whole...)
 		mut[pos] ^= 0x40
-		recs, err := Replay(mut)
+		recs, _, err := Replay(mut)
 		// The flip lands in some record k; records before k must survive.
 		k := 0
 		for k+1 < len(bounds) && bounds[k+1] <= pos {
@@ -201,6 +207,45 @@ func TestRecoverRebuildsLog(t *testing.T) {
 	// checkpoints: both must vouch each other's frontier.
 	if !st.Log.Vouches(live.Frontier()) || !live.Vouches(st.Log.Frontier()) {
 		t.Fatal("recovered and live logs do not cross-vouch")
+	}
+}
+
+// TestRecoverTruncateAppendRecover is the second-crash scenario: a torn
+// tail is truncated to State.Intact before new records are appended, so
+// a second replay reaches both the pre-crash prefix and everything
+// written after the first recovery. (Appending behind the garbage
+// instead would make every post-recovery record unreachable.)
+func TestRecoverTruncateAppendRecover(t *testing.T) {
+	f := NewMemFile()
+	w := NewWriter(f, 1)
+	w.AppendValue(0, val(1, 0))
+	w.AppendValue(1, val(2, 1))
+	// Crash mid-append: the file keeps a torn half-record tail.
+	torn := append(f.Bytes()[:f.Len():f.Len()], 0, 0, 0, 42, 0xde, 0xad)
+
+	st := Recover(torn, 3, 0)
+	if st.Records != 2 || st.TailErr == nil {
+		t.Fatalf("first recovery: records=%d err=%v", st.Records, st.TailErr)
+	}
+	if st.Intact >= len(torn) {
+		t.Fatalf("Intact = %d, want < %d (the torn tail)", st.Intact, len(torn))
+	}
+
+	// Reopen for append the way cmd/asonode does: truncate to the intact
+	// prefix first, then attach a writer.
+	f2 := NewMemFile()
+	f2.Write(torn[:st.Intact])
+	f2.Sync()
+	w2 := NewWriter(f2, 1)
+	w2.AppendValue(0, val(5, 0))
+
+	again := Recover(f2.Durable(), 3, 0)
+	if again.TailErr != nil {
+		t.Fatalf("second recovery tail: %v", again.TailErr)
+	}
+	if again.Records != 3 || again.OwnTag != 5 {
+		t.Fatalf("second recovery: records=%d ownTag=%d, want 3 records through tag 5",
+			again.Records, again.OwnTag)
 	}
 }
 
