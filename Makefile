@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build build-examples test test-race test-short test-recovery cover bench bench-core bench-smoke fuzz fuzz-wire fuzz-wal explore experiments chaos vet fmt-check clean
+.PHONY: all build build-examples test test-race test-short test-recovery test-cluster cover bench bench-core bench-smoke fuzz fuzz-wire fuzz-wal explore experiments chaos vet fmt-check clean
 
 all: vet test
 
@@ -39,6 +39,15 @@ test-race:
 test-recovery:
 	$(GO) test -race -count=1 -run 'Restart|Recover|Replay|Writer|CrashPoint|Prune|NoteVouch|Differential' ./internal/chaos/ ./internal/wal/ ./internal/core/
 
+# Sharded-cluster matrix under the race detector: routing, shard-map
+# races, and validated cross-shard cuts on the sim and chan backends
+# (TestRunChanSeeds covers 4 seeds with per-shard fault schedules), plus
+# whole-shard crash+recover and whole-shard partition episodes.
+test-cluster:
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/mux/
+	$(GO) run ./cmd/asocluster -backend sim,chan -seed 7 -duration 1s -shards 3 -shard-crash 1
+	$(GO) run ./cmd/asocluster -backend sim,chan -seed 9 -duration 1s -shards 2 -shard-partition 0
+
 # Coverage profile across all packages plus a per-function summary; the
 # total line is the number CI reports.
 cover:
@@ -63,6 +72,7 @@ bench-smoke:
 	$(GO) run ./cmd/asobench -e latency -quick -json BENCH_latency.json
 	$(GO) run ./cmd/asobench -e hotpath -quick -check -json BENCH_hotpath.json
 	$(GO) run ./cmd/asobench -e recovery -quick -check -json BENCH_recovery.json
+	$(GO) run ./cmd/asobench -e cluster -quick -check -json BENCH_cluster.json
 
 # Randomized conformance fuzzing across all algorithms (bounded batch).
 fuzz:

@@ -59,6 +59,11 @@ func main() {
 		rcWindow  = 128
 		rcReps    = 3
 		rcHs      = []int{1024, 4096, 16384, 65536}
+		clShards  = []int{1, 2, 4, 8}
+		clN       = 3
+		clF       = 1
+		clKeys    = 8
+		clScans   = 5
 	)
 	if cfg.Quick {
 		table1Ops, table1N, table1F, table1K = 3, 7, 3, 2
@@ -72,6 +77,7 @@ func main() {
 		latN, latOps = 8, 3
 		hpWindows, hpHs = 8, []int{1024, 4096, 16384}
 		rcHs = []int{1024, 4096, 16384}
+		clShards, clKeys, clScans = []int{1, 2, 4}, 6, 3
 	}
 
 	experiments := []experiment{
@@ -153,6 +159,30 @@ func main() {
 					return "", err
 				}
 				out += "check passed: GC-on recovered residency is flat in H\n"
+			}
+			return out, nil
+		}},
+		{"cluster", func() (string, error) {
+			c, err := bench.RunCluster(clN, clF, clShards, clKeys, clScans, seed)
+			if err != nil {
+				return "", err
+			}
+			out := c.Render()
+			if cfg.JSONPath != "" {
+				blob, err := c.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(cfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("points written to %s\n", cfg.JSONPath)
+			}
+			if cfg.Check {
+				if err := c.Check(1.2); err != nil {
+					return "", err
+				}
+				out += "check passed: shards=1 GlobalScan is within 1.2× of the svc scan baseline\n"
 			}
 			return out, nil
 		}},

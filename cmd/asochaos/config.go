@@ -8,12 +8,16 @@ import (
 	"time"
 
 	"mpsnap/internal/chaos"
+	"mpsnap/internal/cluster"
 )
 
 // chaosConfig is the parsed asochaos command line: the chaos.Config for
-// every selected backend plus command-level options.
+// every selected backend plus command-level options. When Cluster.Shards
+// is positive the run dispatches to the sharded cluster runner instead,
+// with the same seed, mix, and topology flags applied per shard.
 type chaosConfig struct {
 	Chaos     chaos.Config
+	Cluster   cluster.RunConfig
 	Backends  []string
 	Duration  time.Duration
 	ShowSched bool
@@ -50,6 +54,9 @@ func parseChaosConfig(args []string, out io.Writer) (chaosConfig, error) {
 	fs.StringVar(&cfg.Chaos.TraceDir, "trace-dir", "", "dump a JSONL observability trace into this directory when the check fails (sim backend)")
 	fs.IntVar(&cfg.Chaos.TraceCap, "trace-cap", 0, "trace ring capacity (default 8192)")
 	fs.BoolVar(&cfg.Chaos.TraceAlways, "trace-always", false, "dump the trace even when the check passes")
+	fs.IntVar(&cfg.Cluster.Shards, "shards", 0, "run this many independent EQ-ASO shard clusters behind the routing layer instead of one object (eqaso only; the mix applies per shard)")
+	fs.IntVar(&cfg.Cluster.CrashShard, "shard-crash", -1, "with -shards: crash EVERY member of this shard at 40% of the run, restart from WALs at 55% (sim and chan)")
+	fs.IntVar(&cfg.Cluster.PartitionShard, "shard-partition", -1, "with -shards: isolate this whole shard from the rest of the topology during [30%, 60%] of the run")
 	fs.BoolVar(&cfg.ShowSched, "schedule", false, "print every fault event before running")
 	fs.BoolVar(&cfg.JSONOut, "json", false, "emit one JSON report per backend on stdout")
 	fs.StringVar(&cfg.Dump, "dump", "", "write each backend's history JSON to <prefix>-<backend>.json")
@@ -61,6 +68,28 @@ func parseChaosConfig(args []string, out io.Writer) (chaosConfig, error) {
 	cfg.Backends, err = expandBackends(backend)
 	if err != nil {
 		return cfg, err
+	}
+	if cfg.Cluster.Shards > 0 {
+		if cfg.Chaos.Alg != "eqaso" {
+			return cfg, fmt.Errorf("-shards runs EQ-ASO shard clusters; -alg %s is not supported", cfg.Chaos.Alg)
+		}
+		if cfg.Chaos.Mix.CorruptWindows > 0 {
+			return cfg, fmt.Errorf("-corrupts is not supported with -shards")
+		}
+		if cfg.Chaos.TraceDir != "" {
+			return cfg, fmt.Errorf("-trace-dir is not supported with -shards")
+		}
+		if cfg.Dump != "" {
+			return cfg, fmt.Errorf("-dump is not supported with -shards (the cluster report has no single-object history)")
+		}
+		cfg.Cluster.Seed = cfg.Chaos.Seed
+		cfg.Cluster.Duration = cfg.Chaos.Duration
+		cfg.Cluster.N = cfg.Chaos.N
+		cfg.Cluster.F = cfg.Chaos.F
+		cfg.Cluster.Mix = cfg.Chaos.Mix
+		cfg.Cluster.ScanRatio = cfg.Chaos.ScanRatio
+	} else if cfg.Cluster.CrashShard >= 0 || cfg.Cluster.PartitionShard >= 0 {
+		return cfg, fmt.Errorf("-shard-crash and -shard-partition require -shards")
 	}
 	return cfg, nil
 }

@@ -9,6 +9,7 @@
 //	asochaos -seed 42 -duration 5s
 //	asochaos -backend tcp -alg byzaso -n 7 -f 2 -json
 //	asochaos -backend sim -trace-dir traces   # JSONL post-mortem on failure
+//	asochaos -shards 4 -shard-crash 1         # sharded cluster, per-shard mix
 //
 // The same seed injects the same fault schedule on every backend; on the
 // sim backend the entire run (history included) is byte-identical across
@@ -27,12 +28,17 @@ import (
 	"time"
 
 	"mpsnap/internal/chaos"
+	"mpsnap/internal/cluster"
 )
 
 func main() {
 	cfg, err := parseChaosConfig(os.Args[1:], os.Stderr)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if cfg.Cluster.Shards > 0 {
+		runClusterMode(cfg)
+		return
 	}
 
 	var reports []chaos.Report
@@ -69,6 +75,69 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runClusterMode is the -shards dispatch: the same seed, mix, and
+// topology flags, but applied per shard to N independent EQ-ASO clusters
+// behind the routing layer, with validated cross-shard GlobalScans in
+// place of the single-object linearizability check.
+func runClusterMode(cfg chaosConfig) {
+	type outcome struct {
+		Backend string          `json:"backend"`
+		Report  *cluster.Report `json:"report"`
+		OK      bool            `json:"ok"`
+	}
+	var outs []outcome
+	failed := false
+	for _, be := range cfg.Backends {
+		var rep *cluster.Report
+		var err error
+		startWall := time.Now()
+		switch be {
+		case "sim":
+			rep, err = cluster.RunSim(cfg.Cluster)
+		case "chan":
+			rep, err = cluster.RunChan(cfg.Cluster)
+		case "tcp":
+			rep, err = cluster.RunTCP(cfg.Cluster)
+		}
+		if err != nil {
+			log.Fatalf("backend %s: %v", be, err)
+		}
+		ok := rep.OK()
+		outs = append(outs, outcome{Backend: be, Report: rep, OK: ok})
+		if !ok {
+			failed = true
+		}
+		if !cfg.JSONOut {
+			r := cfg.Cluster
+			fmt.Printf("backend=%-4s shards=%d n=%d f=%d seed=%d duration=%s (%d ticks)\n",
+				be, r.Shards, r.N, r.F, r.Seed, cfg.Duration, r.Duration)
+			fmt.Printf("  %v (%.1fs wall)\n", rep, time.Since(startWall).Seconds())
+			for _, b := range rep.Blocked {
+				fmt.Printf("  stuck: %s\n", b)
+			}
+			if ok {
+				fmt.Printf("  cuts: consistent across shards (prefix closure, placement, marks) ✓\n")
+			} else if len(rep.Violations) > 0 {
+				fmt.Printf("  cuts: FAILED — %d violations; first: %s\n", len(rep.Violations), rep.Violations[0])
+				fmt.Printf("  reproduce: asochaos -backend %s -shards %d -n %d -f %d -seed %d -duration %s\n",
+					be, r.Shards, r.N, r.F, r.Seed, cfg.Duration)
+			} else {
+				fmt.Printf("  cuts: FAILED — no validated cut completed (availability, not consistency)\n")
+			}
+		}
+	}
+	if cfg.JSONOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(outs); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"mpsnap/internal/chaos"
+	"mpsnap/internal/cluster"
+	"mpsnap/internal/rt"
+)
+
+// clusterConfig is the parsed asocluster command line: the
+// cluster.RunConfig for every selected backend plus command-level
+// options.
+type clusterConfig struct {
+	Run      cluster.RunConfig
+	Backends []string
+	Duration time.Duration
+	JSONOut  bool
+	// RestartsSet records an explicit -restarts flag. The tcp backend
+	// cannot restart an in-process node (a tcp restart is a process
+	// restart), so the default restart budget is silently dropped for
+	// tcp — but an explicit request must fail loudly, not quietly.
+	RestartsSet bool
+}
+
+// parseClusterConfig parses and validates the asocluster command line.
+// Usage and flag errors are written to out.
+func parseClusterConfig(args []string, out io.Writer) (clusterConfig, error) {
+	var (
+		cfg      clusterConfig
+		backend  string
+		scanEach time.Duration
+	)
+	fs := flag.NewFlagSet("asocluster", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fs.Int64Var(&cfg.Run.Seed, "seed", 1, "seed: drives the per-shard fault schedules and the workload")
+	fs.DurationVar(&cfg.Duration, "duration", 2*time.Second, "workload length (wall time on transports; 1 D per 10ms everywhere)")
+	fs.StringVar(&backend, "backend", "sim", "backend(s): sim|chan|tcp|all, or a comma list")
+	fs.IntVar(&cfg.Run.Shards, "shards", 2, "number of independent EQ-ASO shard clusters")
+	fs.IntVar(&cfg.Run.N, "n", 3, "nodes per shard")
+	fs.IntVar(&cfg.Run.F, "f", 1, "per-shard resilience bound (n > 2f)")
+	fs.IntVar(&cfg.Run.VNodes, "vnodes", 0, "virtual nodes per shard on the placement ring (default cluster.DefaultVNodes)")
+	fs.IntVar(&cfg.Run.Clients, "clients", 1, "workload threads per node")
+	fs.Float64Var(&cfg.Run.ScanRatio, "scan-ratio", 0.2, "fraction of keyed scans in each client's workload")
+	fs.IntVar(&cfg.Run.KeysPerClient, "keys", 8, "private key-pool size per writer")
+	fs.DurationVar(&scanEach, "scan-every", 0, "period between each coordinator's validated GlobalScans (default 250ms = 25D)")
+	fs.IntVar(&cfg.Run.Mix.Crashes, "crashes", 1, "per-shard crash events (clamped to f)")
+	fs.IntVar(&cfg.Run.Mix.Partitions, "partitions", 1, "per-shard partition->heal episodes")
+	fs.IntVar(&cfg.Run.Mix.DropWindows, "drops", 1, "per-shard per-link message-loss windows")
+	fs.Float64Var(&cfg.Run.Mix.DropProb, "drop-prob", 0.25, "loss probability inside a drop window")
+	fs.IntVar(&cfg.Run.Mix.SpikeWindows, "spikes", 1, "per-shard per-link delay-spike windows")
+	fs.Float64Var(&cfg.Run.Mix.SpikeExtraD, "spike-extra", 3, "extra delay inside a spike window, in units of D")
+	fs.IntVar(&cfg.Run.Mix.Restarts, "restarts", 1, "crash victims that later recover by WAL replay + rejoin (sim and chan)")
+	fs.Float64Var(&cfg.Run.Mix.RestartDelayD, "restart-delay", 0, "crash-to-recovery delay in units of D (default 5, min 3)")
+	fs.IntVar(&cfg.Run.CrashShard, "shard-crash", -1, "crash EVERY member of this shard at 40% of the run, restart from WALs at 55% (sim and chan)")
+	fs.IntVar(&cfg.Run.PartitionShard, "shard-partition", -1, "isolate this whole shard from the rest of the topology during [30%, 60%] of the run")
+	fs.BoolVar(&cfg.JSONOut, "json", false, "emit one JSON report per backend on stdout")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "restarts" {
+			cfg.RestartsSet = true
+		}
+	})
+	cfg.Run.Duration = chaos.TicksOf(cfg.Duration)
+	if scanEach > 0 {
+		cfg.Run.GlobalScanEvery = chaos.TicksOf(scanEach)
+	} else {
+		cfg.Run.GlobalScanEvery = 25 * rt.TicksPerD
+	}
+	var err error
+	cfg.Backends, err = expandBackends(backend)
+	return cfg, err
+}
+
+func expandBackends(s string) ([]string, error) {
+	var out []string
+	for _, b := range strings.Split(s, ",") {
+		switch strings.TrimSpace(b) {
+		case "sim", "chan", "tcp":
+			out = append(out, strings.TrimSpace(b))
+		case "all":
+			out = append(out, "sim", "chan", "tcp")
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown backend %q (want sim|chan|tcp|all)", b)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no backend selected")
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseClusterConfigDefaults(t *testing.T) {
+	cfg, err := parseClusterConfig(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Backends; len(got) != 1 || got[0] != "sim" {
+		t.Errorf("default backends = %v, want [sim]", got)
+	}
+	if cfg.Run.Shards != 2 || cfg.Run.N != 3 || cfg.Run.F != 1 {
+		t.Errorf("default topology = %d×%d f=%d, want 2×3 f=1", cfg.Run.Shards, cfg.Run.N, cfg.Run.F)
+	}
+	if cfg.Run.CrashShard != -1 || cfg.Run.PartitionShard != -1 {
+		t.Errorf("whole-shard faults default on: crash=%d partition=%d", cfg.Run.CrashShard, cfg.Run.PartitionShard)
+	}
+	if cfg.Run.Duration <= 0 || cfg.Run.GlobalScanEvery <= 0 {
+		t.Errorf("durations not set: %d / %d", cfg.Run.Duration, cfg.Run.GlobalScanEvery)
+	}
+}
+
+func TestParseClusterConfigBackends(t *testing.T) {
+	cfg, err := parseClusterConfig([]string{"-backend", "all"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(cfg.Backends, ","); got != "sim,chan,tcp" {
+		t.Errorf("all = %q", got)
+	}
+	cfg, err = parseClusterConfig([]string{"-backend", "chan,tcp"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(cfg.Backends, ","); got != "chan,tcp" {
+		t.Errorf("list = %q", got)
+	}
+	if _, err := parseClusterConfig([]string{"-backend", "quic"}, io.Discard); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestParseClusterConfigRestartsSet(t *testing.T) {
+	cfg, err := parseClusterConfig(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RestartsSet {
+		t.Error("RestartsSet true without an explicit -restarts")
+	}
+	if cfg.Run.Mix.Restarts != 1 {
+		t.Errorf("default restarts = %d, want 1", cfg.Run.Mix.Restarts)
+	}
+	cfg, err = parseClusterConfig([]string{"-restarts", "1"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.RestartsSet {
+		t.Error("RestartsSet false with an explicit -restarts")
+	}
+}
+
+func TestParseClusterConfigFlags(t *testing.T) {
+	cfg, err := parseClusterConfig([]string{
+		"-shards", "4", "-n", "5", "-f", "2", "-seed", "9",
+		"-shard-crash", "1", "-shard-partition", "3", "-scan-every", "100ms",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Run.Shards != 4 || cfg.Run.N != 5 || cfg.Run.F != 2 || cfg.Run.Seed != 9 {
+		t.Errorf("topology flags not applied: %+v", cfg.Run)
+	}
+	if cfg.Run.CrashShard != 1 || cfg.Run.PartitionShard != 3 {
+		t.Errorf("shard fault flags not applied: crash=%d partition=%d", cfg.Run.CrashShard, cfg.Run.PartitionShard)
+	}
+	// 100ms at 10ms per D = 10D.
+	if got := cfg.Run.GlobalScanEvery.DUnits(); got != 10 {
+		t.Errorf("scan-every = %.1fD, want 10D", got)
+	}
+}

@@ -1,0 +1,427 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpsnap/internal/rt"
+	"mpsnap/internal/svc"
+	"mpsnap/internal/wire"
+)
+
+// markMagic tags encoded Marks so the validator can tell marked workload
+// values from arbitrary bytes.
+const markMagic byte = 0xA7
+
+// Mark is the cross-shard workload value: each write records its writer,
+// its per-writer sequence number, and the key + sequence number of the
+// writer's immediately preceding write (PrevKey == "" for the first).
+// Because a writer issues writes one at a time, any consistent cut that
+// contains write (Writer, Seq) must also reflect its predecessor at
+// sequence ≥ PrevSeq on whichever shard owns PrevKey — the per-writer
+// prefix-closure invariant the CutValidator checks, derived from (A1)
+// order-consistency and (A4) snapshot containment stretched across
+// shards.
+type Mark struct {
+	Writer  string
+	Seq     int64
+	PrevKey string
+	PrevSeq int64
+}
+
+// Encode serializes the mark.
+func (mk Mark) Encode() []byte {
+	var b wire.Buffer
+	b.PutByte(markMagic)
+	b.PutString(mk.Writer)
+	b.PutVarint(mk.Seq)
+	b.PutString(mk.PrevKey)
+	b.PutVarint(mk.PrevSeq)
+	return b.Bytes()
+}
+
+// ParseMark decodes a mark, reporting false for non-mark values.
+func ParseMark(p []byte) (Mark, bool) {
+	if len(p) == 0 || p[0] != markMagic {
+		return Mark{}, false
+	}
+	d := wire.NewDecoder(p)
+	d.Byte()
+	mk := Mark{Writer: d.String(), Seq: d.Varint(), PrevKey: d.String(), PrevSeq: d.Varint()}
+	if d.Err() != nil || d.Remaining() != 0 {
+		return Mark{}, false
+	}
+	return mk, true
+}
+
+// ShardCut is one shard's slice of a global cut: the shard snapshot (one
+// cumulative segment per shard member) plus the timing of the scan that
+// produced it.
+type ShardCut struct {
+	Shard     int
+	Contact   int      // global node that served the scan (-1: local fast path)
+	ScanStart rt.Ticks // admission time at the serving node (≥ Frontier)
+	ScanEnd   rt.Ticks // completion time at the serving node
+	Pending   int      // updates queued behind the scan at admission
+	Segments  [][]byte // per-member cumulative key segments
+	Rounds    int      // times this shard was (re-)scanned for the cut
+}
+
+// Cut is a coordinated cross-shard snapshot: every shard scanned at or
+// after one timestamp frontier. Each per-shard scan is individually
+// linearizable (the EQ-ASO guarantee); the frontier plus closure repair
+// extend that to a consistent global cut, certified by CutValidator.
+type Cut struct {
+	Frontier rt.Ticks
+	Map      ShardMap
+	Shards   []ShardCut
+	Rounds   int // total coordination rounds (1 + closure repairs)
+}
+
+// Skew is the cut's temporal spread: the latest shard scan completion
+// minus the frontier. A perfectly instantaneous cut has skew equal to
+// one shard scan's latency.
+func (c *Cut) Skew() rt.Ticks {
+	var max rt.Ticks
+	for _, sc := range c.Shards {
+		if d := sc.ScanEnd - c.Frontier; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DumpString renders the cut deterministically (shards in order, keys
+// sorted by svc.MergeKeys), so two dumps of equal cuts are byte-equal.
+func (c *Cut) DumpString() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cut frontier=%d map=v%d shards=%d rounds=%d\n",
+		c.Frontier, c.Map.Version, len(c.Shards), c.Rounds)
+	for s, sc := range c.Shards {
+		fmt.Fprintf(&sb, "shard %d scan=[%d,%d] pending=%d rounds=%d\n",
+			s, sc.ScanStart, sc.ScanEnd, sc.Pending, sc.Rounds)
+		best := bestMarks(sc.Segments)
+		for _, k := range svc.MergeKeys(sc.Segments) {
+			if mk, ok := best[k]; ok {
+				fmt.Fprintf(&sb, "  %s = %s@%d prev=%s@%d\n", k, mk.Writer, mk.Seq, mk.PrevKey, mk.PrevSeq)
+			} else {
+				fmt.Fprintf(&sb, "  %s = <%d members>\n", k, len(sc.Segments))
+			}
+		}
+	}
+	return sb.String()
+}
+
+// bestMarks indexes a shard snapshot: per key, the highest-sequence mark
+// any member segment holds for it.
+func bestMarks(segments [][]byte) map[string]Mark {
+	best := make(map[string]Mark)
+	for _, seg := range segments {
+		for _, rec := range svc.DecodeRecords(seg) {
+			mk, ok := ParseMark(rec.V)
+			if !ok {
+				continue
+			}
+			if cur, seen := best[rec.K]; !seen || mk.Seq > cur.Seq {
+				best[rec.K] = mk
+			}
+		}
+	}
+	return best
+}
+
+// GlobalScan takes one frontier cut: it stamps the frontier now, then
+// scans every shard in parallel (own shards through the local fast path,
+// the rest via one contact each, retrying members on timeout). Every
+// shard scan linearizes at or after the frontier. The result is NOT yet
+// guaranteed prefix-closed — a writer's predecessor can commit between
+// two shards' linearization points — use GlobalScanClosed for a
+// validated, repaired cut.
+func (n *Node) GlobalScan() (*Cut, error) {
+	m := n.Map()
+	frontier := n.rtm.Now()
+	cut := &Cut{Frontier: frontier, Map: m, Shards: make([]ShardCut, m.Shards()), Rounds: 1}
+	targets := make([]int, m.Shards())
+	for s := range targets {
+		targets[s] = s
+	}
+	if err := n.scanShards(m, frontier, targets, cut.Shards); err != nil {
+		return nil, err
+	}
+	return cut, nil
+}
+
+// DefaultCutRounds bounds closure repair. Each repair round re-scans a
+// shard strictly after the round that detected the hole, and the missing
+// predecessor had already committed before detection, so one round closes
+// every detected hole; the cap only guards against a validator fed by a
+// non-mark workload.
+const DefaultCutRounds = 5
+
+// GlobalScanClosed takes a frontier cut and repairs it to prefix
+// closure: while the validator finds an update whose causal predecessor
+// is missing from the predecessor's shard, those shards are re-scanned at
+// the same frontier and the cut re-checked. The returned cut, when err is
+// nil, passes the validator's closure check.
+func (n *Node) GlobalScanClosed(v *CutValidator, maxRounds int) (*Cut, error) {
+	if maxRounds <= 0 {
+		maxRounds = DefaultCutRounds
+	}
+	cut, err := n.GlobalScan()
+	if err != nil {
+		return nil, err
+	}
+	for cut.Rounds < maxRounds {
+		missing := v.MissingClosure(cut)
+		if len(missing) == 0 {
+			return cut, nil
+		}
+		prev := make(map[int]int, len(missing))
+		for _, s := range missing {
+			prev[s] = cut.Shards[s].Rounds
+		}
+		if err := n.scanShards(cut.Map, cut.Frontier, missing, cut.Shards); err != nil {
+			return cut, err
+		}
+		for _, s := range missing {
+			cut.Shards[s].Rounds = prev[s] + 1
+		}
+		cut.Rounds++
+	}
+	if missing := v.MissingClosure(cut); len(missing) > 0 {
+		return cut, fmt.Errorf("cluster: cut not prefix-closed after %d rounds (shards %v)", cut.Rounds, missing)
+	}
+	return cut, nil
+}
+
+// scanShards scans the target shards at the given frontier in parallel,
+// writing results into out (indexed by shard). Unresponsive contacts are
+// suspected and the shard retried on another member; a stale-map
+// rejection aborts the cut (placement moved under it).
+func (n *Node) scanShards(m ShardMap, frontier rt.Ticks, targets []int, out []ShardCut) error {
+	type slot struct {
+		shard   int
+		lc      *localCut
+		pc      *pendingCall
+		id      uint64
+		contact int
+	}
+	remaining := targets
+	for attempt := 0; len(remaining) > 0 && attempt < n.maxAttempts(m); attempt++ {
+		slots := make([]*slot, 0, len(remaining))
+		for _, s := range remaining {
+			if n.ownedState(s) != nil {
+				lc := &localCut{shard: s, frontier: frontier}
+				n.enqueueLocal(lc)
+				slots = append(slots, &slot{shard: s, lc: lc, contact: -1})
+				continue
+			}
+			contact := n.pickContact(m, s, attempt)
+			shard := s
+			id, pc, msg := n.beginCall(func(req uint64) rt.Message {
+				return MsgCutReq{Req: req, MapVer: m.Version, Shard: shard, Frontier: frontier}
+			})
+			n.cl.Send(contact, msg)
+			slots = append(slots, &slot{shard: s, pc: pc, id: id, contact: contact})
+		}
+		deadline := n.rtm.Now() + n.cfg.Timeout
+		err := n.rtm.WaitUntilThen("cluster: await cut",
+			func() bool {
+				if n.rtm.Now() >= deadline {
+					return true
+				}
+				for _, sl := range slots {
+					if sl.lc != nil && !sl.lc.done {
+						return false
+					}
+					if sl.pc != nil && !sl.pc.done {
+						return false
+					}
+				}
+				return true
+			},
+			func() {
+				for _, sl := range slots {
+					if sl.pc != nil && !sl.pc.done {
+						delete(n.calls, sl.id)
+					}
+				}
+			})
+		if err != nil {
+			return err
+		}
+		var retry []int
+		stale := false
+		for _, sl := range slots {
+			var resp MsgCutResp
+			done := false
+			n.rtm.Atomic(func() {
+				if sl.lc != nil {
+					done = sl.lc.done
+					resp = sl.lc.resp
+				} else if sl.pc.done {
+					// Tolerate a mistyped response (a stale-request
+					// collision) as a non-answer: the shard is retried.
+					resp, done = sl.pc.resp.(MsgCutResp)
+				}
+			})
+			if !done {
+				n.suspect(sl.contact)
+				retry = append(retry, sl.shard)
+				continue
+			}
+			switch resp.Status {
+			case StatusOK:
+				out[sl.shard] = ShardCut{
+					Shard: sl.shard, Contact: sl.contact,
+					ScanStart: resp.ScanStart, ScanEnd: resp.ScanEnd,
+					Pending: resp.Pending, Segments: resp.Segments, Rounds: 1,
+				}
+			case StatusStaleMap:
+				stale = true
+			default:
+				retry = append(retry, sl.shard)
+			}
+		}
+		if stale {
+			return fmt.Errorf("cluster: shard map changed during cut (had v%d)", m.Version)
+		}
+		remaining = retry
+	}
+	if len(remaining) > 0 {
+		return fmt.Errorf("%w: cut shards %v unresponsive", ErrNoContact, remaining)
+	}
+	return nil
+}
+
+// ValidatorOptions tunes the cut checks.
+type ValidatorOptions struct {
+	// CheckPlacement additionally requires every key to live on the shard
+	// the cut map's ring assigns it.
+	CheckPlacement bool
+	// RequireMarks makes non-mark values violations (set when the
+	// workload is known to write only encoded Marks).
+	RequireMarks bool
+}
+
+// CutValidator checks a Cut against the cross-shard consistency
+// invariants derived from the per-shard (A1)–(A4) guarantees:
+//
+//   - frontier sanity: every shard scan linearized inside the cut's
+//     window (Frontier ≤ ScanStart ≤ ScanEnd);
+//   - per-key writer ownership: a key is written by exactly one writer
+//     (the marked workload's namespace discipline);
+//   - per-writer prefix closure: an update in cut(i) implies its causal
+//     predecessor — the same writer's previous write — is in cut(j) of
+//     the shard owning the predecessor key, at sequence ≥ PrevSeq;
+//   - optionally, ring placement of every key.
+type CutValidator struct {
+	Opts ValidatorOptions
+}
+
+// NewCutValidator builds a validator.
+func NewCutValidator(opts ValidatorOptions) *CutValidator {
+	return &CutValidator{Opts: opts}
+}
+
+// Validate returns every invariant violation found in the cut (empty
+// slice = the cut is consistent).
+func (v *CutValidator) Validate(cut *Cut) []string {
+	var out []string
+	marks := make([]map[string]Mark, len(cut.Shards))
+	writers := make(map[string]string) // key → writer, across all shards
+	ring := cut.Map.Ring()
+	for s := range cut.Shards {
+		sc := &cut.Shards[s]
+		if sc.Segments == nil && sc.ScanEnd == 0 {
+			out = append(out, fmt.Sprintf("shard %d absent from cut", s))
+			marks[s] = map[string]Mark{}
+			continue
+		}
+		if sc.ScanStart < cut.Frontier {
+			out = append(out, fmt.Sprintf("shard %d scan linearized at %d, before frontier %d", s, sc.ScanStart, cut.Frontier))
+		}
+		if sc.ScanEnd < sc.ScanStart {
+			out = append(out, fmt.Sprintf("shard %d scan window inverted [%d,%d]", s, sc.ScanStart, sc.ScanEnd))
+		}
+		marks[s] = bestMarks(sc.Segments)
+		for _, seg := range sc.Segments {
+			for _, rec := range svc.DecodeRecords(seg) {
+				mk, ok := ParseMark(rec.V)
+				if !ok {
+					if v.Opts.RequireMarks {
+						out = append(out, fmt.Sprintf("shard %d key %q holds a non-mark value", s, rec.K))
+					}
+					continue
+				}
+				if w, seen := writers[rec.K]; seen && w != mk.Writer {
+					out = append(out, fmt.Sprintf("key %q written by two writers (%s, %s)", rec.K, w, mk.Writer))
+				} else {
+					writers[rec.K] = mk.Writer
+				}
+				if v.Opts.CheckPlacement {
+					if owner := ring.ShardFor(rec.K); owner != s {
+						out = append(out, fmt.Sprintf("key %q found in cut(%d) but ring places it on shard %d", rec.K, s, owner))
+					}
+				}
+			}
+		}
+	}
+	out = append(out, v.closureViolations(cut, marks, ring, nil)...)
+	return out
+}
+
+// MissingClosure returns the shards that must be re-scanned to restore
+// per-writer prefix closure: the owner shards of every missing or
+// too-old causal predecessor.
+func (v *CutValidator) MissingClosure(cut *Cut) []int {
+	marks := make([]map[string]Mark, len(cut.Shards))
+	for s := range cut.Shards {
+		marks[s] = bestMarks(cut.Shards[s].Segments)
+	}
+	need := make(map[int]bool)
+	v.closureViolations(cut, marks, cut.Map.Ring(), need)
+	out := make([]int, 0, len(need))
+	for s := range need {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// closureViolations runs the prefix-closure check over the indexed cut.
+// When need is non-nil, it collects the owner shards of the violated
+// predecessors instead of allocating messages for them.
+func (v *CutValidator) closureViolations(cut *Cut, marks []map[string]Mark, ring *Ring, need map[int]bool) []string {
+	var out []string
+	for s := range cut.Shards {
+		for k, mk := range marks[s] {
+			if mk.PrevKey == "" {
+				continue
+			}
+			owner := ring.ShardFor(mk.PrevKey)
+			if owner < 0 || owner >= len(marks) {
+				continue
+			}
+			pm, ok := marks[owner][mk.PrevKey]
+			if ok && pm.Seq >= mk.PrevSeq {
+				continue
+			}
+			if need != nil {
+				need[owner] = true
+				continue
+			}
+			if !ok {
+				out = append(out, fmt.Sprintf(
+					"update %s@%d on key %q in cut(%d) but predecessor key %q missing from cut(%d)",
+					mk.Writer, mk.Seq, k, s, mk.PrevKey, owner))
+			} else {
+				out = append(out, fmt.Sprintf(
+					"update %s@%d on key %q in cut(%d) but predecessor %q in cut(%d) is at seq %d < %d",
+					mk.Writer, mk.Seq, k, s, mk.PrevKey, owner, pm.Seq, mk.PrevSeq))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
+)
+
+// Routing status codes carried by response messages.
+const (
+	// StatusOK: the request was served.
+	StatusOK byte = iota
+	// StatusStaleMap: the request's MapVer is older than the responder's
+	// shard map; the response carries the newer map, and the client must
+	// re-route under it.
+	StatusStaleMap
+	// StatusWrongShard: the named shard is not hosted by the responder
+	// under the responder's (same-version) map — a placement bug, or a
+	// racing map the responder has not adopted yet. Clients refetch.
+	StatusWrongShard
+	// StatusErr: the shard engine failed the operation (e.g. the service
+	// is draining for shutdown).
+	StatusErr
+)
+
+// Wire tags 112–119: the cluster routing block (see DESIGN.md §10 and the
+// ALGORITHMS.md cluster table). All cluster messages travel inside mux
+// envelopes on the "cluster" channel.
+const (
+	tagUpdateReq  = 112
+	tagUpdateResp = 113
+	tagScanReq    = 114
+	tagScanResp   = 115
+	tagMapReq     = 116
+	tagMapResp    = 117
+	tagCutReq     = 118
+	tagCutResp    = 119
+)
+
+// MsgUpdateReq routes one keyed UPDATE to a member of the owning shard.
+type MsgUpdateReq struct {
+	Req    uint64 // caller-local request ID, echoed by the response
+	MapVer uint64 // shard-map version the caller routed under
+	Shard  int    // owning shard under that map
+	Key    string
+	Val    []byte
+}
+
+// Kind implements rt.Message.
+func (MsgUpdateReq) Kind() string { return "cl.updateReq" }
+
+// MsgUpdateResp answers an MsgUpdateReq.
+type MsgUpdateResp struct {
+	Req    uint64
+	Status byte
+	Map    ShardMap // the newer map, when Status == StatusStaleMap
+}
+
+// Kind implements rt.Message.
+func (MsgUpdateResp) Kind() string { return "cl.updateResp" }
+
+// MsgScanReq routes one keyed SCAN to a member of the owning shard.
+type MsgScanReq struct {
+	Req    uint64
+	MapVer uint64
+	Shard  int
+	Key    string
+}
+
+// Kind implements rt.Message.
+func (MsgScanReq) Kind() string { return "cl.scanReq" }
+
+// MsgScanResp answers an MsgScanReq with the key's per-member value
+// vector from one linearizable shard snapshot (nil = that member's
+// segment never wrote the key).
+type MsgScanResp struct {
+	Req    uint64
+	Status byte
+	Map    ShardMap
+	Vals   [][]byte
+}
+
+// Kind implements rt.Message.
+func (MsgScanResp) Kind() string { return "cl.scanResp" }
+
+// MsgMapReq fetches the responder's current shard map.
+type MsgMapReq struct {
+	Req uint64
+}
+
+// Kind implements rt.Message.
+func (MsgMapReq) Kind() string { return "cl.mapReq" }
+
+// MsgMapResp serves the responder's current shard map.
+type MsgMapResp struct {
+	Req uint64
+	Map ShardMap
+}
+
+// Kind implements rt.Message.
+func (MsgMapResp) Kind() string { return "cl.mapResp" }
+
+// MsgCutReq asks a shard member for the shard's contribution to a
+// coordinated cut: a full shard snapshot linearized at-or-after Frontier
+// (guaranteed by causality — the scan starts after this message arrives,
+// which is after the coordinator recorded Frontier).
+type MsgCutReq struct {
+	Req      uint64
+	MapVer   uint64
+	Shard    int
+	Frontier rt.Ticks
+}
+
+// Kind implements rt.Message.
+func (MsgCutReq) Kind() string { return "cl.cutReq" }
+
+// MsgCutResp is one shard's cut contribution: the shard snapshot (one
+// segment per shard member, nil = ⊥) plus the scan's local interval and
+// the number of updates still in flight (admitted but uncommitted) at the
+// contact when the scan was issued.
+type MsgCutResp struct {
+	Req       uint64
+	Status    byte
+	Map       ShardMap
+	Shard     int
+	Frontier  rt.Ticks
+	ScanStart rt.Ticks
+	ScanEnd   rt.Ticks
+	Pending   int
+	Segments  [][]byte
+}
+
+// Kind implements rt.Message.
+func (MsgCutResp) Kind() string { return "cl.cutResp" }
+
+func encodeMap(b *wire.Buffer, m ShardMap) {
+	b.PutUvarint(m.Version)
+	b.PutInt(m.VNodes)
+	b.PutInt(m.F)
+	b.PutUvarint(uint64(len(m.Members)))
+	for _, ms := range m.Members {
+		b.PutUvarint(uint64(len(ms)))
+		for _, id := range ms {
+			b.PutInt(id)
+		}
+	}
+}
+
+func decodeMap(d *wire.Decoder) ShardMap {
+	var m ShardMap
+	m.Version = d.Uvarint()
+	m.VNodes = d.Int()
+	m.F = d.Int()
+	shards := d.Count(1)
+	for s := 0; s < shards; s++ {
+		n := d.Count(1)
+		ms := make([]int, 0, n)
+		for l := 0; l < n; l++ {
+			ms = append(ms, d.Int())
+		}
+		m.Members = append(m.Members, ms)
+	}
+	return m
+}
+
+// encodeSegs writes a per-member payload vector, preserving nil (⊥) vs
+// present via an explicit flag (a present-but-empty payload stays
+// distinguishable from ⊥).
+func encodeSegs(b *wire.Buffer, segs [][]byte) {
+	b.PutUvarint(uint64(len(segs)))
+	for _, seg := range segs {
+		b.PutBool(seg != nil)
+		if seg != nil {
+			b.PutBytes(seg)
+		}
+	}
+}
+
+func decodeSegs(d *wire.Decoder) [][]byte {
+	n := d.Count(1)
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if d.Bool() {
+			seg := d.Bytes()
+			if seg == nil {
+				seg = []byte{}
+			}
+			out = append(out, seg)
+		} else {
+			out = append(out, nil)
+		}
+	}
+	if d.Err() != nil {
+		return nil
+	}
+	return out
+}
+
+func genMap(rng *rand.Rand) ShardMap {
+	m := ShardMap{Version: uint64(rng.Intn(8) + 1), VNodes: rng.Intn(16) + 1, F: rng.Intn(2)}
+	shards := rng.Intn(3) + 1
+	next := 0
+	for s := 0; s < shards; s++ {
+		n := rng.Intn(3) + 1
+		ms := make([]int, 0, n)
+		for l := 0; l < n; l++ {
+			ms = append(ms, next)
+			next++
+		}
+		m.Members = append(m.Members, ms)
+	}
+	return m
+}
+
+func genSegs(rng *rand.Rand) [][]byte {
+	n := rng.Intn(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		seg := make([]byte, rng.Intn(12))
+		rng.Read(seg)
+		out = append(out, seg)
+	}
+	return out
+}
+
+func init() {
+	wire.Register(wire.Codec{
+		Tag: tagUpdateReq, Proto: MsgUpdateReq{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			v := m.(MsgUpdateReq)
+			b.PutUvarint(v.Req)
+			b.PutUvarint(v.MapVer)
+			b.PutInt(v.Shard)
+			b.PutString(v.Key)
+			b.PutBytes(v.Val)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			v := MsgUpdateReq{Req: d.Uvarint(), MapVer: d.Uvarint(), Shard: d.Int(), Key: d.String(), Val: d.Bytes()}
+			return v, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			val := make([]byte, rng.Intn(16))
+			rng.Read(val)
+			return MsgUpdateReq{Req: rng.Uint64() >> 1, MapVer: uint64(rng.Intn(9)), Shard: rng.Intn(8), Key: genKey(rng), Val: val}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: tagUpdateResp, Proto: MsgUpdateResp{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			v := m.(MsgUpdateResp)
+			b.PutUvarint(v.Req)
+			b.PutByte(v.Status)
+			encodeMap(b, v.Map)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			v := MsgUpdateResp{Req: d.Uvarint(), Status: d.Byte(), Map: decodeMap(d)}
+			return v, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgUpdateResp{Req: rng.Uint64() >> 1, Status: byte(rng.Intn(4)), Map: genMap(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: tagScanReq, Proto: MsgScanReq{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			v := m.(MsgScanReq)
+			b.PutUvarint(v.Req)
+			b.PutUvarint(v.MapVer)
+			b.PutInt(v.Shard)
+			b.PutString(v.Key)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			v := MsgScanReq{Req: d.Uvarint(), MapVer: d.Uvarint(), Shard: d.Int(), Key: d.String()}
+			return v, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgScanReq{Req: rng.Uint64() >> 1, MapVer: uint64(rng.Intn(9)), Shard: rng.Intn(8), Key: genKey(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: tagScanResp, Proto: MsgScanResp{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			v := m.(MsgScanResp)
+			b.PutUvarint(v.Req)
+			b.PutByte(v.Status)
+			encodeMap(b, v.Map)
+			encodeSegs(b, v.Vals)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			v := MsgScanResp{Req: d.Uvarint(), Status: d.Byte(), Map: decodeMap(d), Vals: decodeSegs(d)}
+			return v, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgScanResp{Req: rng.Uint64() >> 1, Status: byte(rng.Intn(4)), Map: genMap(rng), Vals: genSegs(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: tagMapReq, Proto: MsgMapReq{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutUvarint(m.(MsgMapReq).Req) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			v := MsgMapReq{Req: d.Uvarint()}
+			return v, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message { return MsgMapReq{Req: rng.Uint64() >> 1} },
+	})
+	wire.Register(wire.Codec{
+		Tag: tagMapResp, Proto: MsgMapResp{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			v := m.(MsgMapResp)
+			b.PutUvarint(v.Req)
+			encodeMap(b, v.Map)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			v := MsgMapResp{Req: d.Uvarint(), Map: decodeMap(d)}
+			return v, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgMapResp{Req: rng.Uint64() >> 1, Map: genMap(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: tagCutReq, Proto: MsgCutReq{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			v := m.(MsgCutReq)
+			b.PutUvarint(v.Req)
+			b.PutUvarint(v.MapVer)
+			b.PutInt(v.Shard)
+			b.PutVarint(int64(v.Frontier))
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			v := MsgCutReq{Req: d.Uvarint(), MapVer: d.Uvarint(), Shard: d.Int(), Frontier: rt.Ticks(d.Varint())}
+			return v, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgCutReq{Req: rng.Uint64() >> 1, MapVer: uint64(rng.Intn(9)), Shard: rng.Intn(8), Frontier: rt.Ticks(rng.Int63n(1 << 30))}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: tagCutResp, Proto: MsgCutResp{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			v := m.(MsgCutResp)
+			b.PutUvarint(v.Req)
+			b.PutByte(v.Status)
+			encodeMap(b, v.Map)
+			b.PutInt(v.Shard)
+			b.PutVarint(int64(v.Frontier))
+			b.PutVarint(int64(v.ScanStart))
+			b.PutVarint(int64(v.ScanEnd))
+			b.PutInt(v.Pending)
+			encodeSegs(b, v.Segments)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			v := MsgCutResp{
+				Req: d.Uvarint(), Status: d.Byte(), Map: decodeMap(d), Shard: d.Int(),
+				Frontier: rt.Ticks(d.Varint()), ScanStart: rt.Ticks(d.Varint()), ScanEnd: rt.Ticks(d.Varint()),
+				Pending: d.Int(), Segments: decodeSegs(d),
+			}
+			return v, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			t := rt.Ticks(rng.Int63n(1 << 30))
+			return MsgCutResp{
+				Req: rng.Uint64() >> 1, Status: byte(rng.Intn(4)), Map: genMap(rng), Shard: rng.Intn(8),
+				Frontier: t, ScanStart: t + rt.Ticks(rng.Intn(1000)), ScanEnd: t + rt.Ticks(1000+rng.Intn(1000)),
+				Pending: rng.Intn(8), Segments: genSegs(rng),
+			}
+		},
+	})
+}
+
+func genKey(rng *rand.Rand) string {
+	return "w" + string(rune('0'+rng.Intn(10))) + "/k" + string(rune('0'+rng.Intn(8)))
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+
+	"mpsnap/internal/chaos"
+	"mpsnap/internal/rt"
+)
+
+// testRunConfig is a chaos run small enough for the test suite: 2 shards
+// of 3, crashes with WAL restarts, a partition episode, and loss/delay
+// windows per shard.
+func testRunConfig(seed int64) RunConfig {
+	cfg := DefaultRunConfig()
+	cfg.Seed = seed
+	cfg.Duration = 150 * rt.TicksPerD
+	cfg.Mix = chaos.Mix{Crashes: 1, Partitions: 1, DropWindows: 1, SpikeWindows: 1, Restarts: 1}
+	cfg.GlobalScanEvery = 15 * rt.TicksPerD
+	return cfg
+}
+
+// TestRunSimSeeds runs the cluster chaos harness across several seeds:
+// every validated cut must be consistent (no violations), and each run
+// must produce at least one validated cut and real traffic.
+func TestRunSimSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		cfg := testRunConfig(seed)
+		rep, err := RunSim(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v (report: %v)", seed, err, rep)
+		}
+		if len(rep.Violations) > 0 {
+			t.Errorf("seed %d: cut violations: %v", seed, rep.Violations)
+		}
+		if rep.CutsOK == 0 {
+			t.Errorf("seed %d: no validated cuts (report: %v)", seed, rep)
+		}
+		if rep.Updates == 0 || rep.Scans == 0 {
+			t.Errorf("seed %d: no traffic (report: %v)", seed, rep)
+		}
+		t.Logf("seed %d: %v", seed, rep)
+	}
+}
+
+// TestRunSimShardCrash crashes all of shard 1 mid-run and restarts it
+// from WALs; cuts must stay consistent throughout (failures to assemble
+// a cut while the shard is down are availability, not violations).
+func TestRunSimShardCrash(t *testing.T) {
+	cfg := testRunConfig(5)
+	cfg.Duration = 200 * rt.TicksPerD
+	cfg.Mix = chaos.Mix{} // the whole-shard fault is the event under test
+	cfg.CrashShard = 1
+	rep, err := RunSim(cfg)
+	if err != nil {
+		t.Fatalf("RunSim: %v (report: %v)", err, rep)
+	}
+	if len(rep.Violations) > 0 {
+		t.Errorf("violations under shard crash: %v", rep.Violations)
+	}
+	if rep.CutsOK == 0 {
+		t.Errorf("no validated cuts (report: %v)", rep)
+	}
+	t.Logf("%v", rep)
+}
+
+// TestRunSimShardPartition isolates all of shard 0 from the rest of the
+// topology for a window; cross-shard cuts fail during the window and
+// recover after heal, always consistently.
+func TestRunSimShardPartition(t *testing.T) {
+	cfg := testRunConfig(6)
+	cfg.Duration = 200 * rt.TicksPerD
+	cfg.Mix = chaos.Mix{}
+	cfg.PartitionShard = 0
+	rep, err := RunSim(cfg)
+	if err != nil {
+		t.Fatalf("RunSim: %v (report: %v)", err, rep)
+	}
+	if len(rep.Violations) > 0 {
+		t.Errorf("violations under shard partition: %v", rep.Violations)
+	}
+	if rep.CutsOK == 0 {
+		t.Errorf("no validated cuts (report: %v)", rep)
+	}
+	t.Logf("%v", rep)
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import "mpsnap/internal/rt"
+
+// shardRuntime is a shard member's view of its shard cluster: an
+// rt.Runtime restricted to the shard's member list, with shard-local node
+// IDs. It sits on top of a mux channel runtime ("shard/<s>"), so the
+// engine built on it sees an n-member cluster with IDs [0, n) while its
+// messages actually travel between global nodes inside mux envelopes.
+//
+// Broadcast is realized as a loop of Sends over the member list — exactly
+// the equivalence rt.Runtime documents — so a mid-loop crash reaches a
+// prefix of the members, preserving the paper's failure-chain mechanism
+// at shard scope (a plain pass-through Broadcast would leak the envelope
+// to every node of every shard).
+type shardRuntime struct {
+	under   rt.Runtime // mux channel runtime (global IDs)
+	members []int      // members[local] = global node ID
+	local   int        // this node's shard-local ID
+	f       int
+}
+
+var _ rt.Runtime = (*shardRuntime)(nil)
+
+// newShardRuntime builds the member view. The caller guarantees the
+// node is a member (LocalID >= 0).
+func newShardRuntime(under rt.Runtime, members []int, local, f int) *shardRuntime {
+	return &shardRuntime{under: under, members: members, local: local, f: f}
+}
+
+func (r *shardRuntime) ID() int { return r.local }
+func (r *shardRuntime) N() int  { return len(r.members) }
+func (r *shardRuntime) F() int  { return r.f }
+
+func (r *shardRuntime) Send(dst int, msg rt.Message) {
+	r.under.Send(r.members[dst], msg)
+}
+
+func (r *shardRuntime) Broadcast(msg rt.Message) {
+	for _, g := range r.members {
+		r.under.Send(g, msg)
+	}
+}
+
+func (r *shardRuntime) Atomic(fn func()) { r.under.Atomic(fn) }
+
+func (r *shardRuntime) WaitUntilThen(label string, pred func() bool, then func()) error {
+	return r.under.WaitUntilThen(label, pred, then)
+}
+
+func (r *shardRuntime) Now() rt.Ticks { return r.under.Now() }
+
+func (r *shardRuntime) Crashed() bool { return r.under.Crashed() }
+
+// remapHandler translates inbound shard traffic from global to shard-
+// local source IDs before handing it to the engine, and drops messages
+// from non-members (a stale or misrouted envelope must not be attributed
+// to a random local ID).
+type remapHandler struct {
+	members []int
+	inner   rt.Handler
+}
+
+func (h remapHandler) HandleMessage(src int, msg rt.Message) {
+	for l, g := range h.members {
+		if g == src {
+			h.inner.HandleMessage(l, msg)
+			return
+		}
+	}
+}

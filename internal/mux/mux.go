@@ -123,6 +123,23 @@ func (m *Mux) BindErr(name string, h rt.Handler) error {
 	return err
 }
 
+// Unbind removes the named instance's handler and reports whether it was
+// bound. Traffic arriving on an unbound channel is dropped, exactly like a
+// channel that never existed — so tearing an instance down while peers are
+// still sending to it is safe. The removal is atomic with the node's
+// handler: a message being dispatched concurrently is either routed to the
+// old handler or dropped, never delivered half-torn-down. The name becomes
+// available for BindErr again (dynamic shard placement binds, unbinds, and
+// rebinds channels as shard maps change).
+func (m *Mux) Unbind(name string) bool {
+	var had bool
+	m.rt.Atomic(func() {
+		_, had = m.handlers[name]
+		delete(m.handlers, name)
+	})
+	return had
+}
+
 // Channels lists the bound channel names (sorted; for tooling).
 func (m *Mux) Channels() []string {
 	var out []string

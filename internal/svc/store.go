@@ -16,6 +16,7 @@ package svc
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"mpsnap/internal/mux"
 	"mpsnap/internal/rt"
@@ -57,11 +58,16 @@ type Store struct {
 	shards []*shard
 }
 
-// record is one key write inside a shard segment.
-type record struct {
+// Record is one key write inside a shard segment. The segment payload
+// format (EncodeRecords/DecodeRecords) is shared with the cluster routing
+// layer, which ships the same records across shard clusters.
+type Record struct {
 	K string
 	V []byte
 }
+
+// record is the historical internal alias for Record.
+type record = Record
 
 // NewStore builds the store's shards on m, binding channel
 // "Prefix/<shard>" for each. Call Serve on every shard service (see
@@ -120,6 +126,14 @@ func (sh *shard) merge(payloads [][]byte) []byte {
 	}
 	return encodeRecords(recs)
 }
+
+// EncodeRecords serializes a record list deterministically (wire records
+// in the given order; callers pass a deterministic order).
+func EncodeRecords(recs []Record) []byte { return encodeRecords(recs) }
+
+// DecodeRecords parses a segment payload; a corrupt payload (impossible
+// through the Store API) is surfaced as an empty list.
+func DecodeRecords(p []byte) []Record { return decodeRecords(p) }
 
 // encodeRecords serializes a record list deterministically (wire records
 // in the given order; callers pass a deterministic order).
@@ -184,6 +198,82 @@ func (s *Store) Close() {
 func (s *Store) Update(key string, val []byte) error {
 	payload := encodeRecords([]record{{K: key, V: val}})
 	return s.shards[s.ShardFor(key)].svc.Update(payload)
+}
+
+// MergeKeys deterministically merges the key sets of several segment
+// payloads: the union of every segment's record keys, sorted and
+// deduplicated. Segments carry keys in each writer's first-write order, so
+// a naive concatenation would depend on which writer committed first;
+// sorting makes cross-segment enumeration order-stable across runs —
+// cluster.GlobalScan relies on this for byte-identical cut dumps.
+func MergeKeys(segments [][]byte) []string {
+	var keys []string
+	seen := make(map[string]bool)
+	for _, seg := range segments {
+		for _, rec := range decodeRecords(seg) {
+			if !seen[rec.K] {
+				seen[rec.K] = true
+				keys = append(keys, rec.K)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Keys snapshots every shard (one linearizable snapshot per shard) and
+// returns all keys any node has ever written, in deterministic sorted
+// order. Note the per-shard snapshots are taken independently: the key
+// *set* is a union of per-shard linearizable views, not one atomic
+// multi-shard cut (cluster.GlobalScan is the coordinated version).
+func (s *Store) Keys() ([]string, error) {
+	var all [][]byte
+	for _, sh := range s.shards {
+		snap, err := sh.svc.Scan()
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, snap...)
+	}
+	return MergeKeys(all), nil
+}
+
+// KeyVals is one key's per-node value vector in a scan-all result.
+type KeyVals struct {
+	Key  string
+	Vals [][]byte // one entry per node; nil = that node never wrote the key
+}
+
+// ScanAll snapshots every shard and returns the full keyed contents,
+// sorted by key (deterministic across runs). Each key's value vector comes
+// from its shard's one linearizable snapshot; like Keys, the combination
+// across shards is a stitch, not a coordinated cut.
+func (s *Store) ScanAll() ([]KeyVals, error) {
+	snaps := make([][][]byte, len(s.shards))
+	var all [][]byte
+	for i, sh := range s.shards {
+		snap, err := sh.svc.Scan()
+		if err != nil {
+			return nil, err
+		}
+		snaps[i] = snap
+		all = append(all, snap...)
+	}
+	keys := MergeKeys(all)
+	out := make([]KeyVals, 0, len(keys))
+	for _, k := range keys {
+		kv := KeyVals{Key: k, Vals: make([][]byte, s.n)}
+		for node, seg := range snaps[s.ShardFor(k)] {
+			for _, rec := range decodeRecords(seg) {
+				if rec.K == k {
+					kv.Vals[node] = rec.V
+					break
+				}
+			}
+		}
+		out = append(out, kv)
+	}
+	return out, nil
 }
 
 // Scan snapshots the key's shard and returns each node's latest value for

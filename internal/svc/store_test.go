@@ -151,3 +151,131 @@ func TestStoreConfigErrors(t *testing.T) {
 		t.Errorf("distinct prefix must succeed: %v", err)
 	}
 }
+
+// TestMergeKeysDeterministic: MergeKeys yields the sorted, deduplicated
+// union regardless of segment order or per-segment key order — the
+// property cut dumps rely on for byte-identical output.
+func TestMergeKeysDeterministic(t *testing.T) {
+	seg := func(keys ...string) []byte {
+		recs := make([]svc.Record, len(keys))
+		for i, k := range keys {
+			recs[i] = svc.Record{K: k, V: []byte("v-" + k)}
+		}
+		return svc.EncodeRecords(recs)
+	}
+	// Same key sets, different write orders and segment orders.
+	a := [][]byte{seg("zeta", "alpha", "mu"), seg("beta", "alpha"), nil}
+	b := [][]byte{nil, seg("alpha", "beta"), seg("mu", "zeta", "alpha")}
+	want := []string{"alpha", "beta", "mu", "zeta"}
+	for _, segs := range [][][]byte{a, b} {
+		got := svc.MergeKeys(segs)
+		if len(got) != len(want) {
+			t.Fatalf("MergeKeys = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MergeKeys = %v, want %v", got, want)
+			}
+		}
+	}
+	if got := svc.MergeKeys(nil); len(got) != 0 {
+		t.Errorf("MergeKeys(nil) = %v, want empty", got)
+	}
+}
+
+// TestRecordsRoundTrip: the exported record codec round-trips, including
+// the nil-vs-empty value edge the wire layer flattens.
+func TestRecordsRoundTrip(t *testing.T) {
+	in := []svc.Record{{K: "a", V: []byte("x")}, {K: "b", V: nil}, {K: "", V: []byte{}}}
+	out := svc.DecodeRecords(svc.EncodeRecords(in))
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].K != in[i].K || string(out[i].V) != string(in[i].V) {
+			t.Errorf("record %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+	if got := svc.DecodeRecords([]byte{0xff, 0x01}); got != nil {
+		t.Errorf("corrupt payload decoded to %v, want nil", got)
+	}
+}
+
+// TestStoreKeysAndScanAll: Keys and ScanAll enumerate the full keyed
+// contents across shards in sorted order, with per-node value vectors
+// from the owning shard's snapshot; order is stable across repeated calls.
+func TestStoreKeysAndScanAll(t *testing.T) {
+	const n, f, shards = 3, 1, 4
+	w, stores := buildStores(n, f, 34, shards)
+	keys := []string{"zeta", "alpha", "mu", "beta", "omega", "kappa"}
+	writersDone := 0
+	for i := 0; i < 2; i++ {
+		i := i
+		w.GoNode(fmt.Sprintf("writer-%d", i), i, func(p *sim.Proc) {
+			defer func() { writersDone++ }()
+			// Writers insert in opposite orders so first-write segment
+			// order differs between nodes; enumeration must not care.
+			ks := keys
+			if i == 1 {
+				ks = make([]string, len(keys))
+				for j, k := range keys {
+					ks[len(keys)-1-j] = k
+				}
+			}
+			for _, k := range ks {
+				if err := stores[i].Update(k, []byte(fmt.Sprintf("%s@%d", k, i))); err != nil {
+					t.Errorf("update %s: %v", k, err)
+					return
+				}
+			}
+		})
+	}
+	w.GoNode("reader", 2, func(p *sim.Proc) {
+		_ = p.WaitUntilGlobal("writers done", func() bool { return writersDone == 2 })
+		got, err := stores[2].Keys()
+		if err != nil {
+			t.Errorf("Keys: %v", err)
+			return
+		}
+		want := []string{"alpha", "beta", "kappa", "mu", "omega", "zeta"}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("Keys = %v, want %v", got, want)
+		}
+		all, err := stores[2].ScanAll()
+		if err != nil {
+			t.Errorf("ScanAll: %v", err)
+			return
+		}
+		if len(all) != len(want) {
+			t.Fatalf("ScanAll returned %d keys, want %d", len(all), len(want))
+		}
+		for i, kv := range all {
+			if kv.Key != want[i] {
+				t.Errorf("ScanAll[%d].Key = %q, want %q (sorted)", i, kv.Key, want[i])
+			}
+			for node := 0; node < 2; node++ {
+				wantV := fmt.Sprintf("%s@%d", kv.Key, node)
+				if string(kv.Vals[node]) != wantV {
+					t.Errorf("ScanAll[%s].Vals[%d] = %q, want %q", kv.Key, node, kv.Vals[node], wantV)
+				}
+			}
+			if kv.Vals[2] != nil {
+				t.Errorf("ScanAll[%s].Vals[2] = %q, want nil", kv.Key, kv.Vals[2])
+			}
+		}
+		again, err := stores[2].ScanAll()
+		if err != nil {
+			t.Errorf("ScanAll again: %v", err)
+			return
+		}
+		if fmt.Sprint(all) != fmt.Sprint(again) {
+			t.Errorf("ScanAll not order-stable across calls")
+		}
+		for _, st := range stores {
+			st.Close()
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -64,6 +64,12 @@ type TCPConfig struct {
 	// Listener, if set, is used instead of listening on Addrs[ID]
 	// (lets tests bind :0 first and distribute the real addresses).
 	Listener net.Listener
+	// Epoch, if set, is the time-zero Now() measures ticks from instead
+	// of the node's construction instant. Deployments whose protocol
+	// compares timestamps across nodes (e.g. cluster cut frontiers) must
+	// share one epoch, or per-node construction skew shows up as clock
+	// skew; for nodes in one process, pass the same time.Time to all.
+	Epoch time.Time
 	// Observer, if set, receives a rt.MsgEvent for every outbound send,
 	// inbound delivery, and corrupt inbound stream. It is called from
 	// client and receive goroutines concurrently, so it must be
@@ -126,9 +132,13 @@ func NewTCPNode(cfg TCPConfig) (*TCPNode, error) {
 	if cfg.ID < 0 || cfg.ID >= n {
 		return nil, fmt.Errorf("transport: id %d out of range", cfg.ID)
 	}
+	start := cfg.Epoch
+	if start.IsZero() {
+		start = time.Now()
+	}
 	t := &TCPNode{
 		cfg:    cfg,
-		start:  time.Now(),
+		start:  start,
 		outs:   make([]chan rt.Message, n),
 		stale:  make([]atomic.Bool, n),
 		conns:  make([]net.Conn, n),
