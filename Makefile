@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build build-examples test test-race test-short test-recovery test-cluster cover bench bench-core bench-smoke fuzz fuzz-wire fuzz-wal explore experiments chaos vet fmt-check clean
+.PHONY: all build build-examples test test-race test-short test-recovery test-cluster test-engines cover bench bench-core bench-smoke fuzz fuzz-wire fuzz-wal fuzz-engines explore experiments chaos vet fmt-check clean
 
 all: vet test
 
@@ -48,6 +48,14 @@ test-cluster:
 	$(GO) run ./cmd/asocluster -backend sim,chan -seed 7 -duration 1s -shards 3 -shard-crash 1
 	$(GO) run ./cmd/asocluster -backend sim,chan -seed 9 -duration 1s -shards 2 -shard-partition 0
 
+# Engine matrix under the race detector: the registry smoke across every
+# registered engine, the eqaso/acr/fastsnap differential corpus, and the
+# challenger chaos matrix (4 seeds × sim + chan with the default fault
+# mix).
+test-engines:
+	$(GO) test -race -count=1 ./internal/engine/
+	$(GO) test -race -count=1 -run 'TestChallengerEngines|TestRunEngines' ./internal/chaos/ ./internal/bench/
+
 # Coverage profile across all packages plus a per-function summary; the
 # total line is the number CI reports.
 cover:
@@ -73,6 +81,7 @@ bench-smoke:
 	$(GO) run ./cmd/asobench -e hotpath -quick -check -json BENCH_hotpath.json
 	$(GO) run ./cmd/asobench -e recovery -quick -check -json BENCH_recovery.json
 	$(GO) run ./cmd/asobench -e cluster -quick -check -json BENCH_cluster.json
+	$(GO) run ./cmd/asobench -e engines -quick -check -json BENCH_engines.json
 
 # Randomized conformance fuzzing across all algorithms (bounded batch).
 fuzz:
@@ -93,6 +102,12 @@ fuzz-wire:
 # recover exactly the longest intact record prefix.
 fuzz-wal:
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=30s ./internal/wal/
+
+# Differential engine fuzzing: random sequential op schedules run on
+# EQ-ASO vs the acr and fastsnap challengers, every scan compared
+# pointwise against the reference and the trivial oracle.
+fuzz-engines:
+	$(GO) test -fuzz=FuzzEngineEquivalence -fuzztime=30s -run '^$$' ./internal/engine/
 
 # Bounded-exhaustive schedule exploration of the core algorithms.
 explore:

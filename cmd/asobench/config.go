@@ -10,7 +10,7 @@ import (
 var knownExperiments = []string{
 	"table1", "sqrtk", "amortized", "failurefree", "byzantine",
 	"sso", "lattice", "messages", "throughput", "codec", "latency",
-	"hotpath", "recovery", "cluster",
+	"hotpath", "recovery", "cluster", "engines",
 }
 
 // benchConfig is the parsed asobench command line.
@@ -29,13 +29,13 @@ func parseBenchConfig(args []string, out io.Writer) (benchConfig, error) {
 	fs := flag.NewFlagSet("asobench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	fs.StringVar(&cfg.Exp, "e", "all",
-		"experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|throughput|codec|latency|hotpath|recovery|cluster|all")
+		"experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|throughput|codec|latency|hotpath|recovery|cluster|engines|all")
 	fs.BoolVar(&cfg.Quick, "quick", false, "smaller parameters (CI-sized)")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "simulation seed")
 	fs.StringVar(&cfg.JSONPath, "json", "",
-		"write the machine-readable points to this JSON file (throughput, codec, latency, hotpath, recovery, and cluster experiments)")
+		"write the machine-readable points to this JSON file (throughput, codec, latency, hotpath, recovery, cluster, and engines experiments)")
 	fs.BoolVar(&cfg.Check, "check", false,
-		"fail when an experiment's acceptance criterion does not hold (hotpath: flat log-engine allocation growth; recovery: flat GC-on recovered residency; cluster: shards=1 GlobalScan within 1.2× of the svc scan baseline)")
+		"fail when an experiment's acceptance criterion does not hold (hotpath: flat log-engine allocation growth; recovery: flat GC-on recovered residency; cluster: shards=1 GlobalScan within 1.2× of the svc scan baseline; engines: fastsnap contention-free scan p50 below eqaso's)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}

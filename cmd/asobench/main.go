@@ -64,8 +64,11 @@ func main() {
 		clF       = 1
 		clKeys    = 8
 		clScans   = 5
+		engN      = 7
+		engOps    = 12
 	)
 	if cfg.Quick {
+		engN, engOps = 5, 8
 		table1Ops, table1N, table1F, table1K = 3, 7, 3, 2
 		sqrtKs = []int{0, 2, 4, 8}
 		amortK, amortOps = 8, []int{1, 2, 4, 8}
@@ -183,6 +186,30 @@ func main() {
 					return "", err
 				}
 				out += "check passed: shards=1 GlobalScan is within 1.2× of the svc scan baseline\n"
+			}
+			return out, nil
+		}},
+		{"engines", func() (string, error) {
+			e, err := bench.RunEngines(engN, engOps, seed)
+			if err != nil {
+				return "", err
+			}
+			out := e.Render()
+			if cfg.JSONPath != "" {
+				blob, err := e.JSON()
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(cfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("points written to %s\n", cfg.JSONPath)
+			}
+			if cfg.Check {
+				if err := e.Check(); err != nil {
+					return "", err
+				}
+				out += "check passed: fastsnap contention-free scan p50 is below eqaso's\n"
 			}
 			return out, nil
 		}},

@@ -9,6 +9,7 @@ import (
 
 	"mpsnap/internal/chaos"
 	"mpsnap/internal/cluster"
+	"mpsnap/internal/engine"
 )
 
 // chaosConfig is the parsed asochaos command line: the chaos.Config for
@@ -31,13 +32,15 @@ func parseChaosConfig(args []string, out io.Writer) (chaosConfig, error) {
 	var (
 		cfg     chaosConfig
 		backend string
+		alg     string
 	)
 	fs := flag.NewFlagSet("asochaos", flag.ContinueOnError)
 	fs.SetOutput(out)
 	fs.Int64Var(&cfg.Chaos.Seed, "seed", 1, "chaos seed: drives the fault schedule and the workload")
 	fs.DurationVar(&cfg.Duration, "duration", 5*time.Second, "workload length (wall time on transports; 1 D per 10ms everywhere)")
 	fs.StringVar(&backend, "backend", "both", "backend(s): sim|chan|tcp|both (sim+tcp)|all, or a comma list")
-	fs.StringVar(&cfg.Chaos.Alg, "alg", "eqaso", "object under test: eqaso|byzaso|sso")
+	fs.StringVar(&cfg.Chaos.Engine, "engine", "", "engine under test: "+engine.FlagHelp()+" (default eqaso)")
+	fs.StringVar(&alg, "alg", "", "deprecated alias for -engine")
 	fs.IntVar(&cfg.Chaos.N, "n", 5, "number of nodes")
 	fs.IntVar(&cfg.Chaos.F, "f", 2, "resilience bound")
 	fs.IntVar(&cfg.Chaos.Mix.Crashes, "crashes", 1, "crash events (clamped to f; every other one strikes mid-broadcast)")
@@ -54,7 +57,7 @@ func parseChaosConfig(args []string, out io.Writer) (chaosConfig, error) {
 	fs.StringVar(&cfg.Chaos.TraceDir, "trace-dir", "", "dump a JSONL observability trace into this directory when the check fails (sim backend)")
 	fs.IntVar(&cfg.Chaos.TraceCap, "trace-cap", 0, "trace ring capacity (default 8192)")
 	fs.BoolVar(&cfg.Chaos.TraceAlways, "trace-always", false, "dump the trace even when the check passes")
-	fs.IntVar(&cfg.Cluster.Shards, "shards", 0, "run this many independent EQ-ASO shard clusters behind the routing layer instead of one object (eqaso only; the mix applies per shard)")
+	fs.IntVar(&cfg.Cluster.Shards, "shards", 0, "run this many independent shard clusters behind the routing layer instead of one object (atomic engines only; the mix applies per shard)")
 	fs.IntVar(&cfg.Cluster.CrashShard, "shard-crash", -1, "with -shards: crash EVERY member of this shard at 40% of the run, restart from WALs at 55% (sim and chan)")
 	fs.IntVar(&cfg.Cluster.PartitionShard, "shard-partition", -1, "with -shards: isolate this whole shard from the rest of the topology during [30%, 60%] of the run")
 	fs.BoolVar(&cfg.ShowSched, "schedule", false, "print every fault event before running")
@@ -64,15 +67,22 @@ func parseChaosConfig(args []string, out io.Writer) (chaosConfig, error) {
 		return cfg, err
 	}
 	cfg.Chaos.Duration = chaos.TicksOf(cfg.Duration)
+	// -engine wins over the deprecated -alg alias; both empty means eqaso.
+	if cfg.Chaos.Engine == "" {
+		cfg.Chaos.Engine = alg
+	}
+	if cfg.Chaos.Engine == "" {
+		cfg.Chaos.Engine = "eqaso"
+	}
+	if _, err := engine.Lookup(cfg.Chaos.Engine); err != nil {
+		return cfg, err
+	}
 	var err error
 	cfg.Backends, err = expandBackends(backend)
 	if err != nil {
 		return cfg, err
 	}
 	if cfg.Cluster.Shards > 0 {
-		if cfg.Chaos.Alg != "eqaso" {
-			return cfg, fmt.Errorf("-shards runs EQ-ASO shard clusters; -alg %s is not supported", cfg.Chaos.Alg)
-		}
 		if cfg.Chaos.Mix.CorruptWindows > 0 {
 			return cfg, fmt.Errorf("-corrupts is not supported with -shards")
 		}
@@ -88,6 +98,7 @@ func parseChaosConfig(args []string, out io.Writer) (chaosConfig, error) {
 		cfg.Cluster.F = cfg.Chaos.F
 		cfg.Cluster.Mix = cfg.Chaos.Mix
 		cfg.Cluster.ScanRatio = cfg.Chaos.ScanRatio
+		cfg.Cluster.Engine = cfg.Chaos.Engine
 	} else if cfg.Cluster.CrashShard >= 0 || cfg.Cluster.PartitionShard >= 0 {
 		return cfg, fmt.Errorf("-shard-crash and -shard-partition require -shards")
 	}

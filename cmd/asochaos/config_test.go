@@ -24,7 +24,7 @@ func TestParseChaosConfig(t *testing.T) {
 				if !reflect.DeepEqual(c.Backends, []string{"sim", "tcp"}) {
 					t.Errorf("backends: %v", c.Backends)
 				}
-				if c.Chaos.N != 5 || c.Chaos.F != 2 || c.Chaos.Alg != "eqaso" || c.Chaos.Seed != 1 {
+				if c.Chaos.N != 5 || c.Chaos.F != 2 || c.Chaos.Engine != "eqaso" || c.Chaos.Seed != 1 {
 					t.Errorf("chaos cfg: %+v", c.Chaos)
 				}
 				// 5s at 10ms per D.
@@ -61,6 +61,34 @@ func TestParseChaosConfig(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "engine flag selects any registered engine",
+			args: []string{"-engine", "acr"},
+			check: func(t *testing.T, c chaosConfig) {
+				if c.Chaos.Engine != "acr" {
+					t.Errorf("engine: %q", c.Chaos.Engine)
+				}
+			},
+		},
+		{
+			name: "alg alias still works, engine wins when both set",
+			args: []string{"-alg", "sso", "-engine", "fastsnap"},
+			check: func(t *testing.T, c chaosConfig) {
+				if c.Chaos.Engine != "fastsnap" {
+					t.Errorf("engine: %q, want fastsnap (-engine beats -alg)", c.Chaos.Engine)
+				}
+			},
+		},
+		{
+			name: "shards forward the engine to the cluster config",
+			args: []string{"-shards", "2", "-engine", "fastsnap"},
+			check: func(t *testing.T, c chaosConfig) {
+				if c.Cluster.Engine != "fastsnap" || c.Cluster.Shards != 2 {
+					t.Errorf("cluster cfg: engine=%q shards=%d", c.Cluster.Engine, c.Cluster.Shards)
+				}
+			},
+		},
+		{name: "bad engine", args: []string{"-engine", "paxos"}, wantErr: "unknown engine"},
 		{name: "bad backend", args: []string{"-backend", "carrier-pigeon"}, wantErr: "unknown backend"},
 		{name: "empty backend", args: []string{"-backend", ","}, wantErr: "no backend selected"},
 		{name: "bad flag", args: []string{"-nope"}, wantErr: "flag provided but not defined"},

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	asochaos -seed 42 -duration 5s
-//	asochaos -backend tcp -alg byzaso -n 7 -f 2 -json
+//	asochaos -backend tcp -engine byzaso -n 7 -f 2 -json
+//	asochaos -engine fastsnap -seed 1337   # any registered engine
 //	asochaos -backend sim -trace-dir traces   # JSONL post-mortem on failure
 //	asochaos -shards 4 -shard-crash 1         # sharded cluster, per-shard mix
 //
@@ -29,6 +30,7 @@ import (
 
 	"mpsnap/internal/chaos"
 	"mpsnap/internal/cluster"
+	"mpsnap/internal/engine"
 )
 
 func main() {
@@ -55,7 +57,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("backend %s: %v", be, err)
 		}
-		rep := chaos.NewReport(be, cfg.Chaos.Alg, res)
+		rep := chaos.NewReport(be, cfg.Chaos.Engine, res)
 		reports = append(reports, rep)
 		if !rep.OK {
 			failed = true
@@ -148,8 +150,8 @@ func runClusterMode(cfg chaosConfig) {
 
 func printReport(rep chaos.Report, cfg chaosConfig, took time.Duration) {
 	c := cfg.Chaos
-	fmt.Printf("backend=%-4s alg=%s n=%d f=%d seed=%d duration=%s (%d ticks) schedule=%s\n",
-		rep.Backend, rep.Alg, c.N, c.F, c.Seed, cfg.Duration, c.Duration, rep.ScheduleHash)
+	fmt.Printf("backend=%-4s engine=%s n=%d f=%d seed=%d duration=%s (%d ticks) schedule=%s\n",
+		rep.Backend, rep.Engine, c.N, c.F, c.Seed, cfg.Duration, c.Duration, rep.ScheduleHash)
 	mix := rep.Schedule.Mix
 	fmt.Printf("  faults: %d crashes, %d partitions, %d drop windows (p=%.2f), %d spikes (+%gD), %d corrupt windows — %d events\n",
 		mix.Crashes, mix.Partitions, mix.DropWindows, mix.DropProb, mix.SpikeWindows, mix.SpikeExtraD,
@@ -183,15 +185,15 @@ func printReport(rep chaos.Report, cfg chaosConfig, took time.Duration) {
 		fmt.Printf("  stuck: %s\n", b)
 	}
 	kind := "linearizable (A1-A4)"
-	if rep.Alg == "sso" {
+	if in, err := engine.Lookup(rep.Engine); err == nil && in.Sequential {
 		kind = "sequentially consistent"
 	}
 	if rep.OK {
 		fmt.Printf("  consistency: %s ✓\n", kind)
 	} else {
 		fmt.Printf("  consistency: FAILED — %d violations; first: %s\n", len(rep.Violations), rep.Violations[0])
-		fmt.Printf("  reproduce: asochaos -backend %s -alg %s -n %d -f %d -seed %d -duration %s\n",
-			rep.Backend, rep.Alg, c.N, c.F, c.Seed, cfg.Duration)
+		fmt.Printf("  reproduce: asochaos -backend %s -engine %s -n %d -f %d -seed %d -duration %s\n",
+			rep.Backend, rep.Engine, c.N, c.F, c.Seed, cfg.Duration)
 	}
 	if rep.TracePath != "" {
 		fmt.Println("  " + traceLine(rep))

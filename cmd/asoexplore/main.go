@@ -7,6 +7,7 @@
 // Usage:
 //
 //	asoexplore -alg eqaso -depth 6
+//	asoexplore -alg fastsnap -depth 6         # any registered engine works
 //	asoexplore -alg oneshot-sketch -depth 8   # finds the paper's Sec. III-C gap
 package main
 
@@ -18,7 +19,8 @@ import (
 	"os"
 	"time"
 
-	"mpsnap/internal/eqaso"
+	"mpsnap/internal/engine"
+	_ "mpsnap/internal/engine/all"
 	"mpsnap/internal/explore"
 	"mpsnap/internal/harness"
 	"mpsnap/internal/history"
@@ -28,7 +30,7 @@ import (
 
 func main() {
 	var (
-		alg     = flag.String("alg", "eqaso", "object under exploration: eqaso|oneshot|oneshot-sketch")
+		alg     = flag.String("alg", "eqaso", "object under exploration: any registered engine ("+engine.FlagHelp()+") or oneshot|oneshot-sketch")
 		depth   = flag.Int("depth", 6, "scheduling decisions explored exhaustively")
 		maxRuns = flag.Int("max-runs", 500000, "execution cap")
 	)
@@ -36,7 +38,21 @@ func main() {
 
 	mk, ok := factories()[*alg]
 	if !ok {
-		log.Fatalf("unknown algorithm %q (available: eqaso, oneshot, oneshot-sketch)", *alg)
+		// Fall back to the engine registry: any registered engine can be
+		// explored (the scenario checks linearizability, so sequentially
+		// consistent engines are rejected).
+		in, err := engine.Lookup(*alg)
+		if err != nil {
+			log.Fatalf("unknown algorithm %q (want a registered engine %s, or oneshot|oneshot-sketch)", *alg, engine.FlagHelp())
+		}
+		if in.Sequential {
+			log.Fatalf("engine %q is sequentially consistent; the explorer's scenario checks linearizability", *alg)
+		}
+		mk = func(w *sim.World, i int) harness.Object {
+			nd := in.New(w.Runtime(i))
+			w.SetHandler(i, nd)
+			return nd
+		}
 	}
 	start := time.Now()
 	res, err := explore.Run(explore.Options{Depth: *depth, MaxRuns: *maxRuns}, scenario(mk))
@@ -61,11 +77,6 @@ func main() {
 
 func factories() map[string]func(w *sim.World, i int) harness.Object {
 	return map[string]func(w *sim.World, i int) harness.Object{
-		"eqaso": func(w *sim.World, i int) harness.Object {
-			nd := eqaso.New(w.Runtime(i))
-			w.SetHandler(i, nd)
-			return nd
-		},
 		"oneshot": func(w *sim.World, i int) harness.Object {
 			o := la.NewOneShotAtomic(w.Runtime(i))
 			w.SetHandler(i, o)

@@ -7,16 +7,18 @@ import (
 	"strings"
 	"time"
 
+	"mpsnap/internal/engine"
 	"mpsnap/internal/svc"
 )
 
 // nodeConfig is the parsed and validated command line of one asonode
 // process.
 type nodeConfig struct {
-	ID          int
-	Addrs       []string
-	F           int
-	Alg         string
+	ID    int
+	Addrs []string
+	F     int
+	// Engine names the registered snapshot engine this node runs.
+	Engine      string
 	D           time.Duration
 	DialTimeout time.Duration
 	Clients     string
@@ -29,7 +31,7 @@ type nodeConfig struct {
 	TraceCap int
 	// WAL, if non-empty, persists the node's protocol state to this
 	// file; if the file already holds a durable prefix the node recovers
-	// from it and rejoins the cluster (eqaso and sso only).
+	// from it and rejoins the cluster (durable engines only).
 	WAL string
 	// GC prunes the in-memory value log below the globally-vouched
 	// checkpoint (requires WAL).
@@ -43,20 +45,21 @@ func (c nodeConfig) N() int { return len(c.Addrs) }
 // are written to out; validation errors are returned.
 func parseNodeConfig(args []string, out io.Writer) (nodeConfig, error) {
 	var cfg nodeConfig
-	var addrs string
+	var addrs, alg string
 	fs := flag.NewFlagSet("asonode", flag.ContinueOnError)
 	fs.SetOutput(out)
 	fs.IntVar(&cfg.ID, "id", 0, "this node's index into -addrs")
 	fs.StringVar(&addrs, "addrs", "", "comma-separated listen addresses of all nodes")
-	fs.IntVar(&cfg.F, "f", 0, "resilience bound (default: (n-1)/2, or (n-1)/3 for byzaso)")
-	fs.StringVar(&cfg.Alg, "alg", "eqaso", "algorithm: eqaso|byzaso|sso")
+	fs.IntVar(&cfg.F, "f", 0, "resilience bound (default: (n-1)/2, or (n-1)/3 for Byzantine engines)")
+	fs.StringVar(&cfg.Engine, "engine", "", "engine: "+engine.FlagHelp()+" (default eqaso)")
+	fs.StringVar(&alg, "alg", "", "deprecated alias for -engine")
 	fs.DurationVar(&cfg.D, "d", 10*time.Millisecond, "wall-clock duration treated as one D (reporting only)")
 	fs.DurationVar(&cfg.DialTimeout, "dial-timeout", 10*time.Second, "total per-peer connection budget at startup")
 	fs.StringVar(&cfg.Clients, "clients", "", "optional listen address for concurrent TCP client sessions")
 	fs.IntVar(&cfg.MaxPending, "max-pending", svc.DefaultMaxPending, "service queue bound (backpressure blocks past it)")
 	fs.StringVar(&cfg.HTTP, "http", "", "optional listen address for /metrics and /debug/trace")
 	fs.IntVar(&cfg.TraceCap, "trace-cap", 4096, "event capacity of the /debug/trace ring buffer")
-	fs.StringVar(&cfg.WAL, "wal", "", "write-ahead log file for crash-recovery; recovers and rejoins if it already has content (eqaso|sso)")
+	fs.StringVar(&cfg.WAL, "wal", "", "write-ahead log file for crash-recovery; recovers and rejoins if it already has content (durable engines)")
 	fs.BoolVar(&cfg.GC, "gc", false, "prune the value log below the globally-vouched checkpoint (requires -wal)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
@@ -67,26 +70,32 @@ func parseNodeConfig(args []string, out io.Writer) (nodeConfig, error) {
 	if len(cfg.Addrs) < 3 {
 		return cfg, fmt.Errorf("need -addrs with at least 3 comma-separated addresses")
 	}
-	switch cfg.Alg {
-	case "eqaso", "byzaso", "sso":
-	default:
-		return cfg, fmt.Errorf("unknown algorithm %q (want eqaso|byzaso|sso)", cfg.Alg)
+	// -engine wins over the deprecated -alg alias; both empty means eqaso.
+	if cfg.Engine == "" {
+		cfg.Engine = alg
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = "eqaso"
+	}
+	in, err := engine.Lookup(cfg.Engine)
+	if err != nil {
+		return cfg, err
 	}
 	if cfg.ID < 0 || cfg.ID >= cfg.N() {
 		return cfg, fmt.Errorf("-id %d out of range for %d addresses", cfg.ID, cfg.N())
 	}
 	if cfg.F == 0 {
-		if cfg.Alg == "byzaso" {
+		if in.Byzantine {
 			cfg.F = (cfg.N() - 1) / 3
 		} else {
 			cfg.F = (cfg.N() - 1) / 2
 		}
 	}
-	if cfg.F < 0 || cfg.N() <= 2*cfg.F {
-		return cfg, fmt.Errorf("need n > 2f, got n=%d f=%d", cfg.N(), cfg.F)
+	if cfg.F < 0 {
+		return cfg, fmt.Errorf("-f must be non-negative, got %d", cfg.F)
 	}
-	if cfg.Alg == "byzaso" && cfg.N() <= 3*cfg.F {
-		return cfg, fmt.Errorf("byzaso needs n > 3f, got n=%d f=%d", cfg.N(), cfg.F)
+	if err := in.Validate(cfg.N(), cfg.F); err != nil {
+		return cfg, err
 	}
 	if cfg.D <= 0 {
 		return cfg, fmt.Errorf("-d must be positive")
@@ -94,8 +103,8 @@ func parseNodeConfig(args []string, out io.Writer) (nodeConfig, error) {
 	if cfg.TraceCap <= 0 {
 		return cfg, fmt.Errorf("-trace-cap must be positive")
 	}
-	if cfg.WAL != "" && cfg.Alg == "byzaso" {
-		return cfg, fmt.Errorf("-wal needs a crash-recovery algorithm (eqaso or sso)")
+	if cfg.WAL != "" && !in.Durable() {
+		return cfg, fmt.Errorf("-wal needs a crash-recovery engine, and %q has no WAL support", cfg.Engine)
 	}
 	if cfg.GC && cfg.WAL == "" {
 		return cfg, fmt.Errorf("-gc requires -wal (pruning is only safe below a durable checkpoint)")

@@ -26,8 +26,8 @@ func TestParseNodeConfig(t *testing.T) {
 				if c.N() != 5 || c.F != 2 {
 					t.Errorf("n=%d f=%d, want 5/2", c.N(), c.F)
 				}
-				if c.Alg != "eqaso" || c.D != 10*time.Millisecond {
-					t.Errorf("alg=%q d=%v", c.Alg, c.D)
+				if c.Engine != "eqaso" || c.D != 10*time.Millisecond {
+					t.Errorf("engine=%q d=%v", c.Engine, c.D)
 				}
 				if c.HTTP != "" || c.TraceCap != 4096 {
 					t.Errorf("http=%q traceCap=%d", c.HTTP, c.TraceCap)
@@ -35,11 +35,29 @@ func TestParseNodeConfig(t *testing.T) {
 			},
 		},
 		{
-			name: "byzaso default f",
+			name: "byzaso default f via alg alias",
 			args: []string{addrs, "-addrs=:1,:2,:3,:4,:5,:6,:7", "-alg", "byzaso"},
 			check: func(t *testing.T, c nodeConfig) {
-				if c.F != 2 {
-					t.Errorf("byzaso f=%d, want (7-1)/3=2", c.F)
+				if c.Engine != "byzaso" || c.F != 2 {
+					t.Errorf("engine=%q f=%d, want byzaso/(7-1)/3=2", c.Engine, c.F)
+				}
+			},
+		},
+		{
+			name: "engine flag selects any registered engine",
+			args: []string{addrs, "-engine", "fastsnap"},
+			check: func(t *testing.T, c nodeConfig) {
+				if c.Engine != "fastsnap" || c.F != 2 {
+					t.Errorf("engine=%q f=%d, want fastsnap/2", c.Engine, c.F)
+				}
+			},
+		},
+		{
+			name: "engine wins over the alg alias",
+			args: []string{addrs, "-engine", "acr", "-alg", "sso"},
+			check: func(t *testing.T, c nodeConfig) {
+				if c.Engine != "acr" {
+					t.Errorf("engine=%q, want acr (-engine beats -alg)", c.Engine)
 				}
 			},
 		},
@@ -54,10 +72,12 @@ func TestParseNodeConfig(t *testing.T) {
 		},
 		{name: "no addrs", args: nil, wantErr: "at least 3"},
 		{name: "two addrs", args: []string{"-addrs=:1,:2"}, wantErr: "at least 3"},
-		{name: "bad alg", args: []string{addrs, "-alg", "paxos"}, wantErr: "unknown algorithm"},
+		{name: "bad alg", args: []string{addrs, "-alg", "paxos"}, wantErr: "unknown engine"},
+		{name: "bad engine", args: []string{addrs, "-engine", "raft"}, wantErr: "unknown engine"},
 		{name: "id out of range", args: []string{addrs, "-id", "5"}, wantErr: "out of range"},
 		{name: "f too big", args: []string{addrs, "-f", "2", "-addrs=:1,:2,:3"}, wantErr: "n > 2f"},
 		{name: "byzaso f too big", args: []string{addrs, "-alg", "byzaso", "-f", "2"}, wantErr: "n > 3f"},
+		{name: "wal needs durability", args: []string{addrs, "-engine", "fastsnap", "-wal", "x.wal"}, wantErr: "no WAL support"},
 		{name: "bad trace cap", args: []string{addrs, "-trace-cap", "0"}, wantErr: "-trace-cap"},
 		{name: "bad flag", args: []string{"-nope"}, wantErr: "flag provided but not defined"},
 	}

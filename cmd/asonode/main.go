@@ -40,11 +40,10 @@ import (
 	"strings"
 	"time"
 
-	"mpsnap/internal/byzaso"
-	"mpsnap/internal/eqaso"
+	"mpsnap/internal/engine"
+	_ "mpsnap/internal/engine/all"
 	"mpsnap/internal/obs"
 	"mpsnap/internal/rt"
-	"mpsnap/internal/sso"
 	"mpsnap/internal/svc"
 	"mpsnap/internal/transport"
 	"mpsnap/internal/wal"
@@ -113,55 +112,35 @@ func main() {
 		walW = wal.NewWriter(f, walBatch)
 	}
 
-	var obj svc.Object
-	var handler rt.Handler
+	// Registry construction: the capability interfaces replace the old
+	// per-algorithm switch. Config validation already guaranteed -wal is
+	// only set for durable engines.
+	in := engine.MustLookup(cfg.Engine)
+	var nd engine.Engine
 	var rejoin func()
-	switch cfg.Alg {
-	case "eqaso":
-		var nd *eqaso.Node
-		if walSt != nil {
-			nd = eqaso.Recover(tn.Runtime(), walSt, walW, cfg.GC)
-			rejoin = nd.Rejoin
-		} else {
-			nd = eqaso.New(tn.Runtime())
-			if walW != nil {
-				nd.AttachWAL(walW, cfg.GC)
-			}
+	if walSt != nil {
+		nd = in.Recover(tn.Runtime(), walSt, walW, cfg.GC)
+		rejoin = nd.(engine.Rejoiner).Rejoin
+	} else {
+		nd = in.New(tn.Runtime())
+		if walW != nil {
+			nd.(engine.Durable).AttachWAL(walW, cfg.GC)
 		}
-		if observer != nil {
-			nd.SetObserver(observer)
-		}
-		obj, handler = nd, nd
-	case "byzaso":
-		nd := byzaso.New(tn.Runtime())
-		if observer != nil {
-			nd.SetObserver(observer)
-		}
-		obj, handler = nd, nd
-	case "sso":
-		var nd *sso.Node
-		if walSt != nil {
-			nd = sso.Recover(tn.Runtime(), walSt, walW, cfg.GC)
-			rejoin = nd.Rejoin
-		} else {
-			nd = sso.New(tn.Runtime())
-			if walW != nil {
-				nd.AttachWAL(walW, cfg.GC)
-			}
-		}
-		if observer != nil {
-			nd.SetObserver(observer)
-		}
-		obj, handler = nd, nd
 	}
-	tn.SetHandler(handler)
+	if observer != nil {
+		if o, ok := nd.(engine.Observable); ok {
+			o.SetObserver(observer)
+		}
+	}
+	var obj svc.Object = nd
+	tn.SetHandler(nd)
 	if rejoin != nil {
 		rejoin()
 		fmt.Println("wal: rejoined the cluster from the recovered checkpoint")
 	}
 
 	service := svc.New(tn.Runtime(), obj, svc.Options{
-		Mode:       svc.ModeFor(cfg.Alg),
+		Mode:       svc.ModeFor(cfg.Engine),
 		MaxPending: cfg.MaxPending,
 		Observer:   observer,
 	})
@@ -193,7 +172,7 @@ func main() {
 	}
 
 	fmt.Printf("node %d/%d up (%s, f=%d, service mode %s); commands: update <value> | scan | stats | quit\n",
-		cfg.ID, cfg.N(), cfg.Alg, cfg.F, svc.ModeFor(cfg.Alg))
+		cfg.ID, cfg.N(), cfg.Engine, cfg.F, svc.ModeFor(cfg.Engine))
 	session(os.Stdin, os.Stdout, service, true)
 }
 

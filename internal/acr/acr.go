@@ -1,0 +1,412 @@
+// Package acr implements an atomic snapshot object with amortized
+// constant-round scans, in the style of the constructions of
+// "Amortized Constant Round Atomic Snapshot in Message-Passing Systems"
+// (arXiv 2008.11837).
+//
+// Servers hold one register per writer — the writer's latest (seq,
+// payload) pair, merged componentwise by maximum sequence number — plus a
+// *committed cache*: the componentwise maximum of every committed
+// snapshot vector they have seen. Committed vectors are folded into the
+// registers before the cache, so the cache is always covered by the
+// register vector on the same server.
+//
+// UPDATE replicates the writer's new register state to a quorum of n−f
+// servers (one round). SCAN broadcasts a collect; each reply carries the
+// server's register vector and its committed cache. Let M be the merge of
+// the reply vectors and C the componentwise maximum of the reply caches.
+// If C == M (by sequence numbers), the scanner returns C in one round:
+// C is a committed vector — unanimously quorum-held when it was first
+// returned — and it covers M, which covers every update completed before
+// the scan started (quorum intersection). This is the amortized fast
+// path: once any scan commits a vector covering the current registers,
+// every subsequent scan with no concurrent updates is one round.
+//
+// Otherwise the scanner enters the propose loop: broadcast PROPOSE(M);
+// receivers merge M into their registers and reply with their full
+// vectors. If a quorum of replies is identical, that vector is announced
+// with a fire-and-forget COMMIT — refreshing the caches — and returned;
+// it is then unanimously quorum-held, so any two returned vectors are
+// comparable (quorum intersection plus register monotonicity) and scans
+// are totally ordered. If not, the scanner merges the replies and
+// proposes again. A proposer that sees its own committed cache grow to
+// cover M0 — the merge of its first collect — adopts that committed
+// vector and finishes: the adopted vector contains every update completed
+// before the scan started and is comparable with every returned vector.
+//
+// Fidelity note: this is a documented reconstruction of the paper's
+// amortization idea (cache the last committed snapshot; scans pay the
+// multi-round synchronization only when the cache is stale) on this
+// repository's runtime model, not a transcription of its pseudocode.
+// Validated against the (A1)-(A4) linearizability checker under fuzzed
+// schedules and chaos fault mixes.
+package acr
+
+import (
+	"mpsnap/internal/engine"
+	"mpsnap/internal/rt"
+)
+
+// Entry is one writer's register: the latest sequence number and payload.
+// Seq 0 with nil Val is the initial ⊥.
+type Entry struct {
+	Seq int64
+	Val []byte
+}
+
+// Stats counts operations and scan paths taken.
+type Stats struct {
+	Updates      int64
+	Scans        int64
+	FastScans    int64 // one-round scans: committed cache covered the collect
+	SlowScans    int64 // scans that needed propose rounds
+	AdoptedScans int64 // slow scans finished by adopting a committed vector
+	Rounds       int64 // total collect + propose rounds across scans
+}
+
+// Node is one acr node: the server registers and committed cache plus the
+// client operations. One server thread (HandleMessage) and one client
+// thread (Update/Scan), per the rt contract.
+type Node struct {
+	rtm    rt.Runtime
+	id     int
+	n      int
+	quorum int
+
+	// Server state, touched by the handler and under rtm.Atomic only.
+	regs      []Entry // per-writer maxima
+	committed []Entry // componentwise max of all committed vectors seen
+	acks      map[int64]int
+	colls     map[int64]*collectState
+
+	mySeq   int64 // this node's own sequence counter (client thread, under Atomic)
+	nextReq int64
+	stats   Stats
+
+	// Operation instrumentation; owned by the client thread.
+	obs   rt.Observer
+	opSeq int64
+	curOp opCtx
+}
+
+func init() {
+	engine.Register(engine.Info{
+		Name: "acr",
+		Doc:  "amortized constant-round scans via a committed-snapshot cache (arXiv 2008.11837)",
+		New:  func(r rt.Runtime) engine.Engine { return New(r) },
+	})
+}
+
+// New creates an acr node on a runtime; install it as the node's message
+// handler before operating on it.
+func New(r rt.Runtime) *Node {
+	n := r.N()
+	return &Node{
+		rtm:       r,
+		id:        r.ID(),
+		n:         n,
+		quorum:    n - r.F(),
+		regs:      make([]Entry, n),
+		committed: make([]Entry, n),
+		acks:      make(map[int64]int),
+		colls:     make(map[int64]*collectState),
+	}
+}
+
+// Stats returns a snapshot of the node's counters.
+func (nd *Node) Stats() Stats {
+	var st Stats
+	nd.rtm.Atomic(func() { st = nd.stats })
+	return st
+}
+
+// collectState accumulates one collect or propose round's replies.
+type collectState struct {
+	count   int
+	uniform bool    // all replies so far carry identical seq vectors
+	first   []Entry // the first reply — the unanimity candidate
+	merge   []Entry // componentwise max of all reply vectors
+	com     []Entry // componentwise max of all reply committed caches
+	adopted []Entry // set at capture time when the round ends by adoption
+}
+
+func cloneVec(vec []Entry) []Entry { return append([]Entry(nil), vec...) }
+
+// sameSeqs reports componentwise sequence equality (payloads are
+// determined by (writer, seq): a writer never reuses a sequence number).
+func sameSeqs(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq {
+			return false
+		}
+	}
+	return true
+}
+
+// covers reports a ⊇ b componentwise.
+func covers(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Seq < b[i].Seq {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeInto folds src into dst componentwise by maximum seq.
+func (nd *Node) mergeInto(dst []Entry, src []Entry) {
+	for i := 0; i < len(src) && i < len(dst); i++ {
+		if src[i].Seq > dst[i].Seq {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// HandleMessage implements rt.Handler (server thread; the runtime
+// serializes it with Atomic sections).
+func (nd *Node) HandleMessage(src int, m rt.Message) {
+	switch msg := m.(type) {
+	case MsgWrite:
+		if src >= 0 && src < nd.n && msg.Seq > nd.regs[src].Seq {
+			nd.regs[src] = Entry{Seq: msg.Seq, Val: msg.Val}
+		}
+		nd.rtm.Send(src, MsgWriteAck{ReqID: msg.ReqID})
+	case MsgWriteAck:
+		if _, ok := nd.acks[msg.ReqID]; ok {
+			nd.acks[msg.ReqID]++
+		}
+	case MsgCollect:
+		nd.rtm.Send(src, MsgCollectAck{
+			ReqID: msg.ReqID, Vec: cloneVec(nd.regs), Com: cloneVec(nd.committed),
+		})
+	case MsgPropose:
+		nd.mergeInto(nd.regs, msg.Vec)
+		nd.rtm.Send(src, MsgProposeAck{ReqID: msg.ReqID, Vec: cloneVec(nd.regs)})
+	case MsgCollectAck:
+		st, ok := nd.colls[msg.ReqID]
+		if !ok || len(msg.Vec) != nd.n || len(msg.Com) != nd.n {
+			return
+		}
+		nd.capture(st, msg.Vec)
+		nd.mergeInto(st.com, msg.Com)
+		// Spread commit knowledge: reply caches refresh this node's too.
+		nd.mergeInto(nd.regs, msg.Com)
+		nd.mergeInto(nd.committed, msg.Com)
+	case MsgProposeAck:
+		st, ok := nd.colls[msg.ReqID]
+		if !ok || len(msg.Vec) != nd.n {
+			return
+		}
+		nd.capture(st, msg.Vec)
+	case MsgCommit:
+		if len(msg.Vec) != nd.n {
+			return
+		}
+		// Registers first: the cache must stay covered by the registers.
+		nd.mergeInto(nd.regs, msg.Vec)
+		nd.mergeInto(nd.committed, msg.Vec)
+	}
+}
+
+// capture folds one reply vector into a round's accumulated state.
+func (nd *Node) capture(st *collectState, vec []Entry) {
+	if st.count == 0 {
+		st.first = cloneVec(vec)
+		st.merge = cloneVec(vec)
+		st.uniform = true
+	} else {
+		if !sameSeqs(vec, st.first) {
+			st.uniform = false
+		}
+		nd.mergeInto(st.merge, vec)
+	}
+	st.count++
+}
+
+// Update writes payload into this node's own segment: one write round to
+// a quorum.
+func (nd *Node) Update(payload []byte) error {
+	return nd.UpdateBatch([][]byte{payload})
+}
+
+// UpdateBatch folds a batch of this node's payloads into one write round.
+// Only the last payload is replicated: the earlier ones are superseded
+// within the batch, so no scan can return them — they linearize
+// consecutively right before the final write, exactly as consecutive
+// single updates whose values were overwritten before any scan.
+func (nd *Node) UpdateBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	if nd.rtm.Crashed() {
+		return rt.ErrCrashed
+	}
+	c := nd.opStart("update")
+	err := nd.write(payloads[len(payloads)-1])
+	nd.opEnd(c, err)
+	return err
+}
+
+func (nd *Node) write(payload []byte) error {
+	var req, seq int64
+	nd.rtm.Atomic(func() {
+		nd.mySeq++
+		seq = nd.mySeq
+		nd.nextReq++
+		req = nd.nextReq
+		nd.acks[req] = 0
+		nd.stats.Updates++
+	})
+	nd.rtm.Broadcast(MsgWrite{ReqID: req, Seq: seq, Val: payload})
+	return nd.rtm.WaitUntilThen("acr write quorum",
+		func() bool { return nd.acks[req] >= nd.quorum },
+		func() { delete(nd.acks, req) })
+}
+
+// Scan returns an atomic snapshot of all n segments. Fast path: one
+// collect round whose committed caches cover its register merge. Slow
+// path: propose rounds until unanimity (then commit), or adoption of a
+// committed vector covering the first collect's merge.
+func (nd *Node) Scan() ([][]byte, error) {
+	if nd.rtm.Crashed() {
+		return nil, rt.ErrCrashed
+	}
+	c := nd.opStart("scan")
+	vec, err := nd.scan()
+	nd.opEnd(c, err)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, nd.n)
+	for i, e := range vec {
+		if e.Seq > 0 {
+			out[i] = e.Val
+		}
+	}
+	return out, nil
+}
+
+func (nd *Node) scan() ([]Entry, error) {
+	nd.rtm.Atomic(func() { nd.stats.Scans++ })
+	nd.phase("collect")
+	st, err := nd.round(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if sameSeqs(st.com, st.merge) {
+		// The largest committed vector already covers every register the
+		// collect saw: return it in one round.
+		nd.rtm.Atomic(func() { nd.stats.FastScans++; nd.stats.Rounds++ })
+		return st.com, nil
+	}
+	// Slow path. m0 — the merge of the first collect — contains every
+	// update that completed before this scan started; any committed
+	// vector covering it is an admissible result.
+	m0 := st.merge
+	cur := st.merge
+	rounds := int64(1)
+	for {
+		nd.phase("propose")
+		rounds++
+		st, err = nd.round(cur, m0)
+		if err != nil {
+			return nil, err
+		}
+		if st.adopted != nil {
+			nd.rtm.Atomic(func() { nd.stats.AdoptedScans++; nd.stats.SlowScans++; nd.stats.Rounds += rounds })
+			return st.adopted, nil
+		}
+		if st.uniform {
+			nd.rtm.Atomic(func() { nd.stats.SlowScans++; nd.stats.Rounds += rounds })
+			nd.rtm.Broadcast(MsgCommit{Vec: st.first})
+			return st.first, nil
+		}
+		cur = st.merge
+	}
+}
+
+// round runs one collect (propose == nil) or propose round and captures
+// its replies. With want set, the wait also completes as soon as the
+// node's committed cache covers want (adoption).
+func (nd *Node) round(propose, want []Entry) (*collectState, error) {
+	var req int64
+	var st *collectState
+	nd.rtm.Atomic(func() {
+		nd.nextReq++
+		req = nd.nextReq
+		st = &collectState{com: make([]Entry, nd.n)}
+		nd.colls[req] = st
+	})
+	if propose == nil {
+		nd.rtm.Broadcast(MsgCollect{ReqID: req})
+	} else {
+		nd.rtm.Broadcast(MsgPropose{ReqID: req, Vec: propose})
+	}
+	var out collectState
+	err := nd.rtm.WaitUntilThen("acr collect quorum",
+		func() bool {
+			if st.count >= nd.quorum {
+				return true
+			}
+			return want != nil && covers(nd.committed, want)
+		},
+		func() {
+			if want != nil && covers(nd.committed, want) && !(st.count >= nd.quorum && st.uniform) {
+				out.adopted = cloneVec(nd.committed)
+			} else {
+				out = *st
+			}
+			delete(nd.colls, req)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Operation instrumentation (same shape as eqaso's: one client thread, so
+// the current-op fields need no synchronization).
+
+type opCtx struct {
+	id    int64
+	op    string
+	start rt.Ticks
+}
+
+// SetObserver installs an operation observer. Events emitted: "update"
+// and "scan" lifecycles with phases "collect" and "propose" in between.
+func (nd *Node) SetObserver(o rt.Observer) { nd.obs = o }
+
+func (nd *Node) opStart(op string) opCtx {
+	nd.opSeq++
+	c := opCtx{id: nd.opSeq, op: op, start: nd.rtm.Now()}
+	nd.curOp = c
+	if nd.obs != nil {
+		nd.obs.OnOp(rt.OpEvent{T: c.start, Node: nd.id, ID: c.id, Op: c.op, Phase: rt.PhaseStart})
+	}
+	return c
+}
+
+func (nd *Node) phase(name string) {
+	if nd.obs == nil || nd.curOp.op == "" {
+		return
+	}
+	nd.obs.OnOp(rt.OpEvent{T: nd.rtm.Now(), Node: nd.id, ID: nd.curOp.id, Op: nd.curOp.op, Phase: name})
+}
+
+func (nd *Node) opEnd(c opCtx, err error) {
+	nd.curOp = opCtx{}
+	if nd.obs == nil {
+		return
+	}
+	now := nd.rtm.Now()
+	nd.obs.OnOp(rt.OpEvent{
+		T: now, Node: nd.id, ID: c.id, Op: c.op,
+		Phase: rt.PhaseEnd, Dur: now - c.start, Err: err != nil,
+	})
+}

@@ -1,0 +1,186 @@
+package acr
+
+import (
+	"math/rand"
+
+	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
+)
+
+// MsgWrite replicates the writer's latest register state (its new
+// sequence number and payload) to all servers.
+type MsgWrite struct {
+	ReqID int64
+	Seq   int64
+	Val   []byte
+}
+
+// Kind implements rt.Message.
+func (MsgWrite) Kind() string { return "acrWrite" }
+
+// MsgWriteAck acknowledges a MsgWrite.
+type MsgWriteAck struct{ ReqID int64 }
+
+// Kind implements rt.Message.
+func (MsgWriteAck) Kind() string { return "acrWriteAck" }
+
+// MsgCollect asks for the receiver's register vector and its largest
+// known committed vector.
+type MsgCollect struct{ ReqID int64 }
+
+// Kind implements rt.Message.
+func (MsgCollect) Kind() string { return "acrCollect" }
+
+// MsgCollectAck returns the receiver's register vector plus its largest
+// known committed vector (the amortization cache).
+type MsgCollectAck struct {
+	ReqID int64
+	Vec   []Entry
+	Com   []Entry
+}
+
+// Kind implements rt.Message.
+func (MsgCollectAck) Kind() string { return "acrCollectAck" }
+
+// MsgPropose pushes a slow-path scanner's merged vector; each receiver
+// merges it into its registers and replies with its full vector.
+type MsgPropose struct {
+	ReqID int64
+	Vec   []Entry
+}
+
+// Kind implements rt.Message.
+func (MsgPropose) Kind() string { return "acrPropose" }
+
+// MsgProposeAck returns the receiver's full register vector after the
+// propose merge.
+type MsgProposeAck struct {
+	ReqID int64
+	Vec   []Entry
+}
+
+// Kind implements rt.Message.
+func (MsgProposeAck) Kind() string { return "acrProposeAck" }
+
+// MsgCommit announces a returned (unanimously quorum-held) snapshot
+// vector, fire-and-forget: receivers fold it into their registers and
+// their committed cache, making the next contention-free scan one round.
+type MsgCommit struct{ Vec []Entry }
+
+// Kind implements rt.Message.
+func (MsgCommit) Kind() string { return "acrCommit" }
+
+func putVec(b *wire.Buffer, vec []Entry) {
+	b.PutUvarint(uint64(len(vec)))
+	for _, e := range vec {
+		b.PutVarint(e.Seq)
+		b.PutBytes(e.Val)
+	}
+}
+
+func getVec(d *wire.Decoder) []Entry {
+	// A serialized entry is at least 2 bytes (seq, val length).
+	n := d.Count(2)
+	if n == 0 {
+		return nil
+	}
+	vec := make([]Entry, n)
+	for i := range vec {
+		vec[i] = Entry{Seq: d.Varint(), Val: d.Bytes()}
+	}
+	return vec
+}
+
+func genVec(rng *rand.Rand) []Entry {
+	n := rng.Intn(5)
+	if n == 0 {
+		return nil
+	}
+	vec := make([]Entry, n)
+	for i := range vec {
+		vec[i] = Entry{Seq: rng.Int63n(1 << 30), Val: wire.GenPayload(rng)}
+	}
+	return vec
+}
+
+// Wire tags 128–143 (see ALGORITHMS.md, wire-tag tables).
+func init() {
+	wire.Register(wire.Codec{
+		Tag: 128, Proto: MsgWrite{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgWrite)
+			b.PutVarint(msg.ReqID)
+			b.PutVarint(msg.Seq)
+			b.PutBytes(msg.Val)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgWrite{ReqID: d.Varint(), Seq: d.Varint(), Val: d.Bytes()}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgWrite{ReqID: rng.Int63(), Seq: rng.Int63n(1 << 30), Val: wire.GenPayload(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 129, Proto: MsgWriteAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(MsgWriteAck).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgWriteAck{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgWriteAck{ReqID: rng.Int63()} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 130, Proto: MsgCollect{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(MsgCollect).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgCollect{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgCollect{ReqID: rng.Int63()} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 131, Proto: MsgCollectAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgCollectAck)
+			b.PutVarint(msg.ReqID)
+			putVec(b, msg.Vec)
+			putVec(b, msg.Com)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgCollectAck{ReqID: d.Varint(), Vec: getVec(d), Com: getVec(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgCollectAck{ReqID: rng.Int63(), Vec: genVec(rng), Com: genVec(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 132, Proto: MsgPropose{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgPropose)
+			b.PutVarint(msg.ReqID)
+			putVec(b, msg.Vec)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgPropose{ReqID: d.Varint(), Vec: getVec(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgPropose{ReqID: rng.Int63(), Vec: genVec(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 133, Proto: MsgProposeAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgProposeAck)
+			b.PutVarint(msg.ReqID)
+			putVec(b, msg.Vec)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgProposeAck{ReqID: d.Varint(), Vec: getVec(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgProposeAck{ReqID: rng.Int63(), Vec: genVec(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 134, Proto: MsgCommit{},
+		Encode: func(b *wire.Buffer, m rt.Message) { putVec(b, m.(MsgCommit).Vec) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgCommit{Vec: getVec(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message { return MsgCommit{Vec: genVec(rng)} },
+	})
+}

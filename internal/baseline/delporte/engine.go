@@ -1,0 +1,15 @@
+package delporte
+
+import (
+	"mpsnap/internal/engine"
+	"mpsnap/internal/rt"
+)
+
+func init() {
+	engine.Register(engine.Info{
+		Name:     "delporte",
+		Doc:      "Table I baseline: direct ABD-quorum snapshot (O(D) update, double-collect scan)",
+		Baseline: true,
+		New:      func(r rt.Runtime) engine.Engine { return New(r) },
+	})
+}

@@ -1,0 +1,15 @@
+package laaso
+
+import (
+	"mpsnap/internal/engine"
+	"mpsnap/internal/rt"
+)
+
+func init() {
+	engine.Register(engine.Info{
+		Name:     "laaso",
+		Doc:      "Table I baseline: lattice-agreement-transform atomic snapshot",
+		Baseline: true,
+		New:      func(r rt.Runtime) engine.Engine { return New(r) },
+	})
+}

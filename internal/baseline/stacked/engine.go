@@ -1,0 +1,15 @@
+package stacked
+
+import (
+	"mpsnap/internal/engine"
+	"mpsnap/internal/rt"
+)
+
+func init() {
+	engine.Register(engine.Info{
+		Name:     "stacked",
+		Doc:      "Table I baseline: shared-memory snapshot stacked over emulated ABD registers",
+		Baseline: true,
+		New:      func(r rt.Runtime) engine.Engine { return New(r) },
+	})
+}

@@ -1,0 +1,15 @@
+package storecollect
+
+import (
+	"mpsnap/internal/engine"
+	"mpsnap/internal/rt"
+)
+
+func init() {
+	engine.Register(engine.Info{
+		Name:     "storecollect",
+		Doc:      "Table I baseline: store-collect object",
+		Baseline: true,
+		New:      func(r rt.Runtime) engine.Engine { return New(r) },
+	})
+}

@@ -12,19 +12,16 @@ import (
 	"fmt"
 	"math/rand"
 
-	"mpsnap/internal/baseline/delporte"
 	"mpsnap/internal/baseline/laaso"
-	"mpsnap/internal/baseline/stacked"
-	"mpsnap/internal/baseline/storecollect"
-	"mpsnap/internal/byzaso"
+	"mpsnap/internal/engine"
+	_ "mpsnap/internal/engine/all" // register every snapshot engine
 	"mpsnap/internal/eqaso"
 	"mpsnap/internal/harness"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
-	"mpsnap/internal/sso"
 )
 
-// Algo names the algorithms the harness can run.
+// Algo names the engines the harness can run (registry names).
 type Algo string
 
 // Algorithms.
@@ -36,6 +33,8 @@ const (
 	StoreCollect Algo = "storecollect"
 	Stacked      Algo = "stacked"
 	LAASO        Algo = "laaso"
+	ACR          Algo = "acr"
+	Fastsnap     Algo = "fastsnap"
 )
 
 // TableAlgos is the Table I row order.
@@ -43,32 +42,13 @@ func TableAlgos() []Algo {
 	return []Algo{Delporte, StoreCollect, Stacked, LAASO, ByzASO, EQASO, SSOFast}
 }
 
-// make1 builds one node of the algorithm.
+// make1 builds one node of the engine via the registry.
 func make1(a Algo, r rt.Runtime) (rt.Handler, harness.Object) {
-	switch a {
-	case EQASO:
-		nd := eqaso.New(r)
-		return nd, nd
-	case ByzASO:
-		nd := byzaso.New(r)
-		return nd, nd
-	case SSOFast:
-		nd := sso.New(r)
-		return nd, nd
-	case Delporte:
-		nd := delporte.New(r)
-		return nd, nd
-	case StoreCollect:
-		nd := storecollect.New(r)
-		return nd, nd
-	case Stacked:
-		nd := stacked.New(r)
-		return nd, nd
-	case LAASO:
-		nd := laaso.New(r)
-		return nd, nd
+	e, err := engine.New(string(a), r)
+	if err != nil {
+		panic("bench: " + err.Error())
 	}
-	panic("bench: unknown algorithm " + a)
+	return e, e
 }
 
 // Faults selects the fault injection of a run.
@@ -229,7 +209,7 @@ func Run(cfg Config) (Result, error) {
 	res.MeanAll = st.MeanAll
 	res.P50, res.P99 = st.P50All, st.P99All
 	if cfg.Check {
-		if cfg.Algo == SSOFast {
+		if engine.MustLookup(string(cfg.Algo)).Sequential {
 			res.CheckPassed = h.CheckSequentiallyConsistent().OK
 		} else {
 			res.CheckPassed = h.CheckLinearizable().OK

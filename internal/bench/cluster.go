@@ -7,7 +7,7 @@ import (
 	"text/tabwriter"
 
 	"mpsnap/internal/cluster"
-	"mpsnap/internal/eqaso"
+	"mpsnap/internal/engine"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
 	"mpsnap/internal/svc"
@@ -93,7 +93,7 @@ func baselineSvcScan(n, f, keys, scans int, seed int64) (float64, error) {
 	w := sim.New(sim.Config{N: n, F: f, Seed: seed})
 	services := make([]*svc.Service, n)
 	for i := 0; i < n; i++ {
-		nd := eqaso.New(w.Runtime(i))
+		nd := engine.MustLookup("eqaso").New(w.Runtime(i))
 		w.SetHandler(i, nd)
 		s := svc.New(w.Runtime(i), nd, svc.Options{})
 		services[i] = s
@@ -152,7 +152,7 @@ func clusterScanPoint(shards, n, f, keysPerShard, scans int, seed int64) (Cluste
 			Map:    m,
 			Health: health,
 			NewEngine: func(shard int, r rt.Runtime) (rt.Handler, svc.Object) {
-				e := eqaso.New(r)
+				e := engine.MustLookup("eqaso").New(r)
 				return e, e
 			},
 		})

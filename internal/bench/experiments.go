@@ -7,7 +7,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"mpsnap/internal/byzaso"
+	"mpsnap/internal/engine"
 	"mpsnap/internal/harness"
 	"mpsnap/internal/la"
 	"mpsnap/internal/rbc"
@@ -265,9 +265,9 @@ func Byzantine(fs []int, opsPerNode int, seed int64) (string, error) {
 func byzRatchetProbe(f, steps int, seed int64) (float64, error) {
 	n := 3*f + 1
 	w := sim.New(sim.Config{N: n, F: f, Seed: seed, Delay: sim.Constant{Ticks: rt.TicksPerD}})
-	nodes := make([]*byzaso.Node, n)
+	nodes := make([]engine.Engine, n)
 	for i := 0; i < n; i++ {
-		nodes[i] = byzaso.New(w.Runtime(i))
+		nodes[i] = engine.MustLookup("byzaso").New(w.Runtime(i))
 		w.SetHandler(i, nodes[i])
 	}
 	// Byzantine ratchet: raw RBC instances announcing growing tags.

@@ -1,0 +1,16 @@
+package byzaso
+
+import (
+	"mpsnap/internal/engine"
+	"mpsnap/internal/rt"
+)
+
+// The Byzantine ASO registers as a linearizable engine requiring n > 3f.
+func init() {
+	engine.Register(engine.Info{
+		Name:      "byzaso",
+		Doc:       "Byzantine-tolerant atomic snapshot with Bracha reliable broadcast (n > 3f)",
+		Byzantine: true,
+		New:       func(r rt.Runtime) engine.Engine { return New(r) },
+	})
+}

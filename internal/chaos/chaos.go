@@ -3,12 +3,11 @@ package chaos
 import (
 	"fmt"
 
-	"mpsnap/internal/byzaso"
-	"mpsnap/internal/eqaso"
+	"mpsnap/internal/engine"
+	_ "mpsnap/internal/engine/all" // register every snapshot engine
 	"mpsnap/internal/history"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
-	"mpsnap/internal/sso"
 	"mpsnap/internal/wal"
 )
 
@@ -20,10 +19,12 @@ type object interface {
 
 // Config parameterizes one chaos run.
 type Config struct {
-	// N nodes with resilience bound F (n > 2f; n > 3f for byzaso).
+	// N nodes with resilience bound F (n > 2f; n > 3f for Byzantine
+	// engines).
 	N, F int
-	// Alg selects the object: "eqaso" (default), "byzaso", or "sso".
-	Alg string
+	// Engine selects the snapshot engine by registry name ("eqaso",
+	// "byzaso", "sso", "acr", "fastsnap", ...; default "eqaso").
+	Engine string
 	// Seed drives schedule generation, fault randomness, and the
 	// workload. On the sim backend the entire run is a deterministic
 	// function of the seed.
@@ -64,12 +65,20 @@ type Config struct {
 	// so the dump-on-failure plumbing needs a forced failure to be
 	// testable.
 	forceCheckFail bool
+
+	// info is the resolved registry entry, filled by normalize.
+	info engine.Info
 }
 
 func (cfg *Config) normalize() error {
-	if cfg.Alg == "" {
-		cfg.Alg = "eqaso"
+	if cfg.Engine == "" {
+		cfg.Engine = "eqaso"
 	}
+	in, err := engine.Lookup(cfg.Engine)
+	if err != nil {
+		return fmt.Errorf("chaos: %w", err)
+	}
+	cfg.info = in
 	if cfg.Mix == (Mix{}) {
 		cfg.Mix = DefaultMix()
 	}
@@ -91,77 +100,56 @@ func (cfg *Config) normalize() error {
 	if cfg.Duration <= 0 {
 		return fmt.Errorf("chaos: Duration must be positive")
 	}
-	if cfg.N <= 0 || cfg.N <= 2*cfg.F {
-		return fmt.Errorf("chaos: need n > 2f, got n=%d f=%d", cfg.N, cfg.F)
-	}
-	if cfg.Alg == "byzaso" && cfg.N <= 3*cfg.F {
-		return fmt.Errorf("chaos: byzaso needs n > 3f, got n=%d f=%d", cfg.N, cfg.F)
+	if err := in.Validate(cfg.N, cfg.F); err != nil {
+		return fmt.Errorf("chaos: %w", err)
 	}
 	if cfg.Mix.Restarts > 0 {
-		if cfg.Alg == "byzaso" {
-			return fmt.Errorf("chaos: restarts need a WAL-capable algorithm (eqaso or sso), not %q", cfg.Alg)
+		if !in.Durable() {
+			return fmt.Errorf("chaos: restarts need a WAL-capable engine (%s), not %q", durableNames(), cfg.Engine)
 		}
 		if cfg.Service {
 			return fmt.Errorf("chaos: restarts drive direct clients; Service mode is not supported")
 		}
 	}
-	if _, err := checkerFor(cfg.Alg); err != nil {
-		return err
-	}
 	return nil
 }
 
-// newNode constructs the algorithm node for one runtime.
-func newNode(alg string, r rt.Runtime) (rt.Handler, object, error) {
-	switch alg {
-	case "eqaso":
-		nd := eqaso.New(r)
-		return nd, nd, nil
-	case "byzaso":
-		nd := byzaso.New(r)
-		return nd, nd, nil
-	case "sso":
-		nd := sso.New(r)
-		return nd, nd, nil
+// durableNames lists the registered engines that can recover from a WAL.
+func durableNames() string {
+	out := ""
+	for _, name := range engine.Names() {
+		if engine.MustLookup(name).Durable() {
+			if out != "" {
+				out += " or "
+			}
+			out += name
+		}
 	}
-	return nil, nil, fmt.Errorf("chaos: unknown algorithm %q (want eqaso|byzaso|sso)", alg)
+	return out
 }
 
-// walAttacher is implemented by nodes that can persist to a write-ahead
-// log (eqaso and sso).
-type walAttacher interface {
-	AttachWAL(*wal.Writer, bool)
+// newNode constructs the engine node for one runtime.
+func (cfg *Config) newNode(r rt.Runtime) (rt.Handler, object) {
+	e := cfg.info.New(r)
+	return e, e
 }
 
-// rejoiner is implemented by recovered nodes that re-enter the protocol.
-type rejoiner interface {
-	Rejoin()
-}
-
-// recoverNode rebuilds the algorithm node of a restarted process from its
+// recoverNode rebuilds the engine node of a restarted process from its
 // replayed WAL (GC stays enabled — recovery under pruning is the point).
-func recoverNode(alg string, r rt.Runtime, st *wal.State, w *wal.Writer) (rt.Handler, object, rejoiner, error) {
-	switch alg {
-	case "eqaso":
-		nd := eqaso.Recover(r, st, w, true)
-		return nd, nd, nd, nil
-	case "sso":
-		nd := sso.Recover(r, st, w, true)
-		return nd, nd, nd, nil
-	}
-	return nil, nil, nil, fmt.Errorf("chaos: algorithm %q cannot recover from a WAL", alg)
+// normalize already guaranteed the engine is durable, and durable engines
+// rejoin after recovery.
+func (cfg *Config) recoverNode(r rt.Runtime, st *wal.State, w *wal.Writer) (rt.Handler, object, engine.Rejoiner) {
+	e := cfg.info.Recover(r, st, w, true)
+	return e, e, e.(engine.Rejoiner)
 }
 
-// checkerFor returns the consistency check for the algorithm:
-// linearizability for the atomic objects, sequential consistency for SSO.
-func checkerFor(alg string) (func(*history.History) *history.Report, error) {
-	switch alg {
-	case "eqaso", "byzaso":
-		return (*history.History).CheckLinearizable, nil
-	case "sso":
-		return (*history.History).CheckSequentiallyConsistent, nil
+// checker returns the consistency check for the engine: linearizability
+// for the atomic objects, sequential consistency for the SSO family.
+func (cfg *Config) checker() func(*history.History) *history.Report {
+	if cfg.info.Sequential {
+		return (*history.History).CheckSequentiallyConsistent
 	}
-	return nil, fmt.Errorf("chaos: unknown algorithm %q (want eqaso|byzaso|sso)", alg)
+	return (*history.History).CheckLinearizable
 }
 
 // Result is the outcome of one chaos run.
@@ -171,8 +159,8 @@ type Result struct {
 	// Hist is the recorded operation history (pending operations mark
 	// crashed or force-aborted clients).
 	Hist *history.History
-	// Check is the consistency verdict: linearizability for eqaso and
-	// byzaso, sequential consistency for sso.
+	// Check is the consistency verdict: linearizability for the atomic
+	// engines, sequential consistency for the SSO family.
 	Check *history.Report
 	// Blocked lists operations that were still stuck at the end of the
 	// run (their nodes were crash-aborted so the run could terminate);

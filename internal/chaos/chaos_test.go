@@ -5,7 +5,7 @@ import (
 	"reflect"
 	"testing"
 
-	"mpsnap/internal/eqaso"
+	"mpsnap/internal/engine"
 	"mpsnap/internal/harness"
 	"mpsnap/internal/history"
 	"mpsnap/internal/rt"
@@ -53,7 +53,7 @@ func TestSeedDeterminism(t *testing.T) {
 func TestScanSpansPartition(t *testing.T) {
 	const healAt = 15 * rt.TicksPerD
 	c := harness.Build(sim.Config{N: 5, F: 2, Seed: 11}, func(r rt.Runtime) (rt.Handler, harness.Object) {
-		nd := eqaso.New(r)
+		nd := engine.MustLookup("eqaso").New(r)
 		return nd, nd
 	})
 	w := c.W
@@ -113,7 +113,7 @@ func TestRunSimAllAlgs(t *testing.T) {
 		{"sso", 5, 2},
 	} {
 		t.Run(tc.alg, func(t *testing.T) {
-			res, err := RunSim(Config{N: tc.n, F: tc.f, Alg: tc.alg, Seed: 5, Duration: 50 * rt.TicksPerD})
+			res, err := RunSim(Config{N: tc.n, F: tc.f, Engine: tc.alg, Seed: 5, Duration: 50 * rt.TicksPerD})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -159,9 +159,9 @@ func TestRunTransportTCP(t *testing.T) {
 // TestConfigValidation rejects the classic mistakes.
 func TestConfigValidation(t *testing.T) {
 	for _, cfg := range []Config{
-		{N: 4, F: 2, Duration: 1000},                // n ≤ 2f
-		{N: 6, F: 2, Alg: "byzaso", Duration: 1000}, // n ≤ 3f
-		{N: 5, F: 2, Alg: "paxos", Duration: 1000},  // unknown alg
+		{N: 4, F: 2, Duration: 1000},                   // n ≤ 2f
+		{N: 6, F: 2, Engine: "byzaso", Duration: 1000}, // n ≤ 3f
+		{N: 5, F: 2, Engine: "paxos", Duration: 1000},  // unknown alg
 		{N: 5, F: 2}, // no duration
 	} {
 		if _, err := RunSim(cfg); err == nil {

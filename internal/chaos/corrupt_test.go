@@ -146,7 +146,7 @@ func TestRunSimWithCorruption(t *testing.T) {
 		{"byzaso", 7, 2},
 	} {
 		t.Run(tc.alg, func(t *testing.T) {
-			res, err := RunSim(Config{N: tc.n, F: tc.f, Alg: tc.alg, Seed: 9, Duration: 60 * rt.TicksPerD, Mix: mix})
+			res, err := RunSim(Config{N: tc.n, F: tc.f, Engine: tc.alg, Seed: 9, Duration: 60 * rt.TicksPerD, Mix: mix})
 			if err != nil {
 				t.Fatal(err)
 			}

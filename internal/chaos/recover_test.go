@@ -59,7 +59,7 @@ func TestRestartRecoverySim(t *testing.T) {
 	for _, alg := range []string{"eqaso", "sso"} {
 		for _, seed := range seeds {
 			res, err := RunSim(Config{
-				N: 5, F: 2, Alg: alg, Seed: seed,
+				N: 5, F: 2, Engine: alg, Seed: seed,
 				Duration: 60 * rt.TicksPerD, Mix: restartMix(),
 			})
 			if err != nil {
@@ -78,7 +78,7 @@ func TestRestartRecoverySim(t *testing.T) {
 // identical history. (Restart RNG draws are appended after all other
 // fault draws precisely so enabling them cannot perturb the rest.)
 func TestRestartDeterminism(t *testing.T) {
-	cfg := Config{N: 5, F: 2, Alg: "eqaso", Seed: 9, Duration: 60 * rt.TicksPerD, Mix: restartMix()}
+	cfg := Config{N: 5, F: 2, Engine: "eqaso", Seed: 9, Duration: 60 * rt.TicksPerD, Mix: restartMix()}
 	run := func() []byte {
 		res, err := RunSim(cfg)
 		if err != nil {
@@ -105,7 +105,7 @@ func TestRestartRecoveryChan(t *testing.T) {
 	for _, alg := range []string{"eqaso", "sso"} {
 		t.Run(alg, func(t *testing.T) {
 			res, err := RunTransport(Config{
-				N: 5, F: 2, Alg: alg, Seed: 7,
+				N: 5, F: 2, Engine: alg, Seed: 7,
 				Duration: 40 * rt.TicksPerD, Mix: restartMix(),
 			}, "chan")
 			if err != nil {
@@ -123,10 +123,10 @@ func TestRestartRecoveryChan(t *testing.T) {
 // direct clients, and an in-process backend.
 func TestRestartConfigValidation(t *testing.T) {
 	mix := Mix{Crashes: 1, Restarts: 1}
-	if _, err := RunSim(Config{N: 7, F: 2, Alg: "byzaso", Duration: 1000, Mix: mix}); err == nil {
+	if _, err := RunSim(Config{N: 7, F: 2, Engine: "byzaso", Duration: 1000, Mix: mix}); err == nil {
 		t.Error("byzaso with restarts accepted, want error")
 	}
-	if _, err := RunSim(Config{N: 5, F: 2, Alg: "sso", Service: true, Duration: 1000, Mix: mix}); err == nil {
+	if _, err := RunSim(Config{N: 5, F: 2, Engine: "sso", Service: true, Duration: 1000, Mix: mix}); err == nil {
 		t.Error("service mode with restarts accepted, want error")
 	}
 	if _, err := RunTransport(Config{N: 5, F: 2, Duration: 1000, Mix: mix}, "tcp"); err == nil {

@@ -13,7 +13,7 @@ import (
 // cmd/asochaos -json.
 type Report struct {
 	Backend  string   `json:"backend"`
-	Alg      string   `json:"alg"`
+	Engine   string   `json:"engine"`
 	OK       bool     `json:"ok"`
 	Schedule Schedule `json:"schedule"`
 	// ScheduleHash fingerprints the fault schedule: two runs with equal
@@ -39,10 +39,10 @@ type Report struct {
 }
 
 // NewReport condenses a Result.
-func NewReport(backend, alg string, res *Result) Report {
+func NewReport(backend, eng string, res *Result) Report {
 	rep := Report{
 		Backend:      backend,
-		Alg:          alg,
+		Engine:       eng,
 		Schedule:     res.Schedule,
 		ScheduleHash: res.Schedule.Hash(),
 		Blocked:      res.Blocked,

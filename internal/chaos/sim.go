@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"path/filepath"
 
+	"mpsnap/internal/engine"
 	"mpsnap/internal/harness"
 	"mpsnap/internal/history"
 	"mpsnap/internal/obs"
@@ -76,24 +77,16 @@ func RunSim(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	check, _ := checkerFor(cfg.Alg)
+	check := cfg.checker()
 	sched := Generate(cfg.Seed, cfg.N, cfg.F, cfg.Duration, cfg.Mix)
 	link := newSimLink(cfg.Seed + 1)
 	adv := newMidCrash(cfg.Seed + 2)
-	corr := newCorrupter(cfg.Seed+4, cfg.Alg == "byzaso")
+	corr := newCorrupter(cfg.Seed+4, cfg.info.Byzantine)
 
-	var buildErr error
 	c := harness.Build(sim.Config{N: cfg.N, F: cfg.F, Seed: cfg.Seed, Adversary: adv, Link: link, Wire: corr},
 		func(r rt.Runtime) (rt.Handler, harness.Object) {
-			h, obj, err := newNode(cfg.Alg, r)
-			if err != nil {
-				buildErr = err
-			}
-			return h, obj
+			return cfg.newNode(r)
 		})
-	if buildErr != nil {
-		return nil, buildErr
-	}
 
 	// Crash-recovery: each node persists to an in-memory WAL (with GC of
 	// the value log below the globally-vouched checkpoint); a restart
@@ -103,7 +96,7 @@ func RunSim(cfg Config) (*Result, error) {
 		walFiles = make([]*wal.MemFile, cfg.N)
 		for i, o := range c.Objects {
 			walFiles[i] = wal.NewMemFile()
-			o.(walAttacher).AttachWAL(wal.NewWriter(walFiles[i], chaosWALBatch), true)
+			o.(engine.Durable).AttachWAL(wal.NewWriter(walFiles[i], chaosWALBatch), true)
 		}
 	}
 
@@ -184,7 +177,7 @@ func RunSim(cfg Config) (*Result, error) {
 	if cfg.Service {
 		services := make([]*svc.Service, cfg.N)
 		for i := 0; i < cfg.N; i++ {
-			opts := svc.Options{Mode: svc.ModeFor(cfg.Alg)}
+			opts := svc.Options{Mode: svc.ModeFor(cfg.Engine)}
 			if tr != nil {
 				opts.Observer = tr
 			}
@@ -206,7 +199,7 @@ func RunSim(cfg Config) (*Result, error) {
 	// think time until the deadline. Restarted nodes respawn the same
 	// script (after rejoining) under a fresh client id, so their post-
 	// recovery values stay distinct from pre-crash ones.
-	script := func(seed int64, rejoin rejoiner) func(o *harness.OpRunner) {
+	script := func(seed int64, rejoin engine.Rejoiner) func(o *harness.OpRunner) {
 		return func(o *harness.OpRunner) {
 			if rejoin != nil {
 				rejoin.Rejoin()
@@ -254,10 +247,7 @@ func RunSim(cfg Config) (*Result, error) {
 		f := walFiles[id]
 		f.Crash()
 		st := wal.Recover(f.Durable(), cfg.N, id)
-		h, obj, rj, err := recoverNode(cfg.Alg, w.Runtime(id), st, wal.NewWriter(f, chaosWALBatch))
-		if err != nil {
-			return // unreachable: normalize rejected non-WAL algorithms
-		}
+		h, obj, rj := cfg.recoverNode(w.Runtime(id), st, wal.NewWriter(f, chaosWALBatch))
 		if tr != nil {
 			if so, ok := obj.(interface{ SetObserver(rt.Observer) }); ok {
 				so.SetObserver(tr)
@@ -299,7 +289,7 @@ func RunSim(cfg Config) (*Result, error) {
 	}
 	if tr != nil && (!res.Check.OK || cfg.TraceAlways) {
 		path := filepath.Join(cfg.TraceDir,
-			fmt.Sprintf("chaos-%s-seed%d-%s.jsonl", cfg.Alg, cfg.Seed, sched.Hash()))
+			fmt.Sprintf("chaos-%s-seed%d-%s.jsonl", cfg.Engine, cfg.Seed, sched.Hash()))
 		if err := tr.DumpJSONL(path); err != nil {
 			return res, fmt.Errorf("chaos: %w", err)
 		}

@@ -22,7 +22,7 @@ func TestServiceConcurrentClientsUnderChaos(t *testing.T) {
 	for _, alg := range []string{"eqaso", "sso"} {
 		for _, seed := range seeds {
 			res, err := RunSim(Config{
-				N: 5, F: 2, Alg: alg, Seed: seed,
+				N: 5, F: 2, Engine: alg, Seed: seed,
 				Duration: 40 * rt.TicksPerD,
 				Mix:      mix,
 				Service:  true,

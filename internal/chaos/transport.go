@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"mpsnap/internal/engine"
 	"mpsnap/internal/harness"
 	"mpsnap/internal/history"
 	"mpsnap/internal/rt"
@@ -45,7 +46,7 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	if cfg.Mix.Restarts > 0 && backend != "chan" {
 		return nil, fmt.Errorf("chaos: restarts run on the sim and chan backends only (a tcp restart is a process restart)")
 	}
-	check, _ := checkerFor(cfg.Alg)
+	check := cfg.checker()
 	sched := Generate(cfg.Seed, cfg.N, cfg.F, cfg.Duration, cfg.Mix)
 
 	unders := make([]rt.Runtime, cfg.N)
@@ -84,20 +85,17 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	defer closeAll()
 
 	nt := NewNet(cfg.Seed+3, unders, crashFn)
-	nt.SetCorrupter(newCorrupter(cfg.Seed+4, cfg.Alg == "byzaso"))
+	nt.SetCorrupter(newCorrupter(cfg.Seed+4, cfg.info.Byzantine))
 	objs := make([]object, cfg.N)
 	var walFiles []*wal.MemFile
 	if cfg.Mix.Restarts > 0 {
 		walFiles = make([]*wal.MemFile, cfg.N)
 	}
 	for i := 0; i < cfg.N; i++ {
-		h, obj, err := newNode(cfg.Alg, nt.Runtime(i))
-		if err != nil {
-			return nil, err
-		}
+		h, obj := cfg.newNode(nt.Runtime(i))
 		if walFiles != nil {
 			walFiles[i] = wal.NewMemFile()
-			obj.(walAttacher).AttachWAL(wal.NewWriter(walFiles[i], chaosWALBatch), true)
+			obj.(engine.Durable).AttachWAL(wal.NewWriter(walFiles[i], chaosWALBatch), true)
 		}
 		setHandler(i, h)
 		objs[i] = obj
@@ -128,7 +126,7 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	// client is one node's workload loop. cid distinguishes a restarted
 	// incarnation's values ("v<id>.<cid>-<seq>") from pre-crash ones;
 	// rejoin, when set, runs before the first operation.
-	client := func(i, cid int, obj object, rejoin rejoiner) {
+	client := func(i, cid int, obj object, rejoin engine.Rejoiner) {
 		defer clientDone()
 		if rejoin != nil {
 			rejoin.Rejoin()
@@ -190,11 +188,7 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 			f := walFiles[id]
 			f.Crash()
 			st := wal.Recover(f.Durable(), cfg.N, id)
-			h, obj, rj, err := recoverNode(cfg.Alg, nt.Runtime(id), st, wal.NewWriter(f, chaosWALBatch))
-			if err != nil {
-				clientDone() // unreachable: normalize rejected non-WAL algorithms
-				return
-			}
+			h, obj, rj := cfg.recoverNode(nt.Runtime(id), st, wal.NewWriter(f, chaosWALBatch))
 			restartFn(id, h)
 			nt.ClearCrashed(id)
 			incarnation[id]++

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"testing"
 
-	"mpsnap/internal/eqaso"
+	"mpsnap/internal/engine"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
 	"mpsnap/internal/svc"
@@ -26,7 +26,7 @@ func buildWorld(t *testing.T, shards, n, f int, seed int64) (*sim.World, []*Node
 			Map:    m,
 			Health: health,
 			NewEngine: func(shard int, r rt.Runtime) (rt.Handler, svc.Object) {
-				e := eqaso.New(r)
+				e := engine.MustLookup("eqaso").New(r)
 				return e, e
 			},
 		})
@@ -216,7 +216,7 @@ func TestShardMapVersionRace(t *testing.T) {
 			Map:       v1,
 			Provision: []ShardMap{v2},
 			NewEngine: func(shard int, r rt.Runtime) (rt.Handler, svc.Object) {
-				e := eqaso.New(r)
+				e := engine.MustLookup("eqaso").New(r)
 				return e, e
 			},
 		})

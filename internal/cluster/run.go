@@ -7,7 +7,8 @@ import (
 
 	"mpsnap/internal/chaos"
 	"mpsnap/internal/core"
-	"mpsnap/internal/eqaso"
+	"mpsnap/internal/engine"
+	_ "mpsnap/internal/engine/all" // register every snapshot engine
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
 	"mpsnap/internal/svc"
@@ -63,6 +64,18 @@ type RunConfig struct {
 	// of the topology during [30%, 60%] of the run (the shard keeps
 	// internal quorum; only cross-shard routing is cut).
 	PartitionShard int
+	// Engine selects the snapshot engine every shard runs, by registry
+	// name (default "eqaso"). Sequentially-consistent engines are
+	// rejected: the cut validator assumes linearizable shard scans.
+	Engine string
+	// ShardEngines optionally overrides Engine per shard: entry s
+	// applies to shard s, "" falls back to Engine. Shards running
+	// restart faults need a durable (WAL-recovering) engine.
+	ShardEngines []string
+
+	// engines is the resolved per-shard registry info, filled by
+	// normalize.
+	engines []engine.Info
 }
 
 // DefaultRunConfig returns the standard run shape with the whole-shard
@@ -111,8 +124,40 @@ func (c *RunConfig) normalize() error {
 	if c.PartitionShard >= c.Shards {
 		return fmt.Errorf("cluster: -shard-partition %d out of range (shards=%d)", c.PartitionShard, c.Shards)
 	}
+	if c.Engine == "" {
+		c.Engine = "eqaso"
+	}
+	if len(c.ShardEngines) > c.Shards {
+		return fmt.Errorf("cluster: %d shard engines for %d shards", len(c.ShardEngines), c.Shards)
+	}
+	c.engines = make([]engine.Info, c.Shards)
+	for s := 0; s < c.Shards; s++ {
+		name := c.Engine
+		if s < len(c.ShardEngines) && c.ShardEngines[s] != "" {
+			name = c.ShardEngines[s]
+		}
+		in, err := engine.Lookup(name)
+		if err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		if in.Sequential {
+			return fmt.Errorf("cluster: engine %q is sequentially consistent; shards need linearizable scans for cut validation", name)
+		}
+		if err := in.Validate(c.N, c.F); err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		restarts := c.Mix.Restarts > 0 || c.CrashShard == s
+		if restarts && !in.Durable() {
+			return fmt.Errorf("cluster: shard %d runs restart faults but engine %q has no WAL recovery", s, name)
+		}
+		c.engines[s] = in
+	}
 	return nil
 }
+
+// engineFor returns the resolved engine of a shard (normalize must have
+// run).
+func (c *RunConfig) engineFor(shard int) engine.Info { return c.engines[shard] }
 
 // Report is one cluster chaos run's outcome. Violations (consistency)
 // must be empty on every seed; CutErrs (availability: a cut that could
@@ -325,9 +370,12 @@ func (b *nodeBuilder) nodeConfig(id int, recover bool) Config {
 	var seed []byte
 	c := Config{Map: b.m, Health: b.health}
 	c.NewEngine = func(shard int, r rt.Runtime) (rt.Handler, svc.Object) {
+		in := b.cfg.engineFor(shard)
 		if !recover {
-			nd := eqaso.New(r)
-			nd.AttachWAL(wal.NewWriter(b.files[id], clusterWALBatch), true)
+			nd := in.New(r)
+			if d, ok := nd.(engine.Durable); ok {
+				d.AttachWAL(wal.NewWriter(b.files[id], clusterWALBatch), true)
+			}
 			b.rejoins[id] = nil
 			return nd, nd
 		}
@@ -338,8 +386,8 @@ func (b *nodeBuilder) nodeConfig(id int, recover bool) Config {
 				seed = v
 			}
 		}
-		nd := eqaso.Recover(r, st, wal.NewWriter(f, clusterWALBatch), true)
-		b.rejoins[id] = nd
+		nd := in.Recover(r, st, wal.NewWriter(f, clusterWALBatch), true)
+		b.rejoins[id] = nd.(rejoinable)
 		return nd, nd
 	}
 	c.SeedSegment = func(shard int) []byte { return seed }

@@ -1,0 +1,20 @@
+package eqaso
+
+import (
+	"mpsnap/internal/engine"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/wal"
+)
+
+// EQ-ASO registers as the default engine: linearizable, crash-tolerant
+// (n > 2f), WAL-durable and recoverable.
+func init() {
+	engine.Register(engine.Info{
+		Name: "eqaso",
+		Doc:  "equivalence-quorum atomic snapshot (O(√k·D) worst, O(D) amortized; WAL recovery)",
+		New:  func(r rt.Runtime) engine.Engine { return New(r) },
+		Recover: func(r rt.Runtime, st *wal.State, w *wal.Writer, gc bool) engine.Engine {
+			return Recover(r, st, w, gc)
+		},
+	})
+}

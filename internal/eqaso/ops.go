@@ -258,19 +258,10 @@ func (nd *Node) RefreshView() (core.View, error) {
 }
 
 // Scan implements SCAN() (lines 11-13). The returned vector has one entry
-// per node; nil marks a segment never written (⊥).
-func (nd *Node) Scan() (res [][]byte, err error) {
-	if nd.rt.Crashed() {
-		return nil, rt.ErrCrashed
-	}
-	c := nd.opStart("scan")
-	defer func() { nd.opEnd(c, err) }()
-	nd.rt.Atomic(func() { nd.stats.Scans++ })
-	r, err := nd.readTag()
-	if err != nil {
-		return nil, err
-	}
-	view, err := nd.latticeRenewal(r)
+// per node; nil marks a segment never written (⊥). It delegates to
+// ScanView, which holds the protocol logic.
+func (nd *Node) Scan() ([][]byte, error) {
+	view, err := nd.ScanView()
 	if err != nil {
 		return nil, err
 	}

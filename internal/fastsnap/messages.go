@@ -1,0 +1,163 @@
+package fastsnap
+
+import (
+	"math/rand"
+
+	"mpsnap/internal/rt"
+	"mpsnap/internal/wire"
+)
+
+// MsgWrite replicates the writer's latest register state (its new
+// sequence number and payload) to all servers.
+type MsgWrite struct {
+	ReqID int64
+	Seq   int64
+	Val   []byte
+}
+
+// Kind implements rt.Message.
+func (MsgWrite) Kind() string { return "fsWrite" }
+
+// MsgWriteAck acknowledges a MsgWrite.
+type MsgWriteAck struct{ ReqID int64 }
+
+// Kind implements rt.Message.
+func (MsgWriteAck) Kind() string { return "fsWriteAck" }
+
+// MsgCollect asks for the receiver's full register vector (the scan fast
+// path is one MsgCollect round whose replies are unanimous).
+type MsgCollect struct{ ReqID int64 }
+
+// Kind implements rt.Message.
+func (MsgCollect) Kind() string { return "fsCollect" }
+
+// MsgCollectAck returns the receiver's full register vector. It also
+// acknowledges MsgWriteBack (the write-back round doubles as the next
+// collect).
+type MsgCollectAck struct {
+	ReqID int64
+	Vec   []Entry
+}
+
+// Kind implements rt.Message.
+func (MsgCollectAck) Kind() string { return "fsCollectAck" }
+
+// MsgWriteBack pushes a slow-path scanner's merged vector to the servers;
+// each receiver merges it and replies with its (now at least as large)
+// full vector via MsgCollectAck.
+type MsgWriteBack struct {
+	ReqID int64
+	Vec   []Entry
+}
+
+// Kind implements rt.Message.
+func (MsgWriteBack) Kind() string { return "fsWriteBack" }
+
+// MsgCommit announces a returned (unanimously quorum-held) snapshot
+// vector, fire-and-forget: receivers fold it into their registers and
+// their largest-known-committed vector, which lets concurrent slow-path
+// scanners finish by adoption.
+type MsgCommit struct{ Vec []Entry }
+
+// Kind implements rt.Message.
+func (MsgCommit) Kind() string { return "fsCommit" }
+
+func putVec(b *wire.Buffer, vec []Entry) {
+	b.PutUvarint(uint64(len(vec)))
+	for _, e := range vec {
+		b.PutVarint(e.Seq)
+		b.PutBytes(e.Val)
+	}
+}
+
+func getVec(d *wire.Decoder) []Entry {
+	// A serialized entry is at least 2 bytes (seq, val length).
+	n := d.Count(2)
+	if n == 0 {
+		return nil
+	}
+	vec := make([]Entry, n)
+	for i := range vec {
+		vec[i] = Entry{Seq: d.Varint(), Val: d.Bytes()}
+	}
+	return vec
+}
+
+func genVec(rng *rand.Rand) []Entry {
+	n := rng.Intn(5)
+	if n == 0 {
+		return nil
+	}
+	vec := make([]Entry, n)
+	for i := range vec {
+		vec[i] = Entry{Seq: rng.Int63n(1 << 30), Val: wire.GenPayload(rng)}
+	}
+	return vec
+}
+
+// Wire tags 144–159 (see ALGORITHMS.md, wire-tag tables).
+func init() {
+	wire.Register(wire.Codec{
+		Tag: 144, Proto: MsgWrite{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgWrite)
+			b.PutVarint(msg.ReqID)
+			b.PutVarint(msg.Seq)
+			b.PutBytes(msg.Val)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgWrite{ReqID: d.Varint(), Seq: d.Varint(), Val: d.Bytes()}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgWrite{ReqID: rng.Int63(), Seq: rng.Int63n(1 << 30), Val: wire.GenPayload(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 145, Proto: MsgWriteAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(MsgWriteAck).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgWriteAck{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgWriteAck{ReqID: rng.Int63()} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 146, Proto: MsgCollect{},
+		Encode: func(b *wire.Buffer, m rt.Message) { b.PutVarint(m.(MsgCollect).ReqID) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) { return MsgCollect{ReqID: d.Varint()}, d.Err() },
+		Gen:    func(rng *rand.Rand) rt.Message { return MsgCollect{ReqID: rng.Int63()} },
+	})
+	wire.Register(wire.Codec{
+		Tag: 147, Proto: MsgCollectAck{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgCollectAck)
+			b.PutVarint(msg.ReqID)
+			putVec(b, msg.Vec)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgCollectAck{ReqID: d.Varint(), Vec: getVec(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgCollectAck{ReqID: rng.Int63(), Vec: genVec(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 148, Proto: MsgWriteBack{},
+		Encode: func(b *wire.Buffer, m rt.Message) {
+			msg := m.(MsgWriteBack)
+			b.PutVarint(msg.ReqID)
+			putVec(b, msg.Vec)
+		},
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgWriteBack{ReqID: d.Varint(), Vec: getVec(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message {
+			return MsgWriteBack{ReqID: rng.Int63(), Vec: genVec(rng)}
+		},
+	})
+	wire.Register(wire.Codec{
+		Tag: 149, Proto: MsgCommit{},
+		Encode: func(b *wire.Buffer, m rt.Message) { putVec(b, m.(MsgCommit).Vec) },
+		Decode: func(d *wire.Decoder) (rt.Message, error) {
+			return MsgCommit{Vec: getVec(d)}, d.Err()
+		},
+		Gen: func(rng *rand.Rand) rt.Message { return MsgCommit{Vec: genVec(rng)} },
+	})
+}

@@ -1,0 +1,29 @@
+package sso
+
+import (
+	"mpsnap/internal/engine"
+	"mpsnap/internal/rt"
+	"mpsnap/internal/wal"
+)
+
+// The SSO variants register as sequentially consistent engines: "sso"
+// runs its updates through EQ-ASO (WAL-durable), "sso-byz" through the
+// Byzantine ASO (n > 3f, no WAL).
+func init() {
+	engine.Register(engine.Info{
+		Name:       "sso",
+		Doc:        "sequentially consistent snapshot: EQ-ASO updates, zero-communication local scans",
+		Sequential: true,
+		New:        func(r rt.Runtime) engine.Engine { return New(r) },
+		Recover: func(r rt.Runtime, st *wal.State, w *wal.Writer, gc bool) engine.Engine {
+			return Recover(r, st, w, gc)
+		},
+	})
+	engine.Register(engine.Info{
+		Name:       "sso-byz",
+		Doc:        "sequentially consistent snapshot over the Byzantine ASO (n > 3f)",
+		Sequential: true,
+		Byzantine:  true,
+		New:        func(r rt.Runtime) engine.Engine { return NewByzantine(r) },
+	})
+}

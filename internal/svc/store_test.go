@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"testing"
 
-	"mpsnap/internal/eqaso"
+	"mpsnap/internal/engine"
+	_ "mpsnap/internal/engine/all"
 	"mpsnap/internal/mux"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
@@ -22,7 +23,7 @@ func buildStores(n, f int, seed int64, shards int) (*sim.World, []*svc.Store) {
 		st, err := svc.NewStore(m, svc.StoreConfig{
 			Shards: shards,
 			NewObject: func(r rt.Runtime) (rt.Handler, svc.Object) {
-				nd := eqaso.New(r)
+				nd := engine.MustLookup("eqaso").New(r)
 				return nd, nd
 			},
 		})
@@ -127,7 +128,7 @@ func TestStoreConfigErrors(t *testing.T) {
 	w := sim.New(sim.Config{N: 1, F: 0, Seed: 33})
 	m := mux.New(w.Runtime(0))
 	mk := func(r rt.Runtime) (rt.Handler, svc.Object) {
-		nd := eqaso.New(r)
+		nd := engine.MustLookup("eqaso").New(r)
 		return nd, nd
 	}
 	if _, err := svc.NewStore(m, svc.StoreConfig{}); err == nil {

@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 
+	"mpsnap/internal/engine"
 	"mpsnap/internal/rt"
 )
 
@@ -475,11 +476,20 @@ func (s *Service) observeEnd(req *request) {
 	})
 }
 
-// ModeFor returns the serving mode appropriate for an algorithm name as
-// used across the repository ("sso" is sequentially consistent, everything
-// else linearizable).
+// ModeFor returns the serving mode appropriate for an engine name as used
+// across the repository: sequentially-consistent engines (the SSO family)
+// get ModeSequential, everything else ModeAtomic. The verdict comes from
+// the engine registry when the engine is linked in; unregistered names
+// fall back to the SSO naming convention so binaries that link no engines
+// still resolve correctly.
 func ModeFor(alg string) Mode {
-	if alg == "sso" {
+	if in, err := engine.Lookup(alg); err == nil {
+		if in.Sequential {
+			return ModeSequential
+		}
+		return ModeAtomic
+	}
+	if alg == "sso" || alg == "sso-byz" {
 		return ModeSequential
 	}
 	return ModeAtomic

@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"testing"
 
-	"mpsnap/internal/eqaso"
+	"mpsnap/internal/engine"
+	_ "mpsnap/internal/engine/all"
 	"mpsnap/internal/harness"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
-	"mpsnap/internal/sso"
 	"mpsnap/internal/svc"
 )
 
@@ -26,11 +26,7 @@ type fixture struct {
 func build(n, f int, seed int64, alg string, opts svc.Options) *fixture {
 	fx := &fixture{}
 	fx.c = harness.Build(sim.Config{N: n, F: f, Seed: seed}, func(r rt.Runtime) (rt.Handler, harness.Object) {
-		if alg == "sso" {
-			nd := sso.New(r)
-			return nd, nd
-		}
-		nd := eqaso.New(r)
+		nd := engine.MustLookup(alg).New(r)
 		return nd, nd
 	})
 	fx.svcs = make([]*svc.Service, n)
@@ -156,7 +152,7 @@ func TestSerializeBaseline(t *testing.T) {
 func TestRejectPolicyOverload(t *testing.T) {
 	const n, f = 3, 1
 	c := harness.Build(sim.Config{N: n, F: f, Seed: 21}, func(r rt.Runtime) (rt.Handler, harness.Object) {
-		nd := eqaso.New(r)
+		nd := engine.MustLookup("eqaso").New(r)
 		return nd, nd
 	})
 	s := svc.New(c.W.Runtime(0), c.Objects[0], svc.Options{MaxPending: 2, Policy: svc.PolicyReject})
@@ -201,7 +197,7 @@ func TestRejectPolicyOverload(t *testing.T) {
 func TestBlockPolicyBackpressure(t *testing.T) {
 	const n, f = 3, 1
 	c := harness.Build(sim.Config{N: n, F: f, Seed: 22}, func(r rt.Runtime) (rt.Handler, harness.Object) {
-		nd := eqaso.New(r)
+		nd := engine.MustLookup("eqaso").New(r)
 		return nd, nd
 	})
 	s := svc.New(c.W.Runtime(0), c.Objects[0], svc.Options{MaxPending: 1, Policy: svc.PolicyBlock})
@@ -239,7 +235,7 @@ func TestBlockPolicyBackpressure(t *testing.T) {
 // ErrClosed and Serve returns nil (clean drain).
 func TestClosedRejectsNewRequests(t *testing.T) {
 	w := sim.New(sim.Config{N: 3, F: 1, Seed: 23})
-	nd := eqaso.New(w.Runtime(0))
+	nd := engine.MustLookup("eqaso").New(w.Runtime(0))
 	w.SetHandler(0, nd)
 	s := svc.New(w.Runtime(0), nd, svc.Options{})
 	w.GoNode("svc-0", 0, func(p *sim.Proc) {
@@ -266,7 +262,7 @@ func TestClosedRejectsNewRequests(t *testing.T) {
 func TestCloseDrainsQueue(t *testing.T) {
 	const n, f = 3, 1
 	c := harness.Build(sim.Config{N: n, F: f, Seed: 24}, func(r rt.Runtime) (rt.Handler, harness.Object) {
-		nd := eqaso.New(r)
+		nd := engine.MustLookup("eqaso").New(r)
 		return nd, nd
 	})
 	s := svc.New(c.W.Runtime(0), c.Objects[0], svc.Options{})

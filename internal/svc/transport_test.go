@@ -6,11 +6,11 @@ import (
 	"testing"
 	"time"
 
-	"mpsnap/internal/eqaso"
+	"mpsnap/internal/engine"
+	_ "mpsnap/internal/engine/all"
 	"mpsnap/internal/harness"
 	"mpsnap/internal/history"
 	"mpsnap/internal/rt"
-	"mpsnap/internal/sso"
 	"mpsnap/internal/svc"
 	"mpsnap/internal/transport"
 )
@@ -32,16 +32,9 @@ func TestServiceOverChanTransport(t *testing.T) {
 			var workers sync.WaitGroup
 			for i := 0; i < n; i++ {
 				rts[i] = net.Runtime(i)
-				var obj svc.Object
-				var h rt.Handler
-				if alg == "sso" {
-					nd := sso.New(rts[i])
-					obj, h = nd, nd
-				} else {
-					nd := eqaso.New(rts[i])
-					obj, h = nd, nd
-				}
-				net.SetHandler(i, h)
+				nd := engine.MustLookup(alg).New(rts[i])
+				var obj svc.Object = nd
+				net.SetHandler(i, nd)
 				services[i] = svc.New(rts[i], obj, svc.Options{Mode: svc.ModeFor(alg)})
 				workers.Add(1)
 				go func(s *svc.Service) {

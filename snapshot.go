@@ -38,15 +38,10 @@ package mpsnap
 import (
 	"fmt"
 
-	"mpsnap/internal/baseline/delporte"
-	"mpsnap/internal/baseline/laaso"
-	"mpsnap/internal/baseline/stacked"
-	"mpsnap/internal/baseline/storecollect"
-	"mpsnap/internal/byzaso"
-	"mpsnap/internal/eqaso"
+	"mpsnap/internal/engine"
+	_ "mpsnap/internal/engine/all"
 	"mpsnap/internal/harness"
 	"mpsnap/internal/rt"
-	"mpsnap/internal/sso"
 )
 
 // Algorithm selects a snapshot object implementation.
@@ -72,20 +67,39 @@ const (
 	Stacked Algorithm = "stacked"
 	// LAASO is the lattice-agreement-transform baseline ([41],[42]+[11]).
 	LAASO Algorithm = "laaso"
+	// ACR is the amortized constant-round atomic snapshot: scans hit a
+	// committed-snapshot cache and complete in one collect round when no
+	// update raced the previous commit (after arXiv 2008.11837).
+	ACR Algorithm = "acr"
+	// Fastsnap is the contention-adaptive atomic snapshot: scans take a
+	// one-round fast path when a collect returns unanimously (after
+	// arXiv 2408.02562).
+	Fastsnap Algorithm = "fastsnap"
 )
 
-// Algorithms lists every available algorithm.
+// Algorithms lists every available algorithm, in registry order.
 func Algorithms() []Algorithm {
-	return []Algorithm{EQASO, ByzASO, SSOFast, SSOByz, Delporte, StoreCollect, Stacked, LAASO}
+	names := engine.Names()
+	out := make([]Algorithm, len(names))
+	for i, n := range names {
+		out[i] = Algorithm(n)
+	}
+	return out
 }
 
 // Atomic reports whether the algorithm implements a linearizable (atomic)
 // snapshot; the SSO variants are sequentially consistent instead.
-func (a Algorithm) Atomic() bool { return a != SSOFast && a != SSOByz }
+func (a Algorithm) Atomic() bool {
+	in, err := engine.Lookup(string(a))
+	return err == nil && !in.Sequential
+}
 
 // RequiresNGreaterThan3F reports whether the algorithm needs Byzantine
 // resilience n > 3f (rather than crash resilience n > 2f).
-func (a Algorithm) RequiresNGreaterThan3F() bool { return a == ByzASO || a == SSOByz }
+func (a Algorithm) RequiresNGreaterThan3F() bool {
+	in, err := engine.Lookup(string(a))
+	return err == nil && in.Byzantine
+}
 
 // Object is a snapshot object client bound to one node: Update writes the
 // node's own segment, Scan returns all n segments (nil = never written).
@@ -96,37 +110,13 @@ type Object = harness.Object
 // endpoint. Most users should use NewSimCluster or the transport helpers
 // instead; NewNode is the extension point for custom runtimes.
 func NewNode(alg Algorithm, r rt.Runtime) (rt.Handler, Object, error) {
-	if r.N() <= 2*r.F() {
-		return nil, nil, fmt.Errorf("mpsnap: need n > 2f, got n=%d f=%d", r.N(), r.F())
+	in, err := engine.Lookup(string(alg))
+	if err != nil {
+		return nil, nil, fmt.Errorf("mpsnap: unknown algorithm %q (available: %v)", alg, Algorithms())
 	}
-	if a := alg; a.RequiresNGreaterThan3F() && r.N() <= 3*r.F() {
-		return nil, nil, fmt.Errorf("mpsnap: algorithm %q needs n > 3f, got n=%d f=%d", alg, r.N(), r.F())
+	if err := in.Validate(r.N(), r.F()); err != nil {
+		return nil, nil, fmt.Errorf("mpsnap: %w", err)
 	}
-	switch alg {
-	case EQASO:
-		nd := eqaso.New(r)
-		return nd, nd, nil
-	case ByzASO:
-		nd := byzaso.New(r)
-		return nd, nd, nil
-	case SSOFast:
-		nd := sso.New(r)
-		return nd, nd, nil
-	case SSOByz:
-		nd := sso.NewByzantine(r)
-		return nd, nd, nil
-	case Delporte:
-		nd := delporte.New(r)
-		return nd, nd, nil
-	case StoreCollect:
-		nd := storecollect.New(r)
-		return nd, nd, nil
-	case Stacked:
-		nd := stacked.New(r)
-		return nd, nd, nil
-	case LAASO:
-		nd := laaso.New(r)
-		return nd, nd, nil
-	}
-	return nil, nil, fmt.Errorf("mpsnap: unknown algorithm %q", alg)
+	nd := in.New(r)
+	return nd, nd, nil
 }
