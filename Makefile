@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build build-examples test test-race test-short test-recovery test-cluster test-engines cover bench bench-core bench-smoke fuzz fuzz-wire fuzz-wal fuzz-engines explore experiments chaos vet fmt-check clean
+.PHONY: all build build-examples test test-race test-short test-recovery test-cluster test-engines test-churn cover bench bench-core bench-smoke fuzz fuzz-wire fuzz-wal fuzz-engines fuzz-monitor explore experiments chaos soak-churn vet fmt-check clean
 
 all: vet test
 
@@ -83,6 +83,19 @@ bench-smoke:
 	$(GO) run ./cmd/asobench -e cluster -quick -check -json BENCH_cluster.json
 	$(GO) run ./cmd/asobench -e engines -quick -check -json BENCH_engines.json
 
+# Churn matrix under the race detector: the streaming monitor's unit,
+# equivalence, and injected-violation suites, the churn schedule property
+# tests, then a short churn CLI matrix — eqaso, acr, fastsnap × 2 seeds
+# on the sim and chan backends with the monitor armed.
+test-churn:
+	$(GO) test -race -count=1 ./internal/monitor/
+	$(GO) test -race -count=1 -run 'TestChurn|TestGenerateChurn' ./internal/chaos/
+	@for eng in eqaso acr fastsnap; do \
+		for seed in 1 2; do \
+			$(GO) run ./cmd/asochaos -backend sim,chan -engine $$eng -seed $$seed -duration 2s -churn || exit 1; \
+		done; \
+	done
+
 # Randomized conformance fuzzing across all algorithms (bounded batch).
 fuzz:
 	$(GO) run ./cmd/asofuzz -count 5000
@@ -102,6 +115,12 @@ fuzz-wire:
 # recover exactly the longest intact record prefix.
 fuzz-wal:
 	$(GO) test -fuzz=FuzzWALReplay -fuzztime=30s ./internal/wal/
+
+# Monitor window fuzzing: random op tapes (the history fuzz corpus shape,
+# restart markers included) streamed through the online monitor must
+# produce zero violations whenever the offline checker accepts the tape.
+fuzz-monitor:
+	$(GO) test -fuzz=FuzzMonitorWindow -fuzztime=30s -run '^$$' ./internal/monitor/
 
 # Differential engine fuzzing: random sequential op schedules run on
 # EQ-ASO vs the acr and fastsnap challengers, every scan compared
@@ -124,6 +143,17 @@ experiments:
 SEED ?= 42
 chaos:
 	$(GO) run ./cmd/asochaos -seed $(SEED) -duration 5s
+
+# Long churn soak on the simulator: rolling restarts, membership flaps,
+# lagging links, and an adversarial bursty workload across the atomic
+# engine matrix, with the streaming monitor armed and first-violation
+# trace dumps landing in traces/. Override: make soak-churn SOAK_DURATION=10m
+SOAK_DURATION ?= 60s
+soak-churn:
+	@mkdir -p traces
+	@for eng in eqaso acr fastsnap; do \
+		$(GO) run ./cmd/asochaos -backend sim -engine $$eng -seed $(SEED) -duration $(SOAK_DURATION) -churn -trace-dir traces || exit 1; \
+	done
 
 clean:
 	$(GO) clean ./...

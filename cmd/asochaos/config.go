@@ -10,6 +10,7 @@ import (
 	"mpsnap/internal/chaos"
 	"mpsnap/internal/cluster"
 	"mpsnap/internal/engine"
+	"mpsnap/internal/rt"
 )
 
 // chaosConfig is the parsed asochaos command line: the chaos.Config for
@@ -53,6 +54,10 @@ func parseChaosConfig(args []string, out io.Writer) (chaosConfig, error) {
 	fs.Float64Var(&cfg.Chaos.Mix.CorruptProb, "corrupt-prob", 0.2, "corruption probability inside a corrupt window")
 	fs.IntVar(&cfg.Chaos.Mix.Restarts, "restarts", 0, "crash victims that later recover by WAL replay + rejoin (clamped to crashes; eqaso/sso on sim or chan)")
 	fs.Float64Var(&cfg.Chaos.Mix.RestartDelayD, "restart-delay", 0, "crash-to-recovery delay in units of D (default 5, min 3)")
+	fs.BoolVar(&cfg.Chaos.Churn, "churn", false, "churn mode: rolling crash→restart cycles (durable engines), membership flaps, lagging-node windows, bursty workload; replaces the fault mix and arms the streaming invariant monitor")
+	fs.BoolVar(&cfg.Chaos.Monitor, "monitor", false, "arm the streaming invariant monitor outside churn mode (first violation dumps into -trace-dir)")
+	var monWindowD float64
+	fs.Float64Var(&monWindowD, "monitor-window", 0, "streaming monitor sliding window in units of D (default 100)")
 	fs.Float64Var(&cfg.Chaos.ScanRatio, "scan-ratio", 0.5, "fraction of scans in the workload")
 	fs.StringVar(&cfg.Chaos.TraceDir, "trace-dir", "", "dump a JSONL observability trace into this directory when the check fails (sim backend)")
 	fs.IntVar(&cfg.Chaos.TraceCap, "trace-cap", 0, "trace ring capacity (default 8192)")
@@ -67,6 +72,7 @@ func parseChaosConfig(args []string, out io.Writer) (chaosConfig, error) {
 		return cfg, err
 	}
 	cfg.Chaos.Duration = chaos.TicksOf(cfg.Duration)
+	cfg.Chaos.MonitorWindow = rt.Ticks(monWindowD * float64(rt.TicksPerD))
 	// -engine wins over the deprecated -alg alias; both empty means eqaso.
 	if cfg.Chaos.Engine == "" {
 		cfg.Chaos.Engine = alg
@@ -85,6 +91,9 @@ func parseChaosConfig(args []string, out io.Writer) (chaosConfig, error) {
 	if cfg.Cluster.Shards > 0 {
 		if cfg.Chaos.Mix.CorruptWindows > 0 {
 			return cfg, fmt.Errorf("-corrupts is not supported with -shards")
+		}
+		if cfg.Chaos.Churn || cfg.Chaos.Monitor {
+			return cfg, fmt.Errorf("-churn and -monitor are not supported with -shards (the cluster report has no single-object history)")
 		}
 		if cfg.Chaos.TraceDir != "" {
 			return cfg, fmt.Errorf("-trace-dir is not supported with -shards")

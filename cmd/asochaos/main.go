@@ -152,18 +152,34 @@ func printReport(rep chaos.Report, cfg chaosConfig, took time.Duration) {
 	c := cfg.Chaos
 	fmt.Printf("backend=%-4s engine=%s n=%d f=%d seed=%d duration=%s (%d ticks) schedule=%s\n",
 		rep.Backend, rep.Engine, c.N, c.F, c.Seed, cfg.Duration, c.Duration, rep.ScheduleHash)
-	mix := rep.Schedule.Mix
-	fmt.Printf("  faults: %d crashes, %d partitions, %d drop windows (p=%.2f), %d spikes (+%gD), %d corrupt windows — %d events\n",
-		mix.Crashes, mix.Partitions, mix.DropWindows, mix.DropProb, mix.SpikeWindows, mix.SpikeExtraD,
-		mix.CorruptWindows, len(rep.Schedule.Events))
-	if mix.Restarts > 0 {
-		restarts := 0
+	if rep.Schedule.Churn != nil {
+		var cycles, flaps, lags int
 		for _, ev := range rep.Schedule.Events {
-			if ev.Kind == chaos.EvRestart {
-				restarts++
+			switch ev.Kind {
+			case chaos.EvRestart:
+				cycles++
+			case chaos.EvPartition:
+				flaps++
+			case chaos.EvSpikeOn:
+				lags++
 			}
 		}
-		fmt.Printf("  recovery: %d of %d crash victims restart (WAL replay + rejoin)\n", restarts, mix.Crashes)
+		fmt.Printf("  churn: %d crash→restart cycles, %d membership flaps, %d lagging-link windows — %d events\n",
+			cycles, flaps, lags, len(rep.Schedule.Events))
+	} else {
+		mix := rep.Schedule.Mix
+		fmt.Printf("  faults: %d crashes, %d partitions, %d drop windows (p=%.2f), %d spikes (+%gD), %d corrupt windows — %d events\n",
+			mix.Crashes, mix.Partitions, mix.DropWindows, mix.DropProb, mix.SpikeWindows, mix.SpikeExtraD,
+			mix.CorruptWindows, len(rep.Schedule.Events))
+		if mix.Restarts > 0 {
+			restarts := 0
+			for _, ev := range rep.Schedule.Events {
+				if ev.Kind == chaos.EvRestart {
+					restarts++
+				}
+			}
+			fmt.Printf("  recovery: %d of %d crash victims restart (WAL replay + rejoin)\n", restarts, mix.Crashes)
+		}
 	}
 	if cfg.ShowSched {
 		for _, ev := range rep.Schedule.Events {
@@ -188,12 +204,35 @@ func printReport(rep chaos.Report, cfg chaosConfig, took time.Duration) {
 	if in, err := engine.Lookup(rep.Engine); err == nil && in.Sequential {
 		kind = "sequentially consistent"
 	}
-	if rep.OK {
+	if len(rep.Violations) == 0 {
 		fmt.Printf("  consistency: %s ✓\n", kind)
 	} else {
 		fmt.Printf("  consistency: FAILED — %d violations; first: %s\n", len(rep.Violations), rep.Violations[0])
-		fmt.Printf("  reproduce: asochaos -backend %s -engine %s -n %d -f %d -seed %d -duration %s\n",
-			rep.Backend, rep.Engine, c.N, c.F, c.Seed, cfg.Duration)
+	}
+	if rep.MonitorStats != nil {
+		st := rep.MonitorStats
+		if len(rep.MonitorViolations) == 0 {
+			fmt.Printf("  monitor: clean — %d scans checked, %d updates, %d skipped, %d evicted\n",
+				st.Scans, st.Updates, st.Skipped, st.Evicted)
+		} else {
+			fmt.Printf("  monitor: FAILED — %d violations; first: %s\n",
+				len(rep.MonitorViolations), rep.MonitorViolations[0])
+			if rep.MonitorPath != "" {
+				fmt.Printf("  monitor dump: %s", rep.MonitorPath)
+				if rep.MonitorTracePath != "" {
+					fmt.Printf(" (+ trace %s)", rep.MonitorTracePath)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	if !rep.OK {
+		churn := ""
+		if c.Churn {
+			churn = " -churn"
+		}
+		fmt.Printf("  reproduce: asochaos -backend %s -engine %s%s -n %d -f %d -seed %d -duration %s\n",
+			rep.Backend, rep.Engine, churn, c.N, c.F, c.Seed, cfg.Duration)
 	}
 	if rep.TracePath != "" {
 		fmt.Println("  " + traceLine(rep))

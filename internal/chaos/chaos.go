@@ -6,6 +6,7 @@ import (
 	"mpsnap/internal/engine"
 	_ "mpsnap/internal/engine/all" // register every snapshot engine
 	"mpsnap/internal/history"
+	"mpsnap/internal/monitor"
 	"mpsnap/internal/rt"
 	"mpsnap/internal/sim"
 	"mpsnap/internal/wal"
@@ -34,6 +35,25 @@ type Config struct {
 	Duration rt.Ticks
 	// Mix is the fault mix; zero value means DefaultMix.
 	Mix Mix
+	// Churn switches the run to the churn schedule (GenerateChurn):
+	// sustained rolling crash→restart cycles over the WAL recovery path
+	// (durable engines; flap-only otherwise), single-node membership
+	// flaps, lagging-node delay windows, and a bursty hot-segment /
+	// scan-storm workload. Mix is ignored, and the streaming invariant
+	// monitor is armed automatically. Not compatible with Service.
+	Churn bool
+	// ChurnMix tunes the churn schedule; zero fields take defaults.
+	ChurnMix ChurnMix
+	// Monitor arms the streaming invariant monitor (internal/monitor): it
+	// consumes operations as they complete and checks validity, scan
+	// containment, base comparability, frontier non-regression, prefix
+	// closure, and per-client self-inclusion on a sliding window. On the
+	// first violation it dumps its window transcript (and the obs trace,
+	// when TraceDir is armed) for post-mortem. Implied by Churn.
+	Monitor bool
+	// MonitorWindow overrides the monitor's sliding window in ticks
+	// (default monitor.DefaultWindow; negative means unbounded).
+	MonitorWindow rt.Ticks
 	// ScanRatio is the fraction of scans in the workload (default 0.5).
 	ScanRatio float64
 	// MaxSleep is the maximum client think time between operations, in
@@ -65,6 +85,13 @@ type Config struct {
 	// so the dump-on-failure plumbing needs a forced failure to be
 	// testable.
 	forceCheckFail bool
+	// monitorCorrupt (test hook) corrupts one scan completion on its way
+	// to the monitor — blanks a segment whose writer completed an update
+	// before the scan was invoked, a containment violation the monitor
+	// must flag. The recorded history itself stays intact; only the
+	// monitor's view lies, so the dump-on-violation plumbing is testable
+	// against engines that never misbehave.
+	monitorCorrupt bool
 
 	// info is the resolved registry entry, filled by normalize.
 	info engine.Info
@@ -111,7 +138,27 @@ func (cfg *Config) normalize() error {
 			return fmt.Errorf("chaos: restarts drive direct clients; Service mode is not supported")
 		}
 	}
+	if cfg.Churn {
+		if cfg.Service {
+			return fmt.Errorf("chaos: churn drives direct clients; Service mode is not supported")
+		}
+		cfg.Monitor = true
+	}
+	if cfg.monitorCorrupt && !cfg.Monitor {
+		return fmt.Errorf("chaos: monitorCorrupt needs the monitor armed")
+	}
 	return nil
+}
+
+// schedule generates the run's fault schedule: churn when armed, the Mix
+// schedule otherwise. Churn restarts ride the rolling-restart lane only
+// when the engine can recover from a WAL; other engines get flap-only
+// churn.
+func (cfg *Config) schedule() Schedule {
+	if cfg.Churn {
+		return GenerateChurn(cfg.Seed, cfg.N, cfg.F, cfg.Duration, cfg.ChurnMix, cfg.info.Durable())
+	}
+	return Generate(cfg.Seed, cfg.N, cfg.F, cfg.Duration, cfg.Mix)
 }
 
 // durableNames lists the registered engines that can recover from a WAL.
@@ -180,6 +227,15 @@ type Result struct {
 	// TraceDropped counts trace events evicted by ring wraparound (the
 	// dump holds the most recent TraceCap events).
 	TraceDropped uint64
+	// MonitorStats summarizes the streaming invariant monitor (nil when
+	// the monitor was off); MonitorViolations lists its findings.
+	MonitorStats      *monitor.Stats
+	MonitorViolations []string
+	// MonitorPath / MonitorTracePath name the first-violation dumps: the
+	// monitor's window transcript JSON and the obs trace ring captured at
+	// the moment of the violation ("" when no violation or no TraceDir).
+	MonitorPath      string
+	MonitorTracePath string
 }
 
 // graceTicks is how long past the workload deadline an in-flight

@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"mpsnap/internal/history"
+	"mpsnap/internal/monitor"
+	"mpsnap/internal/obs"
+	"mpsnap/internal/rt"
+)
+
+// attachMonitor builds the run's streaming invariant monitor and attaches
+// it to rec (through the corrupting test sink when that hook is armed).
+// The first violation triggers the capture path: the monitor dumps its
+// window transcript — and the obs trace ring, when tracing is armed — into
+// cfg.TraceDir at the moment of the violation, so the dump shows the
+// run's state then, not whatever survives until the end. Returns nil when
+// the monitor is off.
+func attachMonitor(cfg *Config, sched Schedule, rec *history.Recorder, tr *obs.Trace, res *Result) *monitor.Monitor {
+	if !cfg.Monitor {
+		return nil
+	}
+	var mon *monitor.Monitor
+	var once sync.Once
+	window := cfg.MonitorWindow
+	if window == 0 {
+		window = monitor.DefaultWindow
+	}
+	mcfg := monitor.Config{N: cfg.N, Window: window}
+	mcfg.OnViolation = func(monitor.Violation) {
+		once.Do(func() {
+			if cfg.TraceDir == "" {
+				return
+			}
+			stem := fmt.Sprintf("monitor-%s-seed%d-%s", cfg.Engine, cfg.Seed, sched.Hash())
+			path := filepath.Join(cfg.TraceDir, stem+".json")
+			if err := mon.DumpFile(path); err == nil {
+				res.MonitorPath = path
+			}
+			if tr != nil {
+				tpath := filepath.Join(cfg.TraceDir, stem+"-trace.jsonl")
+				if err := tr.DumpJSONL(tpath); err == nil {
+					res.MonitorTracePath = tpath
+				}
+			}
+		})
+	}
+	mon = monitor.New(mcfg)
+	var sink history.Sink = mon
+	if cfg.monitorCorrupt {
+		sink = newCorruptSink(mon, cfg.N)
+	}
+	rec.SetSink(sink)
+	return mon
+}
+
+// harvestMonitor copies the monitor's verdict into the result.
+func harvestMonitor(mon *monitor.Monitor, res *Result) {
+	if mon == nil {
+		return
+	}
+	st := mon.Stats()
+	res.MonitorStats = &st
+	for _, v := range mon.Violations() {
+		res.MonitorViolations = append(res.MonitorViolations, v.String())
+	}
+}
+
+// corruptSink forwards the recorder stream to the monitor, mutating
+// exactly one scan completion on the way: the first completing scan that
+// was invoked after some writer finished an update gets that writer's
+// segment blanked to ⊥ — a containment violation the monitor must flag
+// within its window. The recorded history is untouched; only the
+// monitor's view lies.
+type corruptSink struct {
+	inner history.Sink
+
+	mu       sync.Mutex
+	lastResp []rt.Ticks  // per-writer newest update completion time
+	victim   map[int]int // eligible scan op ID → segment to blank
+	done     bool
+}
+
+func newCorruptSink(inner history.Sink, n int) *corruptSink {
+	return &corruptSink{inner: inner, lastResp: make([]rt.Ticks, n), victim: make(map[int]int)}
+}
+
+// OpBegan implements history.Sink.
+func (s *corruptSink) OpBegan(op history.Op) {
+	s.mu.Lock()
+	if !s.done && op.Type == history.Scan {
+		for j, r := range s.lastResp {
+			if r > 0 && r < op.Inv {
+				s.victim[op.ID] = j
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.inner.OpBegan(op)
+}
+
+// OpCompleted implements history.Sink.
+func (s *corruptSink) OpCompleted(op history.Op) {
+	s.mu.Lock()
+	switch op.Type {
+	case history.Update:
+		if op.Node >= 0 && op.Node < len(s.lastResp) && op.Resp > s.lastResp[op.Node] {
+			s.lastResp[op.Node] = op.Resp
+		}
+	case history.Scan:
+		if j, ok := s.victim[op.ID]; ok {
+			delete(s.victim, op.ID)
+			if !s.done && j < len(op.Snap) {
+				s.done = true
+				snap := append([]string(nil), op.Snap...)
+				snap[j] = history.NoValue
+				op.Snap = snap
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.inner.OpCompleted(op)
+}

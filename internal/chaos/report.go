@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 
+	"mpsnap/internal/monitor"
 	"mpsnap/internal/sim"
 )
 
@@ -36,6 +37,14 @@ type Report struct {
 	// (set on failures when tracing is armed, or always with TraceAlways).
 	TracePath    string `json:"tracePath,omitempty"`
 	TraceDropped uint64 `json:"traceDropped,omitempty"`
+	// MonitorStats / MonitorViolations are the streaming invariant
+	// monitor's verdict (monitor armed in churn mode or via Config.
+	// Monitor); a monitor violation fails the report like a checker one.
+	MonitorStats      *monitor.Stats `json:"monitor,omitempty"`
+	MonitorViolations []string       `json:"monitorViolations,omitempty"`
+	// MonitorPath / MonitorTracePath name the first-violation dumps.
+	MonitorPath      string `json:"monitorPath,omitempty"`
+	MonitorTracePath string `json:"monitorTracePath,omitempty"`
 }
 
 // NewReport condenses a Result.
@@ -68,6 +77,13 @@ func NewReport(backend, eng string, res *Result) Report {
 	if res.Check != nil {
 		rep.OK = res.Check.OK
 		rep.Violations = append(rep.Violations, res.Check.Violations...)
+	}
+	rep.MonitorStats = res.MonitorStats
+	rep.MonitorViolations = append(rep.MonitorViolations, res.MonitorViolations...)
+	rep.MonitorPath = res.MonitorPath
+	rep.MonitorTracePath = res.MonitorTracePath
+	if len(res.MonitorViolations) > 0 {
+		rep.OK = false
 	}
 	return rep
 }

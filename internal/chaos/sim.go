@@ -78,7 +78,8 @@ func RunSim(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	check := cfg.checker()
-	sched := Generate(cfg.Seed, cfg.N, cfg.F, cfg.Duration, cfg.Mix)
+	sched := cfg.schedule()
+	res := &Result{Schedule: sched}
 	link := newSimLink(cfg.Seed + 1)
 	adv := newMidCrash(cfg.Seed + 2)
 	corr := newCorrupter(cfg.Seed+4, cfg.info.Byzantine)
@@ -92,7 +93,7 @@ func RunSim(cfg Config) (*Result, error) {
 	// the value log below the globally-vouched checkpoint); a restart
 	// event replays the durable prefix, rejoins, and respawns the client.
 	var walFiles []*wal.MemFile
-	if cfg.Mix.Restarts > 0 {
+	if sched.HasRestarts() {
 		walFiles = make([]*wal.MemFile, cfg.N)
 		for i, o := range c.Objects {
 			walFiles[i] = wal.NewMemFile()
@@ -123,6 +124,11 @@ func RunSim(cfg Config) (*Result, error) {
 			}
 		}
 	}
+
+	// Streaming invariant monitor: consumes completions as the recorder
+	// produces them; the first violation dumps the monitor transcript and
+	// the obs ring as they stand at that moment.
+	mon := attachMonitor(&cfg, sched, c.Rec, tr, res)
 
 	// Inject the schedule. restartNode is assigned below (it closes over
 	// the workload script); the scheduled callbacks only run inside Run,
@@ -205,20 +211,40 @@ func RunSim(cfg Config) (*Result, error) {
 				rejoin.Rejoin()
 			}
 			rng := rand.New(rand.NewSource(seed))
-			for o.P.Now() < deadline {
-				var err error
-				if rng.Float64() < cfg.ScanRatio {
-					_, err = o.Scan()
+			// Churn's adversarial workload: every third node hammers its
+			// own segment (hot-segment update storms), the rest lean into
+			// scan storms; all clients fire bursts of back-to-back
+			// operations with halved think time.
+			scanP, maxSleep := cfg.ScanRatio, cfg.MaxSleep
+			if cfg.Churn {
+				if o.Node()%3 == 0 {
+					scanP = cfg.ScanRatio / 3
 				} else {
-					_, err = o.Update()
+					scanP = 1 - (1-cfg.ScanRatio)/3
 				}
-				if err != nil {
-					return // node crashed: op stays pending
+				maxSleep = cfg.MaxSleep / 2
+			}
+			for o.P.Now() < deadline {
+				scans := rng.Float64() < scanP
+				burst := 1
+				if cfg.Churn {
+					burst = 1 + rng.Intn(6)
 				}
-				if o.P.Now() >= deadline {
-					return
+				for b := 0; b < burst; b++ {
+					var err error
+					if scans {
+						_, err = o.Scan()
+					} else {
+						_, err = o.Update()
+					}
+					if err != nil {
+						return // node crashed: op stays pending
+					}
+					if o.P.Now() >= deadline {
+						return
+					}
 				}
-				if err := o.P.Sleep(rt.Ticks(rng.Int63n(int64(cfg.MaxSleep) + 1))); err != nil {
+				if err := o.P.Sleep(rt.Ticks(rng.Int63n(int64(maxSleep) + 1))); err != nil {
 					return
 				}
 			}
@@ -264,7 +290,6 @@ func RunSim(cfg Config) (*Result, error) {
 	// crash-aborted so the run terminates with the op recorded as
 	// pending. Each sweep either finds nothing or crashes at least one
 	// node, so n+1 sweeps always suffice.
-	res := &Result{Schedule: sched}
 	for k := 1; k <= cfg.N+1; k++ {
 		w.After(deadline+graceTicks*rt.Ticks(k), func() {
 			for _, bw := range w.Blocked() {
@@ -287,7 +312,8 @@ func RunSim(cfg Config) (*Result, error) {
 	if cfg.forceCheckFail {
 		res.Check = &history.Report{OK: false, Violations: []string{"forced failure (chaos test hook)"}}
 	}
-	if tr != nil && (!res.Check.OK || cfg.TraceAlways) {
+	harvestMonitor(mon, res)
+	if tr != nil && (!res.Check.OK || cfg.TraceAlways || len(res.MonitorViolations) > 0) {
 		path := filepath.Join(cfg.TraceDir,
 			fmt.Sprintf("chaos-%s-seed%d-%s.jsonl", cfg.Engine, cfg.Seed, sched.Hash()))
 		if err := tr.DumpJSONL(path); err != nil {

@@ -46,8 +46,12 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	if cfg.Mix.Restarts > 0 && backend != "chan" {
 		return nil, fmt.Errorf("chaos: restarts run on the sim and chan backends only (a tcp restart is a process restart)")
 	}
+	if cfg.Churn && cfg.info.Durable() && backend != "chan" {
+		return nil, fmt.Errorf("chaos: churn on a durable engine includes restarts, which run on the sim and chan backends only")
+	}
 	check := cfg.checker()
-	sched := Generate(cfg.Seed, cfg.N, cfg.F, cfg.Duration, cfg.Mix)
+	sched := cfg.schedule()
+	res := &Result{Schedule: sched}
 
 	unders := make([]rt.Runtime, cfg.N)
 	var crashFn func(id int)
@@ -88,7 +92,7 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	nt.SetCorrupter(newCorrupter(cfg.Seed+4, cfg.info.Byzantine))
 	objs := make([]object, cfg.N)
 	var walFiles []*wal.MemFile
-	if cfg.Mix.Restarts > 0 {
+	if sched.HasRestarts() {
 		walFiles = make([]*wal.MemFile, cfg.N)
 	}
 	for i := 0; i < cfg.N; i++ {
@@ -105,6 +109,7 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	// are offset by each node's start time and would order concurrent
 	// events inconsistently across nodes, producing false violations.
 	rec := history.NewRecorder(cfg.N)
+	mon := attachMonitor(&cfg, sched, rec, nil, res)
 	start := time.Now()
 	now := func() rt.Ticks { return rt.Ticks(time.Since(start) / tickReal) }
 
@@ -132,31 +137,50 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 			rejoin.Rejoin()
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed*1009 + int64(i) + 104729*int64(cid)))
+		// Churn's adversarial workload, mirroring RunSim: hot-segment
+		// writers on every third node, scan storms elsewhere, bursts of
+		// back-to-back operations with halved think time.
+		scanP, maxSleep := cfg.ScanRatio, cfg.MaxSleep
+		if cfg.Churn {
+			if i%3 == 0 {
+				scanP = cfg.ScanRatio / 3
+			} else {
+				scanP = 1 - (1-cfg.ScanRatio)/3
+			}
+			maxSleep = cfg.MaxSleep / 2
+		}
 		seq := 0
 		for now() < cfg.Duration {
-			if rng.Float64() < cfg.ScanRatio {
-				p := rec.BeginScan(i, now())
-				snap, err := obj.Scan()
-				if err != nil {
-					return // crashed: op stays pending
+			scans := rng.Float64() < scanP
+			burst := 1
+			if cfg.Churn {
+				burst = 1 + rng.Intn(6)
+			}
+			for b := 0; b < burst; b++ {
+				if scans {
+					p := rec.BeginScanAs(i, cid, now())
+					snap, err := obj.Scan()
+					if err != nil {
+						return // crashed: op stays pending
+					}
+					p.EndScan(harness.SnapStrings(snap), now())
+				} else {
+					seq++
+					v := fmt.Sprintf("v%d-%d", i, seq)
+					if cid > 0 {
+						v = fmt.Sprintf("v%d.%d-%d", i, cid, seq)
+					}
+					p := rec.BeginUpdateAs(i, cid, v, now())
+					if err := obj.Update([]byte(v)); err != nil {
+						return
+					}
+					p.End(now())
 				}
-				p.EndScan(harness.SnapStrings(snap), now())
-			} else {
-				seq++
-				v := fmt.Sprintf("v%d-%d", i, seq)
-				if cid > 0 {
-					v = fmt.Sprintf("v%d.%d-%d", i, cid, seq)
-				}
-				p := rec.BeginUpdate(i, v, now())
-				if err := obj.Update([]byte(v)); err != nil {
+				if now() >= cfg.Duration {
 					return
 				}
-				p.End(now())
 			}
-			if now() >= cfg.Duration {
-				return
-			}
-			time.Sleep(time.Duration(rng.Int63n(int64(cfg.MaxSleep)+1)) * tickReal)
+			time.Sleep(time.Duration(rng.Int63n(int64(maxSleep)+1)) * tickReal)
 		}
 	}
 
@@ -204,7 +228,6 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 		go client(i, 0, objs[i], nil)
 	}
 
-	res := &Result{Schedule: sched}
 	abortAt := start.Add(time.Duration(cfg.Duration+graceTicks) * tickReal)
 	select {
 	case <-finished:
@@ -224,6 +247,7 @@ func RunTransport(cfg Config, backend string) (*Result, error) {
 	res.NetHeld = nt.Holds()
 	res.NetCorrupt = nt.Corrupts()
 	res.Check = check(h)
+	harvestMonitor(mon, res)
 	return res, nil
 }
 

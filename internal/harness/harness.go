@@ -101,7 +101,7 @@ func (o *OpRunner) Update() (string, error) {
 
 // UpdateValue issues a recorded UPDATE writing v.
 func (o *OpRunner) UpdateValue(v string) error {
-	pend := o.c.Rec.BeginUpdate(o.node, v, o.c.W.Now())
+	pend := o.c.Rec.BeginUpdateAs(o.node, o.cid, v, o.c.W.Now())
 	err := o.obj.Update([]byte(v))
 	if err != nil {
 		return err // pending: no response event
@@ -112,7 +112,7 @@ func (o *OpRunner) UpdateValue(v string) error {
 
 // Scan issues a recorded SCAN and returns the segment values ("" = ⊥).
 func (o *OpRunner) Scan() ([]string, error) {
-	pend := o.c.Rec.BeginScan(o.node, o.c.W.Now())
+	pend := o.c.Rec.BeginScanAs(o.node, o.cid, o.c.W.Now())
 	snap, err := o.obj.Scan()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,230 @@
+package history
+
+import (
+	"sort"
+
+	"mpsnap/internal/rt"
+)
+
+// This file holds the condition machinery shared by the offline checker
+// (CheckA1-CheckA4, which see a finished history) and the streaming
+// monitor (internal/monitor, which sees operations one at a time on a
+// sliding window). Both express the paper's (A1)-(A4) over the same three
+// incremental structures:
+//
+//   - Chain      — (A1) comparability: the multiset of scan bases forms a
+//     chain under ⊆; maintained incrementally by sum-ordered insertion.
+//   - Frontier   — (A3) containment by real-time order: the pointwise max
+//     of bases of scans completed strictly before a time t; any scan
+//     invoked at t must dominate it.
+//   - Completions — (A2)/(A4) update requirements: per-writer monotone
+//     (resp, seq) steps answering "how many of this writer's updates had
+//     completed strictly before t".
+//
+// Keeping one implementation guarantees the two checkers cannot drift:
+// the equivalence tests in internal/monitor replay recorded histories
+// through both and require identical verdicts.
+
+// Chain maintains the (A1) invariant incrementally: a multiset of bases
+// that must remain totally ordered by containment. Insert places the new
+// base by total size and verifies containment against both neighbours —
+// a multiset of per-writer prefix vectors is a chain if and only if its
+// size-sorted order is containment-sorted, so checking the two adjacent
+// elements at every insertion is exact, not a heuristic.
+type Chain struct {
+	bases []Base // sorted by Sum, ties in insertion order
+}
+
+// Insert adds base to the chain. It returns ok=true when the multiset is
+// still a chain, and otherwise the existing member that is incomparable
+// with the newcomer (the chain keeps the newcomer either way, so one
+// corrupt scan yields one violation, not one per subsequent scan).
+func (c *Chain) Insert(base Base) (conflict Base, ok bool) {
+	s := base.Sum()
+	// Position after every member with Sum ≤ s: among equal sums, distinct
+	// bases are incomparable, and the predecessor check below catches them.
+	i := sort.Search(len(c.bases), func(i int) bool { return c.bases[i].Sum() > s })
+	conflict, ok = nil, true
+	if i > 0 && !c.bases[i-1].LE(base) {
+		conflict, ok = c.bases[i-1], false
+	} else if i < len(c.bases) && !base.LE(c.bases[i]) {
+		conflict, ok = c.bases[i], false
+	}
+	c.bases = append(c.bases, nil)
+	copy(c.bases[i+1:], c.bases[i:])
+	c.bases[i] = base
+	return conflict, ok
+}
+
+// Remove drops one member equal to base (window eviction). It reports
+// whether a member was found.
+func (c *Chain) Remove(base Base) bool {
+	s := base.Sum()
+	i := sort.Search(len(c.bases), func(i int) bool { return c.bases[i].Sum() >= s })
+	for ; i < len(c.bases) && c.bases[i].Sum() == s; i++ {
+		if c.bases[i].Equal(base) {
+			c.bases = append(c.bases[:i], c.bases[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of bases in the chain.
+func (c *Chain) Len() int { return len(c.bases) }
+
+// Frontier is the running pointwise maximum of completed-scan bases,
+// indexed by completion time: At(t) answers "what must any scan invoked
+// at t contain" — the (A3) requirement, aggregated. Entries are stored as
+// a monotone staircase (time and base both nondecreasing), so a query is
+// one binary search and pruning keeps only the staircase tail.
+type Frontier struct {
+	steps []frontierStep
+}
+
+type frontierStep struct {
+	at   rt.Ticks // completion time of the scan that raised the frontier
+	base Base     // cumulative pointwise max up to and including at
+}
+
+// Add folds in the base of a scan that completed at time at. Out-of-order
+// completion times (possible under concurrent transport clients) are
+// clamped forward, which can only weaken later requirements — the safe
+// direction for a monitor that must never report a false violation.
+func (f *Frontier) Add(at rt.Ticks, base Base) {
+	if n := len(f.steps); n > 0 {
+		last := f.steps[n-1]
+		if at < last.at {
+			at = last.at
+		}
+		if last.base.LE(base) && !base.LE(last.base) {
+			// Strictly higher: new step (merge below keeps staircase thin).
+		} else if base.LE(last.base) {
+			return // no new information
+		}
+		merged := make(Base, len(last.base))
+		for i := range merged {
+			merged[i] = last.base[i]
+			if base[i] > merged[i] {
+				merged[i] = base[i]
+			}
+		}
+		if at == last.at {
+			f.steps[n-1].base = merged
+			return
+		}
+		f.steps = append(f.steps, frontierStep{at: at, base: merged})
+		return
+	}
+	f.steps = append(f.steps, frontierStep{at: at, base: append(Base(nil), base...)})
+}
+
+// At returns the frontier strictly before t: the pointwise max of bases
+// of scans with resp < t. The returned Base is shared; callers must not
+// mutate it. nil means "no requirement".
+func (f *Frontier) At(t rt.Ticks) Base {
+	i := sort.Search(len(f.steps), func(i int) bool { return f.steps[i].at >= t })
+	if i == 0 {
+		return nil
+	}
+	return f.steps[i-1].base
+}
+
+// PruneBefore drops staircase steps older than t, keeping the newest
+// dropped step as the baseline (queries at or above its time stay exact;
+// queries below can only under-require — again the safe direction).
+func (f *Frontier) PruneBefore(t rt.Ticks) {
+	i := sort.Search(len(f.steps), func(i int) bool { return f.steps[i].at >= t })
+	if i > 1 {
+		f.steps = append(f.steps[:0], f.steps[i-1:]...)
+	}
+}
+
+// Floor returns the baseline frontier — the requirement every future scan
+// must meet regardless of query time (nil when the frontier is empty).
+func (f *Frontier) Floor() Base {
+	if len(f.steps) == 0 {
+		return nil
+	}
+	return f.steps[0].base
+}
+
+// Completions records one writer's update completions as a monotone
+// (resp, seq) staircase and answers the (A2)/(A4) requirement "how many
+// of this writer's updates completed strictly before t". Out-of-order
+// completions (a later-seq update finishing first, as svc batches allow)
+// fold into the staircase exactly the way the offline precCounts does:
+// the requirement at t is the highest seq whose completion precedes t.
+type Completions struct {
+	steps []complStep
+}
+
+type complStep struct {
+	resp rt.Ticks
+	seq  int
+}
+
+// Add records that update seq completed at resp. Non-monotone times are
+// clamped forward (safe direction, see Frontier.Add); non-monotone seqs
+// are dropped — a lower seq completing later adds no requirement beyond
+// the higher seq already recorded.
+func (c *Completions) Add(resp rt.Ticks, seq int) {
+	if n := len(c.steps); n > 0 {
+		last := c.steps[n-1]
+		if seq <= last.seq {
+			return
+		}
+		if resp < last.resp {
+			resp = last.resp
+		}
+		if resp == last.resp {
+			c.steps[n-1].seq = seq
+			return
+		}
+	}
+	c.steps = append(c.steps, complStep{resp: resp, seq: seq})
+}
+
+// Before returns the highest seq that completed strictly before t
+// (0 when none known).
+func (c *Completions) Before(t rt.Ticks) int {
+	i := sort.Search(len(c.steps), func(i int) bool { return c.steps[i].resp >= t })
+	if i == 0 {
+		return 0
+	}
+	return c.steps[i-1].seq
+}
+
+// PruneBefore drops steps older than t, keeping the newest dropped step
+// so queries at or above t stay exact (below, they under-require).
+func (c *Completions) PruneBefore(t rt.Ticks) {
+	i := sort.Search(len(c.steps), func(i int) bool { return c.steps[i].resp >= t })
+	if i > 1 {
+		c.steps = append(c.steps[:0], c.steps[i-1:]...)
+	}
+}
+
+// completionIndex builds the per-writer Completions of a finished history
+// (offline side of the shared machinery).
+func (h *History) completionIndex() []*Completions {
+	idx := make([]*Completions, h.N)
+	type done struct {
+		resp rt.Ticks
+		seq  int
+	}
+	for j := 0; j < h.N; j++ {
+		var ds []done
+		for _, u := range h.updatesByNode[j] {
+			if !u.Pending() {
+				ds = append(ds, done{resp: u.Resp, seq: u.Seq})
+			}
+		}
+		sort.SliceStable(ds, func(a, b int) bool { return ds[a].resp < ds[b].resp })
+		c := &Completions{}
+		for _, d := range ds {
+			c.Add(d.resp, d.seq)
+		}
+		idx[j] = c
+	}
+	return idx
+}

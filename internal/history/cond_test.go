@@ -1,0 +1,122 @@
+package history
+
+import (
+	"testing"
+)
+
+func TestChainInsertRemove(t *testing.T) {
+	var c Chain
+	if _, ok := c.Insert(Base{1, 0}); !ok {
+		t.Fatal("first insert cannot conflict")
+	}
+	if _, ok := c.Insert(Base{1, 1}); !ok {
+		t.Fatal("superset is comparable")
+	}
+	if _, ok := c.Insert(Base{1, 1}); !ok {
+		t.Fatal("duplicate is comparable")
+	}
+	conflict, ok := c.Insert(Base{0, 2})
+	if ok {
+		t.Fatal("incomparable base must conflict")
+	}
+	if conflict == nil {
+		t.Fatal("conflict base missing")
+	}
+	if c.Len() != 4 {
+		t.Fatalf("chain keeps newcomers, len = %d", c.Len())
+	}
+	if !c.Remove(Base{1, 1}) || !c.Remove(Base{1, 1}) {
+		t.Fatal("both duplicates must be removable")
+	}
+	if c.Remove(Base{1, 1}) {
+		t.Fatal("third remove must fail")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len after removes = %d", c.Len())
+	}
+}
+
+func TestChainEqualSumIncomparable(t *testing.T) {
+	var c Chain
+	c.Insert(Base{2, 0})
+	if _, ok := c.Insert(Base{0, 2}); ok {
+		t.Fatal("equal-sum distinct bases are incomparable")
+	}
+}
+
+func TestFrontierQueryAndPrune(t *testing.T) {
+	var f Frontier
+	if f.At(100) != nil {
+		t.Fatal("empty frontier has no requirement")
+	}
+	f.Add(10, Base{1, 0})
+	f.Add(20, Base{0, 2})
+	if got := f.At(10); got != nil {
+		t.Fatalf("At is strict: got %v", got)
+	}
+	if got := f.At(11); !got.Equal(Base{1, 0}) {
+		t.Fatalf("At(11) = %v", got)
+	}
+	if got := f.At(21); !got.Equal(Base{1, 2}) {
+		t.Fatalf("cumulative max: At(21) = %v", got)
+	}
+	// Out-of-order completion clamps forward: the requirement surfaces no
+	// earlier than the newest known step (safe under-requirement).
+	f.Add(5, Base{9, 9})
+	if got := f.At(15); !got.Equal(Base{1, 0}) {
+		t.Fatalf("clamped step must not raise past requirements: At(15) = %v", got)
+	}
+	if got := f.At(21); !got.Equal(Base{9, 9}) {
+		t.Fatalf("At(21) after clamp = %v", got)
+	}
+	f.PruneBefore(21)
+	if got := f.At(15); got != nil {
+		t.Fatalf("pruned queries under-require: At(15) = %v", got)
+	}
+	if got := f.At(25); !got.Equal(Base{9, 9}) {
+		t.Fatalf("baseline survives pruning: At(25) = %v", got)
+	}
+	if got := f.Floor(); !got.Equal(Base{9, 9}) {
+		t.Fatalf("Floor = %v", got)
+	}
+}
+
+func TestCompletionsStaircase(t *testing.T) {
+	var c Completions
+	if got := c.Before(5); got != 0 {
+		t.Fatalf("empty Before = %d", got)
+	}
+	c.Add(10, 1)
+	c.Add(30, 3)
+	// Out-of-order lower seq adds no requirement.
+	c.Add(40, 2)
+	if got := c.Before(10); got != 0 {
+		t.Fatalf("Before is strict: %d", got)
+	}
+	if got := c.Before(11); got != 1 {
+		t.Fatalf("Before(11) = %d", got)
+	}
+	if got := c.Before(31); got != 3 {
+		t.Fatalf("Before(31) = %d", got)
+	}
+	if got := c.Before(50); got != 3 {
+		t.Fatalf("later lower seq must not regress: Before(50) = %d", got)
+	}
+	// Out-of-order time clamps forward: the late-arriving (20, 5) folds
+	// into the newest step, so queries between the real completion and the
+	// clamp point under-require (here all the way down to the first step).
+	c.Add(20, 5)
+	if got := c.Before(25); got != 1 {
+		t.Fatalf("clamped completion must not raise past requirements: Before(25) = %d", got)
+	}
+	if got := c.Before(31); got != 5 {
+		t.Fatalf("Before(31) after clamp = %d", got)
+	}
+	c.PruneBefore(31)
+	if got := c.Before(10); got != 0 {
+		t.Fatalf("pruned queries under-require: Before(10) = %d", got)
+	}
+	if got := c.Before(100); got != 5 {
+		t.Fatalf("baseline survives pruning: Before(100) = %d", got)
+	}
+}

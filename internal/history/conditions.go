@@ -3,6 +3,8 @@ package history
 import (
 	"fmt"
 	"sort"
+
+	"mpsnap/internal/rt"
 )
 
 // scanBases pairs every completed scan with its base, with deterministic
@@ -24,37 +26,33 @@ func (h *History) scanBases() ([]scanBase, error) {
 	return out, nil
 }
 
-// precCounts[j] = number of node-j updates u' with u' → op (resp before
-// op's invocation).
-func (h *History) precCounts(op *Op) Base {
-	out := make(Base, h.N)
-	for j := 0; j < h.N; j++ {
-		for _, u := range h.updatesByNode[j] {
-			if u.Before(op) {
-				out[j] = u.Seq // program-order prefix: last preceding seq
-			}
-		}
+// precAt[j] = number of node-j updates u' completed strictly before t,
+// computed from the shared per-writer Completions index (cond.go). This is
+// exactly the requirement set (A2) and (A4) impose at an invocation time.
+func precAt(idx []*Completions, t rt.Ticks) Base {
+	out := make(Base, len(idx))
+	for j := range idx {
+		out[j] = idx[j].Before(t)
 	}
 	return out
 }
 
 // CheckA1 verifies condition (A1): the bases of any pair of SCAN operations
 // are comparable. It returns the violations found (empty means pass).
+// All pairs are comparable iff the multiset of bases forms a chain; the
+// shared Chain (cond.go) maintains that incrementally, so the offline
+// check is a fold over the scans in invocation order — the same fold the
+// monitor runs online.
 func (h *History) CheckA1() []string {
 	sbs, err := h.scanBases()
 	if err != nil {
 		return []string{err.Error()}
 	}
-	// All pairs are comparable iff the multiset of bases forms a chain.
-	// Sorting by total size and checking adjacent pairs suffices:
-	// containment implies size order, and ⊆ is transitive.
-	sorted := append([]scanBase(nil), sbs...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].base.Sum() < sorted[j].base.Sum() })
+	var chain Chain
 	var viol []string
-	for i := 1; i < len(sorted); i++ {
-		a, b := sorted[i-1], sorted[i]
-		if !a.base.LE(b.base) {
-			viol = append(viol, fmt.Sprintf("(A1) incomparable bases: %v base=%v vs %v base=%v", a.sc, a.base, b.sc, b.base))
+	for _, sb := range sbs {
+		if conflict, ok := chain.Insert(sb.base); !ok {
+			viol = append(viol, fmt.Sprintf("(A1) incomparable bases: %v base=%v vs earlier base=%v", sb.sc, sb.base, conflict))
 		}
 	}
 	return viol
@@ -67,9 +65,10 @@ func (h *History) CheckA2() []string {
 	if err != nil {
 		return []string{err.Error()}
 	}
+	idx := h.completionIndex()
 	var viol []string
 	for _, sb := range sbs {
-		need := h.precCounts(sb.sc)
+		need := precAt(idx, sb.sc.Inv)
 		if !need.LE(sb.base) {
 			viol = append(viol, fmt.Sprintf("(A2) %v base=%v misses preceding updates (needs ≥ %v)", sb.sc, sb.base, need))
 		}
@@ -78,21 +77,26 @@ func (h *History) CheckA2() []string {
 }
 
 // CheckA3 verifies condition (A3): sc1 → sc2 implies base(sc1) ⊆ base(sc2).
+// The shared Frontier (cond.go) carries the pointwise max of bases of scans
+// completed so far; a scan's base must dominate the frontier strictly
+// before its invocation — equivalent to the pairwise formulation because
+// ⊆ against a pointwise max is ⊆ against every contributor.
 func (h *History) CheckA3() []string {
 	sbs, err := h.scanBases()
 	if err != nil {
 		return []string{err.Error()}
 	}
+	// Feed scans in response order so the frontier staircase is exact
+	// (no forward clamping); query strictly before each invocation.
+	byResp := append([]scanBase(nil), sbs...)
+	sort.SliceStable(byResp, func(i, j int) bool { return byResp[i].sc.Resp < byResp[j].sc.Resp })
+	var fr Frontier
 	var viol []string
-	for i := range sbs {
-		for j := range sbs {
-			if i == j || !sbs[i].sc.Before(sbs[j].sc) {
-				continue
-			}
-			if !sbs[i].base.LE(sbs[j].base) {
-				viol = append(viol, fmt.Sprintf("(A3) %v → %v but base %v ⊄ %v", sbs[i].sc, sbs[j].sc, sbs[i].base, sbs[j].base))
-			}
+	for _, sb := range byResp {
+		if req := fr.At(sb.sc.Inv); req != nil && !req.LE(sb.base) {
+			viol = append(viol, fmt.Sprintf("(A3) %v base=%v regresses below the frontier %v of scans completed before it", sb.sc, sb.base, req))
 		}
+		fr.Add(sb.sc.Resp, sb.base)
 	}
 	return viol
 }
@@ -106,6 +110,7 @@ func (h *History) CheckA4() []string {
 	if err != nil {
 		return []string{err.Error()}
 	}
+	idx := h.completionIndex()
 	var viol []string
 	for _, sb := range sbs {
 		for i := 0; i < h.N; i++ {
@@ -113,7 +118,7 @@ func (h *History) CheckA4() []string {
 				continue
 			}
 			last := h.updatesByNode[i][sb.base[i]-1]
-			need := h.precCounts(last)
+			need := precAt(idx, last.Inv)
 			if !need.LE(sb.base) {
 				viol = append(viol, fmt.Sprintf("(A4) %v base=%v contains %v but misses its predecessors (needs ≥ %v)", sb.sc, sb.base, last, need))
 			}

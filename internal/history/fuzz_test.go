@@ -1,106 +1,12 @@
 package history
 
 import (
-	"fmt"
 	"testing"
-
-	"mpsnap/internal/rt"
 )
 
-// historyFromBytes deterministically decodes a byte string into a small
-// history: a compact encoding so the fuzzer can explore the space of
-// histories directly.
-//
-// Per operation, 4 bytes: [node|flags] [invDelta] [duration] [segment
-// value selector]. Flag 0x80 makes the op a scan; flag 0x40 makes it
-// pending — the node crashed during the op, so it has no response and
-// stays down (later ops decoded for a crashed node are skipped) unless a
-// later op carries flag 0x20, which restarts the node: that op opens the
-// recovered incarnation (crash-recovery, as chaos restart schedules
-// record). Scan results are synthesized from the selector per segment,
-// choosing among ⊥ and the values that segment's owner writes anywhere
-// in the history — including values of pending updates, which may
-// legitimately have taken effect (so BaseOf always resolves, and the
-// fuzzer reaches deep checker logic rather than tripping on unknown
-// values).
-func historyFromBytes(data []byte) *History {
-	const n = 2
-	nOps := len(data) / 4
-	if nOps > 7 {
-		nOps = 7
-	}
-	// First pass: update values per node, in program order.
-	type raw struct {
-		node    int
-		scan    bool
-		pending bool
-		inv     rt.Ticks
-		resp    rt.Ticks
-		sel     byte
-		updName string
-	}
-	var raws []raw
-	busy := [n]rt.Ticks{}
-	count := [n]int{}
-	crashed := [n]bool{}
-	for i := 0; i < nOps; i++ {
-		b := data[i*4 : i*4+4]
-		node := int(b[0]) % n
-		if crashed[node] {
-			if b[0]&0x20 == 0 {
-				continue
-			}
-			crashed[node] = false // 0x20 restarts the node
-		}
-		isScan := b[0]&0x80 != 0
-		pending := b[0]&0x40 != 0
-		inv := busy[node] + rt.Ticks(b[1]%8)
-		dur := rt.Ticks(b[2]%8) + 1
-		r := raw{node: node, scan: isScan, pending: pending, inv: inv, resp: inv + dur, sel: b[3]}
-		if !isScan {
-			count[node]++
-			r.updName = fmt.Sprintf("v%d-%d", node, count[node])
-		}
-		if pending {
-			crashed[node] = true
-		}
-		busy[node] = r.resp + 1
-		raws = append(raws, r)
-	}
-	valsByNode := [n][]string{}
-	for _, r := range raws {
-		if !r.scan {
-			valsByNode[r.node] = append(valsByNode[r.node], r.updName)
-		}
-	}
-	ops := make([]*Op, 0, len(raws))
-	for i, r := range raws {
-		switch {
-		case r.scan && r.pending:
-			ops = append(ops, &Op{ID: i, Node: r.node, Type: Scan, Inv: r.inv, Resp: -1})
-		case r.scan:
-			snap := make([]string, n)
-			sel := int(r.sel)
-			for seg := 0; seg < n; seg++ {
-				choices := len(valsByNode[seg]) + 1 // incl ⊥
-				pick := sel % choices
-				sel /= choices
-				if pick > 0 {
-					snap[seg] = valsByNode[seg][pick-1]
-				}
-			}
-			ops = append(ops, &Op{ID: i, Node: r.node, Type: Scan, Snap: snap, Inv: r.inv, Resp: r.resp})
-		case r.pending:
-			ops = append(ops, &Op{ID: i, Node: r.node, Type: Update, Arg: r.updName, Inv: r.inv, Resp: -1})
-		default:
-			ops = append(ops, &Op{ID: i, Node: r.node, Type: Update, Arg: r.updName, Inv: r.inv, Resp: r.resp})
-		}
-	}
-	return NewHistory(n, ops)
-}
-
 // FuzzCheckerAgainstBruteForce drives the Theorem 1 checker against
-// exhaustive search on fuzzer-chosen histories.
+// exhaustive search on fuzzer-chosen histories. The byte encoding is
+// FromFuzzBytes (fuzzgen.go), shared with FuzzMonitorWindow.
 func FuzzCheckerAgainstBruteForce(f *testing.F) {
 	f.Add([]byte{0x00, 1, 2, 0, 0x81, 1, 2, 3, 0x01, 0, 1, 5})
 	f.Add([]byte{0x80, 0, 0, 1, 0x00, 0, 0, 0, 0x81, 0, 0, 2, 0x01, 7, 7, 9})
@@ -119,7 +25,7 @@ func FuzzCheckerAgainstBruteForce(f *testing.F) {
 	f.Add([]byte{0x40, 0, 3, 0, 0x01, 1, 1, 0, 0xa0, 2, 2, 2, 0x81, 1, 1, 3})
 	f.Add([]byte{0x40, 0, 2, 0, 0x60, 1, 2, 0, 0x20, 1, 1, 0, 0x80, 1, 1, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		h := historyFromBytes(data)
+		h := FromFuzzBytes(data)
 		if len(h.Ops) == 0 {
 			return
 		}

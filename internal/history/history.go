@@ -43,6 +43,11 @@ type Op struct {
 	ID int
 	// Node is the invoking node.
 	Node int
+	// Client distinguishes concurrent clients multiplexed onto the same
+	// node (0 when the node has a single client). The consistency
+	// conditions never read it; the online monitor uses it for the
+	// self-inclusion check, which is a per-client program-order property.
+	Client int
 	// Type is Update or Scan.
 	Type OpType
 	// Seq is, for updates, the 1-based position among the node's updates
@@ -97,11 +102,36 @@ type Recorder struct {
 	nextID  int
 	ops     []*Op
 	nextSeq []int
+	sink    Sink
+}
+
+// Sink observes operations as the recorder sees them, in recorder order
+// (both callbacks fire under the recorder mutex, so a Sink needs no
+// locking of its own and, on the deterministic simulator, sees a
+// deterministic stream). The Op is a copy: sinks may retain it but
+// mutations do not reach the history. Completion callbacks carry the
+// final Resp (and Snap for scans); OpBegan fires with Resp == -1.
+//
+// This is the streaming hook the online monitor attaches to — the
+// recorder keeps the full history for the offline checker, the sink sees
+// each operation exactly twice (begin, complete) with no buffering
+// between them.
+type Sink interface {
+	OpBegan(op Op)
+	OpCompleted(op Op)
 }
 
 // NewRecorder creates a recorder for an n-node object.
 func NewRecorder(n int) *Recorder {
 	return &Recorder{n: n, nextSeq: make([]int, n)}
+}
+
+// SetSink attaches a streaming observer (nil detaches). Attach before
+// operations begin; the sink does not replay the past.
+func (r *Recorder) SetSink(s Sink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sink = s
 }
 
 // PendingOp is a begun-but-unfinished operation.
@@ -112,22 +142,38 @@ type PendingOp struct {
 
 // BeginUpdate records the invocation of UPDATE(arg) at node.
 func (r *Recorder) BeginUpdate(node int, arg string, at rt.Ticks) *PendingOp {
+	return r.BeginUpdateAs(node, 0, arg, at)
+}
+
+// BeginUpdateAs is BeginUpdate for a specific client of the node.
+func (r *Recorder) BeginUpdateAs(node, client int, arg string, at rt.Ticks) *PendingOp {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextSeq[node]++
-	op := &Op{ID: r.nextID, Node: node, Type: Update, Seq: r.nextSeq[node], Arg: arg, Inv: at, Resp: -1}
+	op := &Op{ID: r.nextID, Node: node, Client: client, Type: Update, Seq: r.nextSeq[node], Arg: arg, Inv: at, Resp: -1}
 	r.nextID++
 	r.ops = append(r.ops, op)
+	if r.sink != nil {
+		r.sink.OpBegan(*op)
+	}
 	return &PendingOp{r: r, op: op}
 }
 
 // BeginScan records the invocation of a SCAN at node.
 func (r *Recorder) BeginScan(node int, at rt.Ticks) *PendingOp {
+	return r.BeginScanAs(node, 0, at)
+}
+
+// BeginScanAs is BeginScan for a specific client of the node.
+func (r *Recorder) BeginScanAs(node, client int, at rt.Ticks) *PendingOp {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	op := &Op{ID: r.nextID, Node: node, Type: Scan, Inv: at, Resp: -1}
+	op := &Op{ID: r.nextID, Node: node, Client: client, Type: Scan, Inv: at, Resp: -1}
 	r.nextID++
 	r.ops = append(r.ops, op)
+	if r.sink != nil {
+		r.sink.OpBegan(*op)
+	}
 	return &PendingOp{r: r, op: op}
 }
 
@@ -136,6 +182,9 @@ func (p *PendingOp) End(at rt.Ticks) {
 	p.r.mu.Lock()
 	defer p.r.mu.Unlock()
 	p.op.Resp = at
+	if p.r.sink != nil {
+		p.r.sink.OpCompleted(*p.op)
+	}
 }
 
 // EndScan records the response of a scan with the returned vector.
@@ -144,6 +193,9 @@ func (p *PendingOp) EndScan(snap []string, at rt.Ticks) {
 	defer p.r.mu.Unlock()
 	p.op.Snap = append([]string(nil), snap...)
 	p.op.Resp = at
+	if p.r.sink != nil {
+		p.r.sink.OpCompleted(*p.op)
+	}
 }
 
 // History finalizes and returns the recorded history.

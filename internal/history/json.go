@@ -17,13 +17,14 @@ type jsonHistory struct {
 }
 
 type jsonOp struct {
-	ID   int      `json:"id"`
-	Node int      `json:"node"`
-	Type string   `json:"type"` // "update" | "scan"
-	Arg  string   `json:"arg,omitempty"`
-	Snap []string `json:"snap,omitempty"`
-	Inv  int64    `json:"inv"`
-	Resp int64    `json:"resp"` // -1 = pending
+	ID     int      `json:"id"`
+	Node   int      `json:"node"`
+	Client int      `json:"client,omitempty"`
+	Type   string   `json:"type"` // "update" | "scan"
+	Arg    string   `json:"arg,omitempty"`
+	Snap   []string `json:"snap,omitempty"`
+	Inv    int64    `json:"inv"`
+	Resp   int64    `json:"resp"` // -1 = pending
 }
 
 // DumpJSON writes the history in the stable JSON format.
@@ -31,10 +32,11 @@ func (h *History) DumpJSON(w io.Writer) error {
 	out := jsonHistory{N: h.N}
 	for _, op := range h.Ops {
 		jo := jsonOp{
-			ID:   op.ID,
-			Node: op.Node,
-			Inv:  int64(op.Inv),
-			Resp: int64(op.Resp),
+			ID:     op.ID,
+			Node:   op.Node,
+			Client: op.Client,
+			Inv:    int64(op.Inv),
+			Resp:   int64(op.Resp),
 		}
 		if op.Type == Update {
 			jo.Type = "update"
@@ -67,7 +69,7 @@ func LoadJSON(r io.Reader) (*History, error) {
 		if jo.Node < 0 || jo.Node >= in.N {
 			return nil, fmt.Errorf("history: op %d has node %d out of [0,%d)", i, jo.Node, in.N)
 		}
-		op := &Op{ID: jo.ID, Node: jo.Node, Inv: rt.Ticks(jo.Inv), Resp: rt.Ticks(jo.Resp)}
+		op := &Op{ID: jo.ID, Node: jo.Node, Client: jo.Client, Inv: rt.Ticks(jo.Inv), Resp: rt.Ticks(jo.Resp)}
 		switch jo.Type {
 		case "update":
 			op.Type = Update

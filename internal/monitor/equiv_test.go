@@ -1,0 +1,206 @@
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mpsnap/internal/history"
+	"mpsnap/internal/rt"
+)
+
+// genHistory produces a linearizable-by-construction recorded history:
+// each node issues sequential operations with random gaps and durations,
+// every operation takes effect atomically at a random instant within its
+// interval, and scans return the state at their effect instant. The
+// result is exactly the domain a live recorder produces — scans only
+// return values of updates invoked before the scan responds — which is
+// the domain on which the monitor's verdict must equal the offline
+// condition checker's.
+func genHistory(seed int64, n, perNode int) *history.History {
+	rng := rand.New(rand.NewSource(seed))
+	type planned struct {
+		node   int
+		scan   bool
+		inv    rt.Ticks
+		effect rt.Ticks
+		resp   rt.Ticks
+		val    string
+		snap   []string
+	}
+	var plan []*planned
+	for node := 0; node < n; node++ {
+		t := rt.Ticks(rng.Intn(5))
+		count := 0
+		for i := 0; i < perNode; i++ {
+			inv := t + rt.Ticks(rng.Intn(6))
+			dur := rt.Ticks(1 + rng.Intn(10))
+			p := &planned{
+				node:   node,
+				scan:   rng.Intn(2) == 0,
+				inv:    inv,
+				effect: inv + rt.Ticks(rng.Int63n(int64(dur)+1)),
+				resp:   inv + dur,
+			}
+			if !p.scan {
+				count++
+				p.val = fmt.Sprintf("v%d-%d", node, count)
+			}
+			plan = append(plan, p)
+			t = p.resp + 1
+		}
+	}
+	// Apply in effect order against the sequential specification.
+	byEffect := append([]*planned(nil), plan...)
+	sort.SliceStable(byEffect, func(i, j int) bool { return byEffect[i].effect < byEffect[j].effect })
+	state := make([]string, n)
+	for _, p := range byEffect {
+		if p.scan {
+			p.snap = append([]string(nil), state...)
+		} else {
+			state[p.node] = p.val
+		}
+	}
+	// Record per node in program order so the recorder assigns Seq right.
+	rec := history.NewRecorder(n)
+	for node := 0; node < n; node++ {
+		for _, p := range plan {
+			if p.node != node {
+				continue
+			}
+			if p.scan {
+				rec.BeginScan(node, p.inv).EndScan(p.snap, p.resp)
+			} else {
+				rec.BeginUpdate(node, p.val, p.inv).End(p.resp)
+			}
+		}
+	}
+	return rec.History()
+}
+
+// corrupt returns a mutated copy of h: one random completed scan has one
+// segment rolled back to an older value (or ⊥) of that segment's writer.
+// The mutation stays inside the recorded domain (the value is real and
+// was invoked before the scan responded), so the offline checker and the
+// monitor must still agree — on whether it broke anything at all.
+func corrupt(h *history.History, rng *rand.Rand) *history.History {
+	ops := make([]*history.Op, len(h.Ops))
+	var scans []int
+	for i, op := range h.Ops {
+		c := *op
+		if op.Snap != nil {
+			c.Snap = append([]string(nil), op.Snap...)
+		}
+		ops[i] = &c
+		if c.Type == history.Scan && !c.Pending() {
+			scans = append(scans, i)
+		}
+	}
+	if len(scans) == 0 {
+		return nil
+	}
+	sc := ops[scans[rng.Intn(len(scans))]]
+	seg := rng.Intn(h.N)
+	cur := sc.Snap[seg]
+	if cur == history.NoValue {
+		return nil
+	}
+	// Collect strictly older values of that writer (program order).
+	var older []string
+	older = append(older, history.NoValue)
+	for _, u := range h.UpdatesByNode(seg) {
+		if u.Arg == cur {
+			break
+		}
+		older = append(older, u.Arg)
+	}
+	sc.Snap[seg] = older[rng.Intn(len(older))]
+	return history.NewHistory(h.N, ops)
+}
+
+// TestMonitorMatchesOfflineOnRecordedHistories is the satellite
+// equivalence test: on recorded histories — clean and corrupted — the
+// unbounded-window monitor's verdict equals the offline (A1)-(A4)
+// checker's, and a windowed monitor never flags what the offline checker
+// accepts.
+func TestMonitorMatchesOfflineOnRecordedHistories(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		h := genHistory(seed, 3, 8)
+		offline := len(h.CheckConditions()) == 0
+		if !offline {
+			t.Fatalf("seed %d: generator produced a non-conforming history", seed)
+		}
+		if m := Replay(h, Config{}); !m.OK() {
+			t.Fatalf("seed %d: monitor flags a clean recorded history: %v", seed, m.Violations())
+		}
+		rng := rand.New(rand.NewSource(seed * 977))
+		for k := 0; k < 20; k++ {
+			ch := corrupt(h, rng)
+			if ch == nil {
+				continue
+			}
+			offOK := len(ch.CheckConditions()) == 0
+			m := Replay(ch, Config{})
+			if m.OK() != offOK {
+				t.Fatalf("seed %d corruption %d: offline ok=%v monitor ok=%v\noffline: %v\nmonitor: %v",
+					seed, k, offOK, m.OK(), ch.CheckConditions(), m.Violations())
+			}
+			for _, w := range []rt.Ticks{8, 64} {
+				if wm := Replay(ch, Config{Window: w}); offOK && !wm.OK() {
+					t.Fatalf("seed %d corruption %d window %d: false positive: %v", seed, k, w, wm.Violations())
+				}
+			}
+		}
+	}
+}
+
+// TestMonitorEquivalenceOnFuzzCorpus replays the checker fuzz corpus
+// shapes through the same comparison, restricted to the recorded domain
+// (scan values invoked before the scan responds — FromFuzzBytes can
+// synthesize future reads, which a live recorder cannot).
+func TestMonitorEquivalenceOnFuzzCorpus(t *testing.T) {
+	corpus := fuzzSeedCorpus()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		var data []byte
+		if i < len(corpus) {
+			data = corpus[i]
+		} else {
+			data = make([]byte, 4*(1+rng.Intn(7)))
+			rng.Read(data)
+		}
+		h := history.FromFuzzBytes(data)
+		if len(h.Ops) == 0 || !recordedDomain(h) {
+			continue
+		}
+		offOK := len(h.CheckConditions()) == 0
+		m := Replay(h, Config{})
+		if m.OK() != offOK {
+			t.Fatalf("bytes %x: offline ok=%v monitor ok=%v\noffline: %v\nmonitor: %v",
+				data, offOK, m.OK(), h.CheckConditions(), m.Violations())
+		}
+	}
+}
+
+// recordedDomain reports whether every completed scan returns only values
+// of updates invoked at or before the scan's response — what a live
+// recorder can produce.
+func recordedDomain(h *history.History) bool {
+	invOf := make(map[string]rt.Ticks)
+	for _, op := range h.Updates() {
+		invOf[op.Arg] = op.Inv
+	}
+	for _, sc := range h.Scans() {
+		for _, v := range sc.Snap {
+			if v == history.NoValue {
+				continue
+			}
+			inv, ok := invOf[v]
+			if !ok || inv > sc.Resp {
+				return false
+			}
+		}
+	}
+	return true
+}

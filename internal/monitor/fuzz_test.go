@@ -1,0 +1,56 @@
+package monitor
+
+import (
+	"testing"
+
+	"mpsnap/internal/history"
+	"mpsnap/internal/rt"
+)
+
+// fuzzSeedCorpus mirrors the seed corpus of the history package's
+// FuzzCheckerAgainstBruteForce — including the 0x40 crash and 0x20
+// restart shapes — so both fuzzers start from the same interesting
+// territory.
+func fuzzSeedCorpus() [][]byte {
+	return [][]byte{
+		{0x00, 1, 2, 0, 0x81, 1, 2, 3, 0x01, 0, 1, 5},
+		{0x80, 0, 0, 1, 0x00, 0, 0, 0, 0x81, 0, 0, 2, 0x01, 7, 7, 9},
+		{1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4},
+		{0x40, 1, 2, 0, 0x81, 3, 4, 1, 0x01, 0, 1, 0},
+		{0x00, 0, 1, 0, 0x40, 2, 2, 0, 0x81, 0, 6, 2, 0x01, 1, 1, 3},
+		{0xc1, 0, 3, 0, 0x00, 1, 1, 0, 0x80, 2, 2, 1},
+		{0x40, 0, 7, 0, 0x41, 1, 7, 0, 0x80, 0, 1, 2},
+		{0x40, 1, 2, 0, 0x20, 1, 2, 0, 0x80, 2, 2, 1},
+		{0x40, 0, 3, 0, 0x01, 1, 1, 0, 0xa0, 2, 2, 2, 0x81, 1, 1, 3},
+		{0x40, 0, 2, 0, 0x60, 1, 2, 0, 0x20, 1, 1, 0, 0x80, 1, 1, 1},
+	}
+}
+
+// FuzzMonitorWindow asserts the monitor's one-sided soundness: on any
+// history the offline linearizability checker accepts, the monitor —
+// at any window size, including sizes small enough to force mid-replay
+// eviction and registry pruning — reports no violation. (The converse
+// direction is deliberately weaker: windowing and the recorded-domain
+// restriction mean the monitor may miss offline-detectable violations,
+// see TestMonitorWindowMissAfterEviction and DESIGN.md §12.)
+func FuzzMonitorWindow(f *testing.F) {
+	for _, data := range fuzzSeedCorpus() {
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := history.FromFuzzBytes(data)
+		if len(h.Ops) == 0 {
+			return
+		}
+		ok := h.CheckLinearizable().OK
+		for _, w := range []rt.Ticks{0, 3, 11, 64} {
+			m := Replay(h, Config{Window: w})
+			if ok && !m.OK() {
+				for _, op := range h.Ops {
+					t.Logf("  %v", op)
+				}
+				t.Fatalf("window %d: monitor false positive on offline-accepted history: %v", w, m.Violations())
+			}
+		}
+	})
+}

@@ -1,0 +1,51 @@
+package monitor
+
+import (
+	"sort"
+
+	"mpsnap/internal/history"
+)
+
+// Replay feeds a finished history through a fresh monitor in event-time
+// order — every invocation and every response becomes one sink callback,
+// begins before completions at equal times (an update invoked at the tick
+// a scan responds is already registered, matching the offline checker's
+// strict real-time order) — and returns the monitor for inspection. With
+// cfg.Window == 0 the monitor prunes nothing and its verdict matches the
+// offline condition checks; the equivalence and fuzz tests in this
+// package rely on that.
+func Replay(h *history.History, cfg Config) *Monitor {
+	if cfg.N == 0 {
+		cfg.N = h.N
+	}
+	m := New(cfg)
+	type event struct {
+		at    int64
+		begin bool
+		op    *history.Op
+	}
+	var evs []event
+	for _, op := range h.Ops {
+		evs = append(evs, event{at: int64(op.Inv), begin: true, op: op})
+		if !op.Pending() {
+			evs = append(evs, event{at: int64(op.Resp), op: op})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		if evs[i].begin != evs[j].begin {
+			return evs[i].begin
+		}
+		return evs[i].op.ID < evs[j].op.ID
+	})
+	for _, ev := range evs {
+		if ev.begin {
+			m.OpBegan(*ev.op)
+		} else {
+			m.OpCompleted(*ev.op)
+		}
+	}
+	return m
+}

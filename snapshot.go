@@ -105,6 +105,11 @@ func (a Algorithm) RequiresNGreaterThan3F() bool {
 // node's own segment, Scan returns all n segments (nil = never written).
 type Object = harness.Object
 
+// ErrCrashed is the error operations and waits fail with when the local
+// node has crashed. Client scripts match it with errors.Is to tell a
+// scheduled crash aborting an operation from a real failure.
+var ErrCrashed = rt.ErrCrashed
+
 // NewNode constructs the chosen algorithm's node on a runtime. The
 // returned value is both the node's message handler and its operation
 // endpoint. Most users should use NewSimCluster or the transport helpers

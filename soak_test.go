@@ -1,6 +1,7 @@
 package mpsnap_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -18,8 +19,9 @@ func TestSoakEQASO(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		n := 15
 		f := 7
+		const crashes = 4
 		cfg := mpsnap.Config{N: n, F: f, Algorithm: mpsnap.EQASO, Seed: seed}
-		for v := 0; v < 4; v++ {
+		for v := 0; v < crashes; v++ {
 			cfg.Crashes = append(cfg.Crashes, mpsnap.CrashSpec{Node: v, At: mpsnap.Ticks(5000 * (v + 1))})
 		}
 		c, err := mpsnap.NewSimCluster(cfg)
@@ -32,12 +34,21 @@ func TestSoakEQASO(t *testing.T) {
 				rng := rand.New(rand.NewSource(seed*77 + int64(i)))
 				for k := 0; k < 20; k++ {
 					var err error
+					op := "update"
 					if rng.Intn(2) == 0 {
 						err = cl.Update([]byte(fmt.Sprintf("s%d-%d", i, k)))
 					} else {
+						op = "scan"
 						_, err = cl.Scan()
 					}
 					if err != nil {
+						// Only a scheduled crash may abort a client; any
+						// other error (or a crash error on a node that
+						// was never scheduled to crash) is a bug.
+						if errors.Is(err, mpsnap.ErrCrashed) && i < crashes {
+							return
+						}
+						t.Errorf("seed %d node %d op %d (%s): %v", seed, i, k, op, err)
 						return
 					}
 					_ = cl.Sleep(mpsnap.Ticks(rng.Intn(1500)))
@@ -84,12 +95,18 @@ func TestSoakAllAlgorithmsMedium(t *testing.T) {
 					rng := rand.New(rand.NewSource(int64(i)))
 					for k := 0; k < ops; k++ {
 						var err error
+						op := "update"
 						if rng.Intn(2) == 0 {
 							err = cl.Update([]byte(fmt.Sprintf("s%d-%d", i, k)))
 						} else {
+							op = "scan"
 							_, err = cl.Scan()
 						}
 						if err != nil {
+							// This run schedules no crashes: every
+							// client error is a bug, crash-flavored
+							// or not.
+							t.Errorf("%s node %d op %d (%s): %v", alg, i, k, op, err)
 							return
 						}
 					}
