@@ -83,6 +83,14 @@ bench-smoke:
 	$(GO) run ./cmd/asobench -e cluster -quick -check -json BENCH_cluster.json
 	$(GO) run ./cmd/asobench -e engines -quick -check -json BENCH_engines.json
 
+# Wall-clock saturation smoke on the real TCP loopback stack: a reduced
+# loadgen sweep plus the tuned-vs-legacy transport bake-off; -check fails
+# the build unless the tuned path reaches >= 1.5x legacy ops/s at the
+# bake-off client count. The committed BENCH_wallclock.json comes from
+# the unreduced run (`go run ./cmd/asobench -e wallclock -json ... -check`).
+bench-wallclock:
+	$(GO) run ./cmd/asobench -e wallclock -quick -check -json BENCH_wallclock_smoke.json
+
 # Churn matrix under the race detector: the streaming monitor's unit,
 # equivalence, and injected-violation suites, the churn schedule property
 # tests, then a short churn CLI matrix — eqaso, acr, fastsnap × 2 seeds

@@ -10,7 +10,7 @@ import (
 var knownExperiments = []string{
 	"table1", "sqrtk", "amortized", "failurefree", "byzantine",
 	"sso", "lattice", "messages", "throughput", "codec", "latency",
-	"hotpath", "recovery", "cluster", "engines",
+	"hotpath", "recovery", "cluster", "engines", "wallclock",
 }
 
 // benchConfig is the parsed asobench command line.
@@ -29,7 +29,7 @@ func parseBenchConfig(args []string, out io.Writer) (benchConfig, error) {
 	fs := flag.NewFlagSet("asobench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	fs.StringVar(&cfg.Exp, "e", "all",
-		"experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|throughput|codec|latency|hotpath|recovery|cluster|engines|all")
+		"experiment: table1|sqrtk|amortized|failurefree|byzantine|sso|lattice|messages|throughput|codec|latency|hotpath|recovery|cluster|engines|wallclock|all")
 	fs.BoolVar(&cfg.Quick, "quick", false, "smaller parameters (CI-sized)")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "simulation seed")
 	fs.StringVar(&cfg.JSONPath, "json", "",

@@ -66,6 +66,12 @@ func main() {
 		clScans   = 5
 		engN      = 7
 		engOps    = 12
+		wcEngines = []string{"eqaso", "acr", "fastsnap"}
+		wcClients = []int{64, 256, 1024, 4096}
+		wcN       = 4
+		wcDur     = 2 * time.Second
+		wcWarm    = 500 * time.Millisecond
+		wcBakeoff = 1024
 	)
 	if cfg.Quick {
 		engN, engOps = 5, 8
@@ -81,6 +87,11 @@ func main() {
 		hpWindows, hpHs = 8, []int{1024, 4096, 16384}
 		rcHs = []int{1024, 4096, 16384}
 		clShards, clKeys, clScans = []int{1, 2, 4}, 6, 3
+		// 256 clients is the smallest count where the mesh is saturated
+		// enough for the tuned/legacy gap to clear the -check gate
+		// reliably in a sub-second window.
+		wcEngines, wcClients = []string{"fastsnap"}, []int{64, 256}
+		wcDur, wcWarm, wcBakeoff = 700*time.Millisecond, 200*time.Millisecond, 256
 	}
 
 	experiments := []experiment{
@@ -116,7 +127,8 @@ func main() {
 				return "", err
 			}
 			if cfg.JSONPath != "" {
-				if err := writeJSON(cfg.JSONPath, points); err != nil {
+				report := bench.ThroughputReport{Env: bench.CaptureEnv(), Points: points}
+				if err := writeJSON(cfg.JSONPath, report); err != nil {
 					return "", err
 				}
 				out += fmt.Sprintf("points written to %s\n", cfg.JSONPath)
@@ -213,6 +225,30 @@ func main() {
 			}
 			return out, nil
 		}},
+		{"wallclock", func() (string, error) {
+			w, err := bench.RunWallclock(bench.WallclockConfig{
+				Engines: wcEngines, Clients: wcClients, N: wcN,
+				Duration: wcDur, Warmup: wcWarm, ScanPct: 10,
+				Seed: seed, BakeoffClients: wcBakeoff,
+			})
+			if err != nil {
+				return "", err
+			}
+			out := w.Render()
+			if cfg.JSONPath != "" {
+				if err := writeJSON(cfg.JSONPath, w); err != nil {
+					return "", err
+				}
+				out += fmt.Sprintf("points written to %s\n", cfg.JSONPath)
+			}
+			if cfg.Check {
+				if err := w.Check(1.5); err != nil {
+					return "", err
+				}
+				out += "check passed: tuned transport reaches >= 1.5x legacy ops/s at the bake-off client count\n"
+			}
+			return out, nil
+		}},
 		{"codec", func() (string, error) {
 			out, report, err := bench.Codec()
 			if err != nil {
@@ -229,8 +265,10 @@ func main() {
 	}
 
 	for _, e := range experiments {
-		if cfg.Exp == "all" && e.name == "codec" {
-			continue // needs the go toolchain (gob baseline); run explicitly
+		if cfg.Exp == "all" && (e.name == "codec" || e.name == "wallclock") {
+			// codec needs the go toolchain (gob baseline); wallclock runs
+			// real TCP meshes for wall-clock minutes. Both run explicitly.
+			continue
 		}
 		if cfg.Exp != "all" && cfg.Exp != e.name {
 			continue

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLoadConfigDefaults(t *testing.T) {
+	cfg, err := parseLoadConfig(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Gen.Engine != "eqaso" || cfg.Gen.N != 4 || cfg.Gen.Clients != 64 {
+		t.Errorf("defaults: engine=%q n=%d clients=%d", cfg.Gen.Engine, cfg.Gen.N, cfg.Gen.Clients)
+	}
+	if cfg.Gen.Duration != 2*time.Second || cfg.Gen.Warmup != 500*time.Millisecond {
+		t.Errorf("defaults: duration=%v warmup=%v", cfg.Gen.Duration, cfg.Gen.Warmup)
+	}
+	if cfg.Gen.Legacy || cfg.Gen.Rate != 0 || cfg.Gen.ZipfS != 0 {
+		t.Errorf("defaults: legacy=%v rate=%g zipf=%g", cfg.Gen.Legacy, cfg.Gen.Rate, cfg.Gen.ZipfS)
+	}
+	if cfg.Gen.Path() != "tuned" {
+		t.Errorf("default path = %q, want tuned", cfg.Gen.Path())
+	}
+}
+
+func TestParseLoadConfigFull(t *testing.T) {
+	cfg, err := parseLoadConfig(strings.Fields(
+		"-engine fastsnap -n 7 -f 3 -clients 1024 -duration 5s -warmup 1s "+
+			"-scans 25 -keys 4096 -zipf 1.2 -rate 50000 -payload 64 -seed 9 "+
+			"-d 2ms -max-pending 8192 -legacy -flush 50us -json out.json -quiet"), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Gen
+	if g.Engine != "fastsnap" || g.N != 7 || g.F != 3 || g.Clients != 1024 {
+		t.Errorf("parsed: engine=%q n=%d f=%d clients=%d", g.Engine, g.N, g.F, g.Clients)
+	}
+	if g.Duration != 5*time.Second || g.Warmup != time.Second || g.D != 2*time.Millisecond {
+		t.Errorf("parsed: duration=%v warmup=%v d=%v", g.Duration, g.Warmup, g.D)
+	}
+	if g.ScanPct != 25 || g.Keys != 4096 || g.ZipfS != 1.2 || g.Rate != 50000 {
+		t.Errorf("parsed: scans=%d keys=%d zipf=%g rate=%g", g.ScanPct, g.Keys, g.ZipfS, g.Rate)
+	}
+	if g.Payload != 64 || g.Seed != 9 || g.MaxPending != 8192 {
+		t.Errorf("parsed: payload=%d seed=%d max-pending=%d", g.Payload, g.Seed, g.MaxPending)
+	}
+	if !g.Legacy || g.FlushDelay != 50*time.Microsecond {
+		t.Errorf("parsed: legacy=%v flush=%v", g.Legacy, g.FlushDelay)
+	}
+	if g.Path() != "legacy" {
+		t.Errorf("path = %q, want legacy", g.Path())
+	}
+	if cfg.JSONPath != "out.json" || !cfg.Quiet {
+		t.Errorf("parsed: json=%q quiet=%v", cfg.JSONPath, cfg.Quiet)
+	}
+}
+
+func TestParseLoadConfigRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "1"},                   // mesh too small
+		{"-clients", "0"},             // no sessions
+		{"-scans", "101"},             // mix out of range
+		{"-scans", "-1"},              // mix out of range
+		{"-keys", "0"},                // empty key space
+		{"-zipf", "0.5"},              // exponent must be > 1
+		{"-rate", "-1"},               // negative arrival rate
+		{"-n", "5", "-f", "3"},        // f > (n-1)/2
+		{"-bogus"},                    // unknown flag
+		{"positional"},                // stray argument
+		{"-duration", "not-a-number"}, // malformed duration
+	} {
+		if _, err := parseLoadConfig(args, io.Discard); err == nil {
+			t.Errorf("parseLoadConfig(%v): want error, got nil", args)
+		}
+	}
+}

@@ -127,4 +127,15 @@ func TestObsMux(t *testing.T) {
 	if !strings.Contains(lines[0], `"op":"update"`) {
 		t.Errorf("trace line missing op event: %s", lines[0])
 	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Errorf("/debug/pprof/ index: code %d body:\n%.200s", rec.Code, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/heap?debug=1", nil))
+	if rec.Code != 200 {
+		t.Errorf("/debug/pprof/heap: code %d", rec.Code)
+	}
 }

@@ -23,7 +23,8 @@
 // With -http ADDR the node serves its observability surface: GET /metrics
 // exports per-operation latency histograms (wall-clock µs) and message
 // counters in Prometheus text format; GET /debug/trace streams the most
-// recent operation/phase/message events as JSONL.
+// recent operation/phase/message events as JSONL; /debug/pprof/ serves
+// the standard Go profiling endpoints for profiling saturation runs.
 //
 // The transport relies on TCP's in-order delivery for the paper's FIFO
 // channel assumption; the deployment is crash-stop (no reconnects).
@@ -36,6 +37,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -158,7 +160,8 @@ func main() {
 		}
 		defer ln.Close()
 		go http.Serve(ln, obsMux(metrics, trace))
-		fmt.Printf("metrics on http://%s/metrics, trace on http://%s/debug/trace\n", ln.Addr(), ln.Addr())
+		fmt.Printf("metrics on http://%s/metrics, trace on http://%s/debug/trace, profiles on http://%s/debug/pprof/\n",
+			ln.Addr(), ln.Addr(), ln.Addr())
 	}
 
 	if cfg.Clients != "" {
@@ -176,9 +179,19 @@ func main() {
 	session(os.Stdin, os.Stdout, service, true)
 }
 
-// obsMux serves the node's observability endpoints.
+// obsMux serves the node's observability endpoints, including the
+// standard pprof surface so saturation runs (cmd/asoload against this
+// node) can be profiled live:
+//
+//	go tool pprof http://HOST:PORT/debug/pprof/profile?seconds=10
+//	go tool pprof http://HOST:PORT/debug/pprof/heap
 func obsMux(metrics *obs.Metrics, trace *obs.Trace) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := obs.WritePrometheus(w, metrics.Snapshot()); err != nil {

@@ -41,6 +41,7 @@ type ClusterPoint struct {
 // ClusterBench is the full experiment result, serialized to
 // BENCH_cluster.json by cmd/asobench -e cluster.
 type ClusterBench struct {
+	Env          Env   `json:"env"`
 	N            int   `json:"n"` // nodes per shard
 	F            int   `json:"f"` // crash bound per shard
 	ShardCounts  []int `json:"shardCounts"`
@@ -65,7 +66,8 @@ type ClusterBench struct {
 // single-cluster svc baseline for the shards=1 ratio.
 func RunCluster(n, f int, shardCounts []int, keysPerShard, scans int, seed int64) (ClusterBench, error) {
 	out := ClusterBench{
-		N: n, F: f, ShardCounts: shardCounts,
+		Env: CaptureEnv(),
+		N:   n, F: f, ShardCounts: shardCounts,
 		KeysPerShard: keysPerShard, Scans: scans, Seed: seed,
 	}
 	base, err := baselineSvcScan(n, f, keysPerShard, scans, seed)

@@ -1,29 +1,21 @@
 // The codec micro-benchmark: typed internal/wire vs the encoding/gob
 // baseline it replaced, over the EQ-ASO hot messages.
 //
-// The wire side is measured in-process with testing.Benchmark. The gob
-// baseline lives in internal/wire's external benchmark file (gob is banned
-// from non-test sources), so its numbers come from running
-// `go test -bench BenchmarkGobCodec ./internal/wire` and parsing the
-// output — which is why this experiment needs the go toolchain and the
-// repository root as working directory (how make and CI invoke it).
+// Both sides come from running internal/wire's external benchmark file
+// (gob is banned from non-test sources) and parsing the output of
+// `go test -bench 'BenchmarkWireCodec|BenchmarkGobCodec' ./internal/wire`
+// — one process, one corpus, directly comparable numbers. This is why the
+// experiment needs the go toolchain and the repository root as working
+// directory (how make and CI invoke it).
 package bench
 
 import (
 	"fmt"
-	"math/rand"
 	"os/exec"
 	"regexp"
 	"strconv"
 	"strings"
-	"testing"
 	"text/tabwriter"
-
-	"mpsnap/internal/rt"
-	"mpsnap/internal/wire"
-
-	// Registers the EQ-ASO message codecs the corpus generates.
-	_ "mpsnap/internal/eqaso"
 )
 
 // CodecPoint is one codec's measurement, for the JSON perf artifact.
@@ -38,62 +30,26 @@ type CodecPoint struct {
 // CodecReport is the experiment's JSON artifact: both measurements plus
 // the headline ratio.
 type CodecReport struct {
+	Env     Env        `json:"env"`
 	Wire    CodecPoint `json:"wire"`
 	Gob     CodecPoint `json:"gob"`
 	Speedup float64    `json:"speedup"`
 }
 
-// codecCorpus mirrors the corpus of internal/wire's benchmarks: the
-// EQ-ASO hot messages (tags 16–24), generated from one fixed seed.
-func codecCorpus() []rt.Message {
-	rng := rand.New(rand.NewSource(1))
-	var msgs []rt.Message
-	for _, c := range wire.Registered() {
-		if c.Tag < 16 || c.Tag > 24 {
-			continue
-		}
-		for k := 0; k < 4; k++ {
-			msgs = append(msgs, c.Gen(rng))
-		}
-	}
-	return msgs
-}
-
 // Codec measures wire-vs-gob encode+decode cost per message and reports
 // the speedup.
 func Codec() (string, CodecReport, error) {
-	msgs := codecCorpus()
-	if len(msgs) == 0 {
-		return "", CodecReport{}, fmt.Errorf("codec: no eqaso codecs registered")
+	out, err := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^(BenchmarkWireCodec|BenchmarkGobCodec)$",
+		"-benchmem", "./internal/wire").CombinedOutput()
+	if err != nil {
+		return "", CodecReport{}, fmt.Errorf("codec: benchmarks (run from the repository root): %v\n%s", err, out)
 	}
-
-	var buf wire.Buffer
-	wireBytes := 0
-	ops := 0
-	res := testing.Benchmark(func(b *testing.B) {
-		wireBytes, ops = 0, b.N
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			msg := msgs[i%len(msgs)]
-			buf.Reset()
-			if err := wire.AppendMessage(&buf, msg); err != nil {
-				b.Fatal(err)
-			}
-			wireBytes += buf.Len()
-			if _, err := wire.Unmarshal(buf.Bytes()); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	wirePoint := CodecPoint{
-		Codec:       "wire",
-		NsPerOp:     float64(res.NsPerOp()),
-		BytesPerOp:  res.AllocedBytesPerOp(),
-		AllocsPerOp: res.AllocsPerOp(),
-		WireBytes:   float64(wireBytes) / float64(ops),
+	wirePoint, err := parseBenchLine(string(out), "Wire")
+	if err != nil {
+		return "", CodecReport{}, err
 	}
-
-	gobPoint, err := gobBaseline()
+	gobPoint, err := parseBenchLine(string(out), "Gob")
 	if err != nil {
 		return "", CodecReport{}, err
 	}
@@ -113,27 +69,21 @@ func Codec() (string, CodecReport, error) {
 	w.Flush()
 	fmt.Fprintf(&sb, "speedup: wire is %.1fx faster than gob\n", speedup)
 
-	return sb.String(), CodecReport{Wire: wirePoint, Gob: gobPoint, Speedup: speedup}, nil
+	return sb.String(), CodecReport{Env: CaptureEnv(), Wire: wirePoint, Gob: gobPoint, Speedup: speedup}, nil
 }
 
-// benchLine matches one `go test -bench` result line, e.g.
+// parseBenchLine extracts one `go test -bench` result line, e.g.
 // BenchmarkGobCodec  20223  17363 ns/op  77.24 wirebytes/op  8386 B/op  179 allocs/op
-var benchLine = regexp.MustCompile(
-	`BenchmarkGobCodec\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) wirebytes/op\s+(\d+) B/op\s+(\d+) allocs/op`)
-
-func gobBaseline() (CodecPoint, error) {
-	out, err := exec.Command("go", "test", "-run", "^$",
-		"-bench", "^BenchmarkGobCodec$", "-benchmem", "./internal/wire").CombinedOutput()
-	if err != nil {
-		return CodecPoint{}, fmt.Errorf("codec: gob baseline (run from the repository root): %v\n%s", err, out)
-	}
-	m := benchLine.FindStringSubmatch(string(out))
+func parseBenchLine(out, which string) (CodecPoint, error) {
+	re := regexp.MustCompile(
+		`Benchmark` + which + `Codec\S*\s+\d+\s+([\d.]+) ns/op\s+([\d.]+) wirebytes/op\s+(\d+) B/op\s+(\d+) allocs/op`)
+	m := re.FindStringSubmatch(out)
 	if m == nil {
-		return CodecPoint{}, fmt.Errorf("codec: no benchmark line in gob baseline output:\n%s", out)
+		return CodecPoint{}, fmt.Errorf("codec: no Benchmark%sCodec line in benchmark output:\n%s", which, out)
 	}
 	ns, _ := strconv.ParseFloat(m[1], 64)
 	wb, _ := strconv.ParseFloat(m[2], 64)
 	ab, _ := strconv.ParseInt(m[3], 10, 64)
 	ac, _ := strconv.ParseInt(m[4], 10, 64)
-	return CodecPoint{Codec: "gob", NsPerOp: ns, BytesPerOp: ab, AllocsPerOp: ac, WireBytes: wb}, nil
+	return CodecPoint{Codec: strings.ToLower(which), NsPerOp: ns, BytesPerOp: ab, AllocsPerOp: ac, WireBytes: wb}, nil
 }

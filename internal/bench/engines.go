@@ -48,6 +48,7 @@ type EnginePoint struct {
 // Engines is the full bake-off result, serialized to BENCH_engines.json
 // by cmd/asobench -e engines.
 type Engines struct {
+	Env        Env           `json:"env"`
 	N          int           `json:"n"`
 	OpsPerNode int           `json:"opsPerNode"`
 	Seed       int64         `json:"seed"`
@@ -56,7 +57,7 @@ type Engines struct {
 
 // RunEngines executes the bake-off over every registered engine.
 func RunEngines(n, opsPerNode int, seed int64) (Engines, error) {
-	out := Engines{N: n, OpsPerNode: opsPerNode, Seed: seed}
+	out := Engines{Env: CaptureEnv(), N: n, OpsPerNode: opsPerNode, Seed: seed}
 	for _, name := range engine.Names() {
 		p, err := engineSweep(name, n, opsPerNode, seed)
 		if err != nil {

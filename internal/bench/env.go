@@ -1,0 +1,25 @@
+package bench
+
+import "runtime"
+
+// Env records the runtime environment a benchmark ran in. Every
+// BENCH_*.json artifact embeds one, so numbers tracked across commits can
+// be separated from numbers tracked across machines.
+type Env struct {
+	GoVersion  string `json:"goVersion"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"numCPU"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CaptureEnv snapshots the current process's runtime environment.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}

@@ -39,6 +39,7 @@ type HotpathPoint struct {
 // Hotpath is the full experiment result, serialized to
 // BENCH_hotpath.json by cmd/asobench -e hotpath.
 type Hotpath struct {
+	Env     Env   `json:"env"`
 	N       int   `json:"n"`       // cluster size
 	Window  int   `json:"window"`  // value arrivals per operation window
 	Windows int   `json:"windows"` // measured windows per point
@@ -124,7 +125,7 @@ func hotpathValue(i, n int) core.Value {
 // steady-state per-window cost with n nodes and `window` arrivals per
 // window, averaged over `windows` measured windows.
 func RunHotpath(n, window, windows int, hs []int) Hotpath {
-	out := Hotpath{N: n, Window: window, Windows: windows, Hs: hs}
+	out := Hotpath{Env: CaptureEnv(), N: n, Window: window, Windows: windows, Hs: hs}
 	quorum := n - (n-1)/2
 	for _, mk := range []func(int) hotpathEngine{
 		func(n int) hotpathEngine { return newMapEngine(n) },

@@ -36,6 +36,7 @@ type LatencyPoint struct {
 // Latency is the full experiment result, serialized to BENCH_latency.json
 // by cmd/asobench -e latency.
 type Latency struct {
+	Env        Env            `json:"env"`
 	N          int            `json:"n"`
 	OpsPerNode int            `json:"opsPerNode"`
 	Seed       int64          `json:"seed"`
@@ -78,7 +79,7 @@ func latencyAlgos() []Algo { return []Algo{EQASO, SSOFast, ByzASO} }
 // bound. Latencies come from obs.Metrics histograms recorded by the
 // algorithms' own op events — the same numbers /metrics would export.
 func RunLatency(n, opsPerNode int, seed int64) (Latency, error) {
-	out := Latency{N: n, OpsPerNode: opsPerNode, Seed: seed, Ks: LatencyKs(n)}
+	out := Latency{Env: CaptureEnv(), N: n, OpsPerNode: opsPerNode, Seed: seed, Ks: LatencyKs(n)}
 	for _, a := range latencyAlgos() {
 		f := (n - 1) / 2
 		if a == ByzASO {

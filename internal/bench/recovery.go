@@ -39,6 +39,7 @@ type RecoveryPoint struct {
 // Recovery is the full experiment result, serialized to
 // BENCH_recovery.json by cmd/asobench -e recovery.
 type Recovery struct {
+	Env    Env   `json:"env"`
 	N      int   `json:"n"`      // cluster size
 	Window int   `json:"window"` // values per checkpoint window
 	Hs     []int `json:"hs"`
@@ -104,7 +105,7 @@ func recoveryWAL(n, h, window int, gc bool) *wal.MemFile {
 // WAL replay latency and the recovered log's residency with n nodes and
 // `window` values per checkpoint, averaging the timed replay over reps.
 func RunRecovery(n, window, reps int, hs []int) Recovery {
-	out := Recovery{N: n, Window: window, Hs: hs}
+	out := Recovery{Env: CaptureEnv(), N: n, Window: window, Hs: hs}
 	for _, gc := range []bool{false, true} {
 		for _, h := range hs {
 			f := recoveryWAL(n, h, window, gc)

@@ -113,6 +113,13 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	return res, nil
 }
 
+// ThroughputReport wraps the sweep's points with the runtime environment
+// for BENCH_throughput.json.
+type ThroughputReport struct {
+	Env    Env               `json:"env"`
+	Points []ThroughputPoint `json:"points"`
+}
+
 // ThroughputPoint pairs the batched and serialized measurements at one
 // (n, clients) coordinate, for the JSON perf artifact.
 type ThroughputPoint struct {

@@ -95,6 +95,12 @@ const (
 // DefaultMaxPending is the queue bound when Options.MaxPending is 0.
 const DefaultMaxPending = 4096
 
+// MinWindow is the floor of the adaptive drain window: small enough that
+// a lightly loaded service stays near per-request latency, large enough
+// that the window can halve a few times without collapsing batching
+// entirely.
+const MinWindow = 16
+
 // ErrOverloaded is returned under PolicyReject when the queue is full.
 var ErrOverloaded = errors.New("svc: queue full (overloaded)")
 
@@ -127,6 +133,30 @@ type Options struct {
 	// measures bare protocol latency. Must be concurrency-safe and
 	// non-blocking.
 	Observer rt.Observer
+	// Window caps how many queued requests one worker cycle drains.
+	// 0 means unbounded (every pending request is served each cycle,
+	// the original behaviour) unless AdaptiveWindow is set. A bounded
+	// window trades peak amortization for tail latency: requests behind
+	// the cap wait a cycle instead of joining a huge batch whose commit
+	// they would all share.
+	Window int
+	// AdaptiveWindow sizes the drain window from observed queue depth
+	// instead of a fixed cap: starting from Window (or MinWindow when
+	// Window is 0), the window doubles when a cycle drains a full window
+	// with requests still queued (demand exceeds the cap) and halves when
+	// a cycle drains everything with less than a quarter window of work
+	// (the cap is slack). Bounds: [MinWindow, MaxPending]. Growth and
+	// shrink counts are reported in Stats.
+	AdaptiveWindow bool
+	// DirectWait resolves Update/Scan waiters through a per-request
+	// channel closed by the worker, instead of the runtime's
+	// condition-variable wait. Under thousands of concurrent clients the
+	// condvar broadcast wakes every waiter on every state change
+	// (O(clients) wakeups per cycle); a closed channel wakes exactly the
+	// requests being resolved. Only safe on real-time backends (ChanNet,
+	// TCP): a raw channel receive on the virtual-time simulator would
+	// block outside the runtime's accounting and deadlock virtual time.
+	DirectWait bool
 }
 
 // Stats counts a service's activity.
@@ -140,6 +170,10 @@ type Stats struct {
 	ProtoUpdates, ProtoScans int64
 	// MaxBatch is the largest update batch committed at once.
 	MaxBatch int
+	// Window is the current drain window (0 = unbounded).
+	Window int
+	// WindowGrows / WindowShrinks count adaptive window resizes.
+	WindowGrows, WindowShrinks int64
 }
 
 type opKind int
@@ -157,6 +191,9 @@ type request struct {
 	done    bool
 	err     error
 	snap    [][]byte
+	// ch, under Options.DirectWait, is closed when the request resolves;
+	// the awaiting client blocks on it instead of the node's condvar.
+	ch chan struct{}
 	// Observability: per-service op sequence number and admission time
 	// (set under the atomicity domain when the observer is installed).
 	id    int64
@@ -175,6 +212,8 @@ type Service struct {
 	q       []*request
 	closed  bool
 	serving bool
+	stopped bool // worker exited with an error; no one will drain q
+	window  int  // current drain cap (0 = unbounded)
 	stats   Stats
 	nextOp  int64
 }
@@ -186,7 +225,20 @@ func New(r rt.Runtime, obj Object, opts Options) *Service {
 	if opts.MaxPending <= 0 {
 		opts.MaxPending = DefaultMaxPending
 	}
-	return &Service{rtm: r, obj: obj, opts: opts}
+	window := opts.Window
+	if opts.AdaptiveWindow {
+		if window <= 0 {
+			window = MinWindow
+		}
+		if window > opts.MaxPending {
+			window = opts.MaxPending
+		}
+	} else if window < 0 {
+		window = 0
+	}
+	s := &Service{rtm: r, obj: obj, opts: opts, window: window}
+	s.stats.Window = window
+	return s
 }
 
 // Stats returns a copy of the counters.
@@ -255,6 +307,9 @@ func (t *Ticket) Snap() [][]byte { return t.req.snap }
 // with the batch's protocol rounds.
 func (s *Service) UpdateAsync(payload []byte) (*Ticket, error) {
 	req := &request{kind: opUpdate, payload: payload}
+	if s.opts.DirectWait {
+		req.ch = make(chan struct{})
+	}
 	if err := s.enqueue(req); err != nil {
 		return nil, err
 	}
@@ -265,6 +320,9 @@ func (s *Service) UpdateAsync(payload []byte) (*Ticket, error) {
 // snapshot is available from Snap.
 func (s *Service) ScanAsync() (*Ticket, error) {
 	req := &request{kind: opScan}
+	if s.opts.DirectWait {
+		req.ch = make(chan struct{})
+	}
 	if err := s.enqueue(req); err != nil {
 		return nil, err
 	}
@@ -279,6 +337,10 @@ func (s *Service) enqueue(req *request) error {
 	var verdict error
 	admit := func() {
 		switch {
+		case s.stopped:
+			// The worker exited with an error (node crash); nothing will
+			// ever drain this queue again.
+			verdict = rt.ErrCrashed
 		case s.closed:
 			verdict = ErrClosed
 		case len(s.q) >= s.opts.MaxPending:
@@ -309,7 +371,7 @@ func (s *Service) enqueue(req *request) error {
 		return verdict
 	}
 	err := s.rtm.WaitUntilThen("svc: admission (backpressure)",
-		func() bool { return s.closed || len(s.q) < s.opts.MaxPending },
+		func() bool { return s.stopped || s.closed || len(s.q) < s.opts.MaxPending },
 		admit)
 	if err != nil {
 		return err
@@ -319,6 +381,14 @@ func (s *Service) enqueue(req *request) error {
 
 // await blocks until the worker resolves the request.
 func (s *Service) await(req *request) error {
+	if req.ch != nil {
+		// DirectWait: the worker closes the channel at resolution (or
+		// failAll does if the worker dies), waking exactly this caller.
+		// The close happens after the request's fields are finalized, so
+		// the reads below are ordered by the channel.
+		<-req.ch
+		return req.err
+	}
 	err := s.rtm.WaitUntilThen("svc: await response",
 		func() bool { return req.done },
 		func() {})
@@ -345,11 +415,15 @@ func (s *Service) Serve() error {
 		err := s.rtm.WaitUntilThen("svc: worker idle",
 			func() bool { return len(s.q) > 0 || s.closed },
 			func() {
-				batch = s.q
-				s.q = nil
+				batch = s.drainWindow()
 				closed = s.closed
 			})
 		if err != nil {
+			// The worker is the only thing that resolves requests; fail
+			// everything still queued so DirectWait callers (who block on
+			// per-request channels, not the runtime's crash-aware wait)
+			// observe the crash instead of hanging forever.
+			s.failAll(err)
 			return err
 		}
 		if len(batch) == 0 {
@@ -360,6 +434,57 @@ func (s *Service) Serve() error {
 		}
 		s.serveCycle(batch)
 	}
+}
+
+// drainWindow takes up to one window of requests off the queue and, under
+// AdaptiveWindow, resizes the window from what it observed: a capped
+// drain with work left behind means demand exceeds the window (double
+// it); a full drain that used under a quarter of the window means the cap
+// is slack (halve it). Must run inside the atomicity domain.
+func (s *Service) drainWindow() []*request {
+	batch := s.q
+	if s.window > 0 && len(s.q) > s.window {
+		batch = s.q[:s.window:s.window]
+		s.q = s.q[s.window:]
+	} else {
+		s.q = nil
+	}
+	if s.opts.AdaptiveWindow {
+		switch {
+		case len(s.q) > 0 && s.window < s.opts.MaxPending:
+			s.window *= 2
+			if s.window > s.opts.MaxPending {
+				s.window = s.opts.MaxPending
+			}
+			s.stats.WindowGrows++
+		case len(s.q) == 0 && len(batch) < s.window/4 && s.window > MinWindow:
+			s.window /= 2
+			if s.window < MinWindow {
+				s.window = MinWindow
+			}
+			s.stats.WindowShrinks++
+		}
+		s.stats.Window = s.window
+	}
+	return batch
+}
+
+// failAll resolves every queued request with err and stops admission.
+// Called when Serve exits abnormally: without it, DirectWait callers
+// would block forever on channels no worker will ever close.
+func (s *Service) failAll(err error) {
+	s.rtm.Atomic(func() {
+		s.stopped = true
+		for _, req := range s.q {
+			req.err = err
+			req.done = true
+			s.observeEnd(req)
+			if req.ch != nil {
+				close(req.ch)
+			}
+		}
+		s.q = nil
+	})
 }
 
 // serveCycle serves one drained queue according to the configured mode.
@@ -435,6 +560,9 @@ func (s *Service) serveUpdates(ups []*request) {
 			req.err = err
 			req.done = true
 			s.observeEnd(req)
+			if req.ch != nil {
+				close(req.ch)
+			}
 		}
 	})
 }
@@ -451,6 +579,9 @@ func (s *Service) serveScans(scans []*request) {
 			req.err = err
 			req.done = true
 			s.observeEnd(req)
+			if req.ch != nil {
+				close(req.ch)
+			}
 		}
 	})
 }

@@ -61,6 +61,34 @@ func (nd *node) deliver(src int, msg rt.Message) {
 	nd.cond.Broadcast()
 }
 
+// deliverBatch delivers a burst of same-source messages in one critical
+// section: one lock acquisition and one waiter wakeup for the whole
+// batch instead of one each per message. Handlers in this model never
+// block on waiters (they record state and return; waiters re-evaluate
+// predicates only when the lock is free), so running k handler calls
+// back-to-back under the lock is indistinguishable from k separate
+// deliver calls that happened to win the lock consecutively — an
+// ordering the concurrent transport always permitted.
+func (nd *node) deliverBatch(src int, msgs []rt.Message) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	ran := false
+	for _, msg := range msgs {
+		if nd.crashed.Load() {
+			break
+		}
+		if nd.handler == nil {
+			nd.pending = append(nd.pending, pendingMsg{src: src, msg: msg})
+			continue
+		}
+		nd.handler.HandleMessage(src, msg)
+		ran = true
+	}
+	if ran {
+		nd.cond.Broadcast()
+	}
+}
+
 // setHandler installs the handler and flushes buffered deliveries.
 func (nd *node) setHandler(h rt.Handler) {
 	nd.mu.Lock()

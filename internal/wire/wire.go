@@ -257,16 +257,26 @@ func Marshal(msg rt.Message) ([]byte, error) {
 	return append([]byte(nil), b.Bytes()...), nil
 }
 
+// decoders pools the per-payload Decoder cursors Unmarshal uses, so the
+// transport receive path does not allocate one per frame. Safe because
+// decoded messages copy every byte-string field out of the input (see
+// Decoder.Bytes) and so never alias the cursor or its buffer.
+var decoders = sync.Pool{New: func() any { return new(Decoder) }}
+
 // Unmarshal decodes a standalone payload, requiring every byte to be
 // consumed.
 func Unmarshal(p []byte) (rt.Message, error) {
-	d := NewDecoder(p)
+	d := decoders.Get().(*Decoder)
+	*d = Decoder{buf: p}
 	msg, err := DecodeMessageFrom(d)
+	rem := d.Remaining()
+	*d = Decoder{} // drop the reference to p before pooling
+	decoders.Put(d)
 	if err != nil {
 		return nil, err
 	}
-	if d.Remaining() != 0 {
-		return nil, fmt.Errorf("%w: %d of %d", ErrTrailingBytes, d.Remaining(), len(p))
+	if rem != 0 {
+		return nil, fmt.Errorf("%w: %d of %d", ErrTrailingBytes, rem, len(p))
 	}
 	return msg, nil
 }
